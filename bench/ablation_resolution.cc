@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Ablation: the time-step resolution trade-off of Section III-D.
+ * Sweeps the step size on a fixed instance and reports the
+ * discretized makespan (in seconds), the rounding inflation relative
+ * to the finest resolution, and the solve time - the
+ * resolution-vs-effort trade-off the paper's adaptive scheme
+ * navigates.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "common.hh"
+#include "cp/solver.hh"
+#include "hilp/builder.hh"
+#include "hilp/discretize.hh"
+#include "support/table.hh"
+
+namespace {
+
+using namespace hilp;
+
+ProblemSpec
+instanceSpec()
+{
+    auto wl = workload::makeWorkload(workload::Variant::Default);
+    auto priority = workload::dsaPriorityOrder();
+    arch::SocConfig soc;
+    soc.cpuCores = 4;
+    soc.gpuSms = 16;
+    soc.dsas = {{16, priority[0]}, {16, priority[1]}};
+    return buildProblem(wl, soc, arch::Constraints{});
+}
+
+void
+emitAblation()
+{
+    bench::banner(
+        "Resolution ablation - the Section III-D trade-off",
+        "Default workload on (c4,g16,d2^16); step size swept from\n"
+        "coarse to fine at a fixed 2000 s horizon window. Coarse\n"
+        "steps inflate the makespan (ceil rounding); fine steps\n"
+        "grow the solution space and solve time.");
+
+    ProblemSpec spec = instanceSpec();
+    Table table({"step (s)", "horizon (steps)", "makespan (steps)",
+                 "makespan (s)", "gap", "solve (ms)"});
+
+    double finest_seconds = -1.0;
+    for (double step : {20.0, 10.0, 5.0, 2.0, 1.0, 0.5}) {
+        cp::Time horizon = static_cast<cp::Time>(2000.0 / step);
+        DiscretizedProblem problem = discretize(spec, step, horizon);
+        cp::SolverOptions options;
+        options.maxSeconds = 5.0;
+        options.targetGap = 0.05;
+        auto begin = std::chrono::steady_clock::now();
+        cp::Result result = cp::Solver(options).solve(problem.model);
+        double ms = std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - begin).count();
+        double seconds = result.makespan * step;
+        if (result.hasSchedule())
+            finest_seconds = seconds;
+        table.addRow(
+            RowBuilder()
+                .cell(step, 1)
+                .cell(static_cast<int64_t>(horizon))
+                .cell(static_cast<int64_t>(result.makespan))
+                .cell(seconds, 1)
+                .cell(result.gap(), 3)
+                .cell(ms, 1)
+                .take());
+    }
+    table.print();
+    std::printf("\nfinest-resolution makespan: %.1f s (coarser rows "
+                "inflate via ceil rounding)\n", finest_seconds);
+}
+
+void
+BM_SolveAtResolution(benchmark::State &state)
+{
+    ProblemSpec spec = instanceSpec();
+    double step = 1.0 / static_cast<double>(state.range(0));
+    cp::Time horizon = static_cast<cp::Time>(2000.0 / step);
+    DiscretizedProblem problem = discretize(spec, step, horizon);
+    cp::SolverOptions options;
+    options.maxSeconds = 5.0;
+    for (auto _ : state) {
+        cp::Result result = cp::Solver(options).solve(problem.model);
+        benchmark::DoNotOptimize(result.makespan);
+    }
+    state.SetLabel("step=1/" + std::to_string(state.range(0)) + "s");
+}
+BENCHMARK(BM_SolveAtResolution)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    emitAblation();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

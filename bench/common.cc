@@ -1,0 +1,110 @@
+#include "common.hh"
+
+#include <cstdio>
+
+#include "dse/pareto.hh"
+#include "support/str.hh"
+#include "support/table.hh"
+
+namespace hilp {
+namespace bench {
+
+void
+banner(const std::string &title, const std::string &description)
+{
+    std::string bar(70, '=');
+    std::printf("%s\n%s\n%s\n%s\n\n", bar.c_str(), title.c_str(),
+                description.c_str(), bar.c_str());
+}
+
+void
+section(const std::string &title)
+{
+    std::printf("\n--- %s ---\n", title.c_str());
+}
+
+EngineOptions
+validationEngine(double solver_seconds)
+{
+    EngineOptions options = EngineOptions::validationMode();
+    options.solver.maxSeconds = solver_seconds;
+    options.solver.maxNodes = 400000;
+    // Rerun near-optimality misses with 4x the budget, as the paper
+    // does for its validation experiments.
+    options.escalations = 1;
+    return options;
+}
+
+dse::DseOptions
+explorationOptions(double solver_seconds)
+{
+    dse::DseOptions options;
+    options.engine = EngineOptions::explorationMode();
+    options.engine.solver.maxSeconds = solver_seconds;
+    options.engine.solver.maxNodes = 120000;
+    return options;
+}
+
+std::vector<arch::SocConfig>
+paperDesignSpace(double advantage)
+{
+    arch::DesignSpace space;
+    space.dsaAdvantage = advantage;
+    return enumerateDesignSpace(space, workload::dsaPriorityOrder());
+}
+
+std::vector<dse::DsePoint>
+paretoOf(const std::vector<dse::DsePoint> &points)
+{
+    std::vector<double> cost;
+    std::vector<double> value;
+    std::vector<size_t> index;
+    for (size_t i = 0; i < points.size(); ++i) {
+        if (!points[i].ok)
+            continue;
+        cost.push_back(points[i].areaMm2);
+        value.push_back(points[i].speedup);
+        index.push_back(i);
+    }
+    std::vector<dse::DsePoint> front;
+    // Epsilon-dominance: a bigger SoC must buy at least 0.5% more
+    // performance to count as Pareto-improving (suppresses float
+    // noise between configurations with identical schedules).
+    for (size_t f : dse::paretoFront(cost, value, 5e-3))
+        front.push_back(points[index[f]]);
+    return front;
+}
+
+dse::DsePoint
+bestOf(const std::vector<dse::DsePoint> &points)
+{
+    dse::DsePoint best;
+    for (const dse::DsePoint &point : points)
+        if (point.ok && point.speedup > best.speedup)
+            best = point;
+    return best;
+}
+
+void
+printPareto(const std::string &title,
+            const std::vector<dse::DsePoint> &points)
+{
+    section(title);
+    Table table({"config", "area (mm2)", "speedup", "avg WLP", "gap",
+                 "mix"});
+    table.setAlign(0, Table::Align::Left);
+    for (const dse::DsePoint &point : points) {
+        table.addRow(RowBuilder()
+                         .cell(point.config.name())
+                         .cell(point.areaMm2, 1)
+                         .cell(point.speedup, 2)
+                         .cell(point.averageWlp, 2)
+                         .cell(point.gap, 3)
+                         .cell(std::string(dse::toString(point.mix)))
+                         .take());
+    }
+    table.print();
+}
+
+} // namespace bench
+} // namespace hilp

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Shared plumbing for the experiment harnesses. Each bench binary
+ * regenerates one table or figure of the paper: it prints the same
+ * rows/series the paper reports (plus our measured values) and then
+ * runs a few google-benchmark timings of the underlying solves.
+ */
+
+#ifndef HILP_BENCH_COMMON_HH
+#define HILP_BENCH_COMMON_HH
+
+#include <string>
+#include <vector>
+
+#include "arch/design_space.hh"
+#include "arch/soc.hh"
+#include "dse/explore.hh"
+#include "hilp/engine.hh"
+#include "workload/rodinia.hh"
+
+namespace hilp {
+namespace bench {
+
+/** Print a figure/table banner. */
+void banner(const std::string &title, const std::string &description);
+
+/** Print a section sub-header. */
+void section(const std::string &title);
+
+/**
+ * Engine options for the validation experiments (Section V): the
+ * paper's validation-mode resolution with a per-solve search budget.
+ */
+EngineOptions validationEngine(double solver_seconds = 8.0);
+
+/**
+ * DSE options for the exploration experiments (Section VI): the
+ * paper's exploration-mode resolution with a tighter budget, since
+ * hundreds of configurations are evaluated.
+ */
+dse::DseOptions explorationOptions(double solver_seconds = 1.0);
+
+/** The Section VI design space (372 configs) for a DSA advantage. */
+std::vector<arch::SocConfig> paperDesignSpace(double advantage = 4.0);
+
+/**
+ * Print a Pareto front as a table: config, area, speedup, WLP, gap,
+ * accelerator mix.
+ */
+void printPareto(const std::string &title,
+                 const std::vector<dse::DsePoint> &points);
+
+/** Extract the Pareto-optimal points (min area, max speedup). */
+std::vector<dse::DsePoint> paretoOf(
+    const std::vector<dse::DsePoint> &points);
+
+/** The highest-speedup point (among ok points); ok=false if none. */
+dse::DsePoint bestOf(const std::vector<dse::DsePoint> &points);
+
+} // namespace bench
+} // namespace hilp
+
+#endif // HILP_BENCH_COMMON_HH

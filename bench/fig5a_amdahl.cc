@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Figure 5a: reproducing Amdahl's law. Speedup versus CPU count
+ * (1-8) for SoCs with 16/32/64-SM GPUs on the Default workload,
+ * unconstrained, with each GPU's compute-limit asymptote (the dotted
+ * lines of the figure). Expected shape: single-CPU SoCs are limited
+ * by sequential setup/teardown; adding cores improves performance
+ * until the GPU's compute limit saturates it.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common.hh"
+#include "hilp/builder.hh"
+#include "support/table.hh"
+#include "workload/scaling.hh"
+
+namespace {
+
+using namespace hilp;
+
+/** Speedup limit of a GPU: reference / serialized GPU compute. */
+double
+gpuComputeLimit(const workload::Workload &wl, int sms)
+{
+    double gpu_load = 0.0;
+    for (const auto &app : wl.apps)
+        for (const auto &phase : app.phases)
+            if (phase.kind == workload::PhaseKind::Compute)
+                gpu_load += workload::acceleratorTimeS(phase, sms, 765);
+    return workload::sequentialCpuTimeS(wl) / gpu_load;
+}
+
+void
+emitFigure()
+{
+    bench::banner(
+        "Figure 5a - reproducing Amdahl's law",
+        "Default workload, no power/bandwidth constraints. Speedup\n"
+        "vs. 1-CPU sequential execution as CPU cores are added to\n"
+        "SoCs with 16/32/64-SM GPUs. Dotted lines = GPU compute\n"
+        "limit. Expected: growth, then saturation at the GPU limit.");
+
+    auto wl = workload::makeWorkload(workload::Variant::Default);
+    arch::Constraints constraints; // 600 W / 800 GB/s: non-binding.
+    dse::DseOptions options = bench::explorationOptions(1.0);
+
+    const std::vector<int> cpu_counts = {1, 2, 3, 4, 5, 6, 8};
+    const std::vector<int> gpus = {16, 32, 64};
+
+    Table table({"CPUs", "16-SM GPU", "32-SM GPU", "64-SM GPU"});
+    for (int cpus : cpu_counts) {
+        RowBuilder row;
+        row.cell(static_cast<int64_t>(cpus));
+        for (int sms : gpus) {
+            arch::SocConfig soc;
+            soc.cpuCores = cpus;
+            soc.gpuSms = sms;
+            dse::DsePoint point = dse::evaluatePoint(
+                soc, wl, constraints, dse::ModelKind::Hilp, options);
+            row.cell(point.ok ? point.speedup : 0.0, 2);
+        }
+        table.addRow(row.take());
+    }
+    table.print();
+
+    bench::section("GPU compute limits (dotted lines)");
+    Table limits({"GPU", "max speedup"});
+    for (int sms : gpus) {
+        limits.addRow(RowBuilder()
+                          .cell(static_cast<int64_t>(sms))
+                          .cell(gpuComputeLimit(wl, sms), 2)
+                          .take());
+    }
+    limits.print();
+}
+
+void
+BM_EvaluateAmdahlPoint(benchmark::State &state)
+{
+    auto wl = workload::makeWorkload(workload::Variant::Default);
+    arch::SocConfig soc;
+    soc.cpuCores = 4;
+    soc.gpuSms = 32;
+    dse::DseOptions options = bench::explorationOptions(1.0);
+    for (auto _ : state) {
+        dse::DsePoint point =
+            dse::evaluatePoint(soc, wl, arch::Constraints{},
+                               dse::ModelKind::Hilp, options);
+        benchmark::DoNotOptimize(point.speedup);
+    }
+}
+BENCHMARK(BM_EvaluateAmdahlPoint)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(5);
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    emitFigure();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

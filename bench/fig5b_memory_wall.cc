@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Figure 5b: reproducing the memory wall. Speedup versus the memory
+ * bandwidth budget (50-400 GB/s) for 4-CPU SoCs with 16/32/64-SM
+ * GPUs on the Optimized workload. Expected shape (paper): every SoC
+ * is bandwidth-bound at 50 GB/s; the 16-SM SoC is compute-bound from
+ * ~100 GB/s, the 32-SM SoC from ~300 GB/s, and the 64-SM SoC is
+ * still not fully compute-bound at 400 GB/s.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common.hh"
+#include "support/table.hh"
+
+namespace {
+
+using namespace hilp;
+
+void
+emitFigure()
+{
+    bench::banner(
+        "Figure 5b - reproducing the memory wall",
+        "Optimized workload, 4 CPU cores, b_max swept 50-400 GB/s.\n"
+        "Expected: 16-SM saturates by ~100 GB/s, 32-SM by ~300,\n"
+        "64-SM keeps improving past 400.");
+
+    auto wl = workload::makeWorkload(workload::Variant::Optimized);
+    dse::DseOptions options = bench::explorationOptions(2.0);
+    options.engine = bench::validationEngine(4.0);
+
+    const std::vector<double> budgets = {50,  100, 150, 200,
+                                         250, 300, 350, 400};
+    const std::vector<int> gpus = {16, 32, 64};
+
+    Table table({"b_max (GB/s)", "16-SM GPU", "32-SM GPU",
+                 "64-SM GPU"});
+    for (double bw : budgets) {
+        RowBuilder row;
+        row.cell(static_cast<int64_t>(bw));
+        for (int sms : gpus) {
+            arch::Constraints constraints;
+            constraints.memory.bandwidthGBs = bw;
+            arch::SocConfig soc;
+            soc.cpuCores = 4;
+            soc.gpuSms = sms;
+            dse::DsePoint point = dse::evaluatePoint(
+                soc, wl, constraints, dse::ModelKind::Hilp, options);
+            row.cell(point.ok ? point.speedup : 0.0, 2);
+        }
+        table.addRow(row.take());
+    }
+    table.print();
+}
+
+void
+BM_EvaluateBandwidthBoundPoint(benchmark::State &state)
+{
+    auto wl = workload::makeWorkload(workload::Variant::Optimized);
+    arch::Constraints constraints;
+    constraints.memory.bandwidthGBs = 100.0;
+    arch::SocConfig soc;
+    soc.cpuCores = 4;
+    soc.gpuSms = 32;
+    dse::DseOptions options = bench::explorationOptions(1.0);
+    for (auto _ : state) {
+        dse::DsePoint point = dse::evaluatePoint(
+            soc, wl, constraints, dse::ModelKind::Hilp, options);
+        benchmark::DoNotOptimize(point.speedup);
+    }
+}
+BENCHMARK(BM_EvaluateBandwidthBoundPoint)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    emitFigure();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Figure 5c: reproducing dark silicon. Speedup versus the power
+ * budget (50-400 W) for 4-CPU SoCs with 16/32/64-SM GPUs on the
+ * Optimized workload. Expected shape (paper): 50 W suffices for the
+ * 16-SM SoC; the 32-SM (64-SM) SoC needs ~100 W (~150 W) to reach
+ * its potential; and at 50 W the 32-SM SoC beats the 64-SM SoC
+ * because the budget caps the 64-SM GPU at 300 MHz while the 32-SM
+ * GPU can use its full frequency range.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common.hh"
+#include "support/table.hh"
+
+namespace {
+
+using namespace hilp;
+
+void
+emitFigure()
+{
+    bench::banner(
+        "Figure 5c - reproducing dark silicon",
+        "Optimized workload, 4 CPU cores, p_max swept 50-400 W.\n"
+        "Expected: 16-SM flat from 50 W; 32-SM saturates ~100 W;\n"
+        "64-SM saturates ~150 W; 32-SM beats 64-SM at 50 W (DVFS).");
+
+    auto wl = workload::makeWorkload(workload::Variant::Optimized);
+    dse::DseOptions options;
+    options.engine = bench::validationEngine(8.0);
+
+    const std::vector<double> budgets = {50,  100, 150, 200,
+                                         250, 300, 350, 400};
+    const std::vector<int> gpus = {16, 32, 64};
+
+    Table table({"p_max (W)", "16-SM GPU", "32-SM GPU", "64-SM GPU"});
+    std::vector<std::vector<double>> grid;
+    for (double watts : budgets) {
+        RowBuilder row;
+        row.cell(static_cast<int64_t>(watts));
+        std::vector<double> row_values;
+        for (int sms : gpus) {
+            arch::Constraints constraints;
+            constraints.powerBudgetW = watts;
+            arch::SocConfig soc;
+            soc.cpuCores = 4;
+            soc.gpuSms = sms;
+            dse::DsePoint point = dse::evaluatePoint(
+                soc, wl, constraints, dse::ModelKind::Hilp, options);
+            row.cell(point.ok ? point.speedup : 0.0, 2);
+            row_values.push_back(point.ok ? point.speedup : 0.0);
+        }
+        table.addRow(row.take());
+        grid.push_back(row_values);
+    }
+    table.print();
+
+    bench::section("dark-silicon crossover check");
+    std::printf("at 50 W: 32-SM speedup %.2f vs 64-SM speedup %.2f "
+                "(paper: 32-SM wins)\n", grid[0][1], grid[0][2]);
+}
+
+void
+BM_EvaluatePowerBoundPoint(benchmark::State &state)
+{
+    auto wl = workload::makeWorkload(workload::Variant::Optimized);
+    arch::Constraints constraints;
+    constraints.powerBudgetW = 100.0;
+    arch::SocConfig soc;
+    soc.cpuCores = 4;
+    soc.gpuSms = 64;
+    dse::DseOptions options = bench::explorationOptions(1.0);
+    for (auto _ : state) {
+        dse::DsePoint point = dse::evaluatePoint(
+            soc, wl, constraints, dse::ModelKind::Hilp, options);
+        benchmark::DoNotOptimize(point.speedup);
+    }
+}
+BENCHMARK(BM_EvaluatePowerBoundPoint)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    emitFigure();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

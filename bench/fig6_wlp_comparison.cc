@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Figure 6: average WLP and speedup for MA, HILP, and Gables on a
+ * 64-SM-GPU SoC as the CPU count grows from 1 to 8, for the Rodinia
+ * (6a) and Optimized (6b) workloads. Expected shape (paper): MA is
+ * pinned at WLP 1 with a flat pessimistic speedup (4.9 / 19.8);
+ * Gables' WLP and speedup rise to optimistic maxima; HILP saturates
+ * in between because it respects phase dependencies.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/gables.hh"
+#include "baselines/multiamdahl.hh"
+#include "common.hh"
+#include "hilp/builder.hh"
+#include "support/table.hh"
+
+namespace {
+
+using namespace hilp;
+
+void
+emitWorkload(workload::Variant variant)
+{
+    auto wl = workload::makeWorkload(variant);
+    double reference = workload::sequentialCpuTimeS(wl);
+    dse::DseOptions options;
+    options.engine = bench::validationEngine(4.0);
+
+    bench::section(std::string(workload::toString(variant)) +
+                   " workload (64-SM GPU)");
+    Table table({"CPUs", "MA WLP", "MA spd", "HILP WLP", "HILP spd",
+                 "Gables WLP", "Gables spd"});
+    for (int cpus : {1, 2, 4, 6, 8}) {
+        arch::SocConfig soc;
+        soc.cpuCores = cpus;
+        soc.gpuSms = 64;
+        ProblemSpec spec =
+            buildProblem(wl, soc, arch::Constraints{});
+
+        baselines::MaResult ma = baselines::evaluateMultiAmdahl(spec);
+        EvalResult hilp_result = evaluate(spec, options.engine);
+        EvalResult gables =
+            baselines::evaluateGables(spec, options.engine);
+
+        table.addRow(
+            RowBuilder()
+                .cell(static_cast<int64_t>(cpus))
+                .cell(ma.averageWlp(), 2)
+                .cell(ma.ok ? reference / ma.makespanS : 0.0, 1)
+                .cell(hilp_result.averageWlp, 2)
+                .cell(hilp_result.ok
+                          ? reference / hilp_result.makespanS : 0.0,
+                      1)
+                .cell(gables.averageWlp, 2)
+                .cell(gables.ok ? reference / gables.makespanS : 0.0,
+                      1)
+                .take());
+    }
+    table.print();
+}
+
+void
+emitFigure()
+{
+    bench::banner(
+        "Figure 6 - MA vs HILP vs Gables (WLP and speedup)",
+        "64-SM GPU, CPU count 1-8. Paper: MA flat at WLP 1 (speedup\n"
+        "4.9 Rodinia / 19.8 Optimized); Gables overshoots; HILP\n"
+        "saturates between the extremes; speedup tracks WLP.");
+    emitWorkload(workload::Variant::Rodinia);
+    emitWorkload(workload::Variant::Optimized);
+}
+
+void
+BM_EvaluateWlpComparisonPoint(benchmark::State &state)
+{
+    auto wl = workload::makeWorkload(workload::Variant::Rodinia);
+    arch::SocConfig soc;
+    soc.cpuCores = 4;
+    soc.gpuSms = 64;
+    ProblemSpec spec = buildProblem(wl, soc, arch::Constraints{});
+    EngineOptions engine = bench::validationEngine(2.0);
+    for (auto _ : state) {
+        EvalResult result = evaluate(spec, engine);
+        benchmark::DoNotOptimize(result.averageWlp);
+    }
+}
+BENCHMARK(BM_EvaluateWlpComparisonPoint)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    emitFigure();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

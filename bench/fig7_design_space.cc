@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Figure 7: the 372-SoC design space for the Default workload under
+ * MA, Gables, and HILP (600 W budget for MA/HILP; Gables has no
+ * power constraint). Regenerates the Pareto fronts (7a), reports the
+ * highest-performing SoCs and their areas (the paper's headline
+ * quantitative comparison), and summarizes the accelerator-mix
+ * structure of the full clouds (7b-7d): MA's front is GPU-dominated,
+ * Gables is biased to many small DSAs, HILP recommends mixed SoCs.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+
+#include "common.hh"
+#include "support/table.hh"
+
+namespace {
+
+using namespace hilp;
+
+void
+emitModel(dse::ModelKind kind,
+          const std::vector<arch::SocConfig> &configs,
+          const workload::Workload &wl)
+{
+    arch::Constraints constraints; // 600 W, 800 GB/s.
+    dse::DseOptions options = bench::explorationOptions(1.0);
+    auto points =
+        dse::exploreSpace(configs, wl, constraints, kind, options);
+
+    auto front = bench::paretoOf(points);
+    bench::printPareto(std::string(dse::toString(kind)) +
+                       " Pareto front (speedup vs area)", front);
+
+    dse::DsePoint best = bench::bestOf(front);
+    std::printf("\n%s best point: %s  speedup %.1f  area %.1f mm2\n",
+                dse::toString(kind), best.config.name().c_str(),
+                best.speedup, best.areaMm2);
+
+    // Accelerator-mix structure of the Pareto front (the color
+    // story of Figures 7b-7d).
+    std::map<dse::AccelMix, int> mix_counts;
+    for (const auto &point : front)
+        ++mix_counts[point.mix];
+    std::printf("%s front mix: gpu=%d dsa=%d mixed=%d none=%d\n",
+                dse::toString(kind),
+                mix_counts[dse::AccelMix::GpuDominated],
+                mix_counts[dse::AccelMix::DsaDominated],
+                mix_counts[dse::AccelMix::Mixed],
+                mix_counts[dse::AccelMix::None]);
+}
+
+void
+emitFigure()
+{
+    bench::banner(
+        "Figure 7 - the Default-workload design space (372 SoCs)",
+        "Paper headline points: MA (c1,g64,d0^0) spd 18.2 @ 432.6;\n"
+        "Gables (c4,g4,d3^4) spd 62.1 @ 170.4; HILP (c4,g16,d2^16)\n"
+        "spd 45.6 @ 378.4. Expected structure: MA GPU-dominated,\n"
+        "Gables many-small-DSA biased, HILP mixed; MA pessimistic\n"
+        "and Gables optimistic relative to HILP.");
+
+    auto wl = workload::makeWorkload(workload::Variant::Default);
+    auto configs = bench::paperDesignSpace();
+    std::printf("design space: %zu configurations\n",
+                configs.size());
+
+    emitModel(dse::ModelKind::MultiAmdahl, configs, wl);
+    emitModel(dse::ModelKind::Gables, configs, wl);
+    emitModel(dse::ModelKind::Hilp, configs, wl);
+
+    // The paper's key qualitative check: the mixed HILP SoC matches
+    // the big-GPU SoC at lower area.
+    bench::section("Key Insight 3 check (DSAs offload the GPU)");
+    arch::Constraints constraints;
+    dse::DseOptions options = bench::explorationOptions(2.0);
+    auto priority = workload::dsaPriorityOrder();
+    arch::SocConfig mixed;
+    mixed.cpuCores = 4;
+    mixed.gpuSms = 16;
+    mixed.dsas = {{16, priority[0]}, {16, priority[1]}};
+    arch::SocConfig big_gpu;
+    big_gpu.cpuCores = 4;
+    big_gpu.gpuSms = 64;
+    auto mixed_point = dse::evaluatePoint(
+        mixed, wl, constraints, dse::ModelKind::Hilp, options);
+    auto gpu_point = dse::evaluatePoint(
+        big_gpu, wl, constraints, dse::ModelKind::Hilp, options);
+    std::printf("(c4,g16,d2^16): speedup %.1f @ %.1f mm2\n",
+                mixed_point.speedup, mixed_point.areaMm2);
+    std::printf("(c4,g64,d0^0) : speedup %.1f @ %.1f mm2\n",
+                gpu_point.speedup, gpu_point.areaMm2);
+    std::printf("paper: equal performance, 378.4 vs 482.4 mm2\n");
+}
+
+void
+BM_ExploreSubsetOfDesignSpace(benchmark::State &state)
+{
+    auto wl = workload::makeWorkload(workload::Variant::Default);
+    auto configs = bench::paperDesignSpace();
+    configs.resize(8);
+    dse::DseOptions options = bench::explorationOptions(0.5);
+    for (auto _ : state) {
+        auto points =
+            dse::exploreSpace(configs, wl, arch::Constraints{},
+                              dse::ModelKind::Hilp, options);
+        benchmark::DoNotOptimize(points.size());
+    }
+}
+BENCHMARK(BM_ExploreSubsetOfDesignSpace)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    emitFigure();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Figure 8a: Pareto fronts of the Default-workload design space under
+ * 20 W, 50 W, and 600 W power budgets (HILP). Expected shape
+ * (paper): the budget leaves low-performance SoCs untouched and
+ * compresses the high-performance end; (c4,g16,d2^16) remains the
+ * top performer at 50 W and 600 W, a scaled-down (c2,g4,d2^4)-style
+ * mixed SoC wins at 20 W, and DSA-only SoCs appear near the top of
+ * the 20 W front.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common.hh"
+#include "support/table.hh"
+
+namespace {
+
+using namespace hilp;
+
+void
+emitFigure()
+{
+    bench::banner(
+        "Figure 8a - power-constrained SoCs (20/50/600 W)",
+        "HILP Pareto fronts for the Default workload. Paper: the\n"
+        "50 W top performer matches 600 W's (c4,g16,d2^16) with a\n"
+        "~26% performance loss; at 20 W a scaled-down mixed SoC\n"
+        "wins and a DSA-only SoC is close behind.");
+
+    auto wl = workload::makeWorkload(workload::Variant::Default);
+    auto configs = bench::paperDesignSpace();
+
+    for (double watts : {20.0, 50.0, 600.0}) {
+        arch::Constraints constraints;
+        constraints.powerBudgetW = watts;
+        dse::DseOptions options = bench::explorationOptions(1.0);
+        auto points = dse::exploreSpace(
+            configs, wl, constraints, dse::ModelKind::Hilp, options);
+        auto front = bench::paretoOf(points);
+        bench::printPareto(
+            "HILP Pareto front at " + std::to_string(
+                static_cast<int>(watts)) + " W", front);
+        dse::DsePoint best = bench::bestOf(front);
+        int schedulable = 0;
+        for (const auto &point : points)
+            schedulable += point.ok ? 1 : 0;
+        std::printf("\nbest at %3.0f W: %s  speedup %.1f  "
+                    "(%d/%zu configs schedulable)\n", watts,
+                    best.config.name().c_str(), best.speedup,
+                    schedulable, points.size());
+    }
+}
+
+void
+BM_EvaluateTwentyWattPoint(benchmark::State &state)
+{
+    auto wl = workload::makeWorkload(workload::Variant::Default);
+    arch::Constraints constraints;
+    constraints.powerBudgetW = 20.0;
+    auto priority = workload::dsaPriorityOrder();
+    arch::SocConfig soc;
+    soc.cpuCores = 2;
+    soc.gpuSms = 4;
+    soc.dsas = {{4, priority[0]}, {4, priority[1]}};
+    dse::DseOptions options = bench::explorationOptions(1.0);
+    for (auto _ : state) {
+        dse::DsePoint point = dse::evaluatePoint(
+            soc, wl, constraints, dse::ModelKind::Hilp, options);
+        benchmark::DoNotOptimize(point.speedup);
+    }
+}
+BENCHMARK(BM_EvaluateTwentyWattPoint)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    emitFigure();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Figure 8b: the effect of the DSA efficiency advantage (2x/4x/8x)
+ * on the Default-workload Pareto front (HILP, 600 W). Expected
+ * shape (paper): a larger advantage does not change the shape of the
+ * speedup-vs-area curve but shifts it to higher performance; the
+ * Pareto optimum moves from a GPU-only SoC at 2x to mixed SoCs at
+ * 4x and 8x ("workload coverage is king").
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common.hh"
+#include "support/table.hh"
+
+namespace {
+
+using namespace hilp;
+
+void
+emitFigure()
+{
+    bench::banner(
+        "Figure 8b - DSA efficiency advantage (2x/4x/8x)",
+        "HILP Pareto fronts at 600 W. Paper: best points are\n"
+        "(c4,g64,d0^0) at 2x and (c4,g16,d2^16) at 4x and 8x; the\n"
+        "8x front sits above the 4x front because the DSAs are\n"
+        "faster.");
+
+    auto wl = workload::makeWorkload(workload::Variant::Default);
+    arch::Constraints constraints;
+    dse::DseOptions options = bench::explorationOptions(1.0);
+
+    for (double advantage : {2.0, 4.0, 8.0}) {
+        auto configs = bench::paperDesignSpace(advantage);
+        auto points = dse::exploreSpace(
+            configs, wl, constraints, dse::ModelKind::Hilp, options);
+        auto front = bench::paretoOf(points);
+        bench::printPareto(
+            "HILP Pareto front at " +
+                std::to_string(static_cast<int>(advantage)) +
+                "x DSA advantage", front);
+        dse::DsePoint best = bench::bestOf(front);
+        std::printf("\nbest at %1.0fx: %s  speedup %.1f  area %.1f "
+                    "mm2\n", advantage, best.config.name().c_str(),
+                    best.speedup, best.areaMm2);
+    }
+}
+
+void
+BM_EvaluateHighAdvantagePoint(benchmark::State &state)
+{
+    auto wl = workload::makeWorkload(workload::Variant::Default);
+    auto priority = workload::dsaPriorityOrder();
+    arch::SocConfig soc;
+    soc.cpuCores = 4;
+    soc.gpuSms = 16;
+    soc.dsas = {{16, priority[0]}, {16, priority[1]}};
+    soc.dsaAdvantage = 8.0;
+    dse::DseOptions options = bench::explorationOptions(1.0);
+    for (auto _ : state) {
+        dse::DsePoint point =
+            dse::evaluatePoint(soc, wl, arch::Constraints{},
+                               dse::ModelKind::Hilp, options);
+        benchmark::DoNotOptimize(point.speedup);
+    }
+}
+BENCHMARK(BM_EvaluateHighAdvantagePoint)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    emitFigure();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

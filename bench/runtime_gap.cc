@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Ablation: the offline/online scheduling gap (the Section I
+ * argument). HILP's near-optimal schedules decouple hardware
+ * evaluation from scheduler maturity: this harness measures how far
+ * naive runtime dispatchers (FIFO / longest-first / shortest-first
+ * greedy, simulated event by event) fall short of HILP's certified
+ * schedules on the paper's SoCs, and independently replays every
+ * HILP schedule through the simulator as a cross-validation.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common.hh"
+#include "hilp/builder.hh"
+#include "sim/replay.hh"
+#include "support/table.hh"
+
+namespace {
+
+using namespace hilp;
+
+struct Scenario
+{
+    const char *label;
+    arch::SocConfig soc;
+    arch::Constraints constraints;
+};
+
+std::vector<Scenario>
+scenarios()
+{
+    auto priority = workload::dsaPriorityOrder();
+    std::vector<Scenario> list;
+    {
+        Scenario s;
+        s.label = "(c4,g16,d2^16) @ 600 W";
+        s.soc.cpuCores = 4;
+        s.soc.gpuSms = 16;
+        s.soc.dsas = {{16, priority[0]}, {16, priority[1]}};
+        list.push_back(s);
+    }
+    {
+        Scenario s;
+        s.label = "(c4,g64,d0^0) @ 600 W";
+        s.soc.cpuCores = 4;
+        s.soc.gpuSms = 64;
+        list.push_back(s);
+    }
+    {
+        Scenario s;
+        s.label = "(c4,g64,d0^0) @ 50 W";
+        s.soc.cpuCores = 4;
+        s.soc.gpuSms = 64;
+        s.constraints.powerBudgetW = 50.0;
+        list.push_back(s);
+    }
+    return list;
+}
+
+void
+emitGap()
+{
+    bench::banner(
+        "Offline/online scheduling gap (Section I rationale)",
+        "HILP's near-optimal schedule vs simulated naive runtime\n"
+        "dispatchers on the Default workload. HILP's schedules are\n"
+        "independently re-validated by event-driven replay.");
+
+    auto wl = workload::makeWorkload(workload::Variant::Default);
+
+    Table table({"scenario", "HILP (s)", "LB (s)", "replay",
+                 "fifo (s)", "longest (s)", "shortest (s)",
+                 "worst gap"});
+    table.setAlign(0, Table::Align::Left);
+    table.setAlign(3, Table::Align::Left);
+
+    for (const Scenario &scenario : scenarios()) {
+        ProblemSpec spec =
+            buildProblem(wl, scenario.soc, scenario.constraints);
+        EngineOptions engine = EngineOptions::validationMode();
+        engine.solver.maxSeconds = 6.0;
+        engine.escalations = 1;
+        EvalResult offline = evaluate(spec, engine);
+        if (!offline.ok)
+            continue;
+        sim::SimResult replay =
+            sim::replaySchedule(spec, offline.schedule);
+
+        double online_makespans[3];
+        int idx = 0;
+        for (sim::DispatchOrder order :
+             {sim::DispatchOrder::Fifo,
+              sim::DispatchOrder::LongestFirst,
+              sim::DispatchOrder::ShortestFirst}) {
+            sim::OnlineOptions online;
+            online.order = order;
+            sim::SimResult result =
+                sim::runOnlineScheduler(spec, online);
+            online_makespans[idx++] =
+                result.ok ? result.makespanS : -1.0;
+        }
+        double worst = 0.0;
+        for (double makespan : online_makespans)
+            if (makespan > 0.0)
+                worst = std::max(worst,
+                                 makespan / offline.makespanS);
+        table.addRow(RowBuilder()
+                         .cell(std::string(scenario.label))
+                         .cell(offline.makespanS, 1)
+                         .cell(offline.lowerBoundS, 1)
+                         .cell(std::string(replay.ok ? "VALID"
+                                                     : "INVALID"))
+                         .cell(online_makespans[0], 1)
+                         .cell(online_makespans[1], 1)
+                         .cell(online_makespans[2], 1)
+                         .cell(worst, 2)
+                         .take());
+    }
+    table.print();
+    std::printf("\n'worst gap' = worst online makespan / HILP "
+                "makespan. Values above 1\nquantify how much naive "
+                "runtime scheduling leaves on the table,\nwhich is "
+                "why SoC comparisons must use near-optimal "
+                "schedules.\n");
+}
+
+void
+BM_OnlineScheduler(benchmark::State &state)
+{
+    auto wl = workload::makeWorkload(workload::Variant::Default);
+    arch::SocConfig soc;
+    soc.cpuCores = 4;
+    soc.gpuSms = 16;
+    ProblemSpec spec = buildProblem(wl, soc, arch::Constraints{});
+    for (auto _ : state) {
+        sim::SimResult result = sim::runOnlineScheduler(spec);
+        benchmark::DoNotOptimize(result.makespanS);
+    }
+}
+BENCHMARK(BM_OnlineScheduler)->Unit(benchmark::kMillisecond);
+
+void
+BM_ReplayValidation(benchmark::State &state)
+{
+    auto wl = workload::makeWorkload(workload::Variant::Default);
+    arch::SocConfig soc;
+    soc.cpuCores = 4;
+    soc.gpuSms = 16;
+    ProblemSpec spec = buildProblem(wl, soc, arch::Constraints{});
+    EngineOptions engine = EngineOptions::explorationMode();
+    engine.solver.maxSeconds = 1.0;
+    EvalResult offline = evaluate(spec, engine);
+    for (auto _ : state) {
+        sim::SimResult result =
+            sim::replaySchedule(spec, offline.schedule);
+        benchmark::DoNotOptimize(result.ok);
+    }
+}
+BENCHMARK(BM_ReplayValidation)->Unit(benchmark::kMillisecond);
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    emitGap();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

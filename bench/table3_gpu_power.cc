@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Table III: GPU power versus clock frequency. Prints the embedded
+ * operating points with the derived per-SM power (total / 128) and
+ * refits the power-vs-SM-count law at each frequency, reproducing
+ * the table's (a, b, r2) columns (b ~ 1: power is linear in SMs).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "arch/dvfs.hh"
+#include "common.hh"
+#include "support/powerlaw.hh"
+#include "support/table.hh"
+
+namespace {
+
+using namespace hilp;
+
+const std::vector<double> kMigSms = {14, 28, 42, 56, 98};
+
+void
+emitTable()
+{
+    bench::banner(
+        "Table III - GPU power scaling",
+        "Embedded operating points; per-SM power = total / 128 SMs.\n"
+        "Per frequency we regenerate power-vs-SM samples (normalized\n"
+        "to 14 SMs) and refit the power law; b ~ 1 as in the paper.");
+
+    Table table({"clock (MHz)", "all SMs (W)", "per-SM (W)", "fit a",
+                 "fit b", "fit r2"});
+    for (const auto &point : arch::gpuOperatingPoints()) {
+        // Power normalized to the 14-SM configuration is S/14: the
+        // fit recovers b = 1, a = 1/14 = 0.07, as in Table III.
+        std::vector<double> ys;
+        for (double sms : kMigSms)
+            ys.push_back(arch::gpuPowerW(static_cast<int>(sms),
+                                         point.clockMhz) /
+                         arch::gpuPowerW(14, point.clockMhz));
+        PowerLaw fit = fitPowerLaw(kMigSms, ys);
+        table.addRow(RowBuilder()
+                         .cell(static_cast<int64_t>(point.clockMhz))
+                         .cell(point.allSmsPowerW, 1)
+                         .cell(point.perSmPowerW(), 1)
+                         .cell(fit.a, 2)
+                         .cell(fit.b, 2)
+                         .cell(fit.r2, 2)
+                         .take());
+    }
+    table.print();
+
+    bench::section("derived accelerator power checks (Section V/VI)");
+    Table checks({"check", "value (W)", "paper"});
+    checks.setAlign(0, Table::Align::Left);
+    checks.setAlign(2, Table::Align::Left);
+    checks.addRow(RowBuilder()
+                      .cell(std::string("64-SM GPU @ 300 MHz"))
+                      .cell(arch::gpuPowerW(64, 300), 1)
+                      .cell(std::string("<= 50 W (dark silicon cap)"))
+                      .take());
+    checks.addRow(RowBuilder()
+                      .cell(std::string("64-SM GPU @ 360 MHz"))
+                      .cell(arch::gpuPowerW(64, 360), 1)
+                      .cell(std::string("> 50 W"))
+                      .take());
+    checks.addRow(RowBuilder()
+                      .cell(std::string("16-SM GPU @ 210 MHz"))
+                      .cell(arch::gpuPowerW(16, 210), 1)
+                      .cell(std::string("~10 W (16-SM low point)"))
+                      .take());
+    checks.addRow(RowBuilder()
+                      .cell(std::string("16-SM GPU @ 765 MHz"))
+                      .cell(arch::gpuPowerW(16, 765), 1)
+                      .cell(std::string("~24 W (16-SM high point)"))
+                      .take());
+    checks.print();
+}
+
+void
+BM_GpuPowerLookup(benchmark::State &state)
+{
+    for (auto _ : state) {
+        double watts = arch::gpuPowerW(64, 480);
+        benchmark::DoNotOptimize(watts);
+    }
+}
+BENCHMARK(BM_GpuPowerLookup);
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    emitTable();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

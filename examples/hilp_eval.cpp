@@ -1,0 +1,218 @@
+/**
+ * @file
+ * hilp_eval: a command-line front end for HILP.
+ *
+ * Evaluates a workload on an SoC and prints the near-optimal
+ * schedule, its optimality bound, and the WLP metric - without
+ * writing any C++. Workloads are the built-in Rodinia variants or a
+ * CSV file in the workload/io.hh format; SoCs use the paper's
+ * "(c4,g16,d2^16)" labels.
+ *
+ * Usage:
+ *   hilp_eval [options]
+ *     --workload rodinia|default|optimized|<file.csv>
+ *     --soc "(c4,g16,d2^16)"      SoC configuration label
+ *     --power <watts>             power budget (default 600)
+ *     --bandwidth <GB/s>          memory bandwidth (default 800)
+ *     --advantage <x>             DSA efficiency advantage (default 4)
+ *     --mode validation|exploration  engine preset (default expl.)
+ *     --budget <seconds>          solver budget per solve (default 2)
+ *     --model hilp|ma|gables      performance model (default hilp)
+ *     --gantt                     print the schedule Gantt chart
+ *
+ * Examples:
+ *   hilp_eval --soc "(c4,g16,d2^16)" --workload default --gantt
+ *   hilp_eval --soc "(c4,g64,d0^0)" --power 50 --mode validation
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "arch/parse.hh"
+#include "baselines/gables.hh"
+#include "baselines/multiamdahl.hh"
+#include "hilp/builder.hh"
+#include "hilp/engine.hh"
+#include "hilp/export.hh"
+#include "support/logging.hh"
+#include "support/str.hh"
+#include "workload/io.hh"
+#include "workload/rodinia.hh"
+
+using namespace hilp;
+
+namespace {
+
+struct CliOptions
+{
+    std::string workload = "default";
+    std::string soc = "(c4,g16,d2^16)";
+    double powerW = 600.0;
+    double bandwidthGBs = 800.0;
+    double advantage = 4.0;
+    std::string mode = "exploration";
+    double budgetS = 2.0;
+    std::string model = "hilp";
+    bool gantt = false;
+    bool json = false;
+    int copies = 1;
+};
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+        "usage: %s [--workload rodinia|default|optimized|file.csv]\n"
+        "          [--soc \"(c4,g16,d2^16)\"] [--power W]\n"
+        "          [--bandwidth GB/s] [--advantage x]\n"
+        "          [--mode validation|exploration] [--budget s]\n"
+        "          [--model hilp|ma|gables] [--gantt] [--json]\n"
+        "          [--copies n]\n", argv0);
+    std::exit(2);
+}
+
+CliOptions
+parseArgs(int argc, char **argv)
+{
+    CliOptions options;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--workload") {
+            options.workload = value();
+        } else if (arg == "--soc") {
+            options.soc = value();
+        } else if (arg == "--power") {
+            options.powerW = std::atof(value().c_str());
+        } else if (arg == "--bandwidth") {
+            options.bandwidthGBs = std::atof(value().c_str());
+        } else if (arg == "--advantage") {
+            options.advantage = std::atof(value().c_str());
+        } else if (arg == "--mode") {
+            options.mode = value();
+        } else if (arg == "--budget") {
+            options.budgetS = std::atof(value().c_str());
+        } else if (arg == "--model") {
+            options.model = toLower(value());
+        } else if (arg == "--gantt") {
+            options.gantt = true;
+        } else if (arg == "--json") {
+            options.json = true;
+        } else if (arg == "--copies") {
+            options.copies = std::atoi(value().c_str());
+        } else {
+            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+            usage(argv[0]);
+        }
+    }
+    return options;
+}
+
+workload::Workload
+loadWorkload(const std::string &spec, int copies)
+{
+    std::string lowered = toLower(spec);
+    if (lowered == "rodinia")
+        return workload::makeWorkload(workload::Variant::Rodinia,
+                                      copies);
+    if (lowered == "default")
+        return workload::makeWorkload(workload::Variant::Default,
+                                      copies);
+    if (lowered == "optimized")
+        return workload::makeWorkload(workload::Variant::Optimized,
+                                      copies);
+    std::ifstream file(spec);
+    if (!file)
+        fatal("cannot open workload file '%s'", spec.c_str());
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    workload::ParseResult parsed =
+        workload::workloadFromCsv(buffer.str(), spec);
+    if (!parsed.ok)
+        fatal("failed to parse '%s': %s", spec.c_str(),
+              parsed.error.c_str());
+    return parsed.workload;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    CliOptions cli = parseArgs(argc, argv);
+
+    workload::Workload wl = loadWorkload(cli.workload, cli.copies);
+    double reference = workload::sequentialCpuTimeS(wl);
+
+    arch::SocParseResult soc = arch::parseSocName(
+        cli.soc, workload::dsaPriorityOrder(), cli.advantage);
+    if (!soc.ok)
+        fatal("bad --soc '%s': %s", cli.soc.c_str(),
+              soc.error.c_str());
+
+    arch::Constraints constraints;
+    constraints.powerBudgetW = cli.powerW;
+    constraints.memory.bandwidthGBs = cli.bandwidthGBs;
+
+    ProblemSpec spec = buildProblem(wl, soc.config, constraints);
+    std::string issue = spec.validate();
+    if (!issue.empty())
+        fatal("workload is unschedulable on this SoC: %s",
+              issue.c_str());
+
+    std::printf("workload : %s (%d phases, sequential ref %.1f s)\n",
+                wl.name.c_str(), spec.numPhases(), reference);
+    std::printf("soc      : %s (area %.1f mm2)\n",
+                soc.config.name().c_str(), soc.config.areaMm2());
+    std::printf("budgets  : %.0f W, %.0f GB/s\n\n", cli.powerW,
+                cli.bandwidthGBs);
+
+    if (cli.model == "ma") {
+        baselines::MaResult result =
+            baselines::evaluateMultiAmdahl(spec);
+        if (!result.ok)
+            fatal("MultiAmdahl could not schedule the workload");
+        std::printf("MultiAmdahl: %.1f s (speedup %.2f, WLP 1.0)\n",
+                    result.makespanS, reference / result.makespanS);
+        if (cli.gantt)
+            std::printf("\n%s", result.schedule.gantt().c_str());
+        return 0;
+    }
+
+    EngineOptions engine = cli.mode == "validation"
+        ? EngineOptions::validationMode()
+        : EngineOptions::explorationMode();
+    engine.solver.maxSeconds = cli.budgetS;
+    engine.escalations = 1;
+
+    EvalResult result = cli.model == "gables"
+        ? baselines::evaluateGables(spec, engine)
+        : evaluate(spec, engine);
+    if (!result.ok)
+        fatal("no schedule found within the horizon");
+
+    std::printf("%-8s : %.1f s (speedup %.2f)\n",
+                cli.model == "gables" ? "Gables" : "HILP",
+                result.makespanS, reference / result.makespanS);
+    std::printf("bound    : %.1f s (gap %.1f%%, %s)\n",
+                result.lowerBoundS, result.gap * 100.0,
+                cp::toString(result.status));
+    std::printf("avg WLP  : %.2f (peak %d)\n", result.averageWlp,
+                result.schedule.peakWlp());
+    std::printf("step     : %.3g s (%d refinements)\n", result.stepS,
+                result.refinements);
+    if (cli.gantt)
+        std::printf("\n%s", result.schedule.gantt().c_str());
+    if (cli.json)
+        std::printf("\n%s\n",
+                    evalResultToJson(result).dump(2).c_str());
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Example: power budgeting a fixed SoC (the dark-silicon use case).
+ *
+ * Takes one SoC - four CPU cores and a 64-SM GPU - and asks HILP how
+ * the Optimized Rodinia workload degrades as the chip's power budget
+ * shrinks, and which DVFS operating points the near-optimal
+ * schedules select. This is Section V's dark-silicon experiment
+ * turned into a "what budget does my chip need?" workflow.
+ *
+ * Run: ./build/examples/power_budgeting
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "hilp/builder.hh"
+#include "hilp/engine.hh"
+#include "support/table.hh"
+#include "workload/rodinia.hh"
+
+using namespace hilp;
+
+int
+main()
+{
+    auto wl = workload::makeWorkload(workload::Variant::Optimized);
+    double reference = workload::sequentialCpuTimeS(wl);
+
+    arch::SocConfig soc;
+    soc.cpuCores = 4;
+    soc.gpuSms = 64;
+
+    EngineOptions options = EngineOptions::validationMode();
+    options.solver.maxSeconds = 6.0;
+    options.escalations = 1;
+
+    std::printf("workload: %s (sequential reference %.0f s)\n",
+                wl.name.c_str(), reference);
+    std::printf("SoC: %s\n\n", soc.name().c_str());
+
+    Table table({"p_max (W)", "makespan (s)", "speedup", "gap",
+                 "top GPU clock used (MHz)"});
+    for (double watts : {40.0, 50.0, 75.0, 100.0, 150.0, 600.0}) {
+        arch::Constraints constraints;
+        constraints.powerBudgetW = watts;
+        ProblemSpec spec = buildProblem(wl, soc, constraints);
+        if (!spec.validate().empty()) {
+            std::printf("%5.0f W: workload unschedulable\n", watts);
+            continue;
+        }
+        EvalResult result = evaluate(spec, options);
+        if (!result.ok)
+            continue;
+        // Which operating points did the schedule actually use?
+        int top_clock = 0;
+        for (const ScheduledPhase &phase : result.schedule.phases) {
+            auto at = phase.unitLabel.find('@');
+            if (phase.unitLabel.rfind("GPU", 0) == 0 &&
+                at != std::string::npos) {
+                top_clock = std::max(
+                    top_clock,
+                    std::atoi(phase.unitLabel.c_str() + at + 1));
+            }
+        }
+        table.addRow(RowBuilder()
+                         .cell(watts, 0)
+                         .cell(result.makespanS, 1)
+                         .cell(reference / result.makespanS, 2)
+                         .cell(result.gap, 3)
+                         .cell(static_cast<int64_t>(top_clock))
+                         .take());
+    }
+    table.print();
+
+    std::printf("\nThe 50 W row shows the paper's dark-silicon "
+                "anecdote: the budget\ncaps the 64-SM GPU's clock "
+                "(48.6 W at 300 MHz) and the schedule\nserializes "
+                "around it.\n");
+    return 0;
+}

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Example: modeling a custom application with a dependency graph
+ * (the Section VII extensibility story).
+ *
+ * Builds the streaming-dataflow application of Figure 9 by hand -
+ * three pinned data sources forking into a fusion phase, fanning out
+ * to three compute phases, and joining in post-processing - and uses
+ * HILP to compare three candidate SoCs for it (Figure 10).
+ *
+ * Run: ./build/examples/streaming_dataflow
+ */
+
+#include <cstdio>
+
+#include "hilp/engine.hh"
+#include "hilp/problem.hh"
+#include "support/str.hh"
+
+using namespace hilp;
+
+namespace {
+
+/**
+ * Build one SDA instance from scratch to show the raw ProblemSpec
+ * API (the showcase library provides makeSdaProblem() for the same
+ * thing). cpu_speed and gpu_speed scale the respective unit's
+ * throughput.
+ */
+ProblemSpec
+buildSda(int samples, double cpu_speed, double gpu_speed)
+{
+    ProblemSpec spec;
+    spec.name = format("SDA x%d (cpu %.1fx, gpu %.1fx)", samples,
+                       cpu_speed, gpu_speed);
+    spec.cpuCores = 1.0;
+    spec.deviceNames = {"GPU", "DSA1", "DSA2", "DSA3"};
+
+    auto cpu = [&](double seconds) {
+        UnitOption option;
+        option.label = "CPU";
+        option.device = kCpuPool;
+        option.timeS = seconds / cpu_speed;
+        option.powerW = 1.0;
+        option.cpuCores = 1.0;
+        return option;
+    };
+    auto gpu = [&](double seconds) {
+        UnitOption option;
+        option.label = "GPU";
+        option.device = 0;
+        option.timeS = seconds / gpu_speed;
+        option.powerW = 3.0;
+        return option;
+    };
+    auto dsa = [&](int which, double seconds) {
+        UnitOption option;
+        option.label = format("DSA%d", which);
+        option.device = which;
+        option.timeS = seconds;
+        option.powerW = 2.0;
+        return option;
+    };
+
+    for (int s = 0; s < samples; ++s) {
+        AppSpec app;
+        app.name = format("sample%d", s);
+        // Phases 0-2: the data sources, pinned to their DSAs.
+        for (int d = 1; d <= 3; ++d)
+            app.phases.push_back(
+                {format("s%d.DS%d", s, d), {dsa(d, 4.0)}});
+        // Phase 3: data fusion on the CPU.
+        app.phases.push_back({format("s%d.DF", s), {cpu(2.0)}});
+        // Phases 4-6: the compute phases, CPU or GPU.
+        app.phases.push_back(
+            {format("s%d.C1", s), {cpu(4.0), gpu(2.0)}});
+        app.phases.push_back(
+            {format("s%d.C2", s), {cpu(6.0), gpu(3.0)}});
+        app.phases.push_back(
+            {format("s%d.C3", s), {cpu(4.0), gpu(2.0)}});
+        // Phase 7: post-processing, CPU or GPU.
+        app.phases.push_back(
+            {format("s%d.PP", s), {cpu(2.0), gpu(1.0)}});
+        // The Figure 9 DAG (Eq. 9 in the paper).
+        app.deps = {{0, 3}, {1, 3}, {2, 3},
+                    {3, 4}, {3, 5}, {3, 6},
+                    {4, 7}, {5, 7}, {6, 7}};
+        spec.apps.push_back(std::move(app));
+    }
+    return spec;
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    EngineOptions options;
+    options.initialStepS = 0.5;
+    options.horizonSteps = 128;
+    options.maxRefinements = 0;
+    options.solver.targetGap = 0.0;
+    options.solver.maxSeconds = 10.0;
+
+    struct Candidate
+    {
+        const char *label;
+        double cpuSpeed;
+        double gpuSpeed;
+    };
+    const Candidate candidates[] = {
+        {"baseline (c1,g8,d3^1)", 1.0, 1.0},
+        {"2x faster CPU", 2.0, 1.0},
+        {"2x GPU SMs", 1.0, 2.0},
+    };
+
+    for (const Candidate &candidate : candidates) {
+        ProblemSpec spec =
+            buildSda(2, candidate.cpuSpeed, candidate.gpuSpeed);
+        EvalResult result = evaluate(spec, options);
+        std::printf("== %s ==\n", candidate.label);
+        if (!result.ok) {
+            std::printf("no schedule found\n\n");
+            continue;
+        }
+        std::printf("makespan %.1f s (%s), avg WLP %.2f\n",
+                    result.makespanS, cp::toString(result.status),
+                    result.averageWlp);
+        std::printf("%s\n", result.schedule.gantt().c_str());
+    }
+    std::printf("Both upgrades pipeline sample i+1 under sample i,\n"
+                "meeting the design objective of Section VII.\n");
+    return 0;
+}

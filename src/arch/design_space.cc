@@ -1,0 +1,42 @@
+#include "design_space.hh"
+
+#include "support/logging.hh"
+
+namespace hilp {
+namespace arch {
+
+std::vector<SocConfig>
+enumerateDesignSpace(const DesignSpace &space,
+                     const std::vector<int> &dsa_priority)
+{
+    hilp_assert(space.maxDsas <= static_cast<int>(dsa_priority.size()));
+    std::vector<SocConfig> configs;
+    for (int cpus : space.cpuOptions) {
+        for (int sms : space.gpuOptions) {
+            for (int num_dsas = 0; num_dsas <= space.maxDsas;
+                 ++num_dsas) {
+                if (num_dsas == 0) {
+                    SocConfig config;
+                    config.cpuCores = cpus;
+                    config.gpuSms = sms;
+                    config.dsaAdvantage = space.dsaAdvantage;
+                    configs.push_back(config);
+                    continue;
+                }
+                for (int pes : space.peOptions) {
+                    SocConfig config;
+                    config.cpuCores = cpus;
+                    config.gpuSms = sms;
+                    config.dsaAdvantage = space.dsaAdvantage;
+                    for (int d = 0; d < num_dsas; ++d)
+                        config.dsas.push_back({pes, dsa_priority[d]});
+                    configs.push_back(config);
+                }
+            }
+        }
+    }
+    return configs;
+}
+
+} // namespace arch
+} // namespace hilp

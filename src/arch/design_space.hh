@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Enumeration of the Section VI SoC design space.
+ *
+ * The paper sweeps SoCs with 1/2/4 CPU cores, an optional GPU with
+ * 4/16/64 SMs, and 0-10 DSAs with 1/4/16 PEs each. DSAs are
+ * allocated to applications in descending order of CPU compute-phase
+ * time, and every DSA in a config has the same PE count, which yields
+ * exactly 372 configurations.
+ */
+
+#ifndef HILP_ARCH_DESIGN_SPACE_HH
+#define HILP_ARCH_DESIGN_SPACE_HH
+
+#include <vector>
+
+#include "soc.hh"
+
+namespace hilp {
+namespace arch {
+
+/**
+ * Parameters of a design-space sweep; the defaults are the paper's
+ * Section VI space.
+ */
+struct DesignSpace
+{
+    std::vector<int> cpuOptions = {1, 2, 4};
+    /** GPU SM counts; 0 means "no GPU" and is a valid option. */
+    std::vector<int> gpuOptions = {0, 4, 16, 64};
+    /** DSA counts swept from 0 to maxDsas inclusive. */
+    int maxDsas = 10;
+    std::vector<int> peOptions = {1, 4, 16};
+    double dsaAdvantage = 4.0;
+};
+
+/**
+ * Enumerate every SoC in the space. dsa_priority lists the workload
+ * target identifiers in allocation order (most deserving first); a
+ * k-DSA SoC accelerates the first k targets. Configurations with
+ * zero DSAs are emitted once (the PE count is meaningless there).
+ * With the default space and a 10-entry priority list this produces
+ * the paper's 372 configurations.
+ */
+std::vector<SocConfig> enumerateDesignSpace(
+    const DesignSpace &space, const std::vector<int> &dsa_priority);
+
+} // namespace arch
+} // namespace hilp
+
+#endif // HILP_ARCH_DESIGN_SPACE_HH

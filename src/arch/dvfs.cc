@@ -1,0 +1,51 @@
+#include "dvfs.hh"
+
+#include "support/logging.hh"
+
+namespace hilp {
+namespace arch {
+
+const std::vector<GpuOperatingPoint> &
+gpuOperatingPoints()
+{
+    // Table III: clock (MHz) and measured all-SM power (W).
+    static const std::vector<GpuOperatingPoint> points = {
+        {210, 77.2},
+        {240, 83.5},
+        {300, 97.1},
+        {360, 105.1},
+        {420, 119.9},
+        {480, 129.5},
+        {540, 139.8},
+        {600, 153.6},
+        {660, 164.0},
+        {705, 172.9},
+        {765, 185.4},
+    };
+    return points;
+}
+
+const GpuOperatingPoint &
+gpuOperatingPoint(int clock_mhz)
+{
+    for (const GpuOperatingPoint &point : gpuOperatingPoints())
+        if (point.clockMhz == clock_mhz)
+            return point;
+    fatal("unknown GPU operating point: %d MHz", clock_mhz);
+}
+
+double
+gpuPowerW(int sms, int clock_mhz)
+{
+    hilp_assert(sms >= 0);
+    return sms * gpuOperatingPoint(clock_mhz).perSmPowerW();
+}
+
+double
+dsaPowerW(int pes, int clock_mhz)
+{
+    return gpuPowerW(pes, clock_mhz);
+}
+
+} // namespace arch
+} // namespace hilp

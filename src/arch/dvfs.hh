@@ -1,0 +1,66 @@
+/**
+ * @file
+ * GPU DVFS operating points and the accelerator power model.
+ *
+ * This is Table III of the paper: worst-case A100 power consumption
+ * measured with gpu-burn at every available core clock frequency.
+ * The paper derives per-SM power by dividing the measured total by
+ * the GA100's 128 SMs (the table's own per-SM column), and HILP's
+ * idealized DVFS lets the solver pick the operating point per phase.
+ *
+ * DSAs use the same curves scaled down by their efficiency advantage
+ * (Section IV: "the DSAs hence use the same performance and bandwidth
+ * curves as the GPU but only a quarter of the power and area").
+ */
+
+#ifndef HILP_ARCH_DVFS_HH
+#define HILP_ARCH_DVFS_HH
+
+#include <vector>
+
+namespace hilp {
+namespace arch {
+
+/** One row of Table III: a GPU clock and its measured power. */
+struct GpuOperatingPoint
+{
+    int clockMhz = 0;        //!< Core clock frequency.
+    double allSmsPowerW = 0; //!< Measured worst-case power, all SMs.
+
+    /** Per-SM power: measured total divided by the GA100's 128 SMs. */
+    double perSmPowerW() const { return allSmsPowerW / 128.0; }
+};
+
+/** The number of SMs in the full GA100 die (the per-SM divisor). */
+inline constexpr int kGa100Sms = 128;
+
+/** Baseline GPU clock used for the Table II profiles. */
+inline constexpr int kBaseClockMhz = 765;
+
+/** The full Table III operating-point list, ascending clock. */
+const std::vector<GpuOperatingPoint> &gpuOperatingPoints();
+
+/** The operating point for a given clock; fatal() on unknown clocks. */
+const GpuOperatingPoint &gpuOperatingPoint(int clock_mhz);
+
+/**
+ * GPU power at a clock and SM count: sms * perSmPower(clock).
+ * Reproduces the paper's dark-silicon behaviour (a 50 W budget caps
+ * a 64-SM GPU at 300 MHz).
+ */
+double gpuPowerW(int sms, int clock_mhz);
+
+/**
+ * DSA power: a PE draws the power of one GPU SM (while performing
+ * like `advantage` SMs), so an equal-performance DSA consumes
+ * 1/advantage of the GPU's power, per Section IV.
+ */
+double dsaPowerW(int pes, int clock_mhz);
+
+/** Per-core CPU power: 225 W TDP over 32 cores (Section IV). */
+inline constexpr double kCpuCorePowerW = 7.0;
+
+} // namespace arch
+} // namespace hilp
+
+#endif // HILP_ARCH_DVFS_HH

@@ -1,0 +1,38 @@
+#include "soc.hh"
+
+#include "support/logging.hh"
+#include "support/str.hh"
+
+namespace hilp {
+namespace arch {
+
+double
+SocConfig::areaMm2() const
+{
+    double area = cpuCores * kCpuCoreAreaMm2 + gpuSms * kGpuSmAreaMm2;
+    for (const DsaSpec &dsa : dsas)
+        area += dsa.pes * kGpuSmAreaMm2;
+    return area;
+}
+
+std::string
+SocConfig::name() const
+{
+    int pes = dsas.empty() ? 0 : dsas.front().pes;
+    return format("(c%d,g%d,d%zu^%d)", cpuCores, gpuSms, dsas.size(),
+                  pes);
+}
+
+bool
+SocConfig::valid() const
+{
+    if (cpuCores < 1 || gpuSms < 0 || dsaAdvantage <= 0.0)
+        return false;
+    for (const DsaSpec &dsa : dsas)
+        if (dsa.pes < 1)
+            return false;
+    return true;
+}
+
+} // namespace arch
+} // namespace hilp

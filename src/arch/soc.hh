@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The SoC architecture template of Figure 4: a configurable number
+ * of CPU cores, an optional GPU with a configurable number of SMs,
+ * and a set of DSAs with configurable processing-element counts,
+ * all behind shared memory with a bandwidth limit and a chip-wide
+ * power budget.
+ */
+
+#ifndef HILP_ARCH_SOC_HH
+#define HILP_ARCH_SOC_HH
+
+#include <string>
+#include <vector>
+
+namespace hilp {
+namespace arch {
+
+/** Die-area model constants (Section IV, 7 nm estimates). */
+inline constexpr double kCpuCoreAreaMm2 = 16.6; //!< EPYC 7763 per core.
+inline constexpr double kGpuSmAreaMm2 = 6.5;    //!< GA100 per SM.
+
+/**
+ * One DSA instance: a processing-element count and the workload
+ * target it accelerates. The target is an opaque identifier that the
+ * workload layer resolves to a benchmark's compute phase; the paper
+ * gives each accelerated application its own DSA.
+ *
+ * DSA semantics (reverse-engineered from the paper's published area
+ * figures, see DESIGN.md): one PE has the area and power of one GPU
+ * SM but delivers the performance of `dsaAdvantage` SMs. At the
+ * default 4x advantage a DSA therefore matches an equally-performing
+ * GPU at a quarter of the power and area, exactly as Section IV
+ * describes, and the labelled areas of Figure 7's headline SoCs are
+ * reproduced to the decimal.
+ */
+struct DsaSpec
+{
+    int pes = 1;     //!< Processing elements (the DSA's "SM count").
+    int target = -1; //!< Workload-defined identifier of the
+                     //!< accelerated compute phase family.
+};
+
+/**
+ * A point in the SoC design space.
+ */
+struct SocConfig
+{
+    int cpuCores = 1;          //!< Number of CPU cores (>= 1).
+    int gpuSms = 0;            //!< GPU SM count; 0 means no GPU.
+    std::vector<DsaSpec> dsas; //!< The DSAs, one per accelerated app.
+    /**
+     * DSA efficiency advantage over the GPU: DSAs deliver GPU
+     * performance at 1/advantage of the power and area (4x default
+     * per Section IV).
+     */
+    double dsaAdvantage = 4.0;
+
+    /** Total die area under the Section IV area model. */
+    double areaMm2() const;
+
+    /**
+     * The paper's configuration label (c_i, g_j, d_k^l), e.g.
+     * "(c4,g16,d2^16)". The PE superscript is that of the first DSA
+     * (the paper always gives all DSAs the same PE count) and 0 when
+     * there are no DSAs.
+     */
+    std::string name() const;
+
+    /** True when the config is structurally sane. */
+    bool valid() const;
+};
+
+/**
+ * Shared-memory parameters: HBM3 with 800 GB/s at 7 pJ/bit unless
+ * the experiment overrides them (Section IV).
+ */
+struct MemorySpec
+{
+    double bandwidthGBs = 800.0; //!< Peak bandwidth b_max.
+    double pjPerBit = 7.0;       //!< Access energy.
+
+    /**
+     * Memory power per GB/s of sustained traffic:
+     * pJ/bit * 8e9 bit/GB = 0.056 W per GB/s at 7 pJ/bit.
+     */
+    double
+    wattsPerGBs() const
+    {
+        return pjPerBit * 1e-12 * 8e9;
+    }
+};
+
+/**
+ * A cache-level bandwidth limit (the Section VII memory-hierarchy
+ * extension). Traffic at the level is modeled as the phase's DRAM
+ * traffic scaled by an amplification factor (hits that never reach
+ * DRAM still consume cache bandwidth).
+ */
+struct CacheLevel
+{
+    std::string name = "LLC";
+    double bandwidthGBs = 0.0;        //!< Level bandwidth limit.
+    double trafficAmplification = 3.0; //!< Level traffic / DRAM traffic.
+};
+
+/**
+ * Chip-level constraints applied to every schedule: the power budget
+ * p_max and the memory subsystem (whose bandwidth is b_max).
+ */
+struct Constraints
+{
+    double powerBudgetW = 600.0; //!< p_max (600 W default, Section IV).
+    MemorySpec memory;           //!< b_max and access energy.
+    /**
+     * Optional cache-level bandwidth limits (Section VII). Empty by
+     * default: the paper's core model stops at DRAM bandwidth.
+     */
+    std::vector<CacheLevel> cacheLevels;
+};
+
+} // namespace arch
+} // namespace hilp
+
+#endif // HILP_ARCH_SOC_HH

@@ -1,0 +1,60 @@
+#include "gables.hh"
+
+#include <algorithm>
+
+#include "cp/bounds.hh"
+#include "hilp/discretize.hh"
+#include "support/logging.hh"
+
+namespace hilp {
+namespace baselines {
+
+ProblemSpec
+gablesTransform(const ProblemSpec &spec)
+{
+    ProblemSpec transformed = spec;
+    transformed.name = spec.name + " [Gables]";
+    for (AppSpec &app : transformed.apps) {
+        app.deps.clear();
+        app.independentPhases = true;
+    }
+    transformed.powerBudgetW = kUnlimited;
+    return transformed;
+}
+
+EvalResult
+evaluateGables(const ProblemSpec &spec, const EngineOptions &options)
+{
+    return evaluate(gablesTransform(spec), options);
+}
+
+double
+evaluateGablesAnalyticS(const ProblemSpec &spec, double step_s)
+{
+    ProblemSpec transformed = gablesTransform(spec);
+    std::string issue = transformed.validate();
+    if (!issue.empty())
+        fatal("invalid spec for analytic Gables: %s", issue.c_str());
+
+    // Pick a resolution fine enough that ceil rounding is noise: a
+    // thousandth of the longest single-option time.
+    if (step_s <= 0.0) {
+        double longest = 0.0;
+        for (const AppSpec &app : transformed.apps)
+            for (const PhaseSpec &phase : app.phases)
+                for (const UnitOption &option : phase.options)
+                    longest = std::max(longest, option.timeS);
+        step_s = std::max(longest / 1000.0, 1e-6);
+    }
+    // The horizon does not constrain the LP relaxation; keep it
+    // token-sized.
+    DiscretizedProblem problem = discretize(transformed, step_s, 1);
+    cp::LowerBounds bounds =
+        cp::computeLowerBounds(problem.model, true);
+    if (bounds.lpRelaxation <= 0 && bounds.best() <= 0)
+        return 0.0;
+    return static_cast<double>(bounds.best()) * step_s;
+}
+
+} // namespace baselines
+} // namespace hilp

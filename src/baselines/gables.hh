@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The parallel-mode Gables baseline [Hill & Reddi, HPCA 2019].
+ *
+ * Gables' fully parallel mode assumes the workload is embarrassingly
+ * parallel: phase dependencies are discarded entirely and every
+ * phase may run as soon as a compatible unit is free (the
+ * maximal-WLP extreme of the paper's Figure 2). Units still
+ * serialize their own work and the bandwidth roofline still applies,
+ * but Gables has no notion of a chip power budget, so the power
+ * constraint is dropped (the paper levels the comparison the same
+ * way in Section VI).
+ *
+ * Implementation: the HILP engine runs on a transformed spec with
+ * all dependencies removed and the power budget lifted.
+ */
+
+#ifndef HILP_BASELINES_GABLES_HH
+#define HILP_BASELINES_GABLES_HH
+
+#include "hilp/engine.hh"
+#include "hilp/problem.hh"
+
+namespace hilp {
+namespace baselines {
+
+/** The dependency-free, power-unconstrained transform of a spec. */
+ProblemSpec gablesTransform(const ProblemSpec &spec);
+
+/** Evaluate the workload under parallel-mode Gables semantics. */
+EvalResult evaluateGables(const ProblemSpec &spec,
+                          const EngineOptions &options);
+
+/**
+ * Closed-form parallel-mode Gables: the fractional roofline. Work
+ * may split fractionally across units and dependencies are ignored,
+ * so the result is the LP relaxation of the dependency-free
+ * scheduling problem - a provable lower bound on (and usually close
+ * to) the packing-based evaluateGables makespan, and the purest
+ * expression of Gables' "maximal WLP" optimism. Returns seconds, or
+ * a negative value when the relaxation is unbounded/failed.
+ */
+double evaluateGablesAnalyticS(const ProblemSpec &spec,
+                               double step_s = 0.0);
+
+} // namespace baselines
+} // namespace hilp
+
+#endif // HILP_BASELINES_GABLES_HH

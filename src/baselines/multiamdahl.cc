@@ -1,0 +1,113 @@
+#include "multiamdahl.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace hilp {
+namespace baselines {
+
+namespace {
+
+/**
+ * Topological order of one app's phases under its effective
+ * dependencies (chains come out in index order).
+ */
+std::vector<int>
+phaseOrder(const AppSpec &app)
+{
+    const int n = static_cast<int>(app.phases.size());
+    std::vector<std::vector<int>> succs(n);
+    std::vector<int> indegree(n, 0);
+    for (auto [from, to] : app.effectiveDeps()) {
+        succs[from].push_back(to);
+        ++indegree[to];
+    }
+    for (const StartLag &lag : app.effectiveStartLags()) {
+        succs[lag.from].push_back(lag.to);
+        ++indegree[lag.to];
+    }
+    std::vector<int> frontier;
+    for (int p = n - 1; p >= 0; --p)
+        if (indegree[p] == 0)
+            frontier.push_back(p);
+    std::vector<int> order;
+    while (!frontier.empty()) {
+        int p = frontier.back();
+        frontier.pop_back();
+        order.push_back(p);
+        for (int s : succs[p])
+            if (--indegree[s] == 0)
+                frontier.push_back(s);
+    }
+    hilp_assert(static_cast<int>(order.size()) == n);
+    return order;
+}
+
+} // anonymous namespace
+
+MaResult
+evaluateMultiAmdahl(const ProblemSpec &spec)
+{
+    MaResult result;
+    result.schedule.stepS = 0.0; // Continuous-time schedule.
+    result.schedule.deviceNames = spec.deviceNames;
+    result.schedule.cpuCores = spec.cpuCores;
+
+    double now = 0.0;
+    for (size_t a = 0; a < spec.apps.size(); ++a) {
+        const AppSpec &app = spec.apps[a];
+        std::vector<double> start(app.phases.size(), 0.0);
+        for (int p : phaseOrder(app)) {
+            const PhaseSpec &phase = app.phases[p];
+            // Initiation intervals can force idle gaps even in MA's
+            // sequential order.
+            for (const StartLag &lag : app.effectiveStartLags())
+                if (lag.to == p)
+                    now = std::max(now, start[lag.from] + lag.lagS);
+            // Fastest option whose standalone demands fit.
+            const UnitOption *best = nullptr;
+            for (const UnitOption &option : phase.options) {
+                if (option.powerW > spec.powerBudgetW ||
+                    option.bwGBs > spec.bandwidthGBs ||
+                    option.cpuCores > spec.cpuCores)
+                    continue;
+                bool fits_extra = true;
+                for (size_t r = 0; r < option.extraUsage.size(); ++r) {
+                    fits_extra = fits_extra &&
+                        option.extraUsage[r] <=
+                            spec.extraResources[r].capacity;
+                }
+                if (!fits_extra)
+                    continue;
+                if (!best || option.timeS < best->timeS)
+                    best = &option;
+            }
+            if (!best) {
+                result.ok = false;
+                return result;
+            }
+            ScheduledPhase placed;
+            placed.app = static_cast<int>(a);
+            placed.phase = p;
+            placed.name = phase.name;
+            placed.option = static_cast<int>(best - phase.options.data());
+            placed.unitLabel = best->label;
+            placed.device = best->device;
+            placed.startS = now;
+            start[p] = now;
+            placed.durationS = best->timeS;
+            placed.powerW = best->powerW;
+            placed.bwGBs = best->bwGBs;
+            placed.cpuCores = best->cpuCores;
+            result.schedule.phases.push_back(std::move(placed));
+            now += best->timeS;
+        }
+    }
+    result.ok = true;
+    result.makespanS = now;
+    return result;
+}
+
+} // namespace baselines
+} // namespace hilp

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The MultiAmdahl (MA) baseline [Zidenberg et al., CAL 2012].
+ *
+ * MA assumes a fixed sequential phase order: at most one application
+ * phase executes at any time (WLP = 1, the minimal-WLP extreme of
+ * the paper's Figure 2). Each phase runs on its fastest compatible
+ * unit whose standalone power and bandwidth demands fit the budgets,
+ * and the workload execution time is simply the sum of phase times.
+ * No discretization is needed; the result is exact in continuous
+ * time.
+ */
+
+#ifndef HILP_BASELINES_MULTIAMDAHL_HH
+#define HILP_BASELINES_MULTIAMDAHL_HH
+
+#include "hilp/problem.hh"
+#include "hilp/schedule.hh"
+
+namespace hilp {
+namespace baselines {
+
+/** Outcome of a MultiAmdahl evaluation. */
+struct MaResult
+{
+    bool ok = false;        //!< Every phase had a usable option.
+    double makespanS = 0.0; //!< Sum of phase times.
+    Schedule schedule;      //!< The sequential schedule (stepS = 0).
+
+    /** MA's WLP is 1 by construction. */
+    double averageWlp() const { return ok ? 1.0 : 0.0; }
+};
+
+/**
+ * Evaluate the workload under MA semantics. Phases execute app by
+ * app in dependency order; within each phase the fastest option that
+ * respects the power/bandwidth budgets in isolation is chosen.
+ */
+MaResult evaluateMultiAmdahl(const ProblemSpec &spec);
+
+} // namespace baselines
+} // namespace hilp
+
+#endif // HILP_BASELINES_MULTIAMDAHL_HH

@@ -1,0 +1,86 @@
+#include "exhaustive.hh"
+
+#include "support/logging.hh"
+
+namespace hilp {
+namespace cp {
+
+uint64_t
+exhaustiveSpaceSize(const Model &model)
+{
+    uint64_t total = 1;
+    for (int t = 0; t < model.numTasks(); ++t) {
+        uint64_t per_task =
+            static_cast<uint64_t>(model.task(t).modes.size()) *
+            static_cast<uint64_t>(model.horizon());
+        if (per_task == 0)
+            return 0;
+        if (total > UINT64_MAX / per_task)
+            return UINT64_MAX;
+        total *= per_task;
+    }
+    return total;
+}
+
+ExhaustiveResult
+solveExhaustively(const Model &model, uint64_t max_candidates)
+{
+    ExhaustiveResult result;
+    std::string issue = model.validate();
+    if (!issue.empty())
+        fatal("invalid model for exhaustive solve: %s",
+              issue.c_str());
+
+    const int n = model.numTasks();
+    if (n == 0) {
+        result.complete = true;
+        result.feasible = true;
+        result.optimum = 0;
+        return result;
+    }
+
+    ScheduleVec candidate;
+    candidate.tasks.assign(n, Assignment{});
+    std::vector<int> mode(n, 0);
+    std::vector<Time> start(n, 0);
+
+    for (;;) {
+        if (++result.candidates > max_candidates)
+            return result; // complete stays false.
+
+        bool in_horizon = true;
+        for (int t = 0; t < n && in_horizon; ++t) {
+            candidate.tasks[t] = {mode[t], start[t]};
+            in_horizon =
+                start[t] + model.task(t).modes[mode[t]].duration <=
+                model.horizon();
+        }
+        if (in_horizon && checkSchedule(model, candidate).empty()) {
+            Time makespan = candidate.makespan(model);
+            if (result.optimum < 0 || makespan < result.optimum) {
+                result.optimum = makespan;
+                result.best = candidate;
+                result.feasible = true;
+            }
+        }
+
+        // Advance the odometer over (start, mode) per task.
+        int t = 0;
+        for (; t < n; ++t) {
+            if (++start[t] < model.horizon())
+                break;
+            start[t] = 0;
+            if (++mode[t] <
+                static_cast<int>(model.task(t).modes.size()))
+                break;
+            mode[t] = 0;
+        }
+        if (t == n)
+            break;
+    }
+    result.complete = true;
+    return result;
+}
+
+} // namespace cp
+} // namespace hilp

@@ -1,0 +1,351 @@
+#include "search.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "bounds.hh"
+#include "support/logging.hh"
+#include "timetable.hh"
+
+namespace hilp {
+namespace cp {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/**
+ * All mutable search state lives here; the recursion mutates it with
+ * exact undo on backtrack.
+ */
+class Searcher
+{
+  public:
+    Searcher(const Model &model, const ScheduleVec *warm_start,
+             const SearchLimits &limits)
+        : model_(model),
+          limits_(limits),
+          table_(model),
+          cp_(criticalPathData(model)),
+          topo_(model.topologicalOrder()),
+          startTime_(Clock::now())
+    {
+        const int n = model.numTasks();
+        assign_.assign(n, Assignment{});
+        end_.assign(n, 0);
+        est_.assign(n, 0);
+        remainingPreds_.assign(n, 0);
+        for (int t = 0; t < n; ++t) {
+            remainingPreds_[t] =
+                static_cast<int>(model.predecessors(t).size()) +
+                static_cast<int>(model.lagPredecessors(t).size());
+        }
+        for (int t = 0; t < n; ++t)
+            if (remainingPreds_[t] == 0)
+                eligible_.push_back(t);
+
+        // Incremental energy bookkeeping: per resource, the minimum
+        // energy (usage * duration) each task must eventually commit
+        // and, per group, the minimum busy time of tasks pinned to
+        // that group. These give cheap per-node lower bounds.
+        minEnergy_.assign(n, std::vector<double>(
+            model.numResources(), 0.0));
+        remainingEnergy_.assign(model.numResources(), 0.0);
+        placedEnergy_.assign(model.numResources(), 0.0);
+        pinnedGroup_.assign(n, kNoGroup);
+        groupBusy_.assign(model.numGroups(), 0);
+        remainingPinned_.assign(model.numGroups(), 0);
+        for (int t = 0; t < n; ++t) {
+            const Task &task = model.task(t);
+            for (int r = 0; r < model.numResources(); ++r) {
+                double min_e = -1.0;
+                for (const Mode &mode : task.modes) {
+                    double e = mode.usage[r] *
+                        static_cast<double>(mode.duration);
+                    if (min_e < 0.0 || e < min_e)
+                        min_e = e;
+                }
+                minEnergy_[t][r] = std::max(0.0, min_e);
+                remainingEnergy_[r] += minEnergy_[t][r];
+            }
+            int group = task.modes[0].group;
+            bool pinned = group != kNoGroup;
+            for (const Mode &mode : task.modes)
+                pinned = pinned && mode.group == group;
+            if (pinned) {
+                pinnedGroup_[t] = group;
+                remainingPinned_[group] += model.minDuration(t);
+            }
+        }
+
+        ub_ = model.horizon() + 1;
+        if (warm_start) {
+            result_.foundSolution = true;
+            result_.best = *warm_start;
+            result_.bestMakespan = warm_start->makespan(model);
+            ub_ = result_.bestMakespan;
+        }
+    }
+
+    SearchResult
+    run()
+    {
+        if (gapReached())
+            stop_ = true;
+        else
+            dfs(0);
+        result_.exhausted = !stop_ && !limitHit_;
+        return result_;
+    }
+
+  private:
+    /** True when the incumbent already satisfies the target gap. */
+    bool
+    gapReached() const
+    {
+        if (!result_.foundSolution || limits_.targetGap <= 0.0)
+            return false;
+        if (result_.bestMakespan <= 0)
+            return true;
+        double gap =
+            static_cast<double>(result_.bestMakespan - limits_.lowerBound) /
+            static_cast<double>(result_.bestMakespan);
+        return gap <= limits_.targetGap;
+    }
+
+    /** Periodically poll the wall-clock and node budgets. */
+    bool
+    limitsExceeded()
+    {
+        if (result_.nodes >= limits_.maxNodes) {
+            limitHit_ = true;
+            return true;
+        }
+        if ((result_.nodes & 1023) == 0) {
+            double elapsed = std::chrono::duration<double>(
+                Clock::now() - startTime_).count();
+            if (elapsed >= limits_.maxSeconds) {
+                limitHit_ = true;
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /**
+     * Critical-path bound of the current partial schedule: scheduled
+     * tasks contribute their real finish, unscheduled ones their
+     * precedence-propagated earliest start plus tail.
+     */
+    Time
+    nodeBound(Time makespan)
+    {
+        Time bound = std::max(makespan, limits_.lowerBound);
+        // Resource energy: committed plus minimum remaining energy
+        // divided by capacity bounds any completion's makespan.
+        for (int r = 0; r < model_.numResources(); ++r) {
+            double cap = model_.capacity(r);
+            if (cap <= 0.0)
+                continue;
+            double energy = placedEnergy_[r] + remainingEnergy_[r];
+            bound = std::max(bound, static_cast<Time>(
+                std::ceil(energy / cap - 1e-9)));
+        }
+        // Group load: busy time already scheduled on the group plus
+        // the minimum durations still pinned to it.
+        for (int g = 0; g < model_.numGroups(); ++g) {
+            bound = std::max(bound, groupBusy_[g] +
+                             remainingPinned_[g]);
+        }
+        for (int t : topo_) {
+            if (assign_[t].scheduled())
+                continue;
+            Time est = cp_.head[t];
+            for (int p : model_.predecessors(t)) {
+                Time ready = assign_[p].scheduled()
+                    ? end_[p] : est_[p] + model_.minDuration(p);
+                est = std::max(est, ready);
+            }
+            for (const Model::LagEdge &edge :
+                 model_.lagPredecessors(t)) {
+                int p = edge.other;
+                Time p_start = assign_[p].scheduled()
+                    ? assign_[p].start : est_[p];
+                est = std::max(est, p_start + edge.lag);
+            }
+            est_[t] = est;
+            bound = std::max(bound, est + cp_.tail[t]);
+        }
+        return bound;
+    }
+
+    void
+    recordIncumbent(Time makespan)
+    {
+        result_.foundSolution = true;
+        result_.best.tasks = assign_;
+        result_.bestMakespan = makespan;
+        ub_ = makespan;
+        ++result_.solutions;
+        if (gapReached())
+            stop_ = true;
+    }
+
+    void
+    dfs(Time makespan)
+    {
+        ++result_.nodes;
+        if (stop_ || limitsExceeded())
+            return;
+        const int n = model_.numTasks();
+        if (scheduled_ == n) {
+            recordIncumbent(makespan);
+            return;
+        }
+        if (nodeBound(makespan) >= ub_)
+            return;
+
+        // Branch over all eligible tasks, longest tail first.
+        std::vector<int> branch_tasks = eligible_;
+        std::sort(branch_tasks.begin(), branch_tasks.end(),
+                  [this](int a, int b) {
+                      if (cp_.tail[a] != cp_.tail[b])
+                          return cp_.tail[a] > cp_.tail[b];
+                      return a < b;
+                  });
+
+        for (int t : branch_tasks) {
+            Time est = 0;
+            for (int p : model_.predecessors(t))
+                est = std::max(est, end_[p]);
+            for (const Model::LagEdge &edge :
+                 model_.lagPredecessors(t))
+                est = std::max(est, assign_[edge.other].start +
+                                    edge.lag);
+
+            const Task &task = model_.task(t);
+            // Enumerate feasible (mode, start) options; sort by
+            // completion time so promising branches go first.
+            struct Option
+            {
+                int mode;
+                Time start;
+                Time complete;
+            };
+            std::vector<Option> options;
+            Time tail_after = cp_.tail[t] - model_.minDuration(t);
+            for (size_t m = 0; m < task.modes.size(); ++m) {
+                const Mode &mode = task.modes[m];
+                Time start = table_.earliestStart(mode, est);
+                if (start < 0)
+                    continue;
+                Time complete = start + mode.duration;
+                if (complete + tail_after >= ub_)
+                    continue; // Cannot beat the incumbent.
+                options.push_back({static_cast<int>(m), start, complete});
+            }
+            std::sort(options.begin(), options.end(),
+                      [](const Option &a, const Option &b) {
+                          return a.complete < b.complete;
+                      });
+
+            for (const Option &opt : options) {
+                const Mode &mode = task.modes[opt.mode];
+                // Apply.
+                table_.place(mode, opt.start);
+                assign_[t] = {opt.mode, opt.start};
+                end_[t] = opt.complete;
+                ++scheduled_;
+                for (int r = 0; r < model_.numResources(); ++r) {
+                    remainingEnergy_[r] -= minEnergy_[t][r];
+                    placedEnergy_[r] += mode.usage[r] *
+                        static_cast<double>(mode.duration);
+                }
+                if (pinnedGroup_[t] != kNoGroup)
+                    remainingPinned_[pinnedGroup_[t]] -=
+                        model_.minDuration(t);
+                if (mode.group != kNoGroup)
+                    groupBusy_[mode.group] += mode.duration;
+                size_t eligible_size = eligible_.size();
+                eligible_.erase(
+                    std::find(eligible_.begin(), eligible_.end(), t));
+                for (int s : model_.successors(t))
+                    if (--remainingPreds_[s] == 0)
+                        eligible_.push_back(s);
+
+                dfs(std::max(makespan, opt.complete));
+
+                // Undo.
+                for (int s : model_.successors(t)) {
+                    if (remainingPreds_[s]++ == 0) {
+                        eligible_.erase(std::find(eligible_.begin(),
+                                                  eligible_.end(), s));
+                    }
+                }
+                eligible_.push_back(t);
+                hilp_assert(eligible_.size() == eligible_size);
+                --scheduled_;
+                for (int r = 0; r < model_.numResources(); ++r) {
+                    remainingEnergy_[r] += minEnergy_[t][r];
+                    placedEnergy_[r] -= mode.usage[r] *
+                        static_cast<double>(mode.duration);
+                }
+                if (pinnedGroup_[t] != kNoGroup)
+                    remainingPinned_[pinnedGroup_[t]] +=
+                        model_.minDuration(t);
+                if (mode.group != kNoGroup)
+                    groupBusy_[mode.group] -= mode.duration;
+                assign_[t] = Assignment{};
+                end_[t] = 0;
+                table_.remove(mode, opt.start);
+
+                if (stop_ || limitHit_)
+                    return;
+                // Re-check the prune: the incumbent may have improved.
+                if (opt.complete + tail_after >= ub_)
+                    break; // Options are completion-sorted.
+            }
+        }
+        ++result_.backtracks;
+    }
+
+    const Model &model_;
+    const SearchLimits &limits_;
+    Timetable table_;
+    CriticalPathData cp_;
+    std::vector<int> topo_;
+    Clock::time_point startTime_;
+
+    std::vector<Assignment> assign_;
+    std::vector<Time> end_;
+    std::vector<Time> est_;
+    std::vector<int> remainingPreds_;
+    std::vector<int> eligible_;
+    int scheduled_ = 0;
+
+    std::vector<std::vector<double>> minEnergy_;
+    std::vector<double> remainingEnergy_;
+    std::vector<double> placedEnergy_;
+    std::vector<int> pinnedGroup_;
+    std::vector<Time> groupBusy_;
+    std::vector<Time> remainingPinned_;
+
+    Time ub_ = 0;
+    bool stop_ = false;
+    bool limitHit_ = false;
+    SearchResult result_;
+};
+
+} // anonymous namespace
+
+SearchResult
+branchAndBound(const Model &model, const ScheduleVec *warm_start,
+               const SearchLimits &limits)
+{
+    Searcher searcher(model, warm_start, limits);
+    return searcher.run();
+}
+
+} // namespace cp
+} // namespace hilp

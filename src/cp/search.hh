@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Depth-first branch-and-bound over serial-SGS decisions.
+ *
+ * Each node of the search extends a partial schedule by picking an
+ * eligible task and one of its modes and placing it at the earliest
+ * feasible start. For regular objectives like makespan this schedule
+ * space contains an optimal schedule (the classic active-schedule
+ * argument for serial schedule generation), so exhausting the tree
+ * proves optimality. Pruning uses the incumbent upper bound against
+ * per-node critical-path bounds.
+ */
+
+#ifndef HILP_CP_SEARCH_HH
+#define HILP_CP_SEARCH_HH
+
+#include <cstdint>
+
+#include "model.hh"
+
+namespace hilp {
+namespace cp {
+
+/** Resource limits and stopping conditions for the search. */
+struct SearchLimits
+{
+    /** Maximum number of branch nodes explored. */
+    int64_t maxNodes = 500000;
+    /** Wall-clock budget in seconds. */
+    double maxSeconds = 5.0;
+    /**
+     * Stop as soon as (UB - lowerBound) / UB <= targetGap. The
+     * paper's near-optimality threshold is 0.1; use 0 to search for
+     * a proven optimum.
+     */
+    double targetGap = 0.0;
+    /**
+     * Certified external lower bound on the optimum (from the bounds
+     * engine); used for the targetGap stop and for pruning.
+     */
+    Time lowerBound = 0;
+};
+
+/** Outcome of the branch-and-bound search. */
+struct SearchResult
+{
+    /** True when a complete schedule was found (or warm-started). */
+    bool foundSolution = false;
+    /**
+     * True when the tree was exhausted: the incumbent is optimal, or
+     * no solution exists within the horizon if none was found.
+     */
+    bool exhausted = false;
+    ScheduleVec best;
+    Time bestMakespan = 0;
+    int64_t nodes = 0;
+    int64_t backtracks = 0;
+    int64_t solutions = 0;
+};
+
+/**
+ * Run branch-and-bound on the model. When warm_start is non-null it
+ * must be a feasible schedule; it seeds the incumbent so the search
+ * only explores strictly better schedules.
+ */
+SearchResult branchAndBound(const Model &model,
+                            const ScheduleVec *warm_start,
+                            const SearchLimits &limits);
+
+} // namespace cp
+} // namespace hilp
+
+#endif // HILP_CP_SEARCH_HH

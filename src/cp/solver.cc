@@ -1,0 +1,119 @@
+#include "solver.hh"
+
+#include <algorithm>
+#include <chrono>
+
+#include "list_scheduler.hh"
+#include "search.hh"
+#include "support/logging.hh"
+
+namespace hilp {
+namespace cp {
+
+const char *
+toString(SolveStatus status)
+{
+    switch (status) {
+      case SolveStatus::Optimal:
+        return "optimal";
+      case SolveStatus::NearOptimal:
+        return "near-optimal";
+      case SolveStatus::Feasible:
+        return "feasible";
+      case SolveStatus::Infeasible:
+        return "infeasible";
+      case SolveStatus::NoSolution:
+        return "no-solution";
+    }
+    return "unknown";
+}
+
+double
+Result::gap() const
+{
+    if (makespan <= 0)
+        return 0.0;
+    return static_cast<double>(makespan - lowerBound) /
+           static_cast<double>(makespan);
+}
+
+Result
+Solver::solve(const Model &model) const
+{
+    auto start_time = std::chrono::steady_clock::now();
+
+    std::string problem = model.validate();
+    if (!problem.empty())
+        fatal("invalid scheduling model: %s", problem.c_str());
+
+    Result result;
+
+    // Lower bounds first: they prune the greedy/search work.
+    result.stats.bounds = computeLowerBounds(model, options_.useLpBound);
+    result.lowerBound = result.stats.bounds.best();
+
+    // Greedy warm start, refined by priority-order hill climbing.
+    ListResult greedy = bestGreedy(model, options_.greedyRestarts,
+                                   options_.seed);
+    if (greedy.feasible) {
+        // Skip the refinement when the greedy is already provably
+        // within the target gap.
+        double greedy_gap = greedy.makespan > 0
+            ? static_cast<double>(greedy.makespan - result.lowerBound) /
+              static_cast<double>(greedy.makespan)
+            : 0.0;
+        if (greedy_gap > options_.targetGap)
+            greedy = improveGreedy(model, greedy,
+                                   options_.lnsIterations,
+                                   options_.seed + 1);
+        result.stats.greedyMakespan = greedy.makespan;
+    }
+
+    // Branch and bound, warm-started when possible.
+    SearchLimits limits;
+    limits.maxNodes = options_.maxNodes;
+    limits.maxSeconds = options_.maxSeconds;
+    limits.targetGap = options_.targetGap;
+    limits.lowerBound = result.lowerBound;
+    SearchResult search = branchAndBound(
+        model, greedy.feasible ? &greedy.schedule : nullptr, limits);
+
+    result.stats.nodes = search.nodes;
+    result.stats.backtracks = search.backtracks;
+    result.stats.solutions = search.solutions;
+    result.stats.exhausted = search.exhausted;
+
+    if (search.foundSolution) {
+        result.schedule = search.best;
+        result.makespan = search.bestMakespan;
+        if (search.exhausted) {
+            // The tree is exhausted: the incumbent is the optimum and
+            // the lower bound can be promoted to it.
+            result.lowerBound = result.makespan;
+        }
+        if (result.lowerBound >= result.makespan) {
+            result.lowerBound = result.makespan;
+            result.status = SolveStatus::Optimal;
+        } else if (result.gap() <= options_.targetGap) {
+            result.status = SolveStatus::NearOptimal;
+        } else {
+            result.status = SolveStatus::Feasible;
+        }
+        // Self-check: a constraint violation here is a solver bug.
+        std::string violation = checkSchedule(model, result.schedule);
+        if (!violation.empty())
+            panic("solver produced an invalid schedule: %s",
+                  violation.c_str());
+    } else if (search.exhausted) {
+        result.status = SolveStatus::Infeasible;
+    } else {
+        result.status = SolveStatus::NoSolution;
+    }
+
+    result.stats.seconds = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - start_time).count();
+    return result;
+}
+
+} // namespace cp
+} // namespace hilp

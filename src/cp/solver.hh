@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The solver facade: greedy warm start, lower bounds, and
+ * branch-and-bound behind one call, with the optimality-gap
+ * accounting HILP's methodology depends on.
+ */
+
+#ifndef HILP_CP_SOLVER_HH
+#define HILP_CP_SOLVER_HH
+
+#include <cstdint>
+
+#include "bounds.hh"
+#include "model.hh"
+
+namespace hilp {
+namespace cp {
+
+/** Final status of a solve. */
+enum class SolveStatus {
+    /** Proven optimal (search exhausted or bound met). */
+    Optimal,
+    /** Gap at or below the target (the paper's "near-optimal"). */
+    NearOptimal,
+    /** A schedule exists but its gap exceeds the target. */
+    Feasible,
+    /** Proven: no schedule exists within the horizon. */
+    Infeasible,
+    /** Limits hit before any schedule was found. */
+    NoSolution,
+};
+
+/** Human-readable name for a SolveStatus. */
+const char *toString(SolveStatus status);
+
+/** Solve effort and stopping configuration. */
+struct SolverOptions
+{
+    /** Branch-and-bound node budget. */
+    int64_t maxNodes = 500000;
+    /** Wall-clock budget for the search phase, in seconds. */
+    double maxSeconds = 5.0;
+    /**
+     * Stop once (makespan - lower bound) / makespan falls to this
+     * value. 0.10 is the paper's near-optimality definition; set 0
+     * to always search for a proven optimum.
+     */
+    double targetGap = 0.10;
+    /** Compute the LP-relaxation lower bound (tighter, costs an LP). */
+    bool useLpBound = true;
+    /** Random restarts for the greedy warm start. */
+    int greedyRestarts = 8;
+    /** Hill-climbing iterations refining the greedy incumbent. */
+    int lnsIterations = 400;
+    /** Seed for the greedy restarts. */
+    uint64_t seed = 1;
+};
+
+/** Effort accounting for a solve. */
+struct SolveStats
+{
+    Time greedyMakespan = 0;  //!< Warm-start makespan (0 if none).
+    LowerBounds bounds;       //!< The certified lower bounds.
+    int64_t nodes = 0;        //!< Branch-and-bound nodes explored.
+    int64_t backtracks = 0;
+    int64_t solutions = 0;    //!< Incumbent improvements found.
+    bool exhausted = false;   //!< Search tree fully explored.
+    double seconds = 0.0;     //!< Total solve wall-clock time.
+};
+
+/** A complete solve outcome. */
+struct Result
+{
+    SolveStatus status = SolveStatus::NoSolution;
+    ScheduleVec schedule;
+    Time makespan = 0;
+    /** Certified lower bound on the optimal makespan. */
+    Time lowerBound = 0;
+    SolveStats stats;
+
+    /** True when a schedule was produced. */
+    bool
+    hasSchedule() const
+    {
+        return status == SolveStatus::Optimal ||
+               status == SolveStatus::NearOptimal ||
+               status == SolveStatus::Feasible;
+    }
+
+    /** Relative optimality gap (UB - LB) / UB; 0 for UB == 0. */
+    double gap() const;
+};
+
+/**
+ * The solver: validates the model, builds a greedy incumbent,
+ * certifies lower bounds, and runs branch-and-bound. The returned
+ * schedule is always re-verified against every model constraint
+ * before being handed back (a violation is a solver bug and panics).
+ */
+class Solver
+{
+  public:
+    Solver() = default;
+    explicit Solver(SolverOptions options) : options_(options) {}
+
+    /**
+     * Solve the model. Invalid models (see Model::validate) are a
+     * user error and terminate via fatal(). Infeasibility is always
+     * relative to the model's horizon.
+     */
+    Result solve(const Model &model) const;
+
+    const SolverOptions &options() const { return options_; }
+
+  private:
+    SolverOptions options_;
+};
+
+} // namespace cp
+} // namespace hilp
+
+#endif // HILP_CP_SOLVER_HH

@@ -1,0 +1,124 @@
+#include "timetable.hh"
+
+#include "support/logging.hh"
+
+namespace hilp {
+namespace cp {
+
+namespace {
+/** Slack for floating-point capacity comparisons. */
+constexpr double kEps = 1e-9;
+} // anonymous namespace
+
+Timetable::Timetable(const Model &model)
+    : model_(model),
+      horizon_(model.horizon())
+{
+    hilp_assert(horizon_ > 0);
+    usage_.assign(model.numResources(),
+                  std::vector<double>(horizon_, 0.0));
+    busy_.assign(model.numGroups(),
+                 std::vector<uint8_t>(horizon_, 0));
+}
+
+Time
+Timetable::firstConflict(const Mode &mode, Time start) const
+{
+    Time end = start + mode.duration;
+    if (mode.group != kNoGroup) {
+        const auto &busy = busy_[mode.group];
+        for (Time s = start; s < end; ++s)
+            if (busy[s])
+                return s;
+    }
+    for (int r = 0; r < model_.numResources(); ++r) {
+        double u = mode.usage[r];
+        if (u <= 0.0)
+            continue;
+        double cap = model_.capacity(r);
+        const auto &profile = usage_[r];
+        for (Time s = start; s < end; ++s)
+            if (profile[s] + u > cap + kEps)
+                return s;
+    }
+    return -1;
+}
+
+bool
+Timetable::fits(const Mode &mode, Time start) const
+{
+    hilp_assert(start >= 0);
+    if (start + mode.duration > horizon_)
+        return false;
+    if (mode.duration == 0)
+        return true;
+    return firstConflict(mode, start) == -1;
+}
+
+Time
+Timetable::earliestStart(const Mode &mode, Time est) const
+{
+    hilp_assert(est >= 0);
+    if (mode.duration == 0)
+        return est <= horizon_ ? est : -1;
+    Time start = est;
+    while (start + mode.duration <= horizon_) {
+        Time conflict = firstConflict(mode, start);
+        if (conflict < 0)
+            return start;
+        // Jump past the conflicting step: no window containing it
+        // can be feasible.
+        start = conflict + 1;
+    }
+    return -1;
+}
+
+void
+Timetable::place(const Mode &mode, Time start)
+{
+    hilp_assert(start >= 0 && start + mode.duration <= horizon_);
+    Time end = start + mode.duration;
+    if (mode.group != kNoGroup) {
+        auto &busy = busy_[mode.group];
+        for (Time s = start; s < end; ++s) {
+            hilp_assert(!busy[s]);
+            busy[s] = 1;
+        }
+    }
+    for (int r = 0; r < model_.numResources(); ++r) {
+        double u = mode.usage[r];
+        if (u == 0.0)
+            continue;
+        auto &profile = usage_[r];
+        for (Time s = start; s < end; ++s)
+            profile[s] += u;
+    }
+}
+
+void
+Timetable::remove(const Mode &mode, Time start)
+{
+    hilp_assert(start >= 0 && start + mode.duration <= horizon_);
+    Time end = start + mode.duration;
+    if (mode.group != kNoGroup) {
+        auto &busy = busy_[mode.group];
+        for (Time s = start; s < end; ++s) {
+            hilp_assert(busy[s]);
+            busy[s] = 0;
+        }
+    }
+    for (int r = 0; r < model_.numResources(); ++r) {
+        double u = mode.usage[r];
+        if (u == 0.0)
+            continue;
+        auto &profile = usage_[r];
+        for (Time s = start; s < end; ++s) {
+            profile[s] -= u;
+            if (profile[s] < 0.0 && profile[s] > -kEps)
+                profile[s] = 0.0; // absorb rounding drift
+        }
+    }
+}
+
+} // namespace cp
+} // namespace hilp

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Timetable: the running resource/group occupancy profile used both
+ * by the greedy list scheduler and by the branch-and-bound search.
+ *
+ * The timetable records, per time step, how much of each cumulative
+ * resource is committed and which disjunctive groups are busy. It
+ * supports exact add/remove (for chronological backtracking) and the
+ * earliest-feasible-start query that drives schedule generation.
+ */
+
+#ifndef HILP_CP_TIMETABLE_HH
+#define HILP_CP_TIMETABLE_HH
+
+#include <vector>
+
+#include "model.hh"
+
+namespace hilp {
+namespace cp {
+
+/**
+ * Per-time-step occupancy of the model's resources and groups.
+ */
+class Timetable
+{
+  public:
+    /** Build an empty timetable sized to the model's horizon. */
+    explicit Timetable(const Model &model);
+
+    /**
+     * Earliest start >= est at which the given mode fits: the whole
+     * window [start, start + duration) must leave the mode's group
+     * idle and keep all resource profiles within capacity. Returns
+     * -1 when no feasible start exists before the horizon.
+     */
+    Time earliestStart(const Mode &mode, Time est) const;
+
+    /** True when the mode can be placed with its window at start. */
+    bool fits(const Mode &mode, Time start) const;
+
+    /** Commit a mode over [start, start + duration). */
+    void place(const Mode &mode, Time start);
+
+    /** Exactly undo a previous place() with the same arguments. */
+    void remove(const Mode &mode, Time start);
+
+    /** Resource usage of resource r at time step. */
+    double usage(int r, Time step) const { return usage_[r][step]; }
+
+    /** True when group g is busy at time step. */
+    bool groupBusy(int g, Time step) const { return busy_[g][step] != 0; }
+
+    /** The model's horizon. */
+    Time horizon() const { return horizon_; }
+
+  private:
+    /**
+     * First conflicting step in [start, start + duration), or -1 when
+     * the window is conflict-free.
+     */
+    Time firstConflict(const Mode &mode, Time start) const;
+
+    const Model &model_;
+    Time horizon_;
+    /** usage_[resource][step] */
+    std::vector<std::vector<double>> usage_;
+    /** busy_[group][step], 0 or 1 */
+    std::vector<std::vector<uint8_t>> busy_;
+};
+
+} // namespace cp
+} // namespace hilp
+
+#endif // HILP_CP_TIMETABLE_HH

@@ -1,0 +1,97 @@
+#include "explore.hh"
+
+#include "baselines/gables.hh"
+#include "baselines/multiamdahl.hh"
+#include "support/logging.hh"
+#include "support/thread_pool.hh"
+
+namespace hilp {
+namespace dse {
+
+const char *
+toString(ModelKind kind)
+{
+    switch (kind) {
+      case ModelKind::MultiAmdahl:
+        return "MA";
+      case ModelKind::Hilp:
+        return "HILP";
+      case ModelKind::Gables:
+        return "Gables";
+    }
+    return "unknown";
+}
+
+DsePoint
+evaluatePoint(const arch::SocConfig &config,
+              const workload::Workload &workload,
+              const arch::Constraints &constraints, ModelKind kind,
+              const DseOptions &options)
+{
+    DsePoint point;
+    point.config = config;
+    point.areaMm2 = config.areaMm2();
+    point.mix = classifyAccelMix(config);
+
+    ProblemSpec spec =
+        buildProblem(workload, config, constraints, options.build);
+    if (!spec.validate().empty())
+        return point; // Unschedulable under these budgets.
+
+    double reference = workload::sequentialCpuTimeS(workload);
+
+    switch (kind) {
+      case ModelKind::MultiAmdahl: {
+        baselines::MaResult ma = baselines::evaluateMultiAmdahl(spec);
+        if (!ma.ok)
+            return point;
+        point.ok = true;
+        point.makespanS = ma.makespanS;
+        point.averageWlp = ma.averageWlp();
+        point.gap = 0.0;
+        break;
+      }
+      case ModelKind::Hilp: {
+        EvalResult result = evaluate(spec, options.engine);
+        if (!result.ok)
+            return point;
+        point.ok = true;
+        point.makespanS = result.makespanS;
+        point.averageWlp = result.averageWlp;
+        point.gap = result.gap;
+        break;
+      }
+      case ModelKind::Gables: {
+        EvalResult result =
+            baselines::evaluateGables(spec, options.engine);
+        if (!result.ok)
+            return point;
+        point.ok = true;
+        point.makespanS = result.makespanS;
+        point.averageWlp = result.averageWlp;
+        point.gap = result.gap;
+        break;
+      }
+    }
+    if (point.makespanS > 0.0)
+        point.speedup = reference / point.makespanS;
+    return point;
+}
+
+std::vector<DsePoint>
+exploreSpace(const std::vector<arch::SocConfig> &configs,
+             const workload::Workload &workload,
+             const arch::Constraints &constraints, ModelKind kind,
+             const DseOptions &options)
+{
+    std::vector<DsePoint> points(configs.size());
+    ThreadPool pool(options.threads);
+    pool.parallelFor(configs.size(), [&](size_t i) {
+        points[i] = evaluatePoint(configs[i], workload, constraints,
+                                  kind, options);
+    });
+    return points;
+}
+
+} // namespace dse
+} // namespace hilp

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The design-space explorer: evaluate a workload on every SoC in a
+ * configuration list under MA, HILP, or Gables semantics, in
+ * parallel, and report speedup/area/WLP per design point (the data
+ * behind Figures 7 and 8).
+ */
+
+#ifndef HILP_DSE_EXPLORE_HH
+#define HILP_DSE_EXPLORE_HH
+
+#include <vector>
+
+#include "arch/soc.hh"
+#include "hilp/builder.hh"
+#include "hilp/engine.hh"
+#include "pareto.hh"
+#include "workload/workload.hh"
+
+namespace hilp {
+namespace dse {
+
+/** Which performance model evaluates the design points. */
+enum class ModelKind { MultiAmdahl, Hilp, Gables };
+
+/** Human-readable model name. */
+const char *toString(ModelKind kind);
+
+/** One evaluated design point. */
+struct DsePoint
+{
+    arch::SocConfig config;
+    double areaMm2 = 0.0;
+    bool ok = false;        //!< The workload could be scheduled.
+    double makespanS = 0.0;
+    double speedup = 0.0;   //!< Vs. 1-CPU fully sequential execution.
+    double gap = 0.0;       //!< Optimality gap (0 for MA).
+    double averageWlp = 0.0;
+    AccelMix mix = AccelMix::None;
+};
+
+/** Exploration configuration. */
+struct DseOptions
+{
+    EngineOptions engine = EngineOptions::explorationMode();
+    BuildOptions build;
+    /** Worker threads; 0 = hardware concurrency. */
+    int threads = 0;
+};
+
+/**
+ * Evaluate the workload on every configuration under the given
+ * model. Points are returned in configuration order; unschedulable
+ * configurations come back with ok == false.
+ */
+std::vector<DsePoint> exploreSpace(
+    const std::vector<arch::SocConfig> &configs,
+    const workload::Workload &workload,
+    const arch::Constraints &constraints, ModelKind kind,
+    const DseOptions &options);
+
+/** Evaluate one configuration (the exploreSpace worker body). */
+DsePoint evaluatePoint(const arch::SocConfig &config,
+                       const workload::Workload &workload,
+                       const arch::Constraints &constraints,
+                       ModelKind kind, const DseOptions &options);
+
+} // namespace dse
+} // namespace hilp
+
+#endif // HILP_DSE_EXPLORE_HH

@@ -1,0 +1,74 @@
+#include "pareto.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace hilp {
+namespace dse {
+
+std::vector<size_t>
+paretoFront(const std::vector<double> &cost,
+            const std::vector<double> &value,
+            double min_relative_gain)
+{
+    hilp_assert(cost.size() == value.size());
+    std::vector<size_t> order(cost.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    // Ascending cost; descending value on ties so the best point at
+    // a cost level comes first.
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        if (cost[a] != cost[b])
+            return cost[a] < cost[b];
+        return value[a] > value[b];
+    });
+    std::vector<size_t> front;
+    double best_value = -1e300;
+    for (size_t idx : order) {
+        double required = best_value +
+            std::abs(best_value) * min_relative_gain;
+        if (value[idx] > required) {
+            front.push_back(idx);
+            best_value = value[idx];
+        }
+    }
+    return front;
+}
+
+const char *
+toString(AccelMix mix)
+{
+    switch (mix) {
+      case AccelMix::None:
+        return "none";
+      case AccelMix::GpuDominated:
+        return "gpu";
+      case AccelMix::DsaDominated:
+        return "dsa";
+      case AccelMix::Mixed:
+        return "mixed";
+    }
+    return "unknown";
+}
+
+AccelMix
+classifyAccelMix(const arch::SocConfig &config)
+{
+    double gpu_area = config.gpuSms * arch::kGpuSmAreaMm2;
+    double dsa_area = 0.0;
+    for (const arch::DsaSpec &dsa : config.dsas)
+        dsa_area += dsa.pes * arch::kGpuSmAreaMm2;
+    double total = gpu_area + dsa_area;
+    if (total <= 0.0)
+        return AccelMix::None;
+    if (gpu_area / total > 0.75)
+        return AccelMix::GpuDominated;
+    if (dsa_area / total > 0.75)
+        return AccelMix::DsaDominated;
+    return AccelMix::Mixed;
+}
+
+} // namespace dse
+} // namespace hilp

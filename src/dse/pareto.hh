@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Pareto-front extraction and the accelerator-mix classification of
+ * Figure 7.
+ */
+
+#ifndef HILP_DSE_PARETO_HH
+#define HILP_DSE_PARETO_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "arch/soc.hh"
+
+namespace hilp {
+namespace dse {
+
+/**
+ * Indices of the Pareto-optimal points when minimizing cost and
+ * maximizing value: a point is dominated when another point has
+ * cost <= and value >=, with at least one strict. Returned indices
+ * are sorted by ascending cost. A costlier point only joins the
+ * front when it improves the best value so far by more than
+ * min_relative_gain (use a small epsilon to suppress float-noise
+ * ties between equivalent configurations).
+ */
+std::vector<size_t> paretoFront(const std::vector<double> &cost,
+                                const std::vector<double> &value,
+                                double min_relative_gain = 0.0);
+
+/** Figure 7's color classes at the 75% accelerator-area rule. */
+enum class AccelMix {
+    None,         //!< No accelerator area at all.
+    GpuDominated, //!< GPU holds > 75% of accelerator area (green).
+    DsaDominated, //!< DSAs hold > 75% of accelerator area (blue).
+    Mixed,        //!< Neither exceeds 75% (grey).
+};
+
+/** Human-readable mix name. */
+const char *toString(AccelMix mix);
+
+/** Classify an SoC's accelerator mix. */
+AccelMix classifyAccelMix(const arch::SocConfig &config);
+
+} // namespace dse
+} // namespace hilp
+
+#endif // HILP_DSE_PARETO_HH

@@ -1,0 +1,78 @@
+#include "report.hh"
+
+#include "hilp/problem.hh"
+#include "support/str.hh"
+
+namespace hilp {
+namespace dse {
+
+std::string
+pointsToCsv(const std::vector<DsePoint> &points)
+{
+    std::string out =
+        "config,cpus,gpu_sms,dsas,pes,area_mm2,ok,makespan_s,"
+        "speedup,avg_wlp,gap,mix\n";
+    for (const DsePoint &point : points) {
+        int pes = point.config.dsas.empty()
+            ? 0 : point.config.dsas.front().pes;
+        out += format("%s,%d,%d,%zu,%d,%.3f,%d,%.6f,%.6f,%.6f,%.6f,"
+                      "%s\n",
+                      point.config.name().c_str(),
+                      point.config.cpuCores, point.config.gpuSms,
+                      point.config.dsas.size(), pes, point.areaMm2,
+                      point.ok ? 1 : 0, point.makespanS,
+                      point.speedup, point.averageWlp, point.gap,
+                      toString(point.mix));
+    }
+    return out;
+}
+
+Json
+pointsToJson(const std::vector<DsePoint> &points)
+{
+    Json array = Json::array();
+    for (const DsePoint &point : points) {
+        Json entry = Json::object();
+        entry.set("config", Json::string(point.config.name()));
+        entry.set("cpus", Json::number(
+            static_cast<int64_t>(point.config.cpuCores)));
+        entry.set("gpu_sms", Json::number(
+            static_cast<int64_t>(point.config.gpuSms)));
+        entry.set("dsas", Json::number(
+            static_cast<int64_t>(point.config.dsas.size())));
+        entry.set("area_mm2", Json::number(point.areaMm2));
+        entry.set("ok", Json::boolean(point.ok));
+        entry.set("makespan_s", Json::number(point.makespanS));
+        entry.set("speedup", Json::number(point.speedup));
+        entry.set("avg_wlp", Json::number(point.averageWlp));
+        entry.set("gap", Json::number(point.gap));
+        entry.set("mix", Json::string(toString(point.mix)));
+        array.append(std::move(entry));
+    }
+    return array;
+}
+
+OffloadAnalysis
+analyzeOffload(const Schedule &schedule)
+{
+    OffloadAnalysis analysis;
+    for (const ScheduledPhase &phase : schedule.phases) {
+        bool is_gpu = phase.unitLabel.rfind("GPU", 0) == 0;
+        bool is_dsa = phase.unitLabel.rfind("DSA", 0) == 0;
+        bool is_cpu_compute = phase.device == kCpuPool &&
+            phase.unitLabel.rfind("CPUx", 0) == 0;
+        if (is_gpu)
+            analysis.gpuBusyS += phase.durationS;
+        else if (is_dsa)
+            analysis.dsaBusyS += phase.durationS;
+        else if (is_cpu_compute)
+            analysis.cpuComputeS += phase.durationS;
+    }
+    double accelerated = analysis.gpuBusyS + analysis.dsaBusyS;
+    if (accelerated > 0.0)
+        analysis.dsaShare = analysis.dsaBusyS / accelerated;
+    return analysis;
+}
+
+} // namespace dse
+} // namespace hilp

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Exports of design-space-exploration results: CSV and JSON for
+ * plotting Figures 7 and 8 style scatter plots externally, and the
+ * computed Section VI insight metrics.
+ */
+
+#ifndef HILP_DSE_REPORT_HH
+#define HILP_DSE_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "explore.hh"
+#include "support/json.hh"
+
+namespace hilp {
+namespace dse {
+
+/**
+ * CSV export of a sweep: one row per design point with config label,
+ * structural parameters, area, speedup, WLP, gap, and mix class.
+ */
+std::string pointsToCsv(const std::vector<DsePoint> &points);
+
+/** JSON export of the same data. */
+Json pointsToJson(const std::vector<DsePoint> &points);
+
+/**
+ * The Section VI accelerator-offload analysis behind Key Insight 3
+ * ("the primary function of DSAs in the top-performing SoCs is to
+ * offload the GPU"), computed from one evaluated schedule.
+ */
+struct OffloadAnalysis
+{
+    double gpuBusyS = 0.0;     //!< GPU busy time in the schedule.
+    double dsaBusyS = 0.0;     //!< Total DSA busy time.
+    double cpuComputeS = 0.0;  //!< Compute-phase time on the CPUs.
+    /** Fraction of accelerated compute time the DSAs absorbed. */
+    double dsaShare = 0.0;
+};
+
+/** Analyze where a schedule's compute time went. */
+OffloadAnalysis analyzeOffload(const Schedule &schedule);
+
+} // namespace dse
+} // namespace hilp
+
+#endif // HILP_DSE_REPORT_HH

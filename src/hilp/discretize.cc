@@ -1,0 +1,85 @@
+#include "discretize.hh"
+
+#include <cmath>
+
+#include "support/logging.hh"
+#include "support/str.hh"
+
+namespace hilp {
+
+DiscretizedProblem
+discretize(const ProblemSpec &spec, double step_s,
+           cp::Time horizon_steps)
+{
+    hilp_assert(step_s > 0.0);
+    hilp_assert(horizon_steps > 0);
+
+    DiscretizedProblem out;
+    out.stepS = step_s;
+    out.model.setHorizon(horizon_steps);
+
+    // Resources: CPU pool always; power/bandwidth only when bounded.
+    out.cpuResource = out.model.addResource(spec.cpuCores, "cpu-cores");
+    if (std::isfinite(spec.powerBudgetW))
+        out.powerResource =
+            out.model.addResource(spec.powerBudgetW, "power");
+    if (std::isfinite(spec.bandwidthGBs))
+        out.bwResource =
+            out.model.addResource(spec.bandwidthGBs, "bandwidth");
+    for (const ExtraResource &extra : spec.extraResources)
+        out.extraResourceOf.push_back(
+            out.model.addResource(extra.capacity, extra.name));
+    const int num_resources = out.model.numResources();
+
+    for (const std::string &device : spec.deviceNames)
+        out.model.addGroup(device);
+
+    out.taskOf.resize(spec.apps.size());
+    for (size_t a = 0; a < spec.apps.size(); ++a) {
+        const AppSpec &app = spec.apps[a];
+        out.taskOf[a].resize(app.phases.size());
+        for (size_t p = 0; p < app.phases.size(); ++p) {
+            const PhaseSpec &phase = app.phases[p];
+            cp::Task task;
+            task.name = phase.name;
+            std::vector<int> option_map;
+            for (size_t o = 0; o < phase.options.size(); ++o) {
+                const UnitOption &option = phase.options[o];
+                cp::Mode mode;
+                mode.group = option.device == kCpuPool
+                    ? cp::kNoGroup : option.device;
+                mode.duration = static_cast<cp::Time>(
+                    std::ceil(option.timeS / step_s - 1e-9));
+                hilp_assert(mode.duration >= 0);
+                mode.usage.assign(num_resources, 0.0);
+                mode.usage[out.cpuResource] = option.cpuCores;
+                if (out.powerResource >= 0)
+                    mode.usage[out.powerResource] = option.powerW;
+                if (out.bwResource >= 0)
+                    mode.usage[out.bwResource] = option.bwGBs;
+                for (size_t r = 0; r < option.extraUsage.size(); ++r)
+                    mode.usage[out.extraResourceOf[r]] =
+                        option.extraUsage[r];
+                task.modes.push_back(std::move(mode));
+                option_map.push_back(static_cast<int>(o));
+            }
+            int task_id = out.model.addTask(std::move(task));
+            out.taskOf[a][p] = task_id;
+            out.phaseOf.emplace_back(static_cast<int>(a),
+                                     static_cast<int>(p));
+            out.optionOf.push_back(std::move(option_map));
+        }
+        for (auto [from, to] : app.effectiveDeps())
+            out.model.addPrecedence(out.taskOf[a][from],
+                                    out.taskOf[a][to]);
+        for (const StartLag &lag : app.effectiveStartLags()) {
+            out.model.addStartLag(
+                out.taskOf[a][lag.from], out.taskOf[a][lag.to],
+                static_cast<cp::Time>(
+                    std::ceil(lag.lagS / step_s - 1e-9)));
+        }
+    }
+    return out;
+}
+
+} // namespace hilp

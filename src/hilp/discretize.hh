@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Time discretization: ProblemSpec (seconds) -> cp::Model (steps).
+ *
+ * Following Section III-D, continuous phase times are rounded up to
+ * an integer number of time steps of a chosen size. The resulting
+ * model keeps an index map so solver assignments can be lifted back
+ * to (application, phase, option) form.
+ */
+
+#ifndef HILP_HILP_DISCRETIZE_HH
+#define HILP_HILP_DISCRETIZE_HH
+
+#include <vector>
+
+#include "cp/model.hh"
+#include "problem.hh"
+
+namespace hilp {
+
+/** A discretized problem plus the maps back to the spec. */
+struct DiscretizedProblem
+{
+    cp::Model model;
+    double stepS = 0.0; //!< Size of one time step, seconds.
+
+    /** Task index of (app, phase). */
+    std::vector<std::vector<int>> taskOf;
+    /** (app, phase) of each task. */
+    std::vector<std::pair<int, int>> phaseOf;
+    /**
+     * Per task, the spec option index of each mode. Modes map 1:1 to
+     * the phase's surviving unit options.
+     */
+    std::vector<std::vector<int>> optionOf;
+
+    /** Resource ids inside the model; -1 when the budget is off. */
+    int cpuResource = -1;
+    int powerResource = -1;
+    int bwResource = -1;
+    /** Model resource id of each ProblemSpec extra resource. */
+    std::vector<int> extraResourceOf;
+};
+
+/**
+ * Discretize the spec with the given time-step size and horizon (in
+ * steps). Durations round up (ceil), so a nonzero phase always takes
+ * at least one step.
+ */
+DiscretizedProblem discretize(const ProblemSpec &spec, double step_s,
+                              cp::Time horizon_steps);
+
+} // namespace hilp
+
+#endif // HILP_HILP_DISCRETIZE_HH

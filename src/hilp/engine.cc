@@ -1,0 +1,167 @@
+#include "engine.hh"
+
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace hilp {
+
+EngineOptions
+EngineOptions::validationMode()
+{
+    EngineOptions options;
+    options.initialStepS = 2.0;
+    options.horizonSteps = 1000;
+    options.refineThreshold = 200;
+    return options;
+}
+
+EngineOptions
+EngineOptions::explorationMode()
+{
+    EngineOptions options;
+    options.initialStepS = 10.0;
+    options.horizonSteps = 200;
+    options.refineThreshold = 40;
+    return options;
+}
+
+Schedule
+liftSchedule(const ProblemSpec &spec, const DiscretizedProblem &problem,
+             const cp::ScheduleVec &solution)
+{
+    Schedule schedule;
+    schedule.stepS = problem.stepS;
+    schedule.deviceNames = spec.deviceNames;
+    schedule.cpuCores = spec.cpuCores;
+    for (int task = 0; task < problem.model.numTasks(); ++task) {
+        const cp::Assignment &assignment = solution.tasks[task];
+        hilp_assert(assignment.scheduled());
+        auto [app, phase_idx] = problem.phaseOf[task];
+        int option_idx = problem.optionOf[task][assignment.mode];
+        const PhaseSpec &phase = spec.apps[app].phases[phase_idx];
+        const UnitOption &option = phase.options[option_idx];
+
+        ScheduledPhase placed;
+        placed.app = app;
+        placed.phase = phase_idx;
+        placed.name = phase.name;
+        placed.option = option_idx;
+        placed.unitLabel = option.label;
+        placed.device = option.device;
+        placed.startStep = assignment.start;
+        placed.durationSteps =
+            problem.model.task(task).modes[assignment.mode].duration;
+        placed.startS = assignment.start * problem.stepS;
+        placed.durationS = placed.durationSteps * problem.stepS;
+        placed.powerW = option.powerW;
+        placed.bwGBs = option.bwGBs;
+        placed.cpuCores = option.cpuCores;
+        schedule.phases.push_back(std::move(placed));
+    }
+    return schedule;
+}
+
+namespace {
+
+/** Solve once at a fixed resolution and fill an EvalResult. */
+EvalResult
+solveAtResolution(const ProblemSpec &spec, double step_s,
+                  const EngineOptions &options)
+{
+    DiscretizedProblem problem =
+        discretize(spec, step_s, options.horizonSteps);
+
+    cp::SolverOptions solver_options = options.solver;
+    cp::Result result;
+    for (int attempt = 0; ; ++attempt) {
+        cp::Solver solver(solver_options);
+        cp::Result candidate = solver.solve(problem.model);
+        if (attempt == 0 ||
+            (candidate.hasSchedule() &&
+             (!result.hasSchedule() ||
+              candidate.makespan < result.makespan))) {
+            // Keep the better schedule; bounds only ever tighten.
+            cp::Time best_lb = std::max(result.lowerBound,
+                                        candidate.lowerBound);
+            result = std::move(candidate);
+            result.lowerBound = std::max(result.lowerBound, best_lb);
+        } else {
+            result.lowerBound = std::max(result.lowerBound,
+                                         candidate.lowerBound);
+        }
+        bool needs_more = result.hasSchedule() &&
+            result.gap() > options.solver.targetGap;
+        if (!needs_more || attempt >= options.escalations)
+            break;
+        // The paper reruns experiments that miss the bound with
+        // more resources; do the same with multiplied budgets.
+        solver_options.maxSeconds *= options.escalationFactor;
+        solver_options.maxNodes = static_cast<int64_t>(
+            solver_options.maxNodes * options.escalationFactor);
+        solver_options.lnsIterations = static_cast<int>(
+            solver_options.lnsIterations * options.escalationFactor);
+        solver_options.seed += 7919; // Diversify the heuristics.
+    }
+
+    EvalResult eval;
+    eval.status = result.status;
+    eval.stepS = step_s;
+    eval.stats = result.stats;
+    if (!result.hasSchedule())
+        return eval;
+    eval.ok = true;
+    eval.makespanS = result.makespan * step_s;
+    eval.lowerBoundS = result.lowerBound * step_s;
+    eval.gap = result.gap();
+    eval.schedule = liftSchedule(spec, problem, result.schedule);
+    eval.averageWlp = eval.schedule.averageWlp();
+    return eval;
+}
+
+} // anonymous namespace
+
+EvalResult
+evaluate(const ProblemSpec &spec, const EngineOptions &options)
+{
+    std::string issue = spec.validate();
+    if (!issue.empty())
+        fatal("invalid problem spec '%s': %s", spec.name.c_str(),
+              issue.c_str());
+    hilp_assert(options.initialStepS > 0.0);
+    hilp_assert(options.refineFactor > 1.0);
+
+    // Find a resolution at which a schedule exists, coarsening when
+    // the initial horizon is too tight.
+    double step = options.initialStepS;
+    EvalResult best = solveAtResolution(spec, step, options);
+    int coarsenings = 0;
+    while (!best.ok && coarsenings < options.maxCoarsenings) {
+        step *= options.refineFactor;
+        ++coarsenings;
+        best = solveAtResolution(spec, step, options);
+        best.refinements = -coarsenings;
+    }
+    if (!best.ok)
+        return best;
+
+    // Refine while the makespan under-uses the horizon (Sec. III-D).
+    int refinements = 0;
+    while (refinements < options.maxRefinements) {
+        cp::Time makespan_steps = static_cast<cp::Time>(
+            std::llround(best.makespanS / step));
+        if (makespan_steps >= options.refineThreshold)
+            break;
+        double finer = step / options.refineFactor;
+        EvalResult candidate = solveAtResolution(spec, finer, options);
+        if (!candidate.ok)
+            break; // Finer resolution no longer fits the horizon.
+        step = finer;
+        ++refinements;
+        candidate.refinements = refinements - coarsenings;
+        best = std::move(candidate);
+    }
+    return best;
+}
+
+} // namespace hilp

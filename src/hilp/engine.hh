@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The HILP evaluation engine: adaptive time-step selection around
+ * the CP solver (Section III-D).
+ *
+ * The engine solves the discretized problem at an initial time-step
+ * size; while the resulting makespan uses fewer steps than the
+ * refinement threshold it increases resolution by the refinement
+ * factor and re-solves, keeping the horizon constant. If no schedule
+ * fits at the initial resolution the engine coarsens instead. The
+ * final result reports the makespan, the certified optimality bound
+ * and gap, the schedule, and the average WLP.
+ */
+
+#ifndef HILP_HILP_ENGINE_HH
+#define HILP_HILP_ENGINE_HH
+
+#include "cp/solver.hh"
+#include "discretize.hh"
+#include "problem.hh"
+#include "schedule.hh"
+
+namespace hilp {
+
+/** Engine configuration. */
+struct EngineOptions
+{
+    double initialStepS = 10.0; //!< Starting time-step size.
+    cp::Time horizonSteps = 200; //!< Fixed horizon, in steps.
+    /** Refine resolution while the makespan is below this. */
+    cp::Time refineThreshold = 40;
+    double refineFactor = 5.0;  //!< Resolution multiplier per round.
+    int maxRefinements = 6;
+    int maxCoarsenings = 6;     //!< When nothing fits initially.
+    cp::SolverOptions solver;   //!< Underlying solver budget/gap.
+    /**
+     * Re-solve attempts with multiplied budgets when the gap misses
+     * the solver's target (Section III-D: "we rerun the experiments
+     * that do not achieve this bound with more resources").
+     */
+    int escalations = 0;
+    /** Budget multiplier applied per escalation. */
+    double escalationFactor = 4.0;
+
+    /**
+     * The paper's validation-mode parameters (Section III-D): 2 s
+     * steps, 1000-step horizon, refine below 200 steps.
+     */
+    static EngineOptions validationMode();
+
+    /**
+     * The paper's exploration-mode parameters: 10 s steps, 200-step
+     * horizon, refine below 40 steps.
+     */
+    static EngineOptions explorationMode();
+};
+
+/** The outcome of evaluating a workload on an SoC. */
+struct EvalResult
+{
+    bool ok = false;             //!< A schedule was produced.
+    cp::SolveStatus status = cp::SolveStatus::NoSolution;
+    double stepS = 0.0;          //!< Final time-step size.
+    double makespanS = 0.0;      //!< Schedule length, seconds.
+    double lowerBoundS = 0.0;    //!< Certified bound, seconds.
+    double gap = 0.0;            //!< (UB - LB) / UB at the final step.
+    Schedule schedule;           //!< The full schedule.
+    double averageWlp = 0.0;     //!< Section II WLP metric.
+    int refinements = 0;         //!< Resolution changes performed.
+    cp::SolveStats stats;        //!< Stats of the final solve.
+
+    /** True when the gap meets the paper's 10% near-optimal bar. */
+    bool nearOptimal() const { return ok && gap <= 0.10 + 1e-12; }
+};
+
+/**
+ * Evaluate the problem with the adaptive engine. The spec must
+ * validate; a spec that cannot be scheduled at any attempted
+ * resolution yields ok == false.
+ */
+EvalResult evaluate(const ProblemSpec &spec,
+                    const EngineOptions &options);
+
+/**
+ * Lift a solver schedule back to spec terms. Exposed for tests and
+ * for callers that drive the solver directly.
+ */
+Schedule liftSchedule(const ProblemSpec &spec,
+                      const DiscretizedProblem &problem,
+                      const cp::ScheduleVec &solution);
+
+} // namespace hilp
+
+#endif // HILP_HILP_ENGINE_HH

@@ -1,0 +1,96 @@
+#include "export.hh"
+
+#include "cp/solver.hh"
+#include "problem.hh"
+
+namespace hilp {
+
+Json
+scheduleToJson(const Schedule &schedule)
+{
+    Json json = Json::object();
+    json.set("step_s", Json::number(schedule.stepS));
+    json.set("makespan_s", Json::number(schedule.makespanS()));
+    json.set("average_wlp", Json::number(schedule.averageWlp()));
+    json.set("peak_wlp",
+             Json::number(static_cast<int64_t>(schedule.peakWlp())));
+
+    Json devices = Json::array();
+    for (const std::string &device : schedule.deviceNames)
+        devices.append(Json::string(device));
+    json.set("devices", std::move(devices));
+    json.set("cpu_cores", Json::number(schedule.cpuCores));
+
+    Json phases = Json::array();
+    for (const ScheduledPhase &phase : schedule.phases) {
+        Json entry = Json::object();
+        entry.set("name", Json::string(phase.name));
+        entry.set("app", Json::number(
+            static_cast<int64_t>(phase.app)));
+        entry.set("phase", Json::number(
+            static_cast<int64_t>(phase.phase)));
+        entry.set("unit", Json::string(phase.unitLabel));
+        entry.set("device", phase.device == kCpuPool
+            ? Json::string("cpu-pool")
+            : Json::number(static_cast<int64_t>(phase.device)));
+        entry.set("start_s", Json::number(phase.startS));
+        entry.set("duration_s", Json::number(phase.durationS));
+        entry.set("power_w", Json::number(phase.powerW));
+        entry.set("bandwidth_gbs", Json::number(phase.bwGBs));
+        entry.set("cpu_cores", Json::number(phase.cpuCores));
+        phases.append(std::move(entry));
+    }
+    json.set("phases", std::move(phases));
+
+    Json utilization = Json::array();
+    for (const Schedule::Utilization &row : schedule.utilization()) {
+        Json entry = Json::object();
+        entry.set("unit", Json::string(row.unit));
+        entry.set("busy_s", Json::number(row.busyS));
+        entry.set("share", Json::number(row.share));
+        utilization.append(std::move(entry));
+    }
+    json.set("utilization", std::move(utilization));
+    return json;
+}
+
+Json
+evalResultToJson(const EvalResult &result)
+{
+    Json json = Json::object();
+    json.set("ok", Json::boolean(result.ok));
+    json.set("status", Json::string(cp::toString(result.status)));
+    json.set("makespan_s", Json::number(result.makespanS));
+    json.set("lower_bound_s", Json::number(result.lowerBoundS));
+    json.set("gap", Json::number(result.gap));
+    json.set("near_optimal", Json::boolean(result.nearOptimal()));
+    json.set("step_s", Json::number(result.stepS));
+    json.set("refinements", Json::number(
+        static_cast<int64_t>(result.refinements)));
+    json.set("average_wlp", Json::number(result.averageWlp));
+
+    Json stats = Json::object();
+    stats.set("nodes", Json::number(result.stats.nodes));
+    stats.set("backtracks", Json::number(result.stats.backtracks));
+    stats.set("solutions", Json::number(result.stats.solutions));
+    stats.set("greedy_makespan_steps", Json::number(
+        static_cast<int64_t>(result.stats.greedyMakespan)));
+    stats.set("exhausted", Json::boolean(result.stats.exhausted));
+    stats.set("seconds", Json::number(result.stats.seconds));
+    Json bounds = Json::object();
+    bounds.set("critical_path", Json::number(static_cast<int64_t>(
+        result.stats.bounds.criticalPath)));
+    bounds.set("group_load", Json::number(static_cast<int64_t>(
+        result.stats.bounds.groupLoad)));
+    bounds.set("resource_energy", Json::number(static_cast<int64_t>(
+        result.stats.bounds.resourceEnergy)));
+    bounds.set("lp_relaxation", Json::number(static_cast<int64_t>(
+        result.stats.bounds.lpRelaxation)));
+    stats.set("lower_bounds_steps", std::move(bounds));
+    json.set("solver", std::move(stats));
+
+    json.set("schedule", scheduleToJson(result.schedule));
+    return json;
+}
+
+} // namespace hilp

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Machine-readable exports of HILP results (JSON), for plotting and
+ * downstream analysis pipelines.
+ */
+
+#ifndef HILP_HILP_EXPORT_HH
+#define HILP_HILP_EXPORT_HH
+
+#include "engine.hh"
+#include "schedule.hh"
+#include "support/json.hh"
+
+namespace hilp {
+
+/**
+ * Serialize a schedule: step size, makespan, per-phase placements
+ * (app/phase/unit/start/duration/power/bandwidth/cores), WLP
+ * metrics, and per-unit utilization.
+ */
+Json scheduleToJson(const Schedule &schedule);
+
+/**
+ * Serialize a full evaluation result: status, makespan, certified
+ * bound and gap, resolution, solver statistics, and the schedule.
+ */
+Json evalResultToJson(const EvalResult &result);
+
+} // namespace hilp
+
+#endif // HILP_HILP_EXPORT_HH

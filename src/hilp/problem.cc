@@ -1,0 +1,118 @@
+#include "problem.hh"
+
+#include "support/logging.hh"
+#include "support/str.hh"
+
+namespace hilp {
+
+std::vector<std::pair<int, int>>
+AppSpec::effectiveDeps() const
+{
+    if (independentPhases)
+        return {};
+    if (!deps.empty())
+        return deps;
+    std::vector<std::pair<int, int>> chain;
+    for (int p = 0; p + 1 < static_cast<int>(phases.size()); ++p)
+        chain.emplace_back(p, p + 1);
+    return chain;
+}
+
+std::vector<StartLag>
+AppSpec::effectiveStartLags() const
+{
+    if (independentPhases)
+        return {};
+    return startLags;
+}
+
+int
+ProblemSpec::numPhases() const
+{
+    int count = 0;
+    for (const AppSpec &app : apps)
+        count += static_cast<int>(app.phases.size());
+    return count;
+}
+
+std::string
+ProblemSpec::validate() const
+{
+    if (cpuCores < 0.0)
+        return "negative CPU core capacity";
+    if (apps.empty())
+        return "workload has no applications";
+    for (const AppSpec &app : apps) {
+        if (app.phases.empty())
+            return format("application %s has no phases",
+                          app.name.c_str());
+        for (const PhaseSpec &phase : app.phases) {
+            if (phase.options.empty())
+                return format("phase %s has no unit options",
+                              phase.name.c_str());
+            bool any_usable = false;
+            for (const UnitOption &option : phase.options) {
+                if (option.timeS < 0.0)
+                    return format("phase %s option %s has negative "
+                                  "time", phase.name.c_str(),
+                                  option.label.c_str());
+                if (option.device != kCpuPool &&
+                    (option.device < 0 ||
+                     option.device >=
+                         static_cast<int>(deviceNames.size()))) {
+                    return format("phase %s option %s references "
+                                  "unknown device %d",
+                                  phase.name.c_str(),
+                                  option.label.c_str(), option.device);
+                }
+                if (option.extraUsage.size() > extraResources.size())
+                    return format("phase %s option %s has more extra-"
+                                  "usage entries than extra resources",
+                                  phase.name.c_str(),
+                                  option.label.c_str());
+                bool usable = option.powerW <= powerBudgetW &&
+                              option.bwGBs <= bandwidthGBs &&
+                              option.cpuCores <= cpuCores;
+                for (size_t r = 0; r < option.extraUsage.size();
+                     ++r) {
+                    if (option.extraUsage[r] < 0.0)
+                        return format("phase %s option %s has "
+                                      "negative extra usage",
+                                      phase.name.c_str(),
+                                      option.label.c_str());
+                    usable = usable && option.extraUsage[r] <=
+                                           extraResources[r].capacity;
+                }
+                any_usable = any_usable || usable;
+            }
+            if (!any_usable)
+                return format("phase %s has no option within the "
+                              "power/bandwidth/core budgets",
+                              phase.name.c_str());
+        }
+        for (auto [from, to] : app.deps) {
+            int n = static_cast<int>(app.phases.size());
+            if (from < 0 || from >= n || to < 0 || to >= n ||
+                from == to) {
+                return format("application %s has an invalid "
+                              "dependency edge (%d, %d)",
+                              app.name.c_str(), from, to);
+            }
+        }
+        for (const StartLag &lag : app.startLags) {
+            int n = static_cast<int>(app.phases.size());
+            if (lag.from < 0 || lag.from >= n || lag.to < 0 ||
+                lag.to >= n || lag.from == lag.to) {
+                return format("application %s has an invalid start "
+                              "lag (%d, %d)", app.name.c_str(),
+                              lag.from, lag.to);
+            }
+            if (lag.lagS < 0.0)
+                return format("application %s has a negative start "
+                              "lag", app.name.c_str());
+        }
+    }
+    return "";
+}
+
+} // namespace hilp

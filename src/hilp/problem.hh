@@ -1,0 +1,142 @@
+/**
+ * @file
+ * HILP's continuous-time problem specification.
+ *
+ * A ProblemSpec is the paper's set of input matrices in structured
+ * form. For every application phase it lists the unit options the
+ * phase may execute on (the compatibility matrix E together with one
+ * row of T, B, P, and U per compatible core cluster and operating
+ * point), plus the chip-wide budgets p_max, b_max, and the CPU core
+ * count u_max. Times are in seconds here; the engine discretizes to
+ * integer time steps per Section III-D before solving.
+ */
+
+#ifndef HILP_HILP_PROBLEM_HH
+#define HILP_HILP_PROBLEM_HH
+
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hilp {
+
+/** Device id of the shared CPU core pool (not a disjunctive device). */
+inline constexpr int kCpuPool = -1;
+
+/** Unlimited budget value for power/bandwidth. */
+inline constexpr double kUnlimited =
+    std::numeric_limits<double>::infinity();
+
+/**
+ * One admissible execution of a phase: a core cluster at one
+ * operating point. This is a column of the paper's T/B/P/U matrices
+ * restricted to the clusters where E is 1.
+ */
+struct UnitOption
+{
+    std::string label;    //!< E.g. "CPUx4", "GPU@765", "DSA:HS@300".
+    int device = kCpuPool; //!< Disjunctive device id, or kCpuPool.
+    double timeS = 0.0;   //!< Execution time (T entry), seconds.
+    double bwGBs = 0.0;   //!< Memory bandwidth demand (B entry).
+    double powerW = 0.0;  //!< Power draw while active (P entry).
+    double cpuCores = 0.0; //!< CPU cores occupied (U entry).
+    /**
+     * Demand on each user-defined extra resource (Section VII:
+     * e.g. per-cache-level bandwidth). Indexed like
+     * ProblemSpec::extraResources; missing entries mean zero.
+     */
+    std::vector<double> extraUsage;
+};
+
+/**
+ * A user-defined cumulative resource beyond the built-in power,
+ * bandwidth, and CPU-core budgets - the Section VII mechanism for
+ * modeling e.g. L2/LLC bandwidth limits.
+ */
+struct ExtraResource
+{
+    std::string name;
+    double capacity = 0.0;
+};
+
+/** One application phase and its admissible unit options. */
+struct PhaseSpec
+{
+    std::string name;
+    std::vector<UnitOption> options;
+};
+
+/**
+ * An initiation interval (Section VII "other extensions"): phase
+ * `to` may start no earlier than `lagS` seconds after the *start*
+ * of phase `from` - a start-to-start constraint, unlike the
+ * finish-to-start deps.
+ */
+struct StartLag
+{
+    int from = -1;
+    int to = -1;
+    double lagS = 0.0;
+};
+
+/** An application: phases plus their dependency structure. */
+struct AppSpec
+{
+    std::string name;
+    std::vector<PhaseSpec> phases;
+    /**
+     * Dependency edges (from, to) between phase indices (Eq. 9).
+     * Empty means the default chain 0 -> 1 -> ... (Eq. 2) unless
+     * independentPhases is set.
+     */
+    std::vector<std::pair<int, int>> deps;
+    /** Initiation intervals between phases (start-to-start lags). */
+    std::vector<StartLag> startLags;
+    /**
+     * When true the phases have no mutual ordering at all (deps and
+     * lags are both ignored); used by the Gables baseline which
+     * discards dependencies.
+     */
+    bool independentPhases = false;
+
+    /** The effective dependency edges (materializes the chain). */
+    std::vector<std::pair<int, int>> effectiveDeps() const;
+
+    /** The effective start lags (empty when independentPhases). */
+    std::vector<StartLag> effectiveStartLags() const;
+};
+
+/**
+ * The full scheduling problem: workload, devices, and budgets.
+ */
+struct ProblemSpec
+{
+    std::string name;
+    std::vector<AppSpec> apps;
+    /** Names of the disjunctive devices (GPU, DSAs), by device id. */
+    std::vector<std::string> deviceNames;
+    /** u_max: capacity of the CPU core pool. */
+    double cpuCores = 1.0;
+    /** p_max; kUnlimited disables the power constraint. */
+    double powerBudgetW = kUnlimited;
+    /** b_max; kUnlimited disables the bandwidth constraint. */
+    double bandwidthGBs = kUnlimited;
+    /** Extra cumulative resources (cache-level bandwidths, ...). */
+    std::vector<ExtraResource> extraResources;
+
+    /** Total number of phases across all apps. */
+    int numPhases() const;
+
+    /**
+     * Structural sanity check; empty string when valid, otherwise a
+     * description of the first problem (no options, bad device ids,
+     * bad dependency indices, options that exceed a budget outright
+     * leaving a phase unschedulable, ...).
+     */
+    std::string validate() const;
+};
+
+} // namespace hilp
+
+#endif // HILP_HILP_PROBLEM_HH

@@ -1,0 +1,319 @@
+#include "schedule.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "problem.hh"
+#include "support/logging.hh"
+#include "support/str.hh"
+
+namespace hilp {
+
+double
+Schedule::makespanS() const
+{
+    double end = 0.0;
+    for (const ScheduledPhase &phase : phases)
+        end = std::max(end, phase.startS + phase.durationS);
+    return end;
+}
+
+double
+Schedule::averageWlp() const
+{
+    // Average WLP = total busy phase-time / measure of the union of
+    // activity intervals (equivalent to the paper's per-step mean).
+    struct Event
+    {
+        double time;
+        int delta;
+    };
+    std::vector<Event> events;
+    double busy = 0.0;
+    for (const ScheduledPhase &phase : phases) {
+        if (phase.durationS <= 0.0)
+            continue;
+        busy += phase.durationS;
+        events.push_back({phase.startS, +1});
+        events.push_back({phase.startS + phase.durationS, -1});
+    }
+    if (events.empty())
+        return 0.0;
+    std::sort(events.begin(), events.end(),
+              [](const Event &a, const Event &b) {
+                  return a.time < b.time;
+              });
+    double active_measure = 0.0;
+    int depth = 0;
+    double open_since = 0.0;
+    for (const Event &event : events) {
+        if (depth > 0)
+            active_measure += event.time - open_since;
+        depth += event.delta;
+        open_since = event.time;
+    }
+    hilp_assert(depth == 0);
+    if (active_measure <= 0.0)
+        return 0.0;
+    return busy / active_measure;
+}
+
+int
+Schedule::peakWlp() const
+{
+    struct Event
+    {
+        double time;
+        int delta;
+    };
+    std::vector<Event> events;
+    for (const ScheduledPhase &phase : phases) {
+        if (phase.durationS <= 0.0)
+            continue;
+        events.push_back({phase.startS, +1});
+        events.push_back({phase.startS + phase.durationS, -1});
+    }
+    std::sort(events.begin(), events.end(),
+              [](const Event &a, const Event &b) {
+                  if (a.time != b.time)
+                      return a.time < b.time;
+                  return a.delta < b.delta; // close before open
+              });
+    int depth = 0;
+    int peak = 0;
+    for (const Event &event : events) {
+        depth += event.delta;
+        peak = std::max(peak, depth);
+    }
+    return peak;
+}
+
+namespace {
+
+/** Makespan in steps of a discrete schedule. */
+cp::Time
+makespanSteps(const Schedule &schedule)
+{
+    cp::Time end = 0;
+    for (const ScheduledPhase &phase : schedule.phases)
+        end = std::max(end, phase.startStep + phase.durationSteps);
+    return end;
+}
+
+template <typename Value, typename Getter>
+std::vector<Value>
+traceOf(const Schedule &schedule, Getter getter)
+{
+    hilp_assert(schedule.stepS > 0.0);
+    std::vector<Value> trace(makespanSteps(schedule), Value{});
+    for (const ScheduledPhase &phase : schedule.phases) {
+        for (cp::Time s = phase.startStep;
+             s < phase.startStep + phase.durationSteps; ++s) {
+            trace[s] += getter(phase);
+        }
+    }
+    return trace;
+}
+
+/** Label for the i-th phase in Gantt charts. */
+char
+phaseLetter(size_t i)
+{
+    if (i < 26)
+        return static_cast<char>('A' + i);
+    if (i < 52)
+        return static_cast<char>('a' + (i - 26));
+    return static_cast<char>('0' + i % 10);
+}
+
+} // anonymous namespace
+
+std::vector<double>
+Schedule::powerTrace() const
+{
+    return traceOf<double>(*this, [](const ScheduledPhase &p) {
+        return p.powerW;
+    });
+}
+
+std::vector<double>
+Schedule::bwTrace() const
+{
+    return traceOf<double>(*this, [](const ScheduledPhase &p) {
+        return p.bwGBs;
+    });
+}
+
+std::vector<int>
+Schedule::wlpTrace() const
+{
+    return traceOf<int>(*this, [](const ScheduledPhase &) {
+        return 1;
+    });
+}
+
+std::string
+Schedule::gantt(int width) const
+{
+    hilp_assert(width > 10);
+    double makespan = makespanS();
+    if (makespan <= 0.0 || phases.empty())
+        return "(empty schedule)\n";
+    double scale = static_cast<double>(width) / makespan;
+
+    // Order phases deterministically for labelling.
+    std::vector<size_t> order(phases.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+        if (phases[a].startS != phases[b].startS)
+            return phases[a].startS < phases[b].startS;
+        return phases[a].name < phases[b].name;
+    });
+    std::vector<char> letter(phases.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        letter[order[i]] = phaseLetter(i);
+
+    // Rows: devices keep one lane each; CPU-pool phases are packed
+    // greedily into as many lanes as their overlap requires.
+    struct Row
+    {
+        std::string label;
+        std::string cells;
+        double freeFrom = 0.0;
+    };
+    std::vector<Row> device_rows;
+    std::vector<Row> cpu_rows;
+    for (const std::string &device : deviceNames)
+        device_rows.push_back({device, std::string(width, '.'), 0.0});
+
+    auto paint = [&](Row &row, size_t idx) {
+        const ScheduledPhase &phase = phases[idx];
+        int begin = static_cast<int>(std::floor(phase.startS * scale));
+        int end = static_cast<int>(
+            std::ceil((phase.startS + phase.durationS) * scale));
+        begin = std::clamp(begin, 0, width - 1);
+        end = std::clamp(end, begin + 1, width);
+        for (int c = begin; c < end; ++c)
+            row.cells[c] = letter[idx];
+        row.freeFrom = phase.startS + phase.durationS;
+    };
+
+    for (size_t idx : order) {
+        const ScheduledPhase &phase = phases[idx];
+        if (phase.durationS <= 0.0)
+            continue;
+        if (phase.device == kCpuPool) {
+            Row *target = nullptr;
+            for (Row &row : cpu_rows) {
+                if (row.freeFrom <= phase.startS + 1e-9) {
+                    target = &row;
+                    break;
+                }
+            }
+            if (!target) {
+                cpu_rows.push_back(
+                    {format("CPU#%zu", cpu_rows.size()),
+                     std::string(width, '.'), 0.0});
+                target = &cpu_rows.back();
+            }
+            paint(*target, idx);
+        } else {
+            while (static_cast<int>(device_rows.size()) <=
+                   phase.device) {
+                size_t d = device_rows.size();
+                std::string label = d < deviceNames.size()
+                    ? deviceNames[d] : format("dev%zu", d);
+                device_rows.push_back(
+                    {label, std::string(width, '.'), 0.0});
+            }
+            paint(device_rows[phase.device], idx);
+        }
+    }
+
+    size_t label_width = 0;
+    for (const Row &row : cpu_rows)
+        label_width = std::max(label_width, row.label.size());
+    for (const Row &row : device_rows)
+        label_width = std::max(label_width, row.label.size());
+
+    std::string out;
+    auto emit = [&](const Row &row) {
+        out += row.label;
+        out += std::string(label_width - row.label.size(), ' ');
+        out += " |" + row.cells + "|\n";
+    };
+    for (const Row &row : cpu_rows)
+        emit(row);
+    for (const Row &row : device_rows)
+        emit(row);
+    out += format("%*s  0%*s%.1fs\n", static_cast<int>(label_width),
+                  "", width - 1, "", makespan);
+    for (size_t idx : order) {
+        const ScheduledPhase &phase = phases[idx];
+        out += format("  %c: %-18s %-10s [%8.2f, %8.2f)\n",
+                      letter[idx], phase.name.c_str(),
+                      phase.unitLabel.c_str(), phase.startS,
+                      phase.startS + phase.durationS);
+    }
+    return out;
+}
+
+std::vector<Schedule::Utilization>
+Schedule::utilization() const
+{
+    double makespan = makespanS();
+    std::vector<Utilization> rows;
+    // One row per device, in device-id order.
+    size_t num_devices = deviceNames.size();
+    for (const ScheduledPhase &phase : phases)
+        if (phase.device != kCpuPool)
+            num_devices = std::max(num_devices,
+                                   static_cast<size_t>(
+                                       phase.device + 1));
+    rows.resize(num_devices + 1);
+    for (size_t d = 0; d < num_devices; ++d) {
+        rows[d].unit = d < deviceNames.size()
+            ? deviceNames[d] : format("dev%zu", d);
+    }
+    rows[num_devices].unit = "CPU pool";
+    for (const ScheduledPhase &phase : phases) {
+        if (phase.device == kCpuPool) {
+            rows[num_devices].busyS +=
+                phase.durationS * std::max(1.0, phase.cpuCores);
+        } else {
+            rows[phase.device].busyS += phase.durationS;
+        }
+    }
+    if (makespan > 0.0) {
+        for (size_t d = 0; d < num_devices; ++d)
+            rows[d].share = rows[d].busyS / makespan;
+        double pool = std::max(1.0, cpuCores);
+        rows[num_devices].share =
+            rows[num_devices].busyS / (pool * makespan);
+    }
+    return rows;
+}
+
+std::string
+Schedule::describe() const
+{
+    std::vector<size_t> order(phases.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+        if (phases[a].startS != phases[b].startS)
+            return phases[a].startS < phases[b].startS;
+        return phases[a].name < phases[b].name;
+    });
+    std::string out;
+    for (size_t idx : order) {
+        const ScheduledPhase &phase = phases[idx];
+        out += format("%-18s on %-10s [%9.2f, %9.2f) s\n",
+                      phase.name.c_str(), phase.unitLabel.c_str(),
+                      phase.startS, phase.startS + phase.durationS);
+    }
+    return out;
+}
+
+} // namespace hilp

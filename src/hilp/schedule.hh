@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The rich schedule type HILP hands back to users: per-phase
+ * placements in both step and second units, the WLP metric of
+ * Section II, per-step power/bandwidth traces (Figure 3b), and an
+ * ASCII Gantt rendering (Figures 2, 3, and 10).
+ */
+
+#ifndef HILP_HILP_SCHEDULE_HH
+#define HILP_HILP_SCHEDULE_HH
+
+#include <string>
+#include <vector>
+
+#include "cp/model.hh"
+
+namespace hilp {
+
+/** The placement of one application phase. */
+struct ScheduledPhase
+{
+    int app = -1;          //!< Application index in the spec.
+    int phase = -1;        //!< Phase index within the application.
+    std::string name;      //!< Phase name, e.g. "HS.compute".
+    int option = -1;       //!< Chosen UnitOption index.
+    std::string unitLabel; //!< E.g. "GPU@765".
+    int device = -1;       //!< Device id, or kCpuPool.
+
+    cp::Time startStep = 0;    //!< Start, in time steps.
+    cp::Time durationSteps = 0; //!< Duration, in time steps.
+    double startS = 0.0;       //!< Start, seconds.
+    double durationS = 0.0;    //!< Duration, seconds.
+
+    double powerW = 0.0;   //!< Power drawn while active.
+    double bwGBs = 0.0;    //!< Bandwidth consumed while active.
+    double cpuCores = 0.0; //!< CPU cores occupied while active.
+};
+
+/**
+ * A complete workload schedule. Schedules produced by the solver
+ * carry a positive step size and meaningful step fields; analytic
+ * schedules (the MultiAmdahl baseline) are continuous-time and set
+ * stepS to 0 - the seconds fields are always valid.
+ */
+struct Schedule
+{
+    double stepS = 0.0;         //!< Step size; 0 = continuous.
+    std::vector<ScheduledPhase> phases;
+    /** Disjunctive device names (for Gantt rows), by device id. */
+    std::vector<std::string> deviceNames;
+    /** CPU-pool capacity (u_max); 0 when unknown. */
+    double cpuCores = 0.0;
+
+    /** Completion time of the last phase, seconds. */
+    double makespanS() const;
+
+    /**
+     * Average Workload-Level Parallelism (Section II): the mean
+     * number of concurrently active phases over the time in which at
+     * least one phase is active. Computed as total busy phase-time
+     * divided by the measure of the union of activity intervals,
+     * which equals the paper's per-time-step average for discrete
+     * schedules.
+     */
+    double averageWlp() const;
+
+    /** Peak number of concurrently active phases. */
+    int peakWlp() const;
+
+    /**
+     * Per-step total power (W); requires a discrete schedule. One
+     * entry per step from 0 to the makespan.
+     */
+    std::vector<double> powerTrace() const;
+
+    /** Per-step total bandwidth (GB/s); requires a discrete schedule. */
+    std::vector<double> bwTrace() const;
+
+    /** Per-step active-phase counts; requires a discrete schedule. */
+    std::vector<int> wlpTrace() const;
+
+    /**
+     * ASCII Gantt chart: one row per execution unit (CPU lanes,
+     * devices), phases labelled by letter with a legend underneath.
+     */
+    std::string gantt(int width = 72) const;
+
+    /** One line per phase: name, unit, [start, end). */
+    std::string describe() const;
+
+    /** Busy time and utilization of one execution unit. */
+    struct Utilization
+    {
+        std::string unit;   //!< Device name or "CPU pool".
+        double busyS = 0.0; //!< Total busy time (core-seconds for
+                            //!< the CPU pool).
+        double share = 0.0; //!< Busy time / makespan (CPU pool:
+                            //!< core-seconds / (cores * makespan)).
+    };
+
+    /**
+     * Per-unit utilization over the makespan: one row per device
+     * plus one for the CPU pool. The paper's Section VI insight
+     * ("the primary function of DSAs is to offload the GPU") is
+     * quantified from exactly this data.
+     */
+    std::vector<Utilization> utilization() const;
+};
+
+} // namespace hilp
+
+#endif // HILP_HILP_SCHEDULE_HH

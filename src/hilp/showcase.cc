@@ -1,0 +1,171 @@
+#include "showcase.hh"
+
+#include "support/logging.hh"
+#include "support/str.hh"
+
+namespace hilp {
+
+namespace {
+
+/** Power of the Section II example units, active / idle (Figure 2). */
+constexpr double kExampleCpuPowerW = 1.0;
+constexpr double kExampleGpuPowerW = 3.0;
+constexpr double kExampleDsaPowerW = 2.0;
+
+/** A CPU-pool option for the Section II / VII examples. */
+UnitOption
+cpuOption(double time_s, double power_w = kExampleCpuPowerW)
+{
+    UnitOption option;
+    option.label = "CPU";
+    option.device = kCpuPool;
+    option.timeS = time_s;
+    option.powerW = power_w;
+    option.cpuCores = 1.0;
+    return option;
+}
+
+/** A device option (GPU or DSA). */
+UnitOption
+deviceOption(const std::string &label, int device, double time_s,
+             double power_w)
+{
+    UnitOption option;
+    option.label = label;
+    option.device = device;
+    option.timeS = time_s;
+    option.powerW = power_w;
+    return option;
+}
+
+} // anonymous namespace
+
+ProblemSpec
+makeTwoAppExample()
+{
+    ProblemSpec spec;
+    spec.name = "two-app example (Fig. 2)";
+    spec.cpuCores = 1.0;
+    spec.deviceNames = {"GPU", "DSA"};
+    constexpr int kGpu = 0;
+    constexpr int kDsa = 1;
+
+    auto make_app = [&](const std::string &name, double cpu_s,
+                        double gpu_s, double dsa_s) {
+        AppSpec app;
+        app.name = name;
+        PhaseSpec setup;
+        setup.name = name + "0";
+        setup.options = {cpuOption(1.0)};
+        PhaseSpec compute;
+        compute.name = name + "1";
+        compute.options = {
+            cpuOption(cpu_s),
+            deviceOption("GPU", kGpu, gpu_s, kExampleGpuPowerW),
+            deviceOption("DSA", kDsa, dsa_s, kExampleDsaPowerW),
+        };
+        PhaseSpec teardown;
+        teardown.name = name + "2";
+        teardown.options = {cpuOption(1.0)};
+        app.phases = {setup, compute, teardown};
+        return app;
+    };
+
+    spec.apps.push_back(make_app("m", 8.0, 6.0, 5.0));
+    spec.apps.push_back(make_app("n", 5.0, 3.0, 2.0));
+    return spec;
+}
+
+const char *
+toString(SdaVariant variant)
+{
+    switch (variant) {
+      case SdaVariant::Baseline:
+        return "baseline (c1,g8,d3^1)";
+      case SdaVariant::FastCpu:
+        return "2x faster CPU";
+      case SdaVariant::BigGpu:
+        return "2x GPU SMs";
+    }
+    panic("unhandled SDA variant");
+}
+
+ProblemSpec
+makeSdaProblem(SdaVariant variant, int samples)
+{
+    hilp_assert(samples >= 1);
+    // Per-phase time estimates on the baseline SoC (seconds). The
+    // paper's Figure 9 annotates these on the DAG but the values are
+    // not in the text; this set reproduces the Figure 10 narrative.
+    const double ds_time = 4.0;              // DS1..DS3 on their DSA.
+    const double df_cpu = 2.0;               // DF, CPU only.
+    const double c_cpu[3] = {4.0, 6.0, 4.0}; // C1..C3 on the CPU.
+    const double c_gpu[3] = {2.0, 3.0, 2.0}; // C1..C3 on the GPU.
+    const double pp_cpu = 2.0;
+    const double pp_gpu = 1.0;
+
+    double cpu_scale = variant == SdaVariant::FastCpu ? 0.5 : 1.0;
+    double gpu_scale = variant == SdaVariant::BigGpu ? 0.5 : 1.0;
+
+    ProblemSpec spec;
+    spec.name = format("SDA x%d on %s", samples, toString(variant));
+    spec.cpuCores = 1.0;
+    spec.deviceNames = {"GPU", "DSA1", "DSA2", "DSA3"};
+    constexpr int kGpu = 0;
+
+    for (int sample = 0; sample < samples; ++sample) {
+        AppSpec app;
+        app.name = format("sda%d", sample);
+
+        // Phases 0-2: DS1..DS3, pinned to their dedicated DSAs.
+        for (int d = 0; d < 3; ++d) {
+            PhaseSpec phase;
+            phase.name = format("sda%d.DS%d", sample, d + 1);
+            phase.options = {deviceOption(format("DSA%d", d + 1),
+                                          1 + d, ds_time,
+                                          kExampleDsaPowerW)};
+            app.phases.push_back(phase);
+        }
+        // Phase 3: DF, CPU only.
+        {
+            PhaseSpec phase;
+            phase.name = format("sda%d.DF", sample);
+            phase.options = {cpuOption(df_cpu * cpu_scale)};
+            app.phases.push_back(phase);
+        }
+        // Phases 4-6: C1..C3, CPU or GPU.
+        for (int c = 0; c < 3; ++c) {
+            PhaseSpec phase;
+            phase.name = format("sda%d.C%d", sample, c + 1);
+            phase.options = {
+                cpuOption(c_cpu[c] * cpu_scale),
+                deviceOption("GPU", kGpu, c_gpu[c] * gpu_scale,
+                             kExampleGpuPowerW),
+            };
+            app.phases.push_back(phase);
+        }
+        // Phase 7: PP, CPU or GPU.
+        {
+            PhaseSpec phase;
+            phase.name = format("sda%d.PP", sample);
+            phase.options = {
+                cpuOption(pp_cpu * cpu_scale),
+                deviceOption("GPU", kGpu, pp_gpu * gpu_scale,
+                             kExampleGpuPowerW),
+            };
+            app.phases.push_back(phase);
+        }
+
+        // The Figure 9 DAG (Eq. 9): fork from the data sources into
+        // DF, fan out to the computes, and join in PP.
+        app.deps = {
+            {0, 3}, {1, 3}, {2, 3},          // DS1..DS3 -> DF
+            {3, 4}, {3, 5}, {3, 6},          // DF -> C1..C3
+            {4, 7}, {5, 7}, {6, 7},          // C1..C3 -> PP
+        };
+        spec.apps.push_back(std::move(app));
+    }
+    return spec;
+}
+
+} // namespace hilp

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The paper's fully-specified didactic problems: the two-application
+ * example of Section II (Figures 2 and 3) and the streaming-dataflow
+ * application of Section VII (Figures 9 and 10). Both are built
+ * directly as ProblemSpecs - they are literally the input matrices
+ * the paper presents.
+ */
+
+#ifndef HILP_HILP_SHOWCASE_HH
+#define HILP_HILP_SHOWCASE_HH
+
+#include "problem.hh"
+
+namespace hilp {
+
+/**
+ * The Section II example: applications m (HPC matrix multiply) and
+ * n (neural-network inference), each setup -> compute -> teardown,
+ * on an SoC with one CPU (1 W), one GPU (3 W), and one
+ * matrix-multiply DSA (2 W). Compute times: m1 = 8/6/5 s and
+ * n1 = 5/3/2 s on CPU/GPU/DSA; setup and teardown take 1 s on the
+ * CPU. Unconstrained by default; set powerBudgetW = 3 to reproduce
+ * Figure 3.
+ */
+ProblemSpec makeTwoAppExample();
+
+/** Naive all-on-CPU execution time of the two-app example (17 s). */
+inline constexpr double kTwoAppNaiveCpuS = 17.0;
+
+/** SoC variants explored for the SDA workload (Figure 10). */
+enum class SdaVariant {
+    Baseline, //!< (c1, g8, d3^1).
+    FastCpu,  //!< CPU 2x faster.
+    BigGpu,   //!< GPU with 2x the SMs.
+};
+
+/** Human-readable variant name. */
+const char *toString(SdaVariant variant);
+
+/**
+ * The Section VII streaming-dataflow workload: `samples` independent
+ * SDA instances, each the DAG of Figure 9 (DS1/DS2/DS3 pinned to
+ * dedicated DSAs -> DF on the CPU -> C1/C2/C3 on CPU or GPU -> PP on
+ * CPU or GPU). The paper's figure does not tabulate the per-phase
+ * times, so this module fixes a consistent set (documented in
+ * DESIGN.md) that reproduces the narrative: the baseline SoC misses
+ * its objective, while doubling CPU speed or GPU SMs both meet it.
+ */
+ProblemSpec makeSdaProblem(SdaVariant variant, int samples = 2);
+
+} // namespace hilp
+
+#endif // HILP_HILP_SHOWCASE_HH

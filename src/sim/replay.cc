@@ -1,0 +1,446 @@
+#include "replay.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/logging.hh"
+#include "support/str.hh"
+
+namespace hilp {
+namespace sim {
+
+namespace {
+
+constexpr double kEps = 1e-7;
+
+/** Flat phase identifier. */
+struct PhaseRef
+{
+    int app = -1;
+    int phase = -1;
+};
+
+/** The envelope sweep shared by both simulator modes. */
+void
+measureEnvelope(const Schedule &schedule, SimResult &result)
+{
+    struct Event
+    {
+        double time;
+        int delta; // +1 start, -1 end
+        const ScheduledPhase *phase;
+    };
+    std::vector<Event> events;
+    for (const ScheduledPhase &phase : schedule.phases) {
+        if (phase.durationS <= 0.0)
+            continue;
+        events.push_back({phase.startS, +1, &phase});
+        events.push_back({phase.startS + phase.durationS, -1,
+                          &phase});
+    }
+    std::sort(events.begin(), events.end(),
+              [](const Event &a, const Event &b) {
+                  if (a.time != b.time)
+                      return a.time < b.time;
+                  return a.delta < b.delta; // release before acquire
+              });
+    double power = 0.0;
+    double bw = 0.0;
+    double cores = 0.0;
+    // Process events in batches of (numerically) equal instants,
+    // releases first, and sample the envelope only after the whole
+    // batch: back-to-back phases may differ by one ulp when start
+    // and end were computed by different float expressions.
+    size_t i = 0;
+    while (i < events.size()) {
+        double t0 = events[i].time;
+        size_t j = i;
+        while (j < events.size() && events[j].time <= t0 + kEps)
+            ++j;
+        for (int pass = 0; pass < 2; ++pass) {
+            int want = pass == 0 ? -1 : +1;
+            for (size_t k = i; k < j; ++k) {
+                if (events[k].delta != want)
+                    continue;
+                double sign = events[k].delta;
+                power += sign * events[k].phase->powerW;
+                bw += sign * events[k].phase->bwGBs;
+                cores += sign * events[k].phase->cpuCores;
+            }
+        }
+        result.peakPowerW = std::max(result.peakPowerW, power);
+        result.peakBwGBs = std::max(result.peakBwGBs, bw);
+        result.peakCpuCores = std::max(result.peakCpuCores, cores);
+        i = j;
+    }
+}
+
+} // anonymous namespace
+
+SimResult
+replaySchedule(const ProblemSpec &spec, const Schedule &schedule)
+{
+    SimResult result;
+    result.schedule = schedule;
+
+    auto fail = [&](std::string why) {
+        result.violation = std::move(why);
+        return result;
+    };
+
+    // Index placements by (app, phase); each must appear once.
+    std::vector<std::vector<const ScheduledPhase *>> placed(
+        spec.apps.size());
+    for (size_t a = 0; a < spec.apps.size(); ++a)
+        placed[a].assign(spec.apps[a].phases.size(), nullptr);
+    for (const ScheduledPhase &phase : schedule.phases) {
+        if (phase.app < 0 ||
+            phase.app >= static_cast<int>(spec.apps.size()))
+            return fail(format("phase '%s' references unknown app",
+                               phase.name.c_str()));
+        const AppSpec &app = spec.apps[phase.app];
+        if (phase.phase < 0 ||
+            phase.phase >= static_cast<int>(app.phases.size()))
+            return fail(format("phase '%s' references unknown phase "
+                               "index", phase.name.c_str()));
+        if (placed[phase.app][phase.phase])
+            return fail(format("phase '%s' placed twice",
+                               phase.name.c_str()));
+        const PhaseSpec &spec_phase = app.phases[phase.phase];
+        if (phase.option < 0 ||
+            phase.option >=
+                static_cast<int>(spec_phase.options.size()))
+            return fail(format("phase '%s' uses unknown option",
+                               phase.name.c_str()));
+        const UnitOption &option = spec_phase.options[phase.option];
+        if (std::fabs(option.timeS - phase.durationS) >
+            kEps + 1e-6 * option.timeS + phase.durationS * 0.0) {
+            // Durations may be rounded up by discretization but
+            // never shortened.
+            if (phase.durationS < option.timeS - kEps)
+                return fail(format("phase '%s' runs shorter than its "
+                                   "option allows",
+                                   phase.name.c_str()));
+        }
+        if (phase.startS < -kEps)
+            return fail(format("phase '%s' starts before time 0",
+                               phase.name.c_str()));
+        placed[phase.app][phase.phase] = &phase;
+    }
+    for (size_t a = 0; a < spec.apps.size(); ++a)
+        for (size_t p = 0; p < spec.apps[a].phases.size(); ++p)
+            if (!placed[a][p])
+                return fail(format("phase %s is missing",
+                                   spec.apps[a].phases[p].name
+                                       .c_str()));
+
+    // Dependencies and lags.
+    for (size_t a = 0; a < spec.apps.size(); ++a) {
+        const AppSpec &app = spec.apps[a];
+        for (auto [from, to] : app.effectiveDeps()) {
+            double from_end =
+                placed[a][from]->startS + placed[a][from]->durationS;
+            if (placed[a][to]->startS < from_end - kEps)
+                return fail(format("dependency %s -> %s violated",
+                                   app.phases[from].name.c_str(),
+                                   app.phases[to].name.c_str()));
+        }
+        for (const StartLag &lag : app.effectiveStartLags()) {
+            if (placed[a][lag.to]->startS <
+                placed[a][lag.from]->startS + lag.lagS - kEps)
+                return fail(format("start lag %s -> %s violated",
+                                   app.phases[lag.from].name.c_str(),
+                                   app.phases[lag.to].name.c_str()));
+        }
+    }
+
+    // Device exclusivity.
+    std::vector<std::vector<const ScheduledPhase *>> by_device(
+        spec.deviceNames.size());
+    for (const ScheduledPhase &phase : schedule.phases) {
+        if (phase.device == kCpuPool)
+            continue;
+        if (phase.device < 0 ||
+            phase.device >= static_cast<int>(by_device.size()))
+            return fail(format("phase '%s' on unknown device",
+                               phase.name.c_str()));
+        by_device[phase.device].push_back(&phase);
+    }
+    for (auto &device_phases : by_device) {
+        std::sort(device_phases.begin(), device_phases.end(),
+                  [](const ScheduledPhase *x, const ScheduledPhase *y) {
+                      return x->startS < y->startS;
+                  });
+        for (size_t i = 1; i < device_phases.size(); ++i) {
+            double prev_end = device_phases[i - 1]->startS +
+                              device_phases[i - 1]->durationS;
+            if (device_phases[i]->startS < prev_end - kEps)
+                return fail(format("device overlap: '%s' and '%s'",
+                                   device_phases[i - 1]->name.c_str(),
+                                   device_phases[i]->name.c_str()));
+        }
+    }
+
+    // Resource envelopes.
+    measureEnvelope(schedule, result);
+    if (result.peakPowerW > spec.powerBudgetW + kEps)
+        return fail(format("power envelope %.3f exceeds budget %.3f",
+                           result.peakPowerW, spec.powerBudgetW));
+    if (result.peakBwGBs > spec.bandwidthGBs + kEps)
+        return fail(format("bandwidth envelope %.3f exceeds %.3f",
+                           result.peakBwGBs, spec.bandwidthGBs));
+    if (result.peakCpuCores > spec.cpuCores + kEps)
+        return fail(format("CPU-core envelope %.2f exceeds %.2f",
+                           result.peakCpuCores, spec.cpuCores));
+
+    result.ok = true;
+    result.makespanS = schedule.makespanS();
+    return result;
+}
+
+const char *
+toString(DispatchOrder order)
+{
+    switch (order) {
+      case DispatchOrder::Fifo:
+        return "fifo";
+      case DispatchOrder::LongestFirst:
+        return "longest-first";
+      case DispatchOrder::ShortestFirst:
+        return "shortest-first";
+    }
+    return "unknown";
+}
+
+SimResult
+runOnlineScheduler(const ProblemSpec &spec,
+                   const OnlineOptions &options)
+{
+    SimResult result;
+    std::string issue = spec.validate();
+    if (!issue.empty()) {
+        result.violation = issue;
+        return result;
+    }
+
+    const double inf = std::numeric_limits<double>::infinity();
+
+    // Flatten phases and build per-app dependency bookkeeping.
+    struct PhaseState
+    {
+        PhaseRef ref;
+        int remainingDeps = 0;
+        bool started = false;
+        bool finished = false;
+        int remainingLagPreds = 0; //!< Lag predecessors not started.
+        double lagReadyS = 0.0; //!< Earliest start from lags (grows
+                                //!< as lag predecessors start).
+        double bestTimeS =
+            std::numeric_limits<double>::infinity();
+    };
+    std::vector<PhaseState> states;
+    std::vector<std::vector<int>> index_of(spec.apps.size());
+    for (size_t a = 0; a < spec.apps.size(); ++a) {
+        index_of[a].resize(spec.apps[a].phases.size());
+        for (size_t p = 0; p < spec.apps[a].phases.size(); ++p) {
+            PhaseState state;
+            state.ref = {static_cast<int>(a), static_cast<int>(p)};
+            for (const UnitOption &option :
+                 spec.apps[a].phases[p].options)
+                state.bestTimeS =
+                    std::min(state.bestTimeS, option.timeS);
+            index_of[a][p] = static_cast<int>(states.size());
+            states.push_back(state);
+        }
+    }
+    for (size_t a = 0; a < spec.apps.size(); ++a) {
+        for (auto [from, to] : spec.apps[a].effectiveDeps()) {
+            (void)from;
+            ++states[index_of[a][to]].remainingDeps;
+        }
+        for (const StartLag &lag : spec.apps[a].effectiveStartLags())
+            ++states[index_of[a][lag.to]].remainingLagPreds;
+    }
+
+    // Runtime state.
+    std::vector<double> device_free(spec.deviceNames.size(), 0.0);
+    double power_used = 0.0;
+    double bw_used = 0.0;
+    double cores_used = 0.0;
+    double now = 0.0;
+    int finished = 0;
+
+    struct Running
+    {
+        int state;
+        int option;
+        double endS;
+    };
+    std::vector<Running> running;
+
+    result.schedule.stepS = 0.0;
+    result.schedule.deviceNames = spec.deviceNames;
+    result.schedule.cpuCores = spec.cpuCores;
+
+    auto ready_order = [&](int lhs, int rhs) {
+        const PhaseState &ls = states[lhs];
+        const PhaseState &rs = states[rhs];
+        switch (options.order) {
+          case DispatchOrder::LongestFirst:
+            if (ls.bestTimeS != rs.bestTimeS)
+                return ls.bestTimeS > rs.bestTimeS;
+            break;
+          case DispatchOrder::ShortestFirst:
+            if (ls.bestTimeS != rs.bestTimeS)
+                return ls.bestTimeS < rs.bestTimeS;
+            break;
+          case DispatchOrder::Fifo:
+            break;
+        }
+        return lhs < rhs;
+    };
+
+    const int total = static_cast<int>(states.size());
+    while (finished < total) {
+        // Collect dispatchable phases.
+        std::vector<int> ready;
+        for (int s = 0; s < total; ++s) {
+            const PhaseState &state = states[s];
+            if (!state.started && state.remainingDeps == 0 &&
+                state.remainingLagPreds == 0 &&
+                state.lagReadyS <= now + kEps)
+                ready.push_back(s);
+        }
+        std::sort(ready.begin(), ready.end(), ready_order);
+
+        bool placed_any = false;
+        for (int s : ready) {
+            PhaseState &state = states[s];
+            const PhaseSpec &phase =
+                spec.apps[state.ref.app].phases[state.ref.phase];
+            // Find the best admissible option right now.
+            int best = -1;
+            for (size_t o = 0; o < phase.options.size(); ++o) {
+                const UnitOption &option = phase.options[o];
+                if (option.device != kCpuPool &&
+                    device_free[option.device] > now + kEps)
+                    continue;
+                if (power_used + option.powerW >
+                        spec.powerBudgetW + kEps ||
+                    bw_used + option.bwGBs >
+                        spec.bandwidthGBs + kEps ||
+                    cores_used + option.cpuCores >
+                        spec.cpuCores + kEps)
+                    continue;
+                if (best < 0) {
+                    best = static_cast<int>(o);
+                    continue;
+                }
+                const UnitOption &incumbent = phase.options[best];
+                bool better;
+                if (options.greedyFastest) {
+                    better = option.timeS < incumbent.timeS;
+                } else {
+                    // Prefer accelerators, then speed: model naive
+                    // software that always offloads when it can.
+                    bool inc_cpu = incumbent.device == kCpuPool;
+                    bool opt_cpu = option.device == kCpuPool;
+                    if (inc_cpu != opt_cpu)
+                        better = inc_cpu;
+                    else
+                        better = option.timeS < incumbent.timeS;
+                }
+                if (better)
+                    best = static_cast<int>(o);
+            }
+            if (best < 0)
+                continue;
+            const UnitOption &option = phase.options[best];
+            // Dispatch.
+            state.started = true;
+            if (option.device != kCpuPool)
+                device_free[option.device] = now + option.timeS;
+            power_used += option.powerW;
+            bw_used += option.bwGBs;
+            cores_used += option.cpuCores;
+            running.push_back({s, best, now + option.timeS});
+
+            ScheduledPhase record;
+            record.app = state.ref.app;
+            record.phase = state.ref.phase;
+            record.name = phase.name;
+            record.option = best;
+            record.unitLabel = option.label;
+            record.device = option.device;
+            record.startS = now;
+            record.durationS = option.timeS;
+            record.powerW = option.powerW;
+            record.bwGBs = option.bwGBs;
+            record.cpuCores = option.cpuCores;
+            result.schedule.phases.push_back(std::move(record));
+
+            // Starting releases lag successors.
+            const AppSpec &app = spec.apps[state.ref.app];
+            for (const StartLag &lag : app.effectiveStartLags()) {
+                if (lag.from != state.ref.phase)
+                    continue;
+                PhaseState &successor =
+                    states[index_of[state.ref.app][lag.to]];
+                --successor.remainingLagPreds;
+                successor.lagReadyS =
+                    std::max(successor.lagReadyS, now + lag.lagS);
+            }
+            placed_any = true;
+        }
+        if (placed_any)
+            continue; // Try to fill remaining capacity at `now`.
+
+        // Advance time to the next event: a completion or a lag
+        // release of an otherwise-ready phase.
+        double next = inf;
+        for (const Running &run : running)
+            if (!states[run.state].finished)
+                next = std::min(next, run.endS);
+        for (int s = 0; s < total; ++s) {
+            const PhaseState &state = states[s];
+            if (!state.started && state.remainingDeps == 0 &&
+                state.remainingLagPreds == 0 &&
+                state.lagReadyS > now)
+                next = std::min(next, state.lagReadyS);
+        }
+        if (next == inf) {
+            result.violation =
+                "online scheduler stalled (no dispatchable phase)";
+            return result;
+        }
+        now = next;
+        // Retire completions at `now`.
+        for (Running &run : running) {
+            PhaseState &state = states[run.state];
+            if (state.finished || run.endS > now + kEps)
+                continue;
+            state.finished = true;
+            ++finished;
+            const UnitOption &option =
+                spec.apps[state.ref.app]
+                    .phases[state.ref.phase].options[run.option];
+            power_used -= option.powerW;
+            bw_used -= option.bwGBs;
+            cores_used -= option.cpuCores;
+            const AppSpec &app = spec.apps[state.ref.app];
+            for (auto [from, to] : app.effectiveDeps())
+                if (from == state.ref.phase)
+                    --states[index_of[state.ref.app][to]]
+                         .remainingDeps;
+        }
+    }
+
+    measureEnvelope(result.schedule, result);
+    result.ok = true;
+    result.makespanS = result.schedule.makespanS();
+    return result;
+}
+
+} // namespace sim
+} // namespace hilp

@@ -1,0 +1,227 @@
+#include "json.hh"
+
+#include <cmath>
+
+#include "logging.hh"
+#include "str.hh"
+
+namespace hilp {
+
+Json::Json() = default;
+
+Json
+Json::null()
+{
+    return Json();
+}
+
+Json
+Json::boolean(bool value)
+{
+    Json json;
+    json.kind_ = Kind::Bool;
+    json.bool_ = value;
+    return json;
+}
+
+Json
+Json::number(double value)
+{
+    Json json;
+    json.kind_ = Kind::Number;
+    json.number_ = value;
+    return json;
+}
+
+Json
+Json::number(int64_t value)
+{
+    Json json;
+    json.kind_ = Kind::Integer;
+    json.integer_ = value;
+    return json;
+}
+
+Json
+Json::string(std::string value)
+{
+    Json json;
+    json.kind_ = Kind::String;
+    json.string_ = std::move(value);
+    return json;
+}
+
+Json
+Json::object()
+{
+    Json json;
+    json.kind_ = Kind::Object;
+    return json;
+}
+
+Json
+Json::array()
+{
+    Json json;
+    json.kind_ = Kind::Array;
+    return json;
+}
+
+Json &
+Json::set(const std::string &key, Json value)
+{
+    hilp_assert(kind_ == Kind::Object);
+    for (auto &member : members_) {
+        if (member.first == key) {
+            member.second = std::move(value);
+            return *this;
+        }
+    }
+    members_.emplace_back(key, std::move(value));
+    return *this;
+}
+
+Json &
+Json::append(Json value)
+{
+    hilp_assert(kind_ == Kind::Array);
+    elements_.push_back(std::move(value));
+    return *this;
+}
+
+size_t
+Json::size() const
+{
+    if (kind_ == Kind::Object)
+        return members_.size();
+    if (kind_ == Kind::Array)
+        return elements_.size();
+    return 0;
+}
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (unsigned char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\b':
+            out += "\\b";
+            break;
+          case '\f':
+            out += "\\f";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (c < 0x20)
+                out += format("\\u%04x", c);
+            else
+                out += static_cast<char>(c);
+        }
+    }
+    return out;
+}
+
+namespace {
+
+/** Render a double as JSON (no NaN/Inf in JSON: emit null). */
+std::string
+numberText(double value)
+{
+    if (!std::isfinite(value))
+        return "null";
+    std::string text = format("%.17g", value);
+    return text;
+}
+
+} // anonymous namespace
+
+void
+Json::write(std::string &out, int indent, int depth) const
+{
+    auto newline = [&](int level) {
+        if (indent < 0)
+            return;
+        out += "\n";
+        out += std::string(static_cast<size_t>(indent) *
+                           static_cast<size_t>(level), ' ');
+    };
+
+    switch (kind_) {
+      case Kind::Null:
+        out += "null";
+        break;
+      case Kind::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Kind::Number:
+        out += numberText(number_);
+        break;
+      case Kind::Integer:
+        out += std::to_string(integer_);
+        break;
+      case Kind::String:
+        out += "\"" + jsonEscape(string_) + "\"";
+        break;
+      case Kind::Object: {
+        if (members_.empty()) {
+            out += "{}";
+            break;
+        }
+        out += "{";
+        for (size_t i = 0; i < members_.size(); ++i) {
+            if (i > 0)
+                out += ",";
+            newline(depth + 1);
+            out += "\"" + jsonEscape(members_[i].first) + "\":";
+            if (indent >= 0)
+                out += " ";
+            members_[i].second.write(out, indent, depth + 1);
+        }
+        newline(depth);
+        out += "}";
+        break;
+      }
+      case Kind::Array: {
+        if (elements_.empty()) {
+            out += "[]";
+            break;
+        }
+        out += "[";
+        for (size_t i = 0; i < elements_.size(); ++i) {
+            if (i > 0)
+                out += ",";
+            newline(depth + 1);
+            elements_[i].write(out, indent, depth + 1);
+        }
+        newline(depth);
+        out += "]";
+        break;
+      }
+    }
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::string out;
+    write(out, indent, 0);
+    return out;
+}
+
+} // namespace hilp

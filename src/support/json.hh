@@ -1,0 +1,82 @@
+/**
+ * @file
+ * A minimal JSON writer.
+ *
+ * HILP's results (schedules, DSE sweeps) feed external plotting and
+ * analysis pipelines; this writer produces standards-compliant JSON
+ * without pulling in a dependency. Writing only - HILP's input
+ * formats are CSV (workload/io.hh) and code-level builders.
+ */
+
+#ifndef HILP_SUPPORT_JSON_HH
+#define HILP_SUPPORT_JSON_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hilp {
+
+/**
+ * A JSON value under construction. Build with the static factories
+ * and the object()/array() helpers, then render with dump().
+ */
+class Json
+{
+  public:
+    /** Construct null. */
+    Json();
+
+    static Json null();
+    static Json boolean(bool value);
+    static Json number(double value);
+    static Json number(int64_t value);
+    static Json string(std::string value);
+    static Json object();
+    static Json array();
+
+    /** True when this value is an object / array respectively. */
+    bool isObject() const { return kind_ == Kind::Object; }
+    bool isArray() const { return kind_ == Kind::Array; }
+
+    /**
+     * Set a key on an object (panics on non-objects). Returns *this
+     * for chaining.
+     */
+    Json &set(const std::string &key, Json value);
+
+    /** Append to an array (panics on non-arrays). */
+    Json &append(Json value);
+
+    /** Number of members/elements (0 for scalars). */
+    size_t size() const;
+
+    /**
+     * Render as JSON text. indent < 0 renders compactly; indent >= 0
+     * pretty-prints with that many spaces per level.
+     */
+    std::string dump(int indent = -1) const;
+
+  private:
+    enum class Kind { Null, Bool, Number, Integer, String, Object,
+                      Array };
+
+    void write(std::string &out, int indent, int depth) const;
+
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    int64_t integer_ = 0;
+    std::string string_;
+    std::vector<std::pair<std::string, Json>> members_;
+    std::vector<Json> elements_;
+};
+
+/** Escape a string for inclusion in JSON text (without quotes). */
+std::string jsonEscape(const std::string &text);
+
+} // namespace hilp
+
+#endif // HILP_SUPPORT_JSON_HH

@@ -1,0 +1,113 @@
+#include "logging.hh"
+
+#include <atomic>
+#include <cstdarg>
+
+namespace hilp {
+
+namespace {
+
+std::atomic<LogLevel> globalLogLevel{LogLevel::Inform};
+
+} // anonymous namespace
+
+LogLevel
+logLevel()
+{
+    return globalLogLevel.load(std::memory_order_relaxed);
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLogLevel.store(level, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+std::string
+vformat(const char *fmt, va_list ap)
+{
+    va_list ap_copy;
+    va_copy(ap_copy, ap);
+    int len = std::vsnprintf(nullptr, 0, fmt, ap_copy);
+    va_end(ap_copy);
+    if (len < 0)
+        return std::string(fmt);
+    std::string buf(static_cast<size_t>(len) + 1, '\0');
+    std::vsnprintf(buf.data(), buf.size(), fmt, ap);
+    buf.resize(static_cast<size_t>(len));
+    return buf;
+}
+
+void
+emit(const char *prefix, const std::string &msg)
+{
+    std::fprintf(stderr, "%s%s\n", prefix, msg.c_str());
+    std::fflush(stderr);
+}
+
+void
+assertFail(const char *cond, const char *file, int line)
+{
+    emit("panic: ", std::string("assertion '") + cond + "' failed at " +
+         file + ":" + std::to_string(line));
+    std::abort();
+}
+
+} // namespace detail
+
+void
+inform(const char *fmt, ...)
+{
+    if (logLevel() < LogLevel::Inform)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    detail::emit("info: ", detail::vformat(fmt, ap));
+    va_end(ap);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    if (logLevel() < LogLevel::Warn)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    detail::emit("warn: ", detail::vformat(fmt, ap));
+    va_end(ap);
+}
+
+void
+debug(const char *fmt, ...)
+{
+    if (logLevel() < LogLevel::Debug)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    detail::emit("debug: ", detail::vformat(fmt, ap));
+    va_end(ap);
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    detail::emit("fatal: ", detail::vformat(fmt, ap));
+    va_end(ap);
+    std::exit(1);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    detail::emit("panic: ", detail::vformat(fmt, ap));
+    va_end(ap);
+    std::abort();
+}
+
+} // namespace hilp

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Status-message and error-handling primitives.
+ *
+ * Follows the gem5 convention: panic() is for internal invariant
+ * violations (a HILP bug), fatal() is for user errors (bad
+ * configuration or inputs), and inform()/warn() report status without
+ * stopping execution.
+ */
+
+#ifndef HILP_SUPPORT_LOGGING_HH
+#define HILP_SUPPORT_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace hilp {
+
+/** Verbosity levels for status messages. */
+enum class LogLevel : int {
+    Silent = 0,   //!< No status output at all.
+    Warn = 1,     //!< Only warnings.
+    Inform = 2,   //!< Warnings and informative messages (default).
+    Debug = 3,    //!< Everything, including per-solve chatter.
+};
+
+/** Get the process-wide log level. */
+LogLevel logLevel();
+
+/** Set the process-wide log level. */
+void setLogLevel(LogLevel level);
+
+namespace detail {
+
+/** Emit a formatted message with the given prefix to stderr. */
+void emit(const char *prefix, const std::string &msg);
+
+/** printf-style formatting into a std::string. */
+std::string vformat(const char *fmt, va_list ap);
+
+} // namespace detail
+
+/**
+ * Report an informative status message. Printed at LogLevel::Inform
+ * and above.
+ */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report a condition that might indicate a problem but does not stop
+ * execution. Printed at LogLevel::Warn and above.
+ */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report debug chatter. Printed at LogLevel::Debug only. */
+void debug(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Terminate because of a user error (bad configuration, invalid
+ * arguments). Exits with status 1.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Terminate because of an internal error that should never happen
+ * regardless of user input, i.e., a HILP bug. Calls abort() so a core
+ * dump or debugger can take over.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Assert an internal invariant; panics with file/line context when the
+ * condition is false. Unlike assert(3) this is active in all build
+ * types because HILP's solver correctness depends on these checks.
+ */
+#define hilp_assert(cond, ...)                                          \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ::hilp::detail::assertFail(#cond, __FILE__, __LINE__);      \
+        }                                                               \
+    } while (0)
+
+namespace detail {
+[[noreturn]] void assertFail(const char *cond, const char *file, int line);
+} // namespace detail
+
+} // namespace hilp
+
+#endif // HILP_SUPPORT_LOGGING_HH

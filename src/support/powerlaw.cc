@@ -1,0 +1,61 @@
+#include "powerlaw.hh"
+
+#include <cmath>
+
+#include "logging.hh"
+#include "random.hh"
+#include "stats.hh"
+
+namespace hilp {
+
+double
+PowerLaw::eval(double x) const
+{
+    hilp_assert(x > 0.0);
+    return a * std::pow(x, b);
+}
+
+double
+PowerLaw::scaleFrom(double x_ref, double x) const
+{
+    hilp_assert(x_ref > 0.0 && x > 0.0);
+    return std::pow(x / x_ref, b);
+}
+
+PowerLaw
+fitPowerLaw(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    hilp_assert(xs.size() == ys.size());
+    hilp_assert(xs.size() >= 2);
+    std::vector<double> lx(xs.size());
+    std::vector<double> ly(ys.size());
+    for (size_t i = 0; i < xs.size(); ++i) {
+        hilp_assert(xs[i] > 0.0 && ys[i] > 0.0);
+        lx[i] = std::log(xs[i]);
+        ly[i] = std::log(ys[i]);
+    }
+    LinearFit lf = linearFit(lx, ly);
+    PowerLaw law;
+    law.a = std::exp(lf.intercept);
+    law.b = lf.slope;
+    law.r2 = lf.r2;
+    return law;
+}
+
+std::vector<double>
+samplePowerLaw(const PowerLaw &law, const std::vector<double> &xs,
+               double log_noise_sd, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<double> ys;
+    ys.reserve(xs.size());
+    for (double x : xs) {
+        double y = law.eval(x);
+        if (log_noise_sd > 0.0)
+            y *= std::exp(rng.gaussian(0.0, log_noise_sd));
+        ys.push_back(y);
+    }
+    return ys;
+}
+
+} // namespace hilp

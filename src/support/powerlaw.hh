@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Power-law fitting, the scaling methodology of HILP's experimental
+ * setup (Section IV of the paper).
+ *
+ * The paper fills the gaps in its GPU profiles by fitting
+ * y = a * x^b with least squares, where x is the number of SMs and y
+ * is performance, bandwidth, or power normalized to the 14-SM GPU.
+ * This module reimplements that fit (least squares on log-log data)
+ * and provides the evaluation helpers the scaling model builds on.
+ */
+
+#ifndef HILP_SUPPORT_POWERLAW_HH
+#define HILP_SUPPORT_POWERLAW_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace hilp {
+
+/**
+ * A fitted power law y = a * x^b together with its goodness of fit.
+ */
+struct PowerLaw
+{
+    double a = 1.0;  //!< Multiplicative coefficient.
+    double b = 0.0;  //!< Exponent.
+    double r2 = 0.0; //!< Coefficient of determination of the fit.
+
+    /** Evaluate y = a * x^b; requires x > 0. */
+    double eval(double x) const;
+
+    /**
+     * Ratio eval(x) / eval(x_ref): the scale factor of moving from
+     * x_ref to x under this law. Independent of the coefficient a.
+     */
+    double scaleFrom(double x_ref, double x) const;
+};
+
+/**
+ * Fit y = a * x^b by ordinary least squares on (log x, log y).
+ * All xs and ys must be positive and there must be at least two
+ * points. The returned r2 is computed in log space, matching the
+ * convention of the paper's Tables II and III.
+ */
+PowerLaw fitPowerLaw(const std::vector<double> &xs,
+                     const std::vector<double> &ys);
+
+/**
+ * Sample a known power law at the given xs, optionally perturbing
+ * each sample by multiplicative log-normal noise with the given
+ * standard deviation (in log space) using a deterministic seed.
+ * Used by tests and the Table II/III regeneration benches to
+ * exercise the fitting path on profile-shaped data.
+ */
+std::vector<double> samplePowerLaw(const PowerLaw &law,
+                                   const std::vector<double> &xs,
+                                   double log_noise_sd = 0.0,
+                                   uint64_t seed = 1);
+
+} // namespace hilp
+
+#endif // HILP_SUPPORT_POWERLAW_HH

@@ -1,0 +1,107 @@
+#include "random.hh"
+
+#include <cmath>
+
+#include "logging.hh"
+
+namespace hilp {
+
+namespace {
+
+/** splitmix64 step, used only to expand the seed. */
+uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // anonymous namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t s = seed;
+    for (auto &word : state_)
+        word = splitmix64(s);
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+int64_t
+Rng::uniformInt(int64_t lo, int64_t hi)
+{
+    hilp_assert(lo <= hi);
+    uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+    if (range == 0) // full 64-bit range
+        return static_cast<int64_t>(next());
+    // Rejection sampling to avoid modulo bias.
+    uint64_t limit = UINT64_MAX - UINT64_MAX % range;
+    uint64_t value;
+    do {
+        value = next();
+    } while (value >= limit);
+    return lo + static_cast<int64_t>(value % range);
+}
+
+double
+Rng::uniformDouble()
+{
+    // 53 random mantissa bits.
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniformDouble(double lo, double hi)
+{
+    return lo + (hi - lo) * uniformDouble();
+}
+
+bool
+Rng::chance(double p)
+{
+    return uniformDouble() < p;
+}
+
+double
+Rng::gaussian(double mu, double sigma)
+{
+    if (haveSpare_) {
+        haveSpare_ = false;
+        return mu + sigma * spare_;
+    }
+    double u;
+    double v;
+    double s;
+    do {
+        u = uniformDouble(-1.0, 1.0);
+        v = uniformDouble(-1.0, 1.0);
+        s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    double factor = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * factor;
+    haveSpare_ = true;
+    return mu + sigma * u * factor;
+}
+
+} // namespace hilp

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * HILP experiments must be exactly reproducible across runs and
+ * platforms, so we use our own splitmix64/xoshiro256** implementation
+ * instead of std::mt19937 (whose distributions are not guaranteed to
+ * produce identical streams across standard library implementations).
+ */
+
+#ifndef HILP_SUPPORT_RANDOM_HH
+#define HILP_SUPPORT_RANDOM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+namespace hilp {
+
+/**
+ * A small, fast, deterministic PRNG (xoshiro256** seeded via
+ * splitmix64). Suitable for workload synthesis and randomized search
+ * heuristics; not cryptographic.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed; equal seeds yield equal streams. */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform integer in [lo, hi] (inclusive); requires lo <= hi. */
+    int64_t uniformInt(int64_t lo, int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniformDouble();
+
+    /** Uniform double in [lo, hi). */
+    double uniformDouble(double lo, double hi);
+
+    /** Bernoulli trial with success probability p. */
+    bool chance(double p);
+
+    /**
+     * Gaussian sample via Box-Muller (mean mu, std-dev sigma);
+     * deterministic for a given stream position.
+     */
+    double gaussian(double mu, double sigma);
+
+    /** Shuffle a random-access container in place (Fisher-Yates). */
+    template <typename Container>
+    void
+    shuffle(Container &c)
+    {
+        if (c.empty())
+            return;
+        for (size_t i = c.size() - 1; i > 0; --i) {
+            size_t j = static_cast<size_t>(
+                uniformInt(0, static_cast<int64_t>(i)));
+            using std::swap;
+            swap(c[i], c[j]);
+        }
+    }
+
+  private:
+    uint64_t state_[4];
+    bool haveSpare_ = false;
+    double spare_ = 0.0;
+};
+
+} // namespace hilp
+
+#endif // HILP_SUPPORT_RANDOM_HH

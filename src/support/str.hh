@@ -1,0 +1,43 @@
+/**
+ * @file
+ * String formatting and manipulation helpers.
+ */
+
+#ifndef HILP_SUPPORT_STR_HH
+#define HILP_SUPPORT_STR_HH
+
+#include <string>
+#include <vector>
+
+namespace hilp {
+
+/** printf-style formatting into a std::string. */
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Split a string on a delimiter character; keeps empty fields. */
+std::vector<std::string> split(const std::string &s, char delim);
+
+/** Strip leading and trailing ASCII whitespace. */
+std::string trim(const std::string &s);
+
+/** Join strings with a separator. */
+std::string join(const std::vector<std::string> &parts,
+                 const std::string &sep);
+
+/** True when s starts with the given prefix. */
+bool startsWith(const std::string &s, const std::string &prefix);
+
+/** Lower-case an ASCII string. */
+std::string toLower(const std::string &s);
+
+/**
+ * Render a double compactly for tables: fixed with the given number
+ * of decimals, but trimming a plain integer to no decimal point when
+ * decimals == 0.
+ */
+std::string fmtDouble(double v, int decimals = 2);
+
+} // namespace hilp
+
+#endif // HILP_SUPPORT_STR_HH

@@ -1,0 +1,126 @@
+#include "table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "logging.hh"
+#include "str.hh"
+
+namespace hilp {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)),
+      aligns_(headers_.size(), Align::Right)
+{
+    hilp_assert(!headers_.empty());
+}
+
+void
+Table::setAlign(size_t col, Align align)
+{
+    hilp_assert(col < aligns_.size());
+    aligns_[col] = align;
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    hilp_assert(cells.size() == headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::toAscii() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto render_row = [&](const std::vector<std::string> &row) {
+        std::string line;
+        for (size_t c = 0; c < row.size(); ++c) {
+            if (c > 0)
+                line += "  ";
+            size_t pad = widths[c] - row[c].size();
+            if (aligns_[c] == Align::Right)
+                line += std::string(pad, ' ') + row[c];
+            else
+                line += row[c] + std::string(pad, ' ');
+        }
+        // Trim right-hand padding for left-aligned final columns.
+        while (!line.empty() && line.back() == ' ')
+            line.pop_back();
+        return line + "\n";
+    };
+
+    std::string out = render_row(headers_);
+    size_t total = 0;
+    for (size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c > 0 ? 2 : 0);
+    out += std::string(total, '-') + "\n";
+    for (const auto &row : rows_)
+        out += render_row(row);
+    return out;
+}
+
+std::string
+Table::toCsv() const
+{
+    auto escape = [](const std::string &s) {
+        if (s.find_first_of(",\"\n") == std::string::npos)
+            return s;
+        std::string quoted = "\"";
+        for (char c : s) {
+            if (c == '"')
+                quoted += "\"\"";
+            else
+                quoted += c;
+        }
+        quoted += "\"";
+        return quoted;
+    };
+    std::vector<std::string> cells;
+    std::string out;
+    for (size_t c = 0; c < headers_.size(); ++c)
+        out += (c ? "," : "") + escape(headers_[c]);
+    out += "\n";
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c)
+            out += (c ? "," : "") + escape(row[c]);
+        out += "\n";
+    }
+    return out;
+}
+
+void
+Table::print() const
+{
+    std::fputs(toAscii().c_str(), stdout);
+    std::fflush(stdout);
+}
+
+RowBuilder &
+RowBuilder::cell(const std::string &s)
+{
+    cells_.push_back(s);
+    return *this;
+}
+
+RowBuilder &
+RowBuilder::cell(int64_t v)
+{
+    cells_.push_back(std::to_string(v));
+    return *this;
+}
+
+RowBuilder &
+RowBuilder::cell(double v, int decimals)
+{
+    cells_.push_back(fmtDouble(v, decimals));
+    return *this;
+}
+
+} // namespace hilp

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * ASCII and CSV table rendering for the experiment harnesses.
+ *
+ * Every benchmark binary regenerates one of the paper's tables or
+ * figures as rows of data; this printer gives them a consistent,
+ * aligned textual rendering plus a CSV export for plotting.
+ */
+
+#ifndef HILP_SUPPORT_TABLE_HH
+#define HILP_SUPPORT_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace hilp {
+
+/**
+ * A simple column-aligned table builder.
+ */
+class Table
+{
+  public:
+    /** Column alignment. */
+    enum class Align { Left, Right };
+
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Set the alignment of a column (default: Right). */
+    void setAlign(size_t col, Align align);
+
+    /** Append a fully-populated row; must match the header width. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Number of data rows. */
+    size_t rows() const { return rows_.size(); }
+
+    /** Render as an aligned ASCII table with a header separator. */
+    std::string toAscii() const;
+
+    /** Render as CSV (header row first). */
+    std::string toCsv() const;
+
+    /** Convenience: print the ASCII rendering to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<Align> aligns_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/**
+ * Helper for building a row from heterogeneous values.
+ */
+class RowBuilder
+{
+  public:
+    /** Append a string cell. */
+    RowBuilder &cell(const std::string &s);
+
+    /** Append an integer cell. */
+    RowBuilder &cell(int64_t v);
+
+    /** Append a double cell rendered with the given precision. */
+    RowBuilder &cell(double v, int decimals = 2);
+
+    /** Take the accumulated cells. */
+    std::vector<std::string> take() { return std::move(cells_); }
+
+  private:
+    std::vector<std::string> cells_;
+};
+
+} // namespace hilp
+
+#endif // HILP_SUPPORT_TABLE_HH

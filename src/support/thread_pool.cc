@@ -1,0 +1,97 @@
+#include "thread_pool.hh"
+
+#include <algorithm>
+#include <atomic>
+
+#include "logging.hh"
+
+namespace hilp {
+
+ThreadPool::ThreadPool(size_t num_threads)
+{
+    if (num_threads == 0) {
+        unsigned hw = std::thread::hardware_concurrency();
+        num_threads = std::max(1u, hw);
+    }
+    workers_.reserve(num_threads);
+    for (size_t i = 0; i < num_threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        shutdown_ = true;
+    }
+    workAvailable_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    hilp_assert(task);
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        hilp_assert(!shutdown_);
+        queue_.push(std::move(task));
+        ++inFlight_;
+    }
+    workAvailable_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    allDone_.wait(lock, [this] { return inFlight_ == 0; });
+}
+
+void
+ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    // Dynamic work distribution: each worker claims the next index.
+    auto next = std::make_shared<std::atomic<size_t>>(0);
+    size_t spawn = std::min(n, workers_.size());
+    for (size_t w = 0; w < spawn; ++w) {
+        submit([next, n, &fn] {
+            for (size_t i = (*next)++; i < n; i = (*next)++)
+                fn(i);
+        });
+    }
+    wait();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            workAvailable_.wait(lock, [this] {
+                return shutdown_ || !queue_.empty();
+            });
+            if (queue_.empty()) {
+                hilp_assert(shutdown_);
+                return;
+            }
+            task = std::move(queue_.front());
+            queue_.pop();
+        }
+        task();
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            hilp_assert(inFlight_ > 0);
+            --inFlight_;
+            if (inFlight_ == 0)
+                allDone_.notify_all();
+        }
+    }
+}
+
+} // namespace hilp

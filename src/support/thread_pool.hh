@@ -1,0 +1,70 @@
+/**
+ * @file
+ * A small fixed-size thread pool used to evaluate independent SoC
+ * configurations in parallel during design space exploration.
+ */
+
+#ifndef HILP_SUPPORT_THREAD_POOL_HH
+#define HILP_SUPPORT_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace hilp {
+
+/**
+ * Fixed-size worker pool. Tasks are void() callables; exceptions must
+ * be handled inside the task (a throwing task panics the process,
+ * which is the right behaviour for HILP's batch experiments).
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * Create a pool with the given number of workers (0 means
+     * hardware concurrency, at least 1).
+     */
+    explicit ThreadPool(size_t num_threads = 0);
+
+    /** Drains outstanding work, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue a task for execution. */
+    void submit(std::function<void()> task);
+
+    /** Block until all submitted tasks have completed. */
+    void wait();
+
+    /** Number of worker threads. */
+    size_t size() const { return workers_.size(); }
+
+    /**
+     * Run fn(i) for each i in [0, n) across the pool and wait for
+     * completion. fn must be safe to invoke concurrently for
+     * distinct indices.
+     */
+    void parallelFor(size_t n, const std::function<void(size_t)> &fn);
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::queue<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable workAvailable_;
+    std::condition_variable allDone_;
+    size_t inFlight_ = 0;
+    bool shutdown_ = false;
+};
+
+} // namespace hilp
+
+#endif // HILP_SUPPORT_THREAD_POOL_HH

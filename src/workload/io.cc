@@ -1,0 +1,162 @@
+#include "io.hh"
+
+#include <cstdlib>
+#include <map>
+
+#include "support/logging.hh"
+#include "support/str.hh"
+
+namespace hilp {
+namespace workload {
+
+namespace {
+
+const char *kHeader =
+    "app,phase,kind,cpu_time1_s,gpu_compatible,gpu_time98_s,"
+    "gpu_bw_base_gbs,time_a,time_b,bw_a,bw_b,freq_gamma,dsa_target";
+
+constexpr int kColumns = 13;
+
+/** Strict double parser; sets ok=false on trailing garbage. */
+double
+parseDouble(const std::string &field, bool &ok)
+{
+    if (field.empty()) {
+        ok = false;
+        return 0.0;
+    }
+    char *end = nullptr;
+    double value = std::strtod(field.c_str(), &end);
+    if (end != field.c_str() + field.size())
+        ok = false;
+    return value;
+}
+
+int
+parseInt(const std::string &field, bool &ok)
+{
+    double value = parseDouble(field, ok);
+    int as_int = static_cast<int>(value);
+    if (static_cast<double>(as_int) != value)
+        ok = false;
+    return as_int;
+}
+
+} // anonymous namespace
+
+std::string
+workloadToCsv(const Workload &workload)
+{
+    std::string out = std::string(kHeader) + "\n";
+    for (const Application &app : workload.apps) {
+        for (const PhaseProfile &phase : app.phases) {
+            out += format(
+                "%s,%s,%s,%.17g,%d,%.17g,%.17g,%.17g,%.17g,%.17g,"
+                "%.17g,%.17g,%d\n",
+                app.name.c_str(), phase.name.c_str(),
+                phase.kind == PhaseKind::Sequential ? "sequential"
+                                                    : "compute",
+                phase.cpuTime1, phase.gpuCompatible ? 1 : 0,
+                phase.gpuTime98, phase.gpuBwBase, phase.timeLaw.a,
+                phase.timeLaw.b, phase.bwLaw.a, phase.bwLaw.b,
+                phase.freqGamma, phase.dsaTarget);
+        }
+    }
+    return out;
+}
+
+ParseResult
+workloadFromCsv(const std::string &text, const std::string &name)
+{
+    ParseResult result;
+    result.workload.name = name;
+    std::map<std::string, size_t> app_index;
+
+    std::vector<std::string> lines = split(text, '\n');
+    bool seen_header = false;
+    for (size_t lineno = 0; lineno < lines.size(); ++lineno) {
+        std::string line = trim(lines[lineno]);
+        if (line.empty() || line[0] == '#')
+            continue;
+        if (!seen_header) {
+            // The first non-empty row must be the header.
+            if (line != kHeader) {
+                result.error = format(
+                    "line %zu: expected the workload CSV header",
+                    lineno + 1);
+                return result;
+            }
+            seen_header = true;
+            continue;
+        }
+        std::vector<std::string> fields = split(line, ',');
+        if (static_cast<int>(fields.size()) != kColumns) {
+            result.error = format(
+                "line %zu: expected %d columns, found %zu",
+                lineno + 1, kColumns, fields.size());
+            return result;
+        }
+
+        PhaseProfile phase;
+        phase.name = trim(fields[1]);
+        std::string kind = toLower(trim(fields[2]));
+        if (kind == "sequential") {
+            phase.kind = PhaseKind::Sequential;
+        } else if (kind == "compute") {
+            phase.kind = PhaseKind::Compute;
+        } else {
+            result.error = format("line %zu: unknown phase kind '%s'",
+                                  lineno + 1, kind.c_str());
+            return result;
+        }
+
+        bool ok = true;
+        phase.cpuTime1 = parseDouble(trim(fields[3]), ok);
+        int gpu_compat = parseInt(trim(fields[4]), ok);
+        phase.gpuCompatible = gpu_compat != 0;
+        phase.gpuTime98 = parseDouble(trim(fields[5]), ok);
+        phase.gpuBwBase = parseDouble(trim(fields[6]), ok);
+        phase.timeLaw.a = parseDouble(trim(fields[7]), ok);
+        phase.timeLaw.b = parseDouble(trim(fields[8]), ok);
+        phase.bwLaw.a = parseDouble(trim(fields[9]), ok);
+        phase.bwLaw.b = parseDouble(trim(fields[10]), ok);
+        phase.freqGamma = parseDouble(trim(fields[11]), ok);
+        phase.dsaTarget = parseInt(trim(fields[12]), ok);
+        if (!ok) {
+            result.error = format("line %zu: malformed numeric field",
+                                  lineno + 1);
+            return result;
+        }
+        if (phase.cpuTime1 < 0.0 ||
+            (phase.gpuCompatible && phase.gpuTime98 <= 0.0)) {
+            result.error = format("line %zu: invalid phase timing",
+                                  lineno + 1);
+            return result;
+        }
+
+        std::string app_name = trim(fields[0]);
+        auto [it, inserted] =
+            app_index.try_emplace(app_name,
+                                  result.workload.apps.size());
+        if (inserted) {
+            Application app;
+            app.name = app_name;
+            result.workload.apps.push_back(std::move(app));
+        }
+        result.workload.apps[it->second].phases.push_back(
+            std::move(phase));
+    }
+    if (!seen_header) {
+        result.error = "input contains no workload CSV header";
+        return result;
+    }
+    if (result.workload.apps.empty()) {
+        result.error = "input contains no phases";
+        return result;
+    }
+    result.ok = true;
+    return result;
+}
+
+} // namespace workload
+} // namespace hilp

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Workload import/export.
+ *
+ * HILP users bring their own profiled workloads (the paper's Tables
+ * are one instance of such a profile). This module defines a simple
+ * CSV interchange format - one row per phase - with exact
+ * round-tripping, so profiles produced by external tooling (perf,
+ * Nsight, spreadsheets) can be loaded without recompiling.
+ *
+ * Columns:
+ *   app, phase, kind, cpu_time1_s, gpu_compatible, gpu_time98_s,
+ *   gpu_bw_base_gbs, time_a, time_b, bw_a, bw_b, freq_gamma,
+ *   dsa_target
+ * with kind in {sequential, compute} and booleans as 0/1.
+ */
+
+#ifndef HILP_WORKLOAD_IO_HH
+#define HILP_WORKLOAD_IO_HH
+
+#include <string>
+
+#include "workload.hh"
+
+namespace hilp {
+namespace workload {
+
+/** Serialize a workload (header row first). */
+std::string workloadToCsv(const Workload &workload);
+
+/** Outcome of parsing a workload CSV. */
+struct ParseResult
+{
+    bool ok = false;
+    std::string error;  //!< First problem found (empty when ok).
+    Workload workload;
+};
+
+/**
+ * Parse the CSV format written by workloadToCsv. Apps are created in
+ * first-appearance order; phases append in row order and form the
+ * default chain (custom dependency graphs are code-level features).
+ * Parsing is strict: wrong column counts, unknown kinds, or
+ * non-numeric fields fail with a line-numbered error.
+ */
+ParseResult workloadFromCsv(const std::string &text,
+                            const std::string &name = "imported");
+
+} // namespace workload
+} // namespace hilp
+
+#endif // HILP_WORKLOAD_IO_HH

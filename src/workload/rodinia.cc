@@ -1,0 +1,164 @@
+#include "rodinia.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "scaling.hh"
+#include "support/logging.hh"
+#include "support/str.hh"
+
+namespace hilp {
+namespace workload {
+
+const std::vector<RodiniaBenchmark> &
+rodiniaBenchmarks()
+{
+    // Table II, verbatim. Power laws are (a, b, r2) with x = SM count
+    // and y normalized to the 14-SM GPU.
+    static const std::vector<RodiniaBenchmark> benchmarks = {
+        {"Breadth-First Search", "BFS", 95.3, 17.0, 1.0, 11.9, 86.5,
+         {7.83, -0.77, 0.95}, {0.07, 0.92, 0.98}, "128M elements"},
+        {"Heartwall", "HW", 8.0e-4, 78.3, 1.2, 0.2, 7.3,
+         {3.77, -0.52, 0.92}, {0.84, 0.24, 0.30}, "104 frames"},
+        {"Hotspot3D", "HS3D", 0.7, 49.2, 0.1, 51.2, 36.4,
+         {10.33, -0.86, 1.00}, {0.14, 0.75, 1.00},
+         "512x512x8, 200 iterations"},
+        {"Hotspot", "HS", 80.8, 395.9, 20.5, 71.3, 40.4,
+         {13.93, -1.00, 1.00}, {0.07, 1.00, 1.00},
+         "16Kx16K, 512 iterations"},
+        {"LavaMD", "LMD", 0.3, 163.4, 2.5, 0.3, 0.6,
+         {13.98, -0.99, 1.00}, {0.10, 0.90, 1.00}, "42 1D boxes"},
+        {"LU Decomposition", "LUD", 0.1, 444.2, 12.0, 0.6, 61.6,
+         {10.26, -0.88, 1.00}, {0.10, 0.87, 1.00}, "matrix size 16K"},
+        {"Myocyte", "MC", 0.1, 77.6, 8.3e-2, 0.6, 0.1,
+         {1.01, 8.98e-06, 0.00}, {2.60, -0.28, 0.15},
+         "100K span, 12 w., 0 m."},
+        {"Nearest Neighbor", "NN", 1.6e-3, 159.4, 3.8e-3, 0.3, 187.6,
+         {8.97, -0.82, 0.98}, {0.07, 0.95, 0.99},
+         "64K size, 2K neighbors"},
+        {"Pathfinder", "PF", 72.1, 14.0, 0.2, 0.3, 95.2,
+         {7.27, -0.76, 0.99}, {0.27, 0.58, 0.95},
+         "400K rows, 5K col., 1 pyr."},
+        {"Stream Cluster", "SC", 1.0e-4, 156.0, 2.1, 0.3, 216.1,
+         {5.41, -0.62, 0.87}, {0.07, 0.88, 0.96},
+         "30-40 centers, 128K points"},
+    };
+    return benchmarks;
+}
+
+int
+rodiniaIndex(const std::string &abbrev)
+{
+    const auto &benchmarks = rodiniaBenchmarks();
+    for (size_t i = 0; i < benchmarks.size(); ++i)
+        if (abbrev == benchmarks[i].abbrev)
+            return static_cast<int>(i);
+    fatal("unknown Rodinia benchmark abbreviation: %s", abbrev.c_str());
+}
+
+double
+variantDivisor(Variant variant)
+{
+    switch (variant) {
+      case Variant::Rodinia:
+        return 1.0;
+      case Variant::Default:
+        return 5.0;
+      case Variant::Optimized:
+        return 20.0;
+    }
+    panic("unhandled workload variant");
+}
+
+const char *
+toString(Variant variant)
+{
+    switch (variant) {
+      case Variant::Rodinia:
+        return "Rodinia";
+      case Variant::Default:
+        return "Default";
+      case Variant::Optimized:
+        return "Optimized";
+    }
+    panic("unhandled workload variant");
+}
+
+Application
+makeRodiniaApp(int bench_id, double setup_td_divisor)
+{
+    const auto &benchmarks = rodiniaBenchmarks();
+    hilp_assert(bench_id >= 0 &&
+                bench_id < static_cast<int>(benchmarks.size()));
+    hilp_assert(setup_td_divisor >= 1.0);
+    const RodiniaBenchmark &bench = benchmarks[bench_id];
+
+    Application app;
+    app.name = bench.abbrev;
+
+    PhaseProfile setup;
+    setup.name = format("%s.setup", bench.abbrev);
+    setup.kind = PhaseKind::Sequential;
+    setup.cpuTime1 = bench.setupS / setup_td_divisor;
+    app.phases.push_back(setup);
+
+    PhaseProfile compute;
+    compute.name = format("%s.compute", bench.abbrev);
+    compute.kind = PhaseKind::Compute;
+    compute.cpuTime1 = bench.computeCpuS;
+    compute.gpuCompatible = true;
+    compute.gpuTime98 = bench.computeGpuS;
+    compute.gpuBwBase = bench.gpuBwGBs;
+    compute.timeLaw = bench.timeLaw;
+    compute.bwLaw = bench.bwLaw;
+    compute.freqGamma = frequencyGamma(bench.gpuBwGBs);
+    compute.dsaTarget = bench_id;
+    app.phases.push_back(compute);
+
+    PhaseProfile teardown;
+    teardown.name = format("%s.teardown", bench.abbrev);
+    teardown.kind = PhaseKind::Sequential;
+    teardown.cpuTime1 = bench.teardownS / setup_td_divisor;
+    app.phases.push_back(teardown);
+
+    return app;
+}
+
+Workload
+makeWorkload(Variant variant, int copies)
+{
+    hilp_assert(copies >= 1);
+    Workload workload;
+    workload.name = copies == 1
+        ? toString(variant)
+        : format("%sx%d", toString(variant), copies);
+    double divisor = variantDivisor(variant);
+    for (int copy = 0; copy < copies; ++copy) {
+        for (size_t i = 0; i < rodiniaBenchmarks().size(); ++i) {
+            Application app =
+                makeRodiniaApp(static_cast<int>(i), divisor);
+            if (copy > 0) {
+                app.name += format("#%d", copy);
+                for (PhaseProfile &phase : app.phases)
+                    phase.name += format("#%d", copy);
+            }
+            workload.apps.push_back(std::move(app));
+        }
+    }
+    return workload;
+}
+
+std::vector<int>
+dsaPriorityOrder()
+{
+    const auto &benchmarks = rodiniaBenchmarks();
+    std::vector<int> order(benchmarks.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+        return benchmarks[a].computeCpuS > benchmarks[b].computeCpuS;
+    });
+    return order;
+}
+
+} // namespace workload
+} // namespace hilp

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The Rodinia 3.1 benchmark profiles (Table II) and the workload
+ * factories of Section IV.
+ *
+ * The paper profiles ten scalable Rodinia benchmarks on an AMD EPYC
+ * 7543 and an Nvidia A100 and reduces the measurements to Table II:
+ * per-phase execution times, full-GPU bandwidth, and power-law fits
+ * over the MIG SM counts. This module embeds that table verbatim and
+ * derives the three workloads used throughout the paper:
+ *
+ *  - Rodinia:   measured setup/teardown times,
+ *  - Default:   setup/teardown reduced 5x,
+ *  - Optimized: setup/teardown reduced 20x.
+ */
+
+#ifndef HILP_WORKLOAD_RODINIA_HH
+#define HILP_WORKLOAD_RODINIA_HH
+
+#include <string>
+#include <vector>
+
+#include "support/powerlaw.hh"
+#include "workload.hh"
+
+namespace hilp {
+namespace workload {
+
+/** One row of Table II. */
+struct RodiniaBenchmark
+{
+    const char *name;    //!< Full benchmark name.
+    const char *abbrev;  //!< Table II abbreviation, e.g. "HS".
+    double setupS;       //!< Setup phase, seconds on one CPU core.
+    double computeCpuS;  //!< Compute phase on one CPU core, seconds.
+    double computeGpuS;  //!< Compute phase on the 98-SM GPU, seconds.
+    double teardownS;    //!< Teardown phase, seconds on one CPU core.
+    double gpuBwGBs;     //!< Compute-phase bandwidth on the 98-SM GPU.
+    PowerLaw timeLaw;    //!< GPU-time power law (a, b, r2), 14-SM base.
+    PowerLaw bwLaw;      //!< GPU-bandwidth power law, 14-SM base.
+    const char *scaledConfig; //!< Input configuration used (Table II).
+};
+
+/**
+ * The ten Table II benchmarks in table order. The vector index is
+ * the benchmark identifier used for DSA targets throughout HILP.
+ */
+const std::vector<RodiniaBenchmark> &rodiniaBenchmarks();
+
+/** Index of a benchmark by abbreviation; fatal() when unknown. */
+int rodiniaIndex(const std::string &abbrev);
+
+/** The three Section IV workload variants. */
+enum class Variant {
+    Rodinia,   //!< Measured setup/teardown.
+    Default,   //!< Setup/teardown divided by 5.
+    Optimized, //!< Setup/teardown divided by 20.
+};
+
+/** The setup/teardown divisor of a variant (1, 5, or 20). */
+double variantDivisor(Variant variant);
+
+/** Human-readable variant name. */
+const char *toString(Variant variant);
+
+/**
+ * Build the three-phase application (setup, compute, teardown) for
+ * one benchmark under the given setup/teardown divisor. The compute
+ * phase's DSA target is the benchmark's index.
+ */
+Application makeRodiniaApp(int bench_id, double setup_td_divisor);
+
+/**
+ * Build the full ten-application workload for a variant. With
+ * copies > 1 the workload contains that many independent instances
+ * of every benchmark (the paper's workloads use a single copy; more
+ * copies raise the available WLP).
+ */
+Workload makeWorkload(Variant variant, int copies = 1);
+
+/**
+ * Benchmark identifiers ordered by descending CPU compute time: the
+ * paper's DSA allocation priority (LUD first, then HS, ...).
+ */
+std::vector<int> dsaPriorityOrder();
+
+} // namespace workload
+} // namespace hilp
+
+#endif // HILP_WORKLOAD_RODINIA_HH

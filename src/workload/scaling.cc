@@ -1,0 +1,82 @@
+#include "scaling.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "arch/dvfs.hh"
+#include "support/logging.hh"
+
+namespace hilp {
+namespace workload {
+
+namespace {
+
+/** Clock-derating factor (f_base / f)^gamma for execution time. */
+double
+clockFactor(const PhaseProfile &phase, int clock_mhz)
+{
+    hilp_assert(clock_mhz > 0);
+    double ratio = static_cast<double>(arch::kBaseClockMhz) /
+                   static_cast<double>(clock_mhz);
+    return std::pow(ratio, phase.freqGamma);
+}
+
+} // anonymous namespace
+
+double
+acceleratorTimeS(const PhaseProfile &phase, int units, int clock_mhz)
+{
+    hilp_assert(phase.kind == PhaseKind::Compute);
+    hilp_assert(phase.gpuCompatible);
+    hilp_assert(units >= 1);
+    double sm_scale = phase.timeLaw.scaleFrom(kProfileSms, units);
+    return phase.gpuTime98 * sm_scale * clockFactor(phase, clock_mhz);
+}
+
+double
+acceleratorBwGBs(const PhaseProfile &phase, int units, int clock_mhz)
+{
+    hilp_assert(phase.kind == PhaseKind::Compute);
+    hilp_assert(phase.gpuCompatible);
+    hilp_assert(units >= 1);
+    double sm_scale = phase.bwLaw.scaleFrom(kBwBaseSms, units);
+    // Same bytes, longer time at lower clocks: demand divides by the
+    // clock derating factor.
+    return phase.gpuBwBase * sm_scale / clockFactor(phase, clock_mhz);
+}
+
+double
+cpuTimeS(const PhaseProfile &phase, int cores)
+{
+    hilp_assert(cores >= 1);
+    if (phase.kind == PhaseKind::Sequential)
+        return phase.cpuTime1;
+    // Substitution (DESIGN.md): the kernel's CPU-core scaling uses
+    // the same exponent as its SM scaling.
+    return phase.cpuTime1 * std::pow(static_cast<double>(cores),
+                                     phase.timeLaw.b);
+}
+
+double
+cpuBwGBs(const PhaseProfile &phase, int cores)
+{
+    if (phase.kind == PhaseKind::Sequential || !phase.gpuCompatible)
+        return 1.0;
+    // Conserve the traffic observed on the full GPU.
+    double bytes_gb = phase.gpuBwBase *
+                      phase.bwLaw.scaleFrom(kBwBaseSms, kProfileSms) *
+                      phase.gpuTime98;
+    double time = cpuTimeS(phase, cores);
+    if (time <= 0.0)
+        return 1.0;
+    return std::max(1.0, bytes_gb / time);
+}
+
+double
+frequencyGamma(double gpu_bw98)
+{
+    return std::clamp(1.0 - gpu_bw98 / 250.0, 0.2, 1.0);
+}
+
+} // namespace workload
+} // namespace hilp

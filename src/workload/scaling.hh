@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The accelerator and CPU scaling model (Section IV).
+ *
+ * Scales the Table II profile points to arbitrary SM/PE counts via
+ * the fitted power laws, to arbitrary GPU clocks via the per-phase
+ * frequency sensitivity, and to multi-core CPU execution via the
+ * documented substitution (DESIGN.md): the compute kernel scales on
+ * CPU cores with the same exponent as on SMs.
+ *
+ * Bandwidth across mappings conserves the phase's memory traffic:
+ * the bytes moved are frequency-independent, so bandwidth demand
+ * scales inversely with execution time when only the clock changes.
+ */
+
+#ifndef HILP_WORKLOAD_SCALING_HH
+#define HILP_WORKLOAD_SCALING_HH
+
+#include "workload.hh"
+
+namespace hilp {
+namespace workload {
+
+/**
+ * Execution time of a compute phase on an accelerator with the given
+ * number of compute units (GPU SMs or DSA PEs) at the given clock.
+ * Requires a GPU-compatible compute phase and units >= 1.
+ */
+double acceleratorTimeS(const PhaseProfile &phase, int units,
+                        int clock_mhz);
+
+/**
+ * Bandwidth demand of a compute phase on an accelerator with the
+ * given unit count and clock, GB/s.
+ */
+double acceleratorBwGBs(const PhaseProfile &phase, int units,
+                        int clock_mhz);
+
+/**
+ * Execution time of a phase on `cores` CPU cores. Sequential phases
+ * ignore the core count; compute phases scale with the benchmark's
+ * time-law exponent.
+ */
+double cpuTimeS(const PhaseProfile &phase, int cores);
+
+/**
+ * Bandwidth demand on the CPU, GB/s. Sequential phases use a nominal
+ * 1 GB/s; compute phases conserve the traffic measured on the GPU.
+ */
+double cpuBwGBs(const PhaseProfile &phase, int cores);
+
+/**
+ * The frequency-sensitivity heuristic of DESIGN.md:
+ * gamma = clamp(1 - bw98 / 250, 0.2, 1.0). Compute-bound kernels
+ * (low bandwidth) scale almost linearly with clock; bandwidth-bound
+ * ones barely scale.
+ */
+double frequencyGamma(double gpu_bw98);
+
+} // namespace workload
+} // namespace hilp
+
+#endif // HILP_WORKLOAD_SCALING_HH

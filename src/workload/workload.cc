@@ -1,0 +1,26 @@
+#include "workload.hh"
+
+namespace hilp {
+namespace workload {
+
+int
+Workload::numPhases() const
+{
+    int count = 0;
+    for (const Application &app : apps)
+        count += static_cast<int>(app.phases.size());
+    return count;
+}
+
+double
+sequentialCpuTimeS(const Workload &workload)
+{
+    double total = 0.0;
+    for (const Application &app : workload.apps)
+        for (const PhaseProfile &phase : app.phases)
+            total += phase.cpuTime1;
+    return total;
+}
+
+} // namespace workload
+} // namespace hilp

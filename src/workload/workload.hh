@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Applications, phases, and workloads (Section II of the paper).
+ *
+ * A workload is a set of independent applications; each application
+ * is a chain (or, for the Section VII extension, a DAG) of dependent
+ * phases. Sequential phases (setup/teardown) only run on CPU cores;
+ * compute phases can additionally run on the GPU and, when one
+ * exists for them, a DSA.
+ *
+ * Phase performance is described by a profile in the units of the
+ * paper's experimental setup: measured single-core CPU time, measured
+ * full-GPU (98-SM) time and bandwidth, and the fitted power laws of
+ * Table II that scale them to any SM/PE count.
+ */
+
+#ifndef HILP_WORKLOAD_WORKLOAD_HH
+#define HILP_WORKLOAD_WORKLOAD_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/powerlaw.hh"
+
+namespace hilp {
+namespace workload {
+
+/** The SM count Table II's C-GPU time column was measured at. */
+inline constexpr int kProfileSms = 98;
+
+/** The SM count the Table II power laws are normalized to. */
+inline constexpr int kLawBaseSms = 14;
+
+/**
+ * The SM count Table II's GPU BW column is referenced to. The paper
+ * leaves the column's measurement point ambiguous; physical per-SM
+ * bandwidth and the paper's reported behaviours (MultiAmdahl fits
+ * every kernel on a 64-SM GPU under 800 GB/s; the Figure 5b memory
+ * wall binds a 16-SM GPU at 50 GB/s but not at 100) pin it to the
+ * low-SM end; 16 reproduces all of them (see DESIGN.md).
+ */
+inline constexpr int kBwBaseSms = 16;
+
+/** What a phase fundamentally is, which determines compatibility. */
+enum class PhaseKind {
+    Sequential, //!< Setup/teardown: CPU-only, single core.
+    Compute,    //!< Parallel kernel: CPU (all cores), GPU, maybe DSA.
+};
+
+/**
+ * Unit-independent performance description of one phase.
+ */
+struct PhaseProfile
+{
+    std::string name;                        //!< E.g. "HS.compute".
+    PhaseKind kind = PhaseKind::Sequential;
+
+    /** Execution time on a single CPU core, seconds. */
+    double cpuTime1 = 0.0;
+
+    /** True when the phase has a GPU implementation. */
+    bool gpuCompatible = false;
+    /** Time on the full 98-SM GPU at 765 MHz, seconds. */
+    double gpuTime98 = 0.0;
+    /** Memory bandwidth at the kBwBaseSms reference point, GB/s. */
+    double gpuBwBase = 0.0;
+    /** Table II execution-time power law (normalized to 14 SMs). */
+    PowerLaw timeLaw;
+    /** Table II bandwidth power law (normalized to 14 SMs). */
+    PowerLaw bwLaw;
+    /**
+     * Clock-frequency sensitivity in [0, 1]: execution time scales
+     * as (f_base / f)^gamma. See DESIGN.md for the derivation.
+     */
+    double freqGamma = 1.0;
+
+    /**
+     * Identifier matched against arch::DsaSpec::target; a DSA with
+     * this target can execute the phase. -1 means no DSA can.
+     */
+    int dsaTarget = -1;
+};
+
+/** An application: named, with dependent phases. */
+struct Application
+{
+    std::string name;
+    std::vector<PhaseProfile> phases;
+    /**
+     * Explicit dependency edges (from, to) between phase indices.
+     * When empty the phases form a chain in index order, which is
+     * the paper's default (Eq. 2); non-empty edges express the
+     * general dependency graphs of Section VII (Eq. 9).
+     */
+    std::vector<std::pair<int, int>> deps;
+
+    /** True when the phases form the default chain. */
+    bool isChain() const { return deps.empty(); }
+};
+
+/** A workload: the set of independent applications. */
+struct Workload
+{
+    std::string name;
+    std::vector<Application> apps;
+
+    /** Total number of phases across all applications. */
+    int numPhases() const;
+};
+
+/**
+ * The reference time every speedup in the paper is computed against:
+ * fully sequential execution of the whole workload on a single CPU
+ * core (every phase at its single-core CPU time).
+ */
+double sequentialCpuTimeS(const Workload &workload);
+
+} // namespace workload
+} // namespace hilp
+
+#endif // HILP_WORKLOAD_WORKLOAD_HH

@@ -1,0 +1,191 @@
+/** @file Unit tests for the SoC architecture model. */
+
+#include <gtest/gtest.h>
+
+#include "arch/design_space.hh"
+#include "arch/dvfs.hh"
+#include "arch/soc.hh"
+
+namespace hilp {
+namespace arch {
+namespace {
+
+TEST(Dvfs, TableIiiHasElevenOperatingPoints)
+{
+    EXPECT_EQ(gpuOperatingPoints().size(), 11u);
+    EXPECT_EQ(gpuOperatingPoints().front().clockMhz, 210);
+    EXPECT_EQ(gpuOperatingPoints().back().clockMhz, 765);
+}
+
+TEST(Dvfs, OperatingPointsAreAscendingInClockAndPower)
+{
+    const auto &points = gpuOperatingPoints();
+    for (size_t i = 1; i < points.size(); ++i) {
+        EXPECT_GT(points[i].clockMhz, points[i - 1].clockMhz);
+        EXPECT_GT(points[i].allSmsPowerW, points[i - 1].allSmsPowerW);
+    }
+}
+
+TEST(Dvfs, PerSmPowerMatchesTableIii)
+{
+    // Table III's per-SM column: 77.2 W / 128 SMs = 0.6 W.
+    EXPECT_NEAR(gpuOperatingPoint(210).perSmPowerW(), 0.6, 0.05);
+    EXPECT_NEAR(gpuOperatingPoint(765).perSmPowerW(), 1.4, 0.05);
+}
+
+TEST(Dvfs, DarkSiliconAnecdoteFromThePaper)
+{
+    // Section V: a 50 W budget caps a 64-SM GPU at 300 MHz while a
+    // 32-SM GPU can use the full frequency range.
+    EXPECT_LE(gpuPowerW(64, 300), 50.0);
+    EXPECT_GT(gpuPowerW(64, 360), 50.0);
+    EXPECT_LE(gpuPowerW(32, 765), 50.0);
+}
+
+TEST(Dvfs, SixteenSmGpuPowerRange)
+{
+    // Section VI: "our smallest GPU (16 SMs) consumes from ~10 W to
+    // ~24 W depending on the selected operating point".
+    EXPECT_NEAR(gpuPowerW(16, 210), 9.65, 0.5);
+    EXPECT_NEAR(gpuPowerW(16, 765), 23.2, 1.5);
+}
+
+TEST(Dvfs, DsaPowerEqualsPerPeSmPower)
+{
+    // A PE draws one SM's power regardless of the advantage.
+    EXPECT_DOUBLE_EQ(dsaPowerW(16, 765), gpuPowerW(16, 765));
+}
+
+TEST(Dvfs, GpuPowerScalesLinearlyWithSms)
+{
+    double p32 = gpuPowerW(32, 480);
+    double p64 = gpuPowerW(64, 480);
+    EXPECT_NEAR(p64, 2.0 * p32, 1e-9);
+}
+
+TEST(Soc, AreaOfHeadlineSocsMatchesPaper)
+{
+    // Figure 7: MA's (c1,g64,d0^0) is 432.6 mm2, Gables'
+    // (c4,g4,d3^4) is 170.4 mm2, HILP's (c4,g16,d2^16) is
+    // 378.4 mm2, and (c4,g64,d0^0) is 482.4 mm2.
+    SocConfig ma;
+    ma.cpuCores = 1;
+    ma.gpuSms = 64;
+    EXPECT_NEAR(ma.areaMm2(), 432.6, 0.05);
+
+    SocConfig gables;
+    gables.cpuCores = 4;
+    gables.gpuSms = 4;
+    gables.dsas = {{4, 0}, {4, 1}, {4, 2}};
+    EXPECT_NEAR(gables.areaMm2(), 170.4, 0.05);
+
+    SocConfig hilp;
+    hilp.cpuCores = 4;
+    hilp.gpuSms = 16;
+    hilp.dsas = {{16, 0}, {16, 1}};
+    EXPECT_NEAR(hilp.areaMm2(), 378.4, 0.05);
+
+    SocConfig big_gpu;
+    big_gpu.cpuCores = 4;
+    big_gpu.gpuSms = 64;
+    EXPECT_NEAR(big_gpu.areaMm2(), 482.4, 0.05);
+}
+
+TEST(Soc, HomogeneousSocArea)
+{
+    SocConfig c;
+    c.cpuCores = 1;
+    EXPECT_NEAR(c.areaMm2(), 16.6, 1e-9);
+}
+
+TEST(Soc, NameFormat)
+{
+    SocConfig c;
+    c.cpuCores = 4;
+    c.gpuSms = 16;
+    c.dsas = {{16, 5}, {16, 3}};
+    EXPECT_EQ(c.name(), "(c4,g16,d2^16)");
+    SocConfig plain;
+    plain.cpuCores = 2;
+    EXPECT_EQ(plain.name(), "(c2,g0,d0^0)");
+}
+
+TEST(Soc, Validity)
+{
+    SocConfig good;
+    good.cpuCores = 1;
+    EXPECT_TRUE(good.valid());
+    SocConfig no_cpu;
+    no_cpu.cpuCores = 0;
+    EXPECT_FALSE(no_cpu.valid());
+    SocConfig bad_dsa;
+    bad_dsa.cpuCores = 1;
+    bad_dsa.dsas = {{0, 0}};
+    EXPECT_FALSE(bad_dsa.valid());
+}
+
+TEST(Memory, DefaultSpecMatchesPaper)
+{
+    MemorySpec memory;
+    EXPECT_DOUBLE_EQ(memory.bandwidthGBs, 800.0);
+    EXPECT_DOUBLE_EQ(memory.pjPerBit, 7.0);
+    // 7 pJ/bit * 8e9 bit/GB = 0.056 W per GB/s.
+    EXPECT_NEAR(memory.wattsPerGBs(), 0.056, 1e-9);
+}
+
+TEST(Constraints, DefaultPowerBudget)
+{
+    Constraints c;
+    EXPECT_DOUBLE_EQ(c.powerBudgetW, 600.0);
+}
+
+TEST(DesignSpace, PaperSpaceHas372Configs)
+{
+    DesignSpace space;
+    std::vector<int> priority = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+    auto configs = enumerateDesignSpace(space, priority);
+    EXPECT_EQ(configs.size(), 372u);
+}
+
+TEST(DesignSpace, DsaAllocationFollowsPriority)
+{
+    DesignSpace space;
+    space.cpuOptions = {1};
+    space.gpuOptions = {0};
+    space.maxDsas = 3;
+    space.peOptions = {4};
+    std::vector<int> priority = {7, 2, 5};
+    auto configs = enumerateDesignSpace(space, priority);
+    // 1 zero-DSA config + 3 DSA counts.
+    ASSERT_EQ(configs.size(), 4u);
+    EXPECT_TRUE(configs[0].dsas.empty());
+    ASSERT_EQ(configs[1].dsas.size(), 1u);
+    EXPECT_EQ(configs[1].dsas[0].target, 7);
+    ASSERT_EQ(configs[3].dsas.size(), 3u);
+    EXPECT_EQ(configs[3].dsas[1].target, 2);
+    EXPECT_EQ(configs[3].dsas[2].target, 5);
+}
+
+TEST(DesignSpace, AllConfigsValid)
+{
+    DesignSpace space;
+    std::vector<int> priority = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+    for (const SocConfig &config :
+         enumerateDesignSpace(space, priority))
+        EXPECT_TRUE(config.valid()) << config.name();
+}
+
+TEST(DesignSpace, UniformPeCountPerConfig)
+{
+    DesignSpace space;
+    std::vector<int> priority = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+    for (const SocConfig &config :
+         enumerateDesignSpace(space, priority)) {
+        for (const DsaSpec &dsa : config.dsas)
+            EXPECT_EQ(dsa.pes, config.dsas.front().pes);
+    }
+}
+
+} // anonymous namespace
+} // namespace arch
+} // namespace hilp

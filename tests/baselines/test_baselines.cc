@@ -1,0 +1,130 @@
+/** @file Unit tests for the MultiAmdahl and Gables baselines. */
+
+#include <gtest/gtest.h>
+
+#include "baselines/gables.hh"
+#include "baselines/multiamdahl.hh"
+#include "hilp/engine.hh"
+#include "hilp/showcase.hh"
+
+namespace hilp {
+namespace baselines {
+namespace {
+
+EngineOptions
+exampleOptions()
+{
+    EngineOptions options;
+    options.initialStepS = 1.0;
+    options.horizonSteps = 64;
+    options.maxRefinements = 0;
+    options.solver.targetGap = 0.0;
+    return options;
+}
+
+TEST(MultiAmdahl, Figure2Example)
+{
+    // Sequential execution with the best unit per phase:
+    // m: 1 + 5 (DSA) + 1; n: 1 + 2 (DSA) + 1 -> 11 s, WLP 1.
+    MaResult result = evaluateMultiAmdahl(makeTwoAppExample());
+    ASSERT_TRUE(result.ok);
+    EXPECT_DOUBLE_EQ(result.makespanS, 11.0);
+    EXPECT_DOUBLE_EQ(result.averageWlp(), 1.0);
+}
+
+TEST(MultiAmdahl, ScheduleIsStrictlySequential)
+{
+    MaResult result = evaluateMultiAmdahl(makeTwoAppExample());
+    ASSERT_TRUE(result.ok);
+    ASSERT_EQ(result.schedule.phases.size(), 6u);
+    EXPECT_DOUBLE_EQ(result.schedule.averageWlp(), 1.0);
+    EXPECT_EQ(result.schedule.peakWlp(), 1);
+    // Starts are cumulative: each phase begins where the previous
+    // one ended.
+    double now = 0.0;
+    for (const ScheduledPhase &phase : result.schedule.phases) {
+        EXPECT_DOUBLE_EQ(phase.startS, now);
+        now += phase.durationS;
+    }
+}
+
+TEST(MultiAmdahl, RespectsPowerBudgetPerPhase)
+{
+    // Under a 1.5 W budget neither the GPU (3 W) nor the DSA (2 W)
+    // is usable: everything runs on the 1 W CPU -> 17 s.
+    ProblemSpec spec = makeTwoAppExample();
+    spec.powerBudgetW = 1.5;
+    MaResult result = evaluateMultiAmdahl(spec);
+    ASSERT_TRUE(result.ok);
+    EXPECT_DOUBLE_EQ(result.makespanS, 17.0);
+}
+
+TEST(MultiAmdahl, InfeasibleWhenNothingFits)
+{
+    ProblemSpec spec = makeTwoAppExample();
+    spec.powerBudgetW = 0.5; // Below even the CPU's 1 W.
+    MaResult result = evaluateMultiAmdahl(spec);
+    EXPECT_FALSE(result.ok);
+}
+
+TEST(MultiAmdahl, HandlesDagAppsInTopologicalOrder)
+{
+    ProblemSpec spec = makeSdaProblem(SdaVariant::Baseline, 1);
+    MaResult result = evaluateMultiAmdahl(spec);
+    ASSERT_TRUE(result.ok);
+    // Sum of best phase times: 3*4 (DS) + 2 (DF) + 2+3+2 (C on GPU)
+    // + 1 (PP on GPU) = 22 s.
+    EXPECT_DOUBLE_EQ(result.makespanS, 22.0);
+}
+
+TEST(Gables, TransformDropsDependenciesAndPower)
+{
+    ProblemSpec spec = makeTwoAppExample();
+    spec.powerBudgetW = 3.0;
+    ProblemSpec transformed = gablesTransform(spec);
+    EXPECT_DOUBLE_EQ(transformed.powerBudgetW, kUnlimited);
+    for (const AppSpec &app : transformed.apps) {
+        EXPECT_TRUE(app.independentPhases);
+        EXPECT_TRUE(app.effectiveDeps().empty());
+    }
+    // The original spec is untouched.
+    EXPECT_DOUBLE_EQ(spec.powerBudgetW, 3.0);
+    EXPECT_FALSE(spec.apps[0].independentPhases);
+}
+
+TEST(Gables, Figure2Example)
+{
+    // The paper's Gables packing reaches 5 s with average WLP 2.4.
+    EvalResult result =
+        evaluateGables(makeTwoAppExample(), exampleOptions());
+    ASSERT_TRUE(result.ok);
+    EXPECT_DOUBLE_EQ(result.makespanS, 5.0);
+    EXPECT_NEAR(result.averageWlp, 2.4, 1e-9);
+}
+
+TEST(Gables, IgnoresPowerBudget)
+{
+    ProblemSpec spec = makeTwoAppExample();
+    spec.powerBudgetW = 3.0;
+    EvalResult result = evaluateGables(spec, exampleOptions());
+    ASSERT_TRUE(result.ok);
+    EXPECT_DOUBLE_EQ(result.makespanS, 5.0); // same as unconstrained.
+}
+
+TEST(Baselines, OrderingMaGreaterThanHilpGreaterThanGables)
+{
+    // The WLP extremes bracket HILP (Figure 2: 11 / 7 / 5 s).
+    ProblemSpec spec = makeTwoAppExample();
+    MaResult ma = evaluateMultiAmdahl(spec);
+    EvalResult hilp = evaluate(spec, exampleOptions());
+    EvalResult gables = evaluateGables(spec, exampleOptions());
+    ASSERT_TRUE(ma.ok && hilp.ok && gables.ok);
+    EXPECT_GT(ma.makespanS, hilp.makespanS);
+    EXPECT_GT(hilp.makespanS, gables.makespanS);
+    EXPECT_LT(ma.averageWlp(), hilp.averageWlp);
+    EXPECT_LT(hilp.averageWlp, gables.averageWlp);
+}
+
+} // anonymous namespace
+} // namespace baselines
+} // namespace hilp

@@ -1,0 +1,92 @@
+/** @file Tests for the closed-form (fractional roofline) Gables. */
+
+#include <gtest/gtest.h>
+
+#include "baselines/gables.hh"
+#include "hilp/builder.hh"
+#include "hilp/showcase.hh"
+#include "workload/rodinia.hh"
+
+namespace hilp {
+namespace baselines {
+namespace {
+
+TEST(GablesAnalytic, PositiveOnTheExample)
+{
+    double analytic = evaluateGablesAnalyticS(makeTwoAppExample());
+    EXPECT_GT(analytic, 0.0);
+    EXPECT_LT(analytic, 17.0); // strictly better than naive CPU.
+}
+
+TEST(GablesAnalytic, AtLeastTheLongestMandatoryPhase)
+{
+    // A fractional roofline still cannot beat the single longest
+    // phase executed on its fastest unit.
+    ProblemSpec spec = makeTwoAppExample();
+    double analytic = evaluateGablesAnalyticS(spec);
+    double longest_min = 0.0;
+    for (const AppSpec &app : spec.apps) {
+        for (const PhaseSpec &phase : app.phases) {
+            double best = 1e300;
+            for (const UnitOption &option : phase.options)
+                best = std::min(best, option.timeS);
+            longest_min = std::max(longest_min, best);
+        }
+    }
+    EXPECT_GE(analytic, longest_min - 1e-6);
+}
+
+TEST(GablesAnalytic, CpuPoolLoadIsRespected)
+{
+    // In the example the four sequential phases are CPU-pinned on a
+    // single core: the roofline is at least 4 s.
+    double analytic = evaluateGablesAnalyticS(makeTwoAppExample());
+    EXPECT_GE(analytic, 4.0 - 1e-6);
+}
+
+TEST(GablesAnalytic, MoreCpusLowerTheRoofline)
+{
+    auto wl = workload::makeWorkload(workload::Variant::Optimized);
+    arch::SocConfig one;
+    one.cpuCores = 1;
+    one.gpuSms = 64;
+    arch::SocConfig four;
+    four.cpuCores = 4;
+    four.gpuSms = 64;
+    double roof_one = evaluateGablesAnalyticS(
+        buildProblem(wl, one, arch::Constraints{}));
+    double roof_four = evaluateGablesAnalyticS(
+        buildProblem(wl, four, arch::Constraints{}));
+    EXPECT_LE(roof_four, roof_one + 1e-6);
+}
+
+TEST(GablesAnalytic, BiggerGpuLowersTheRoofline)
+{
+    auto wl = workload::makeWorkload(workload::Variant::Optimized);
+    arch::SocConfig small;
+    small.cpuCores = 4;
+    small.gpuSms = 16;
+    arch::SocConfig big;
+    big.cpuCores = 4;
+    big.gpuSms = 64;
+    double roof_small = evaluateGablesAnalyticS(
+        buildProblem(wl, small, arch::Constraints{}));
+    double roof_big = evaluateGablesAnalyticS(
+        buildProblem(wl, big, arch::Constraints{}));
+    EXPECT_LT(roof_big, roof_small);
+}
+
+TEST(GablesAnalytic, ExplicitStepOverrideIsHonoured)
+{
+    // A coarse explicit step quantizes the roofline upward but must
+    // stay within one ceil-rounding of the fine default.
+    ProblemSpec spec = makeTwoAppExample();
+    double fine = evaluateGablesAnalyticS(spec);
+    double coarse = evaluateGablesAnalyticS(spec, 1.0);
+    EXPECT_GE(coarse + 1e-9, fine - 1.0 * spec.numPhases());
+    EXPECT_GT(coarse, 0.0);
+}
+
+} // anonymous namespace
+} // namespace baselines
+} // namespace hilp

@@ -1,0 +1,270 @@
+/** @file Unit tests for the scheduling model and schedule checker. */
+
+#include <gtest/gtest.h>
+
+#include "cp/model.hh"
+
+namespace hilp {
+namespace cp {
+namespace {
+
+/** A small two-task, one-resource, one-group model. */
+Model
+smallModel()
+{
+    Model m;
+    int power = m.addResource(5.0, "power");
+    (void)power;
+    int gpu = m.addGroup("GPU");
+    Task a;
+    a.name = "a";
+    a.modes.push_back({kNoGroup, 2, {1.0}});
+    a.modes.push_back({gpu, 1, {3.0}});
+    m.addTask(a);
+    Task b;
+    b.name = "b";
+    b.modes.push_back({gpu, 2, {3.0}});
+    m.addTask(b);
+    m.addPrecedence(0, 1);
+    m.setHorizon(10);
+    return m;
+}
+
+TEST(Model, AccessorsAndCounts)
+{
+    Model m = smallModel();
+    EXPECT_EQ(m.numTasks(), 2);
+    EXPECT_EQ(m.numResources(), 1);
+    EXPECT_EQ(m.numGroups(), 1);
+    EXPECT_EQ(m.horizon(), 10);
+    EXPECT_DOUBLE_EQ(m.capacity(0), 5.0);
+    EXPECT_EQ(m.resourceName(0), "power");
+    EXPECT_EQ(m.groupName(0), "GPU");
+    EXPECT_EQ(m.task(0).name, "a");
+}
+
+TEST(Model, MinMaxDuration)
+{
+    Model m = smallModel();
+    EXPECT_EQ(m.minDuration(0), 1);
+    EXPECT_EQ(m.maxDuration(0), 2);
+    EXPECT_EQ(m.minDuration(1), 2);
+}
+
+TEST(Model, PredecessorsAndSuccessors)
+{
+    Model m = smallModel();
+    ASSERT_EQ(m.successors(0).size(), 1u);
+    EXPECT_EQ(m.successors(0)[0], 1);
+    ASSERT_EQ(m.predecessors(1).size(), 1u);
+    EXPECT_EQ(m.predecessors(1)[0], 0);
+    EXPECT_TRUE(m.predecessors(0).empty());
+}
+
+TEST(Model, TopologicalOrderRespectsEdges)
+{
+    Model m;
+    for (int i = 0; i < 4; ++i) {
+        Task t;
+        t.name = "t";
+        t.modes.push_back({kNoGroup, 1, {}});
+        m.addTask(t);
+    }
+    m.addPrecedence(2, 0);
+    m.addPrecedence(0, 1);
+    m.addPrecedence(2, 3);
+    m.setHorizon(10);
+    std::vector<int> order = m.topologicalOrder();
+    ASSERT_EQ(order.size(), 4u);
+    std::vector<int> position(4);
+    for (int i = 0; i < 4; ++i)
+        position[order[i]] = i;
+    EXPECT_LT(position[2], position[0]);
+    EXPECT_LT(position[0], position[1]);
+    EXPECT_LT(position[2], position[3]);
+}
+
+TEST(Model, ValidateAcceptsGoodModel)
+{
+    EXPECT_EQ(smallModel().validate(), "");
+}
+
+TEST(Model, ValidateRejectsMissingHorizon)
+{
+    Model m;
+    Task t;
+    t.modes.push_back({kNoGroup, 1, {}});
+    m.addTask(t);
+    EXPECT_NE(m.validate(), "");
+}
+
+TEST(Model, ValidateRejectsTaskWithoutModes)
+{
+    Model m;
+    m.addTask(Task{"empty", {}});
+    m.setHorizon(5);
+    EXPECT_NE(m.validate().find("no modes"), std::string::npos);
+}
+
+TEST(Model, ValidateRejectsBadGroupReference)
+{
+    Model m;
+    Task t;
+    t.modes.push_back({3, 1, {}});
+    m.addTask(t);
+    m.setHorizon(5);
+    EXPECT_NE(m.validate().find("invalid"), std::string::npos);
+}
+
+TEST(Model, ValidateRejectsWrongUsageArity)
+{
+    Model m;
+    m.addResource(1.0);
+    Task t;
+    t.modes.push_back({kNoGroup, 1, {}}); // should have 1 usage entry
+    m.addTask(t);
+    m.setHorizon(5);
+    EXPECT_NE(m.validate().find("usage"), std::string::npos);
+}
+
+TEST(Model, ValidateRejectsNegativeUsage)
+{
+    Model m;
+    m.addResource(1.0);
+    Task t;
+    t.modes.push_back({kNoGroup, 1, {-0.5}});
+    m.addTask(t);
+    m.setHorizon(5);
+    EXPECT_NE(m.validate().find("negative usage"), std::string::npos);
+}
+
+TEST(Model, ValidateRejectsCycle)
+{
+    Model m;
+    for (int i = 0; i < 2; ++i) {
+        Task t;
+        t.modes.push_back({kNoGroup, 1, {}});
+        m.addTask(t);
+    }
+    m.addPrecedence(0, 1);
+    m.addPrecedence(1, 0);
+    m.setHorizon(5);
+    EXPECT_NE(m.validate().find("cycle"), std::string::npos);
+}
+
+TEST(ScheduleVecTest, EndAndMakespan)
+{
+    Model m = smallModel();
+    ScheduleVec s;
+    s.tasks = {{0, 0}, {0, 3}}; // a: mode 0 (dur 2) at 0; b at 3.
+    EXPECT_EQ(s.end(m, 0), 2);
+    EXPECT_EQ(s.end(m, 1), 5);
+    EXPECT_EQ(s.makespan(m), 5);
+}
+
+TEST(CheckSchedule, AcceptsFeasibleSchedule)
+{
+    Model m = smallModel();
+    ScheduleVec s;
+    s.tasks = {{0, 0}, {0, 2}};
+    EXPECT_EQ(checkSchedule(m, s), "");
+}
+
+TEST(CheckSchedule, RejectsPrecedenceViolation)
+{
+    Model m = smallModel();
+    ScheduleVec s;
+    s.tasks = {{0, 0}, {0, 1}}; // b starts before a (dur 2) ends.
+    EXPECT_NE(checkSchedule(m, s).find("precedence"),
+              std::string::npos);
+}
+
+TEST(CheckSchedule, RejectsGroupOverlap)
+{
+    Model m;
+    int gpu = m.addGroup("GPU");
+    for (int i = 0; i < 2; ++i) {
+        Task t;
+        t.modes.push_back({gpu, 3, {}});
+        m.addTask(t);
+    }
+    m.setHorizon(10);
+    ScheduleVec s;
+    s.tasks = {{0, 0}, {0, 2}}; // overlap on the GPU at step 2.
+    EXPECT_NE(checkSchedule(m, s).find("overlap"), std::string::npos);
+}
+
+TEST(CheckSchedule, RejectsResourceOverflow)
+{
+    Model m;
+    m.addResource(1.5, "power");
+    for (int i = 0; i < 2; ++i) {
+        Task t;
+        t.modes.push_back({kNoGroup, 2, {1.0}});
+        m.addTask(t);
+    }
+    m.setHorizon(10);
+    ScheduleVec s;
+    s.tasks = {{0, 0}, {0, 1}}; // 2.0 > 1.5 at step 1.
+    EXPECT_NE(checkSchedule(m, s).find("capacity"), std::string::npos);
+}
+
+TEST(CheckSchedule, RejectsHorizonOverrun)
+{
+    Model m = smallModel();
+    ScheduleVec s;
+    s.tasks = {{0, 0}, {0, 9}}; // b (dur 2) ends at 11 > 10.
+    EXPECT_NE(checkSchedule(m, s).find("horizon"), std::string::npos);
+}
+
+TEST(CheckSchedule, RejectsUnscheduledTask)
+{
+    Model m = smallModel();
+    ScheduleVec s;
+    s.tasks = {{0, 0}, {}};
+    EXPECT_NE(checkSchedule(m, s).find("unscheduled"),
+              std::string::npos);
+}
+
+TEST(CheckSchedule, RejectsSizeMismatch)
+{
+    Model m = smallModel();
+    ScheduleVec s;
+    s.tasks = {{0, 0}};
+    EXPECT_NE(checkSchedule(m, s), "");
+}
+
+TEST(CheckSchedule, AllowsBackToBackOnSameGroup)
+{
+    Model m;
+    int gpu = m.addGroup("GPU");
+    for (int i = 0; i < 2; ++i) {
+        Task t;
+        t.modes.push_back({gpu, 3, {}});
+        m.addTask(t);
+    }
+    m.setHorizon(10);
+    ScheduleVec s;
+    s.tasks = {{0, 0}, {0, 3}}; // touching intervals are legal.
+    EXPECT_EQ(checkSchedule(m, s), "");
+}
+
+TEST(CheckSchedule, ZeroDurationNeverConflicts)
+{
+    Model m;
+    int gpu = m.addGroup("GPU");
+    Task a;
+    a.modes.push_back({gpu, 0, {}});
+    m.addTask(a);
+    Task b;
+    b.modes.push_back({gpu, 4, {}});
+    m.addTask(b);
+    m.setHorizon(10);
+    ScheduleVec s;
+    s.tasks = {{0, 2}, {0, 0}};
+    EXPECT_EQ(checkSchedule(m, s), "");
+}
+
+} // anonymous namespace
+} // namespace cp
+} // namespace hilp

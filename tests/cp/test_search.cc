@@ -1,0 +1,157 @@
+/** @file Unit tests for the branch-and-bound search. */
+
+#include <gtest/gtest.h>
+
+#include "cp/list_scheduler.hh"
+#include "cp/model.hh"
+#include "cp/search.hh"
+
+namespace hilp {
+namespace cp {
+namespace {
+
+Model
+twoDeviceModel()
+{
+    // Four tasks, each 2 steps on either of two devices: optimum 4.
+    Model m;
+    int g1 = m.addGroup("A");
+    int g2 = m.addGroup("B");
+    for (int i = 0; i < 4; ++i) {
+        Task t;
+        t.modes.push_back({g1, 2, {}});
+        t.modes.push_back({g2, 2, {}});
+        m.addTask(t);
+    }
+    m.setHorizon(20);
+    return m;
+}
+
+TEST(Search, FindsOptimumWithoutWarmStart)
+{
+    Model m = twoDeviceModel();
+    SearchLimits limits;
+    SearchResult r = branchAndBound(m, nullptr, limits);
+    ASSERT_TRUE(r.foundSolution);
+    EXPECT_TRUE(r.exhausted);
+    EXPECT_EQ(r.bestMakespan, 4);
+    EXPECT_EQ(checkSchedule(m, r.best), "");
+}
+
+TEST(Search, WarmStartOnlyImproves)
+{
+    Model m = twoDeviceModel();
+    // A deliberately bad but feasible warm start: everything on A.
+    ScheduleVec warm;
+    warm.tasks = {{0, 0}, {0, 2}, {0, 4}, {0, 6}};
+    ASSERT_EQ(checkSchedule(m, warm), "");
+    SearchLimits limits;
+    SearchResult r = branchAndBound(m, &warm, limits);
+    ASSERT_TRUE(r.foundSolution);
+    EXPECT_EQ(r.bestMakespan, 4);
+    EXPECT_GE(r.solutions, 1);
+}
+
+TEST(Search, OptimalWarmStartIsKept)
+{
+    Model m = twoDeviceModel();
+    ScheduleVec warm;
+    warm.tasks = {{0, 0}, {1, 0}, {0, 2}, {1, 2}};
+    ASSERT_EQ(checkSchedule(m, warm), "");
+    SearchLimits limits;
+    SearchResult r = branchAndBound(m, &warm, limits);
+    ASSERT_TRUE(r.foundSolution);
+    EXPECT_TRUE(r.exhausted);
+    EXPECT_EQ(r.bestMakespan, 4);
+    // No strictly better schedule exists, so no new incumbents.
+    EXPECT_EQ(r.solutions, 0);
+}
+
+TEST(Search, NodeLimitStopsSearch)
+{
+    Model m = twoDeviceModel();
+    SearchLimits limits;
+    limits.maxNodes = 1;
+    SearchResult r = branchAndBound(m, nullptr, limits);
+    EXPECT_FALSE(r.exhausted);
+    EXPECT_LE(r.nodes, 2);
+}
+
+TEST(Search, TargetGapStopsEarly)
+{
+    Model m = twoDeviceModel();
+    ScheduleVec warm;
+    warm.tasks = {{0, 0}, {1, 0}, {0, 2}, {1, 2}};
+    SearchLimits limits;
+    limits.targetGap = 0.5;
+    limits.lowerBound = 3; // gap (4-3)/4 = 0.25 <= 0.5.
+    SearchResult r = branchAndBound(m, &warm, limits);
+    ASSERT_TRUE(r.foundSolution);
+    EXPECT_FALSE(r.exhausted); // stopped by the gap, not exhaustion.
+    EXPECT_EQ(r.nodes, 0);
+}
+
+TEST(Search, ProvesInfeasibilityByExhaustion)
+{
+    Model m;
+    int g = m.addGroup("G");
+    for (int i = 0; i < 3; ++i) {
+        Task t;
+        t.modes.push_back({g, 3, {}});
+        m.addTask(t);
+    }
+    m.setHorizon(8); // needs 9 steps on one device.
+    SearchLimits limits;
+    SearchResult r = branchAndBound(m, nullptr, limits);
+    EXPECT_FALSE(r.foundSolution);
+    EXPECT_TRUE(r.exhausted);
+}
+
+TEST(Search, PrecedenceAcrossDevicesHandled)
+{
+    // a (dev A, 3) -> b (dev B, 2); independent c (dev B, 4).
+    // Optimum: c at 0 on B, a at 0 on A, b at 4 -> makespan 6.
+    // (b at 3 would collide with c; b after c is 6.)
+    Model m;
+    int g1 = m.addGroup("A");
+    int g2 = m.addGroup("B");
+    Task a;
+    a.modes.push_back({g1, 3, {}});
+    m.addTask(a);
+    Task b;
+    b.modes.push_back({g2, 2, {}});
+    m.addTask(b);
+    Task c;
+    c.modes.push_back({g2, 4, {}});
+    m.addTask(c);
+    m.addPrecedence(0, 1);
+    m.setHorizon(20);
+    SearchLimits limits;
+    SearchResult r = branchAndBound(m, nullptr, limits);
+    ASSERT_TRUE(r.foundSolution);
+    EXPECT_TRUE(r.exhausted);
+    EXPECT_EQ(r.bestMakespan, 6);
+}
+
+TEST(Search, CumulativeResourcePacking)
+{
+    // Capacity 2, four unit-usage tasks of 3 steps: two at a time,
+    // optimum 6.
+    Model m;
+    m.addResource(2.0, "r");
+    for (int i = 0; i < 4; ++i) {
+        Task t;
+        t.modes.push_back({kNoGroup, 3, {1.0}});
+        m.addTask(t);
+    }
+    m.setHorizon(20);
+    SearchLimits limits;
+    SearchResult r = branchAndBound(m, nullptr, limits);
+    ASSERT_TRUE(r.foundSolution);
+    EXPECT_EQ(r.bestMakespan, 6);
+    EXPECT_EQ(checkSchedule(m, r.best), "");
+}
+
+} // anonymous namespace
+} // namespace cp
+} // namespace hilp

@@ -1,0 +1,196 @@
+/** @file Unit tests for Pareto extraction, classification, and the
+ * design-space explorer. */
+
+#include <gtest/gtest.h>
+
+#include "dse/explore.hh"
+#include "dse/pareto.hh"
+#include "workload/rodinia.hh"
+
+namespace hilp {
+namespace dse {
+namespace {
+
+TEST(Pareto, SimpleFront)
+{
+    // (cost, value): (1,1) (2,3) (3,2) (4,4).
+    std::vector<double> cost = {1, 2, 3, 4};
+    std::vector<double> value = {1, 3, 2, 4};
+    auto front = paretoFront(cost, value);
+    EXPECT_EQ(front, (std::vector<size_t>{0, 1, 3}));
+}
+
+TEST(Pareto, DominatedPointExcluded)
+{
+    std::vector<double> cost = {1, 2};
+    std::vector<double> value = {5, 4}; // more cost, less value.
+    auto front = paretoFront(cost, value);
+    EXPECT_EQ(front, (std::vector<size_t>{0}));
+}
+
+TEST(Pareto, EqualCostKeepsBestValue)
+{
+    std::vector<double> cost = {1, 1, 2};
+    std::vector<double> value = {2, 3, 4};
+    auto front = paretoFront(cost, value);
+    EXPECT_EQ(front, (std::vector<size_t>{1, 2}));
+}
+
+TEST(Pareto, EmptyInput)
+{
+    EXPECT_TRUE(paretoFront({}, {}).empty());
+}
+
+TEST(Pareto, SinglePoint)
+{
+    auto front = paretoFront({1.0}, {1.0});
+    EXPECT_EQ(front, (std::vector<size_t>{0}));
+}
+
+TEST(Pareto, FrontIsSortedByCost)
+{
+    std::vector<double> cost = {5, 1, 3, 2, 4};
+    std::vector<double> value = {9, 1, 5, 3, 7};
+    auto front = paretoFront(cost, value);
+    for (size_t i = 1; i < front.size(); ++i)
+        EXPECT_LE(cost[front[i - 1]], cost[front[i]]);
+}
+
+TEST(Classify, GpuDominated)
+{
+    arch::SocConfig config;
+    config.cpuCores = 1;
+    config.gpuSms = 64;
+    config.dsas = {{1, 0}};
+    EXPECT_EQ(classifyAccelMix(config), AccelMix::GpuDominated);
+}
+
+TEST(Classify, DsaDominated)
+{
+    arch::SocConfig config;
+    config.cpuCores = 1;
+    config.gpuSms = 0;
+    config.dsas = {{16, 0}, {16, 1}};
+    EXPECT_EQ(classifyAccelMix(config), AccelMix::DsaDominated);
+}
+
+TEST(Classify, Mixed)
+{
+    arch::SocConfig config;
+    config.cpuCores = 1;
+    config.gpuSms = 16;
+    config.dsas = {{16, 0}};
+    EXPECT_EQ(classifyAccelMix(config), AccelMix::Mixed);
+}
+
+TEST(Classify, NoAccelerators)
+{
+    arch::SocConfig config;
+    config.cpuCores = 4;
+    EXPECT_EQ(classifyAccelMix(config), AccelMix::None);
+}
+
+TEST(Classify, SeventyFivePercentBoundary)
+{
+    // GPU 60 SMs vs DSA 20 PEs: GPU share 75% exactly -> Mixed.
+    arch::SocConfig config;
+    config.cpuCores = 1;
+    config.gpuSms = 60;
+    config.dsas = {{20, 0}};
+    EXPECT_EQ(classifyAccelMix(config), AccelMix::Mixed);
+    // 61/81: just over -> GpuDominated... (61/81 = 0.753).
+    config.gpuSms = 61;
+    config.dsas = {{20, 0}};
+    EXPECT_EQ(classifyAccelMix(config), AccelMix::GpuDominated);
+}
+
+TEST(Classify, Names)
+{
+    EXPECT_STREQ(toString(AccelMix::None), "none");
+    EXPECT_STREQ(toString(AccelMix::GpuDominated), "gpu");
+    EXPECT_STREQ(toString(AccelMix::DsaDominated), "dsa");
+    EXPECT_STREQ(toString(AccelMix::Mixed), "mixed");
+}
+
+TEST(Explore, ModelNames)
+{
+    EXPECT_STREQ(toString(ModelKind::MultiAmdahl), "MA");
+    EXPECT_STREQ(toString(ModelKind::Hilp), "HILP");
+    EXPECT_STREQ(toString(ModelKind::Gables), "Gables");
+}
+
+TEST(Explore, HomogeneousSocUnderMaHasUnitSpeedup)
+{
+    // MA on the 1-CPU SoC is exactly the sequential reference.
+    arch::SocConfig config;
+    config.cpuCores = 1;
+    DseOptions options;
+    DsePoint point = evaluatePoint(
+        config, workload::makeWorkload(workload::Variant::Default),
+        arch::Constraints{}, ModelKind::MultiAmdahl, options);
+    ASSERT_TRUE(point.ok);
+    EXPECT_NEAR(point.speedup, 1.0, 1e-9);
+    EXPECT_DOUBLE_EQ(point.averageWlp, 1.0);
+    EXPECT_EQ(point.mix, AccelMix::None);
+}
+
+TEST(Explore, MaIsInsensitiveToCpuCount)
+{
+    // MA executes sequentially: extra CPU cores change nothing.
+    auto wl = workload::makeWorkload(workload::Variant::Default);
+    DseOptions options;
+    arch::SocConfig one;
+    one.cpuCores = 1;
+    one.gpuSms = 64;
+    arch::SocConfig four;
+    four.cpuCores = 4;
+    four.gpuSms = 64;
+    DsePoint p1 = evaluatePoint(one, wl, arch::Constraints{},
+                                ModelKind::MultiAmdahl, options);
+    DsePoint p4 = evaluatePoint(four, wl, arch::Constraints{},
+                                ModelKind::MultiAmdahl, options);
+    ASSERT_TRUE(p1.ok && p4.ok);
+    EXPECT_NEAR(p1.makespanS, p4.makespanS, 1e-6);
+}
+
+TEST(Explore, SpaceEvaluationMatchesPointEvaluation)
+{
+    auto wl = workload::makeWorkload(workload::Variant::Default);
+    std::vector<arch::SocConfig> configs;
+    for (int cpus : {1, 2}) {
+        arch::SocConfig c;
+        c.cpuCores = cpus;
+        c.gpuSms = 16;
+        configs.push_back(c);
+    }
+    DseOptions options;
+    options.threads = 2;
+    auto points = exploreSpace(configs, wl, arch::Constraints{},
+                               ModelKind::MultiAmdahl, options);
+    ASSERT_EQ(points.size(), 2u);
+    for (size_t i = 0; i < configs.size(); ++i) {
+        DsePoint reference =
+            evaluatePoint(configs[i], wl, arch::Constraints{},
+                          ModelKind::MultiAmdahl, options);
+        EXPECT_NEAR(points[i].makespanS, reference.makespanS, 1e-9);
+        EXPECT_NEAR(points[i].areaMm2, reference.areaMm2, 1e-9);
+    }
+}
+
+TEST(Explore, UnschedulableConfigReportsNotOk)
+{
+    auto wl = workload::makeWorkload(workload::Variant::Default);
+    arch::Constraints constraints;
+    constraints.powerBudgetW = 5.0; // Below one CPU core's 7 W.
+    arch::SocConfig config;
+    config.cpuCores = 1;
+    DseOptions options;
+    DsePoint point = evaluatePoint(config, wl, constraints,
+                                   ModelKind::Hilp, options);
+    EXPECT_FALSE(point.ok);
+    EXPECT_DOUBLE_EQ(point.speedup, 0.0);
+}
+
+} // anonymous namespace
+} // namespace dse
+} // namespace hilp

@@ -1,0 +1,65 @@
+/** @file Tests for epsilon-dominance in the Pareto front. */
+
+#include <gtest/gtest.h>
+
+#include "dse/pareto.hh"
+
+namespace hilp {
+namespace dse {
+namespace {
+
+TEST(ParetoEpsilon, ZeroEpsilonKeepsStrictImprovements)
+{
+    std::vector<double> cost = {1, 2};
+    std::vector<double> value = {10.0, 10.0 + 1e-9};
+    auto front = paretoFront(cost, value, 0.0);
+    EXPECT_EQ(front.size(), 2u);
+}
+
+TEST(ParetoEpsilon, EpsilonSuppressesNoiseTies)
+{
+    std::vector<double> cost = {1, 2};
+    std::vector<double> value = {10.0, 10.0 + 1e-9};
+    auto front = paretoFront(cost, value, 1e-3);
+    ASSERT_EQ(front.size(), 1u);
+    EXPECT_EQ(front[0], 0u);
+}
+
+TEST(ParetoEpsilon, RealImprovementsSurviveEpsilon)
+{
+    std::vector<double> cost = {1, 2, 3};
+    std::vector<double> value = {10.0, 10.2, 10.201};
+    auto front = paretoFront(cost, value, 1e-2);
+    ASSERT_EQ(front.size(), 2u);
+    EXPECT_EQ(front[0], 0u);
+    EXPECT_EQ(front[1], 1u);
+}
+
+TEST(ParetoEpsilon, WorksWithNegativeValues)
+{
+    std::vector<double> cost = {1, 2, 3};
+    std::vector<double> value = {-10.0, -5.0, -4.9999};
+    auto front = paretoFront(cost, value, 1e-3);
+    ASSERT_EQ(front.size(), 2u);
+    EXPECT_EQ(front[1], 1u);
+}
+
+TEST(ParetoEpsilon, FirstPointAlwaysEnters)
+{
+    auto front = paretoFront({5.0}, {0.0}, 0.5);
+    ASSERT_EQ(front.size(), 1u);
+}
+
+TEST(ParetoEpsilon, LargeEpsilonKeepsOnlyBigJumps)
+{
+    std::vector<double> cost = {1, 2, 3, 4};
+    std::vector<double> value = {10, 10.5, 11, 21};
+    auto front = paretoFront(cost, value, 0.5); // need +50%.
+    ASSERT_EQ(front.size(), 2u);
+    EXPECT_EQ(front[0], 0u);
+    EXPECT_EQ(front[1], 3u);
+}
+
+} // anonymous namespace
+} // namespace dse
+} // namespace hilp

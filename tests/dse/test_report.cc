@@ -1,0 +1,106 @@
+/** @file Tests for DSE result export and the offload analysis. */
+
+#include <gtest/gtest.h>
+
+#include "dse/report.hh"
+#include "hilp/builder.hh"
+#include "hilp/engine.hh"
+#include "workload/rodinia.hh"
+
+namespace hilp {
+namespace dse {
+namespace {
+
+std::vector<DsePoint>
+smallSweep()
+{
+    auto wl = workload::makeWorkload(workload::Variant::Default);
+    std::vector<arch::SocConfig> configs;
+    arch::SocConfig a;
+    a.cpuCores = 1;
+    configs.push_back(a);
+    arch::SocConfig b;
+    b.cpuCores = 2;
+    b.gpuSms = 16;
+    configs.push_back(b);
+    DseOptions options;
+    return exploreSpace(configs, wl, arch::Constraints{},
+                        ModelKind::MultiAmdahl, options);
+}
+
+TEST(Report, CsvHasHeaderAndOneRowPerPoint)
+{
+    auto points = smallSweep();
+    std::string csv = pointsToCsv(points);
+    // Header + 2 rows + trailing newline split artifact.
+    int lines = 0;
+    for (char c : csv)
+        lines += c == '\n' ? 1 : 0;
+    EXPECT_EQ(lines, 3);
+    EXPECT_NE(csv.find("config,cpus,gpu_sms"), std::string::npos);
+    EXPECT_NE(csv.find("(c1,g0,d0^0)"), std::string::npos);
+    EXPECT_NE(csv.find("(c2,g16,d0^0)"), std::string::npos);
+}
+
+TEST(Report, JsonHasOneEntryPerPoint)
+{
+    auto points = smallSweep();
+    Json json = pointsToJson(points);
+    EXPECT_TRUE(json.isArray());
+    EXPECT_EQ(json.size(), points.size());
+    std::string text = json.dump();
+    EXPECT_NE(text.find("\"speedup\""), std::string::npos);
+    EXPECT_NE(text.find("\"mix\""), std::string::npos);
+}
+
+TEST(Report, OffloadAnalysisOnMixedSoc)
+{
+    auto wl = workload::makeWorkload(workload::Variant::Default);
+    auto priority = workload::dsaPriorityOrder();
+    arch::SocConfig soc;
+    soc.cpuCores = 4;
+    soc.gpuSms = 16;
+    soc.dsas = {{16, priority[0]}, {16, priority[1]}};
+    EngineOptions engine = EngineOptions::explorationMode();
+    engine.solver.maxSeconds = 2.0;
+    EvalResult result =
+        evaluate(buildProblem(wl, soc, arch::Constraints{}), engine);
+    ASSERT_TRUE(result.ok);
+    OffloadAnalysis analysis = analyzeOffload(result.schedule);
+    // The DSAs hold LUD and HS - the two longest kernels - so they
+    // absorb a large share of the accelerated compute time.
+    EXPECT_GT(analysis.dsaBusyS, 0.0);
+    EXPECT_GT(analysis.gpuBusyS, 0.0);
+    EXPECT_GT(analysis.dsaShare, 0.3);
+    EXPECT_LT(analysis.dsaShare, 1.0);
+}
+
+TEST(Report, OffloadAnalysisOnGpuOnlySoc)
+{
+    auto wl = workload::makeWorkload(workload::Variant::Default);
+    arch::SocConfig soc;
+    soc.cpuCores = 4;
+    soc.gpuSms = 64;
+    EngineOptions engine = EngineOptions::explorationMode();
+    engine.solver.maxSeconds = 2.0;
+    EvalResult result =
+        evaluate(buildProblem(wl, soc, arch::Constraints{}), engine);
+    ASSERT_TRUE(result.ok);
+    OffloadAnalysis analysis = analyzeOffload(result.schedule);
+    EXPECT_DOUBLE_EQ(analysis.dsaBusyS, 0.0);
+    EXPECT_DOUBLE_EQ(analysis.dsaShare, 0.0);
+    EXPECT_GT(analysis.gpuBusyS, 0.0);
+}
+
+TEST(Report, EmptyScheduleAnalysisIsZero)
+{
+    Schedule schedule;
+    OffloadAnalysis analysis = analyzeOffload(schedule);
+    EXPECT_DOUBLE_EQ(analysis.gpuBusyS, 0.0);
+    EXPECT_DOUBLE_EQ(analysis.dsaBusyS, 0.0);
+    EXPECT_DOUBLE_EQ(analysis.dsaShare, 0.0);
+}
+
+} // anonymous namespace
+} // namespace dse
+} // namespace hilp

@@ -1,0 +1,136 @@
+/** @file Unit tests for time discretization. */
+
+#include <gtest/gtest.h>
+
+#include "hilp/discretize.hh"
+#include "hilp/showcase.hh"
+
+namespace hilp {
+namespace {
+
+TEST(Discretize, TwoAppExampleAtOneSecond)
+{
+    ProblemSpec spec = makeTwoAppExample();
+    DiscretizedProblem problem = discretize(spec, 1.0, 64);
+    EXPECT_EQ(problem.model.numTasks(), 6);
+    EXPECT_EQ(problem.model.numGroups(), 2);
+    EXPECT_EQ(problem.model.horizon(), 64);
+    EXPECT_DOUBLE_EQ(problem.stepS, 1.0);
+    // Unconstrained example: only the CPU pool resource exists.
+    EXPECT_EQ(problem.model.numResources(), 1);
+    EXPECT_EQ(problem.powerResource, -1);
+    EXPECT_EQ(problem.bwResource, -1);
+    EXPECT_EQ(problem.model.validate(), "");
+}
+
+TEST(Discretize, PowerBudgetAddsResource)
+{
+    ProblemSpec spec = makeTwoAppExample();
+    spec.powerBudgetW = 3.0;
+    DiscretizedProblem problem = discretize(spec, 1.0, 64);
+    ASSERT_GE(problem.powerResource, 0);
+    EXPECT_DOUBLE_EQ(
+        problem.model.capacity(problem.powerResource), 3.0);
+}
+
+TEST(Discretize, DurationsRoundUp)
+{
+    ProblemSpec spec = makeTwoAppExample();
+    // m1 takes 8/6/5 s on CPU/GPU/DSA; at 2 s steps: 4/3/3.
+    DiscretizedProblem problem = discretize(spec, 2.0, 64);
+    int m1 = problem.taskOf[0][1];
+    const cp::Task &task = problem.model.task(m1);
+    ASSERT_EQ(task.modes.size(), 3u);
+    EXPECT_EQ(task.modes[0].duration, 4);
+    EXPECT_EQ(task.modes[1].duration, 3);
+    EXPECT_EQ(task.modes[2].duration, 3);
+}
+
+TEST(Discretize, ExactMultiplesDoNotRoundUp)
+{
+    ProblemSpec spec = makeTwoAppExample();
+    DiscretizedProblem problem = discretize(spec, 0.5, 128);
+    int m1 = problem.taskOf[0][1];
+    EXPECT_EQ(problem.model.task(m1).modes[0].duration, 16);
+}
+
+TEST(Discretize, ChainPrecedenceEdges)
+{
+    ProblemSpec spec = makeTwoAppExample();
+    DiscretizedProblem problem = discretize(spec, 1.0, 64);
+    int m0 = problem.taskOf[0][0];
+    int m1 = problem.taskOf[0][1];
+    int m2 = problem.taskOf[0][2];
+    ASSERT_EQ(problem.model.successors(m0).size(), 1u);
+    EXPECT_EQ(problem.model.successors(m0)[0], m1);
+    EXPECT_EQ(problem.model.successors(m1)[0], m2);
+    EXPECT_TRUE(problem.model.successors(m2).empty());
+}
+
+TEST(Discretize, DagDependenciesArePreserved)
+{
+    ProblemSpec spec = makeSdaProblem(SdaVariant::Baseline, 1);
+    DiscretizedProblem problem = discretize(spec, 1.0, 64);
+    // DF (phase 3) depends on DS1..DS3 (phases 0..2).
+    int df = problem.taskOf[0][3];
+    EXPECT_EQ(problem.model.predecessors(df).size(), 3u);
+    // PP (phase 7) depends on C1..C3.
+    int pp = problem.taskOf[0][7];
+    EXPECT_EQ(problem.model.predecessors(pp).size(), 3u);
+}
+
+TEST(Discretize, IndependentPhasesHaveNoEdges)
+{
+    ProblemSpec spec = makeTwoAppExample();
+    for (AppSpec &app : spec.apps)
+        app.independentPhases = true;
+    DiscretizedProblem problem = discretize(spec, 1.0, 64);
+    for (int t = 0; t < problem.model.numTasks(); ++t)
+        EXPECT_TRUE(problem.model.predecessors(t).empty());
+}
+
+TEST(Discretize, MappingTablesAreConsistent)
+{
+    ProblemSpec spec = makeTwoAppExample();
+    DiscretizedProblem problem = discretize(spec, 1.0, 64);
+    for (size_t a = 0; a < spec.apps.size(); ++a) {
+        for (size_t p = 0; p < spec.apps[a].phases.size(); ++p) {
+            int task = problem.taskOf[a][p];
+            EXPECT_EQ(problem.phaseOf[task],
+                      std::make_pair(static_cast<int>(a),
+                                     static_cast<int>(p)));
+            EXPECT_EQ(problem.optionOf[task].size(),
+                      spec.apps[a].phases[p].options.size());
+        }
+    }
+}
+
+TEST(Discretize, CpuCoresMapToResourceUsage)
+{
+    ProblemSpec spec = makeTwoAppExample();
+    DiscretizedProblem problem = discretize(spec, 1.0, 64);
+    int m0 = problem.taskOf[0][0]; // setup: CPU only, 1 core.
+    const cp::Mode &mode = problem.model.task(m0).modes[0];
+    EXPECT_DOUBLE_EQ(mode.usage[problem.cpuResource], 1.0);
+    EXPECT_EQ(mode.group, cp::kNoGroup);
+    int m1 = problem.taskOf[0][1];
+    const cp::Mode &gpu_mode = problem.model.task(m1).modes[1];
+    EXPECT_DOUBLE_EQ(gpu_mode.usage[problem.cpuResource], 0.0);
+    EXPECT_EQ(gpu_mode.group, 0);
+}
+
+TEST(Discretize, CoarserStepsShrinkDurations)
+{
+    ProblemSpec spec = makeTwoAppExample();
+    DiscretizedProblem fine = discretize(spec, 1.0, 640);
+    DiscretizedProblem coarse = discretize(spec, 10.0, 64);
+    for (int t = 0; t < fine.model.numTasks(); ++t) {
+        for (size_t m = 0; m < fine.model.task(t).modes.size(); ++m) {
+            EXPECT_GE(fine.model.task(t).modes[m].duration,
+                      coarse.model.task(t).modes[m].duration);
+        }
+    }
+}
+
+} // anonymous namespace
+} // namespace hilp

@@ -1,0 +1,183 @@
+/** @file End-to-end tests for the HILP engine (Section II worked
+ * example, adaptive resolution, schedule lifting). */
+
+#include <gtest/gtest.h>
+
+#include "cp/solver.hh"
+#include "hilp/engine.hh"
+#include "hilp/showcase.hh"
+
+namespace hilp {
+namespace {
+
+EngineOptions
+exampleOptions()
+{
+    EngineOptions options;
+    options.initialStepS = 1.0;
+    options.horizonSteps = 64;
+    options.maxRefinements = 0;
+    options.solver.targetGap = 0.0;
+    return options;
+}
+
+TEST(Engine, Figure2OptimalSchedule)
+{
+    // The paper's Section II example: optimal makespan 7 s (2.4x
+    // over the naive 17 s), average WLP 1.7.
+    EvalResult result = evaluate(makeTwoAppExample(),
+                                 exampleOptions());
+    ASSERT_TRUE(result.ok);
+    EXPECT_EQ(result.status, cp::SolveStatus::Optimal);
+    EXPECT_DOUBLE_EQ(result.makespanS, 7.0);
+    EXPECT_DOUBLE_EQ(result.lowerBoundS, 7.0);
+    EXPECT_NEAR(result.averageWlp, 12.0 / 7.0, 1e-9);
+    EXPECT_NEAR(kTwoAppNaiveCpuS / result.makespanS, 2.43, 0.01);
+}
+
+TEST(Engine, Figure3PowerConstrainedSchedule)
+{
+    // Under a 3 W budget the GPU cannot overlap with anything; the
+    // paper's optimal makespan is 9 s with power capped at 3 W.
+    ProblemSpec spec = makeTwoAppExample();
+    spec.powerBudgetW = 3.0;
+    EvalResult result = evaluate(spec, exampleOptions());
+    ASSERT_TRUE(result.ok);
+    EXPECT_EQ(result.status, cp::SolveStatus::Optimal);
+    EXPECT_DOUBLE_EQ(result.makespanS, 9.0);
+    for (double watts : result.schedule.powerTrace())
+        EXPECT_LE(watts, 3.0 + 1e-9);
+}
+
+TEST(Engine, ScheduleIsInternallyConsistent)
+{
+    EvalResult result = evaluate(makeTwoAppExample(),
+                                 exampleOptions());
+    ASSERT_TRUE(result.ok);
+    EXPECT_EQ(result.schedule.phases.size(), 6u);
+    EXPECT_DOUBLE_EQ(result.schedule.makespanS(), result.makespanS);
+    for (const ScheduledPhase &phase : result.schedule.phases) {
+        EXPECT_GE(phase.startS, 0.0);
+        EXPECT_DOUBLE_EQ(phase.startS,
+                         phase.startStep * result.stepS);
+        EXPECT_DOUBLE_EQ(phase.durationS,
+                         phase.durationSteps * result.stepS);
+    }
+}
+
+TEST(Engine, RefinementIncreasesResolution)
+{
+    // At 4 s steps the example finishes in ~2-3 steps, far below a
+    // refinement threshold of 16, so the engine must refine.
+    EngineOptions options;
+    options.initialStepS = 4.0;
+    options.horizonSteps = 64;
+    options.refineThreshold = 16;
+    options.refineFactor = 2.0;
+    options.maxRefinements = 3;
+    options.solver.targetGap = 0.0;
+    EvalResult result = evaluate(makeTwoAppExample(), options);
+    ASSERT_TRUE(result.ok);
+    EXPECT_LT(result.stepS, 4.0);
+    EXPECT_GT(result.refinements, 0);
+    // Refined resolution recovers the exact 7 s optimum.
+    EXPECT_LE(result.makespanS, 8.0);
+}
+
+TEST(Engine, NoRefinementWhenThresholdMet)
+{
+    EngineOptions options = exampleOptions();
+    options.maxRefinements = 5;
+    options.refineThreshold = 4; // 7 steps >= 4: no refinement.
+    EvalResult result = evaluate(makeTwoAppExample(), options);
+    ASSERT_TRUE(result.ok);
+    EXPECT_DOUBLE_EQ(result.stepS, 1.0);
+    EXPECT_EQ(result.refinements, 0);
+}
+
+TEST(Engine, CoarseningRecoversFromTightHorizon)
+{
+    // With 1 s steps and a 6-step horizon the example cannot fit
+    // (optimum 7); the engine must coarsen instead of failing.
+    EngineOptions options;
+    options.initialStepS = 1.0;
+    options.horizonSteps = 6;
+    options.refineFactor = 2.0;
+    options.maxRefinements = 0;
+    options.maxCoarsenings = 4;
+    options.solver.targetGap = 0.0;
+    EvalResult result = evaluate(makeTwoAppExample(), options);
+    ASSERT_TRUE(result.ok);
+    EXPECT_GT(result.stepS, 1.0);
+    EXPECT_LT(result.refinements, 0);
+}
+
+TEST(Engine, UnschedulableProblemReportsFailure)
+{
+    ProblemSpec spec = makeTwoAppExample();
+    EngineOptions options;
+    options.initialStepS = 0.25;
+    options.horizonSteps = 4; // 1 s horizon even after coarsening...
+    options.maxCoarsenings = 0;
+    EvalResult result = evaluate(spec, options);
+    EXPECT_FALSE(result.ok);
+    EXPECT_FALSE(result.nearOptimal());
+}
+
+TEST(Engine, ValidationAndExplorationPresets)
+{
+    EngineOptions validation = EngineOptions::validationMode();
+    EXPECT_DOUBLE_EQ(validation.initialStepS, 2.0);
+    EXPECT_EQ(validation.horizonSteps, 1000);
+    EXPECT_EQ(validation.refineThreshold, 200);
+    EngineOptions exploration = EngineOptions::explorationMode();
+    EXPECT_DOUBLE_EQ(exploration.initialStepS, 10.0);
+    EXPECT_EQ(exploration.horizonSteps, 200);
+    EXPECT_EQ(exploration.refineThreshold, 40);
+}
+
+TEST(Engine, NearOptimalPredicate)
+{
+    EvalResult result;
+    result.ok = true;
+    result.gap = 0.05;
+    EXPECT_TRUE(result.nearOptimal());
+    result.gap = 0.15;
+    EXPECT_FALSE(result.nearOptimal());
+    result.ok = false;
+    result.gap = 0.0;
+    EXPECT_FALSE(result.nearOptimal());
+}
+
+TEST(Engine, SdaBaselineSolves)
+{
+    EngineOptions options = exampleOptions();
+    options.horizonSteps = 128;
+    EvalResult result =
+        evaluate(makeSdaProblem(SdaVariant::Baseline, 1), options);
+    ASSERT_TRUE(result.ok);
+    // One sample: DS (4) -> DF (2) -> computes -> PP; critical path
+    // is at least 4 + 2 + 2 + 1 = 9 s on the baseline SoC.
+    EXPECT_GE(result.makespanS, 9.0);
+}
+
+TEST(Engine, SdaVariantsBeatBaseline)
+{
+    EngineOptions options = exampleOptions();
+    options.horizonSteps = 128;
+    options.solver.targetGap = 0.0;
+    double base =
+        evaluate(makeSdaProblem(SdaVariant::Baseline, 2), options)
+            .makespanS;
+    double fast_cpu =
+        evaluate(makeSdaProblem(SdaVariant::FastCpu, 2), options)
+            .makespanS;
+    double big_gpu =
+        evaluate(makeSdaProblem(SdaVariant::BigGpu, 2), options)
+            .makespanS;
+    EXPECT_LT(fast_cpu, base);
+    EXPECT_LT(big_gpu, base);
+}
+
+} // anonymous namespace
+} // namespace hilp

@@ -1,0 +1,126 @@
+/** @file Tests for schedule/result JSON export and utilization. */
+
+#include <gtest/gtest.h>
+
+#include "hilp/engine.hh"
+#include "hilp/export.hh"
+#include "hilp/showcase.hh"
+
+namespace hilp {
+namespace {
+
+EvalResult
+solvedExample()
+{
+    EngineOptions options;
+    options.initialStepS = 1.0;
+    options.horizonSteps = 64;
+    options.maxRefinements = 0;
+    options.solver.targetGap = 0.0;
+    return evaluate(makeTwoAppExample(), options);
+}
+
+TEST(Export, ScheduleJsonHasCoreFields)
+{
+    EvalResult result = solvedExample();
+    ASSERT_TRUE(result.ok);
+    Json json = scheduleToJson(result.schedule);
+    std::string text = json.dump();
+    EXPECT_NE(text.find("\"makespan_s\":7"), std::string::npos);
+    EXPECT_NE(text.find("\"phases\":["), std::string::npos);
+    EXPECT_NE(text.find("\"m1\""), std::string::npos);
+    EXPECT_NE(text.find("\"utilization\""), std::string::npos);
+    EXPECT_NE(text.find("\"cpu-pool\""), std::string::npos);
+}
+
+TEST(Export, EvalResultJsonHasSolverBlock)
+{
+    EvalResult result = solvedExample();
+    std::string text = evalResultToJson(result).dump();
+    EXPECT_NE(text.find("\"status\":\"optimal\""), std::string::npos);
+    EXPECT_NE(text.find("\"solver\""), std::string::npos);
+    EXPECT_NE(text.find("\"lower_bounds_steps\""), std::string::npos);
+    EXPECT_NE(text.find("\"near_optimal\":true"), std::string::npos);
+}
+
+TEST(Export, JsonIsParseableShape)
+{
+    // Cheap structural sanity: balanced braces/brackets, no raw
+    // control characters.
+    EvalResult result = solvedExample();
+    std::string text = evalResultToJson(result).dump(2);
+    int braces = 0;
+    int brackets = 0;
+    bool in_string = false;
+    for (size_t i = 0; i < text.size(); ++i) {
+        char c = text[i];
+        if (in_string) {
+            if (c == '\\')
+                ++i;
+            else if (c == '"')
+                in_string = false;
+            continue;
+        }
+        if (c == '"')
+            in_string = true;
+        else if (c == '{')
+            ++braces;
+        else if (c == '}')
+            --braces;
+        else if (c == '[')
+            ++brackets;
+        else if (c == ']')
+            --brackets;
+        EXPECT_GE(braces, 0);
+        EXPECT_GE(brackets, 0);
+    }
+    EXPECT_EQ(braces, 0);
+    EXPECT_EQ(brackets, 0);
+    EXPECT_FALSE(in_string);
+}
+
+TEST(Utilization, ExampleScheduleSplitsWork)
+{
+    EvalResult result = solvedExample();
+    auto rows = result.schedule.utilization();
+    // GPU, DSA, CPU pool.
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_EQ(rows[0].unit, "GPU");
+    EXPECT_EQ(rows[1].unit, "DSA");
+    EXPECT_EQ(rows[2].unit, "CPU pool");
+    // Optimal schedule: GPU 3 s, DSA 5 s, CPU 4 x 1 s, makespan 7.
+    EXPECT_NEAR(rows[0].busyS, 3.0, 1e-9);
+    EXPECT_NEAR(rows[1].busyS, 5.0, 1e-9);
+    EXPECT_NEAR(rows[2].busyS, 4.0, 1e-9);
+    EXPECT_NEAR(rows[0].share, 3.0 / 7.0, 1e-9);
+    EXPECT_NEAR(rows[2].share, 4.0 / 7.0, 1e-9);
+}
+
+TEST(Utilization, EmptyScheduleIsSafe)
+{
+    Schedule schedule;
+    auto rows = schedule.utilization();
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].unit, "CPU pool");
+    EXPECT_DOUBLE_EQ(rows[0].share, 0.0);
+}
+
+TEST(Utilization, ParallelCpuPhasesCountCoreSeconds)
+{
+    Schedule schedule;
+    schedule.cpuCores = 4.0;
+    ScheduledPhase phase;
+    phase.name = "p";
+    phase.unitLabel = "CPUx4";
+    phase.device = kCpuPool;
+    phase.durationS = 10.0;
+    phase.cpuCores = 4.0;
+    schedule.phases.push_back(phase);
+    auto rows = schedule.utilization();
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_NEAR(rows[0].busyS, 40.0, 1e-9);
+    EXPECT_NEAR(rows[0].share, 1.0, 1e-9); // 40 / (4 * 10).
+}
+
+} // anonymous namespace
+} // namespace hilp

@@ -1,0 +1,163 @@
+/** @file Tests for the Section VII extensions at the ProblemSpec
+ * level: initiation intervals and extra (cache-level) resources. */
+
+#include <gtest/gtest.h>
+
+#include "baselines/multiamdahl.hh"
+#include "hilp/builder.hh"
+#include "hilp/discretize.hh"
+#include "hilp/engine.hh"
+#include "hilp/showcase.hh"
+#include "workload/rodinia.hh"
+
+namespace hilp {
+namespace {
+
+EngineOptions
+exactEngine()
+{
+    EngineOptions options;
+    options.initialStepS = 1.0;
+    options.horizonSteps = 64;
+    options.maxRefinements = 0;
+    options.solver.targetGap = 0.0;
+    return options;
+}
+
+TEST(StartLagSpec, ValidatesIndices)
+{
+    ProblemSpec spec = makeTwoAppExample();
+    spec.apps[0].startLags = {{0, 9, 1.0}};
+    EXPECT_NE(spec.validate().find("start lag"), std::string::npos);
+    spec.apps[0].startLags = {{0, 0, 1.0}};
+    EXPECT_NE(spec.validate(), "");
+    spec.apps[0].startLags = {{0, 2, -1.0}};
+    EXPECT_NE(spec.validate().find("negative"), std::string::npos);
+    spec.apps[0].startLags = {{0, 2, 1.0}};
+    EXPECT_EQ(spec.validate(), "");
+}
+
+TEST(StartLagSpec, DiscretizesToModelLags)
+{
+    ProblemSpec spec = makeTwoAppExample();
+    spec.apps[0].startLags = {{0, 2, 3.0}};
+    DiscretizedProblem problem = discretize(spec, 2.0, 64);
+    int from = problem.taskOf[0][0];
+    int to = problem.taskOf[0][2];
+    ASSERT_EQ(problem.model.lagSuccessors(from).size(), 1u);
+    EXPECT_EQ(problem.model.lagSuccessors(from)[0].other, to);
+    // ceil(3.0 / 2.0) = 2 steps.
+    EXPECT_EQ(problem.model.lagSuccessors(from)[0].lag, 2);
+}
+
+TEST(StartLagSpec, IndependentPhasesDropLags)
+{
+    ProblemSpec spec = makeTwoAppExample();
+    spec.apps[0].startLags = {{0, 2, 3.0}};
+    spec.apps[0].independentPhases = true;
+    EXPECT_TRUE(spec.apps[0].effectiveStartLags().empty());
+    DiscretizedProblem problem = discretize(spec, 1.0, 64);
+    EXPECT_FALSE(problem.model.hasStartLags());
+}
+
+TEST(StartLagSpec, EndToEndThroughTheEngine)
+{
+    // Force m's teardown to start >= 12 s after m's setup starts:
+    // the 7 s optimum becomes impossible; expect 13 s (teardown
+    // [12, 13)).
+    ProblemSpec spec = makeTwoAppExample();
+    spec.apps[0].startLags = {{0, 2, 12.0}};
+    EvalResult result = evaluate(spec, exactEngine());
+    ASSERT_TRUE(result.ok);
+    EXPECT_DOUBLE_EQ(result.makespanS, 13.0);
+}
+
+TEST(StartLagSpec, MultiAmdahlInsertsIdleGaps)
+{
+    // MA runs m0, m1 (DSA, 5 s), m2 back to back = 7 s for app m;
+    // a 10 s lag from m0 to m2 forces m2 to wait until t = 10.
+    ProblemSpec spec = makeTwoAppExample();
+    spec.apps[0].startLags = {{0, 2, 10.0}};
+    baselines::MaResult result = baselines::evaluateMultiAmdahl(spec);
+    ASSERT_TRUE(result.ok);
+    // app m now ends at 11 (1 + idle to 10 + 1); app n takes 4 more.
+    EXPECT_DOUBLE_EQ(result.makespanS, 15.0);
+}
+
+TEST(ExtraResources, ValidateChecksArityAndCapacity)
+{
+    ProblemSpec spec = makeTwoAppExample();
+    spec.apps[0].phases[0].options[0].extraUsage = {1.0};
+    EXPECT_NE(spec.validate().find("extra"), std::string::npos);
+    spec.extraResources = {{"LLC", 5.0}};
+    EXPECT_EQ(spec.validate(), "");
+    // A phase whose only option exceeds the capacity is rejected.
+    spec.apps[0].phases[0].options[0].extraUsage = {9.0};
+    EXPECT_NE(spec.validate().find("budget"), std::string::npos);
+}
+
+TEST(ExtraResources, ConstrainScheduling)
+{
+    // Both compute phases demand 3.0 of a 4.0-capacity resource:
+    // they can no longer overlap, pushing the optimum from 7 s
+    // (m1 on DSA || n1 on GPU) to 9 s.
+    ProblemSpec spec = makeTwoAppExample();
+    spec.extraResources = {{"LLC-bw", 4.0}};
+    for (AppSpec &app : spec.apps)
+        for (UnitOption &option : app.phases[1].options)
+            option.extraUsage = {3.0};
+    EvalResult result = evaluate(spec, exactEngine());
+    ASSERT_TRUE(result.ok);
+    EXPECT_DOUBLE_EQ(result.makespanS, 9.0);
+}
+
+TEST(CacheLevels, BuilderPopulatesExtraResources)
+{
+    auto wl = workload::makeWorkload(workload::Variant::Default);
+    arch::SocConfig soc;
+    soc.cpuCores = 2;
+    soc.gpuSms = 16;
+    arch::Constraints constraints;
+    constraints.cacheLevels = {{"LLC", 900.0, 3.0}};
+    ProblemSpec spec = buildProblem(wl, soc, constraints);
+    ASSERT_EQ(spec.extraResources.size(), 1u);
+    EXPECT_EQ(spec.extraResources[0].name, "LLC");
+    EXPECT_DOUBLE_EQ(spec.extraResources[0].capacity, 900.0);
+    // Every option's LLC demand is 3x its DRAM demand.
+    for (const AppSpec &app : spec.apps) {
+        for (const PhaseSpec &phase : app.phases) {
+            for (const UnitOption &option : phase.options) {
+                ASSERT_EQ(option.extraUsage.size(), 1u);
+                EXPECT_NEAR(option.extraUsage[0], 3.0 * option.bwGBs,
+                            1e-9);
+            }
+        }
+    }
+    EXPECT_EQ(spec.validate(), "");
+}
+
+TEST(CacheLevels, TightLlcActsLikeBandwidthWall)
+{
+    auto wl = workload::makeWorkload(workload::Variant::Optimized);
+    arch::SocConfig soc;
+    soc.cpuCores = 4;
+    soc.gpuSms = 64;
+    EngineOptions engine = EngineOptions::explorationMode();
+    engine.solver.maxSeconds = 2.0;
+
+    arch::Constraints unconstrained;
+    EvalResult base =
+        evaluate(buildProblem(wl, soc, unconstrained), engine);
+
+    arch::Constraints tight;
+    tight.cacheLevels = {{"LLC", 300.0, 3.0}}; // 100 GB/s DRAM-equiv.
+    ProblemSpec spec = buildProblem(wl, soc, tight);
+    ASSERT_EQ(spec.validate(), "");
+    EvalResult constrained = evaluate(spec, engine);
+
+    ASSERT_TRUE(base.ok && constrained.ok);
+    EXPECT_GT(constrained.makespanS, base.makespanS);
+}
+
+} // anonymous namespace
+} // namespace hilp

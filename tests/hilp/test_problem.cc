@@ -1,0 +1,141 @@
+/** @file Unit tests for the problem specification. */
+
+#include <gtest/gtest.h>
+
+#include "hilp/problem.hh"
+
+namespace hilp {
+namespace {
+
+PhaseSpec
+cpuPhase(const std::string &name, double time_s)
+{
+    PhaseSpec phase;
+    phase.name = name;
+    UnitOption option;
+    option.label = "CPU";
+    option.device = kCpuPool;
+    option.timeS = time_s;
+    option.cpuCores = 1.0;
+    phase.options.push_back(option);
+    return phase;
+}
+
+ProblemSpec
+validSpec()
+{
+    ProblemSpec spec;
+    spec.name = "test";
+    spec.cpuCores = 2.0;
+    AppSpec app;
+    app.name = "a";
+    app.phases = {cpuPhase("a0", 1.0), cpuPhase("a1", 2.0)};
+    spec.apps.push_back(app);
+    return spec;
+}
+
+TEST(ProblemSpecTest, ValidSpecPasses)
+{
+    EXPECT_EQ(validSpec().validate(), "");
+}
+
+TEST(ProblemSpecTest, NumPhases)
+{
+    ProblemSpec spec = validSpec();
+    EXPECT_EQ(spec.numPhases(), 2);
+    spec.apps.push_back(spec.apps[0]);
+    EXPECT_EQ(spec.numPhases(), 4);
+}
+
+TEST(ProblemSpecTest, EmptyWorkloadRejected)
+{
+    ProblemSpec spec;
+    EXPECT_NE(spec.validate(), "");
+}
+
+TEST(ProblemSpecTest, PhaseWithoutOptionsRejected)
+{
+    ProblemSpec spec = validSpec();
+    spec.apps[0].phases[0].options.clear();
+    EXPECT_NE(spec.validate().find("no unit options"),
+              std::string::npos);
+}
+
+TEST(ProblemSpecTest, UnknownDeviceRejected)
+{
+    ProblemSpec spec = validSpec();
+    spec.apps[0].phases[0].options[0].device = 3;
+    EXPECT_NE(spec.validate().find("unknown device"),
+              std::string::npos);
+}
+
+TEST(ProblemSpecTest, NegativeTimeRejected)
+{
+    ProblemSpec spec = validSpec();
+    spec.apps[0].phases[0].options[0].timeS = -1.0;
+    EXPECT_NE(spec.validate().find("negative"), std::string::npos);
+}
+
+TEST(ProblemSpecTest, UnschedulablePhaseRejected)
+{
+    ProblemSpec spec = validSpec();
+    spec.powerBudgetW = 5.0;
+    spec.apps[0].phases[0].options[0].powerW = 10.0;
+    EXPECT_NE(spec.validate().find("budget"), std::string::npos);
+}
+
+TEST(ProblemSpecTest, BadDependencyEdgeRejected)
+{
+    ProblemSpec spec = validSpec();
+    spec.apps[0].deps = {{0, 5}};
+    EXPECT_NE(spec.validate().find("dependency"), std::string::npos);
+}
+
+TEST(ProblemSpecTest, SelfDependencyRejected)
+{
+    ProblemSpec spec = validSpec();
+    spec.apps[0].deps = {{1, 1}};
+    EXPECT_NE(spec.validate().find("dependency"), std::string::npos);
+}
+
+TEST(AppSpecTest, EffectiveDepsDefaultsToChain)
+{
+    AppSpec app;
+    app.phases = {cpuPhase("p0", 1), cpuPhase("p1", 1),
+                  cpuPhase("p2", 1)};
+    auto deps = app.effectiveDeps();
+    ASSERT_EQ(deps.size(), 2u);
+    EXPECT_EQ(deps[0], std::make_pair(0, 1));
+    EXPECT_EQ(deps[1], std::make_pair(1, 2));
+}
+
+TEST(AppSpecTest, ExplicitDepsOverrideChain)
+{
+    AppSpec app;
+    app.phases = {cpuPhase("p0", 1), cpuPhase("p1", 1),
+                  cpuPhase("p2", 1)};
+    app.deps = {{0, 2}};
+    auto deps = app.effectiveDeps();
+    ASSERT_EQ(deps.size(), 1u);
+    EXPECT_EQ(deps[0], std::make_pair(0, 2));
+}
+
+TEST(AppSpecTest, IndependentPhasesHaveNoDeps)
+{
+    AppSpec app;
+    app.phases = {cpuPhase("p0", 1), cpuPhase("p1", 1)};
+    app.independentPhases = true;
+    EXPECT_TRUE(app.effectiveDeps().empty());
+    app.deps = {{0, 1}};
+    EXPECT_TRUE(app.effectiveDeps().empty());
+}
+
+TEST(AppSpecTest, SinglePhaseChainIsEmpty)
+{
+    AppSpec app;
+    app.phases = {cpuPhase("p0", 1)};
+    EXPECT_TRUE(app.effectiveDeps().empty());
+}
+
+} // anonymous namespace
+} // namespace hilp

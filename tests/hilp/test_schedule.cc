@@ -1,0 +1,165 @@
+/** @file Unit tests for the schedule type and the WLP metric. */
+
+#include <gtest/gtest.h>
+
+#include "hilp/problem.hh"
+#include "hilp/schedule.hh"
+
+namespace hilp {
+namespace {
+
+ScheduledPhase
+phaseAt(double start, double duration, int device = kCpuPool,
+        double power = 1.0)
+{
+    ScheduledPhase p;
+    p.name = "p";
+    p.unitLabel = device == kCpuPool ? "CPU" : "DEV";
+    p.device = device;
+    p.startS = start;
+    p.durationS = duration;
+    p.startStep = static_cast<cp::Time>(start);
+    p.durationSteps = static_cast<cp::Time>(duration);
+    p.powerW = power;
+    p.bwGBs = 2.0;
+    return p;
+}
+
+TEST(Schedule, MakespanOfEmptyIsZero)
+{
+    Schedule s;
+    EXPECT_DOUBLE_EQ(s.makespanS(), 0.0);
+    EXPECT_DOUBLE_EQ(s.averageWlp(), 0.0);
+    EXPECT_EQ(s.peakWlp(), 0);
+}
+
+TEST(Schedule, MakespanIsLastCompletion)
+{
+    Schedule s;
+    s.phases = {phaseAt(0, 3), phaseAt(1, 5), phaseAt(2, 1)};
+    EXPECT_DOUBLE_EQ(s.makespanS(), 6.0);
+}
+
+TEST(Schedule, WlpOfSequentialScheduleIsOne)
+{
+    Schedule s;
+    s.phases = {phaseAt(0, 2), phaseAt(2, 3), phaseAt(5, 1)};
+    EXPECT_DOUBLE_EQ(s.averageWlp(), 1.0);
+    EXPECT_EQ(s.peakWlp(), 1);
+}
+
+TEST(Schedule, WlpCountsConcurrentPhases)
+{
+    // Two fully-overlapping phases: WLP 2 everywhere.
+    Schedule s;
+    s.phases = {phaseAt(0, 4), phaseAt(0, 4)};
+    EXPECT_DOUBLE_EQ(s.averageWlp(), 2.0);
+    EXPECT_EQ(s.peakWlp(), 2);
+}
+
+TEST(Schedule, WlpSkipsIdleGaps)
+{
+    // Busy [0,2) and [10,12): the idle middle must not dilute WLP.
+    Schedule s;
+    s.phases = {phaseAt(0, 2), phaseAt(10, 2)};
+    EXPECT_DOUBLE_EQ(s.averageWlp(), 1.0);
+}
+
+TEST(Schedule, WlpMatchesPaperExample)
+{
+    // The Figure 2 HILP schedule: phases m0[0,1) m1[1,6) n0[1,2)
+    // n1[2,5) n2[5,6) m2[6,7): average WLP 12/7 = 1.714.
+    Schedule s;
+    s.phases = {phaseAt(0, 1), phaseAt(1, 5), phaseAt(1, 1),
+                phaseAt(2, 3), phaseAt(5, 1), phaseAt(6, 1)};
+    EXPECT_NEAR(s.averageWlp(), 12.0 / 7.0, 1e-12);
+    EXPECT_EQ(s.peakWlp(), 2);
+}
+
+TEST(Schedule, GablesExampleWlp)
+{
+    // The Figure 2 Gables packing: WLP (3+3+3+2+1)/5 = 2.4.
+    Schedule s;
+    s.phases = {phaseAt(0, 1), phaseAt(1, 1), phaseAt(2, 1),
+                phaseAt(3, 1), phaseAt(0, 5), phaseAt(0, 3)};
+    EXPECT_NEAR(s.averageWlp(), 2.4, 1e-12);
+    EXPECT_EQ(s.peakWlp(), 3);
+}
+
+TEST(Schedule, ZeroDurationPhasesAreIgnoredByWlp)
+{
+    Schedule s;
+    s.phases = {phaseAt(0, 4), phaseAt(1, 0)};
+    EXPECT_DOUBLE_EQ(s.averageWlp(), 1.0);
+}
+
+TEST(Schedule, PowerTraceAccumulates)
+{
+    Schedule s;
+    s.stepS = 1.0;
+    s.phases = {phaseAt(0, 3, kCpuPool, 1.0),
+                phaseAt(1, 3, 0, 3.0)};
+    auto trace = s.powerTrace();
+    ASSERT_EQ(trace.size(), 4u);
+    EXPECT_DOUBLE_EQ(trace[0], 1.0);
+    EXPECT_DOUBLE_EQ(trace[1], 4.0);
+    EXPECT_DOUBLE_EQ(trace[2], 4.0);
+    EXPECT_DOUBLE_EQ(trace[3], 3.0);
+}
+
+TEST(Schedule, BwAndWlpTraces)
+{
+    Schedule s;
+    s.stepS = 1.0;
+    s.phases = {phaseAt(0, 2), phaseAt(0, 1)};
+    auto bw = s.bwTrace();
+    ASSERT_EQ(bw.size(), 2u);
+    EXPECT_DOUBLE_EQ(bw[0], 4.0);
+    EXPECT_DOUBLE_EQ(bw[1], 2.0);
+    auto wlp = s.wlpTrace();
+    EXPECT_EQ(wlp[0], 2);
+    EXPECT_EQ(wlp[1], 1);
+}
+
+TEST(Schedule, GanttMentionsPhasesAndUnits)
+{
+    Schedule s;
+    s.deviceNames = {"GPU"};
+    s.phases = {phaseAt(0, 2), phaseAt(0, 3, 0)};
+    s.phases[0].name = "alpha.setup";
+    s.phases[1].name = "alpha.compute";
+    std::string gantt = s.gantt();
+    EXPECT_NE(gantt.find("alpha.setup"), std::string::npos);
+    EXPECT_NE(gantt.find("alpha.compute"), std::string::npos);
+    EXPECT_NE(gantt.find("GPU"), std::string::npos);
+    EXPECT_NE(gantt.find("CPU#0"), std::string::npos);
+}
+
+TEST(Schedule, GanttOfEmptyScheduleIsSafe)
+{
+    Schedule s;
+    EXPECT_EQ(s.gantt(), "(empty schedule)\n");
+}
+
+TEST(Schedule, CpuPhasesSpreadAcrossLanes)
+{
+    Schedule s;
+    s.phases = {phaseAt(0, 4), phaseAt(0, 4), phaseAt(0, 4)};
+    std::string gantt = s.gantt();
+    EXPECT_NE(gantt.find("CPU#0"), std::string::npos);
+    EXPECT_NE(gantt.find("CPU#1"), std::string::npos);
+    EXPECT_NE(gantt.find("CPU#2"), std::string::npos);
+}
+
+TEST(Schedule, DescribeListsPhasesInStartOrder)
+{
+    Schedule s;
+    s.phases = {phaseAt(5, 1), phaseAt(0, 1)};
+    s.phases[0].name = "later";
+    s.phases[1].name = "earlier";
+    std::string text = s.describe();
+    EXPECT_LT(text.find("earlier"), text.find("later"));
+}
+
+} // anonymous namespace
+} // namespace hilp

@@ -1,0 +1,128 @@
+/** @file Unit tests for the paper's didactic problems. */
+
+#include <gtest/gtest.h>
+
+#include "hilp/showcase.hh"
+
+namespace hilp {
+namespace {
+
+TEST(TwoAppExample, StructureMatchesFigure2)
+{
+    ProblemSpec spec = makeTwoAppExample();
+    ASSERT_EQ(spec.apps.size(), 2u);
+    EXPECT_EQ(spec.apps[0].name, "m");
+    EXPECT_EQ(spec.apps[1].name, "n");
+    EXPECT_EQ(spec.deviceNames.size(), 2u);
+    EXPECT_DOUBLE_EQ(spec.cpuCores, 1.0);
+    EXPECT_EQ(spec.validate(), "");
+    for (const AppSpec &app : spec.apps) {
+        ASSERT_EQ(app.phases.size(), 3u);
+        EXPECT_TRUE(app.deps.empty()); // default chain
+        // Setup/teardown: CPU only.
+        EXPECT_EQ(app.phases[0].options.size(), 1u);
+        EXPECT_EQ(app.phases[2].options.size(), 1u);
+        // Compute: CPU, GPU, DSA.
+        EXPECT_EQ(app.phases[1].options.size(), 3u);
+    }
+}
+
+TEST(TwoAppExample, ComputeTimesMatchFigure2)
+{
+    ProblemSpec spec = makeTwoAppExample();
+    const PhaseSpec &m1 = spec.apps[0].phases[1];
+    EXPECT_DOUBLE_EQ(m1.options[0].timeS, 8.0); // CPU
+    EXPECT_DOUBLE_EQ(m1.options[1].timeS, 6.0); // GPU
+    EXPECT_DOUBLE_EQ(m1.options[2].timeS, 5.0); // DSA
+    const PhaseSpec &n1 = spec.apps[1].phases[1];
+    EXPECT_DOUBLE_EQ(n1.options[0].timeS, 5.0);
+    EXPECT_DOUBLE_EQ(n1.options[1].timeS, 3.0);
+    EXPECT_DOUBLE_EQ(n1.options[2].timeS, 2.0);
+}
+
+TEST(TwoAppExample, PowersMatchFigure2)
+{
+    ProblemSpec spec = makeTwoAppExample();
+    const PhaseSpec &m1 = spec.apps[0].phases[1];
+    EXPECT_DOUBLE_EQ(m1.options[0].powerW, 1.0); // CPU
+    EXPECT_DOUBLE_EQ(m1.options[1].powerW, 3.0); // GPU
+    EXPECT_DOUBLE_EQ(m1.options[2].powerW, 2.0); // DSA
+}
+
+TEST(TwoAppExample, NaiveCpuTimeIsSeventeenSeconds)
+{
+    // 1+8+1 + 1+5+1 = 17 s, the paper's naive baseline.
+    ProblemSpec spec = makeTwoAppExample();
+    double total = 0.0;
+    for (const AppSpec &app : spec.apps)
+        for (const PhaseSpec &phase : app.phases)
+            total += phase.options[0].timeS;
+    EXPECT_DOUBLE_EQ(total, kTwoAppNaiveCpuS);
+}
+
+TEST(Sda, StructureMatchesFigure9)
+{
+    ProblemSpec spec = makeSdaProblem(SdaVariant::Baseline, 1);
+    ASSERT_EQ(spec.apps.size(), 1u);
+    const AppSpec &app = spec.apps[0];
+    ASSERT_EQ(app.phases.size(), 8u);
+    EXPECT_EQ(app.deps.size(), 9u);
+    EXPECT_EQ(spec.deviceNames.size(), 4u); // GPU + 3 DSAs.
+    EXPECT_EQ(spec.validate(), "");
+    // DS phases are pinned: exactly one option each, on a DSA.
+    for (int p = 0; p < 3; ++p) {
+        ASSERT_EQ(app.phases[p].options.size(), 1u);
+        EXPECT_GE(app.phases[p].options[0].device, 1);
+    }
+    // DF is CPU-only.
+    ASSERT_EQ(app.phases[3].options.size(), 1u);
+    EXPECT_EQ(app.phases[3].options[0].device, kCpuPool);
+    // C1..C3 and PP have CPU and GPU options.
+    for (int p = 4; p < 8; ++p)
+        EXPECT_EQ(app.phases[p].options.size(), 2u);
+}
+
+TEST(Sda, MultipleSamplesAreIndependentApps)
+{
+    ProblemSpec spec = makeSdaProblem(SdaVariant::Baseline, 3);
+    EXPECT_EQ(spec.apps.size(), 3u);
+    // Same DAG in each instance.
+    for (const AppSpec &app : spec.apps)
+        EXPECT_EQ(app.deps.size(), 9u);
+}
+
+TEST(Sda, FastCpuHalvesCpuTimes)
+{
+    ProblemSpec base = makeSdaProblem(SdaVariant::Baseline, 1);
+    ProblemSpec fast = makeSdaProblem(SdaVariant::FastCpu, 1);
+    // DF is CPU-only: its time halves.
+    EXPECT_DOUBLE_EQ(fast.apps[0].phases[3].options[0].timeS,
+                     base.apps[0].phases[3].options[0].timeS / 2.0);
+    // DS phases are DSA-pinned: unchanged.
+    EXPECT_DOUBLE_EQ(fast.apps[0].phases[0].options[0].timeS,
+                     base.apps[0].phases[0].options[0].timeS);
+}
+
+TEST(Sda, BigGpuHalvesGpuTimes)
+{
+    ProblemSpec base = makeSdaProblem(SdaVariant::Baseline, 1);
+    ProblemSpec big = makeSdaProblem(SdaVariant::BigGpu, 1);
+    // C1's GPU option (index 1) halves; its CPU option does not.
+    EXPECT_DOUBLE_EQ(big.apps[0].phases[4].options[1].timeS,
+                     base.apps[0].phases[4].options[1].timeS / 2.0);
+    EXPECT_DOUBLE_EQ(big.apps[0].phases[4].options[0].timeS,
+                     base.apps[0].phases[4].options[0].timeS);
+}
+
+TEST(Sda, VariantNames)
+{
+    EXPECT_NE(std::string(toString(SdaVariant::Baseline)).find("c1"),
+              std::string::npos);
+    EXPECT_NE(std::string(toString(SdaVariant::FastCpu)).find("CPU"),
+              std::string::npos);
+    EXPECT_NE(std::string(toString(SdaVariant::BigGpu)).find("GPU"),
+              std::string::npos);
+}
+
+} // anonymous namespace
+} // namespace hilp

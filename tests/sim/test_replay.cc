@@ -1,0 +1,211 @@
+/** @file Tests for the execution simulator: replay validation and
+ * the online runtime scheduler. */
+
+#include <gtest/gtest.h>
+
+#include "baselines/multiamdahl.hh"
+#include "hilp/builder.hh"
+#include "hilp/engine.hh"
+#include "hilp/showcase.hh"
+#include "sim/replay.hh"
+#include "workload/rodinia.hh"
+
+namespace hilp {
+namespace sim {
+namespace {
+
+EngineOptions
+exampleEngine()
+{
+    EngineOptions options;
+    options.initialStepS = 1.0;
+    options.horizonSteps = 64;
+    options.maxRefinements = 0;
+    options.solver.targetGap = 0.0;
+    return options;
+}
+
+TEST(Replay, HilpScheduleValidatesCleanly)
+{
+    ProblemSpec spec = makeTwoAppExample();
+    EvalResult result = evaluate(spec, exampleEngine());
+    ASSERT_TRUE(result.ok);
+    SimResult sim = replaySchedule(spec, result.schedule);
+    EXPECT_TRUE(sim.ok) << sim.violation;
+    EXPECT_DOUBLE_EQ(sim.makespanS, 7.0);
+    // The optimal schedule co-runs the 3 W GPU and 2 W DSA.
+    EXPECT_DOUBLE_EQ(sim.peakPowerW, 5.0);
+    EXPECT_LE(sim.peakCpuCores, 1.0);
+}
+
+TEST(Replay, PowerConstrainedScheduleStaysInBudget)
+{
+    ProblemSpec spec = makeTwoAppExample();
+    spec.powerBudgetW = 3.0;
+    EvalResult result = evaluate(spec, exampleEngine());
+    ASSERT_TRUE(result.ok);
+    SimResult sim = replaySchedule(spec, result.schedule);
+    EXPECT_TRUE(sim.ok) << sim.violation;
+    EXPECT_LE(sim.peakPowerW, 3.0 + 1e-9);
+}
+
+TEST(Replay, MultiAmdahlScheduleValidates)
+{
+    ProblemSpec spec = makeTwoAppExample();
+    baselines::MaResult ma = baselines::evaluateMultiAmdahl(spec);
+    ASSERT_TRUE(ma.ok);
+    SimResult sim = replaySchedule(spec, ma.schedule);
+    EXPECT_TRUE(sim.ok) << sim.violation;
+    EXPECT_DOUBLE_EQ(sim.makespanS, 11.0);
+}
+
+TEST(Replay, DetectsDependencyViolation)
+{
+    ProblemSpec spec = makeTwoAppExample();
+    EvalResult result = evaluate(spec, exampleEngine());
+    ASSERT_TRUE(result.ok);
+    Schedule broken = result.schedule;
+    // Move app m's teardown to time 0, before its compute phase.
+    for (ScheduledPhase &phase : broken.phases)
+        if (phase.name == "m2")
+            phase.startS = 0.0;
+    SimResult sim = replaySchedule(spec, broken);
+    EXPECT_FALSE(sim.ok);
+    EXPECT_NE(sim.violation.find("dependency"), std::string::npos);
+}
+
+TEST(Replay, DetectsDeviceOverlap)
+{
+    ProblemSpec spec = makeTwoAppExample();
+    EvalResult result = evaluate(spec, exampleEngine());
+    ASSERT_TRUE(result.ok);
+    Schedule broken = result.schedule;
+    // Move n1 onto the DSA while m1 (already on the DSA, [1, 6)) is
+    // running; n0 ends at 2, so dependencies stay satisfied and the
+    // device overlap is the only defect.
+    for (ScheduledPhase &phase : broken.phases) {
+        if (phase.name == "n1") {
+            phase.option = 2;
+            phase.unitLabel = "DSA";
+            phase.device = 1;
+            phase.startS = 2.0;
+        }
+    }
+    SimResult sim = replaySchedule(spec, broken);
+    EXPECT_FALSE(sim.ok);
+    // Either a dependency or overlap failure fires first; overlap
+    // is what we planted.
+    EXPECT_NE(sim.violation.find("overlap"), std::string::npos)
+        << sim.violation;
+}
+
+TEST(Replay, DetectsMissingPhase)
+{
+    ProblemSpec spec = makeTwoAppExample();
+    EvalResult result = evaluate(spec, exampleEngine());
+    Schedule broken = result.schedule;
+    broken.phases.pop_back();
+    SimResult sim = replaySchedule(spec, broken);
+    EXPECT_FALSE(sim.ok);
+    EXPECT_NE(sim.violation.find("missing"), std::string::npos);
+}
+
+TEST(Replay, DetectsPowerEnvelopeViolation)
+{
+    ProblemSpec spec = makeTwoAppExample();
+    EvalResult result = evaluate(spec, exampleEngine());
+    ASSERT_TRUE(result.ok);
+    SimResult ok_sim = replaySchedule(spec, result.schedule);
+    ASSERT_TRUE(ok_sim.ok);
+    // Shrink the budget below the measured peak and replay again.
+    spec.powerBudgetW = ok_sim.peakPowerW - 0.5;
+    SimResult sim = replaySchedule(spec, result.schedule);
+    EXPECT_FALSE(sim.ok);
+    EXPECT_NE(sim.violation.find("power"), std::string::npos);
+}
+
+TEST(Online, SolvesTheExampleWorkload)
+{
+    ProblemSpec spec = makeTwoAppExample();
+    SimResult sim = runOnlineScheduler(spec);
+    ASSERT_TRUE(sim.ok) << sim.violation;
+    // Online dispatch is legal...
+    SimResult replay = replaySchedule(spec, sim.schedule);
+    EXPECT_TRUE(replay.ok) << replay.violation;
+    // ...and cannot beat the proven optimum of 7 s.
+    EXPECT_GE(sim.makespanS, 7.0 - 1e-9);
+}
+
+TEST(Online, RespectsPowerBudget)
+{
+    ProblemSpec spec = makeTwoAppExample();
+    spec.powerBudgetW = 3.0;
+    SimResult sim = runOnlineScheduler(spec);
+    ASSERT_TRUE(sim.ok) << sim.violation;
+    EXPECT_LE(sim.peakPowerW, 3.0 + 1e-9);
+    EXPECT_GE(sim.makespanS, 9.0 - 1e-9); // proven optimum.
+}
+
+TEST(Online, HandlesDagWorkloads)
+{
+    ProblemSpec spec = makeSdaProblem(SdaVariant::Baseline, 2);
+    SimResult sim = runOnlineScheduler(spec);
+    ASSERT_TRUE(sim.ok) << sim.violation;
+    SimResult replay = replaySchedule(spec, sim.schedule);
+    EXPECT_TRUE(replay.ok) << replay.violation;
+}
+
+TEST(Online, HandlesStartLags)
+{
+    ProblemSpec spec = makeTwoAppExample();
+    spec.apps[0].startLags = {{0, 2, 12.0}};
+    SimResult sim = runOnlineScheduler(spec);
+    ASSERT_TRUE(sim.ok) << sim.violation;
+    SimResult replay = replaySchedule(spec, sim.schedule);
+    EXPECT_TRUE(replay.ok) << replay.violation;
+    EXPECT_GE(sim.makespanS, 13.0 - 1e-9);
+}
+
+TEST(Online, DispatchOrdersAllProduceValidSchedules)
+{
+    auto wl = workload::makeWorkload(workload::Variant::Default);
+    arch::SocConfig soc;
+    soc.cpuCores = 2;
+    soc.gpuSms = 16;
+    ProblemSpec spec = buildProblem(wl, soc, arch::Constraints{});
+    for (DispatchOrder order : {DispatchOrder::Fifo,
+                                DispatchOrder::LongestFirst,
+                                DispatchOrder::ShortestFirst}) {
+        OnlineOptions options;
+        options.order = order;
+        SimResult sim = runOnlineScheduler(spec, options);
+        ASSERT_TRUE(sim.ok)
+            << toString(order) << ": " << sim.violation;
+        SimResult replay = replaySchedule(spec, sim.schedule);
+        EXPECT_TRUE(replay.ok)
+            << toString(order) << ": " << replay.violation;
+    }
+}
+
+TEST(Online, NearOptimalOfflineBoundsTheRuntimeScheduler)
+{
+    // The Section I argument: HILP's near-optimal schedule is the
+    // target that runtime software approaches; the online greedy
+    // must be no better than the certified lower bound.
+    auto wl = workload::makeWorkload(workload::Variant::Default);
+    arch::SocConfig soc;
+    soc.cpuCores = 4;
+    soc.gpuSms = 16;
+    ProblemSpec spec = buildProblem(wl, soc, arch::Constraints{});
+    EngineOptions engine = EngineOptions::explorationMode();
+    engine.solver.maxSeconds = 2.0;
+    EvalResult offline = evaluate(spec, engine);
+    ASSERT_TRUE(offline.ok);
+    SimResult online = runOnlineScheduler(spec);
+    ASSERT_TRUE(online.ok) << online.violation;
+    EXPECT_GE(online.makespanS, offline.lowerBoundS - 1e-6);
+}
+
+} // anonymous namespace
+} // namespace sim
+} // namespace hilp

@@ -1,0 +1,98 @@
+/** @file Unit tests for the JSON writer. */
+
+#include <gtest/gtest.h>
+
+#include "support/json.hh"
+
+namespace hilp {
+namespace {
+
+TEST(JsonTest, Scalars)
+{
+    EXPECT_EQ(Json::null().dump(), "null");
+    EXPECT_EQ(Json::boolean(true).dump(), "true");
+    EXPECT_EQ(Json::boolean(false).dump(), "false");
+    EXPECT_EQ(Json::number(static_cast<int64_t>(42)).dump(), "42");
+    EXPECT_EQ(Json::number(-7.5).dump(), "-7.5");
+    EXPECT_EQ(Json::string("hi").dump(), "\"hi\"");
+}
+
+TEST(JsonTest, NonFiniteNumbersBecomeNull)
+{
+    EXPECT_EQ(Json::number(
+        std::numeric_limits<double>::infinity()).dump(), "null");
+    EXPECT_EQ(Json::number(
+        std::numeric_limits<double>::quiet_NaN()).dump(), "null");
+}
+
+TEST(JsonTest, EmptyContainers)
+{
+    EXPECT_EQ(Json::object().dump(), "{}");
+    EXPECT_EQ(Json::array().dump(), "[]");
+}
+
+TEST(JsonTest, ObjectCompact)
+{
+    Json json = Json::object();
+    json.set("a", Json::number(static_cast<int64_t>(1)));
+    json.set("b", Json::string("x"));
+    EXPECT_EQ(json.dump(), "{\"a\":1,\"b\":\"x\"}");
+}
+
+TEST(JsonTest, SetOverwritesExistingKey)
+{
+    Json json = Json::object();
+    json.set("a", Json::number(static_cast<int64_t>(1)));
+    json.set("a", Json::number(static_cast<int64_t>(2)));
+    EXPECT_EQ(json.size(), 1u);
+    EXPECT_EQ(json.dump(), "{\"a\":2}");
+}
+
+TEST(JsonTest, ArrayAppend)
+{
+    Json json = Json::array();
+    json.append(Json::number(static_cast<int64_t>(1)));
+    json.append(Json::boolean(false));
+    EXPECT_EQ(json.dump(), "[1,false]");
+    EXPECT_EQ(json.size(), 2u);
+}
+
+TEST(JsonTest, Nesting)
+{
+    Json inner = Json::array();
+    inner.append(Json::number(static_cast<int64_t>(1)));
+    Json json = Json::object();
+    json.set("xs", std::move(inner));
+    EXPECT_EQ(json.dump(), "{\"xs\":[1]}");
+}
+
+TEST(JsonTest, PrettyPrinting)
+{
+    Json json = Json::object();
+    json.set("a", Json::number(static_cast<int64_t>(1)));
+    EXPECT_EQ(json.dump(2), "{\n  \"a\": 1\n}");
+}
+
+TEST(JsonTest, StringEscaping)
+{
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("back\\slash"), "back\\\\slash");
+    EXPECT_EQ(jsonEscape("line\nbreak"), "line\\nbreak");
+    EXPECT_EQ(jsonEscape("tab\there"), "tab\\there");
+    EXPECT_EQ(jsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonTest, EscapedStringsInDump)
+{
+    EXPECT_EQ(Json::string("a\"b").dump(), "\"a\\\"b\"");
+}
+
+TEST(JsonTest, RoundNumbersStayPrecise)
+{
+    EXPECT_EQ(Json::number(0.1).dump(),
+              "0.10000000000000001"); // %.17g round-trip precision.
+    EXPECT_EQ(Json::number(2.0).dump(), "2");
+}
+
+} // anonymous namespace
+} // namespace hilp

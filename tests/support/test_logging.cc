@@ -1,0 +1,93 @@
+/** @file Unit tests for the logging layer. */
+
+#include <gtest/gtest.h>
+
+#include "support/logging.hh"
+
+namespace hilp {
+namespace {
+
+/** Restore the global log level after each test. */
+class LoggingTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { saved_ = logLevel(); }
+    void TearDown() override { setLogLevel(saved_); }
+
+  private:
+    LogLevel saved_ = LogLevel::Inform;
+};
+
+TEST_F(LoggingTest, DefaultLevelIsInform)
+{
+    setLogLevel(LogLevel::Inform);
+    EXPECT_EQ(logLevel(), LogLevel::Inform);
+}
+
+TEST_F(LoggingTest, InformRespectsLevel)
+{
+    setLogLevel(LogLevel::Inform);
+    ::testing::internal::CaptureStderr();
+    inform("hello %d", 42);
+    std::string out = ::testing::internal::GetCapturedStderr();
+    EXPECT_NE(out.find("info: hello 42"), std::string::npos);
+
+    setLogLevel(LogLevel::Warn);
+    ::testing::internal::CaptureStderr();
+    inform("suppressed");
+    EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+}
+
+TEST_F(LoggingTest, WarnRespectsLevel)
+{
+    setLogLevel(LogLevel::Warn);
+    ::testing::internal::CaptureStderr();
+    warn("careful: %s", "x");
+    std::string out = ::testing::internal::GetCapturedStderr();
+    EXPECT_NE(out.find("warn: careful: x"), std::string::npos);
+
+    setLogLevel(LogLevel::Silent);
+    ::testing::internal::CaptureStderr();
+    warn("quiet");
+    EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+}
+
+TEST_F(LoggingTest, DebugOnlyAtDebugLevel)
+{
+    setLogLevel(LogLevel::Inform);
+    ::testing::internal::CaptureStderr();
+    debug("hidden");
+    EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+
+    setLogLevel(LogLevel::Debug);
+    ::testing::internal::CaptureStderr();
+    debug("visible");
+    EXPECT_NE(::testing::internal::GetCapturedStderr().find(
+                  "debug: visible"),
+              std::string::npos);
+}
+
+TEST_F(LoggingTest, AssertMacroPassesOnTrue)
+{
+    hilp_assert(1 + 1 == 2);
+    SUCCEED();
+}
+
+TEST(LoggingDeath, AssertMacroAbortsOnFalse)
+{
+    EXPECT_DEATH(hilp_assert(false), "assertion 'false' failed");
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(panic("boom %d", 7), "panic: boom 7");
+}
+
+TEST(LoggingDeath, FatalExitsWithStatusOne)
+{
+    EXPECT_EXIT(fatal("bad input %s", "x"),
+                ::testing::ExitedWithCode(1), "fatal: bad input x");
+}
+
+} // anonymous namespace
+} // namespace hilp

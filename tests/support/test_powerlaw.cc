@@ -1,0 +1,122 @@
+/** @file Unit tests for power-law fitting (the Table II/III method). */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "support/powerlaw.hh"
+
+namespace hilp {
+namespace {
+
+TEST(PowerLaw, EvalBasic)
+{
+    PowerLaw law{2.0, 0.5, 1.0};
+    EXPECT_NEAR(law.eval(4.0), 4.0, 1e-12);
+    EXPECT_NEAR(law.eval(1.0), 2.0, 1e-12);
+}
+
+TEST(PowerLaw, ScaleFromIndependentOfCoefficient)
+{
+    PowerLaw a{2.0, -0.8, 1.0};
+    PowerLaw b{17.0, -0.8, 1.0};
+    EXPECT_NEAR(a.scaleFrom(14, 98), b.scaleFrom(14, 98), 1e-12);
+}
+
+TEST(PowerLaw, ScaleFromIdentity)
+{
+    PowerLaw law{3.0, -1.0, 1.0};
+    EXPECT_NEAR(law.scaleFrom(42.0, 42.0), 1.0, 1e-12);
+}
+
+TEST(PowerLaw, ScaleFromInverseLinear)
+{
+    // b = -1: doubling units halves the value.
+    PowerLaw law{1.0, -1.0, 1.0};
+    EXPECT_NEAR(law.scaleFrom(16, 32), 0.5, 1e-12);
+}
+
+TEST(PowerLaw, FitRecoversExactLaw)
+{
+    PowerLaw truth{13.93, -1.0, 0.0};
+    std::vector<double> xs = {14, 28, 42, 56, 98};
+    std::vector<double> ys = samplePowerLaw(truth, xs);
+    PowerLaw fit = fitPowerLaw(xs, ys);
+    EXPECT_NEAR(fit.a, truth.a, 1e-9);
+    EXPECT_NEAR(fit.b, truth.b, 1e-12);
+    EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(PowerLaw, FitRecoversNoisyLawApproximately)
+{
+    // The paper's fits have r2 in [0.87, 1.0]; mild log-normal noise
+    // should land in that band and recover the exponent.
+    PowerLaw truth{7.83, -0.77, 0.0};
+    std::vector<double> xs = {14, 28, 42, 56, 98};
+    std::vector<double> ys = samplePowerLaw(truth, xs, 0.05, 7);
+    PowerLaw fit = fitPowerLaw(xs, ys);
+    EXPECT_NEAR(fit.b, truth.b, 0.1);
+    EXPECT_GT(fit.r2, 0.9);
+}
+
+TEST(PowerLaw, FitOfIncreasingLaw)
+{
+    PowerLaw truth{0.07, 0.92, 0.0};
+    std::vector<double> xs = {14, 28, 42, 56, 98};
+    PowerLaw fit = fitPowerLaw(xs, samplePowerLaw(truth, xs));
+    EXPECT_NEAR(fit.b, 0.92, 1e-9);
+}
+
+TEST(PowerLaw, FitTwoPoints)
+{
+    PowerLaw fit = fitPowerLaw({2, 8}, {4, 64});
+    // y = x^3 through (2,8)? 2^3=8 no: (2,4),(8,64): b = log(16)/log(4) = 2.
+    EXPECT_NEAR(fit.b, 2.0, 1e-9);
+    EXPECT_NEAR(fit.a, 1.0, 1e-9);
+}
+
+TEST(PowerLaw, SampleDeterministicForSeed)
+{
+    PowerLaw law{5.0, -0.6, 0.0};
+    std::vector<double> xs = {1, 2, 3};
+    auto a = samplePowerLaw(law, xs, 0.1, 99);
+    auto b = samplePowerLaw(law, xs, 0.1, 99);
+    EXPECT_EQ(a, b);
+    auto c = samplePowerLaw(law, xs, 0.1, 100);
+    EXPECT_NE(a, c);
+}
+
+TEST(PowerLaw, SampleWithoutNoiseIsExact)
+{
+    PowerLaw law{5.0, -0.6, 0.0};
+    auto ys = samplePowerLaw(law, {2.0});
+    EXPECT_NEAR(ys[0], law.eval(2.0), 1e-12);
+}
+
+/**
+ * Property sweep: fitting exact samples of y = a x^b recovers (a, b)
+ * across a grid of exponents and coefficients.
+ */
+class PowerLawRecovery
+    : public ::testing::TestWithParam<std::tuple<double, double>>
+{};
+
+TEST_P(PowerLawRecovery, RoundTrips)
+{
+    auto [a, b] = GetParam();
+    PowerLaw truth{a, b, 0.0};
+    std::vector<double> xs = {1, 2, 4, 8, 16, 32, 64};
+    PowerLaw fit = fitPowerLaw(xs, samplePowerLaw(truth, xs));
+    EXPECT_NEAR(fit.a, a, 1e-6 * a);
+    EXPECT_NEAR(fit.b, b, 1e-9);
+    EXPECT_NEAR(fit.r2, 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PowerLawRecovery,
+    ::testing::Combine(::testing::Values(0.07, 1.0, 13.98),
+                       ::testing::Values(-1.0, -0.52, 0.0, 0.92)));
+
+} // anonymous namespace
+} // namespace hilp

@@ -1,0 +1,155 @@
+/** @file Unit tests for the deterministic PRNG. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "support/random.hh"
+
+namespace hilp {
+namespace {
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformIntRespectsBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        int64_t v = rng.uniformInt(-5, 5);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 5);
+    }
+}
+
+TEST(Rng, UniformIntSingletonRange)
+{
+    Rng rng(9);
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(rng.uniformInt(42, 42), 42);
+}
+
+TEST(Rng, UniformIntCoversRange)
+{
+    Rng rng(11);
+    std::set<int64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.uniformInt(0, 9));
+    EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, UniformIntIsRoughlyUniform)
+{
+    Rng rng(13);
+    std::vector<int> counts(10, 0);
+    const int samples = 100000;
+    for (int i = 0; i < samples; ++i)
+        ++counts[rng.uniformInt(0, 9)];
+    for (int count : counts) {
+        EXPECT_GT(count, samples / 10 * 0.9);
+        EXPECT_LT(count, samples / 10 * 1.1);
+    }
+}
+
+TEST(Rng, UniformDoubleInUnitInterval)
+{
+    Rng rng(17);
+    for (int i = 0; i < 10000; ++i) {
+        double v = rng.uniformDouble();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, UniformDoubleRange)
+{
+    Rng rng(19);
+    for (int i = 0; i < 1000; ++i) {
+        double v = rng.uniformDouble(-2.0, 3.0);
+        EXPECT_GE(v, -2.0);
+        EXPECT_LT(v, 3.0);
+    }
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(23);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceFrequency)
+{
+    Rng rng(29);
+    int hits = 0;
+    const int samples = 100000;
+    for (int i = 0; i < samples; ++i)
+        if (rng.chance(0.3))
+            ++hits;
+    EXPECT_NEAR(static_cast<double>(hits) / samples, 0.3, 0.01);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(31);
+    const int samples = 100000;
+    double sum = 0.0;
+    double sq = 0.0;
+    for (int i = 0; i < samples; ++i) {
+        double v = rng.gaussian(2.0, 3.0);
+        sum += v;
+        sq += v * v;
+    }
+    double mean = sum / samples;
+    double var = sq / samples - mean * mean;
+    EXPECT_NEAR(mean, 2.0, 0.05);
+    EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng rng(37);
+    std::vector<int> xs(100);
+    std::iota(xs.begin(), xs.end(), 0);
+    std::vector<int> shuffled = xs;
+    rng.shuffle(shuffled);
+    EXPECT_NE(shuffled, xs); // Astronomically unlikely to be equal.
+    std::sort(shuffled.begin(), shuffled.end());
+    EXPECT_EQ(shuffled, xs);
+}
+
+TEST(Rng, ShuffleEmptyAndSingleton)
+{
+    Rng rng(41);
+    std::vector<int> empty;
+    rng.shuffle(empty);
+    EXPECT_TRUE(empty.empty());
+    std::vector<int> one = {5};
+    rng.shuffle(one);
+    EXPECT_EQ(one, std::vector<int>{5});
+}
+
+} // anonymous namespace
+} // namespace hilp

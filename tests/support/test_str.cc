@@ -1,0 +1,89 @@
+/** @file Unit tests for string helpers. */
+
+#include <gtest/gtest.h>
+
+#include "support/str.hh"
+
+namespace hilp {
+namespace {
+
+TEST(Str, FormatBasic)
+{
+    EXPECT_EQ(format("x=%d y=%s", 5, "abc"), "x=5 y=abc");
+    EXPECT_EQ(format("%.2f", 3.14159), "3.14");
+    EXPECT_EQ(format("plain"), "plain");
+}
+
+TEST(Str, FormatLongString)
+{
+    std::string long_arg(500, 'a');
+    std::string out = format("<%s>", long_arg.c_str());
+    EXPECT_EQ(out.size(), 502u);
+}
+
+TEST(Str, SplitBasic)
+{
+    auto parts = split("a,b,c", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[1], "b");
+    EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Str, SplitKeepsEmptyFields)
+{
+    auto parts = split(",a,,", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "");
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(parts[3], "");
+}
+
+TEST(Str, SplitNoDelimiter)
+{
+    auto parts = split("abc", ',');
+    ASSERT_EQ(parts.size(), 1u);
+    EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Str, TrimBasic)
+{
+    EXPECT_EQ(trim("  hi  "), "hi");
+    EXPECT_EQ(trim("\t\nhi\r "), "hi");
+    EXPECT_EQ(trim("hi"), "hi");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim(""), "");
+}
+
+TEST(Str, JoinBasic)
+{
+    EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+    EXPECT_EQ(join({"solo"}, ","), "solo");
+    EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Str, StartsWith)
+{
+    EXPECT_TRUE(startsWith("hello", "he"));
+    EXPECT_TRUE(startsWith("hello", ""));
+    EXPECT_TRUE(startsWith("hello", "hello"));
+    EXPECT_FALSE(startsWith("hello", "hello!"));
+    EXPECT_FALSE(startsWith("hello", "el"));
+}
+
+TEST(Str, ToLower)
+{
+    EXPECT_EQ(toLower("HeLLo 123"), "hello 123");
+    EXPECT_EQ(toLower(""), "");
+}
+
+TEST(Str, FmtDouble)
+{
+    EXPECT_EQ(fmtDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(fmtDouble(3.14159, 0), "3");
+    EXPECT_EQ(fmtDouble(-1.5, 1), "-1.5");
+    EXPECT_EQ(fmtDouble(2.0, 3), "2.000");
+}
+
+} // anonymous namespace
+} // namespace hilp

@@ -1,0 +1,64 @@
+/** @file Unit tests for the table printer. */
+
+#include <gtest/gtest.h>
+
+#include "support/table.hh"
+
+namespace hilp {
+namespace {
+
+TEST(Table, AsciiAlignsColumns)
+{
+    Table table({"name", "value"});
+    table.setAlign(0, Table::Align::Left);
+    table.addRow({"a", "1"});
+    table.addRow({"longer", "22"});
+    std::string out = table.toAscii();
+    // Header, separator, two rows.
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("------"), std::string::npos);
+    EXPECT_NE(out.find("longer"), std::string::npos);
+    // Right-aligned numbers: "1" is padded to width of "value".
+    EXPECT_NE(out.find("     1"), std::string::npos);
+}
+
+TEST(Table, RowCount)
+{
+    Table table({"x"});
+    EXPECT_EQ(table.rows(), 0u);
+    table.addRow({"1"});
+    table.addRow({"2"});
+    EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(Table, CsvBasic)
+{
+    Table table({"a", "b"});
+    table.addRow({"1", "2"});
+    EXPECT_EQ(table.toCsv(), "a,b\n1,2\n");
+}
+
+TEST(Table, CsvEscapesSpecialCharacters)
+{
+    Table table({"a", "b"});
+    table.addRow({"with,comma", "with\"quote"});
+    std::string csv = table.toCsv();
+    EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+    EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(RowBuilderTest, MixedCells)
+{
+    auto row = RowBuilder()
+        .cell("name")
+        .cell(static_cast<int64_t>(42))
+        .cell(3.14159, 2)
+        .take();
+    ASSERT_EQ(row.size(), 3u);
+    EXPECT_EQ(row[0], "name");
+    EXPECT_EQ(row[1], "42");
+    EXPECT_EQ(row[2], "3.14");
+}
+
+} // anonymous namespace
+} // namespace hilp

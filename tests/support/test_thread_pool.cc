@@ -1,0 +1,81 @@
+/** @file Unit tests for the thread pool. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "support/thread_pool.hh"
+
+namespace hilp {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks)
+{
+    ThreadPool pool(4);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&counter] { ++counter; });
+    pool.wait();
+    EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallelFor(hits.size(), [&](size_t i) { ++hits[i]; });
+    for (const auto &hit : hits)
+        EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroItems)
+{
+    ThreadPool pool(2);
+    pool.parallelFor(0, [](size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, ParallelForSingleItem)
+{
+    ThreadPool pool(2);
+    std::atomic<int> hits{0};
+    pool.parallelFor(1, [&](size_t i) {
+        EXPECT_EQ(i, 0u);
+        ++hits;
+    });
+    EXPECT_EQ(hits.load(), 1);
+}
+
+TEST(ThreadPool, SingleThreadPoolWorks)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.size(), 1u);
+    std::atomic<int> counter{0};
+    pool.parallelFor(50, [&](size_t) { ++counter; });
+    EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, DefaultSizeIsPositive)
+{
+    ThreadPool pool;
+    EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, WaitWithNoWorkReturnsImmediately)
+{
+    ThreadPool pool(2);
+    pool.wait();
+    SUCCEED();
+}
+
+TEST(ThreadPool, SequentialParallelForBatches)
+{
+    ThreadPool pool(3);
+    std::atomic<int> counter{0};
+    for (int round = 0; round < 5; ++round)
+        pool.parallelFor(20, [&](size_t) { ++counter; });
+    EXPECT_EQ(counter.load(), 100);
+}
+
+} // anonymous namespace
+} // namespace hilp

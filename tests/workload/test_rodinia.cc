@@ -1,0 +1,151 @@
+/** @file Unit tests for the Rodinia profiles and workload factories. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "workload/rodinia.hh"
+#include "workload/workload.hh"
+
+namespace hilp {
+namespace workload {
+namespace {
+
+TEST(Rodinia, TableIiHasTenBenchmarks)
+{
+    EXPECT_EQ(rodiniaBenchmarks().size(), 10u);
+}
+
+TEST(Rodinia, SpotCheckTableIiValues)
+{
+    const auto &hs = rodiniaBenchmarks()[rodiniaIndex("HS")];
+    EXPECT_DOUBLE_EQ(hs.setupS, 80.8);
+    EXPECT_DOUBLE_EQ(hs.computeCpuS, 395.9);
+    EXPECT_DOUBLE_EQ(hs.computeGpuS, 20.5);
+    EXPECT_DOUBLE_EQ(hs.teardownS, 71.3);
+    EXPECT_DOUBLE_EQ(hs.gpuBwGBs, 40.4);
+    EXPECT_DOUBLE_EQ(hs.timeLaw.a, 13.93);
+    EXPECT_DOUBLE_EQ(hs.timeLaw.b, -1.00);
+
+    const auto &nn = rodiniaBenchmarks()[rodiniaIndex("NN")];
+    EXPECT_DOUBLE_EQ(nn.computeGpuS, 3.8e-3);
+    EXPECT_DOUBLE_EQ(nn.gpuBwGBs, 187.6);
+}
+
+TEST(Rodinia, PublishedFitsAreSelfConsistent)
+{
+    // The paper normalizes its power laws to the 14-SM GPU, so
+    // a ~= 14^-b must hold for every well-fitted law (r2 near 1).
+    for (const auto &bench : rodiniaBenchmarks()) {
+        if (bench.timeLaw.r2 < 0.9)
+            continue; // MC's flat profile is fit to noise.
+        double expected_a = std::pow(14.0, -bench.timeLaw.b);
+        EXPECT_NEAR(bench.timeLaw.a, expected_a,
+                    0.05 * expected_a + 0.3)
+            << bench.abbrev;
+    }
+}
+
+TEST(Rodinia, IndexLookup)
+{
+    EXPECT_EQ(rodiniaIndex("BFS"), 0);
+    EXPECT_EQ(rodiniaIndex("SC"), 9);
+}
+
+TEST(Rodinia, VariantDivisors)
+{
+    EXPECT_DOUBLE_EQ(variantDivisor(Variant::Rodinia), 1.0);
+    EXPECT_DOUBLE_EQ(variantDivisor(Variant::Default), 5.0);
+    EXPECT_DOUBLE_EQ(variantDivisor(Variant::Optimized), 20.0);
+}
+
+TEST(Rodinia, VariantNames)
+{
+    EXPECT_STREQ(toString(Variant::Rodinia), "Rodinia");
+    EXPECT_STREQ(toString(Variant::Default), "Default");
+    EXPECT_STREQ(toString(Variant::Optimized), "Optimized");
+}
+
+TEST(Rodinia, AppStructureIsSetupComputeTeardown)
+{
+    Application app = makeRodiniaApp(rodiniaIndex("LUD"), 1.0);
+    ASSERT_EQ(app.phases.size(), 3u);
+    EXPECT_EQ(app.phases[0].kind, PhaseKind::Sequential);
+    EXPECT_EQ(app.phases[1].kind, PhaseKind::Compute);
+    EXPECT_EQ(app.phases[2].kind, PhaseKind::Sequential);
+    EXPECT_TRUE(app.isChain());
+    EXPECT_EQ(app.phases[1].dsaTarget, rodiniaIndex("LUD"));
+    EXPECT_TRUE(app.phases[1].gpuCompatible);
+    EXPECT_FALSE(app.phases[0].gpuCompatible);
+}
+
+TEST(Rodinia, DivisorScalesOnlySetupAndTeardown)
+{
+    Application full = makeRodiniaApp(rodiniaIndex("HS"), 1.0);
+    Application fifth = makeRodiniaApp(rodiniaIndex("HS"), 5.0);
+    EXPECT_DOUBLE_EQ(fifth.phases[0].cpuTime1,
+                     full.phases[0].cpuTime1 / 5.0);
+    EXPECT_DOUBLE_EQ(fifth.phases[2].cpuTime1,
+                     full.phases[2].cpuTime1 / 5.0);
+    EXPECT_DOUBLE_EQ(fifth.phases[1].cpuTime1,
+                     full.phases[1].cpuTime1);
+}
+
+TEST(Rodinia, WorkloadContainsAllBenchmarks)
+{
+    Workload w = makeWorkload(Variant::Default);
+    EXPECT_EQ(w.apps.size(), 10u);
+    EXPECT_EQ(w.numPhases(), 30);
+    EXPECT_EQ(w.name, "Default");
+}
+
+TEST(Rodinia, SequentialReferenceTimes)
+{
+    // Section V reference: fully sequential on one CPU core. The
+    // Rodinia variant sums the raw Table II columns.
+    Workload rodinia = makeWorkload(Variant::Rodinia);
+    EXPECT_NEAR(sequentialCpuTimeS(rodinia), 1941.4, 1.0);
+    Workload optimized = makeWorkload(Variant::Optimized);
+    EXPECT_NEAR(sequentialCpuTimeS(optimized), 1574.3, 1.0);
+}
+
+TEST(Rodinia, DsaPriorityStartsWithLudAndHs)
+{
+    // Section VI: "the DSA in a 1-DSA SoC accelerates LUD, the DSAs
+    // in a 2-DSA SoC accelerate LUD and HS, and so on."
+    std::vector<int> order = dsaPriorityOrder();
+    ASSERT_EQ(order.size(), 10u);
+    EXPECT_EQ(order[0], rodiniaIndex("LUD"));
+    EXPECT_EQ(order[1], rodiniaIndex("HS"));
+    // Descending CPU compute time throughout.
+    const auto &benchmarks = rodiniaBenchmarks();
+    for (size_t i = 1; i < order.size(); ++i) {
+        EXPECT_GE(benchmarks[order[i - 1]].computeCpuS,
+                  benchmarks[order[i]].computeCpuS);
+    }
+}
+
+
+TEST(Rodinia, MultiCopyWorkloads)
+{
+    Workload two = makeWorkload(Variant::Default, 2);
+    EXPECT_EQ(two.apps.size(), 20u);
+    EXPECT_EQ(two.numPhases(), 60);
+    EXPECT_EQ(two.name, "Defaultx2");
+    // Copies are independent apps with distinct names but identical
+    // profiles and DSA targets.
+    EXPECT_EQ(two.apps[0].name, "BFS");
+    EXPECT_EQ(two.apps[10].name, "BFS#1");
+    EXPECT_DOUBLE_EQ(two.apps[10].phases[1].cpuTime1,
+                     two.apps[0].phases[1].cpuTime1);
+    EXPECT_EQ(two.apps[10].phases[1].dsaTarget,
+              two.apps[0].phases[1].dsaTarget);
+    // The sequential reference scales linearly with copies.
+    Workload one = makeWorkload(Variant::Default, 1);
+    EXPECT_NEAR(sequentialCpuTimeS(two),
+                2.0 * sequentialCpuTimeS(one), 1e-9);
+}
+
+} // anonymous namespace
+} // namespace workload
+} // namespace hilp

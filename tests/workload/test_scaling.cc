@@ -1,0 +1,178 @@
+/** @file Unit tests for the accelerator/CPU scaling model. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arch/dvfs.hh"
+#include "workload/rodinia.hh"
+#include "workload/scaling.hh"
+
+namespace hilp {
+namespace workload {
+namespace {
+
+PhaseProfile
+hsCompute()
+{
+    return makeRodiniaApp(rodiniaIndex("HS"), 1.0).phases[1];
+}
+
+TEST(Scaling, FullGpuAtBaseClockReproducesTableIi)
+{
+    PhaseProfile hs = hsCompute();
+    EXPECT_NEAR(acceleratorTimeS(hs, kProfileSms,
+                                 arch::kBaseClockMhz),
+                20.5, 1e-9);
+}
+
+TEST(Scaling, HsScalesInverselyWithSms)
+{
+    // HS has b = -1.00: half the SMs, double the time.
+    PhaseProfile hs = hsCompute();
+    double t64 = acceleratorTimeS(hs, 64, arch::kBaseClockMhz);
+    double t32 = acceleratorTimeS(hs, 32, arch::kBaseClockMhz);
+    EXPECT_NEAR(t32, 2.0 * t64, 1e-6);
+    // And the paper-checked value: 20.5 * 98/64 = 31.4 s.
+    EXPECT_NEAR(t64, 31.4, 0.1);
+}
+
+TEST(Scaling, TimeIsMonotoneInUnits)
+{
+    PhaseProfile hs = hsCompute();
+    double prev = 1e300;
+    for (int units : {4, 8, 16, 32, 64, 98, 128}) {
+        double t = acceleratorTimeS(hs, units, arch::kBaseClockMhz);
+        EXPECT_LT(t, prev);
+        prev = t;
+    }
+}
+
+TEST(Scaling, TimeIsMonotoneInClock)
+{
+    PhaseProfile hs = hsCompute();
+    double prev = 1e300;
+    for (const auto &point : arch::gpuOperatingPoints()) {
+        double t = acceleratorTimeS(hs, 64, point.clockMhz);
+        EXPECT_LT(t, prev);
+        prev = t;
+    }
+}
+
+TEST(Scaling, BandwidthReferencePoint)
+{
+    PhaseProfile hs = hsCompute();
+    EXPECT_NEAR(acceleratorBwGBs(hs, kBwBaseSms,
+                                 arch::kBaseClockMhz),
+                40.4, 1e-9);
+}
+
+TEST(Scaling, BandwidthGrowsWithSms)
+{
+    PhaseProfile hs = hsCompute();
+    double bw16 = acceleratorBwGBs(hs, 16, arch::kBaseClockMhz);
+    double bw64 = acceleratorBwGBs(hs, 64, arch::kBaseClockMhz);
+    EXPECT_GT(bw64, bw16);
+    // HS's bandwidth law has b = 1.00: 4x the SMs, 4x the demand.
+    EXPECT_NEAR(bw64, 4.0 * bw16, 1e-6);
+}
+
+TEST(Scaling, BandwidthDropsAtLowerClocks)
+{
+    PhaseProfile hs = hsCompute();
+    double bw_hi = acceleratorBwGBs(hs, 64, 765);
+    double bw_lo = acceleratorBwGBs(hs, 64, 300);
+    EXPECT_LT(bw_lo, bw_hi);
+}
+
+TEST(Scaling, BytesConservedAcrossClocks)
+{
+    // time * bandwidth (the data moved) must be clock-invariant.
+    PhaseProfile hs = hsCompute();
+    double bytes_hi = acceleratorTimeS(hs, 64, 765) *
+                      acceleratorBwGBs(hs, 64, 765);
+    double bytes_lo = acceleratorTimeS(hs, 64, 210) *
+                      acceleratorBwGBs(hs, 64, 210);
+    EXPECT_NEAR(bytes_hi, bytes_lo, 1e-6 * bytes_hi);
+}
+
+TEST(Scaling, SequentialPhaseIgnoresCoreCount)
+{
+    PhaseProfile setup =
+        makeRodiniaApp(rodiniaIndex("HS"), 1.0).phases[0];
+    EXPECT_DOUBLE_EQ(cpuTimeS(setup, 1), cpuTimeS(setup, 32));
+}
+
+TEST(Scaling, CpuComputeScalesWithCores)
+{
+    // HS: b = -1 -> perfect scaling on the CPU substitution.
+    PhaseProfile hs = hsCompute();
+    EXPECT_NEAR(cpuTimeS(hs, 1), 395.9, 1e-9);
+    EXPECT_NEAR(cpuTimeS(hs, 4), 395.9 / 4.0, 1e-6);
+}
+
+TEST(Scaling, CpuComputeSublinearForWeakScalers)
+{
+    // HW: b = -0.52 -> 4 cores give ~2x.
+    PhaseProfile hw =
+        makeRodiniaApp(rodiniaIndex("HW"), 1.0).phases[1];
+    double t1 = cpuTimeS(hw, 1);
+    double t4 = cpuTimeS(hw, 4);
+    EXPECT_NEAR(t1 / t4, std::pow(4.0, 0.52), 1e-6);
+}
+
+TEST(Scaling, SequentialBandwidthIsNominal)
+{
+    PhaseProfile setup =
+        makeRodiniaApp(rodiniaIndex("BFS"), 1.0).phases[0];
+    EXPECT_DOUBLE_EQ(cpuBwGBs(setup, 1), 1.0);
+}
+
+TEST(Scaling, CpuComputeBandwidthConservesTraffic)
+{
+    PhaseProfile hs = hsCompute();
+    double bytes = acceleratorTimeS(hs, kProfileSms, 765) *
+                   acceleratorBwGBs(hs, kProfileSms, 765);
+    double bw4 = cpuBwGBs(hs, 4);
+    EXPECT_NEAR(bw4 * cpuTimeS(hs, 4), bytes, 1e-6 * bytes);
+}
+
+TEST(Scaling, FrequencyGammaClamps)
+{
+    EXPECT_DOUBLE_EQ(frequencyGamma(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(frequencyGamma(1000.0), 0.2);
+    EXPECT_NEAR(frequencyGamma(125.0), 0.5, 1e-12);
+}
+
+TEST(Scaling, ComputeBoundKernelsAreClockSensitive)
+{
+    // Section V: HW is more sensitive to clock than SM count.
+    PhaseProfile hw =
+        makeRodiniaApp(rodiniaIndex("HW"), 1.0).phases[1];
+    PhaseProfile nn =
+        makeRodiniaApp(rodiniaIndex("NN"), 1.0).phases[1];
+    EXPECT_GT(hw.freqGamma, 0.9);
+    EXPECT_LT(nn.freqGamma, 0.3);
+
+    // Halving HW's clock nearly doubles its time; halving its SMs
+    // costs much less (b = -0.52).
+    double clock_penalty = acceleratorTimeS(hw, 64, 360) /
+                           acceleratorTimeS(hw, 64, 765);
+    double sm_penalty = acceleratorTimeS(hw, 32, 765) /
+                        acceleratorTimeS(hw, 64, 765);
+    EXPECT_GT(clock_penalty, sm_penalty);
+}
+
+TEST(Scaling, WorksForPeCountsBeyondTheProfileRange)
+{
+    // DSAs with the 4x advantage evaluate the curves at up to
+    // 16 * 4 * 2 = 128 "SMs"; the power law must extrapolate.
+    PhaseProfile hs = hsCompute();
+    double t128 = acceleratorTimeS(hs, 128, 765);
+    EXPECT_GT(t128, 0.0);
+    EXPECT_LT(t128, acceleratorTimeS(hs, 98, 765));
+}
+
+} // anonymous namespace
+} // namespace workload
+} // namespace hilp

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Parameterized property sweep of the scaling model over all ten
+ * Table II benchmarks: invariants every benchmark's curves must
+ * satisfy regardless of its fitted exponents.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arch/dvfs.hh"
+#include "workload/rodinia.hh"
+#include "workload/scaling.hh"
+
+namespace hilp {
+namespace workload {
+namespace {
+
+class ScalingSweep : public ::testing::TestWithParam<int>
+{
+  protected:
+    PhaseProfile
+    compute() const
+    {
+        return makeRodiniaApp(GetParam(), 1.0).phases[1];
+    }
+};
+
+TEST_P(ScalingSweep, FullGpuTimeMatchesTableIi)
+{
+    const auto &bench = rodiniaBenchmarks()[GetParam()];
+    EXPECT_NEAR(acceleratorTimeS(compute(), kProfileSms,
+                                 arch::kBaseClockMhz),
+                bench.computeGpuS, 1e-9);
+}
+
+TEST_P(ScalingSweep, BaseBandwidthMatchesTableIi)
+{
+    const auto &bench = rodiniaBenchmarks()[GetParam()];
+    EXPECT_NEAR(acceleratorBwGBs(compute(), kBwBaseSms,
+                                 arch::kBaseClockMhz),
+                bench.gpuBwGBs, 1e-9);
+}
+
+TEST_P(ScalingSweep, TimeNeverIncreasesWithUnits)
+{
+    PhaseProfile phase = compute();
+    double prev = 1e300;
+    for (int units : {1, 2, 4, 8, 16, 32, 64, 98, 128, 256}) {
+        double t = acceleratorTimeS(phase, units,
+                                    arch::kBaseClockMhz);
+        // MC's published exponent is +9e-6: allow a hair of slack.
+        EXPECT_LE(t, prev * 1.001)
+            << rodiniaBenchmarks()[GetParam()].abbrev << " at "
+            << units;
+        prev = t;
+    }
+}
+
+TEST_P(ScalingSweep, TimeNeverIncreasesWithClock)
+{
+    PhaseProfile phase = compute();
+    double prev = 1e300;
+    for (const auto &point : arch::gpuOperatingPoints()) {
+        double t = acceleratorTimeS(phase, 32, point.clockMhz);
+        EXPECT_LE(t, prev + 1e-12);
+        prev = t;
+    }
+}
+
+TEST_P(ScalingSweep, BytesAreClockInvariant)
+{
+    PhaseProfile phase = compute();
+    double reference = acceleratorTimeS(phase, 64, 765) *
+                       acceleratorBwGBs(phase, 64, 765);
+    for (const auto &point : arch::gpuOperatingPoints()) {
+        double bytes = acceleratorTimeS(phase, 64, point.clockMhz) *
+                       acceleratorBwGBs(phase, 64, point.clockMhz);
+        EXPECT_NEAR(bytes, reference, 1e-6 * reference);
+    }
+}
+
+TEST_P(ScalingSweep, CpuSingleCoreMatchesTableIi)
+{
+    const auto &bench = rodiniaBenchmarks()[GetParam()];
+    EXPECT_NEAR(cpuTimeS(compute(), 1), bench.computeCpuS, 1e-9);
+}
+
+TEST_P(ScalingSweep, CpuScalingIsMonotoneAndSubLinear)
+{
+    PhaseProfile phase = compute();
+    double prev = 1e300;
+    for (int cores : {1, 2, 4, 8, 16, 32}) {
+        double t = cpuTimeS(phase, cores);
+        EXPECT_LE(t, prev * 1.001);
+        // Never super-linear: t(k) >= t(1) / k.
+        EXPECT_GE(t * 1.001, cpuTimeS(phase, 1) / cores);
+        prev = t;
+    }
+}
+
+TEST_P(ScalingSweep, GammaWithinClampRange)
+{
+    PhaseProfile phase = compute();
+    EXPECT_GE(phase.freqGamma, 0.2);
+    EXPECT_LE(phase.freqGamma, 1.0);
+}
+
+TEST_P(ScalingSweep, CpuBandwidthIsPositiveAndFinite)
+{
+    PhaseProfile phase = compute();
+    for (int cores : {1, 2, 4}) {
+        double bw = cpuBwGBs(phase, cores);
+        EXPECT_GE(bw, 1.0);
+        EXPECT_TRUE(std::isfinite(bw));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, ScalingSweep,
+                         ::testing::Range(0, 10));
+
+} // anonymous namespace
+} // namespace workload
+} // namespace hilp
