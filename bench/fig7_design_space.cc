@@ -12,14 +12,19 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstring>
 #include <map>
 
 #include "common.hh"
+#include "dse/report.hh"
 #include "support/table.hh"
 
 namespace {
 
 using namespace hilp;
+
+/** Set by --no-reuse: run every solve cold, as before the reuse layer. */
+bool g_no_reuse = false;
 
 void
 emitModel(dse::ModelKind kind,
@@ -28,8 +33,14 @@ emitModel(dse::ModelKind kind,
 {
     arch::Constraints constraints; // 600 W, 800 GB/s.
     dse::DseOptions options = bench::explorationOptions(1.0);
+    options.reuse = !g_no_reuse;
     auto points =
         dse::exploreSpace(configs, wl, constraints, kind, options);
+
+    if (kind == dse::ModelKind::Hilp) {
+        std::printf("%s solver effort: %s\n", dse::toString(kind),
+                    dse::toString(dse::summarizeSweep(points)).c_str());
+    }
 
     auto front = bench::paretoOf(points);
     bench::printPareto(std::string(dse::toString(kind)) +
@@ -120,6 +131,19 @@ BENCHMARK(BM_ExploreSubsetOfDesignSpace)
 int
 main(int argc, char **argv)
 {
+    // Filter out our own flag before the benchmark library parses
+    // (and rejects) the remaining arguments.
+    int kept = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--no-reuse") == 0)
+            g_no_reuse = true;
+        else
+            argv[kept++] = argv[i];
+    }
+    argc = kept;
+    if (g_no_reuse)
+        std::printf("cross-config solver reuse disabled\n");
+
     emitFigure();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

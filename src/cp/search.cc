@@ -41,9 +41,10 @@ class Searcher
                 static_cast<int>(model.predecessors(t).size()) +
                 static_cast<int>(model.lagPredecessors(t).size());
         }
+        eligiblePos_.assign(n, -1);
         for (int t = 0; t < n; ++t)
             if (remainingPreds_[t] == 0)
-                eligible_.push_back(t);
+                addEligible(t);
 
         // Incremental energy bookkeeping: per resource, the minimum
         // energy (usage * duration) each task must eventually commit
@@ -100,6 +101,30 @@ class Searcher
     }
 
   private:
+    void
+    addEligible(int t)
+    {
+        eligiblePos_[t] = static_cast<int>(eligible_.size());
+        eligible_.push_back(t);
+    }
+
+    /**
+     * O(1) swap-remove from the eligible set. The set's internal
+     * order is irrelevant: every node copies and re-sorts it into
+     * branch_tasks, so the branch order stays deterministic.
+     */
+    void
+    removeEligible(int t)
+    {
+        int pos = eligiblePos_[t];
+        hilp_assert(pos >= 0 && eligible_[pos] == t);
+        int last = eligible_.back();
+        eligible_[pos] = last;
+        eligiblePos_[last] = pos;
+        eligible_.pop_back();
+        eligiblePos_[t] = -1;
+    }
+
     /** True when the incumbent already satisfies the target gap. */
     bool
     gapReached() const
@@ -268,22 +293,18 @@ class Searcher
                 if (mode.group != kNoGroup)
                     groupBusy_[mode.group] += mode.duration;
                 size_t eligible_size = eligible_.size();
-                eligible_.erase(
-                    std::find(eligible_.begin(), eligible_.end(), t));
+                removeEligible(t);
                 for (int s : model_.successors(t))
                     if (--remainingPreds_[s] == 0)
-                        eligible_.push_back(s);
+                        addEligible(s);
 
                 dfs(std::max(makespan, opt.complete));
 
                 // Undo.
-                for (int s : model_.successors(t)) {
-                    if (remainingPreds_[s]++ == 0) {
-                        eligible_.erase(std::find(eligible_.begin(),
-                                                  eligible_.end(), s));
-                    }
-                }
-                eligible_.push_back(t);
+                for (int s : model_.successors(t))
+                    if (remainingPreds_[s]++ == 0)
+                        removeEligible(s);
+                addEligible(t);
                 hilp_assert(eligible_.size() == eligible_size);
                 --scheduled_;
                 for (int r = 0; r < model_.numResources(); ++r) {
@@ -322,6 +343,8 @@ class Searcher
     std::vector<Time> est_;
     std::vector<int> remainingPreds_;
     std::vector<int> eligible_;
+    /** Position of each task inside eligible_, or -1 when absent. */
+    std::vector<int> eligiblePos_;
     int scheduled_ = 0;
 
     std::vector<std::vector<double>> minEnergy_;

@@ -38,7 +38,7 @@ Result::gap() const
 }
 
 Result
-Solver::solve(const Model &model) const
+Solver::solve(const Model &model, const ScheduleVec *hint) const
 {
     auto start_time = std::chrono::steady_clock::now();
 
@@ -52,15 +52,29 @@ Solver::solve(const Model &model) const
     result.stats.bounds = computeLowerBounds(model, options_.useLpBound);
     result.lowerBound = result.stats.bounds.best();
 
+    // An external hint (e.g. a schedule transferred from a similar
+    // problem) participates as an incumbent candidate when feasible.
+    Time hint_makespan = 0;
+    bool hint_ok = false;
+    if (hint && checkSchedule(model, *hint).empty()) {
+        hint_ok = true;
+        hint_makespan = hint->makespan(model);
+        result.stats.hintAccepted = true;
+        result.stats.hintMakespan = hint_makespan;
+    }
+
     // Greedy warm start, refined by priority-order hill climbing.
     ListResult greedy = bestGreedy(model, options_.greedyRestarts,
                                    options_.seed);
     if (greedy.feasible) {
-        // Skip the refinement when the greedy is already provably
-        // within the target gap.
-        double greedy_gap = greedy.makespan > 0
-            ? static_cast<double>(greedy.makespan - result.lowerBound) /
-              static_cast<double>(greedy.makespan)
+        // Skip the refinement when the greedy (or the hint) is
+        // already provably within the target gap.
+        Time incumbent = hint_ok
+            ? std::min(greedy.makespan, hint_makespan)
+            : greedy.makespan;
+        double greedy_gap = incumbent > 0
+            ? static_cast<double>(incumbent - result.lowerBound) /
+              static_cast<double>(incumbent)
             : 0.0;
         if (greedy_gap > options_.targetGap)
             greedy = improveGreedy(model, greedy,
@@ -69,14 +83,20 @@ Solver::solve(const Model &model) const
         result.stats.greedyMakespan = greedy.makespan;
     }
 
-    // Branch and bound, warm-started when possible.
+    // Branch and bound, warm-started with the best incumbent.
+    const ScheduleVec *warm = nullptr;
+    if (greedy.feasible &&
+        (!hint_ok || greedy.makespan <= hint_makespan))
+        warm = &greedy.schedule;
+    else if (hint_ok)
+        warm = hint;
+
     SearchLimits limits;
     limits.maxNodes = options_.maxNodes;
     limits.maxSeconds = options_.maxSeconds;
     limits.targetGap = options_.targetGap;
     limits.lowerBound = result.lowerBound;
-    SearchResult search = branchAndBound(
-        model, greedy.feasible ? &greedy.schedule : nullptr, limits);
+    SearchResult search = branchAndBound(model, warm, limits);
 
     result.stats.nodes = search.nodes;
     result.stats.backtracks = search.backtracks;

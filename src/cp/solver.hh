@@ -66,6 +66,10 @@ struct SolveStats
     int64_t solutions = 0;    //!< Incumbent improvements found.
     bool exhausted = false;   //!< Search tree fully explored.
     double seconds = 0.0;     //!< Total solve wall-clock time.
+    /** An external hint schedule was feasible and seeded the search. */
+    bool hintAccepted = false;
+    /** Makespan of the accepted hint (0 when none). */
+    Time hintMakespan = 0;
 };
 
 /** A complete solve outcome. */
@@ -107,8 +111,15 @@ class Solver
      * Solve the model. Invalid models (see Model::validate) are a
      * user error and terminate via fatal(). Infeasibility is always
      * relative to the model's horizon.
+     *
+     * `hint` optionally carries an externally produced schedule (for
+     * example one transferred from a neighboring DSE configuration).
+     * A feasible hint tightens the branch-and-bound's starting upper
+     * bound, so the returned makespan is never worse than the hint's;
+     * an infeasible or null hint is ignored.
      */
-    Result solve(const Model &model) const;
+    Result solve(const Model &model,
+                 const ScheduleVec *hint = nullptr) const;
 
     const SolverOptions &options() const { return options_; }
 

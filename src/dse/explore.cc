@@ -1,8 +1,17 @@
 #include "explore.hh"
 
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <tuple>
+#include <utility>
+
 #include "baselines/gables.hh"
 #include "baselines/multiamdahl.hh"
 #include "support/logging.hh"
+#include "support/str.hh"
 #include "support/thread_pool.hh"
 
 namespace hilp {
@@ -22,11 +31,84 @@ toString(ModelKind kind)
     return "unknown";
 }
 
+namespace {
+
+/**
+ * Sweep-wide record of completed (area, makespan) points with an
+ * atomic best-makespan fast path. A config whose certified makespan
+ * lower bound is beaten by an already-completed point of no more
+ * area can never reach the Pareto front, so its solve may stop
+ * refining early (the result keeps its certified gap either way).
+ */
+class SweepBound
+{
+  public:
+    void
+    add(double area_mm2, double makespan_s)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            points_.emplace_back(area_mm2, makespan_s);
+        }
+        // Atomic running minimum of all completed makespans.
+        double best = bestMakespanS_.load();
+        while (makespan_s < best &&
+               !bestMakespanS_.compare_exchange_weak(best, makespan_s))
+            ;
+    }
+
+    /**
+     * True when a completed point with area <= area_mm2 finishes
+     * strictly sooner than this config could ever prove (its
+     * certified lower bound).
+     */
+    bool
+    dominates(double area_mm2, double lower_bound_s) const
+    {
+        // Fast reject without the lock: nothing anywhere in the
+        // sweep beats this bound yet.
+        if (bestMakespanS_.load() >= lower_bound_s)
+            return false;
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const auto &[area, makespan] : points_)
+            if (area <= area_mm2 && makespan < lower_bound_s)
+                return true;
+        return false;
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    std::vector<std::pair<double, double>> points_;
+    std::atomic<double> bestMakespanS_{
+        std::numeric_limits<double>::infinity()};
+};
+
+void
+fillSolverTelemetry(DsePoint &point, const EvalResult &result)
+{
+    point.status = result.status;
+    point.gap = result.gap;
+    point.nodes = result.totalNodes;
+    point.backtracks = result.totalBacktracks;
+    point.solves = result.solves;
+    point.solveSeconds = result.totalSeconds;
+    point.cacheHit = result.cacheHit;
+    point.warmStarted = result.warmStarted;
+    point.pruned = result.prunedEarly;
+}
+
+/**
+ * The evaluatePoint worker body. `reuse` (nullable) threads the
+ * sweep's cross-config context into the HILP engine; on success
+ * `schedule_out` (nullable) receives the solved schedule so chains
+ * can warm-start their next configuration.
+ */
 DsePoint
-evaluatePoint(const arch::SocConfig &config,
-              const workload::Workload &workload,
-              const arch::Constraints &constraints, ModelKind kind,
-              const DseOptions &options)
+evaluatePointImpl(const arch::SocConfig &config,
+                  const workload::Workload &workload,
+                  const arch::Constraints &constraints, ModelKind kind,
+                  const DseOptions &options, const EvalReuse *reuse,
+                  Schedule *schedule_out)
 {
     DsePoint point;
     point.config = config;
@@ -35,47 +117,115 @@ evaluatePoint(const arch::SocConfig &config,
 
     ProblemSpec spec =
         buildProblem(workload, config, constraints, options.build);
-    if (!spec.validate().empty())
-        return point; // Unschedulable under these budgets.
+    std::string invalid = spec.validate();
+    if (!invalid.empty()) {
+        // Unschedulable under these budgets; keep the reason so the
+        // report can tell this apart from a solver failure.
+        point.note = invalid;
+        return point;
+    }
 
     double reference = workload::sequentialCpuTimeS(workload);
 
     switch (kind) {
       case ModelKind::MultiAmdahl: {
         baselines::MaResult ma = baselines::evaluateMultiAmdahl(spec);
-        if (!ma.ok)
+        if (!ma.ok) {
+            point.note = "MultiAmdahl found no feasible sequential "
+                         "placement";
             return point;
+        }
         point.ok = true;
         point.makespanS = ma.makespanS;
         point.averageWlp = ma.averageWlp();
         point.gap = 0.0;
+        point.status = cp::SolveStatus::Optimal;
         break;
       }
       case ModelKind::Hilp: {
-        EvalResult result = evaluate(spec, options.engine);
-        if (!result.ok)
+        EvalResult result = reuse
+            ? evaluate(spec, options.engine, *reuse)
+            : evaluate(spec, options.engine);
+        fillSolverTelemetry(point, result);
+        if (!result.ok) {
+            point.note = format("solver gave up: %s",
+                                cp::toString(result.status));
             return point;
+        }
         point.ok = true;
         point.makespanS = result.makespanS;
         point.averageWlp = result.averageWlp;
-        point.gap = result.gap;
+        if (schedule_out)
+            *schedule_out = std::move(result.schedule);
         break;
       }
       case ModelKind::Gables: {
         EvalResult result =
             baselines::evaluateGables(spec, options.engine);
-        if (!result.ok)
+        fillSolverTelemetry(point, result);
+        if (!result.ok) {
+            point.note = format("solver gave up: %s",
+                                cp::toString(result.status));
             return point;
+        }
         point.ok = true;
         point.makespanS = result.makespanS;
         point.averageWlp = result.averageWlp;
-        point.gap = result.gap;
         break;
       }
     }
     if (point.makespanS > 0.0)
         point.speedup = reference / point.makespanS;
     return point;
+}
+
+/**
+ * Group configuration indices into similarity chains: same CPU core
+ * count and same DSA allocation (count, PE size, targets,
+ * advantage), ordered by ascending GPU SM count within a chain.
+ * Neighbors differ only in GPU capacity, so their optimal schedules
+ * transfer well as warm starts.
+ */
+std::vector<std::vector<size_t>>
+similarityChains(const std::vector<arch::SocConfig> &configs)
+{
+    using Key = std::tuple<int, size_t, int, double, std::vector<int>>;
+    std::map<Key, std::vector<size_t>> chains;
+    for (size_t i = 0; i < configs.size(); ++i) {
+        const arch::SocConfig &config = configs[i];
+        int pes = config.dsas.empty() ? 0 : config.dsas.front().pes;
+        std::vector<int> targets;
+        targets.reserve(config.dsas.size());
+        for (const arch::DsaSpec &dsa : config.dsas)
+            targets.push_back(dsa.target);
+        chains[{config.cpuCores, config.dsas.size(), pes,
+                config.dsaAdvantage, std::move(targets)}]
+            .push_back(i);
+    }
+    std::vector<std::vector<size_t>> result;
+    result.reserve(chains.size());
+    for (auto &[key, indices] : chains) {
+        std::sort(indices.begin(), indices.end(),
+                  [&](size_t a, size_t b) {
+                      if (configs[a].gpuSms != configs[b].gpuSms)
+                          return configs[a].gpuSms < configs[b].gpuSms;
+                      return a < b;
+                  });
+        result.push_back(std::move(indices));
+    }
+    return result;
+}
+
+} // anonymous namespace
+
+DsePoint
+evaluatePoint(const arch::SocConfig &config,
+              const workload::Workload &workload,
+              const arch::Constraints &constraints, ModelKind kind,
+              const DseOptions &options)
+{
+    return evaluatePointImpl(config, workload, constraints, kind,
+                             options, nullptr, nullptr);
 }
 
 std::vector<DsePoint>
@@ -86,9 +236,48 @@ exploreSpace(const std::vector<arch::SocConfig> &configs,
 {
     std::vector<DsePoint> points(configs.size());
     ThreadPool pool(options.threads);
-    pool.parallelFor(configs.size(), [&](size_t i) {
-        points[i] = evaluatePoint(configs[i], workload, constraints,
-                                  kind, options);
+
+    // Cold-start path: every point is independent. MA is analytic
+    // and Gables rewrites the spec internally, so the cross-config
+    // reuse layer applies to HILP sweeps only.
+    if (!options.reuse || kind != ModelKind::Hilp) {
+        pool.parallelFor(configs.size(), [&](size_t i) {
+            points[i] = evaluatePoint(configs[i], workload,
+                                      constraints, kind, options);
+        });
+        return points;
+    }
+
+    SolveMemo local_memo;
+    SolveMemo *memo = options.memo ? options.memo : &local_memo;
+    SweepBound bound;
+    auto chains = similarityChains(configs);
+
+    // Chains are independent; within a chain each config warm-starts
+    // from its predecessor's schedule and every completed point
+    // tightens the shared dominance bound.
+    pool.parallelFor(chains.size(), [&](size_t c) {
+        Schedule hint;
+        bool have_hint = false;
+        for (size_t idx : chains[c]) {
+            double area = configs[idx].areaMm2();
+            EvalReuse reuse;
+            reuse.memo = memo;
+            reuse.hint = have_hint ? &hint : nullptr;
+            reuse.dominated = [&bound, area](double lower_bound_s) {
+                return bound.dominates(area, lower_bound_s);
+            };
+            Schedule schedule;
+            points[idx] = evaluatePointImpl(configs[idx], workload,
+                                            constraints, kind,
+                                            options, &reuse,
+                                            &schedule);
+            if (points[idx].ok) {
+                bound.add(area, points[idx].makespanS);
+                hint = std::move(schedule);
+                have_hint = true;
+            }
+        }
     });
     return points;
 }

@@ -4,11 +4,22 @@
  * configuration list under MA, HILP, or Gables semantics, in
  * parallel, and report speedup/area/WLP per design point (the data
  * behind Figures 7 and 8).
+ *
+ * HILP sweeps reuse solver work across configurations (see
+ * DESIGN.md section 7): configs are ordered into similarity chains
+ * (same CPU cores and DSA allocation, ascending GPU size) so each
+ * solve warm-starts from its neighbor's schedule, identical lowered
+ * instances are served from a fingerprint-keyed cache, and a shared
+ * best-point bound lets provably dominated configs skip resolution
+ * refinement. Reuse changes effort, never certified results; set
+ * DseOptions::reuse = false for the cold-start behavior.
  */
 
 #ifndef HILP_DSE_EXPLORE_HH
 #define HILP_DSE_EXPLORE_HH
 
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "arch/soc.hh"
@@ -37,6 +48,24 @@ struct DsePoint
     double gap = 0.0;       //!< Optimality gap (0 for MA).
     double averageWlp = 0.0;
     AccelMix mix = AccelMix::None;
+
+    /**
+     * Why the point failed when ok is false: the spec's
+     * infeasibility reason ("unschedulable under budget") or the
+     * solver's terminal status ("solver gave up"). Empty on success.
+     */
+    std::string note;
+    /** Final solver status (Optimal for the analytic MA model). */
+    cp::SolveStatus status = cp::SolveStatus::NoSolution;
+
+    // Solver-effort telemetry (zero for MA and for cache hits).
+    int64_t nodes = 0;        //!< B&B nodes across all solves.
+    int64_t backtracks = 0;   //!< B&B backtracks across all solves.
+    int solves = 0;           //!< CP solves (resolutions x attempts).
+    double solveSeconds = 0.0; //!< Solver wall-clock spent.
+    bool cacheHit = false;    //!< Served from the sweep's solve cache.
+    bool warmStarted = false; //!< Neighbor schedule seeded the solve.
+    bool pruned = false;      //!< Refinement skipped: point dominated.
 };
 
 /** Exploration configuration. */
@@ -46,12 +75,24 @@ struct DseOptions
     BuildOptions build;
     /** Worker threads; 0 = hardware concurrency. */
     int threads = 0;
+    /**
+     * Enable cross-config solver reuse for HILP sweeps (warm-start
+     * chains, the solve cache, dominance pruning). Off reproduces
+     * the cold-start behavior exactly.
+     */
+    bool reuse = true;
+    /**
+     * Optional solve cache shared across sweeps. The caller must
+     * keep the engine options identical for every sweep using the
+     * same memo. Null means one private cache per exploreSpace call.
+     */
+    SolveMemo *memo = nullptr;
 };
 
 /**
  * Evaluate the workload on every configuration under the given
  * model. Points are returned in configuration order; unschedulable
- * configurations come back with ok == false.
+ * configurations come back with ok == false and a diagnostic note.
  */
 std::vector<DsePoint> exploreSpace(
     const std::vector<arch::SocConfig> &configs,

@@ -1,28 +1,50 @@
 #include "report.hh"
 
+#include <algorithm>
+
 #include "hilp/problem.hh"
 #include "support/str.hh"
 
 namespace hilp {
 namespace dse {
 
+namespace {
+
+/** Keep free-form notes from breaking the CSV row structure. */
+std::string
+csvSafe(std::string text)
+{
+    std::replace(text.begin(), text.end(), ',', ';');
+    std::replace(text.begin(), text.end(), '\n', ' ');
+    return text;
+}
+
+} // anonymous namespace
+
 std::string
 pointsToCsv(const std::vector<DsePoint> &points)
 {
     std::string out =
         "config,cpus,gpu_sms,dsas,pes,area_mm2,ok,makespan_s,"
-        "speedup,avg_wlp,gap,mix\n";
+        "speedup,avg_wlp,gap,mix,status,nodes,backtracks,solves,"
+        "solve_s,cache_hit,warm_start,pruned,note\n";
     for (const DsePoint &point : points) {
         int pes = point.config.dsas.empty()
             ? 0 : point.config.dsas.front().pes;
         out += format("%s,%d,%d,%zu,%d,%.3f,%d,%.6f,%.6f,%.6f,%.6f,"
-                      "%s\n",
+                      "%s,%s,%lld,%lld,%d,%.3f,%d,%d,%d,%s\n",
                       point.config.name().c_str(),
                       point.config.cpuCores, point.config.gpuSms,
                       point.config.dsas.size(), pes, point.areaMm2,
                       point.ok ? 1 : 0, point.makespanS,
                       point.speedup, point.averageWlp, point.gap,
-                      toString(point.mix));
+                      toString(point.mix), cp::toString(point.status),
+                      static_cast<long long>(point.nodes),
+                      static_cast<long long>(point.backtracks),
+                      point.solves, point.solveSeconds,
+                      point.cacheHit ? 1 : 0,
+                      point.warmStarted ? 1 : 0, point.pruned ? 1 : 0,
+                      csvSafe(point.note).c_str());
     }
     return out;
 }
@@ -47,9 +69,60 @@ pointsToJson(const std::vector<DsePoint> &points)
         entry.set("avg_wlp", Json::number(point.averageWlp));
         entry.set("gap", Json::number(point.gap));
         entry.set("mix", Json::string(toString(point.mix)));
+        entry.set("status", Json::string(cp::toString(point.status)));
+        entry.set("nodes", Json::number(point.nodes));
+        entry.set("backtracks", Json::number(point.backtracks));
+        entry.set("solves", Json::number(
+            static_cast<int64_t>(point.solves)));
+        entry.set("solve_s", Json::number(point.solveSeconds));
+        entry.set("cache_hit", Json::boolean(point.cacheHit));
+        entry.set("warm_start", Json::boolean(point.warmStarted));
+        entry.set("pruned", Json::boolean(point.pruned));
+        entry.set("note", Json::string(point.note));
         array.append(std::move(entry));
     }
     return array;
+}
+
+SweepSummary
+summarizeSweep(const std::vector<DsePoint> &points)
+{
+    SweepSummary summary;
+    summary.points = static_cast<int>(points.size());
+    for (const DsePoint &point : points) {
+        if (point.ok)
+            ++summary.ok;
+        else if (point.status == cp::SolveStatus::NoSolution &&
+                 point.solves == 0 && !point.cacheHit)
+            ++summary.infeasible;
+        else
+            ++summary.noSolution;
+        if (point.cacheHit)
+            ++summary.cacheHits;
+        if (point.warmStarted)
+            ++summary.warmStarted;
+        if (point.pruned)
+            ++summary.pruned;
+        summary.solves += point.solves;
+        summary.nodes += point.nodes;
+        summary.backtracks += point.backtracks;
+        summary.solveSeconds += point.solveSeconds;
+    }
+    return summary;
+}
+
+std::string
+toString(const SweepSummary &summary)
+{
+    return format("%d points: %d ok, %d infeasible, %d unsolved | "
+                  "%d solves, %lld nodes, %lld backtracks, %.2fs | "
+                  "%d cache hits, %d warm starts, %d pruned",
+                  summary.points, summary.ok, summary.infeasible,
+                  summary.noSolution, summary.solves,
+                  static_cast<long long>(summary.nodes),
+                  static_cast<long long>(summary.backtracks),
+                  summary.solveSeconds, summary.cacheHits,
+                  summary.warmStarted, summary.pruned);
 }
 
 OffloadAnalysis

@@ -19,12 +19,37 @@ namespace dse {
 
 /**
  * CSV export of a sweep: one row per design point with config label,
- * structural parameters, area, speedup, WLP, gap, and mix class.
+ * structural parameters, area, speedup, WLP, gap, mix class, solver
+ * telemetry (status, nodes, backtracks, solves, wall time, cache /
+ * warm-start / pruning flags), and the failure note for points that
+ * could not be scheduled.
  */
 std::string pointsToCsv(const std::vector<DsePoint> &points);
 
 /** JSON export of the same data. */
 Json pointsToJson(const std::vector<DsePoint> &points);
+
+/** Aggregate solver-effort telemetry over one sweep. */
+struct SweepSummary
+{
+    int points = 0;          //!< Design points evaluated.
+    int ok = 0;              //!< Points with a schedule.
+    int infeasible = 0;      //!< Rejected by spec validation.
+    int noSolution = 0;      //!< Solver found no schedule.
+    int cacheHits = 0;       //!< Served from the solve cache.
+    int warmStarted = 0;     //!< Solves seeded by a neighbor schedule.
+    int pruned = 0;          //!< Refinement skipped as dominated.
+    int solves = 0;          //!< Total CP solves.
+    int64_t nodes = 0;       //!< Total B&B nodes.
+    int64_t backtracks = 0;  //!< Total B&B backtracks.
+    double solveSeconds = 0.0; //!< Total solver wall-clock.
+};
+
+/** Tally the telemetry of a finished sweep. */
+SweepSummary summarizeSweep(const std::vector<DsePoint> &points);
+
+/** One-line human-readable rendering of a sweep summary. */
+std::string toString(const SweepSummary &summary);
 
 /**
  * The Section VI accelerator-offload analysis behind Key Insight 3

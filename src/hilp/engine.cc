@@ -1,10 +1,44 @@
 #include "engine.hh"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 
+#include "cp/timetable.hh"
 #include "support/logging.hh"
 
 namespace hilp {
+
+bool
+SolveMemo::lookup(uint64_t key, EvalResult *out) const
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = entries_.find(key);
+        if (it == entries_.end()) {
+            ++misses_;
+            return false;
+        }
+        *out = it->second;
+    }
+    ++hits_;
+    out->cacheHit = true;
+    // The effort was paid for by the original solve; a hit is free.
+    out->solves = 0;
+    out->totalNodes = 0;
+    out->totalBacktracks = 0;
+    out->totalSeconds = 0.0;
+    out->warmStarted = false;
+    out->prunedEarly = false;
+    return true;
+}
+
+void
+SolveMemo::insert(uint64_t key, const EvalResult &result)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.emplace(key, result);
+}
 
 EngineOptions
 EngineOptions::validationMode()
@@ -62,21 +96,164 @@ liftSchedule(const ProblemSpec &spec, const DiscretizedProblem &problem,
     return schedule;
 }
 
+double
+continuousLowerBoundS(const ProblemSpec &spec)
+{
+    double bound = 0.0;
+    for (const AppSpec &app : spec.apps) {
+        const int n = static_cast<int>(app.phases.size());
+        std::vector<double> fastest(n, 0.0);
+        for (int p = 0; p < n; ++p) {
+            double best = std::numeric_limits<double>::infinity();
+            for (const UnitOption &option : app.phases[p].options)
+                best = std::min(best, option.timeS);
+            fastest[p] = best;
+        }
+        // Longest-path relaxation over the (small, acyclic) phase
+        // graph: n rounds of Bellman-Ford reach a fixed point.
+        std::vector<double> start(n, 0.0);
+        auto deps = app.effectiveDeps();
+        auto lags = app.effectiveStartLags();
+        for (int round = 0; round < n; ++round) {
+            for (auto [from, to] : deps)
+                start[to] = std::max(start[to],
+                                     start[from] + fastest[from]);
+            for (const StartLag &lag : lags)
+                start[lag.to] = std::max(start[lag.to],
+                                         start[lag.from] + lag.lagS);
+        }
+        for (int p = 0; p < n; ++p)
+            bound = std::max(bound, start[p] + fastest[p]);
+    }
+    return bound;
+}
+
+bool
+transferSchedule(const ProblemSpec &spec,
+                 const DiscretizedProblem &problem,
+                 const Schedule &hint, cp::ScheduleVec *out)
+{
+    const cp::Model &model = problem.model;
+    const int n = model.numTasks();
+    if (static_cast<int>(hint.phases.size()) != n)
+        return false;
+
+    // Map every hint phase onto this problem's task and a mode:
+    // the same unit option when the label still exists, otherwise
+    // the fastest available mode.
+    struct Placement
+    {
+        int task;
+        int mode;
+        double startS;
+    };
+    std::vector<Placement> order;
+    order.reserve(n);
+    std::vector<char> seen(n, 0);
+    for (const ScheduledPhase &phase : hint.phases) {
+        if (phase.app < 0 ||
+            phase.app >= static_cast<int>(problem.taskOf.size()))
+            return false;
+        const std::vector<int> &row = problem.taskOf[phase.app];
+        if (phase.phase < 0 ||
+            phase.phase >= static_cast<int>(row.size()))
+            return false;
+        int task = row[phase.phase];
+        if (task < 0 || task >= n || seen[task])
+            return false;
+        seen[task] = 1;
+
+        const std::vector<cp::Mode> &modes = model.task(task).modes;
+        const PhaseSpec &phase_spec =
+            spec.apps[phase.app].phases[phase.phase];
+        int pick = -1;
+        for (int m = 0; m < static_cast<int>(modes.size()); ++m) {
+            int option = problem.optionOf[task][m];
+            if (phase_spec.options[option].label == phase.unitLabel) {
+                pick = m;
+                break;
+            }
+        }
+        if (pick < 0) {
+            for (int m = 0; m < static_cast<int>(modes.size()); ++m)
+                if (pick < 0 ||
+                    modes[m].duration < modes[pick].duration)
+                    pick = m;
+        }
+        order.push_back({task, pick, phase.startS});
+    }
+
+    // Serial schedule generation in hint start order; topological
+    // position breaks ties so predecessors are always placed first.
+    std::vector<int> topo = model.topologicalOrder();
+    std::vector<int> topo_pos(n, 0);
+    for (int i = 0; i < n; ++i)
+        topo_pos[topo[i]] = i;
+    std::sort(order.begin(), order.end(),
+              [&](const Placement &a, const Placement &b) {
+                  if (a.startS != b.startS)
+                      return a.startS < b.startS;
+                  return topo_pos[a.task] < topo_pos[b.task];
+              });
+
+    cp::Timetable table(model);
+    std::vector<cp::Assignment> assign(n);
+    std::vector<cp::Time> end(n, 0);
+    for (const Placement &placement : order) {
+        cp::Time est = 0;
+        for (int pred : model.predecessors(placement.task)) {
+            if (!assign[pred].scheduled())
+                return false; // Hint order breaks a dependency.
+            est = std::max(est, end[pred]);
+        }
+        for (const cp::Model::LagEdge &edge :
+             model.lagPredecessors(placement.task)) {
+            if (!assign[edge.other].scheduled())
+                return false;
+            est = std::max(est, assign[edge.other].start + edge.lag);
+        }
+        const cp::Mode &mode =
+            model.task(placement.task).modes[placement.mode];
+        cp::Time start = table.earliestStart(mode, est);
+        if (start < 0)
+            return false; // Does not fit within the horizon.
+        table.place(mode, start);
+        assign[placement.task] = {placement.mode, start};
+        end[placement.task] = start + mode.duration;
+    }
+
+    out->tasks = std::move(assign);
+    return checkSchedule(model, *out).empty();
+}
+
 namespace {
 
 /** Solve once at a fixed resolution and fill an EvalResult. */
 EvalResult
 solveAtResolution(const ProblemSpec &spec, double step_s,
-                  const EngineOptions &options)
+                  const EngineOptions &options, const Schedule *hint)
 {
     DiscretizedProblem problem =
         discretize(spec, step_s, options.horizonSteps);
 
+    // Re-time the cross-instance hint onto this resolution.
+    cp::ScheduleVec transferred;
+    const cp::ScheduleVec *hint_vec = nullptr;
+    if (hint && transferSchedule(spec, problem, *hint, &transferred))
+        hint_vec = &transferred;
+
+    EvalResult eval;
     cp::SolverOptions solver_options = options.solver;
     cp::Result result;
     for (int attempt = 0; ; ++attempt) {
         cp::Solver solver(solver_options);
-        cp::Result candidate = solver.solve(problem.model);
+        cp::Result candidate = solver.solve(problem.model, hint_vec);
+        ++eval.solves;
+        eval.totalNodes += candidate.stats.nodes;
+        eval.totalBacktracks += candidate.stats.backtracks;
+        eval.totalSeconds += candidate.stats.seconds;
+        eval.warmStarted =
+            eval.warmStarted || candidate.stats.hintAccepted;
         if (attempt == 0 ||
             (candidate.hasSchedule() &&
              (!result.hasSchedule() ||
@@ -104,7 +281,6 @@ solveAtResolution(const ProblemSpec &spec, double step_s,
         solver_options.seed += 7919; // Diversify the heuristics.
     }
 
-    EvalResult eval;
     eval.status = result.status;
     eval.stepS = step_s;
     eval.stats = result.stats;
@@ -122,7 +298,8 @@ solveAtResolution(const ProblemSpec &spec, double step_s,
 } // anonymous namespace
 
 EvalResult
-evaluate(const ProblemSpec &spec, const EngineOptions &options)
+evaluate(const ProblemSpec &spec, const EngineOptions &options,
+         const EvalReuse &reuse)
 {
     std::string issue = spec.validate();
     if (!issue.empty())
@@ -131,19 +308,69 @@ evaluate(const ProblemSpec &spec, const EngineOptions &options)
     hilp_assert(options.initialStepS > 0.0);
     hilp_assert(options.refineFactor > 1.0);
 
+    // Identical lowered instances solve once per memo.
+    uint64_t key = 0;
+    if (reuse.memo) {
+        key = spec.fingerprint();
+        EvalResult cached;
+        if (reuse.memo->lookup(key, &cached))
+            return cached;
+    }
+
+    // Effort accumulates across every resolution attempted; the
+    // returned result reports the sweep-relevant totals, not just
+    // the final solve's.
+    int solves = 0;
+    int64_t nodes = 0;
+    int64_t backtracks = 0;
+    double seconds = 0.0;
+    bool warm_started = false;
+    auto solve_at = [&](double step_s) {
+        EvalResult r =
+            solveAtResolution(spec, step_s, options, reuse.hint);
+        solves += r.solves;
+        nodes += r.totalNodes;
+        backtracks += r.totalBacktracks;
+        seconds += r.totalSeconds;
+        warm_started = warm_started || r.warmStarted;
+        return r;
+    };
+    auto finish = [&](EvalResult &&r) {
+        r.solves = solves;
+        r.totalNodes = nodes;
+        r.totalBacktracks = backtracks;
+        r.totalSeconds = seconds;
+        r.warmStarted = warm_started;
+        if (reuse.memo)
+            reuse.memo->insert(key, r);
+        return std::move(r);
+    };
+
     // Find a resolution at which a schedule exists, coarsening when
     // the initial horizon is too tight.
     double step = options.initialStepS;
-    EvalResult best = solveAtResolution(spec, step, options);
+    EvalResult best = solve_at(step);
     int coarsenings = 0;
     while (!best.ok && coarsenings < options.maxCoarsenings) {
         step *= options.refineFactor;
         ++coarsenings;
-        best = solveAtResolution(spec, step, options);
+        best = solve_at(step);
         best.refinements = -coarsenings;
     }
     if (!best.ok)
-        return best;
+        return finish(std::move(best));
+
+    // When the sweep already holds a point that dominates anything
+    // this instance can achieve at *any* resolution (the continuous
+    // critical-path bound is beaten at no more area), refinement
+    // cannot change the sweep outcome: stop early with the current
+    // gap-certified result. The coarse certified bound is NOT valid
+    // here - refinement can land below it, since coarse durations
+    // round up - so only the resolution-invariant bound is used.
+    if (reuse.dominated && reuse.dominated(continuousLowerBoundS(spec))) {
+        best.prunedEarly = true;
+        return finish(std::move(best));
+    }
 
     // Refine while the makespan under-uses the horizon (Sec. III-D).
     int refinements = 0;
@@ -153,7 +380,14 @@ evaluate(const ProblemSpec &spec, const EngineOptions &options)
         if (makespan_steps >= options.refineThreshold)
             break;
         double finer = step / options.refineFactor;
-        EvalResult candidate = solveAtResolution(spec, finer, options);
+        // The coarse solution seeds the finer solve; warmStarted
+        // still reports only *cross-instance* hint acceptance.
+        EvalResult candidate =
+            solveAtResolution(spec, finer, options, &best.schedule);
+        solves += candidate.solves;
+        nodes += candidate.totalNodes;
+        backtracks += candidate.totalBacktracks;
+        seconds += candidate.totalSeconds;
         if (!candidate.ok)
             break; // Finer resolution no longer fits the horizon.
         step = finer;
@@ -161,7 +395,13 @@ evaluate(const ProblemSpec &spec, const EngineOptions &options)
         candidate.refinements = refinements - coarsenings;
         best = std::move(candidate);
     }
-    return best;
+    return finish(std::move(best));
+}
+
+EvalResult
+evaluate(const ProblemSpec &spec, const EngineOptions &options)
+{
+    return evaluate(spec, options, EvalReuse{});
 }
 
 } // namespace hilp

@@ -15,6 +15,12 @@
 #ifndef HILP_HILP_ENGINE_HH
 #define HILP_HILP_ENGINE_HH
 
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+
 #include "cp/solver.hh"
 #include "discretize.hh"
 #include "problem.hh"
@@ -69,8 +75,75 @@ struct EvalResult
     int refinements = 0;         //!< Resolution changes performed.
     cp::SolveStats stats;        //!< Stats of the final solve.
 
+    // Effort telemetry across the whole evaluation (all resolutions
+    // and escalation attempts), for the DSE sweep reports.
+    int solves = 0;              //!< CP solves performed.
+    int64_t totalNodes = 0;      //!< B&B nodes across all solves.
+    int64_t totalBacktracks = 0;
+    double totalSeconds = 0.0;   //!< Wall-clock across all solves.
+    bool warmStarted = false;    //!< A transferred hint seeded a solve.
+    bool cacheHit = false;       //!< Result came from a SolveMemo.
+    /** Refinement stopped early: the sweep proved the point dominated. */
+    bool prunedEarly = false;
+
     /** True when the gap meets the paper's 10% near-optimal bar. */
     bool nearOptimal() const { return ok && gap <= 0.10 + 1e-12; }
+};
+
+/**
+ * Thread-safe memo of completed evaluations keyed by
+ * ProblemSpec::fingerprint(). Identical lowered instances then solve
+ * once per sweep. The cache is only sound across evaluations that
+ * share the same EngineOptions, so each caller (e.g. one exploreSpace
+ * sweep) owns its memo rather than sharing a global one.
+ */
+class SolveMemo
+{
+  public:
+    /**
+     * Look up a cached result. On a hit, *out is the cached result
+     * with cacheHit set and its effort counters zeroed (the work was
+     * paid for by the original solve).
+     */
+    bool lookup(uint64_t key, EvalResult *out) const;
+
+    /** Insert a result; the first insertion for a key wins. */
+    void insert(uint64_t key, const EvalResult &result);
+
+    int64_t hits() const { return hits_.load(); }
+    int64_t misses() const { return misses_.load(); }
+
+  private:
+    mutable std::mutex mutex_;
+    std::unordered_map<uint64_t, EvalResult> entries_;
+    mutable std::atomic<int64_t> hits_{0};
+    mutable std::atomic<int64_t> misses_{0};
+};
+
+/**
+ * Cross-instance reuse context for evaluate(): everything the DSE
+ * sweep shares between neighboring configurations.
+ */
+struct EvalReuse
+{
+    /**
+     * A schedule from a similar problem (e.g. the neighboring SoC
+     * config), re-timed onto this problem via transferSchedule() and
+     * fed to the solver as a warm start. May be null.
+     */
+    const Schedule *hint = nullptr;
+    /**
+     * Sweep-level dominance oracle: given a resolution-invariant
+     * lower bound on this instance's makespan (seconds, see
+     * continuousLowerBoundS()), return true when the sweep already
+     * holds a point that provably dominates any result this instance
+     * can achieve at any resolution. The engine then skips resolution
+     * refinement and returns the current (still gap-certified)
+     * result. May be null.
+     */
+    std::function<bool(double lowerBoundS)> dominated;
+    /** Fingerprint-keyed result cache shared across the sweep. */
+    SolveMemo *memo = nullptr;
 };
 
 /**
@@ -80,6 +153,38 @@ struct EvalResult
  */
 EvalResult evaluate(const ProblemSpec &spec,
                     const EngineOptions &options);
+
+/**
+ * As above, with cross-instance reuse: a warm-start hint schedule, a
+ * sweep-level dominance oracle, and a solve cache (any of which may
+ * be null). Reuse only affects effort, not correctness: the returned
+ * makespan always carries its certified bound and gap.
+ */
+EvalResult evaluate(const ProblemSpec &spec,
+                    const EngineOptions &options,
+                    const EvalReuse &reuse);
+
+/**
+ * A lower bound on the continuous-time makespan of the spec: the
+ * longest dependency path in any application with every phase on its
+ * fastest option, ignoring all resource contention. Unlike a solve's
+ * certified bound this holds at *every* discretization (durations
+ * only round up), so it is the sound input to EvalReuse::dominated.
+ */
+double continuousLowerBoundS(const ProblemSpec &spec);
+
+/**
+ * Re-time a schedule produced for a *similar* problem onto this
+ * problem: each scheduled phase keeps its unit choice (matched by
+ * option label, falling back to the fastest mode) and phases are
+ * re-placed in hint start order at their earliest feasible starts.
+ * Returns true and fills *out with a schedule that satisfies every
+ * model constraint, or false when the hint does not transfer (e.g.
+ * different phase structure or no feasible placement).
+ */
+bool transferSchedule(const ProblemSpec &spec,
+                      const DiscretizedProblem &problem,
+                      const Schedule &hint, cp::ScheduleVec *out);
 
 /**
  * Lift a solver schedule back to spec terms. Exposed for tests and

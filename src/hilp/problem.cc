@@ -1,5 +1,6 @@
 #include "problem.hh"
 
+#include "support/hash.hh"
 #include "support/logging.hh"
 #include "support/str.hh"
 
@@ -113,6 +114,59 @@ ProblemSpec::validate() const
         }
     }
     return "";
+}
+
+uint64_t
+ProblemSpec::fingerprint() const
+{
+    Hasher h;
+    h.u64(apps.size());
+    for (const AppSpec &app : apps) {
+        h.str(app.name);
+        h.u64(app.phases.size());
+        for (const PhaseSpec &phase : app.phases) {
+            h.str(phase.name);
+            h.u64(phase.options.size());
+            for (const UnitOption &option : phase.options) {
+                h.str(option.label);
+                h.i64(option.device);
+                h.f64(option.timeS);
+                h.f64(option.bwGBs);
+                h.f64(option.powerW);
+                h.f64(option.cpuCores);
+                h.u64(option.extraUsage.size());
+                for (double usage : option.extraUsage)
+                    h.f64(usage);
+            }
+        }
+        // Hash the *effective* structure so the implicit chain and
+        // an equivalent explicit edge list fingerprint equally.
+        auto deps = app.effectiveDeps();
+        h.u64(deps.size());
+        for (auto [from, to] : deps) {
+            h.i64(from);
+            h.i64(to);
+        }
+        auto lags = app.effectiveStartLags();
+        h.u64(lags.size());
+        for (const StartLag &lag : lags) {
+            h.i64(lag.from);
+            h.i64(lag.to);
+            h.f64(lag.lagS);
+        }
+    }
+    h.u64(deviceNames.size());
+    for (const std::string &device : deviceNames)
+        h.str(device);
+    h.f64(cpuCores);
+    h.f64(powerBudgetW);
+    h.f64(bandwidthGBs);
+    h.u64(extraResources.size());
+    for (const ExtraResource &resource : extraResources) {
+        h.str(resource.name);
+        h.f64(resource.capacity);
+    }
+    return h.digest();
 }
 
 } // namespace hilp

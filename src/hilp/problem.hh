@@ -14,6 +14,7 @@
 #ifndef HILP_HILP_PROBLEM_HH
 #define HILP_HILP_PROBLEM_HH
 
+#include <cstdint>
 #include <limits>
 #include <string>
 #include <utility>
@@ -135,6 +136,17 @@ struct ProblemSpec
      * leaving a phase unschedulable, ...).
      */
     std::string validate() const;
+
+    /**
+     * Canonical content hash of the lowered problem: every phase's
+     * unit options (the T/B/P/E/U matrix entries), the *effective*
+     * dependency structure (so an explicit chain and the implicit
+     * default hash equally), the budgets, and the extra resources.
+     * The spec's own name is excluded; two specs with equal
+     * fingerprints describe the same scheduling instance and may
+     * share a cached solve (see SolveMemo in hilp/engine.hh).
+     */
+    uint64_t fingerprint() const;
 };
 
 } // namespace hilp

@@ -47,6 +47,12 @@ ThreadPool::wait()
 {
     std::unique_lock<std::mutex> lock(mutex_);
     allDone_.wait(lock, [this] { return inFlight_ == 0; });
+    if (firstError_) {
+        std::exception_ptr error = firstError_;
+        firstError_ = nullptr;
+        lock.unlock();
+        std::rethrow_exception(error);
+    }
 }
 
 void
@@ -83,9 +89,16 @@ ThreadPool::workerLoop()
             task = std::move(queue_.front());
             queue_.pop();
         }
-        task();
+        std::exception_ptr error;
+        try {
+            task();
+        } catch (...) {
+            error = std::current_exception();
+        }
         {
             std::unique_lock<std::mutex> lock(mutex_);
+            if (error && !firstError_)
+                firstError_ = error;
             hilp_assert(inFlight_ > 0);
             --inFlight_;
             if (inFlight_ == 0)

@@ -9,6 +9,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -18,9 +19,12 @@
 namespace hilp {
 
 /**
- * Fixed-size worker pool. Tasks are void() callables; exceptions must
- * be handled inside the task (a throwing task panics the process,
- * which is the right behaviour for HILP's batch experiments).
+ * Fixed-size worker pool. Tasks are void() callables. A throw from a
+ * task is captured on the worker (it never escapes into the worker
+ * thread); the first captured exception is rethrown by the next
+ * wait() / parallelFor() on the submitting thread, after all
+ * outstanding tasks have drained. Later exceptions from the same
+ * batch are dropped.
  */
 class ThreadPool
 {
@@ -40,7 +44,11 @@ class ThreadPool
     /** Enqueue a task for execution. */
     void submit(std::function<void()> task);
 
-    /** Block until all submitted tasks have completed. */
+    /**
+     * Block until all submitted tasks have completed. Rethrows the
+     * first exception any of them raised (clearing it, so the pool
+     * stays usable afterwards).
+     */
     void wait();
 
     /** Number of worker threads. */
@@ -49,7 +57,8 @@ class ThreadPool
     /**
      * Run fn(i) for each i in [0, n) across the pool and wait for
      * completion. fn must be safe to invoke concurrently for
-     * distinct indices.
+     * distinct indices. Rethrows the first exception fn raised;
+     * remaining indices may or may not have run by then.
      */
     void parallelFor(size_t n, const std::function<void(size_t)> &fn);
 
@@ -63,6 +72,8 @@ class ThreadPool
     std::condition_variable allDone_;
     size_t inFlight_ = 0;
     bool shutdown_ = false;
+    /** First exception thrown by a task since the last wait(). */
+    std::exception_ptr firstError_;
 };
 
 } // namespace hilp

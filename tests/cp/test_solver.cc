@@ -196,6 +196,93 @@ TEST(Solver, SolveStatsArePopulated)
     EXPECT_GE(r.stats.seconds, 0.0);
 }
 
+/** A moderately hard instance: three devices, power, precedence. */
+Model
+contendedModel(int tasks)
+{
+    Model m;
+    m.addResource(4.0, "power");
+    int g0 = m.addGroup("G0");
+    int g1 = m.addGroup("G1");
+    Rng rng(12345);
+    for (int i = 0; i < tasks; ++i) {
+        Task t;
+        t.name = "t" + std::to_string(i);
+        t.modes.push_back({kNoGroup,
+                           static_cast<Time>(rng.uniformInt(3, 6)),
+                           {1.0}});
+        t.modes.push_back({rng.chance(0.5) ? g0 : g1,
+                           static_cast<Time>(rng.uniformInt(1, 3)),
+                           {2.0}});
+        m.addTask(t);
+        if (i > 0 && rng.chance(0.4))
+            m.addPrecedence(static_cast<int>(rng.uniformInt(0, i - 1)),
+                            i);
+    }
+    m.setHorizon(200);
+    return m;
+}
+
+TEST(Solver, RepeatedSolvesAreDeterministic)
+{
+    Model m = contendedModel(10);
+    SolverOptions options = exactOptions();
+    Result a = Solver(options).solve(m);
+    Result b = Solver(options).solve(m);
+    ASSERT_TRUE(a.hasSchedule());
+    ASSERT_TRUE(b.hasSchedule());
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.lowerBound, b.lowerBound);
+    EXPECT_EQ(a.stats.nodes, b.stats.nodes);
+    EXPECT_EQ(a.stats.backtracks, b.stats.backtracks);
+    ASSERT_EQ(a.schedule.tasks.size(), b.schedule.tasks.size());
+    for (size_t t = 0; t < a.schedule.tasks.size(); ++t) {
+        EXPECT_EQ(a.schedule.tasks[t].mode, b.schedule.tasks[t].mode);
+        EXPECT_EQ(a.schedule.tasks[t].start,
+                  b.schedule.tasks[t].start);
+    }
+}
+
+TEST(Solver, FeasibleHintIsAcceptedAndNeverWorsened)
+{
+    Model m = contendedModel(10);
+    Result cold = Solver(exactOptions()).solve(m);
+    ASSERT_TRUE(cold.hasSchedule());
+
+    // Starve the solver so the hint has to carry the result.
+    SolverOptions tight;
+    tight.targetGap = 0.0;
+    tight.maxNodes = 1;
+    Result warm = Solver(tight).solve(m, &cold.schedule);
+    ASSERT_TRUE(warm.hasSchedule());
+    EXPECT_TRUE(warm.stats.hintAccepted);
+    EXPECT_EQ(warm.stats.hintMakespan, cold.makespan);
+    EXPECT_LE(warm.makespan, cold.makespan);
+}
+
+TEST(Solver, InvalidHintIsIgnored)
+{
+    Model m = contendedModel(6);
+    // A hint that violates the model (all tasks overlap at start 0
+    // on their device modes) must be rejected, not crash the solve.
+    ScheduleVec bogus;
+    bogus.tasks.assign(m.numTasks(), Assignment{1, 0});
+    Result r = Solver(exactOptions()).solve(m, &bogus);
+    ASSERT_TRUE(r.hasSchedule());
+    EXPECT_FALSE(r.stats.hintAccepted);
+    EXPECT_TRUE(checkSchedule(m, r.schedule).empty());
+}
+
+TEST(Solver, NullHintMatchesPlainSolve)
+{
+    Model m = contendedModel(8);
+    Result plain = Solver(exactOptions()).solve(m);
+    Result with_null = Solver(exactOptions()).solve(m, nullptr);
+    ASSERT_TRUE(plain.hasSchedule());
+    EXPECT_EQ(plain.makespan, with_null.makespan);
+    EXPECT_EQ(plain.stats.nodes, with_null.stats.nodes);
+}
+
 /**
  * Randomized cross-check against the brute-force oracle. Instances
  * are kept tiny (3 tasks, horizon 6) so exhaustive enumeration is

@@ -189,6 +189,111 @@ TEST(Explore, UnschedulableConfigReportsNotOk)
                                    ModelKind::Hilp, options);
     EXPECT_FALSE(point.ok);
     EXPECT_DOUBLE_EQ(point.speedup, 0.0);
+    // The silent-drop bug: the reason must be reported, not lost.
+    EXPECT_FALSE(point.note.empty());
+    EXPECT_EQ(point.status, cp::SolveStatus::NoSolution);
+}
+
+/** A small but non-trivial HILP design space: two warm-start chains. */
+std::vector<arch::SocConfig>
+smallHilpSpace()
+{
+    std::vector<arch::SocConfig> configs;
+    for (int cpus : {2, 4}) {
+        for (int sms : {4, 16, 64}) {
+            arch::SocConfig c;
+            c.cpuCores = cpus;
+            c.gpuSms = sms;
+            configs.push_back(c);
+        }
+    }
+    return configs;
+}
+
+DseOptions
+fastHilpOptions()
+{
+    DseOptions options;
+    options.engine.solver.maxSeconds = 2.0;
+    options.threads = 2;
+    return options;
+}
+
+TEST(Explore, ReuseMatchesColdStartResults)
+{
+    auto wl = workload::makeWorkload(workload::Variant::Default);
+    auto configs = smallHilpSpace();
+
+    DseOptions cold = fastHilpOptions();
+    cold.reuse = false;
+    auto cold_points = exploreSpace(configs, wl, arch::Constraints{},
+                                    ModelKind::Hilp, cold);
+
+    DseOptions warm = fastHilpOptions();
+    auto warm_points = exploreSpace(configs, wl, arch::Constraints{},
+                                    ModelKind::Hilp, warm);
+
+    ASSERT_EQ(cold_points.size(), warm_points.size());
+    for (size_t i = 0; i < cold_points.size(); ++i) {
+        ASSERT_EQ(cold_points[i].ok, warm_points[i].ok) << i;
+        if (!cold_points[i].ok)
+            continue;
+        // Reuse changes solver effort, never certified quality: both
+        // runs must agree within their certified optimality gaps.
+        double tolerance = cold_points[i].makespanS *
+            (cold_points[i].gap + warm_points[i].gap + 1e-9);
+        EXPECT_NEAR(warm_points[i].makespanS,
+                    cold_points[i].makespanS, tolerance) << i;
+    }
+}
+
+TEST(Explore, ReuseChainsWarmStartLargerGpus)
+{
+    auto wl = workload::makeWorkload(workload::Variant::Default);
+    auto configs = smallHilpSpace();
+    auto points = exploreSpace(configs, wl, arch::Constraints{},
+                               ModelKind::Hilp, fastHilpOptions());
+    // The first config of each (cpu) chain solves cold; at least one
+    // larger-GPU neighbor must have accepted the transferred hint.
+    int warm_started = 0;
+    for (const DsePoint &point : points)
+        warm_started += point.warmStarted ? 1 : 0;
+    EXPECT_GT(warm_started, 0);
+}
+
+TEST(Explore, SharedMemoServesRepeatSweep)
+{
+    auto wl = workload::makeWorkload(workload::Variant::Default);
+    auto configs = smallHilpSpace();
+    SolveMemo memo;
+    DseOptions options = fastHilpOptions();
+    options.memo = &memo;
+
+    auto first = exploreSpace(configs, wl, arch::Constraints{},
+                              ModelKind::Hilp, options);
+    auto second = exploreSpace(configs, wl, arch::Constraints{},
+                               ModelKind::Hilp, options);
+    ASSERT_EQ(first.size(), second.size());
+    for (size_t i = 0; i < second.size(); ++i) {
+        EXPECT_TRUE(second[i].cacheHit) << i;
+        EXPECT_EQ(second[i].solves, 0) << i;
+        EXPECT_DOUBLE_EQ(second[i].makespanS, first[i].makespanS) << i;
+    }
+}
+
+TEST(Explore, SolverTelemetryIsPopulated)
+{
+    auto wl = workload::makeWorkload(workload::Variant::Default);
+    arch::SocConfig config;
+    config.cpuCores = 2;
+    config.gpuSms = 16;
+    DsePoint point = evaluatePoint(config, wl, arch::Constraints{},
+                                   ModelKind::Hilp, fastHilpOptions());
+    ASSERT_TRUE(point.ok);
+    EXPECT_GT(point.solves, 0);
+    EXPECT_GT(point.nodes, 0);
+    EXPECT_GE(point.solveSeconds, 0.0);
+    EXPECT_TRUE(point.note.empty());
 }
 
 } // anonymous namespace

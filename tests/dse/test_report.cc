@@ -42,6 +42,83 @@ TEST(Report, CsvHasHeaderAndOneRowPerPoint)
     EXPECT_NE(csv.find("(c2,g16,d0^0)"), std::string::npos);
 }
 
+TEST(Report, CsvCarriesSolverTelemetryAndNotes)
+{
+    DsePoint solved;
+    solved.ok = true;
+    solved.status = cp::SolveStatus::NearOptimal;
+    solved.nodes = 1234;
+    solved.backtracks = 56;
+    solved.solves = 3;
+    solved.solveSeconds = 0.25;
+    solved.warmStarted = true;
+    DsePoint failed;
+    failed.note = "phase x, unschedulable\nunder budget";
+
+    std::string csv = pointsToCsv({solved, failed});
+    EXPECT_NE(csv.find("status,nodes,backtracks,solves,solve_s,"
+                       "cache_hit,warm_start,pruned,note"),
+              std::string::npos);
+    EXPECT_NE(csv.find("near-optimal,1234,56,3"), std::string::npos);
+    // Notes must not smuggle in field or record separators.
+    EXPECT_NE(csv.find("phase x; unschedulable under budget"),
+              std::string::npos);
+}
+
+TEST(Report, JsonCarriesSolverTelemetryAndNotes)
+{
+    DsePoint point;
+    point.note = "solver gave up: no-solution";
+    point.cacheHit = true;
+    std::string text = pointsToJson({point}).dump();
+    EXPECT_NE(text.find("\"note\""), std::string::npos);
+    EXPECT_NE(text.find("solver gave up"), std::string::npos);
+    EXPECT_NE(text.find("\"cache_hit\""), std::string::npos);
+    EXPECT_NE(text.find("\"nodes\""), std::string::npos);
+}
+
+TEST(Report, SweepSummaryTalliesTelemetry)
+{
+    DsePoint ok_point;
+    ok_point.ok = true;
+    ok_point.solves = 2;
+    ok_point.nodes = 100;
+    ok_point.backtracks = 10;
+    ok_point.solveSeconds = 0.5;
+    ok_point.warmStarted = true;
+    DsePoint cached = ok_point;
+    cached.cacheHit = true;
+    cached.solves = 0;
+    cached.nodes = 0;
+    cached.backtracks = 0;
+    cached.solveSeconds = 0.0;
+    cached.warmStarted = false;
+    DsePoint invalid; // Spec validation failure: zero solves.
+    invalid.note = "no option within budget";
+    DsePoint unsolved; // Solver ran and gave up.
+    unsolved.solves = 1;
+    unsolved.nodes = 7;
+    unsolved.note = "solver gave up: no-solution";
+
+    SweepSummary summary =
+        summarizeSweep({ok_point, cached, invalid, unsolved});
+    EXPECT_EQ(summary.points, 4);
+    EXPECT_EQ(summary.ok, 2);
+    EXPECT_EQ(summary.infeasible, 1);
+    EXPECT_EQ(summary.noSolution, 1);
+    EXPECT_EQ(summary.cacheHits, 1);
+    EXPECT_EQ(summary.warmStarted, 1);
+    EXPECT_EQ(summary.pruned, 0);
+    EXPECT_EQ(summary.solves, 3);
+    EXPECT_EQ(summary.nodes, 107);
+    EXPECT_EQ(summary.backtracks, 10);
+    EXPECT_NEAR(summary.solveSeconds, 0.5, 1e-12);
+
+    std::string line = toString(summary);
+    EXPECT_NE(line.find("4 points"), std::string::npos);
+    EXPECT_NE(line.find("cache hits"), std::string::npos);
+}
+
 TEST(Report, JsonHasOneEntryPerPoint)
 {
     auto points = smallSweep();

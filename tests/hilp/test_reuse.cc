@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Tests of the cross-instance solver-reuse layer: problem
+ * fingerprints, the solve memo, schedule transfer between similar
+ * problems, and the reuse-aware evaluate() entry point.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cp/model.hh"
+#include "hilp/discretize.hh"
+#include "hilp/engine.hh"
+#include "hilp/showcase.hh"
+
+namespace hilp {
+namespace {
+
+EngineOptions
+exampleOptions()
+{
+    EngineOptions options;
+    options.initialStepS = 1.0;
+    options.horizonSteps = 64;
+    options.maxRefinements = 0;
+    options.solver.targetGap = 0.0;
+    return options;
+}
+
+TEST(Fingerprint, StableAcrossCallsAndCopies)
+{
+    ProblemSpec spec = makeTwoAppExample();
+    ProblemSpec copy = spec;
+    EXPECT_EQ(spec.fingerprint(), spec.fingerprint());
+    EXPECT_EQ(spec.fingerprint(), copy.fingerprint());
+}
+
+TEST(Fingerprint, IgnoresTheSpecName)
+{
+    ProblemSpec a = makeTwoAppExample();
+    ProblemSpec b = a;
+    b.name = "same instance, different label";
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+TEST(Fingerprint, SensitiveToEveryMatrixEntry)
+{
+    ProblemSpec base = makeTwoAppExample();
+    uint64_t reference = base.fingerprint();
+
+    ProblemSpec changed = base;
+    changed.apps[0].phases[0].options[0].timeS += 0.5;
+    EXPECT_NE(changed.fingerprint(), reference);
+
+    changed = base;
+    changed.apps[0].phases[0].options[0].powerW += 1.0;
+    EXPECT_NE(changed.fingerprint(), reference);
+
+    changed = base;
+    changed.powerBudgetW = 3.0;
+    EXPECT_NE(changed.fingerprint(), reference);
+
+    changed = base;
+    changed.cpuCores += 1.0;
+    EXPECT_NE(changed.fingerprint(), reference);
+
+    changed = base;
+    changed.deviceNames.push_back("NPU");
+    EXPECT_NE(changed.fingerprint(), reference);
+}
+
+TEST(Fingerprint, ImplicitChainEqualsExplicitChain)
+{
+    ProblemSpec implicit = makeTwoAppExample();
+    ProblemSpec explicit_chain = implicit;
+    for (AppSpec &app : explicit_chain.apps) {
+        ASSERT_TRUE(app.deps.empty());
+        for (int p = 0; p + 1 < static_cast<int>(app.phases.size());
+             ++p)
+            app.deps.emplace_back(p, p + 1);
+    }
+    EXPECT_EQ(implicit.fingerprint(), explicit_chain.fingerprint());
+}
+
+TEST(SolveMemo, MissThenHit)
+{
+    SolveMemo memo;
+    EvalResult out;
+    EXPECT_FALSE(memo.lookup(42, &out));
+    EXPECT_EQ(memo.misses(), 1);
+
+    EvalResult stored;
+    stored.ok = true;
+    stored.makespanS = 7.0;
+    stored.solves = 3;
+    stored.totalNodes = 100;
+    stored.totalSeconds = 1.5;
+    stored.warmStarted = true;
+    memo.insert(42, stored);
+
+    ASSERT_TRUE(memo.lookup(42, &out));
+    EXPECT_EQ(memo.hits(), 1);
+    EXPECT_TRUE(out.ok);
+    EXPECT_DOUBLE_EQ(out.makespanS, 7.0);
+    EXPECT_TRUE(out.cacheHit);
+    // A hit reports zero *new* effort.
+    EXPECT_EQ(out.solves, 0);
+    EXPECT_EQ(out.totalNodes, 0);
+    EXPECT_DOUBLE_EQ(out.totalSeconds, 0.0);
+    EXPECT_FALSE(out.warmStarted);
+}
+
+TEST(SolveMemo, FirstInsertionWins)
+{
+    SolveMemo memo;
+    EvalResult first;
+    first.makespanS = 1.0;
+    EvalResult second;
+    second.makespanS = 2.0;
+    memo.insert(7, first);
+    memo.insert(7, second);
+    EvalResult out;
+    ASSERT_TRUE(memo.lookup(7, &out));
+    EXPECT_DOUBLE_EQ(out.makespanS, 1.0);
+}
+
+TEST(TransferSchedule, RoundTripsOntoTheSameProblem)
+{
+    ProblemSpec spec = makeTwoAppExample();
+    EvalResult solved = evaluate(spec, exampleOptions());
+    ASSERT_TRUE(solved.ok);
+
+    DiscretizedProblem problem = discretize(spec, 1.0, 64);
+    cp::ScheduleVec transferred;
+    ASSERT_TRUE(transferSchedule(spec, problem, solved.schedule,
+                                 &transferred));
+    EXPECT_TRUE(cp::checkSchedule(problem.model, transferred).empty());
+    // Re-placing an optimal schedule in its own start order cannot
+    // make it longer.
+    EXPECT_LE(transferred.makespan(problem.model) * problem.stepS,
+              solved.makespanS + 1e-9);
+}
+
+TEST(TransferSchedule, AdaptsToAFasterNeighborConfig)
+{
+    // Solve the example, then transfer its schedule onto a variant
+    // where every GPU option runs twice as fast - the shape of a
+    // neighboring SoC with a larger GPU.
+    ProblemSpec spec = makeTwoAppExample();
+    EvalResult solved = evaluate(spec, exampleOptions());
+    ASSERT_TRUE(solved.ok);
+
+    ProblemSpec faster = spec;
+    for (AppSpec &app : faster.apps)
+        for (PhaseSpec &phase : app.phases)
+            for (UnitOption &option : phase.options)
+                if (option.device != kCpuPool)
+                    option.timeS *= 0.5;
+
+    DiscretizedProblem problem = discretize(faster, 1.0, 64);
+    cp::ScheduleVec transferred;
+    ASSERT_TRUE(transferSchedule(faster, problem, solved.schedule,
+                                 &transferred));
+    EXPECT_TRUE(cp::checkSchedule(problem.model, transferred).empty());
+}
+
+TEST(TransferSchedule, RejectsMismatchedPhaseStructure)
+{
+    ProblemSpec spec = makeTwoAppExample();
+    EvalResult solved = evaluate(spec, exampleOptions());
+    ASSERT_TRUE(solved.ok);
+
+    ProblemSpec different = spec;
+    different.apps.pop_back();
+    DiscretizedProblem problem = discretize(different, 1.0, 64);
+    cp::ScheduleVec transferred;
+    EXPECT_FALSE(transferSchedule(different, problem, solved.schedule,
+                                  &transferred));
+}
+
+TEST(Evaluate, WarmStartNeverWorseThanCold)
+{
+    ProblemSpec spec = makeTwoAppExample();
+    EvalResult cold = evaluate(spec, exampleOptions());
+    ASSERT_TRUE(cold.ok);
+
+    EvalReuse reuse;
+    reuse.hint = &cold.schedule;
+    EvalResult warm = evaluate(spec, exampleOptions(), reuse);
+    ASSERT_TRUE(warm.ok);
+    EXPECT_TRUE(warm.warmStarted);
+    EXPECT_LE(warm.makespanS, cold.makespanS + 1e-9);
+    EXPECT_DOUBLE_EQ(warm.gap, cold.gap);
+}
+
+TEST(Evaluate, MemoServesTheSecondEvaluation)
+{
+    ProblemSpec spec = makeTwoAppExample();
+    SolveMemo memo;
+    EvalReuse reuse;
+    reuse.memo = &memo;
+
+    EvalResult first = evaluate(spec, exampleOptions(), reuse);
+    ASSERT_TRUE(first.ok);
+    EXPECT_FALSE(first.cacheHit);
+    EXPECT_GT(first.solves, 0);
+
+    EvalResult second = evaluate(spec, exampleOptions(), reuse);
+    ASSERT_TRUE(second.ok);
+    EXPECT_TRUE(second.cacheHit);
+    EXPECT_EQ(second.solves, 0);
+    EXPECT_DOUBLE_EQ(second.makespanS, first.makespanS);
+    EXPECT_EQ(memo.hits(), 1);
+    EXPECT_EQ(memo.misses(), 1);
+}
+
+TEST(Evaluate, ContinuousBoundHoldsAtEveryResolution)
+{
+    // The dominance oracle's input must lower-bound the makespan at
+    // any discretization, coarse or fine.
+    ProblemSpec spec = makeTwoAppExample();
+    double bound = continuousLowerBoundS(spec);
+    EXPECT_GT(bound, 0.0);
+    for (double step : {0.5, 1.0, 4.0}) {
+        EngineOptions options = exampleOptions();
+        options.initialStepS = step;
+        options.horizonSteps = 128;
+        EvalResult result = evaluate(spec, options);
+        ASSERT_TRUE(result.ok) << step;
+        EXPECT_GE(result.makespanS, bound - 1e-9) << step;
+    }
+}
+
+TEST(Evaluate, DominanceOracleStopsRefinement)
+{
+    // Force a refinement-eager setup, then tell the engine the point
+    // is dominated: it must return the coarse result, flagged.
+    ProblemSpec spec = makeTwoAppExample();
+    EngineOptions options;
+    options.initialStepS = 4.0;
+    options.horizonSteps = 64;
+    options.refineThreshold = 16;
+    options.refineFactor = 2.0;
+    options.maxRefinements = 3;
+    options.solver.targetGap = 0.0;
+
+    EvalReuse reuse;
+    reuse.dominated = [](double) { return true; };
+    EvalResult pruned = evaluate(spec, options, reuse);
+    ASSERT_TRUE(pruned.ok);
+    EXPECT_TRUE(pruned.prunedEarly);
+    EXPECT_EQ(pruned.refinements, 0);
+    EXPECT_DOUBLE_EQ(pruned.stepS, 4.0);
+
+    // And with an oracle that says "not dominated", refinement runs.
+    reuse.dominated = [](double) { return false; };
+    EvalResult refined = evaluate(spec, options, reuse);
+    ASSERT_TRUE(refined.ok);
+    EXPECT_FALSE(refined.prunedEarly);
+    EXPECT_GT(refined.refinements, 0);
+}
+
+} // anonymous namespace
+} // namespace hilp

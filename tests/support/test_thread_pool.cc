@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "support/thread_pool.hh"
@@ -75,6 +77,73 @@ TEST(ThreadPool, SequentialParallelForBatches)
     for (int round = 0; round < 5; ++round)
         pool.parallelFor(20, [&](size_t) { ++counter; });
     EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForFewerItemsThanThreads)
+{
+    ThreadPool pool(8);
+    std::vector<std::atomic<int>> hits(3);
+    pool.parallelFor(hits.size(), [&](size_t i) { ++hits[i]; });
+    for (const auto &hit : hits)
+        EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForManyMoreItemsThanThreads)
+{
+    ThreadPool pool(2);
+    std::atomic<long> sum{0};
+    const size_t n = 10000;
+    pool.parallelFor(n, [&](size_t i) { sum += static_cast<long>(i); });
+    EXPECT_EQ(sum.load(), static_cast<long>(n * (n - 1) / 2));
+}
+
+TEST(ThreadPool, TaskExceptionRethrownFromWait)
+{
+    ThreadPool pool(4);
+    pool.submit([] { throw std::runtime_error("task boom"); });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    // The error is cleared: the pool stays usable.
+    std::atomic<int> counter{0};
+    pool.submit([&counter] { ++counter; });
+    pool.wait();
+    EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForRethrowsWithoutHanging)
+{
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    try {
+        pool.parallelFor(100, [&](size_t i) {
+            if (i == 13)
+                throw std::runtime_error("index 13");
+            ++ran;
+        });
+        FAIL() << "exception did not propagate";
+    } catch (const std::runtime_error &e) {
+        EXPECT_EQ(std::string(e.what()), "index 13");
+    }
+    // All indices finished or were abandoned; either way the pool
+    // must have drained and still accept new work.
+    pool.parallelFor(10, [&](size_t) { ++ran; });
+    EXPECT_GE(ran.load(), 10);
+}
+
+TEST(ThreadPool, FirstOfManyExceptionsWins)
+{
+    ThreadPool pool(2);
+    std::atomic<int> thrown{0};
+    for (int i = 0; i < 20; ++i) {
+        pool.submit([&thrown] {
+            ++thrown;
+            throw std::runtime_error("boom");
+        });
+    }
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    // Every task ran to completion (none deadlocked the counter) and
+    // a subsequent wait() has nothing left to report.
+    EXPECT_EQ(thrown.load(), 20);
+    pool.wait();
 }
 
 } // anonymous namespace
