@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Solver microbenchmark on pinned instances. Runs the CP solver on a
+ * fixed set of deterministic lowered models, reports the median wall
+ * time together with the search and propagation-engine telemetry,
+ * and writes the whole measurement to BENCH_solver.json so solver
+ * changes can be compared run-over-run (wall time should drop or
+ * node counts shrink; anything else is a regression).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "common.hh"
+#include "cp/solver.hh"
+#include "hilp/builder.hh"
+#include "hilp/discretize.hh"
+#include "support/json.hh"
+#include "support/table.hh"
+
+namespace {
+
+using namespace hilp;
+
+using Clock = std::chrono::steady_clock;
+
+constexpr int kRepeats = 5;
+
+struct Instance
+{
+    std::string name;
+    cp::Model model;
+    cp::SolverOptions options;
+};
+
+/**
+ * Pinned instances: deterministic workload, SoC shape, resolution,
+ * and solver budget, covering the regimes the DSE sweep exercises -
+ * a proof-heavy exact solve, an exploration-budget near-optimal
+ * solve, and a tightly power-constrained one.
+ */
+std::vector<Instance>
+makeInstances()
+{
+    auto wl = workload::makeWorkload(workload::Variant::Default);
+    auto priority = workload::dsaPriorityOrder();
+
+    std::vector<Instance> instances;
+    {
+        arch::SocConfig soc;
+        soc.cpuCores = 4;
+        soc.gpuSms = 16;
+        soc.dsas = {{16, priority[0]}, {16, priority[1]}};
+        ProblemSpec spec = buildProblem(wl, soc, arch::Constraints{});
+        cp::SolverOptions options;
+        options.maxSeconds = 2.0;
+        options.targetGap = 0.0; // Search for a proven optimum.
+        instances.push_back({"exact (c4,g16,d2^16)",
+                             discretize(spec, 2.0, 1000).model,
+                             options});
+    }
+    {
+        arch::SocConfig soc;
+        soc.cpuCores = 2;
+        soc.gpuSms = 32;
+        ProblemSpec spec = buildProblem(wl, soc, arch::Constraints{});
+        cp::SolverOptions options;
+        options.maxSeconds = 1.0;
+        options.targetGap = 0.10; // Exploration budget.
+        instances.push_back({"explore (c2,g32,d0^0)",
+                             discretize(spec, 2.0, 1000).model,
+                             options});
+    }
+    {
+        arch::Constraints constraints;
+        constraints.powerBudgetW = 50.0;
+        arch::SocConfig soc;
+        soc.cpuCores = 4;
+        soc.gpuSms = 64;
+        ProblemSpec spec = buildProblem(
+            workload::makeWorkload(workload::Variant::Optimized),
+            soc, constraints);
+        cp::SolverOptions options;
+        options.maxSeconds = 2.0;
+        options.targetGap = 0.0;
+        instances.push_back({"50 W (c4,g64,d0^0)",
+                             discretize(spec, 2.0, 1000).model,
+                             options});
+    }
+    return instances;
+}
+
+struct Measurement
+{
+    std::string name;
+    double medianS = 0.0;
+    cp::Result result;
+};
+
+Measurement
+measure(const Instance &instance)
+{
+    Measurement m;
+    m.name = instance.name;
+    std::vector<double> times;
+    for (int rep = 0; rep < kRepeats; ++rep) {
+        cp::Solver solver(instance.options);
+        Clock::time_point t0 = Clock::now();
+        cp::Result result = solver.solve(instance.model);
+        times.push_back(std::chrono::duration<double>(
+            Clock::now() - t0).count());
+        // The solver is deterministic: every repeat explores the
+        // same tree, so the telemetry of the last run stands in for
+        // all of them.
+        m.result = std::move(result);
+    }
+    std::sort(times.begin(), times.end());
+    m.medianS = times[times.size() / 2];
+    return m;
+}
+
+void
+emitReport(const std::vector<Measurement> &measurements)
+{
+    bench::banner(
+        "Solver microbenchmark - pinned instances",
+        "Median-of-5 wall time plus search and propagation-engine\n"
+        "telemetry on fixed lowered models; the same numbers are\n"
+        "written to BENCH_solver.json for run-over-run comparison.");
+
+    Table table({"instance", "median (ms)", "nodes", "backtracks",
+                 "gap", "status"});
+    table.setAlign(0, Table::Align::Left);
+    for (const Measurement &m : measurements) {
+        table.addRow(RowBuilder()
+                         .cell(m.name)
+                         .cell(m.medianS * 1e3, 2)
+                         .cell(m.result.stats.nodes)
+                         .cell(m.result.stats.backtracks)
+                         .cell(m.result.gap(), 3)
+                         .cell(std::string(
+                             cp::toString(m.result.status)))
+                         .take());
+    }
+    table.print();
+
+    for (const Measurement &m : measurements) {
+        std::printf("%s propagators:", m.name.c_str());
+        for (const cp::PropagatorStats &p :
+             m.result.stats.propagators) {
+            std::printf(" %s %lld inv / %lld prune",
+                        p.name.c_str(),
+                        static_cast<long long>(p.invocations),
+                        static_cast<long long>(p.prunings));
+        }
+        std::printf("\n");
+    }
+
+    Json instances = Json::array();
+    int64_t total_nodes = 0;
+    double total_median_s = 0.0;
+    for (const Measurement &m : measurements) {
+        Json entry = Json::object();
+        entry.set("name", Json::string(m.name));
+        entry.set("median_s", Json::number(m.medianS));
+        entry.set("status", Json::string(
+            cp::toString(m.result.status)));
+        entry.set("makespan_steps", Json::number(
+            static_cast<int64_t>(m.result.makespan)));
+        entry.set("lower_bound_steps", Json::number(
+            static_cast<int64_t>(m.result.lowerBound)));
+        entry.set("gap", Json::number(m.result.gap()));
+        entry.set("nodes", Json::number(m.result.stats.nodes));
+        entry.set("backtracks", Json::number(
+            m.result.stats.backtracks));
+        Json propagators = Json::array();
+        for (const cp::PropagatorStats &p :
+             m.result.stats.propagators) {
+            Json prop = Json::object();
+            prop.set("name", Json::string(p.name));
+            prop.set("invocations", Json::number(p.invocations));
+            prop.set("prunings", Json::number(p.prunings));
+            prop.set("seconds", Json::number(p.seconds));
+            propagators.append(std::move(prop));
+        }
+        entry.set("propagators", std::move(propagators));
+        instances.append(std::move(entry));
+        total_nodes += m.result.stats.nodes;
+        total_median_s += m.medianS;
+    }
+    Json report = Json::object();
+    report.set("benchmark", Json::string("solver_micro"));
+    report.set("repeats", Json::number(
+        static_cast<int64_t>(kRepeats)));
+    report.set("instances", std::move(instances));
+    Json totals = Json::object();
+    totals.set("median_s", Json::number(total_median_s));
+    totals.set("nodes", Json::number(total_nodes));
+    report.set("totals", std::move(totals));
+
+    std::ofstream file("BENCH_solver.json");
+    file << report.dump(2) << "\n";
+    std::printf("wrote BENCH_solver.json (total median %.3fs, "
+                "%lld nodes)\n", total_median_s,
+                static_cast<long long>(total_nodes));
+}
+
+void
+BM_SolveExact(benchmark::State &state)
+{
+    auto instances = makeInstances();
+    for (auto _ : state) {
+        cp::Result result =
+            cp::Solver(instances[0].options).solve(instances[0].model);
+        benchmark::DoNotOptimize(result.makespan);
+    }
+}
+BENCHMARK(BM_SolveExact)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+void
+BM_SolveExplore(benchmark::State &state)
+{
+    auto instances = makeInstances();
+    for (auto _ : state) {
+        cp::Result result =
+            cp::Solver(instances[1].options).solve(instances[1].model);
+        benchmark::DoNotOptimize(result.makespan);
+    }
+}
+BENCHMARK(BM_SolveExplore)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<Measurement> measurements;
+    for (const Instance &instance : makeInstances())
+        measurements.push_back(measure(instance));
+    emitReport(measurements);
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,29 @@
+#!/usr/bin/env sh
+# Run the full verification gate: the plain build plus the sanitized
+# (ASan + UBSan) build, each followed by the tier1 test suite. This is
+# the one command to run before sending a change for review.
+#
+# Usage: scripts/check.sh [jobs]
+#   jobs  parallel build/test width (default: nproc)
+
+set -eu
+
+cd "$(dirname "$0")/.."
+jobs="${1:-$(nproc 2>/dev/null || echo 4)}"
+
+run_suite() {
+    build_dir="$1"
+    shift
+    echo "==> configure ${build_dir} ($*)"
+    cmake -B "${build_dir}" -S . "$@"
+    echo "==> build ${build_dir}"
+    cmake --build "${build_dir}" -j "${jobs}"
+    echo "==> test ${build_dir} (tier1)"
+    ctest --test-dir "${build_dir}" -L tier1 -j "${jobs}" \
+        --output-on-failure
+}
+
+run_suite build
+run_suite build-asan -DHILP_SANITIZE=ON
+
+echo "==> all checks passed"

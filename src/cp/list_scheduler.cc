@@ -6,7 +6,7 @@
 #include "bounds.hh"
 #include "support/logging.hh"
 #include "support/random.hh"
-#include "timetable.hh"
+#include "profile.hh"
 
 namespace hilp {
 namespace cp {
@@ -47,7 +47,7 @@ listSchedule(const Model &model, const std::vector<int> &priority,
 
     ListResult result;
     result.schedule.tasks.assign(n, Assignment{});
-    Timetable table(model);
+    Profile table(model);
 
     std::vector<Time> end(n, 0);
     std::vector<Time> start(n, 0);

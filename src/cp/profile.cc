@@ -1,0 +1,227 @@
+#include "profile.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace hilp {
+namespace cp {
+
+Units
+toUnits(double value)
+{
+    return static_cast<Units>(
+        std::llround(value * static_cast<double>(kUnitScale)));
+}
+
+double
+fromUnits(Units units)
+{
+    return static_cast<double>(units) /
+           static_cast<double>(kUnitScale);
+}
+
+Profile::Profile(const Model &model)
+    : model_(model),
+      horizon_(model.horizon())
+{
+    hilp_assert(horizon_ > 0);
+    resources_.assign(model.numResources(), {Segment{0, 0}});
+    groups_.resize(model.numGroups());
+    capUnits_.reserve(model.numResources());
+    for (int r = 0; r < model.numResources(); ++r)
+        capUnits_.push_back(toUnits(model.capacity(r)));
+    unitsScratch_.resize(model.numResources(), 0);
+}
+
+size_t
+Profile::segmentAt(int r, Time step) const
+{
+    const std::vector<Segment> &segs = resources_[r];
+    // Last segment whose start is <= step.
+    auto it = std::upper_bound(
+        segs.begin(), segs.end(), step,
+        [](Time s, const Segment &seg) { return s < seg.start; });
+    hilp_assert(it != segs.begin());
+    return static_cast<size_t>(it - segs.begin()) - 1;
+}
+
+void
+Profile::addUsage(int r, Time start, Time end, Units delta)
+{
+    if (delta == 0 || start >= end)
+        return;
+    std::vector<Segment> &segs = resources_[r];
+
+    // Ensure a breakpoint at start.
+    size_t i = segmentAt(r, start);
+    if (segs[i].start != start) {
+        segs.insert(segs.begin() + static_cast<ptrdiff_t>(i) + 1,
+                    Segment{start, segs[i].level});
+        ++i;
+    }
+    // Last segment starting before end.
+    size_t j = i;
+    while (j + 1 < segs.size() && segs[j + 1].start < end)
+        ++j;
+    // Ensure a breakpoint at end (the tail keeps the old level).
+    Time j_end = j + 1 < segs.size() ? segs[j + 1].start : horizon_;
+    if (j_end > end) {
+        segs.insert(segs.begin() + static_cast<ptrdiff_t>(j) + 1,
+                    Segment{end, segs[j].level});
+    }
+    for (size_t k = i; k <= j; ++k)
+        segs[k].level += delta;
+
+    // Restore canonical form at the two junctions. Interior
+    // junctions cannot collapse: both sides moved by the same delta.
+    if (j + 1 < segs.size() && segs[j + 1].level == segs[j].level)
+        segs.erase(segs.begin() + static_cast<ptrdiff_t>(j) + 1);
+    if (i > 0 && segs[i].level == segs[i - 1].level)
+        segs.erase(segs.begin() + static_cast<ptrdiff_t>(i));
+}
+
+Time
+Profile::groupBlock(int g, Time start, Time end) const
+{
+    const std::vector<Interval> &busy = groups_[g];
+    // First busy interval still open at (or after) start.
+    auto it = std::upper_bound(
+        busy.begin(), busy.end(), start,
+        [](Time s, const Interval &iv) { return s < iv.end; });
+    if (it != busy.end() && it->start < end)
+        return it->end;
+    return -1;
+}
+
+Time
+Profile::resourceBlock(int r, Units need, Time start, Time end) const
+{
+    if (need <= 0)
+        return -1;
+    const Units limit = capUnits_[r] + kCapacitySlack - need;
+    const std::vector<Segment> &segs = resources_[r];
+    for (size_t i = segmentAt(r, start);
+         i < segs.size() && segs[i].start < end; ++i) {
+        if (segs[i].level > limit)
+            return i + 1 < segs.size() ? segs[i + 1].start : horizon_;
+    }
+    return -1;
+}
+
+bool
+Profile::fits(const Mode &mode, Time start) const
+{
+    hilp_assert(start >= 0);
+    if (start + mode.duration > horizon_)
+        return false;
+    if (mode.duration == 0)
+        return true;
+    Time end = start + mode.duration;
+    if (mode.group != kNoGroup &&
+        groupBlock(mode.group, start, end) >= 0)
+        return false;
+    for (int r = 0; r < model_.numResources(); ++r)
+        if (resourceBlock(r, toUnits(mode.usage[r]), start, end) >= 0)
+            return false;
+    return true;
+}
+
+Time
+Profile::earliestStart(const Mode &mode, Time est) const
+{
+    hilp_assert(est >= 0);
+    if (mode.duration == 0)
+        return est <= horizon_ ? est : -1;
+    const int num_resources = model_.numResources();
+    for (int r = 0; r < num_resources; ++r)
+        unitsScratch_[r] = toUnits(mode.usage[r]);
+
+    Time start = est;
+    while (start + mode.duration <= horizon_) {
+        Time end = start + mode.duration;
+        // No window that contains any step of a blocking interval or
+        // over-capacity segment can be feasible, so restart the scan
+        // directly after the whole blocker - this is what makes the
+        // query jump instead of stepping.
+        Time bump = mode.group != kNoGroup
+            ? groupBlock(mode.group, start, end) : -1;
+        if (bump < 0) {
+            for (int r = 0; r < num_resources && bump < 0; ++r)
+                bump = resourceBlock(r, unitsScratch_[r], start, end);
+        }
+        if (bump < 0)
+            return start;
+        hilp_assert(bump > start);
+        start = bump;
+    }
+    return -1;
+}
+
+void
+Profile::place(const Mode &mode, Time start)
+{
+    hilp_assert(start >= 0 && start + mode.duration <= horizon_);
+    if (mode.duration == 0)
+        return;
+    Time end = start + mode.duration;
+    if (mode.group != kNoGroup) {
+        std::vector<Interval> &busy = groups_[mode.group];
+        auto it = std::lower_bound(
+            busy.begin(), busy.end(), start,
+            [](const Interval &iv, Time s) { return iv.start < s; });
+        hilp_assert(it == busy.end() || it->start >= end);
+        hilp_assert(it == busy.begin() || (it - 1)->end <= start);
+        busy.insert(it, Interval{start, end});
+    }
+    for (int r = 0; r < model_.numResources(); ++r)
+        addUsage(r, start, end, toUnits(mode.usage[r]));
+}
+
+void
+Profile::remove(const Mode &mode, Time start)
+{
+    hilp_assert(start >= 0 && start + mode.duration <= horizon_);
+    if (mode.duration == 0)
+        return;
+    Time end = start + mode.duration;
+    if (mode.group != kNoGroup) {
+        std::vector<Interval> &busy = groups_[mode.group];
+        auto it = std::lower_bound(
+            busy.begin(), busy.end(), start,
+            [](const Interval &iv, Time s) { return iv.start < s; });
+        hilp_assert(it != busy.end() && it->start == start &&
+                    it->end == end);
+        busy.erase(it);
+    }
+    for (int r = 0; r < model_.numResources(); ++r)
+        addUsage(r, start, end, -toUnits(mode.usage[r]));
+}
+
+double
+Profile::usage(int r, Time step) const
+{
+    return fromUnits(usageUnits(r, step));
+}
+
+Units
+Profile::usageUnits(int r, Time step) const
+{
+    hilp_assert(step >= 0 && step < horizon_);
+    return resources_[r][segmentAt(r, step)].level;
+}
+
+bool
+Profile::groupBusy(int g, Time step) const
+{
+    hilp_assert(step >= 0 && step < horizon_);
+    const std::vector<Interval> &busy = groups_[g];
+    auto it = std::upper_bound(
+        busy.begin(), busy.end(), step,
+        [](Time s, const Interval &iv) { return s < iv.end; });
+    return it != busy.end() && it->start <= step;
+}
+
+} // namespace cp
+} // namespace hilp

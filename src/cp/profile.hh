@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Profile: interval-based resource/group occupancy, the compact
+ * replacement for the dense step-indexed Timetable.
+ *
+ * A Profile stores, per cumulative resource, a piecewise-constant
+ * usage function as a sorted vector of breakpoints (time, level), and
+ * per disjunctive group a sorted vector of disjoint busy intervals.
+ * Memory is O(placed intervals) instead of O(resources x horizon),
+ * and the earliest-feasible-start query jumps over entire busy
+ * intervals/segments instead of advancing one step past each
+ * conflicting step.
+ *
+ * Resource levels are held in scaled integer units (see toUnits),
+ * so place()/remove() round-trips are *exact*: no floating-point
+ * drift can accumulate across the millions of place/remove cycles a
+ * branch-and-bound search performs. The same units are used by the
+ * dense Timetable, which survives as the brute-force reference
+ * implementation for differential tests.
+ */
+
+#ifndef HILP_CP_PROFILE_HH
+#define HILP_CP_PROFILE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "model.hh"
+
+namespace hilp {
+namespace cp {
+
+/** Resource amounts in scaled integer units (exact arithmetic). */
+using Units = int64_t;
+
+/** Scale factor: one unit is 2^-30 of a resource unit (~9.3e-10). */
+inline constexpr int64_t kUnitScale = int64_t{1} << 30;
+
+/**
+ * Capacity comparison slack, in units (~7.5e-9 resource units).
+ * Mirrors the floating-point epsilon the dense timetable historically
+ * used (1e-9) while absorbing the half-unit rounding each toUnits()
+ * conversion can contribute.
+ */
+inline constexpr Units kCapacitySlack = 8;
+
+/** Convert a resource amount to scaled integer units. */
+Units toUnits(double value);
+
+/** Convert scaled integer units back to a resource amount. */
+double fromUnits(Units units);
+
+/**
+ * Interval-based occupancy of the model's resources and groups.
+ * Drop-in contract-compatible with the dense Timetable.
+ */
+class Profile
+{
+  public:
+    /** Build an empty profile for the model's resources/groups. */
+    explicit Profile(const Model &model);
+
+    /**
+     * Earliest start >= est at which the given mode fits: the whole
+     * window [start, start + duration) must leave the mode's group
+     * idle and keep all resource profiles within capacity. Returns
+     * -1 when no feasible start exists before the horizon.
+     */
+    Time earliestStart(const Mode &mode, Time est) const;
+
+    /** True when the mode can be placed with its window at start. */
+    bool fits(const Mode &mode, Time start) const;
+
+    /** Commit a mode over [start, start + duration). */
+    void place(const Mode &mode, Time start);
+
+    /** Exactly undo a previous place() with the same arguments. */
+    void remove(const Mode &mode, Time start);
+
+    /** Resource usage of resource r at time step. */
+    double usage(int r, Time step) const;
+
+    /** Exact resource usage of resource r at step, in units. */
+    Units usageUnits(int r, Time step) const;
+
+    /** True when group g is busy at time step. */
+    bool groupBusy(int g, Time step) const;
+
+    /** The model's horizon. */
+    Time horizon() const { return horizon_; }
+
+    /** Breakpoints currently stored for resource r (diagnostics). */
+    size_t breakpoints(int r) const { return resources_[r].size(); }
+
+    /** Busy intervals currently stored for group g (diagnostics). */
+    size_t intervals(int g) const { return groups_[g].size(); }
+
+  private:
+    /**
+     * One piece of a piecewise-constant usage function: `level`
+     * holds from `start` until the next segment's start (or the
+     * horizon for the last segment). Invariants: segments are sorted,
+     * the first always starts at 0, and adjacent segments have
+     * different levels (canonical form), so an exact place/remove
+     * round-trip restores the identical representation.
+     */
+    struct Segment
+    {
+        Time start;
+        Units level;
+    };
+
+    /** A busy interval [start, end) of a disjunctive group. */
+    struct Interval
+    {
+        Time start;
+        Time end;
+    };
+
+    /** Index of the segment of resource r containing step. */
+    size_t segmentAt(int r, Time step) const;
+
+    /** Add delta to resource r over [start, end), keeping canon. */
+    void addUsage(int r, Time start, Time end, Units delta);
+
+    /**
+     * First candidate start after a group conflict in [start, end):
+     * the end of the first busy interval of g intersecting the
+     * window, or -1 when the window leaves the group idle.
+     */
+    Time groupBlock(int g, Time start, Time end) const;
+
+    /**
+     * First candidate start after a capacity conflict of resource r
+     * in [start, end) given `need` extra units: the end of the first
+     * over-committed segment, or -1 when the window has room.
+     */
+    Time resourceBlock(int r, Units need, Time start, Time end) const;
+
+    const Model &model_;
+    Time horizon_;
+    /** resources_[r]: canonical sorted segments covering [0, horizon). */
+    std::vector<std::vector<Segment>> resources_;
+    /** groups_[g]: sorted, disjoint busy intervals. */
+    std::vector<std::vector<Interval>> groups_;
+    /** Per-resource capacity in units. */
+    std::vector<Units> capUnits_;
+    /** Scratch: per-resource usage in units for the current mode. */
+    mutable std::vector<Units> unitsScratch_;
+};
+
+} // namespace cp
+} // namespace hilp
+
+#endif // HILP_CP_PROFILE_HH

@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
-#include <cmath>
 
 #include "bounds.hh"
+#include "profile.hh"
+#include "propagate.hh"
 #include "support/logging.hh"
-#include "timetable.hh"
 
 namespace hilp {
 namespace cp {
@@ -16,8 +16,11 @@ namespace {
 using Clock = std::chrono::steady_clock;
 
 /**
- * All mutable search state lives here; the recursion mutates it with
- * exact undo on backtrack.
+ * All mutable search state lives here. The search owns the branching
+ * decisions (eligible set, assignment, branch order); everything
+ * about bounds and feasibility is delegated to the propagation
+ * engine, which runs its propagators to fixpoint per node and
+ * unwinds placements exactly through its trail.
  */
 class Searcher
 {
@@ -26,11 +29,16 @@ class Searcher
              const SearchLimits &limits)
         : model_(model),
           limits_(limits),
-          table_(model),
+          engine_(model),
           cp_(criticalPathData(model)),
-          topo_(model.topologicalOrder()),
           startTime_(Clock::now())
     {
+        engine_.add(makeTimetablePropagator(model));
+        engine_.add(makeDisjunctivePropagator(model));
+        engine_.add(makePrecedencePropagator(model));
+        if (limits.energeticReasoning)
+            engine_.add(makeEnergeticPropagator(model));
+
         const int n = model.numTasks();
         assign_.assign(n, Assignment{});
         end_.assign(n, 0);
@@ -45,40 +53,6 @@ class Searcher
         for (int t = 0; t < n; ++t)
             if (remainingPreds_[t] == 0)
                 addEligible(t);
-
-        // Incremental energy bookkeeping: per resource, the minimum
-        // energy (usage * duration) each task must eventually commit
-        // and, per group, the minimum busy time of tasks pinned to
-        // that group. These give cheap per-node lower bounds.
-        minEnergy_.assign(n, std::vector<double>(
-            model.numResources(), 0.0));
-        remainingEnergy_.assign(model.numResources(), 0.0);
-        placedEnergy_.assign(model.numResources(), 0.0);
-        pinnedGroup_.assign(n, kNoGroup);
-        groupBusy_.assign(model.numGroups(), 0);
-        remainingPinned_.assign(model.numGroups(), 0);
-        for (int t = 0; t < n; ++t) {
-            const Task &task = model.task(t);
-            for (int r = 0; r < model.numResources(); ++r) {
-                double min_e = -1.0;
-                for (const Mode &mode : task.modes) {
-                    double e = mode.usage[r] *
-                        static_cast<double>(mode.duration);
-                    if (min_e < 0.0 || e < min_e)
-                        min_e = e;
-                }
-                minEnergy_[t][r] = std::max(0.0, min_e);
-                remainingEnergy_[r] += minEnergy_[t][r];
-            }
-            int group = task.modes[0].group;
-            bool pinned = group != kNoGroup;
-            for (const Mode &mode : task.modes)
-                pinned = pinned && mode.group == group;
-            if (pinned) {
-                pinnedGroup_[t] = group;
-                remainingPinned_[group] += model.minDuration(t);
-            }
-        }
 
         ub_ = model.horizon() + 1;
         if (warm_start) {
@@ -97,6 +71,7 @@ class Searcher
         else
             dfs(0);
         result_.exhausted = !stop_ && !limitHit_;
+        result_.propagators = engine_.stats();
         return result_;
     }
 
@@ -158,53 +133,6 @@ class Searcher
         return false;
     }
 
-    /**
-     * Critical-path bound of the current partial schedule: scheduled
-     * tasks contribute their real finish, unscheduled ones their
-     * precedence-propagated earliest start plus tail.
-     */
-    Time
-    nodeBound(Time makespan)
-    {
-        Time bound = std::max(makespan, limits_.lowerBound);
-        // Resource energy: committed plus minimum remaining energy
-        // divided by capacity bounds any completion's makespan.
-        for (int r = 0; r < model_.numResources(); ++r) {
-            double cap = model_.capacity(r);
-            if (cap <= 0.0)
-                continue;
-            double energy = placedEnergy_[r] + remainingEnergy_[r];
-            bound = std::max(bound, static_cast<Time>(
-                std::ceil(energy / cap - 1e-9)));
-        }
-        // Group load: busy time already scheduled on the group plus
-        // the minimum durations still pinned to it.
-        for (int g = 0; g < model_.numGroups(); ++g) {
-            bound = std::max(bound, groupBusy_[g] +
-                             remainingPinned_[g]);
-        }
-        for (int t : topo_) {
-            if (assign_[t].scheduled())
-                continue;
-            Time est = cp_.head[t];
-            for (int p : model_.predecessors(t)) {
-                Time ready = assign_[p].scheduled()
-                    ? end_[p] : est_[p] + model_.minDuration(p);
-                est = std::max(est, ready);
-            }
-            for (const Model::LagEdge &edge :
-                 model_.lagPredecessors(t)) {
-                int p = edge.other;
-                Time p_start = assign_[p].scheduled()
-                    ? assign_[p].start : est_[p];
-                est = std::max(est, p_start + edge.lag);
-            }
-            est_[t] = est;
-            bound = std::max(bound, est + cp_.tail[t]);
-        }
-        return bound;
-    }
-
     void
     recordIncumbent(Time makespan)
     {
@@ -228,7 +156,10 @@ class Searcher
             recordIncumbent(makespan);
             return;
         }
-        if (nodeBound(makespan) >= ub_)
+        PropagationContext ctx{model_, cp_, assign_, end_,
+                               makespan, limits_.lowerBound, ub_,
+                               est_};
+        if (engine_.fixpoint(ctx) >= ub_)
             return;
 
         // Branch over all eligible tasks, longest tail first.
@@ -240,6 +171,7 @@ class Searcher
                       return a < b;
                   });
 
+        const Profile &profile = engine_.profile();
         for (int t : branch_tasks) {
             Time est = 0;
             for (int p : model_.predecessors(t))
@@ -262,7 +194,7 @@ class Searcher
             Time tail_after = cp_.tail[t] - model_.minDuration(t);
             for (size_t m = 0; m < task.modes.size(); ++m) {
                 const Mode &mode = task.modes[m];
-                Time start = table_.earliestStart(mode, est);
+                Time start = profile.earliestStart(mode, est);
                 if (start < 0)
                     continue;
                 Time complete = start + mode.duration;
@@ -277,21 +209,12 @@ class Searcher
 
             for (const Option &opt : options) {
                 const Mode &mode = task.modes[opt.mode];
-                // Apply.
-                table_.place(mode, opt.start);
+                // Apply: the engine updates the profile, every
+                // propagator's incremental state, and the trail.
+                engine_.place(t, mode, opt.start);
                 assign_[t] = {opt.mode, opt.start};
                 end_[t] = opt.complete;
                 ++scheduled_;
-                for (int r = 0; r < model_.numResources(); ++r) {
-                    remainingEnergy_[r] -= minEnergy_[t][r];
-                    placedEnergy_[r] += mode.usage[r] *
-                        static_cast<double>(mode.duration);
-                }
-                if (pinnedGroup_[t] != kNoGroup)
-                    remainingPinned_[pinnedGroup_[t]] -=
-                        model_.minDuration(t);
-                if (mode.group != kNoGroup)
-                    groupBusy_[mode.group] += mode.duration;
                 size_t eligible_size = eligible_.size();
                 removeEligible(t);
                 for (int s : model_.successors(t))
@@ -307,19 +230,9 @@ class Searcher
                 addEligible(t);
                 hilp_assert(eligible_.size() == eligible_size);
                 --scheduled_;
-                for (int r = 0; r < model_.numResources(); ++r) {
-                    remainingEnergy_[r] += minEnergy_[t][r];
-                    placedEnergy_[r] -= mode.usage[r] *
-                        static_cast<double>(mode.duration);
-                }
-                if (pinnedGroup_[t] != kNoGroup)
-                    remainingPinned_[pinnedGroup_[t]] +=
-                        model_.minDuration(t);
-                if (mode.group != kNoGroup)
-                    groupBusy_[mode.group] -= mode.duration;
                 assign_[t] = Assignment{};
                 end_[t] = 0;
-                table_.remove(mode, opt.start);
+                engine_.undo();
 
                 if (stop_ || limitHit_)
                     return;
@@ -333,26 +246,19 @@ class Searcher
 
     const Model &model_;
     const SearchLimits &limits_;
-    Timetable table_;
+    PropagationEngine engine_;
     CriticalPathData cp_;
-    std::vector<int> topo_;
     Clock::time_point startTime_;
 
     std::vector<Assignment> assign_;
     std::vector<Time> end_;
+    /** Earliest-start scratch shared with the propagators. */
     std::vector<Time> est_;
     std::vector<int> remainingPreds_;
     std::vector<int> eligible_;
     /** Position of each task inside eligible_, or -1 when absent. */
     std::vector<int> eligiblePos_;
     int scheduled_ = 0;
-
-    std::vector<std::vector<double>> minEnergy_;
-    std::vector<double> remainingEnergy_;
-    std::vector<double> placedEnergy_;
-    std::vector<int> pinnedGroup_;
-    std::vector<Time> groupBusy_;
-    std::vector<Time> remainingPinned_;
 
     Time ub_ = 0;
     bool stop_ = false;

@@ -15,8 +15,10 @@
 #define HILP_CP_SEARCH_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "model.hh"
+#include "propagate.hh"
 
 namespace hilp {
 namespace cp {
@@ -39,6 +41,13 @@ struct SearchLimits
      * engine); used for the targetGap stop and for pruning.
      */
     Time lowerBound = 0;
+    /**
+     * Plug the optional energetic-reasoning propagator into the
+     * propagation engine (suffix-energy windows over earliest
+     * starts). Off by default: it changes which nodes get pruned, so
+     * it is opt-in per solve.
+     */
+    bool energeticReasoning = false;
 };
 
 /** Outcome of the branch-and-bound search. */
@@ -56,6 +65,8 @@ struct SearchResult
     int64_t nodes = 0;
     int64_t backtracks = 0;
     int64_t solutions = 0;
+    /** Per-propagator telemetry from the propagation engine. */
+    std::vector<PropagatorStats> propagators;
 };
 
 /**

@@ -96,12 +96,14 @@ Solver::solve(const Model &model, const ScheduleVec *hint) const
     limits.maxSeconds = options_.maxSeconds;
     limits.targetGap = options_.targetGap;
     limits.lowerBound = result.lowerBound;
+    limits.energeticReasoning = options_.energeticReasoning;
     SearchResult search = branchAndBound(model, warm, limits);
 
     result.stats.nodes = search.nodes;
     result.stats.backtracks = search.backtracks;
     result.stats.solutions = search.solutions;
     result.stats.exhausted = search.exhausted;
+    result.stats.propagators = search.propagators;
 
     if (search.foundSolution) {
         result.schedule = search.best;

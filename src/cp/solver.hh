@@ -9,9 +9,11 @@
 #define HILP_CP_SOLVER_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "bounds.hh"
 #include "model.hh"
+#include "propagate.hh"
 
 namespace hilp {
 namespace cp {
@@ -54,6 +56,12 @@ struct SolverOptions
     int lnsIterations = 400;
     /** Seed for the greedy restarts. */
     uint64_t seed = 1;
+    /**
+     * Plug the optional energetic-reasoning propagator into the
+     * search's propagation engine. Off by default (it changes the
+     * explored tree, so results stay reproducible across versions).
+     */
+    bool energeticReasoning = false;
 };
 
 /** Effort accounting for a solve. */
@@ -70,6 +78,8 @@ struct SolveStats
     bool hintAccepted = false;
     /** Makespan of the accepted hint (0 when none). */
     Time hintMakespan = 0;
+    /** Per-propagator telemetry from the propagation engine. */
+    std::vector<PropagatorStats> propagators;
 };
 
 /** A complete solve outcome. */

@@ -5,20 +5,18 @@
 namespace hilp {
 namespace cp {
 
-namespace {
-/** Slack for floating-point capacity comparisons. */
-constexpr double kEps = 1e-9;
-} // anonymous namespace
-
 Timetable::Timetable(const Model &model)
     : model_(model),
       horizon_(model.horizon())
 {
     hilp_assert(horizon_ > 0);
     usage_.assign(model.numResources(),
-                  std::vector<double>(horizon_, 0.0));
+                  std::vector<Units>(horizon_, 0));
     busy_.assign(model.numGroups(),
                  std::vector<uint8_t>(horizon_, 0));
+    capUnits_.reserve(model.numResources());
+    for (int r = 0; r < model.numResources(); ++r)
+        capUnits_.push_back(toUnits(model.capacity(r)));
 }
 
 Time
@@ -32,13 +30,13 @@ Timetable::firstConflict(const Mode &mode, Time start) const
                 return s;
     }
     for (int r = 0; r < model_.numResources(); ++r) {
-        double u = mode.usage[r];
-        if (u <= 0.0)
+        Units u = toUnits(mode.usage[r]);
+        if (u <= 0)
             continue;
-        double cap = model_.capacity(r);
+        Units limit = capUnits_[r] + kCapacitySlack - u;
         const auto &profile = usage_[r];
         for (Time s = start; s < end; ++s)
-            if (profile[s] + u > cap + kEps)
+            if (profile[s] > limit)
                 return s;
     }
     return -1;
@@ -86,8 +84,8 @@ Timetable::place(const Mode &mode, Time start)
         }
     }
     for (int r = 0; r < model_.numResources(); ++r) {
-        double u = mode.usage[r];
-        if (u == 0.0)
+        Units u = toUnits(mode.usage[r]);
+        if (u == 0)
             continue;
         auto &profile = usage_[r];
         for (Time s = start; s < end; ++s)
@@ -108,15 +106,14 @@ Timetable::remove(const Mode &mode, Time start)
         }
     }
     for (int r = 0; r < model_.numResources(); ++r) {
-        double u = mode.usage[r];
-        if (u == 0.0)
+        Units u = toUnits(mode.usage[r]);
+        if (u == 0)
             continue;
         auto &profile = usage_[r];
-        for (Time s = start; s < end; ++s) {
+        // Integer subtraction is exact: a place/remove round trip
+        // restores the profile bit-for-bit, with no drift to clamp.
+        for (Time s = start; s < end; ++s)
             profile[s] -= u;
-            if (profile[s] < 0.0 && profile[s] > -kEps)
-                profile[s] = 0.0; // absorb rounding drift
-        }
     }
 }
 

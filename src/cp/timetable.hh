@@ -1,12 +1,20 @@
 /**
  * @file
- * Timetable: the running resource/group occupancy profile used both
- * by the greedy list scheduler and by the branch-and-bound search.
+ * Timetable: the dense step-indexed resource/group occupancy profile.
  *
  * The timetable records, per time step, how much of each cumulative
  * resource is committed and which disjunctive groups are busy. It
  * supports exact add/remove (for chronological backtracking) and the
  * earliest-feasible-start query that drives schedule generation.
+ *
+ * The production schedulers (list scheduler, branch-and-bound) now
+ * run on the interval-based Profile (profile.hh), which implements
+ * the same contract in O(placed intervals) memory with busy-interval
+ * jumping. The dense timetable survives as the obviously-correct
+ * reference implementation: differential tests drive both through
+ * random operation sequences and require exact agreement. Resource
+ * amounts are held in the same scaled integer units as the Profile
+ * (see profile.hh), so place/remove round-trips are exact here too.
  */
 
 #ifndef HILP_CP_TIMETABLE_HH
@@ -15,6 +23,7 @@
 #include <vector>
 
 #include "model.hh"
+#include "profile.hh"
 
 namespace hilp {
 namespace cp {
@@ -46,7 +55,12 @@ class Timetable
     void remove(const Mode &mode, Time start);
 
     /** Resource usage of resource r at time step. */
-    double usage(int r, Time step) const { return usage_[r][step]; }
+    double usage(int r, Time step) const
+    { return fromUnits(usage_[r][step]); }
+
+    /** Exact resource usage of resource r at step, in units. */
+    Units usageUnits(int r, Time step) const
+    { return usage_[r][step]; }
 
     /** True when group g is busy at time step. */
     bool groupBusy(int g, Time step) const { return busy_[g][step] != 0; }
@@ -63,10 +77,12 @@ class Timetable
 
     const Model &model_;
     Time horizon_;
-    /** usage_[resource][step] */
-    std::vector<std::vector<double>> usage_;
+    /** usage_[resource][step], in scaled integer units. */
+    std::vector<std::vector<Units>> usage_;
     /** busy_[group][step], 0 or 1 */
     std::vector<std::vector<uint8_t>> busy_;
+    /** Per-resource capacity in units. */
+    std::vector<Units> capUnits_;
 };
 
 } // namespace cp

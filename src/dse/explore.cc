@@ -95,6 +95,7 @@ fillSolverTelemetry(DsePoint &point, const EvalResult &result)
     point.cacheHit = result.cacheHit;
     point.warmStarted = result.warmStarted;
     point.pruned = result.prunedEarly;
+    point.propagators = result.propagators;
 }
 
 /**

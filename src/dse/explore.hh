@@ -66,6 +66,11 @@ struct DsePoint
     bool cacheHit = false;    //!< Served from the sweep's solve cache.
     bool warmStarted = false; //!< Neighbor schedule seeded the solve.
     bool pruned = false;      //!< Refinement skipped: point dominated.
+    /**
+     * Per-propagator telemetry merged across the point's solves
+     * (empty for MA/Gables and for cache hits).
+     */
+    std::vector<cp::PropagatorStats> propagators;
 };
 
 /** Exploration configuration. */

@@ -19,6 +19,26 @@ csvSafe(std::string text)
     return text;
 }
 
+/** A point's propagation-engine counters summed over propagators. */
+struct PropTotals
+{
+    int64_t invocations = 0;
+    int64_t prunings = 0;
+    double seconds = 0.0;
+};
+
+PropTotals
+propTotals(const DsePoint &point)
+{
+    PropTotals totals;
+    for (const cp::PropagatorStats &stats : point.propagators) {
+        totals.invocations += stats.invocations;
+        totals.prunings += stats.prunings;
+        totals.seconds += stats.seconds;
+    }
+    return totals;
+}
+
 } // anonymous namespace
 
 std::string
@@ -27,12 +47,15 @@ pointsToCsv(const std::vector<DsePoint> &points)
     std::string out =
         "config,cpus,gpu_sms,dsas,pes,area_mm2,ok,makespan_s,"
         "speedup,avg_wlp,gap,mix,status,nodes,backtracks,solves,"
-        "solve_s,cache_hit,warm_start,pruned,note\n";
+        "solve_s,cache_hit,warm_start,pruned,propagations,prunings,"
+        "prop_s,note\n";
     for (const DsePoint &point : points) {
         int pes = point.config.dsas.empty()
             ? 0 : point.config.dsas.front().pes;
+        PropTotals props = propTotals(point);
         out += format("%s,%d,%d,%zu,%d,%.3f,%d,%.6f,%.6f,%.6f,%.6f,"
-                      "%s,%s,%lld,%lld,%d,%.3f,%d,%d,%d,%s\n",
+                      "%s,%s,%lld,%lld,%d,%.3f,%d,%d,%d,%lld,%lld,"
+                      "%.3f,%s\n",
                       point.config.name().c_str(),
                       point.config.cpuCores, point.config.gpuSms,
                       point.config.dsas.size(), pes, point.areaMm2,
@@ -44,6 +67,9 @@ pointsToCsv(const std::vector<DsePoint> &points)
                       point.solves, point.solveSeconds,
                       point.cacheHit ? 1 : 0,
                       point.warmStarted ? 1 : 0, point.pruned ? 1 : 0,
+                      static_cast<long long>(props.invocations),
+                      static_cast<long long>(props.prunings),
+                      props.seconds,
                       csvSafe(point.note).c_str());
     }
     return out;
@@ -78,6 +104,16 @@ pointsToJson(const std::vector<DsePoint> &points)
         entry.set("cache_hit", Json::boolean(point.cacheHit));
         entry.set("warm_start", Json::boolean(point.warmStarted));
         entry.set("pruned", Json::boolean(point.pruned));
+        Json propagators = Json::array();
+        for (const cp::PropagatorStats &stats : point.propagators) {
+            Json prop = Json::object();
+            prop.set("name", Json::string(stats.name));
+            prop.set("invocations", Json::number(stats.invocations));
+            prop.set("prunings", Json::number(stats.prunings));
+            prop.set("seconds", Json::number(stats.seconds));
+            propagators.append(std::move(prop));
+        }
+        entry.set("propagators", std::move(propagators));
         entry.set("note", Json::string(point.note));
         array.append(std::move(entry));
     }
@@ -107,6 +143,8 @@ summarizeSweep(const std::vector<DsePoint> &points)
         summary.nodes += point.nodes;
         summary.backtracks += point.backtracks;
         summary.solveSeconds += point.solveSeconds;
+        cp::mergePropagatorStats(summary.propagators,
+                                 point.propagators);
     }
     return summary;
 }
@@ -114,15 +152,25 @@ summarizeSweep(const std::vector<DsePoint> &points)
 std::string
 toString(const SweepSummary &summary)
 {
-    return format("%d points: %d ok, %d infeasible, %d unsolved | "
-                  "%d solves, %lld nodes, %lld backtracks, %.2fs | "
-                  "%d cache hits, %d warm starts, %d pruned",
-                  summary.points, summary.ok, summary.infeasible,
-                  summary.noSolution, summary.solves,
-                  static_cast<long long>(summary.nodes),
-                  static_cast<long long>(summary.backtracks),
-                  summary.solveSeconds, summary.cacheHits,
-                  summary.warmStarted, summary.pruned);
+    std::string out =
+        format("%d points: %d ok, %d infeasible, %d unsolved | "
+               "%d solves, %lld nodes, %lld backtracks, %.2fs | "
+               "%d cache hits, %d warm starts, %d pruned",
+               summary.points, summary.ok, summary.infeasible,
+               summary.noSolution, summary.solves,
+               static_cast<long long>(summary.nodes),
+               static_cast<long long>(summary.backtracks),
+               summary.solveSeconds, summary.cacheHits,
+               summary.warmStarted, summary.pruned);
+    if (!summary.propagators.empty()) {
+        out += " | propagation:";
+        for (const cp::PropagatorStats &stats : summary.propagators) {
+            out += format(" %s %lld/%lld", stats.name.c_str(),
+                          static_cast<long long>(stats.invocations),
+                          static_cast<long long>(stats.prunings));
+        }
+    }
+    return out;
 }
 
 OffloadAnalysis

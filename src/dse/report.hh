@@ -21,8 +21,9 @@ namespace dse {
  * CSV export of a sweep: one row per design point with config label,
  * structural parameters, area, speedup, WLP, gap, mix class, solver
  * telemetry (status, nodes, backtracks, solves, wall time, cache /
- * warm-start / pruning flags), and the failure note for points that
- * could not be scheduled.
+ * warm-start / pruning flags), the aggregate propagation-engine
+ * counters (propagations, prunings, prop_s), and the failure note
+ * for points that could not be scheduled.
  */
 std::string pointsToCsv(const std::vector<DsePoint> &points);
 
@@ -43,6 +44,8 @@ struct SweepSummary
     int64_t nodes = 0;       //!< Total B&B nodes.
     int64_t backtracks = 0;  //!< Total B&B backtracks.
     double solveSeconds = 0.0; //!< Total solver wall-clock.
+    /** Per-propagator telemetry merged (by name) over the sweep. */
+    std::vector<cp::PropagatorStats> propagators;
 };
 
 /** Tally the telemetry of a finished sweep. */

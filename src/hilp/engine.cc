@@ -4,7 +4,7 @@
 #include <cmath>
 #include <limits>
 
-#include "cp/timetable.hh"
+#include "cp/profile.hh"
 #include "support/logging.hh"
 
 namespace hilp {
@@ -30,6 +30,7 @@ SolveMemo::lookup(uint64_t key, EvalResult *out) const
     out->totalSeconds = 0.0;
     out->warmStarted = false;
     out->prunedEarly = false;
+    out->propagators.clear();
     return true;
 }
 
@@ -196,7 +197,7 @@ transferSchedule(const ProblemSpec &spec,
                   return topo_pos[a.task] < topo_pos[b.task];
               });
 
-    cp::Timetable table(model);
+    cp::Profile table(model);
     std::vector<cp::Assignment> assign(n);
     std::vector<cp::Time> end(n, 0);
     for (const Placement &placement : order) {
@@ -254,6 +255,8 @@ solveAtResolution(const ProblemSpec &spec, double step_s,
         eval.totalSeconds += candidate.stats.seconds;
         eval.warmStarted =
             eval.warmStarted || candidate.stats.hintAccepted;
+        cp::mergePropagatorStats(eval.propagators,
+                                 candidate.stats.propagators);
         if (attempt == 0 ||
             (candidate.hasSchedule() &&
              (!result.hasSchedule() ||
@@ -325,6 +328,7 @@ evaluate(const ProblemSpec &spec, const EngineOptions &options,
     int64_t backtracks = 0;
     double seconds = 0.0;
     bool warm_started = false;
+    std::vector<cp::PropagatorStats> propagators;
     auto solve_at = [&](double step_s) {
         EvalResult r =
             solveAtResolution(spec, step_s, options, reuse.hint);
@@ -333,6 +337,7 @@ evaluate(const ProblemSpec &spec, const EngineOptions &options,
         backtracks += r.totalBacktracks;
         seconds += r.totalSeconds;
         warm_started = warm_started || r.warmStarted;
+        cp::mergePropagatorStats(propagators, r.propagators);
         return r;
     };
     auto finish = [&](EvalResult &&r) {
@@ -341,6 +346,7 @@ evaluate(const ProblemSpec &spec, const EngineOptions &options,
         r.totalBacktracks = backtracks;
         r.totalSeconds = seconds;
         r.warmStarted = warm_started;
+        r.propagators = propagators;
         if (reuse.memo)
             reuse.memo->insert(key, r);
         return std::move(r);
@@ -388,6 +394,7 @@ evaluate(const ProblemSpec &spec, const EngineOptions &options,
         nodes += candidate.totalNodes;
         backtracks += candidate.totalBacktracks;
         seconds += candidate.totalSeconds;
+        cp::mergePropagatorStats(propagators, candidate.propagators);
         if (!candidate.ok)
             break; // Finer resolution no longer fits the horizon.
         step = finer;

@@ -85,6 +85,12 @@ struct EvalResult
     bool cacheHit = false;       //!< Result came from a SolveMemo.
     /** Refinement stopped early: the sweep proved the point dominated. */
     bool prunedEarly = false;
+    /**
+     * Per-propagator telemetry merged (by name) across every solve
+     * of the evaluation; zeroed on cache hits like the rest of the
+     * effort counters.
+     */
+    std::vector<cp::PropagatorStats> propagators;
 
     /** True when the gap meets the paper's 10% near-optimal bar. */
     bool nearOptimal() const { return ok && gap <= 0.10 + 1e-12; }

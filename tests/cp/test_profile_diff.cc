@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Differential tests: the interval-based Profile against the dense
+ * step-indexed Timetable. Both implement the same occupancy contract
+ * in the same scaled integer units, so across arbitrary operation
+ * sequences every query must agree *exactly* - earliestStart, fits,
+ * per-step usage, and group busyness. The dense table is the
+ * obviously-correct reference; any disagreement is a Profile bug.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cp/model.hh"
+#include "cp/profile.hh"
+#include "cp/timetable.hh"
+#include "support/random.hh"
+
+namespace hilp {
+namespace cp {
+namespace {
+
+/** Compare the complete observable state of both implementations. */
+void
+expectSameState(const Model &m, const Profile &profile,
+                const Timetable &table, int step)
+{
+    for (Time s = 0; s < m.horizon(); ++s) {
+        for (int r = 0; r < m.numResources(); ++r) {
+            ASSERT_EQ(profile.usageUnits(r, s),
+                      table.usageUnits(r, s))
+                << "usage mismatch r=" << r << " t=" << s
+                << " at op " << step;
+        }
+        for (int g = 0; g < m.numGroups(); ++g) {
+            ASSERT_EQ(profile.groupBusy(g, s), table.groupBusy(g, s))
+                << "group mismatch g=" << g << " t=" << s
+                << " at op " << step;
+        }
+    }
+}
+
+class ProfileDiff : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(ProfileDiff, AgreesWithDenseTimetable)
+{
+    Rng rng(GetParam() * 7919 + 17);
+    Model m;
+    m.addResource(rng.uniformDouble(1.0, 3.0), "r0");
+    m.addResource(rng.uniformDouble(0.5, 2.0), "r1");
+    int g1 = m.addGroup("A");
+    int g2 = m.addGroup("B");
+    m.setHorizon(static_cast<Time>(rng.uniformInt(16, 48)));
+
+    // A pool of candidate modes, including zero-duration,
+    // zero-usage, and capacity-saturating shapes.
+    std::vector<Mode> modes;
+    for (int i = 0; i < 16; ++i) {
+        Mode mode;
+        double which = rng.uniformDouble();
+        mode.group = which < 0.3 ? g1 : which < 0.6 ? g2 : kNoGroup;
+        mode.duration = static_cast<Time>(rng.uniformInt(0, 6));
+        mode.usage = {rng.uniformDouble(0.0, 1.5),
+                      rng.uniformDouble(0.0, 1.0)};
+        if (i % 5 == 0)
+            mode.usage[0] = 0.0;
+        modes.push_back(mode);
+    }
+
+    Profile profile(m);
+    Timetable table(m);
+    std::vector<std::pair<const Mode *, Time>> active;
+
+    for (int step = 0; step < 500; ++step) {
+        // Probe queries agree regardless of what gets placed.
+        {
+            const Mode &probe = modes[static_cast<size_t>(
+                rng.uniformInt(0, 15))];
+            Time est = static_cast<Time>(
+                rng.uniformInt(0, m.horizon()));
+            ASSERT_EQ(profile.earliestStart(probe, est),
+                      table.earliestStart(probe, est))
+                << "earliestStart mismatch at op " << step;
+            Time at = static_cast<Time>(
+                rng.uniformInt(0, m.horizon()));
+            ASSERT_EQ(profile.fits(probe, at), table.fits(probe, at))
+                << "fits mismatch at op " << step;
+        }
+
+        if (active.size() < 10 && rng.chance(0.6)) {
+            const Mode &mode = modes[static_cast<size_t>(
+                rng.uniformInt(0, 15))];
+            Time est = static_cast<Time>(
+                rng.uniformInt(0, m.horizon() - 1));
+            Time start = table.earliestStart(mode, est);
+            ASSERT_EQ(profile.earliestStart(mode, est), start);
+            if (start >= 0) {
+                profile.place(mode, start);
+                table.place(mode, start);
+                active.emplace_back(&mode, start);
+            }
+        } else if (!active.empty()) {
+            size_t pick = static_cast<size_t>(rng.uniformInt(
+                0, static_cast<int64_t>(active.size()) - 1));
+            auto [mode, start] = active[pick];
+            profile.remove(*mode, start);
+            table.remove(*mode, start);
+            active.erase(active.begin() +
+                         static_cast<ptrdiff_t>(pick));
+        }
+
+        if (step % 25 == 0)
+            expectSameState(m, profile, table, step);
+    }
+    expectSameState(m, profile, table, 500);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProfileDiff,
+                         ::testing::Range<uint64_t>(1, 17));
+
+} // anonymous namespace
+} // namespace cp
+} // namespace hilp

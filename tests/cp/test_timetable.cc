@@ -86,9 +86,13 @@ TEST(Timetable, PlaceRemoveRoundTrips)
     Mode mode{0, 4, {1.2}};
     table.place(mode, 3);
     EXPECT_TRUE(table.groupBusy(0, 3));
-    EXPECT_DOUBLE_EQ(table.usage(0, 4), 1.2);
+    // Usage is stored in scaled integer units; conversion is exact
+    // to within one unit (~1e-9).
+    EXPECT_NEAR(table.usage(0, 4), 1.2, 1e-8);
     table.remove(mode, 3);
     EXPECT_FALSE(table.groupBusy(0, 3));
+    // Integer round trip: removal restores exactly zero.
+    EXPECT_EQ(table.usageUnits(0, 4), 0);
     EXPECT_DOUBLE_EQ(table.usage(0, 4), 0.0);
     // The table is empty again: everything fits at 0.
     EXPECT_EQ(table.earliestStart(mode, 0), 0);
@@ -102,7 +106,7 @@ TEST(Timetable, StackedUsageAccumulates)
     Mode b{1, 5, {0.8}};
     table.place(a, 0);
     table.place(b, 0);
-    EXPECT_DOUBLE_EQ(table.usage(0, 2), 1.6);
+    EXPECT_NEAR(table.usage(0, 2), 1.6, 1e-8);
     Mode probe{kNoGroup, 1, {0.5}};
     EXPECT_EQ(table.earliestStart(probe, 0), 5); // 1.6 + 0.5 > 2.0.
 }

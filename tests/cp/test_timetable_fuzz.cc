@@ -58,12 +58,15 @@ class NaiveTable
                 }
             }
             for (int r = 0; r < model_.numResources(); ++r) {
-                double used = mode.usage[r];
+                // Same scaled integer units as the timetable, so
+                // the oracle agrees exactly, not just within eps.
+                Units used = toUnits(mode.usage[r]);
                 for (const auto &[placed, pstart] : placed_) {
                     if (s >= pstart && s < pstart + placed->duration)
-                        used += placed->usage[r];
+                        used += toUnits(placed->usage[r]);
                 }
-                if (used > model_.capacity(r) + 1e-9)
+                if (used > toUnits(model_.capacity(r)) +
+                           kCapacitySlack)
                     return false;
             }
         }

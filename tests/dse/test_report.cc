@@ -52,14 +52,20 @@ TEST(Report, CsvCarriesSolverTelemetryAndNotes)
     solved.solves = 3;
     solved.solveSeconds = 0.25;
     solved.warmStarted = true;
+    solved.propagators = {{"timetable", 40, 5, 0.01},
+                          {"precedence", 30, 2, 0.02}};
     DsePoint failed;
     failed.note = "phase x, unschedulable\nunder budget";
 
     std::string csv = pointsToCsv({solved, failed});
     EXPECT_NE(csv.find("status,nodes,backtracks,solves,solve_s,"
-                       "cache_hit,warm_start,pruned,note"),
+                       "cache_hit,warm_start,pruned,propagations,"
+                       "prunings,prop_s,note"),
               std::string::npos);
     EXPECT_NE(csv.find("near-optimal,1234,56,3"), std::string::npos);
+    // Propagator counters are aggregated per row: 70 invocations
+    // and 7 prunings across both propagators.
+    EXPECT_NE(csv.find(",70,7,"), std::string::npos);
     // Notes must not smuggle in field or record separators.
     EXPECT_NE(csv.find("phase x; unschedulable under budget"),
               std::string::npos);
@@ -70,11 +76,15 @@ TEST(Report, JsonCarriesSolverTelemetryAndNotes)
     DsePoint point;
     point.note = "solver gave up: no-solution";
     point.cacheHit = true;
+    point.propagators = {{"disjunctive", 11, 3, 0.005}};
     std::string text = pointsToJson({point}).dump();
     EXPECT_NE(text.find("\"note\""), std::string::npos);
     EXPECT_NE(text.find("solver gave up"), std::string::npos);
     EXPECT_NE(text.find("\"cache_hit\""), std::string::npos);
     EXPECT_NE(text.find("\"nodes\""), std::string::npos);
+    EXPECT_NE(text.find("\"propagators\""), std::string::npos);
+    EXPECT_NE(text.find("\"disjunctive\""), std::string::npos);
+    EXPECT_NE(text.find("\"invocations\""), std::string::npos);
 }
 
 TEST(Report, SweepSummaryTalliesTelemetry)
@@ -86,6 +96,7 @@ TEST(Report, SweepSummaryTalliesTelemetry)
     ok_point.backtracks = 10;
     ok_point.solveSeconds = 0.5;
     ok_point.warmStarted = true;
+    ok_point.propagators = {{"timetable", 50, 8, 0.1}};
     DsePoint cached = ok_point;
     cached.cacheHit = true;
     cached.solves = 0;
@@ -93,6 +104,7 @@ TEST(Report, SweepSummaryTalliesTelemetry)
     cached.backtracks = 0;
     cached.solveSeconds = 0.0;
     cached.warmStarted = false;
+    cached.propagators.clear();
     DsePoint invalid; // Spec validation failure: zero solves.
     invalid.note = "no option within budget";
     DsePoint unsolved; // Solver ran and gave up.
@@ -113,10 +125,16 @@ TEST(Report, SweepSummaryTalliesTelemetry)
     EXPECT_EQ(summary.nodes, 107);
     EXPECT_EQ(summary.backtracks, 10);
     EXPECT_NEAR(summary.solveSeconds, 0.5, 1e-12);
+    ASSERT_EQ(summary.propagators.size(), 1u);
+    EXPECT_EQ(summary.propagators[0].name, "timetable");
+    EXPECT_EQ(summary.propagators[0].invocations, 50);
+    EXPECT_EQ(summary.propagators[0].prunings, 8);
 
     std::string line = toString(summary);
     EXPECT_NE(line.find("4 points"), std::string::npos);
     EXPECT_NE(line.find("cache hits"), std::string::npos);
+    EXPECT_NE(line.find("propagation: timetable 50/8"),
+              std::string::npos);
 }
 
 TEST(Report, JsonHasOneEntryPerPoint)
