@@ -104,6 +104,7 @@ BENCHMARK(BM_SolveAtResolution)
 int
 main(int argc, char **argv)
 {
+    hilp::bench::initHarness(&argc, argv);
     emitAblation();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

@@ -168,6 +168,7 @@ BENCHMARK(BM_LpBound)->Unit(benchmark::kMillisecond)->Iterations(5);
 int
 main(int argc, char **argv)
 {
+    hilp::bench::initHarness(&argc, argv);
     emitAblation();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

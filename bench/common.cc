@@ -1,13 +1,74 @@
 #include "common.hh"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "dse/pareto.hh"
+#include "support/logging.hh"
+#include "support/metrics.hh"
 #include "support/str.hh"
 #include "support/table.hh"
+#include "support/trace.hh"
 
 namespace hilp {
 namespace bench {
+
+namespace {
+
+std::string g_trace_path;
+std::string g_metrics_path;
+
+void
+dumpTelemetry()
+{
+    if (!g_trace_path.empty()) {
+        std::string error = trace::writeFile(g_trace_path);
+        if (!error.empty())
+            warn("trace export failed: %s", error.c_str());
+        else
+            inform("wrote Chrome trace to %s (open in "
+                   "https://ui.perfetto.dev)", g_trace_path.c_str());
+    }
+    if (!g_metrics_path.empty()) {
+        std::string text = metrics::snapshotJson().dump(2);
+        text += '\n';
+        std::FILE *file = std::fopen(g_metrics_path.c_str(), "w");
+        if (!file) {
+            warn("cannot open metrics output '%s'",
+                 g_metrics_path.c_str());
+            return;
+        }
+        std::fwrite(text.data(), 1, text.size(), file);
+        std::fclose(file);
+        inform("wrote metrics snapshot to %s", g_metrics_path.c_str());
+    }
+}
+
+} // anonymous namespace
+
+void
+initHarness(int *argc, char **argv)
+{
+    int kept = 1;
+    for (int i = 1; i < *argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "--trace-out=", 12) == 0)
+            g_trace_path = arg + 12;
+        else if (std::strncmp(arg, "--metrics-out=", 14) == 0)
+            g_metrics_path = arg + 14;
+        else
+            argv[kept++] = argv[i];
+    }
+    *argc = kept;
+    if (!g_trace_path.empty())
+        trace::setEnabled(true);
+    // Dump at exit so the trace also covers the google-benchmark
+    // loops that run after each binary's figure emission.
+    if (!g_trace_path.empty() || !g_metrics_path.empty())
+        std::atexit(dumpTelemetry);
+}
 
 void
 banner(const std::string &title, const std::string &description)

@@ -21,6 +21,21 @@
 namespace hilp {
 namespace bench {
 
+/**
+ * Parse and strip the harness's own observability flags before the
+ * benchmark library sees argv. Every bench binary calls this first:
+ *
+ *   --trace-out=FILE    enable tracing; at exit, write the Chrome
+ *                       trace-event JSON to FILE (open in Perfetto
+ *                       at https://ui.perfetto.dev).
+ *   --metrics-out=FILE  at exit, write the metrics-registry snapshot
+ *                       (counters/gauges/histograms) to FILE as JSON.
+ *
+ * Both dumps run through atexit so they capture everything, including
+ * the google-benchmark timing loops at the end of main.
+ */
+void initHarness(int *argc, char **argv);
+
 /** Print a figure/table banner. */
 void banner(const std::string &title, const std::string &description);
 

@@ -98,6 +98,7 @@ BENCHMARK(BM_SolveTwoAppExample)->Unit(benchmark::kMillisecond);
 int
 main(int argc, char **argv)
 {
+    hilp::bench::initHarness(&argc, argv);
     emitFigure();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

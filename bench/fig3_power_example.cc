@@ -103,6 +103,7 @@ BENCHMARK(BM_SolvePowerConstrainedExample)
 int
 main(int argc, char **argv)
 {
+    hilp::bench::initHarness(&argc, argv);
     emitFigure();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

@@ -99,6 +99,7 @@ BENCHMARK(BM_EvaluateAmdahlPoint)
 int
 main(int argc, char **argv)
 {
+    hilp::bench::initHarness(&argc, argv);
     emitFigure();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

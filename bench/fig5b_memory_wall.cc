@@ -79,6 +79,7 @@ BENCHMARK(BM_EvaluateBandwidthBoundPoint)
 int
 main(int argc, char **argv)
 {
+    hilp::bench::initHarness(&argc, argv);
     emitFigure();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

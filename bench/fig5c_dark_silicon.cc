@@ -87,6 +87,7 @@ BENCHMARK(BM_EvaluatePowerBoundPoint)
 int
 main(int argc, char **argv)
 {
+    hilp::bench::initHarness(&argc, argv);
     emitFigure();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

@@ -96,6 +96,7 @@ BENCHMARK(BM_EvaluateWlpComparisonPoint)
 int
 main(int argc, char **argv)
 {
+    hilp::bench::initHarness(&argc, argv);
     emitFigure();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

@@ -40,6 +40,15 @@ emitModel(dse::ModelKind kind,
     if (kind == dse::ModelKind::Hilp) {
         std::printf("%s solver effort: %s\n", dse::toString(kind),
                     dse::toString(dse::summarizeSweep(points)).c_str());
+        // Machine-readable sweep report: per-point rows, the summary,
+        // and the metrics-registry snapshot in one file.
+        std::string report = dse::sweepReportJson(points).dump(2);
+        report += '\n';
+        if (std::FILE *file = std::fopen("FIG7_sweep.json", "w")) {
+            std::fwrite(report.data(), 1, report.size(), file);
+            std::fclose(file);
+            std::printf("wrote HILP sweep report to FIG7_sweep.json\n");
+        }
     }
 
     auto front = bench::paretoOf(points);
@@ -131,6 +140,7 @@ BENCHMARK(BM_ExploreSubsetOfDesignSpace)
 int
 main(int argc, char **argv)
 {
+    hilp::bench::initHarness(&argc, argv);
     // Filter out our own flag before the benchmark library parses
     // (and rejects) the remaining arguments.
     int kept = 1;

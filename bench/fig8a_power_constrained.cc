@@ -81,6 +81,7 @@ BENCHMARK(BM_EvaluateTwentyWattPoint)
 int
 main(int argc, char **argv)
 {
+    hilp::bench::initHarness(&argc, argv);
     emitFigure();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

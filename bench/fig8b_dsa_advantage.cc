@@ -76,6 +76,7 @@ BENCHMARK(BM_EvaluateHighAdvantagePoint)
 int
 main(int argc, char **argv)
 {
+    hilp::bench::initHarness(&argc, argv);
     emitFigure();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

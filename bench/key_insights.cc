@@ -200,6 +200,7 @@ BENCHMARK(BM_InsightWitnessSolve)
 int
 main(int argc, char **argv)
 {
+    hilp::bench::initHarness(&argc, argv);
     emitInsights();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

@@ -166,6 +166,7 @@ BENCHMARK(BM_ReplayValidation)->Unit(benchmark::kMillisecond);
 int
 main(int argc, char **argv)
 {
+    hilp::bench::initHarness(&argc, argv);
     emitGap();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

@@ -22,6 +22,7 @@
 #include "hilp/discretize.hh"
 #include "support/json.hh"
 #include "support/table.hh"
+#include "support/trace.hh"
 
 namespace {
 
@@ -124,8 +125,52 @@ measure(const Instance &instance)
     return m;
 }
 
+struct TraceOverhead
+{
+    double disabledS = 0.0;
+    double enabledS = 0.0;
+};
+
+/**
+ * Median wall time of one instance with tracing off vs on. The
+ * interesting number is the disabled cost (instrumentation compiled
+ * in but not recording), which the observability layer promises
+ * stays within noise of an uninstrumented build; the enabled cost
+ * shows what actually recording a trace adds.
+ */
+TraceOverhead
+measureTraceOverhead(const Instance &instance)
+{
+    bool was_enabled = trace::enabled();
+    auto median = [&](bool enable) {
+        trace::setEnabled(enable);
+        std::vector<double> times;
+        for (int rep = 0; rep < kRepeats; ++rep) {
+            cp::Solver solver(instance.options);
+            Clock::time_point t0 = Clock::now();
+            cp::Result result = solver.solve(instance.model);
+            benchmark::DoNotOptimize(result.makespan);
+            times.push_back(std::chrono::duration<double>(
+                Clock::now() - t0).count());
+        }
+        std::sort(times.begin(), times.end());
+        return times[times.size() / 2];
+    };
+    TraceOverhead overhead;
+    overhead.disabledS = median(false);
+    overhead.enabledS = median(true);
+    trace::setEnabled(was_enabled);
+    if (!was_enabled) {
+        // Nobody will export these probe events: drop them so a later
+        // --trace-out run is not polluted.
+        trace::clearAll();
+    }
+    return overhead;
+}
+
 void
-emitReport(const std::vector<Measurement> &measurements)
+emitReport(const std::vector<Measurement> &measurements,
+           const TraceOverhead &overhead)
 {
     bench::banner(
         "Solver microbenchmark - pinned instances",
@@ -203,6 +248,17 @@ emitReport(const std::vector<Measurement> &measurements)
     totals.set("nodes", Json::number(total_nodes));
     report.set("totals", std::move(totals));
 
+    double ratio = overhead.disabledS > 0.0
+        ? overhead.enabledS / overhead.disabledS : 1.0;
+    Json trace_overhead = Json::object();
+    trace_overhead.set("disabled_s", Json::number(overhead.disabledS));
+    trace_overhead.set("enabled_s", Json::number(overhead.enabledS));
+    trace_overhead.set("ratio", Json::number(ratio));
+    report.set("trace_overhead", std::move(trace_overhead));
+    std::printf("trace overhead (explore instance): %.2fms off, "
+                "%.2fms on (%.2fx)\n", overhead.disabledS * 1e3,
+                overhead.enabledS * 1e3, ratio);
+
     std::ofstream file("BENCH_solver.json");
     file << report.dump(2) << "\n";
     std::printf("wrote BENCH_solver.json (total median %.3fs, "
@@ -239,10 +295,15 @@ BENCHMARK(BM_SolveExplore)->Unit(benchmark::kMillisecond)->Iterations(3);
 int
 main(int argc, char **argv)
 {
+    hilp::bench::initHarness(&argc, argv);
+    auto instances = makeInstances();
     std::vector<Measurement> measurements;
-    for (const Instance &instance : makeInstances())
+    for (const Instance &instance : instances)
         measurements.push_back(measure(instance));
-    emitReport(measurements);
+    // The explore-budget instance is the overhead probe: it is the
+    // regime the DSE sweep runs in, where trace cost matters most.
+    TraceOverhead overhead = measureTraceOverhead(instances[1]);
+    emitReport(measurements, overhead);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Standalone validator for exported Chrome trace files. Reads the
+ * JSON produced by --trace-out, parses it with support/json, and
+ * runs the structural checks (traceEvents present, complete event
+ * fields, per-thread monotonic timestamps, balanced and properly
+ * nested B/E pairs). Exits 0 when the trace is valid; scripts use it
+ * as the smoke test that the observability layer's output really is
+ * what Perfetto expects.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "support/json.hh"
+#include "support/trace.hh"
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 2) {
+        std::fprintf(stderr, "usage: %s <trace.json>\n", argv[0]);
+        return 2;
+    }
+
+    std::ifstream file(argv[1]);
+    if (!file) {
+        std::fprintf(stderr, "trace_check: cannot open '%s'\n",
+                     argv[1]);
+        return 1;
+    }
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+
+    hilp::Json trace;
+    std::string error;
+    if (!hilp::Json::parse(buffer.str(), &trace, &error)) {
+        std::fprintf(stderr, "trace_check: '%s' is not JSON: %s\n",
+                     argv[1], error.c_str());
+        return 1;
+    }
+
+    error = hilp::trace::validateChromeTrace(trace);
+    if (!error.empty()) {
+        std::fprintf(stderr,
+                     "trace_check: '%s' is not a valid Chrome "
+                     "trace: %s\n", argv[1], error.c_str());
+        return 1;
+    }
+
+    const hilp::Json *events = trace.find("traceEvents");
+    std::printf("trace_check: %s ok (%zu events)\n", argv[1],
+                events ? events->size() : 0);
+    return 0;
+}

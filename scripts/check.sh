@@ -26,4 +26,13 @@ run_suite() {
 run_suite build
 run_suite build-asan -DHILP_SANITIZE=ON
 
+# Tracing smoke test: run the solver microbenchmark with a trace
+# export (benchmark timing loops filtered out for speed) and validate
+# that the file is a well-formed, balanced Chrome trace.
+echo "==> trace smoke test"
+trace_file="build/check_trace.json"
+./build/bench/solver_micro "--trace-out=${trace_file}" \
+    --benchmark_filter=none > /dev/null
+./build/bench/trace_check "${trace_file}"
+
 echo "==> all checks passed"

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "support/logging.hh"
+#include "support/trace.hh"
 
 namespace hilp {
 namespace cp {
@@ -19,6 +20,16 @@ using Clock = std::chrono::steady_clock;
  * extrapolated. Keep it a power of two.
  */
 constexpr int64_t kTimingSample = 16;
+
+/**
+ * Sampling rate for per-rule trace spans when tracing is enabled: a
+ * fixpoint runs per search node, so tracing every propagate() call
+ * would saturate the trace buffers in milliseconds. One span per
+ * kTraceSample invocations keeps the timeline representative while
+ * a full solve stays within the per-thread event budget. Power of
+ * two.
+ */
+constexpr int64_t kTraceSample = 1024;
 
 /**
  * Timetable-cumulative reasoning: per resource, the energy already
@@ -419,6 +430,12 @@ PropagationEngine::fixpoint(PropagationContext &ctx)
         queued_[i] = 0;
         PropagatorStats &stats = stats_[i];
         Propagator::Outcome out;
+        // Every kTraceSample-th invocation of a rule becomes a span
+        // on the trace timeline; a null name keeps the span a no-op
+        // on the unsampled (or untraced) calls.
+        bool traced = trace::enabled() &&
+            (stats.invocations & (kTraceSample - 1)) == 0;
+        trace::Span span(traced ? propagators_[i]->name() : nullptr);
         if ((stats.invocations & (kTimingSample - 1)) == 0) {
             Clock::time_point t0 = Clock::now();
             out = propagators_[i]->propagate(ctx);
@@ -428,6 +445,8 @@ PropagationEngine::fixpoint(PropagationContext &ctx)
         } else {
             out = propagators_[i]->propagate(ctx);
         }
+        if (traced)
+            span.arg(trace::Arg::intArg("bound", out.bound));
         ++stats.invocations;
         bound = std::max(bound, out.bound);
         if (out.bound >= ctx.ub)

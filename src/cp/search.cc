@@ -7,6 +7,8 @@
 #include "profile.hh"
 #include "propagate.hh"
 #include "support/logging.hh"
+#include "support/metrics.hh"
+#include "support/trace.hh"
 
 namespace hilp {
 namespace cp {
@@ -14,6 +16,13 @@ namespace cp {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+/**
+ * With tracing enabled, one progress instant is emitted per this
+ * many search nodes (power of two) so the timeline shows how deep
+ * into the tree the search is without an event per node.
+ */
+constexpr int64_t kNodeTraceSample = 8192;
 
 /**
  * All mutable search state lives here. The search owns the branching
@@ -66,12 +75,17 @@ class Searcher
     SearchResult
     run()
     {
+        trace::Span span("cp.search",
+                         trace::Arg::intArg("tasks", model_.numTasks()));
         if (gapReached())
             stop_ = true;
         else
             dfs(0);
         result_.exhausted = !stop_ && !limitHit_;
         result_.propagators = engine_.stats();
+        span.arg(trace::Arg::intArg("nodes", result_.nodes));
+        span.arg(trace::Arg::intArg("backtracks", result_.backtracks));
+        flushMetrics();
         return result_;
     }
 
@@ -133,6 +147,27 @@ class Searcher
         return false;
     }
 
+    /**
+     * Flush per-search totals into the process-wide metrics registry.
+     * Done once per run (not per node) so metrics collection costs
+     * nothing measurable on the search hot path.
+     */
+    void
+    flushMetrics()
+    {
+        metrics::counter("cp.search.nodes").add(result_.nodes);
+        metrics::counter("cp.search.backtracks").add(result_.backtracks);
+        metrics::counter("cp.search.solutions").add(result_.solutions);
+        int64_t invocations = 0;
+        int64_t prunings = 0;
+        for (const PropagatorStats &stats : result_.propagators) {
+            invocations += stats.invocations;
+            prunings += stats.prunings;
+        }
+        metrics::counter("cp.propagations").add(invocations);
+        metrics::counter("cp.prunings").add(prunings);
+    }
+
     void
     recordIncumbent(Time makespan)
     {
@@ -141,6 +176,15 @@ class Searcher
         result_.bestMakespan = makespan;
         ub_ = makespan;
         ++result_.solutions;
+        if (trace::enabled()) {
+            double gap = makespan > 0
+                ? static_cast<double>(makespan - limits_.lowerBound) /
+                  static_cast<double>(makespan)
+                : 0.0;
+            trace::instant("cp.incumbent",
+                           trace::Arg::intArg("makespan", makespan),
+                           trace::Arg::numArg("gap", gap));
+        }
         if (gapReached())
             stop_ = true;
     }
@@ -149,6 +193,9 @@ class Searcher
     dfs(Time makespan)
     {
         ++result_.nodes;
+        if ((result_.nodes & (kNodeTraceSample - 1)) == 0)
+            TRACE_INSTANT("cp.nodes",
+                          trace::Arg::intArg("nodes", result_.nodes));
         if (stop_ || limitsExceeded())
             return;
         const int n = model_.numTasks();

@@ -6,6 +6,8 @@
 #include "list_scheduler.hh"
 #include "search.hh"
 #include "support/logging.hh"
+#include "support/metrics.hh"
+#include "support/trace.hh"
 
 namespace hilp {
 namespace cp {
@@ -41,6 +43,8 @@ Result
 Solver::solve(const Model &model, const ScheduleVec *hint) const
 {
     auto start_time = std::chrono::steady_clock::now();
+    trace::Span solve_span("cp.solve",
+                           trace::Arg::intArg("tasks", model.numTasks()));
 
     std::string problem = model.validate();
     if (!problem.empty())
@@ -49,7 +53,11 @@ Solver::solve(const Model &model, const ScheduleVec *hint) const
     Result result;
 
     // Lower bounds first: they prune the greedy/search work.
-    result.stats.bounds = computeLowerBounds(model, options_.useLpBound);
+    {
+        TRACE_SPAN("cp.bounds");
+        result.stats.bounds =
+            computeLowerBounds(model, options_.useLpBound);
+    }
     result.lowerBound = result.stats.bounds.best();
 
     // An external hint (e.g. a schedule transferred from a similar
@@ -64,23 +72,27 @@ Solver::solve(const Model &model, const ScheduleVec *hint) const
     }
 
     // Greedy warm start, refined by priority-order hill climbing.
-    ListResult greedy = bestGreedy(model, options_.greedyRestarts,
-                                   options_.seed);
-    if (greedy.feasible) {
-        // Skip the refinement when the greedy (or the hint) is
-        // already provably within the target gap.
-        Time incumbent = hint_ok
-            ? std::min(greedy.makespan, hint_makespan)
-            : greedy.makespan;
-        double greedy_gap = incumbent > 0
-            ? static_cast<double>(incumbent - result.lowerBound) /
-              static_cast<double>(incumbent)
-            : 0.0;
-        if (greedy_gap > options_.targetGap)
-            greedy = improveGreedy(model, greedy,
-                                   options_.lnsIterations,
-                                   options_.seed + 1);
-        result.stats.greedyMakespan = greedy.makespan;
+    ListResult greedy;
+    {
+        TRACE_SPAN("cp.greedy");
+        greedy = bestGreedy(model, options_.greedyRestarts,
+                            options_.seed);
+        if (greedy.feasible) {
+            // Skip the refinement when the greedy (or the hint) is
+            // already provably within the target gap.
+            Time incumbent = hint_ok
+                ? std::min(greedy.makespan, hint_makespan)
+                : greedy.makespan;
+            double greedy_gap = incumbent > 0
+                ? static_cast<double>(incumbent - result.lowerBound) /
+                  static_cast<double>(incumbent)
+                : 0.0;
+            if (greedy_gap > options_.targetGap)
+                greedy = improveGreedy(model, greedy,
+                                       options_.lnsIterations,
+                                       options_.seed + 1);
+            result.stats.greedyMakespan = greedy.makespan;
+        }
     }
 
     // Branch and bound, warm-started with the best incumbent.
@@ -134,6 +146,12 @@ Solver::solve(const Model &model, const ScheduleVec *hint) const
 
     result.stats.seconds = std::chrono::duration<double>(
         std::chrono::steady_clock::now() - start_time).count();
+
+    metrics::counter("cp.solves").add(1);
+    metrics::histogram("cp.solve_us")
+        .record(static_cast<int64_t>(result.stats.seconds * 1e6));
+    solve_span.arg(trace::Arg::strArg("status", toString(result.status)));
+    solve_span.arg(trace::Arg::intArg("makespan", result.makespan));
     return result;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <limits>
 #include <map>
 #include <mutex>
@@ -11,8 +12,10 @@
 #include "baselines/gables.hh"
 #include "baselines/multiamdahl.hh"
 #include "support/logging.hh"
+#include "support/metrics.hh"
 #include "support/str.hh"
 #include "support/thread_pool.hh"
+#include "support/trace.hh"
 
 namespace hilp {
 namespace dse {
@@ -105,7 +108,7 @@ fillSolverTelemetry(DsePoint &point, const EvalResult &result)
  * can warm-start their next configuration.
  */
 DsePoint
-evaluatePointImpl(const arch::SocConfig &config,
+evaluatePointBody(const arch::SocConfig &config,
                   const workload::Workload &workload,
                   const arch::Constraints &constraints, ModelKind kind,
                   const DseOptions &options, const EvalReuse *reuse,
@@ -181,6 +184,90 @@ evaluatePointImpl(const arch::SocConfig &config,
 }
 
 /**
+ * Tracing/metrics wrapper around evaluatePointBody: one span per
+ * design point so a sweep's trace shows the per-point timeline on
+ * each worker thread, plus sweep-progress counters.
+ */
+DsePoint
+evaluatePointImpl(const arch::SocConfig &config,
+                  const workload::Workload &workload,
+                  const arch::Constraints &constraints, ModelKind kind,
+                  const DseOptions &options, const EvalReuse *reuse,
+                  Schedule *schedule_out)
+{
+    trace::Span span("dse.point");
+    if (trace::enabled())
+        span.arg(trace::Arg::strArg("config", config.name()));
+    DsePoint point = evaluatePointBody(config, workload, constraints,
+                                       kind, options, reuse,
+                                       schedule_out);
+    span.arg(trace::Arg::intArg("ok", point.ok ? 1 : 0));
+    span.arg(trace::Arg::intArg("cache_hit", point.cacheHit ? 1 : 0));
+    metrics::counter("dse.points").add(1);
+    if (point.ok)
+        metrics::counter("dse.points.ok").add(1);
+    return point;
+}
+
+/**
+ * Rate-limited progress reporting for a sweep. Workers call tick()
+ * once per completed design point; roughly every total/6 completions
+ * (and at most once per kMinIntervalS seconds, since cache-hit bursts
+ * can finish hundreds of points at once) one inform() line reports
+ * done/total, elapsed time, a simple linear ETA, and the cache-hit
+ * rate. Sweeps below kMinPoints stay silent - they finish before a
+ * heartbeat would help - and setLogLevel(Warn)/HILP_LOG_LEVEL=warn
+ * silences the heartbeat like any other status output.
+ */
+class Heartbeat
+{
+  public:
+    explicit Heartbeat(size_t total)
+        : total_(total),
+          stride_(std::max<size_t>(1, total / 6)),
+          start_(std::chrono::steady_clock::now())
+    {}
+
+    void
+    tick(bool cache_hit)
+    {
+        if (cache_hit)
+            cacheHits_.fetch_add(1, std::memory_order_relaxed);
+        size_t done = done_.fetch_add(1, std::memory_order_relaxed) + 1;
+        // The final point is the caller's summary to report.
+        if (total_ < kMinPoints || done >= total_ ||
+            done % stride_ != 0)
+            return;
+        double elapsed = std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start_).count();
+        double last = lastReportS_.load(std::memory_order_relaxed);
+        if (elapsed - last < kMinIntervalS ||
+            !lastReportS_.compare_exchange_strong(last, elapsed))
+            return; // Too soon, or another worker just reported.
+        double eta = elapsed / static_cast<double>(done) *
+                     static_cast<double>(total_ - done);
+        double hit_rate = 100.0 *
+            static_cast<double>(
+                cacheHits_.load(std::memory_order_relaxed)) /
+            static_cast<double>(done);
+        inform("dse: %zu/%zu points | %.1fs elapsed, ~%.1fs left | "
+               "%.0f%% cache hits",
+               done, total_, elapsed, eta, hit_rate);
+    }
+
+  private:
+    static constexpr size_t kMinPoints = 24;
+    static constexpr double kMinIntervalS = 1.0;
+
+    const size_t total_;
+    const size_t stride_;
+    const std::chrono::steady_clock::time_point start_;
+    std::atomic<size_t> done_{0};
+    std::atomic<size_t> cacheHits_{0};
+    std::atomic<double> lastReportS_{0.0};
+};
+
+/**
  * Group configuration indices into similarity chains: same CPU core
  * count and same DSA allocation (count, PE size, targets,
  * advantage), ordered by ascending GPU SM count within a chain.
@@ -237,6 +324,7 @@ exploreSpace(const std::vector<arch::SocConfig> &configs,
 {
     std::vector<DsePoint> points(configs.size());
     ThreadPool pool(options.threads);
+    Heartbeat heartbeat(configs.size());
 
     // Cold-start path: every point is independent. MA is analytic
     // and Gables rewrites the spec internally, so the cross-config
@@ -245,6 +333,7 @@ exploreSpace(const std::vector<arch::SocConfig> &configs,
         pool.parallelFor(configs.size(), [&](size_t i) {
             points[i] = evaluatePoint(configs[i], workload,
                                       constraints, kind, options);
+            heartbeat.tick(points[i].cacheHit);
         });
         return points;
     }
@@ -273,6 +362,7 @@ exploreSpace(const std::vector<arch::SocConfig> &configs,
                                             constraints, kind,
                                             options, &reuse,
                                             &schedule);
+            heartbeat.tick(points[idx].cacheHit);
             if (points[idx].ok) {
                 bound.add(area, points[idx].makespanS);
                 hint = std::move(schedule);

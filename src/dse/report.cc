@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "hilp/problem.hh"
+#include "support/metrics.hh"
 #include "support/str.hh"
 
 namespace hilp {
@@ -171,6 +172,51 @@ toString(const SweepSummary &summary)
         }
     }
     return out;
+}
+
+Json
+toJson(const SweepSummary &summary)
+{
+    Json out = Json::object();
+    out.set("points", Json::number(
+        static_cast<int64_t>(summary.points)));
+    out.set("ok", Json::number(static_cast<int64_t>(summary.ok)));
+    out.set("infeasible", Json::number(
+        static_cast<int64_t>(summary.infeasible)));
+    out.set("no_solution", Json::number(
+        static_cast<int64_t>(summary.noSolution)));
+    out.set("cache_hits", Json::number(
+        static_cast<int64_t>(summary.cacheHits)));
+    out.set("warm_started", Json::number(
+        static_cast<int64_t>(summary.warmStarted)));
+    out.set("pruned", Json::number(
+        static_cast<int64_t>(summary.pruned)));
+    out.set("solves", Json::number(
+        static_cast<int64_t>(summary.solves)));
+    out.set("nodes", Json::number(summary.nodes));
+    out.set("backtracks", Json::number(summary.backtracks));
+    out.set("solve_s", Json::number(summary.solveSeconds));
+    Json propagators = Json::array();
+    for (const cp::PropagatorStats &stats : summary.propagators) {
+        Json prop = Json::object();
+        prop.set("name", Json::string(stats.name));
+        prop.set("invocations", Json::number(stats.invocations));
+        prop.set("prunings", Json::number(stats.prunings));
+        prop.set("seconds", Json::number(stats.seconds));
+        propagators.append(std::move(prop));
+    }
+    out.set("propagators", std::move(propagators));
+    return out;
+}
+
+Json
+sweepReportJson(const std::vector<DsePoint> &points)
+{
+    Json report = Json::object();
+    report.set("points", pointsToJson(points));
+    report.set("summary", toJson(summarizeSweep(points)));
+    report.set("metrics", metrics::snapshotJson());
+    return report;
 }
 
 OffloadAnalysis

@@ -54,6 +54,18 @@ SweepSummary summarizeSweep(const std::vector<DsePoint> &points);
 /** One-line human-readable rendering of a sweep summary. */
 std::string toString(const SweepSummary &summary);
 
+/** JSON rendering of a sweep summary. */
+Json toJson(const SweepSummary &summary);
+
+/**
+ * Complete machine-readable sweep report: the per-point rows
+ * (pointsToJson), the aggregate summary (toJson of summarizeSweep),
+ * and a snapshot of the process-wide metrics registry - so one file
+ * carries both the sweep's results and the observability counters
+ * that produced them.
+ */
+Json sweepReportJson(const std::vector<DsePoint> &points);
+
 /**
  * The Section VI accelerator-offload analysis behind Key Insight 3
  * ("the primary function of DSAs in the top-performing SoCs is to

@@ -6,6 +6,8 @@
 
 #include "cp/profile.hh"
 #include "support/logging.hh"
+#include "support/metrics.hh"
+#include "support/trace.hh"
 
 namespace hilp {
 
@@ -17,11 +19,13 @@ SolveMemo::lookup(uint64_t key, EvalResult *out) const
         auto it = entries_.find(key);
         if (it == entries_.end()) {
             ++misses_;
+            metrics::counter("hilp.cache.misses").add(1);
             return false;
         }
         *out = it->second;
     }
     ++hits_;
+    metrics::counter("hilp.cache.hits").add(1);
     out->cacheHit = true;
     // The effort was paid for by the original solve; a hit is free.
     out->solves = 0;
@@ -234,6 +238,8 @@ EvalResult
 solveAtResolution(const ProblemSpec &spec, double step_s,
                   const EngineOptions &options, const Schedule *hint)
 {
+    TRACE_SPAN("hilp.resolution",
+               trace::Arg::numArg("step_s", step_s));
     DiscretizedProblem problem =
         discretize(spec, step_s, options.horizonSteps);
 
@@ -304,6 +310,10 @@ EvalResult
 evaluate(const ProblemSpec &spec, const EngineOptions &options,
          const EvalReuse &reuse)
 {
+    trace::Span eval_span("hilp.evaluate");
+    if (trace::enabled())
+        eval_span.arg(trace::Arg::strArg("spec", spec.name));
+
     std::string issue = spec.validate();
     if (!issue.empty())
         fatal("invalid problem spec '%s': %s", spec.name.c_str(),

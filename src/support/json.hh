@@ -1,11 +1,14 @@
 /**
  * @file
- * A minimal JSON writer.
+ * A minimal JSON writer and reader.
  *
- * HILP's results (schedules, DSE sweeps) feed external plotting and
- * analysis pipelines; this writer produces standards-compliant JSON
- * without pulling in a dependency. Writing only - HILP's input
- * formats are CSV (workload/io.hh) and code-level builders.
+ * HILP's results (schedules, DSE sweeps, traces) feed external
+ * plotting and analysis pipelines; this writer produces
+ * standards-compliant JSON without pulling in a dependency. The
+ * reader (Json::parse) exists so tests and tooling can round-trip
+ * HILP's own output - e.g. validating an exported Chrome trace -
+ * not as a general configuration format; HILP's input formats remain
+ * CSV (workload/io.hh) and code-level builders.
  */
 
 #ifndef HILP_SUPPORT_JSON_HH
@@ -37,9 +40,44 @@ class Json
     static Json object();
     static Json array();
 
-    /** True when this value is an object / array respectively. */
+    /**
+     * Parse JSON text into *out. Returns false (and sets *error to a
+     * position-carrying message, when given) on malformed input, in
+     * which case *out is left null. Accepts exactly what dump()
+     * produces plus standard JSON written by other tools; trailing
+     * non-whitespace after the top-level value is an error.
+     */
+    static bool parse(const std::string &text, Json *out,
+                      std::string *error = nullptr);
+
+    /** Kind predicates. isNumber covers doubles and integers. */
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const
+    {
+        return kind_ == Kind::Number || kind_ == Kind::Integer;
+    }
+    bool isString() const { return kind_ == Kind::String; }
     bool isObject() const { return kind_ == Kind::Object; }
     bool isArray() const { return kind_ == Kind::Array; }
+
+    /** Scalar accessors; panic when the kind does not match. */
+    bool boolValue() const;
+    double numberValue() const;  //!< Doubles and integers.
+    int64_t intValue() const;    //!< Integers; doubles truncate.
+    const std::string &stringValue() const;
+
+    /**
+     * Object member lookup: the value for key, or nullptr when the
+     * key is absent. Panics on non-objects.
+     */
+    const Json *find(const std::string &key) const;
+
+    /** Array element access; panics on non-arrays or out of range. */
+    const Json &at(size_t index) const;
+
+    /** Object members in insertion order. Panics on non-objects. */
+    const std::vector<std::pair<std::string, Json>> &members() const;
 
     /**
      * Set a key on an object (panics on non-objects). Returns *this

@@ -1,13 +1,38 @@
 #include "logging.hh"
 
 #include <atomic>
+#include <cctype>
 #include <cstdarg>
+#include <cstring>
 
 namespace hilp {
 
 namespace {
 
-std::atomic<LogLevel> globalLogLevel{LogLevel::Inform};
+/**
+ * The HILP_LOG_LEVEL environment variable sets the starting
+ * verbosity (setLogLevel still overrides it at runtime). A value
+ * that does not parse is reported on stderr exactly once - fprintf
+ * directly, since the logging globals are still being initialized.
+ */
+LogLevel
+initialLogLevel()
+{
+    const char *env = std::getenv("HILP_LOG_LEVEL");
+    if (!env || !*env)
+        return LogLevel::Inform;
+    LogLevel level = LogLevel::Inform;
+    if (!parseLogLevel(env, &level)) {
+        std::fprintf(stderr,
+                     "warn: unrecognized HILP_LOG_LEVEL '%s' "
+                     "(expected silent/warn/inform/debug or 0-3)\n",
+                     env);
+        return LogLevel::Inform;
+    }
+    return level;
+}
+
+std::atomic<LogLevel> globalLogLevel{initialLogLevel()};
 
 } // anonymous namespace
 
@@ -21,6 +46,29 @@ void
 setLogLevel(LogLevel level)
 {
     globalLogLevel.store(level, std::memory_order_relaxed);
+}
+
+bool
+parseLogLevel(const char *text, LogLevel *out)
+{
+    if (!text)
+        return false;
+    std::string lowered;
+    for (const char *p = text; *p; ++p)
+        lowered += static_cast<char>(
+            std::tolower(static_cast<unsigned char>(*p)));
+    if (lowered == "silent" || lowered == "0")
+        *out = LogLevel::Silent;
+    else if (lowered == "warn" || lowered == "1")
+        *out = LogLevel::Warn;
+    else if (lowered == "inform" || lowered == "info" ||
+             lowered == "2")
+        *out = LogLevel::Inform;
+    else if (lowered == "debug" || lowered == "3")
+        *out = LogLevel::Debug;
+    else
+        return false;
+    return true;
 }
 
 namespace detail {
@@ -43,7 +91,16 @@ vformat(const char *fmt, va_list ap)
 void
 emit(const char *prefix, const std::string &msg)
 {
-    std::fprintf(stderr, "%s%s\n", prefix, msg.c_str());
+    // One fwrite of the fully assembled line: concurrent sweep
+    // workers may log at once, and POSIX only guarantees stdio calls
+    // are atomic individually, so assembling prefix + message +
+    // newline first keeps fragments from interleaving on stderr.
+    std::string line;
+    line.reserve(std::strlen(prefix) + msg.size() + 1);
+    line += prefix;
+    line += msg;
+    line += '\n';
+    std::fwrite(line.data(), 1, line.size(), stderr);
     std::fflush(stderr);
 }
 

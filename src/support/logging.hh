@@ -33,6 +33,16 @@ LogLevel logLevel();
 /** Set the process-wide log level. */
 void setLogLevel(LogLevel level);
 
+/**
+ * Parse a log-level name ("silent", "warn", "inform", "debug", or
+ * the numeric levels "0".."3"; case-insensitive). Returns true and
+ * fills *out on success. This is the parser behind the
+ * HILP_LOG_LEVEL environment variable, which is applied to the
+ * process-wide level at startup (an unrecognized value is reported
+ * once and ignored).
+ */
+bool parseLogLevel(const char *text, LogLevel *out);
+
 namespace detail {
 
 /** Emit a formatted message with the given prefix to stderr. */

@@ -1,0 +1,353 @@
+#include "metrics.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+#include "str.hh"
+
+namespace hilp {
+namespace metrics {
+
+namespace {
+
+/**
+ * Each metric gets a process-unique id; thread-local cells are cached
+ * by id (not by pointer) so a destroyed standalone metric can never
+ * alias a later allocation at the same address.
+ */
+uint64_t
+nextMetricId()
+{
+    static std::atomic<uint64_t> next{1};
+    return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+/**
+ * Per-thread cache mapping metric id -> that thread's cell. The
+ * metric keeps its own shared_ptr to every cell it ever handed out,
+ * so values survive thread exit (the cache only drops its reference).
+ */
+thread_local std::unordered_map<uint64_t, std::shared_ptr<void>>
+    tl_cells;
+
+} // anonymous namespace
+
+/** One thread's slice of a counter, padded to its own cache line. */
+struct alignas(64) Counter::Cell
+{
+    std::atomic<int64_t> value{0};
+};
+
+Counter::Counter(std::string name)
+    : name_(std::move(name)), id_(nextMetricId())
+{}
+
+Counter::~Counter() = default;
+
+Counter::Cell &
+Counter::localCell()
+{
+    auto it = tl_cells.find(id_);
+    if (it == tl_cells.end()) {
+        auto cell = std::make_shared<Cell>();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            cells_.push_back(cell);
+        }
+        it = tl_cells.emplace(id_, cell).first;
+    }
+    return *static_cast<Cell *>(it->second.get());
+}
+
+void
+Counter::add(int64_t delta)
+{
+    localCell().value.fetch_add(delta, std::memory_order_relaxed);
+}
+
+int64_t
+Counter::value() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    int64_t total = 0;
+    for (const std::shared_ptr<Cell> &cell : cells_)
+        total += cell->value.load(std::memory_order_relaxed);
+    return total;
+}
+
+void
+Counter::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const std::shared_ptr<Cell> &cell : cells_)
+        cell->value.store(0, std::memory_order_relaxed);
+}
+
+/** One thread's slice of a histogram. */
+struct alignas(64) Histogram::Cell
+{
+    std::array<std::atomic<int64_t>, kHistogramBuckets> counts{};
+    std::atomic<int64_t> sum{0};
+    /** min/max are written by the owning thread only. */
+    std::atomic<int64_t> min{INT64_MAX};
+    std::atomic<int64_t> max{INT64_MIN};
+};
+
+Histogram::Histogram(std::string name)
+    : name_(std::move(name)), id_(nextMetricId())
+{}
+
+Histogram::~Histogram() = default;
+
+int
+Histogram::bucketOf(int64_t value)
+{
+    if (value <= 0)
+        return 0;
+    return std::bit_width(static_cast<uint64_t>(value));
+}
+
+Histogram::Cell &
+Histogram::localCell()
+{
+    auto it = tl_cells.find(id_);
+    if (it == tl_cells.end()) {
+        auto cell = std::make_shared<Cell>();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            cells_.push_back(cell);
+        }
+        it = tl_cells.emplace(id_, cell).first;
+    }
+    return *static_cast<Cell *>(it->second.get());
+}
+
+void
+Histogram::record(int64_t value)
+{
+    Cell &cell = localCell();
+    cell.counts[bucketOf(value)].fetch_add(
+        1, std::memory_order_relaxed);
+    cell.sum.fetch_add(value, std::memory_order_relaxed);
+    // The cell is written by this thread only, so plain
+    // compare-then-store keeps min/max exact without a CAS loop.
+    if (value < cell.min.load(std::memory_order_relaxed))
+        cell.min.store(value, std::memory_order_relaxed);
+    if (value > cell.max.load(std::memory_order_relaxed))
+        cell.max.store(value, std::memory_order_relaxed);
+}
+
+HistogramSnapshot
+Histogram::snapshot() const
+{
+    HistogramSnapshot snap;
+    int64_t min = INT64_MAX;
+    int64_t max = INT64_MIN;
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const std::shared_ptr<Cell> &cell : cells_) {
+        for (int b = 0; b < kHistogramBuckets; ++b) {
+            int64_t n = cell->counts[b].load(
+                std::memory_order_relaxed);
+            snap.buckets[b] += n;
+            snap.count += n;
+        }
+        snap.sum += cell->sum.load(std::memory_order_relaxed);
+        min = std::min(min,
+                       cell->min.load(std::memory_order_relaxed));
+        max = std::max(max,
+                       cell->max.load(std::memory_order_relaxed));
+    }
+    if (snap.count > 0) {
+        snap.min = min;
+        snap.max = max;
+    }
+    return snap;
+}
+
+void
+Histogram::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const std::shared_ptr<Cell> &cell : cells_) {
+        for (int b = 0; b < kHistogramBuckets; ++b)
+            cell->counts[b].store(0, std::memory_order_relaxed);
+        cell->sum.store(0, std::memory_order_relaxed);
+        cell->min.store(INT64_MAX, std::memory_order_relaxed);
+        cell->max.store(INT64_MIN, std::memory_order_relaxed);
+    }
+}
+
+double
+HistogramSnapshot::mean() const
+{
+    if (count == 0)
+        return 0.0;
+    return static_cast<double>(sum) / static_cast<double>(count);
+}
+
+double
+HistogramSnapshot::quantile(double q) const
+{
+    if (count == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    int64_t target = static_cast<int64_t>(
+        std::ceil(q * static_cast<double>(count)));
+    target = std::max<int64_t>(target, 1);
+    int64_t seen = 0;
+    for (int b = 0; b < kHistogramBuckets; ++b) {
+        seen += buckets[b];
+        if (seen >= target) {
+            // Upper bound of the bucket, clamped to what was seen.
+            double upper = b == 0
+                ? 0.0
+                : std::ldexp(1.0, b) - 1.0; // 2^b - 1
+            return std::clamp(upper, static_cast<double>(min),
+                              static_cast<double>(max));
+        }
+    }
+    return static_cast<double>(max);
+}
+
+namespace {
+
+/**
+ * The registry is leaked deliberately: metric references are cached
+ * in function-local statics across the codebase and the atexit
+ * observability dump runs late, so no destruction order is safe.
+ */
+struct Registry
+{
+    std::mutex mutex;
+    // std::map: snapshots render in a stable, sorted order.
+    std::map<std::string, std::unique_ptr<Counter>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+Registry &
+registry()
+{
+    static Registry *instance = new Registry;
+    return *instance;
+}
+
+} // anonymous namespace
+
+Counter &
+counter(const std::string &name)
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    std::unique_ptr<Counter> &slot = reg.counters[name];
+    if (!slot)
+        slot = std::make_unique<Counter>(name);
+    return *slot;
+}
+
+Gauge &
+gauge(const std::string &name)
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    std::unique_ptr<Gauge> &slot = reg.gauges[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>(name);
+    return *slot;
+}
+
+Histogram &
+histogram(const std::string &name)
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    std::unique_ptr<Histogram> &slot = reg.histograms[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>(name);
+    return *slot;
+}
+
+Json
+snapshotJson()
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+
+    Json counters = Json::object();
+    for (const auto &[name, metric] : reg.counters)
+        counters.set(name, Json::number(metric->value()));
+
+    Json gauges = Json::object();
+    for (const auto &[name, metric] : reg.gauges)
+        gauges.set(name, Json::number(metric->value()));
+
+    Json histograms = Json::object();
+    for (const auto &[name, metric] : reg.histograms) {
+        HistogramSnapshot snap = metric->snapshot();
+        Json entry = Json::object();
+        entry.set("count", Json::number(snap.count));
+        entry.set("sum", Json::number(snap.sum));
+        entry.set("min", Json::number(snap.min));
+        entry.set("max", Json::number(snap.max));
+        entry.set("mean", Json::number(snap.mean()));
+        entry.set("p50", Json::number(snap.quantile(0.50)));
+        entry.set("p95", Json::number(snap.quantile(0.95)));
+        entry.set("p99", Json::number(snap.quantile(0.99)));
+        histograms.set(name, std::move(entry));
+    }
+
+    Json out = Json::object();
+    out.set("counters", std::move(counters));
+    out.set("gauges", std::move(gauges));
+    out.set("histograms", std::move(histograms));
+    return out;
+}
+
+std::string
+snapshotCsv()
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    std::string out = "metric,kind,value\n";
+    for (const auto &[name, metric] : reg.counters)
+        out += format("%s,counter,%lld\n", name.c_str(),
+                      static_cast<long long>(metric->value()));
+    for (const auto &[name, metric] : reg.gauges)
+        out += format("%s,gauge,%.9g\n", name.c_str(),
+                      metric->value());
+    for (const auto &[name, metric] : reg.histograms) {
+        HistogramSnapshot snap = metric->snapshot();
+        out += format("%s.count,histogram,%lld\n", name.c_str(),
+                      static_cast<long long>(snap.count));
+        out += format("%s.sum,histogram,%lld\n", name.c_str(),
+                      static_cast<long long>(snap.sum));
+        out += format("%s.min,histogram,%lld\n", name.c_str(),
+                      static_cast<long long>(snap.min));
+        out += format("%s.max,histogram,%lld\n", name.c_str(),
+                      static_cast<long long>(snap.max));
+        out += format("%s.mean,histogram,%.9g\n", name.c_str(),
+                      snap.mean());
+        out += format("%s.p95,histogram,%.9g\n", name.c_str(),
+                      snap.quantile(0.95));
+    }
+    return out;
+}
+
+void
+resetAll()
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    for (const auto &[name, metric] : reg.counters)
+        metric->reset();
+    for (const auto &[name, metric] : reg.gauges)
+        metric->set(0.0);
+    for (const auto &[name, metric] : reg.histograms)
+        metric->reset();
+}
+
+} // namespace metrics
+} // namespace hilp

@@ -4,6 +4,9 @@
 #include <atomic>
 
 #include "logging.hh"
+#include "metrics.hh"
+#include "str.hh"
+#include "trace.hh"
 
 namespace hilp {
 
@@ -15,7 +18,12 @@ ThreadPool::ThreadPool(size_t num_threads)
     }
     workers_.reserve(num_threads);
     for (size_t i = 0; i < num_threads; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.emplace_back([this, i] {
+            // Workers carry a stable name so sweep parallelism is
+            // legible on the exported trace timeline.
+            trace::setThreadName(format("worker-%zu", i));
+            workerLoop();
+        });
 }
 
 ThreadPool::~ThreadPool()
@@ -91,6 +99,8 @@ ThreadPool::workerLoop()
         }
         std::exception_ptr error;
         try {
+            TRACE_SPAN("pool.task");
+            metrics::counter("pool.tasks").add(1);
             task();
         } catch (...) {
             error = std::current_exception();

@@ -1,0 +1,474 @@
+#include "trace.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "str.hh"
+
+namespace hilp {
+namespace trace {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/**
+ * Per-thread event cap. Dropping (and counting) beyond the cap keeps
+ * a runaway trace from eating memory while preserving the beginning
+ * of the timeline, which is where the interesting structure lives.
+ */
+constexpr size_t kMaxEventsPerThread = 1 << 16;
+
+/** A single pid for the whole process keeps exports deterministic. */
+constexpr int64_t kPid = 1;
+
+std::atomic<bool> g_enabled{false};
+
+struct Event
+{
+    const char *name = nullptr;
+    char phase = 'i'; // 'B', 'E', or 'i'.
+    int64_t tsUs = 0;
+    int numArgs = 0;
+    Arg args[4];
+};
+
+/**
+ * One thread's event stream. Appends come only from the owning
+ * thread; the mutex makes the occasional cross-thread read (export,
+ * clear) race-free.
+ */
+struct ThreadBuffer
+{
+    std::mutex mutex;
+    int64_t tid = 0;
+    std::string name;
+    std::vector<Event> events;
+    int64_t dropped = 0;
+};
+
+/**
+ * Owns every thread buffer ever created (threads may exit before
+ * export, so buffers must outlive them). Leaked deliberately: the
+ * atexit trace dump must not race static destruction.
+ */
+struct BufferRegistry
+{
+    std::mutex mutex;
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    int64_t nextTid = 1;
+};
+
+BufferRegistry &
+bufferRegistry()
+{
+    static BufferRegistry *instance = new BufferRegistry;
+    return *instance;
+}
+
+/** Trace epoch: timestamps are microseconds since first use. */
+Clock::time_point
+epoch()
+{
+    static const Clock::time_point t0 = Clock::now();
+    return t0;
+}
+
+int64_t
+nowUs()
+{
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               Clock::now() - epoch())
+        .count();
+}
+
+ThreadBuffer &
+localBuffer()
+{
+    thread_local std::shared_ptr<ThreadBuffer> tl_buffer = [] {
+        auto buffer = std::make_shared<ThreadBuffer>();
+        BufferRegistry &reg = bufferRegistry();
+        std::lock_guard<std::mutex> lock(reg.mutex);
+        buffer->tid = reg.nextTid++;
+        reg.buffers.push_back(buffer);
+        return buffer;
+    }();
+    return *tl_buffer;
+}
+
+void
+record(const char *name, char phase, int numArgs, const Arg *args)
+{
+    int64_t ts = nowUs();
+    ThreadBuffer &buffer = localBuffer();
+    std::lock_guard<std::mutex> lock(buffer.mutex);
+    if (buffer.events.size() >= kMaxEventsPerThread) {
+        ++buffer.dropped;
+        return;
+    }
+    Event event;
+    event.name = name;
+    event.phase = phase;
+    event.tsUs = ts;
+    event.numArgs = std::min(numArgs, 4);
+    for (int i = 0; i < event.numArgs; ++i)
+        event.args[i] = args[i];
+    buffer.events.push_back(std::move(event));
+}
+
+Json
+argsJson(const Event &event)
+{
+    Json args = Json::object();
+    for (int i = 0; i < event.numArgs; ++i) {
+        const Arg &arg = event.args[i];
+        switch (arg.kind) {
+          case Arg::Kind::Int:
+            args.set(arg.key, Json::number(arg.i));
+            break;
+          case Arg::Kind::Num:
+            args.set(arg.key, Json::number(arg.d));
+            break;
+          case Arg::Kind::Str:
+            args.set(arg.key, Json::string(arg.s));
+            break;
+          case Arg::Kind::None:
+            break;
+        }
+    }
+    return args;
+}
+
+Json
+eventJson(const Event &event, int64_t tid)
+{
+    Json out = Json::object();
+    out.set("name", Json::string(event.name));
+    out.set("ph", Json::string(std::string(1, event.phase)));
+    out.set("ts", Json::number(event.tsUs));
+    out.set("pid", Json::number(kPid));
+    out.set("tid", Json::number(tid));
+    out.set("cat", Json::string("hilp"));
+    if (event.phase == 'i')
+        out.set("s", Json::string("t")); // Thread-scoped instant.
+    if (event.numArgs > 0)
+        out.set("args", argsJson(event));
+    return out;
+}
+
+Json
+threadNameMeta(int64_t tid, const std::string &name)
+{
+    Json meta = Json::object();
+    meta.set("name", Json::string("thread_name"));
+    meta.set("ph", Json::string("M"));
+    meta.set("pid", Json::number(kPid));
+    meta.set("tid", Json::number(tid));
+    Json args = Json::object();
+    args.set("name", Json::string(name));
+    meta.set("args", std::move(args));
+    return meta;
+}
+
+} // anonymous namespace
+
+bool
+enabled()
+{
+    return g_enabled.load(std::memory_order_relaxed);
+}
+
+void
+setEnabled(bool on)
+{
+    // Pin the epoch before the first event so timestamps stay small.
+    epoch();
+    g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void
+setThreadName(const std::string &name)
+{
+    ThreadBuffer &buffer = localBuffer();
+    std::lock_guard<std::mutex> lock(buffer.mutex);
+    buffer.name = name;
+}
+
+void
+instant(const char *name)
+{
+    if (!enabled() || !name)
+        return;
+    record(name, 'i', 0, nullptr);
+}
+
+void
+instant(const char *name, Arg a0)
+{
+    if (!enabled() || !name)
+        return;
+    Arg args[1] = {std::move(a0)};
+    record(name, 'i', 1, args);
+}
+
+void
+instant(const char *name, Arg a0, Arg a1)
+{
+    if (!enabled() || !name)
+        return;
+    Arg args[2] = {std::move(a0), std::move(a1)};
+    record(name, 'i', 2, args);
+}
+
+Span::Span(const char *name)
+{
+    if (!name || !enabled())
+        return;
+    name_ = name;
+    active_ = true;
+    record(name, 'B', 0, nullptr);
+}
+
+Span::Span(const char *name, Arg a0)
+{
+    if (!name || !enabled())
+        return;
+    name_ = name;
+    active_ = true;
+    Arg args[1] = {std::move(a0)};
+    record(name, 'B', 1, args);
+}
+
+Span::Span(const char *name, Arg a0, Arg a1)
+{
+    if (!name || !enabled())
+        return;
+    name_ = name;
+    active_ = true;
+    Arg args[2] = {std::move(a0), std::move(a1)};
+    record(name, 'B', 2, args);
+}
+
+void
+Span::arg(Arg a)
+{
+    if (!active_ || numEndArgs_ >= 4)
+        return;
+    endArgs_[numEndArgs_++] = std::move(a);
+}
+
+Span::~Span()
+{
+    if (!active_)
+        return;
+    // The end is recorded even if recording was turned off while the
+    // span was open, so begins never go unmatched.
+    record(name_, 'E', numEndArgs_, endArgs_);
+}
+
+Json
+toJson()
+{
+    // Snapshot the buffer list, then drain each buffer under its own
+    // lock (appends from live threads keep working).
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    {
+        BufferRegistry &reg = bufferRegistry();
+        std::lock_guard<std::mutex> lock(reg.mutex);
+        buffers = reg.buffers;
+    }
+
+    Json events = Json::array();
+    Json process = Json::object();
+    process.set("name", Json::string("process_name"));
+    process.set("ph", Json::string("M"));
+    process.set("pid", Json::number(kPid));
+    Json process_args = Json::object();
+    process_args.set("name", Json::string("hilp"));
+    process.set("args", std::move(process_args));
+    events.append(std::move(process));
+
+    int64_t dropped = 0;
+    int64_t close_ts = nowUs();
+    for (const std::shared_ptr<ThreadBuffer> &buffer : buffers) {
+        std::lock_guard<std::mutex> lock(buffer->mutex);
+        if (!buffer->name.empty())
+            events.append(threadNameMeta(buffer->tid, buffer->name));
+        dropped += buffer->dropped;
+
+        // Balance pass: spans whose end was dropped (or is still
+        // open right now) get a synthesized end event, so every
+        // exported per-thread stream is strictly B/E balanced.
+        std::vector<const Event *> open;
+        for (const Event &event : buffer->events) {
+            if (event.phase == 'B')
+                open.push_back(&event);
+            else if (event.phase == 'E' && !open.empty())
+                open.pop_back();
+            events.append(eventJson(event, buffer->tid));
+        }
+        for (auto it = open.rbegin(); it != open.rend(); ++it) {
+            Event end;
+            end.name = (*it)->name;
+            end.phase = 'E';
+            end.tsUs = std::max(close_ts, (*it)->tsUs);
+            events.append(eventJson(end, buffer->tid));
+        }
+    }
+
+    Json out = Json::object();
+    out.set("traceEvents", std::move(events));
+    out.set("displayTimeUnit", Json::string("ms"));
+    out.set("droppedEvents", Json::number(dropped));
+    return out;
+}
+
+std::string
+writeFile(const std::string &path)
+{
+    Json trace = toJson();
+    std::ofstream file(path);
+    if (!file)
+        return format("cannot open '%s' for writing", path.c_str());
+    file << trace.dump() << "\n";
+    file.close();
+    if (!file)
+        return format("write to '%s' failed", path.c_str());
+    return "";
+}
+
+int64_t
+droppedEvents()
+{
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    {
+        BufferRegistry &reg = bufferRegistry();
+        std::lock_guard<std::mutex> lock(reg.mutex);
+        buffers = reg.buffers;
+    }
+    int64_t dropped = 0;
+    for (const std::shared_ptr<ThreadBuffer> &buffer : buffers) {
+        std::lock_guard<std::mutex> lock(buffer->mutex);
+        dropped += buffer->dropped;
+    }
+    return dropped;
+}
+
+void
+clearAll()
+{
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    {
+        BufferRegistry &reg = bufferRegistry();
+        std::lock_guard<std::mutex> lock(reg.mutex);
+        buffers = reg.buffers;
+    }
+    for (const std::shared_ptr<ThreadBuffer> &buffer : buffers) {
+        std::lock_guard<std::mutex> lock(buffer->mutex);
+        buffer->events.clear();
+        buffer->dropped = 0;
+    }
+}
+
+std::string
+validateChromeTrace(const Json &trace)
+{
+    if (!trace.isObject())
+        return "trace is not a JSON object";
+    const Json *events = trace.find("traceEvents");
+    if (!events)
+        return "missing 'traceEvents'";
+    if (!events->isArray())
+        return "'traceEvents' is not an array";
+
+    struct ThreadState
+    {
+        std::vector<std::string> stack; // Open span names.
+        int64_t lastTs = INT64_MIN;
+    };
+    // Keyed by (pid, tid) rendered as text; trace sizes make a map
+    // lookup per event irrelevant.
+    std::vector<std::pair<std::string, ThreadState>> threads;
+    auto stateOf = [&](const std::string &key) -> ThreadState & {
+        for (auto &[k, state] : threads)
+            if (k == key)
+                return state;
+        threads.emplace_back(key, ThreadState{});
+        return threads.back().second;
+    };
+
+    for (size_t i = 0; i < events->size(); ++i) {
+        const Json &event = events->at(i);
+        if (!event.isObject())
+            return format("event %zu is not an object", i);
+        const Json *name = event.find("name");
+        if (!name || !name->isString() ||
+            name->stringValue().empty())
+            return format("event %zu has no name", i);
+        const Json *ph = event.find("ph");
+        if (!ph || !ph->isString() || ph->stringValue().size() != 1)
+            return format("event %zu has no single-char 'ph'", i);
+        char phase = ph->stringValue()[0];
+        if (phase == 'M')
+            continue; // Metadata events carry no timeline fields.
+        const Json *pid = event.find("pid");
+        const Json *tid = event.find("tid");
+        const Json *ts = event.find("ts");
+        if (!pid || !pid->isNumber())
+            return format("event %zu ('%s') has no pid", i,
+                          name->stringValue().c_str());
+        if (!tid || !tid->isNumber())
+            return format("event %zu ('%s') has no tid", i,
+                          name->stringValue().c_str());
+        if (!ts || !ts->isNumber())
+            return format("event %zu ('%s') has no ts", i,
+                          name->stringValue().c_str());
+
+        std::string key = format("%lld/%lld",
+                                 static_cast<long long>(
+                                     pid->intValue()),
+                                 static_cast<long long>(
+                                     tid->intValue()));
+        ThreadState &state = stateOf(key);
+        int64_t when = ts->intValue();
+        if (when < state.lastTs)
+            return format("event %zu ('%s'): timestamp %lld goes "
+                          "backwards on thread %s", i,
+                          name->stringValue().c_str(),
+                          static_cast<long long>(when), key.c_str());
+        state.lastTs = when;
+
+        if (phase == 'B') {
+            state.stack.push_back(name->stringValue());
+        } else if (phase == 'E') {
+            if (state.stack.empty())
+                return format("event %zu ('%s'): end without begin "
+                              "on thread %s", i,
+                              name->stringValue().c_str(),
+                              key.c_str());
+            if (state.stack.back() != name->stringValue())
+                return format("event %zu: end '%s' does not match "
+                              "open span '%s' on thread %s", i,
+                              name->stringValue().c_str(),
+                              state.stack.back().c_str(),
+                              key.c_str());
+            state.stack.pop_back();
+        }
+    }
+    for (const auto &[key, state] : threads) {
+        if (!state.stack.empty())
+            return format("thread %s: %zu span(s) never ended "
+                          "(first: '%s')", key.c_str(),
+                          state.stack.size(),
+                          state.stack.front().c_str());
+    }
+    return "";
+}
+
+} // namespace trace
+} // namespace hilp

@@ -1,6 +1,8 @@
-/** @file Unit tests for the JSON writer. */
+/** @file Unit tests for the JSON writer and reader. */
 
 #include <gtest/gtest.h>
+
+#include <string>
 
 #include "support/json.hh"
 
@@ -92,6 +94,104 @@ TEST(JsonTest, RoundNumbersStayPrecise)
     EXPECT_EQ(Json::number(0.1).dump(),
               "0.10000000000000001"); // %.17g round-trip precision.
     EXPECT_EQ(Json::number(2.0).dump(), "2");
+}
+
+TEST(JsonParseTest, Scalars)
+{
+    Json value;
+    ASSERT_TRUE(Json::parse("null", &value));
+    EXPECT_TRUE(value.isNull());
+    ASSERT_TRUE(Json::parse("true", &value));
+    EXPECT_TRUE(value.isBool());
+    EXPECT_TRUE(value.boolValue());
+    ASSERT_TRUE(Json::parse("false", &value));
+    EXPECT_FALSE(value.boolValue());
+    ASSERT_TRUE(Json::parse("42", &value));
+    EXPECT_TRUE(value.isNumber());
+    EXPECT_EQ(value.intValue(), 42);
+    ASSERT_TRUE(Json::parse("-7.5", &value));
+    EXPECT_DOUBLE_EQ(value.numberValue(), -7.5);
+    ASSERT_TRUE(Json::parse("1e3", &value));
+    EXPECT_DOUBLE_EQ(value.numberValue(), 1000.0);
+    ASSERT_TRUE(Json::parse("\"hi\"", &value));
+    EXPECT_TRUE(value.isString());
+    EXPECT_EQ(value.stringValue(), "hi");
+}
+
+TEST(JsonParseTest, Containers)
+{
+    Json value;
+    ASSERT_TRUE(Json::parse("  [1, \"two\", [true]] ", &value));
+    ASSERT_TRUE(value.isArray());
+    ASSERT_EQ(value.size(), 3u);
+    EXPECT_EQ(value.at(0).intValue(), 1);
+    EXPECT_EQ(value.at(1).stringValue(), "two");
+    EXPECT_TRUE(value.at(2).at(0).boolValue());
+
+    ASSERT_TRUE(Json::parse("{\"a\": 1, \"b\": {\"c\": []}}", &value));
+    ASSERT_TRUE(value.isObject());
+    ASSERT_NE(value.find("a"), nullptr);
+    EXPECT_EQ(value.find("a")->intValue(), 1);
+    ASSERT_NE(value.find("b"), nullptr);
+    ASSERT_NE(value.find("b")->find("c"), nullptr);
+    EXPECT_TRUE(value.find("b")->find("c")->isArray());
+    EXPECT_EQ(value.find("missing"), nullptr);
+}
+
+TEST(JsonParseTest, StringEscapes)
+{
+    Json value;
+    ASSERT_TRUE(Json::parse(
+        "\"a\\\"b\\\\c\\n\\t\\u0041\"", &value));
+    EXPECT_EQ(value.stringValue(), "a\"b\\c\n\tA");
+    // Surrogate pair: U+1F600 encodes to 4 UTF-8 bytes.
+    ASSERT_TRUE(Json::parse("\"\\uD83D\\uDE00\"", &value));
+    EXPECT_EQ(value.stringValue().size(), 4u);
+}
+
+TEST(JsonParseTest, RejectsMalformedInput)
+{
+    Json value;
+    std::string error;
+    EXPECT_FALSE(Json::parse("", &value, &error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(Json::parse("{", &value));
+    EXPECT_FALSE(Json::parse("[1,]", &value));
+    EXPECT_FALSE(Json::parse("{\"a\" 1}", &value));
+    EXPECT_FALSE(Json::parse("\"unterminated", &value));
+    EXPECT_FALSE(Json::parse("nul", &value));
+    EXPECT_FALSE(Json::parse("1 2", &value)); // Trailing token.
+    EXPECT_TRUE(value.isNull()); // Left null on failure.
+}
+
+TEST(JsonParseTest, RoundTripsWriterOutput)
+{
+    Json original = Json::object();
+    original.set("n", Json::number(static_cast<int64_t>(-3)));
+    original.set("x", Json::number(0.25));
+    original.set("s", Json::string("quote\" and \\slash\n"));
+    Json list = Json::array();
+    list.append(Json::boolean(true));
+    list.append(Json::null());
+    original.set("list", std::move(list));
+
+    for (int indent : {-1, 2}) {
+        Json reparsed;
+        std::string error;
+        ASSERT_TRUE(Json::parse(original.dump(indent), &reparsed,
+                                &error)) << error;
+        EXPECT_EQ(reparsed.dump(), original.dump());
+    }
+}
+
+TEST(JsonParseTest, DepthLimitStopsRunawayNesting)
+{
+    std::string deep(500, '[');
+    deep += std::string(500, ']');
+    Json value;
+    std::string error;
+    EXPECT_FALSE(Json::parse(deep, &value, &error));
+    EXPECT_NE(error.find("deep"), std::string::npos);
 }
 
 } // anonymous namespace

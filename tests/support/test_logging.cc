@@ -67,6 +67,50 @@ TEST_F(LoggingTest, DebugOnlyAtDebugLevel)
               std::string::npos);
 }
 
+TEST_F(LoggingTest, ParseLogLevelAcceptsNamesAndNumbers)
+{
+    LogLevel level = LogLevel::Inform;
+    EXPECT_TRUE(parseLogLevel("silent", &level));
+    EXPECT_EQ(level, LogLevel::Silent);
+    EXPECT_TRUE(parseLogLevel("0", &level));
+    EXPECT_EQ(level, LogLevel::Silent);
+    EXPECT_TRUE(parseLogLevel("warn", &level));
+    EXPECT_EQ(level, LogLevel::Warn);
+    EXPECT_TRUE(parseLogLevel("inform", &level));
+    EXPECT_EQ(level, LogLevel::Inform);
+    EXPECT_TRUE(parseLogLevel("info", &level));
+    EXPECT_EQ(level, LogLevel::Inform);
+    EXPECT_TRUE(parseLogLevel("debug", &level));
+    EXPECT_EQ(level, LogLevel::Debug);
+    EXPECT_TRUE(parseLogLevel("3", &level));
+    EXPECT_EQ(level, LogLevel::Debug);
+    // Case-insensitive, as environment variables tend to be typed.
+    EXPECT_TRUE(parseLogLevel("DEBUG", &level));
+    EXPECT_EQ(level, LogLevel::Debug);
+    EXPECT_TRUE(parseLogLevel("Warn", &level));
+    EXPECT_EQ(level, LogLevel::Warn);
+}
+
+TEST_F(LoggingTest, ParseLogLevelRejectsGarbage)
+{
+    LogLevel level = LogLevel::Inform;
+    EXPECT_FALSE(parseLogLevel("", &level));
+    EXPECT_FALSE(parseLogLevel("loud", &level));
+    EXPECT_FALSE(parseLogLevel("4", &level));
+    EXPECT_FALSE(parseLogLevel(nullptr, &level));
+    EXPECT_EQ(level, LogLevel::Inform); // Untouched on failure.
+}
+
+TEST_F(LoggingTest, EmitWritesTheWholeLineAtOnce)
+{
+    setLogLevel(LogLevel::Inform);
+    ::testing::internal::CaptureStderr();
+    inform("one");
+    inform("two");
+    std::string out = ::testing::internal::GetCapturedStderr();
+    EXPECT_EQ(out, "info: one\ninfo: two\n");
+}
+
 TEST_F(LoggingTest, AssertMacroPassesOnTrue)
 {
     hilp_assert(1 + 1 == 2);

@@ -1,0 +1,208 @@
+/** @file Unit tests for the Chrome trace-event tracer. */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "support/trace.hh"
+
+namespace hilp {
+namespace {
+
+/** Enable tracing for one test, restoring the prior state after. */
+class TraceTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        wasEnabled_ = trace::enabled();
+        trace::clearAll();
+        trace::setEnabled(true);
+    }
+
+    void
+    TearDown() override
+    {
+        trace::setEnabled(wasEnabled_);
+        trace::clearAll();
+    }
+
+    /** Non-metadata events of the current buffers, in export order. */
+    static std::vector<Json>
+    realEvents()
+    {
+        Json exported = trace::toJson();
+        const Json *events = exported.find("traceEvents");
+        std::vector<Json> out;
+        if (!events)
+            return out;
+        for (size_t i = 0; i < events->size(); ++i) {
+            const Json &event = events->at(i);
+            const Json *phase = event.find("ph");
+            if (phase && phase->stringValue() != "M")
+                out.push_back(event);
+        }
+        return out;
+    }
+
+  private:
+    bool wasEnabled_ = false;
+};
+
+TEST_F(TraceTest, DisabledRecordsNothing)
+{
+    trace::setEnabled(false);
+    {
+        TRACE_SPAN("should.not.appear");
+        TRACE_INSTANT("nor.this");
+    }
+    EXPECT_TRUE(realEvents().empty());
+}
+
+TEST_F(TraceTest, SpansNestAndBalance)
+{
+    {
+        trace::Span outer("outer");
+        {
+            trace::Span inner("inner");
+            trace::instant("tick");
+        }
+    }
+    std::vector<Json> events = realEvents();
+    ASSERT_EQ(events.size(), 5u);
+    auto nameOf = [](const Json &event) {
+        return event.find("name")->stringValue();
+    };
+    auto phaseOf = [](const Json &event) {
+        return event.find("ph")->stringValue();
+    };
+    EXPECT_EQ(nameOf(events[0]), "outer");
+    EXPECT_EQ(phaseOf(events[0]), "B");
+    EXPECT_EQ(nameOf(events[1]), "inner");
+    EXPECT_EQ(phaseOf(events[1]), "B");
+    EXPECT_EQ(nameOf(events[2]), "tick");
+    EXPECT_EQ(phaseOf(events[2]), "i");
+    EXPECT_EQ(nameOf(events[3]), "inner");
+    EXPECT_EQ(phaseOf(events[3]), "E");
+    EXPECT_EQ(nameOf(events[4]), "outer");
+    EXPECT_EQ(phaseOf(events[4]), "E");
+}
+
+TEST_F(TraceTest, ExportParsesAndRoundTripsFields)
+{
+    {
+        trace::Span span("work",
+                         trace::Arg::intArg("items", 3),
+                         trace::Arg::numArg("ratio", 0.5));
+        span.arg(trace::Arg::strArg("outcome", "done"));
+    }
+    std::string text = trace::toJson().dump(2);
+
+    Json parsed;
+    std::string error;
+    ASSERT_TRUE(Json::parse(text, &parsed, &error)) << error;
+    const Json *events = parsed.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->isArray());
+
+    bool found_begin = false;
+    bool found_end = false;
+    for (size_t i = 0; i < events->size(); ++i) {
+        const Json &event = events->at(i);
+        if (event.find("ph")->stringValue() == "M")
+            continue;
+        // Every real event round-trips pid/tid/ts as integers.
+        ASSERT_NE(event.find("pid"), nullptr);
+        ASSERT_NE(event.find("tid"), nullptr);
+        ASSERT_NE(event.find("ts"), nullptr);
+        EXPECT_TRUE(event.find("pid")->isNumber());
+        EXPECT_TRUE(event.find("tid")->isNumber());
+        EXPECT_TRUE(event.find("ts")->isNumber());
+        EXPECT_GE(event.find("ts")->intValue(), 0);
+        if (event.find("name")->stringValue() != "work")
+            continue;
+        if (event.find("ph")->stringValue() == "B") {
+            found_begin = true;
+            const Json *args = event.find("args");
+            ASSERT_NE(args, nullptr);
+            EXPECT_EQ(args->find("items")->intValue(), 3);
+            EXPECT_DOUBLE_EQ(args->find("ratio")->numberValue(), 0.5);
+        } else if (event.find("ph")->stringValue() == "E") {
+            found_end = true;
+            const Json *args = event.find("args");
+            ASSERT_NE(args, nullptr);
+            EXPECT_EQ(args->find("outcome")->stringValue(), "done");
+        }
+    }
+    EXPECT_TRUE(found_begin);
+    EXPECT_TRUE(found_end);
+}
+
+TEST_F(TraceTest, OpenSpansGetSynthesizedEndsInExport)
+{
+    trace::Span still_open("open.work");
+    Json exported = trace::toJson();
+    EXPECT_EQ(trace::validateChromeTrace(exported), "");
+}
+
+TEST_F(TraceTest, ValidatorAcceptsExportedTraces)
+{
+    {
+        TRACE_SPAN("a");
+        TRACE_SPAN("b");
+        TRACE_INSTANT("mark");
+    }
+    EXPECT_EQ(trace::validateChromeTrace(trace::toJson()), "");
+}
+
+TEST_F(TraceTest, ValidatorRejectsStructuralProblems)
+{
+    // Not an object with traceEvents.
+    EXPECT_NE(trace::validateChromeTrace(Json::array()), "");
+    Json no_events = Json::object();
+    EXPECT_NE(trace::validateChromeTrace(no_events), "");
+
+    auto event = [](const char *name, const char *phase, int64_t ts) {
+        Json out = Json::object();
+        out.set("name", Json::string(name));
+        out.set("ph", Json::string(phase));
+        out.set("pid", Json::number(static_cast<int64_t>(1)));
+        out.set("tid", Json::number(static_cast<int64_t>(1)));
+        out.set("ts", Json::number(ts));
+        return out;
+    };
+    auto traceOf = [](std::vector<Json> events) {
+        Json array = Json::array();
+        for (Json &e : events)
+            array.append(std::move(e));
+        Json out = Json::object();
+        out.set("traceEvents", std::move(array));
+        return out;
+    };
+
+    // Unbalanced: a begin without an end.
+    EXPECT_NE(trace::validateChromeTrace(
+        traceOf({event("a", "B", 0)})), "");
+    // Improper nesting: E name does not match the open B.
+    EXPECT_NE(trace::validateChromeTrace(
+        traceOf({event("a", "B", 0), event("b", "E", 1)})), "");
+    // Non-monotonic timestamps on one thread.
+    EXPECT_NE(trace::validateChromeTrace(
+        traceOf({event("a", "B", 5), event("a", "E", 2)})), "");
+    // The same events in a valid arrangement pass.
+    EXPECT_EQ(trace::validateChromeTrace(
+        traceOf({event("a", "B", 0), event("a", "E", 5)})), "");
+}
+
+TEST_F(TraceTest, ClearAllDiscardsEvents)
+{
+    TRACE_INSTANT("to.be.dropped");
+    trace::clearAll();
+    EXPECT_TRUE(realEvents().empty());
+    EXPECT_EQ(trace::droppedEvents(), 0);
+}
+
+} // anonymous namespace
+} // namespace hilp
