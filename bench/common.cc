@@ -19,6 +19,8 @@ namespace {
 
 std::string g_trace_path;
 std::string g_metrics_path;
+int g_solver_threads = 1;
+bool g_deterministic_search = false;
 
 void
 dumpTelemetry()
@@ -58,6 +60,10 @@ initHarness(int *argc, char **argv)
             g_trace_path = arg + 12;
         else if (std::strncmp(arg, "--metrics-out=", 14) == 0)
             g_metrics_path = arg + 14;
+        else if (std::strncmp(arg, "--solver-threads=", 17) == 0)
+            g_solver_threads = std::atoi(arg + 17);
+        else if (std::strcmp(arg, "--deterministic-search") == 0)
+            g_deterministic_search = true;
         else
             argv[kept++] = argv[i];
     }
@@ -68,6 +74,18 @@ initHarness(int *argc, char **argv)
     // loops that run after each binary's figure emission.
     if (!g_trace_path.empty() || !g_metrics_path.empty())
         std::atexit(dumpTelemetry);
+}
+
+int
+solverThreads()
+{
+    return g_solver_threads;
+}
+
+bool
+deterministicSearch()
+{
+    return g_deterministic_search;
 }
 
 void
@@ -90,6 +108,8 @@ validationEngine(double solver_seconds)
     EngineOptions options = EngineOptions::validationMode();
     options.solver.maxSeconds = solver_seconds;
     options.solver.maxNodes = 400000;
+    options.solver.threads = g_solver_threads;
+    options.solver.deterministicSearch = g_deterministic_search;
     // Rerun near-optimality misses with 4x the budget, as the paper
     // does for its validation experiments.
     options.escalations = 1;
@@ -103,6 +123,8 @@ explorationOptions(double solver_seconds)
     options.engine = EngineOptions::explorationMode();
     options.engine.solver.maxSeconds = solver_seconds;
     options.engine.solver.maxNodes = 120000;
+    options.engine.solver.threads = g_solver_threads;
+    options.engine.solver.deterministicSearch = g_deterministic_search;
     return options;
 }
 

@@ -30,11 +30,23 @@ namespace bench {
  *                       at https://ui.perfetto.dev).
  *   --metrics-out=FILE  at exit, write the metrics-registry snapshot
  *                       (counters/gauges/histograms) to FILE as JSON.
+ *   --solver-threads=N  branch-and-bound worker threads for every
+ *                       solve the harness runs (1 = serial, the
+ *                       default; 0 = borrow from the thread budget).
+ *   --deterministic-search
+ *                       use the reproducible parallel search mode
+ *                       instead of opportunistic work stealing.
  *
  * Both dumps run through atexit so they capture everything, including
  * the google-benchmark timing loops at the end of main.
  */
 void initHarness(int *argc, char **argv);
+
+/** The --solver-threads value (default 1 = serial search). */
+int solverThreads();
+
+/** True when --deterministic-search was passed. */
+bool deterministicSearch();
 
 /** Print a figure/table banner. */
 void banner(const std::string &title, const std::string &description);

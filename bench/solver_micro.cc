@@ -12,7 +12,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <vector>
 
@@ -31,6 +33,9 @@ using namespace hilp;
 using Clock = std::chrono::steady_clock;
 
 constexpr int kRepeats = 5;
+/** Repeats per thread count in the parallel-search sweep. */
+constexpr int kSweepRepeats = 3;
+constexpr int kSweepThreads[] = {1, 2, 4, 8};
 
 struct Instance
 {
@@ -93,6 +98,13 @@ makeInstances()
                              discretize(spec, 2.0, 1000).model,
                              options});
     }
+    // Harness-wide solver flags apply to the headline measurements
+    // too (the thread sweep overrides threads per entry).
+    for (Instance &instance : instances) {
+        instance.options.threads = hilp::bench::solverThreads();
+        instance.options.deterministicSearch =
+            hilp::bench::deterministicSearch();
+    }
     return instances;
 }
 
@@ -123,6 +135,73 @@ measure(const Instance &instance)
     std::sort(times.begin(), times.end());
     m.medianS = times[times.size() / 2];
     return m;
+}
+
+struct ThreadSweepEntry
+{
+    int threads = 1;
+    double medianS = 0.0;
+    double speedup = 1.0; //!< Serial median / this median.
+    cp::Time makespan = 0;
+    cp::SolveStatus status = cp::SolveStatus::NoSolution;
+    int64_t nodes = 0;
+    int64_t steals = 0;
+};
+
+struct ThreadSweep
+{
+    std::string name;
+    std::vector<ThreadSweepEntry> entries;
+};
+
+/**
+ * Parallel-search scaling on the hard (targetGap == 0) instances:
+ * the same solve at 1/2/4/8 worker threads. The makespan and status
+ * must not move across thread counts — the parallel search explores
+ * a different node set but proves the same optimum — so the sweep
+ * doubles as an end-to-end differential check, and the speedup
+ * column is the headline number for the work-stealing layer.
+ */
+std::vector<ThreadSweep>
+measureThreadSweep(const std::vector<Instance> &instances)
+{
+    std::vector<ThreadSweep> sweeps;
+    for (const Instance &instance : instances) {
+        if (instance.options.targetGap > 0.0)
+            continue; // Gap-budget solves can stop early; skip.
+        ThreadSweep sweep;
+        sweep.name = instance.name;
+        double serial_median = 0.0;
+        for (int threads : kSweepThreads) {
+            cp::SolverOptions options = instance.options;
+            options.threads = threads;
+            options.deterministicSearch =
+                hilp::bench::deterministicSearch();
+            std::vector<double> times;
+            ThreadSweepEntry entry;
+            entry.threads = threads;
+            for (int rep = 0; rep < kSweepRepeats; ++rep) {
+                cp::Solver solver(options);
+                Clock::time_point t0 = Clock::now();
+                cp::Result result = solver.solve(instance.model);
+                times.push_back(std::chrono::duration<double>(
+                    Clock::now() - t0).count());
+                entry.makespan = result.makespan;
+                entry.status = result.status;
+                entry.nodes = result.stats.nodes;
+                entry.steals = result.stats.steals;
+            }
+            std::sort(times.begin(), times.end());
+            entry.medianS = times[times.size() / 2];
+            if (threads == 1)
+                serial_median = entry.medianS;
+            entry.speedup = entry.medianS > 0.0
+                ? serial_median / entry.medianS : 1.0;
+            sweep.entries.push_back(entry);
+        }
+        sweeps.push_back(std::move(sweep));
+    }
+    return sweeps;
 }
 
 struct TraceOverhead
@@ -170,7 +249,8 @@ measureTraceOverhead(const Instance &instance)
 
 void
 emitReport(const std::vector<Measurement> &measurements,
-           const TraceOverhead &overhead)
+           const TraceOverhead &overhead,
+           const std::vector<ThreadSweep> &sweeps)
 {
     bench::banner(
         "Solver microbenchmark - pinned instances",
@@ -248,6 +328,61 @@ emitReport(const std::vector<Measurement> &measurements,
     totals.set("nodes", Json::number(total_nodes));
     report.set("totals", std::move(totals));
 
+    if (!sweeps.empty()) {
+        Table sweep_table({"instance", "threads", "median (ms)",
+                           "speedup", "steals", "status"});
+        sweep_table.setAlign(0, Table::Align::Left);
+        Json sweep_json = Json::array();
+        double speedup8_product = 1.0;
+        int speedup8_count = 0;
+        for (const ThreadSweep &sweep : sweeps) {
+            Json entry = Json::object();
+            entry.set("name", Json::string(sweep.name));
+            Json rows = Json::array();
+            for (const ThreadSweepEntry &e : sweep.entries) {
+                sweep_table.addRow(
+                    RowBuilder()
+                        .cell(sweep.name)
+                        .cell(static_cast<int64_t>(e.threads))
+                        .cell(e.medianS * 1e3, 2)
+                        .cell(e.speedup, 2)
+                        .cell(e.steals)
+                        .cell(std::string(cp::toString(e.status)))
+                        .take());
+                Json row = Json::object();
+                row.set("threads", Json::number(
+                    static_cast<int64_t>(e.threads)));
+                row.set("median_s", Json::number(e.medianS));
+                row.set("speedup", Json::number(e.speedup));
+                row.set("makespan_steps", Json::number(
+                    static_cast<int64_t>(e.makespan)));
+                row.set("status", Json::string(
+                    cp::toString(e.status)));
+                row.set("nodes", Json::number(e.nodes));
+                row.set("steals", Json::number(e.steals));
+                rows.append(std::move(row));
+                if (e.threads == 8) {
+                    speedup8_product *= e.speedup;
+                    ++speedup8_count;
+                }
+            }
+            entry.set("entries", std::move(rows));
+            sweep_json.append(std::move(entry));
+        }
+        bench::section("parallel search thread sweep (hard instances)");
+        sweep_table.print();
+        report.set("thread_sweep", std::move(sweep_json));
+        if (speedup8_count > 0) {
+            double speedup8 = std::pow(
+                speedup8_product, 1.0 / speedup8_count);
+            report.set("speedup_8t_geomean",
+                       Json::number(speedup8));
+            std::printf("8-thread speedup (geomean over %d hard "
+                        "instances): %.2fx\n", speedup8_count,
+                        speedup8);
+        }
+    }
+
     double ratio = overhead.disabledS > 0.0
         ? overhead.enabledS / overhead.disabledS : 1.0;
     Json trace_overhead = Json::object();
@@ -295,6 +430,17 @@ BENCHMARK(BM_SolveExplore)->Unit(benchmark::kMillisecond)->Iterations(3);
 int
 main(int argc, char **argv)
 {
+    // --no-thread-sweep skips the 1/2/4/8-thread scaling pass (used
+    // by quick smoke runs, e.g. the trace check in scripts/check.sh).
+    bool thread_sweep = true;
+    int kept = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--no-thread-sweep") == 0)
+            thread_sweep = false;
+        else
+            argv[kept++] = argv[i];
+    }
+    argc = kept;
     hilp::bench::initHarness(&argc, argv);
     auto instances = makeInstances();
     std::vector<Measurement> measurements;
@@ -303,7 +449,10 @@ main(int argc, char **argv)
     // The explore-budget instance is the overhead probe: it is the
     // regime the DSE sweep runs in, where trace cost matters most.
     TraceOverhead overhead = measureTraceOverhead(instances[1]);
-    emitReport(measurements, overhead);
+    std::vector<ThreadSweep> sweeps;
+    if (thread_sweep)
+        sweeps = measureThreadSweep(instances);
+    emitReport(measurements, overhead, sweeps);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

@@ -26,13 +26,25 @@ run_suite() {
 run_suite build
 run_suite build-asan -DHILP_SANITIZE=ON
 
+# Thread-sanitizer stage: build only the concurrency test binary
+# (thread pool + budget + parallel branch-and-bound) under TSan and
+# run it. TSan is incompatible with ASan, so this is a third build
+# tree; benches and examples are skipped to keep it fast.
+echo "==> configure build-tsan"
+cmake -B build-tsan -S . -DHILP_TSAN=ON \
+    -DHILP_BUILD_BENCH=OFF -DHILP_BUILD_EXAMPLES=OFF
+echo "==> build build-tsan (hilp_test_concurrency)"
+cmake --build build-tsan -j "${jobs}" --target hilp_test_concurrency
+echo "==> test build-tsan (concurrency under TSan)"
+./build-tsan/tests/hilp_test_concurrency
+
 # Tracing smoke test: run the solver microbenchmark with a trace
 # export (benchmark timing loops filtered out for speed) and validate
 # that the file is a well-formed, balanced Chrome trace.
 echo "==> trace smoke test"
 trace_file="build/check_trace.json"
 ./build/bench/solver_micro "--trace-out=${trace_file}" \
-    --benchmark_filter=none > /dev/null
+    --no-thread-sweep --benchmark_filter=none > /dev/null
 ./build/bench/trace_check "${trace_file}"
 
 echo "==> all checks passed"

@@ -1,0 +1,1139 @@
+#include "parallel_search.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bounds.hh"
+#include "profile.hh"
+#include "propagate.hh"
+#include "support/logging.hh"
+#include "support/metrics.hh"
+#include "support/str.hh"
+#include "support/trace.hh"
+
+namespace hilp {
+namespace cp {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** Sentinel "no bound known" value (empty aggregator). */
+constexpr Time kInfTime = std::numeric_limits<Time>::max();
+
+/** Default frontier split depth when SearchLimits::splitDepth is 0. */
+constexpr int kAutoSplitDepth = 4;
+
+/**
+ * Local nodes between checks of the shared node/time budgets. The
+ * global node counter advances in these increments, so parallel
+ * searches may overshoot maxNodes by up to threads * kBudgetBatch
+ * nodes (limits are exact on the serial path only).
+ */
+constexpr int64_t kBudgetBatch = 64;
+
+/** One trace instant per this many local nodes (power of two). */
+constexpr int64_t kNodeTraceSample = 8192;
+
+/** One branching decision on the path from the root. */
+struct Decision
+{
+    int task;
+    int mode;
+    Time start;
+};
+
+/**
+ * A subtree of the search, identified by its decision prefix, plus a
+ * certified lower bound on the makespan of every schedule inside it.
+ */
+struct Subproblem
+{
+    std::vector<Decision> prefix;
+    Time bound = 0;
+};
+
+/**
+ * The globally best schedule. The makespan is a lock-free atomic so
+ * every pruning test is one acquire load; the schedule itself is
+ * published under a mutex by whichever worker wins the CAS, so the
+ * stored schedule always matches the lowest makespan published so
+ * far.
+ */
+class SharedIncumbent
+{
+  public:
+    SharedIncumbent(Time initial_ub, const ScheduleVec *warm)
+        : ub_(initial_ub)
+    {
+        if (warm) {
+            best_ = *warm;
+            warmStarted_ = true;
+        }
+    }
+
+    Time ub() const { return ub_.load(std::memory_order_acquire); }
+
+    bool
+    found() const
+    {
+        return warmStarted_ ||
+               improvements_.load(std::memory_order_acquire) > 0;
+    }
+
+    int64_t
+    improvements() const
+    {
+        return improvements_.load(std::memory_order_acquire);
+    }
+
+    /**
+     * Install a strictly better incumbent. Returns false when a
+     * concurrent offer is at least as good.
+     */
+    bool
+    offer(Time makespan, const std::vector<Assignment> &assign)
+    {
+        Time cur = ub_.load(std::memory_order_relaxed);
+        while (makespan < cur) {
+            if (!ub_.compare_exchange_weak(cur, makespan,
+                                           std::memory_order_acq_rel))
+                continue;
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                // Two winning CAS-es can publish out of order; keep
+                // the schedule matching the lowest makespan.
+                if (!published_ || makespan < publishedMakespan_) {
+                    best_.tasks = assign;
+                    publishedMakespan_ = makespan;
+                    published_ = true;
+                }
+            }
+            improvements_.fetch_add(1, std::memory_order_acq_rel);
+            return true;
+        }
+        return false;
+    }
+
+    /** The best schedule. Only call after the workers have joined. */
+    const ScheduleVec &best() const { return best_; }
+
+  private:
+    std::atomic<Time> ub_;
+    std::atomic<int64_t> improvements_{0};
+    std::mutex mutex_;
+    ScheduleVec best_;
+    Time publishedMakespan_ = 0;
+    bool published_ = false;
+    bool warmStarted_ = false;
+};
+
+/**
+ * Multiset of the lower bounds of every queued or in-flight
+ * subproblem. Its minimum is a certified lower bound on anything the
+ * remaining search can still find, so
+ * max(externalLB, min(incumbent, min())) is a sound global lower
+ * bound for the targetGap stop — typically much tighter than the
+ * external bound alone once the easy subtrees finish. Operations are
+ * per-subproblem (coarse), so the mutex sees little contention.
+ */
+class BoundAggregator
+{
+  public:
+    void
+    add(Time bound)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        bounds_.insert(bound);
+    }
+
+    void
+    remove(Time bound)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = bounds_.find(bound);
+        hilp_assert(it != bounds_.end());
+        bounds_.erase(it);
+    }
+
+    /** Smallest registered bound, or kInfTime when none remain. */
+    Time
+    min() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return bounds_.empty() ? kInfTime : *bounds_.begin();
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    std::multiset<Time> bounds_;
+};
+
+/**
+ * A per-worker deque with the Chase–Lev ownership discipline: the
+ * owner pushes and pops at the bottom (depth-first order), thieves
+ * take half from the top — the shallowest prefixes, i.e. the largest
+ * subtrees. Guarded by a mutex: subproblems are coarse (a worker
+ * touches the deque once per subtree, not per node), so lock traffic
+ * is negligible next to the search itself.
+ */
+class WorkDeque
+{
+  public:
+    void
+    push(Subproblem &&sub)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(sub));
+    }
+
+    bool
+    pop(Subproblem *out)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (queue_.empty())
+            return false;
+        *out = std::move(queue_.back());
+        queue_.pop_back();
+        return true;
+    }
+
+    /** Move the top half (at least one) of the deque into *out. */
+    size_t
+    steal(std::vector<Subproblem> *out)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        size_t take = (queue_.size() + 1) / 2;
+        for (size_t i = 0; i < take; ++i) {
+            out->push_back(std::move(queue_.front()));
+            queue_.pop_front();
+        }
+        return take;
+    }
+
+  private:
+    std::mutex mutex_;
+    std::deque<Subproblem> queue_;
+};
+
+/** Everything the workers share. */
+struct Shared
+{
+    const Model &model;
+    const SearchLimits &limits;
+    CriticalPathData cp;
+    SharedIncumbent incumbent;
+    BoundAggregator aggregator;
+    std::vector<WorkDeque> deques;
+    Clock::time_point startTime;
+    int threads;
+    int splitDepth;
+    /** Spill children once fewer than this many subproblems queue. */
+    int64_t lowWater;
+
+    /** Queued subproblems across all deques (approximate). */
+    std::atomic<int64_t> pending{0};
+    /** Workers currently looking for work. */
+    std::atomic<int> idle{0};
+    /** The target gap was reached; everyone unwinds. */
+    std::atomic<bool> gapStop{false};
+    /** A node or wall-clock budget was hit; everyone unwinds. */
+    std::atomic<bool> limitHit{false};
+    /** All subproblems are done and every worker is idle. */
+    std::atomic<bool> allDone{false};
+    /** Batched global node count for budget checks. */
+    std::atomic<int64_t> nodesApprox{0};
+
+    Shared(const Model &model_in, const SearchLimits &limits_in,
+           Time initial_ub, const ScheduleVec *warm, int threads_in)
+        : model(model_in),
+          limits(limits_in),
+          cp(criticalPathData(model_in)),
+          incumbent(initial_ub, warm),
+          deques(static_cast<size_t>(threads_in)),
+          startTime(Clock::now()),
+          threads(threads_in),
+          splitDepth(limits_in.splitDepth > 0 ? limits_in.splitDepth
+                                              : kAutoSplitDepth),
+          lowWater(threads_in)
+    {}
+
+    double
+    elapsedS() const
+    {
+        return std::chrono::duration<double>(Clock::now() - startTime)
+            .count();
+    }
+};
+
+/**
+ * One worker: a private propagation engine plus the serial searcher's
+ * branching state, driven either by the shared deques (opportunistic
+ * mode) or by a statically assigned slice of the frontier
+ * (deterministic mode). The branching rules — eligible tasks sorted
+ * longest tail first, options sorted by completion, the
+ * completion-plus-tail prune — replicate Searcher::dfs exactly, so
+ * the union of the subtrees covers the same schedule space and the
+ * returned optima match the serial search (the differential test in
+ * tests/cp/test_parallel_search.cc holds this).
+ */
+class Worker
+{
+  public:
+    Worker(Shared &shared, int id, bool deterministic)
+        : shared_(shared),
+          model_(shared.model),
+          limits_(shared.limits),
+          id_(id),
+          deterministic_(deterministic),
+          n_(shared.model.numTasks()),
+          engine_(shared.model)
+    {
+        engine_.add(makeTimetablePropagator(model_));
+        engine_.add(makeDisjunctivePropagator(model_));
+        engine_.add(makePrecedencePropagator(model_));
+        if (limits_.energeticReasoning)
+            engine_.add(makeEnergeticPropagator(model_));
+
+        assign_.assign(n_, Assignment{});
+        end_.assign(n_, 0);
+        est_.assign(n_, 0);
+        remainingPreds_.assign(n_, 0);
+        for (int t = 0; t < n_; ++t) {
+            remainingPreds_[t] =
+                static_cast<int>(model_.predecessors(t).size()) +
+                static_cast<int>(model_.lagPredecessors(t).size());
+        }
+        eligiblePos_.assign(n_, -1);
+        for (int t = 0; t < n_; ++t)
+            if (remainingPreds_[t] == 0)
+                addEligible(t);
+
+        privUb_ = shared.incumbent.ub();
+        privFound_ = shared.incumbent.found();
+        nodeBudget_ = limits_.maxNodes;
+    }
+
+    // -- Telemetry, read by the driver after the join. ------------
+    int64_t nodes() const { return nodes_; }
+    int64_t backtracks() const { return backtracks_; }
+    int64_t solutions() const { return solutions_; }
+    int64_t steals() const { return steals_; }
+    int64_t published() const { return published_; }
+    std::vector<PropagatorStats> propagators() const
+    { return engine_.stats(); }
+
+    // -- Deterministic-mode private incumbent. --------------------
+    bool privateFound() const { return privFound_; }
+    Time privateUb() const { return privUb_; }
+    const ScheduleVec &privateBest() const { return privBest_; }
+    ptrdiff_t privateBestSub() const { return privBestSub_; }
+    bool stoppedOnGap() const { return localStop_; }
+    bool stoppedOnLimit() const { return localLimit_; }
+
+    /** Seed the private incumbent (deterministic worker startup). */
+    void
+    seedPrivate(Time ub, bool found)
+    {
+        privUb_ = ub;
+        privFound_ = found;
+    }
+
+    /** Cap this worker's node count (deterministic budgeting). */
+    void setNodeBudget(int64_t budget) { nodeBudget_ = budget; }
+
+    /**
+     * Serially enumerate the frontier at exactly `depth`: run the
+     * search from the root, but capture every surviving node with
+     * `depth` placements as a subproblem instead of descending into
+     * it. Complete schedules above the frontier become (private)
+     * incumbents. Returns with the worker back at the root state.
+     */
+    void
+    generateFrontier(int depth, std::vector<Subproblem> *out)
+    {
+        collect_ = out;
+        collectDepth_ = depth;
+        dfs(0, std::max<Time>(0, limits_.lowerBound));
+        collect_ = nullptr;
+    }
+
+    /** Opportunistic mode: pop, steal, search, spill, repeat. */
+    void
+    runOpportunistic()
+    {
+        trace::Span span("cp.search.worker",
+                         trace::Arg::intArg("worker", id_));
+        while (!abortRequested()) {
+            Subproblem sub;
+            if (shared_.deques[id_].pop(&sub)) {
+                shared_.pending.fetch_sub(
+                    1, std::memory_order_relaxed);
+                process(sub);
+                continue;
+            }
+            if (trySteal(&sub)) {
+                process(sub);
+                continue;
+            }
+            if (!waitForWork(&sub))
+                break;
+            process(sub);
+        }
+        finishBudget();
+        span.arg(trace::Arg::intArg("nodes", nodes_));
+        span.arg(trace::Arg::intArg("steals", steals_));
+    }
+
+    /**
+     * Deterministic mode: process frontier[i] for every
+     * i == id (mod threads), in index order, against the private
+     * incumbent only.
+     */
+    void
+    runDeterministic(const std::vector<Subproblem> &frontier)
+    {
+        trace::Span span("cp.search.worker",
+                         trace::Arg::intArg("worker", id_));
+        for (size_t i = static_cast<size_t>(id_);
+             i < frontier.size();
+             i += static_cast<size_t>(shared_.threads)) {
+            if (localStop_ || localLimit_)
+                break;
+            curSub_ = static_cast<ptrdiff_t>(i);
+            process(frontier[i]);
+        }
+        span.arg(trace::Arg::intArg("nodes", nodes_));
+    }
+
+  private:
+    void
+    addEligible(int t)
+    {
+        eligiblePos_[t] = static_cast<int>(eligible_.size());
+        eligible_.push_back(t);
+    }
+
+    void
+    removeEligible(int t)
+    {
+        int pos = eligiblePos_[t];
+        hilp_assert(pos >= 0 && eligible_[pos] == t);
+        int last = eligible_.back();
+        eligible_[pos] = last;
+        eligiblePos_[last] = pos;
+        eligible_.pop_back();
+        eligiblePos_[t] = -1;
+    }
+
+    /** Commit one decision (mirrors the serial searcher's apply). */
+    Time
+    apply(const Decision &d)
+    {
+        const Mode &mode = model_.task(d.task).modes[
+            static_cast<size_t>(d.mode)];
+        engine_.place(d.task, mode, d.start);
+        assign_[d.task] = {d.mode, d.start};
+        end_[d.task] = d.start + mode.duration;
+        ++scheduled_;
+        removeEligible(d.task);
+        for (int s : model_.successors(d.task))
+            if (--remainingPreds_[s] == 0)
+                addEligible(s);
+        path_.push_back(d);
+        return end_[d.task];
+    }
+
+    void
+    undo()
+    {
+        hilp_assert(!path_.empty());
+        int t = path_.back().task;
+        path_.pop_back();
+        for (int s : model_.successors(t))
+            if (remainingPreds_[s]++ == 0)
+                removeEligible(s);
+        addEligible(t);
+        --scheduled_;
+        assign_[t] = Assignment{};
+        end_[t] = 0;
+        engine_.undo();
+    }
+
+    /** The upper bound this worker prunes against right now. */
+    Time
+    currentUb() const
+    {
+        if (deterministic_ || collect_)
+            return privUb_;
+        return shared_.incumbent.ub();
+    }
+
+    bool
+    abortRequested() const
+    {
+        if (deterministic_ || collect_)
+            return localStop_ || localLimit_;
+        return shared_.gapStop.load(std::memory_order_relaxed) ||
+               shared_.limitHit.load(std::memory_order_relaxed) ||
+               shared_.allDone.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Per-node accounting: counts the node and periodically checks
+     * the node and wall-clock budgets. Returns true when the search
+     * must unwind.
+     */
+    bool
+    nodeAdmission()
+    {
+        ++nodes_;
+        if (trace::enabled() &&
+            (nodes_ & (kNodeTraceSample - 1)) == 0)
+            trace::instant("cp.nodes",
+                           trace::Arg::intArg("nodes", nodes_));
+        if ((nodes_ & (kBudgetBatch - 1)) == 0) {
+            if (deterministic_ || collect_) {
+                if (nodes_ >= nodeBudget_) {
+                    localLimit_ = true;
+                    shared_.limitHit.store(
+                        true, std::memory_order_relaxed);
+                }
+            } else {
+                int64_t global = shared_.nodesApprox.fetch_add(
+                    kBudgetBatch, std::memory_order_relaxed) +
+                    kBudgetBatch;
+                if (global >= limits_.maxNodes)
+                    shared_.limitHit.store(
+                        true, std::memory_order_relaxed);
+            }
+            if (shared_.elapsedS() >= limits_.maxSeconds) {
+                shared_.limitHit.store(true,
+                                       std::memory_order_relaxed);
+                if (deterministic_ || collect_)
+                    localLimit_ = true;
+            }
+        }
+        return abortRequested();
+    }
+
+    /** Flush the node-count remainder of the last batch. */
+    void
+    finishBudget()
+    {
+        if (!deterministic_)
+            shared_.nodesApprox.fetch_add(
+                nodes_ & (kBudgetBatch - 1),
+                std::memory_order_relaxed);
+    }
+
+    /** A complete schedule: offer it as the new incumbent. */
+    void
+    offer(Time makespan)
+    {
+        if (deterministic_ || collect_) {
+            if (!privFound_ || makespan < privUb_) {
+                privUb_ = makespan;
+                privFound_ = true;
+                privBest_.tasks = assign_;
+                privBestSub_ = curSub_;
+                ++solutions_;
+                if (privateGapReached())
+                    localStop_ = true;
+            }
+            return;
+        }
+        if (shared_.incumbent.offer(makespan, assign_)) {
+            ++solutions_;
+            if (trace::enabled()) {
+                double gap = makespan > 0
+                    ? static_cast<double>(makespan -
+                                          limits_.lowerBound) /
+                      static_cast<double>(makespan)
+                    : 0.0;
+                trace::instant("cp.incumbent",
+                               trace::Arg::intArg("makespan",
+                                                  makespan),
+                               trace::Arg::numArg("gap", gap));
+            }
+            sharedGapCheck();
+        }
+    }
+
+    /** Serial gapReached() against the external bound only. */
+    bool
+    privateGapReached() const
+    {
+        if (!privFound_ || limits_.targetGap <= 0.0)
+            return false;
+        if (privUb_ <= 0)
+            return true;
+        double gap =
+            static_cast<double>(privUb_ - limits_.lowerBound) /
+            static_cast<double>(privUb_);
+        return gap <= limits_.targetGap;
+    }
+
+    /**
+     * Opportunistic targetGap stop against the aggregated global
+     * lower bound: the optimum is at least
+     * min(incumbent, min over remaining subtree bounds), and at
+     * least the external bound.
+     */
+    void
+    sharedGapCheck()
+    {
+        if (limits_.targetGap <= 0.0 ||
+            !shared_.incumbent.found())
+            return;
+        Time ub = shared_.incumbent.ub();
+        if (ub <= 0) {
+            shared_.gapStop.store(true, std::memory_order_relaxed);
+            return;
+        }
+        Time remaining = shared_.aggregator.min();
+        if (remaining == kInfTime)
+            return; // Everything explored; exhaustion handles it.
+        Time lb = std::max(limits_.lowerBound,
+                           std::min(ub, remaining));
+        double gap = static_cast<double>(ub - lb) /
+                     static_cast<double>(ub);
+        if (gap <= limits_.targetGap)
+            shared_.gapStop.store(true, std::memory_order_relaxed);
+    }
+
+    /**
+     * Spill policy: publish children as stealable subproblems above
+     * the split depth, and anywhere while workers are starving.
+     */
+    bool
+    shouldSpill() const
+    {
+        if (deterministic_ || collect_)
+            return false;
+        if (scheduled_ < shared_.splitDepth)
+            return true;
+        return shared_.idle.load(std::memory_order_relaxed) > 0 &&
+               shared_.pending.load(std::memory_order_relaxed) <
+                   shared_.lowWater;
+    }
+
+    /** Publish one child of the current node onto the own deque. */
+    void
+    publish(const Decision &d, Time bound)
+    {
+        Subproblem sub;
+        sub.prefix.reserve(path_.size() + 1);
+        sub.prefix = path_;
+        sub.prefix.push_back(d);
+        sub.bound = bound;
+        shared_.aggregator.add(bound);
+        shared_.pending.fetch_add(1, std::memory_order_relaxed);
+        shared_.deques[id_].push(std::move(sub));
+        ++published_;
+    }
+
+    /**
+     * The search recursion. Branching replicates Searcher::dfs; the
+     * only structural additions are the frontier capture (collect_),
+     * the spill path, and the shared upper bound.
+     */
+    void
+    dfs(Time makespan, Time inherited_bound)
+    {
+        if (collect_ && scheduled_ == collectDepth_ &&
+            scheduled_ < n_) {
+            collect_->push_back(
+                Subproblem{path_, inherited_bound});
+            return;
+        }
+        if (nodeAdmission())
+            return;
+        if (scheduled_ == n_) {
+            offer(makespan);
+            return;
+        }
+        Time ub = currentUb();
+        PropagationContext ctx{model_, shared_.cp, assign_, end_,
+                               makespan, limits_.lowerBound, ub,
+                               est_};
+        Time node_bound = engine_.fixpoint(ctx);
+        if (node_bound >= ub)
+            return;
+
+        std::vector<int> branch_tasks = eligible_;
+        std::sort(branch_tasks.begin(), branch_tasks.end(),
+                  [this](int a, int b) {
+                      if (shared_.cp.tail[a] != shared_.cp.tail[b])
+                          return shared_.cp.tail[a] >
+                                 shared_.cp.tail[b];
+                      return a < b;
+                  });
+
+        bool spill = shouldSpill();
+        const Profile &profile = engine_.profile();
+        for (int t : branch_tasks) {
+            Time est = 0;
+            for (int p : model_.predecessors(t))
+                est = std::max(est, end_[p]);
+            for (const Model::LagEdge &edge :
+                 model_.lagPredecessors(t))
+                est = std::max(est, assign_[edge.other].start +
+                                    edge.lag);
+
+            const Task &task = model_.task(t);
+            struct Option
+            {
+                int mode;
+                Time start;
+                Time complete;
+            };
+            std::vector<Option> options;
+            Time tail_after =
+                shared_.cp.tail[t] - model_.minDuration(t);
+            ub = currentUb();
+            for (size_t m = 0; m < task.modes.size(); ++m) {
+                const Mode &mode = task.modes[m];
+                Time start = profile.earliestStart(mode, est);
+                if (start < 0)
+                    continue;
+                Time complete = start + mode.duration;
+                if (complete + tail_after >= ub)
+                    continue; // Cannot beat the incumbent.
+                options.push_back(
+                    {static_cast<int>(m), start, complete});
+            }
+            std::sort(options.begin(), options.end(),
+                      [](const Option &a, const Option &b) {
+                          return a.complete < b.complete;
+                      });
+
+            for (const Option &opt : options) {
+                Decision d{t, opt.mode, opt.start};
+                Time child_bound = std::max(
+                    node_bound,
+                    static_cast<Time>(opt.complete + tail_after));
+                if (spill) {
+                    publish(d, child_bound);
+                    continue;
+                }
+                apply(d);
+                dfs(std::max(makespan, opt.complete), child_bound);
+                undo();
+                if (abortRequested())
+                    return;
+                // Re-check the prune: the incumbent may have
+                // improved (here or on another worker).
+                if (opt.complete + tail_after >= currentUb())
+                    break; // Options are completion-sorted.
+            }
+        }
+        ++backtracks_;
+    }
+
+    /** Replay a subproblem's prefix, search it, and unwind. */
+    void
+    process(const Subproblem &sub)
+    {
+        if (sub.bound >= currentUb()) {
+            // Already pruned by a better incumbent.
+            if (!deterministic_) {
+                shared_.aggregator.remove(sub.bound);
+                sharedGapCheck();
+            }
+            return;
+        }
+        Time makespan = 0;
+        for (const Decision &d : sub.prefix)
+            makespan = std::max(makespan, apply(d));
+        dfs(makespan, sub.bound);
+        for (size_t i = 0; i < sub.prefix.size(); ++i)
+            undo();
+        if (!deterministic_) {
+            shared_.aggregator.remove(sub.bound);
+            sharedGapCheck();
+        }
+    }
+
+    /**
+     * Take the top half of some victim's deque: the extra
+     * subproblems queue locally, the first (shallowest, so largest)
+     * is returned for immediate processing.
+     */
+    bool
+    trySteal(Subproblem *out)
+    {
+        for (int i = 1; i < shared_.threads; ++i) {
+            int victim = (id_ + i) % shared_.threads;
+            std::vector<Subproblem> stolen;
+            if (shared_.deques[victim].steal(&stolen) == 0)
+                continue;
+            ++steals_;
+            *out = std::move(stolen.front());
+            for (size_t k = stolen.size(); k > 1; --k)
+                shared_.deques[id_].push(
+                    std::move(stolen[k - 1]));
+            shared_.pending.fetch_sub(1,
+                                      std::memory_order_relaxed);
+            return true;
+        }
+        return false;
+    }
+
+    /**
+     * Nothing to do right now: advertise idleness and poll until
+     * work appears or the crew agrees the tree is exhausted. Workers
+     * in dfs are never idle, so pending == 0 with every worker idle
+     * proves global completion.
+     */
+    bool
+    waitForWork(Subproblem *out)
+    {
+        shared_.idle.fetch_add(1, std::memory_order_acq_rel);
+        bool got = false;
+        while (!abortRequested()) {
+            if (shared_.pending.load(std::memory_order_relaxed) >
+                0) {
+                if (shared_.deques[id_].pop(out)) {
+                    shared_.pending.fetch_sub(
+                        1, std::memory_order_relaxed);
+                    got = true;
+                    break;
+                }
+                if (trySteal(out)) {
+                    got = true;
+                    break;
+                }
+            }
+            if (shared_.idle.load(std::memory_order_acquire) ==
+                    shared_.threads &&
+                shared_.pending.load(std::memory_order_acquire) ==
+                    0) {
+                shared_.allDone.store(true,
+                                      std::memory_order_release);
+                break;
+            }
+            std::this_thread::yield();
+        }
+        shared_.idle.fetch_sub(1, std::memory_order_acq_rel);
+        return got;
+    }
+
+    Shared &shared_;
+    const Model &model_;
+    const SearchLimits &limits_;
+    const int id_;
+    const bool deterministic_;
+    const int n_;
+
+    PropagationEngine engine_;
+    std::vector<Assignment> assign_;
+    std::vector<Time> end_;
+    std::vector<Time> est_;
+    std::vector<int> remainingPreds_;
+    std::vector<int> eligible_;
+    std::vector<int> eligiblePos_;
+    std::vector<Decision> path_;
+    int scheduled_ = 0;
+
+    // Frontier capture (deterministic generation).
+    std::vector<Subproblem> *collect_ = nullptr;
+    int collectDepth_ = 0;
+
+    // Private incumbent (deterministic mode and generation).
+    Time privUb_ = 0;
+    bool privFound_ = false;
+    ScheduleVec privBest_;
+    ptrdiff_t privBestSub_ = -1;
+    ptrdiff_t curSub_ = -1;
+    bool localStop_ = false;
+    bool localLimit_ = false;
+    int64_t nodeBudget_ = 0;
+
+    int64_t nodes_ = 0;
+    int64_t backtracks_ = 0;
+    int64_t solutions_ = 0;
+    int64_t steals_ = 0;
+    int64_t published_ = 0;
+};
+
+/** Fold one worker's counters into the result. */
+void
+mergeWorker(SearchResult &result, const Worker &worker)
+{
+    result.nodes += worker.nodes();
+    result.backtracks += worker.backtracks();
+    result.solutions += worker.solutions();
+    result.steals += worker.steals();
+    result.subproblems += worker.published();
+    mergePropagatorStats(result.propagators, worker.propagators());
+}
+
+/** Per-search metrics flush (mirrors the serial searcher's). */
+void
+flushMetrics(const SearchResult &result)
+{
+    metrics::counter("cp.search.nodes").add(result.nodes);
+    metrics::counter("cp.search.backtracks").add(result.backtracks);
+    metrics::counter("cp.search.solutions").add(result.solutions);
+    metrics::counter("cp.par.searches").add(1);
+    metrics::counter("cp.par.steals").add(result.steals);
+    metrics::counter("cp.par.subproblems").add(result.subproblems);
+    int64_t invocations = 0;
+    int64_t prunings = 0;
+    for (const PropagatorStats &stats : result.propagators) {
+        invocations += stats.invocations;
+        prunings += stats.prunings;
+    }
+    metrics::counter("cp.propagations").add(invocations);
+    metrics::counter("cp.prunings").add(prunings);
+}
+
+/** True when the warm start already satisfies the target gap. */
+bool
+initialGapReached(Time ub, const SearchLimits &limits)
+{
+    if (limits.targetGap <= 0.0)
+        return false;
+    if (ub <= 0)
+        return true;
+    double gap = static_cast<double>(ub - limits.lowerBound) /
+                 static_cast<double>(ub);
+    return gap <= limits.targetGap;
+}
+
+/**
+ * Deterministic frontier: iterative deepening until the frontier is
+ * wide enough to keep the crew busy (or the tree stops widening).
+ * An explicit SearchLimits::splitDepth pins the depth instead.
+ */
+std::vector<Subproblem>
+buildFrontier(Worker &generator, const SearchLimits &limits,
+              int threads, int num_tasks)
+{
+    std::vector<Subproblem> frontier;
+    if (limits.splitDepth > 0) {
+        generator.generateFrontier(
+            std::min(limits.splitDepth, num_tasks), &frontier);
+        return frontier;
+    }
+    size_t target = static_cast<size_t>(threads) * 4;
+    for (int depth = 1; depth <= num_tasks; ++depth) {
+        std::vector<Subproblem> candidate;
+        generator.generateFrontier(depth, &candidate);
+        if (generator.stoppedOnLimit() || generator.stoppedOnGap())
+            return candidate;
+        bool grew = candidate.size() > frontier.size();
+        frontier = std::move(candidate);
+        if (frontier.size() >= target || frontier.empty())
+            break;
+        if (depth > 1 && !grew)
+            break; // The tree is not widening; stop deepening.
+    }
+    return frontier;
+}
+
+SearchResult
+runDeterministic(const Model &model, const SearchLimits &limits,
+                 Shared &shared, SearchResult result)
+{
+    int threads = shared.threads;
+    Worker generator(shared, 0, /*deterministic=*/true);
+    std::vector<Subproblem> frontier =
+        buildFrontier(generator, limits, threads, model.numTasks());
+
+    // The generation pass may have solved the whole tree (all
+    // leaves shallower than the frontier, or everything pruned).
+    bool generation_done = frontier.empty() ||
+        generator.stoppedOnLimit() || generator.stoppedOnGap();
+    if (!generation_done) {
+        // Register the frontier for telemetry parity.
+        result.subproblems +=
+            static_cast<int64_t>(frontier.size());
+
+        std::vector<std::unique_ptr<Worker>> workers;
+        workers.reserve(static_cast<size_t>(threads) - 1);
+        for (int w = 1; w < threads; ++w) {
+            workers.push_back(std::make_unique<Worker>(
+                shared, w, /*deterministic=*/true));
+            workers.back()->seedPrivate(generator.privateUb(),
+                                        generator.privateFound());
+        }
+        // Reproducible budgeting: every worker gets an equal slice
+        // of the node budget, the generator keeps what it already
+        // spent plus its slice.
+        int64_t slice =
+            std::max<int64_t>(1, limits.maxNodes / threads);
+        generator.setNodeBudget(generator.nodes() + slice);
+        for (auto &worker : workers)
+            worker->setNodeBudget(slice);
+
+        std::vector<std::thread> crew;
+        crew.reserve(workers.size());
+        for (size_t w = 0; w < workers.size(); ++w) {
+            Worker *worker = workers[w].get();
+            crew.emplace_back([worker, &frontier, w] {
+                trace::setThreadName(
+                    format("cp-worker-%zu", w + 1));
+                worker->runDeterministic(frontier);
+            });
+        }
+        generator.runDeterministic(frontier);
+        for (std::thread &thread : crew)
+            thread.join();
+
+        // Deterministic merge: best makespan, ties to the earliest
+        // frontier index (the generator's pre-frontier finds count
+        // as index -1).
+        const Worker *winner = &generator;
+        for (const auto &worker : workers) {
+            if (!worker->privateFound())
+                continue;
+            if (!winner->privateFound() ||
+                worker->privateUb() < winner->privateUb() ||
+                (worker->privateUb() == winner->privateUb() &&
+                 worker->privateBestSub() <
+                     winner->privateBestSub()))
+                winner = worker.get();
+        }
+        bool limit = generator.stoppedOnLimit();
+        bool gap_stop = generator.stoppedOnGap();
+        for (const auto &worker : workers) {
+            limit = limit || worker->stoppedOnLimit();
+            gap_stop = gap_stop || worker->stoppedOnGap();
+            mergeWorker(result, *worker);
+        }
+        // The winner's view already includes the warm start; only
+        // a strict improvement over it carries a schedule.
+        if (winner->privateFound() &&
+            (!result.foundSolution ||
+             winner->privateUb() < result.bestMakespan)) {
+            result.foundSolution = true;
+            result.bestMakespan = winner->privateUb();
+            result.best = winner->privateBest();
+        }
+        mergeWorker(result, generator);
+        result.exhausted = !limit && !gap_stop;
+        return result;
+    }
+
+    // Generation alone finished the search.
+    mergeWorker(result, generator);
+    if (generator.privateFound() &&
+        (!result.foundSolution ||
+         generator.privateUb() < result.bestMakespan)) {
+        result.foundSolution = true;
+        result.bestMakespan = generator.privateUb();
+        result.best = generator.privateBest();
+    }
+    result.exhausted = !generator.stoppedOnLimit() &&
+                       !generator.stoppedOnGap();
+    return result;
+}
+
+SearchResult
+runOpportunistic(const SearchLimits &limits, Shared &shared,
+                 SearchResult result)
+{
+    int threads = shared.threads;
+    Subproblem root;
+    root.bound = std::max<Time>(0, limits.lowerBound);
+    shared.aggregator.add(root.bound);
+    shared.pending.store(1, std::memory_order_relaxed);
+    shared.deques[0].push(std::move(root));
+
+    std::vector<std::unique_ptr<Worker>> workers;
+    workers.reserve(static_cast<size_t>(threads));
+    for (int w = 0; w < threads; ++w)
+        workers.push_back(std::make_unique<Worker>(
+            shared, w, /*deterministic=*/false));
+
+    std::vector<std::thread> crew;
+    crew.reserve(static_cast<size_t>(threads) - 1);
+    for (int w = 1; w < threads; ++w) {
+        Worker *worker = workers[static_cast<size_t>(w)].get();
+        crew.emplace_back([worker, w] {
+            trace::setThreadName(format("cp-worker-%d", w));
+            worker->runOpportunistic();
+        });
+    }
+    workers[0]->runOpportunistic();
+    for (std::thread &thread : crew)
+        thread.join();
+
+    for (const auto &worker : workers)
+        mergeWorker(result, *worker);
+    if (shared.incumbent.found()) {
+        result.foundSolution = true;
+        result.bestMakespan = shared.incumbent.ub();
+        if (shared.incumbent.improvements() > 0)
+            result.best = shared.incumbent.best();
+    }
+    result.exhausted =
+        !shared.gapStop.load(std::memory_order_acquire) &&
+        !shared.limitHit.load(std::memory_order_acquire);
+    return result;
+}
+
+} // anonymous namespace
+
+SearchResult
+parallelBranchAndBound(const Model &model,
+                       const ScheduleVec *warm_start,
+                       const SearchLimits &limits)
+{
+    int threads = std::max(2, limits.threads);
+    trace::Span span("cp.search",
+                     trace::Arg::intArg("tasks", model.numTasks()),
+                     trace::Arg::intArg("threads", threads));
+
+    Time initial_ub = model.horizon() + 1;
+    if (warm_start)
+        initial_ub = warm_start->makespan(model);
+    Shared shared(model, limits, initial_ub, warm_start, threads);
+
+    SearchResult result;
+    result.threadsUsed = threads;
+    if (warm_start) {
+        result.foundSolution = true;
+        result.best = *warm_start;
+        result.bestMakespan = initial_ub;
+    }
+
+    // Mirror the serial searcher: a warm start already inside the
+    // target gap means no tree walk at all.
+    if (result.foundSolution &&
+        initialGapReached(initial_ub, limits)) {
+        result.exhausted = false;
+        PropagationEngine idle_engine(model);
+        idle_engine.add(makeTimetablePropagator(model));
+        idle_engine.add(makeDisjunctivePropagator(model));
+        idle_engine.add(makePrecedencePropagator(model));
+        if (limits.energeticReasoning)
+            idle_engine.add(makeEnergeticPropagator(model));
+        result.propagators = idle_engine.stats();
+        return result;
+    }
+
+    result = limits.deterministic
+        ? runDeterministic(model, limits, shared,
+                           std::move(result))
+        : runOpportunistic(limits, shared, std::move(result));
+
+    span.arg(trace::Arg::intArg("nodes", result.nodes));
+    span.arg(trace::Arg::intArg("steals", result.steals));
+    flushMetrics(result);
+    return result;
+}
+
+} // namespace cp
+} // namespace hilp

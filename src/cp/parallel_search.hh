@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Work-stealing parallel branch-and-bound over the serial-SGS tree.
+ *
+ * The serial searcher in search.cc walks one depth-first tree. This
+ * layer decomposes the same tree into *subproblems* — decision
+ * prefixes from the root — and lets a crew of workers, each with its
+ * own propagation engine and trail, search the subtrees:
+ *
+ *  - Frontier splitting: nodes above SearchLimits::splitDepth are
+ *    expanded into child subproblems pushed onto the owning worker's
+ *    deque instead of being recursed into; deeper nodes also spill
+ *    their children whenever other workers are starving, so one hard
+ *    subtree cannot serialize the crew.
+ *  - Chase–Lev-style deques: the owner pushes and pops at the bottom
+ *    (depth-first order, so a deque holds roughly the siblings along
+ *    the current path), thieves steal half from the top — the
+ *    shallowest, largest subtrees.
+ *  - Shared incumbent: the best makespan is a CAS-updated atomic every
+ *    worker prunes against; the schedule itself is published under a
+ *    mutex by whichever worker wins the CAS.
+ *  - Bound aggregation: every queued or in-flight subproblem keeps its
+ *    certified lower bound registered in a global aggregator, so the
+ *    targetGap stop can use min(incumbent, min over remaining
+ *    subtrees) as a sound global lower bound instead of only the
+ *    weaker external bound.
+ *
+ * Deterministic mode trades pruning power for reproducibility: the
+ * frontier is generated serially at a fixed depth, assigned
+ * round-robin, workers keep private incumbents (no stealing, no
+ * sharing), and the results merge by (makespan, subproblem index).
+ * A deterministic run that completes within its node budget is
+ * exactly reproducible for a given thread count.
+ *
+ * Both modes return the same optimal makespans and the same
+ * exhausted/foundSolution statuses as the serial search; only node
+ * counts differ (pruning happens in a different order). See
+ * tests/cp/test_parallel_search.cc for the differential guarantee.
+ */
+
+#ifndef HILP_CP_PARALLEL_SEARCH_HH
+#define HILP_CP_PARALLEL_SEARCH_HH
+
+#include "search.hh"
+
+namespace hilp {
+namespace cp {
+
+/**
+ * Run the parallel branch-and-bound (limits.threads >= 2). Called by
+ * branchAndBound(), which keeps the bit-identical serial path for
+ * limits.threads <= 1; call through branchAndBound() unless you
+ * specifically want to force the parallel driver.
+ */
+SearchResult parallelBranchAndBound(const Model &model,
+                                    const ScheduleVec *warm_start,
+                                    const SearchLimits &limits);
+
+} // namespace cp
+} // namespace hilp
+
+#endif // HILP_CP_PARALLEL_SEARCH_HH

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "bounds.hh"
+#include "parallel_search.hh"
 #include "profile.hh"
 #include "propagate.hh"
 #include "support/logging.hh"
@@ -319,8 +320,13 @@ SearchResult
 branchAndBound(const Model &model, const ScheduleVec *warm_start,
                const SearchLimits &limits)
 {
-    Searcher searcher(model, warm_start, limits);
-    return searcher.run();
+    // threads <= 1 keeps the historical serial searcher, bit for
+    // bit: identical node counts, identical incumbent sequence.
+    if (limits.threads <= 1) {
+        Searcher searcher(model, warm_start, limits);
+        return searcher.run();
+    }
+    return parallelBranchAndBound(model, warm_start, limits);
 }
 
 } // namespace cp

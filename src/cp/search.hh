@@ -48,6 +48,30 @@ struct SearchLimits
      * it is opt-in per solve.
      */
     bool energeticReasoning = false;
+    /**
+     * Worker threads for the branch-and-bound tree walk. 1 (the
+     * default) runs the serial searcher, bit-identical to the
+     * historical behavior; larger values run the work-stealing
+     * parallel search (see parallel_search.hh), which explores a
+     * different node set but returns the same optimal makespans and
+     * the same exhausted/foundSolution statuses.
+     */
+    int threads = 1;
+    /**
+     * Parallel determinism mode: partition the frontier statically,
+     * keep per-worker incumbents, and merge deterministically, so a
+     * run that finishes within its budgets is exactly reproducible
+     * for a fixed thread count. Off (the default) shares the
+     * incumbent opportunistically, which prunes harder but makes
+     * node counts (never results) run-dependent.
+     */
+    bool deterministic = false;
+    /**
+     * Tree depth down to which the parallel search splits nodes into
+     * stealable subproblems instead of recursing. 0 picks a default;
+     * ignored by the serial path.
+     */
+    int splitDepth = 0;
 };
 
 /** Outcome of the branch-and-bound search. */
@@ -65,7 +89,16 @@ struct SearchResult
     int64_t nodes = 0;
     int64_t backtracks = 0;
     int64_t solutions = 0;
-    /** Per-propagator telemetry from the propagation engine. */
+    /** Worker threads that actually ran the search. */
+    int threadsUsed = 1;
+    /** Parallel search: successful steal operations. */
+    int64_t steals = 0;
+    /** Parallel search: subproblems published for stealing. */
+    int64_t subproblems = 0;
+    /**
+     * Per-propagator telemetry, aggregated (by rule name) across
+     * every worker's propagation engine.
+     */
     std::vector<PropagatorStats> propagators;
 };
 

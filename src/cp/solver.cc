@@ -6,6 +6,7 @@
 #include "list_scheduler.hh"
 #include "search.hh"
 #include "support/logging.hh"
+#include "support/thread_pool.hh"
 #include "support/metrics.hh"
 #include "support/trace.hh"
 
@@ -109,13 +110,34 @@ Solver::solve(const Model &model, const ScheduleVec *hint) const
     limits.targetGap = options_.targetGap;
     limits.lowerBound = result.lowerBound;
     limits.energeticReasoning = options_.energeticReasoning;
+    limits.deterministic = options_.deterministicSearch;
+    limits.splitDepth = options_.splitDepth;
+
+    // threads == 0 means "borrow what the machine has to spare":
+    // the caller's own thread is implicitly budgeted, extra workers
+    // come from the process-wide budget and go back when the search
+    // finishes. Non-blocking, so a solve inside a busy DSE sweep
+    // degrades to serial instead of oversubscribing.
+    ThreadBudget::Lease extra_lease;
+    if (options_.threads == 0) {
+        ThreadBudget &budget = ThreadBudget::global();
+        extra_lease = budget.lease(budget.total() - 1);
+        limits.threads = 1 + extra_lease.count();
+    } else {
+        limits.threads = std::max(1, options_.threads);
+    }
+
     SearchResult search = branchAndBound(model, warm, limits);
+    extra_lease.reset();
 
     result.stats.nodes = search.nodes;
     result.stats.backtracks = search.backtracks;
     result.stats.solutions = search.solutions;
     result.stats.exhausted = search.exhausted;
     result.stats.propagators = search.propagators;
+    result.stats.searchThreads = search.threadsUsed;
+    result.stats.steals = search.steals;
+    result.stats.subproblems = search.subproblems;
 
     if (search.foundSolution) {
         result.schedule = search.best;

@@ -62,6 +62,27 @@ struct SolverOptions
      * explored tree, so results stay reproducible across versions).
      */
     bool energeticReasoning = false;
+    /**
+     * Branch-and-bound worker threads. 1 (the default) keeps the
+     * historical serial search, bit for bit. Larger values run the
+     * work-stealing parallel search. 0 sizes the crew from the
+     * process-wide ThreadBudget: the solve borrows whatever slots
+     * are currently free (degrading gracefully to serial when a DSE
+     * sweep is using the machine) and returns them afterwards.
+     */
+    int threads = 1;
+    /**
+     * Use the deterministic parallel search (static frontier
+     * partition, private incumbents, reproducible merge) instead of
+     * the opportunistic work-stealing one. Only meaningful when
+     * threads != 1.
+     */
+    bool deterministicSearch = false;
+    /**
+     * Frontier split depth for the parallel search; 0 picks a
+     * default (see SearchLimits::splitDepth).
+     */
+    int splitDepth = 0;
 };
 
 /** Effort accounting for a solve. */
@@ -78,6 +99,12 @@ struct SolveStats
     bool hintAccepted = false;
     /** Makespan of the accepted hint (0 when none). */
     Time hintMakespan = 0;
+    /** Worker threads the branch-and-bound actually ran with. */
+    int searchThreads = 1;
+    /** Parallel search: successful steal operations. */
+    int64_t steals = 0;
+    /** Parallel search: subproblems published for stealing. */
+    int64_t subproblems = 0;
     /** Per-propagator telemetry from the propagation engine. */
     std::vector<PropagatorStats> propagators;
 };

@@ -323,7 +323,12 @@ exploreSpace(const std::vector<arch::SocConfig> &configs,
              const DseOptions &options)
 {
     std::vector<DsePoint> points(configs.size());
-    ThreadPool pool(options.threads);
+    // The sweep pool shares the process-wide thread budget with the
+    // solver's parallel search: an outer worker holds a CPU slot
+    // only while evaluating a point, so inner solves that ask the
+    // budget for helpers (SolverOptions::threads == 0) pick up
+    // exactly the slots the sweep is not using.
+    ThreadPool pool(options.threads, &ThreadBudget::global());
     Heartbeat heartbeat(configs.size());
 
     // Cold-start path: every point is independent. MA is analytic

@@ -10,7 +10,65 @@
 
 namespace hilp {
 
-ThreadPool::ThreadPool(size_t num_threads)
+ThreadBudget::ThreadBudget(int total)
+    : total_(total > 0
+                 ? total
+                 : static_cast<int>(std::max(
+                       1u, std::thread::hardware_concurrency()))),
+      available_(total_)
+{}
+
+ThreadBudget &
+ThreadBudget::global()
+{
+    static ThreadBudget budget;
+    return budget;
+}
+
+int
+ThreadBudget::available() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return available_;
+}
+
+int
+ThreadBudget::tryAcquire(int want)
+{
+    if (want <= 0)
+        return 0;
+    std::lock_guard<std::mutex> lock(mutex_);
+    int granted = std::min(want, available_);
+    available_ -= granted;
+    return granted;
+}
+
+void
+ThreadBudget::acquire(int n)
+{
+    if (n <= 0)
+        return;
+    hilp_assert(n <= total_);
+    std::unique_lock<std::mutex> lock(mutex_);
+    freed_.wait(lock, [this, n] { return available_ >= n; });
+    available_ -= n;
+}
+
+void
+ThreadBudget::release(int n)
+{
+    if (n <= 0)
+        return;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        available_ += n;
+        hilp_assert(available_ <= total_);
+    }
+    freed_.notify_all();
+}
+
+ThreadPool::ThreadPool(size_t num_threads, ThreadBudget *budget)
+    : budget_(budget)
 {
     if (num_threads == 0) {
         unsigned hw = std::thread::hardware_concurrency();
@@ -97,6 +155,12 @@ ThreadPool::workerLoop()
             task = std::move(queue_.front());
             queue_.pop();
         }
+        // Hold a budget slot only while the task runs: an idle
+        // worker's slot is free for an inner solver to borrow, and a
+        // borrowed-out slot delays the next outer task instead of
+        // oversubscribing the machine.
+        if (budget_)
+            budget_->acquire(1);
         std::exception_ptr error;
         try {
             TRACE_SPAN("pool.task");
@@ -105,6 +169,8 @@ ThreadPool::workerLoop()
         } catch (...) {
             error = std::current_exception();
         }
+        if (budget_)
+            budget_->release(1);
         {
             std::unique_lock<std::mutex> lock(mutex_);
             if (error && !firstError_)

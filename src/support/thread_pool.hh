@@ -1,7 +1,9 @@
 /**
  * @file
  * A small fixed-size thread pool used to evaluate independent SoC
- * configurations in parallel during design space exploration.
+ * configurations in parallel during design space exploration, plus
+ * the process-wide thread budget that arbitrates CPU slots between
+ * the outer sweep pool and the solver's inner parallel search.
  */
 
 #ifndef HILP_SUPPORT_THREAD_POOL_HH
@@ -19,6 +21,112 @@
 namespace hilp {
 
 /**
+ * A counting semaphore over the machine's CPU slots, shared by every
+ * layer that spawns threads. The convention: a thread that is
+ * *running* work holds one slot (the thread a caller already runs on
+ * is implicitly budgeted), and helpers beyond that are claimed with
+ * tryAcquire before being spawned. Budget-aware ThreadPool workers
+ * hold a slot only while executing a task and return it while idle,
+ * so during a sweep's tail the slots of drained outer workers become
+ * available to a hard inner solve instead of oversubscribing the
+ * machine.
+ *
+ * acquire() blocks until slots free up and is only used by pool
+ * workers (which always eventually get their slot back because every
+ * borrower releases in bounded time); code on a solve path must use
+ * the non-blocking tryAcquire and degrade to fewer threads.
+ */
+class ThreadBudget
+{
+  public:
+    /** A budget of `total` slots (0 means hardware concurrency). */
+    explicit ThreadBudget(int total = 0);
+
+    ThreadBudget(const ThreadBudget &) = delete;
+    ThreadBudget &operator=(const ThreadBudget &) = delete;
+
+    /** The process-wide budget (hardware-concurrency slots). */
+    static ThreadBudget &global();
+
+    /** Total slots in the budget. */
+    int total() const { return total_; }
+
+    /** Currently unclaimed slots (a racy snapshot, for telemetry). */
+    int available() const;
+
+    /**
+     * Claim up to `want` slots without blocking; returns how many
+     * were granted (possibly 0).
+     */
+    int tryAcquire(int want);
+
+    /** Claim exactly n slots, blocking until they are free. */
+    void acquire(int n);
+
+    /** Return n previously claimed slots. */
+    void release(int n);
+
+    /** RAII ownership of slots claimed from a budget. */
+    class Lease
+    {
+      public:
+        Lease() = default;
+        Lease(ThreadBudget &budget, int count)
+            : budget_(&budget), count_(count) {}
+        ~Lease() { reset(); }
+
+        Lease(Lease &&other) noexcept
+            : budget_(other.budget_), count_(other.count_)
+        {
+            other.budget_ = nullptr;
+            other.count_ = 0;
+        }
+
+        Lease &
+        operator=(Lease &&other) noexcept
+        {
+            if (this != &other) {
+                reset();
+                budget_ = other.budget_;
+                count_ = other.count_;
+                other.budget_ = nullptr;
+                other.count_ = 0;
+            }
+            return *this;
+        }
+
+        Lease(const Lease &) = delete;
+        Lease &operator=(const Lease &) = delete;
+
+        /** Slots held by this lease. */
+        int count() const { return count_; }
+
+        /** Release the held slots early. */
+        void
+        reset()
+        {
+            if (budget_ && count_ > 0)
+                budget_->release(count_);
+            budget_ = nullptr;
+            count_ = 0;
+        }
+
+      private:
+        ThreadBudget *budget_ = nullptr;
+        int count_ = 0;
+    };
+
+    /** Claim up to `want` slots without blocking, as a lease. */
+    Lease lease(int want) { return Lease(*this, tryAcquire(want)); }
+
+  private:
+    const int total_;
+    mutable std::mutex mutex_;
+    std::condition_variable freed_;
+    int available_;
+};
+
+/**
  * Fixed-size worker pool. Tasks are void() callables. A throw from a
  * task is captured on the worker (it never escapes into the worker
  * thread); the first captured exception is rethrown by the next
@@ -31,9 +139,14 @@ class ThreadPool
   public:
     /**
      * Create a pool with the given number of workers (0 means
-     * hardware concurrency, at least 1).
+     * hardware concurrency, at least 1). With a non-null budget each
+     * worker claims one slot (blocking) before running a task and
+     * returns it afterwards, so at most `budget->total()` pool tasks
+     * execute concurrently and idle workers lend their slots to
+     * whoever else draws on the same budget.
      */
-    explicit ThreadPool(size_t num_threads = 0);
+    explicit ThreadPool(size_t num_threads = 0,
+                        ThreadBudget *budget = nullptr);
 
     /** Drains outstanding work, then joins the workers. */
     ~ThreadPool();
@@ -65,6 +178,7 @@ class ThreadPool
   private:
     void workerLoop();
 
+    ThreadBudget *budget_ = nullptr;
     std::vector<std::thread> workers_;
     std::queue<std::function<void()>> queue_;
     std::mutex mutex_;

@@ -1,0 +1,315 @@
+/**
+ * @file
+ * Differential tests for the work-stealing parallel branch-and-bound
+ * against the serial searcher. With targetGap == 0 both must prove
+ * the same optimum (or the same infeasibility): the parallel search
+ * explores a different node set, but the set of schedules covered is
+ * identical, so foundSolution / exhausted / bestMakespan must match
+ * exactly for every thread count and both parallel modes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cp/model.hh"
+#include "cp/search.hh"
+#include "support/random.hh"
+
+namespace hilp {
+namespace cp {
+namespace {
+
+/**
+ * A random multi-mode scheduling instance: a few device groups and
+ * cumulative resources, tasks with 1-3 modes, a sparse precedence
+ * DAG (edges only i -> j with i < j), occasional start lags. The
+ * horizon is tight enough that some seeds are infeasible, so the
+ * differential also covers exhaustion without a solution.
+ */
+Model
+randomModel(uint64_t seed)
+{
+    Rng rng(seed * 9176 + 31);
+    Model m;
+    m.addResource(rng.uniformDouble(1.0, 2.5), "r0");
+    if (rng.chance(0.5))
+        m.addResource(rng.uniformDouble(0.5, 1.5), "r1");
+    int groups = static_cast<int>(rng.uniformInt(2, 3));
+    std::vector<int> gids;
+    for (int g = 0; g < groups; ++g)
+        gids.push_back(m.addGroup());
+
+    int n = static_cast<int>(rng.uniformInt(6, 8));
+    Time total = 0;
+    for (int t = 0; t < n; ++t) {
+        Task task;
+        int num_modes = static_cast<int>(rng.uniformInt(1, 3));
+        Time longest = 0;
+        for (int k = 0; k < num_modes; ++k) {
+            Mode mode;
+            mode.group = rng.chance(0.8)
+                ? gids[static_cast<size_t>(
+                      rng.uniformInt(0, groups - 1))]
+                : kNoGroup;
+            mode.duration = static_cast<Time>(rng.uniformInt(1, 5));
+            mode.usage.push_back(rng.uniformDouble(0.0, 1.2));
+            if (m.numResources() > 1)
+                mode.usage.push_back(rng.uniformDouble(0.0, 0.9));
+            longest = std::max(longest, mode.duration);
+            task.modes.push_back(mode);
+        }
+        total += longest;
+        m.addTask(task);
+    }
+    for (int i = 0; i < n; ++i)
+        for (int j = i + 1; j < n; ++j)
+            if (rng.chance(0.25)) {
+                if (rng.chance(0.15))
+                    m.addStartLag(i, j,
+                                  static_cast<Time>(
+                                      rng.uniformInt(1, 3)));
+                else
+                    m.addPrecedence(i, j);
+            }
+    // Tight enough to make some seeds infeasible, loose enough that
+    // most have schedules.
+    m.setHorizon(std::max<Time>(8, total * 2 / 3));
+    return m;
+}
+
+SearchLimits
+exhaustiveLimits()
+{
+    SearchLimits limits;
+    limits.targetGap = 0.0;
+    limits.maxNodes = 50'000'000;
+    limits.maxSeconds = 120.0;
+    return limits;
+}
+
+class ParallelDiff : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(ParallelDiff, MatchesSerialOptimum)
+{
+    Model m = randomModel(GetParam());
+    SearchResult serial = branchAndBound(m, nullptr,
+                                         exhaustiveLimits());
+    ASSERT_TRUE(serial.exhausted)
+        << "reference run must prove optimality";
+
+    for (int threads : {2, 4, 8}) {
+        for (bool deterministic : {false, true}) {
+            SearchLimits limits = exhaustiveLimits();
+            limits.threads = threads;
+            limits.deterministic = deterministic;
+            SearchResult par = branchAndBound(m, nullptr, limits);
+            SCOPED_TRACE(::testing::Message()
+                         << "threads=" << threads
+                         << " deterministic=" << deterministic);
+            EXPECT_EQ(par.threadsUsed, threads);
+            EXPECT_EQ(par.foundSolution, serial.foundSolution);
+            EXPECT_EQ(par.exhausted, serial.exhausted);
+            if (serial.foundSolution) {
+                EXPECT_EQ(par.bestMakespan, serial.bestMakespan);
+                EXPECT_EQ(checkSchedule(m, par.best), "");
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelDiff,
+                         ::testing::Range<uint64_t>(1, 13));
+
+class ParallelWarmDiff : public ::testing::TestWithParam<uint64_t>
+{};
+
+/** Warm-started runs must also land on the serial optimum. */
+TEST_P(ParallelWarmDiff, MatchesSerialOptimumFromWarmStart)
+{
+    Model m = randomModel(GetParam());
+    SearchResult serial = branchAndBound(m, nullptr,
+                                         exhaustiveLimits());
+    if (!serial.foundSolution)
+        GTEST_SKIP() << "infeasible seed has no warm start";
+    ASSERT_TRUE(serial.exhausted);
+    ScheduleVec warm = serial.best;
+
+    for (int threads : {2, 8}) {
+        for (bool deterministic : {false, true}) {
+            SearchLimits limits = exhaustiveLimits();
+            limits.threads = threads;
+            limits.deterministic = deterministic;
+            SearchResult par = branchAndBound(m, &warm, limits);
+            SCOPED_TRACE(::testing::Message()
+                         << "threads=" << threads
+                         << " deterministic=" << deterministic);
+            ASSERT_TRUE(par.foundSolution);
+            EXPECT_TRUE(par.exhausted);
+            EXPECT_EQ(par.bestMakespan, serial.bestMakespan);
+            // The warm start is already optimal: no improvements.
+            EXPECT_EQ(par.solutions, 0);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelWarmDiff,
+                         ::testing::Range<uint64_t>(1, 7));
+
+Model
+twoDeviceModel()
+{
+    // Four tasks, each 2 steps on either of two devices: optimum 4.
+    Model m;
+    int g1 = m.addGroup("A");
+    int g2 = m.addGroup("B");
+    for (int i = 0; i < 4; ++i) {
+        Task t;
+        t.modes.push_back({g1, 2, {}});
+        t.modes.push_back({g2, 2, {}});
+        m.addTask(t);
+    }
+    m.setHorizon(20);
+    return m;
+}
+
+TEST(ParallelSearch, FindsOptimumOnAllThreadCounts)
+{
+    Model m = twoDeviceModel();
+    for (int threads : {2, 3, 4, 8}) {
+        SearchLimits limits;
+        limits.threads = threads;
+        SearchResult r = branchAndBound(m, nullptr, limits);
+        SCOPED_TRACE(threads);
+        ASSERT_TRUE(r.foundSolution);
+        EXPECT_TRUE(r.exhausted);
+        EXPECT_EQ(r.bestMakespan, 4);
+        EXPECT_EQ(checkSchedule(m, r.best), "");
+    }
+}
+
+TEST(ParallelSearch, ProvesInfeasibilityByExhaustion)
+{
+    Model m;
+    int g = m.addGroup("G");
+    for (int i = 0; i < 3; ++i) {
+        Task t;
+        t.modes.push_back({g, 3, {}});
+        m.addTask(t);
+    }
+    m.setHorizon(8); // needs 9 steps on one device.
+    for (bool deterministic : {false, true}) {
+        SearchLimits limits;
+        limits.threads = 4;
+        limits.deterministic = deterministic;
+        SearchResult r = branchAndBound(m, nullptr, limits);
+        SCOPED_TRACE(deterministic);
+        EXPECT_FALSE(r.foundSolution);
+        EXPECT_TRUE(r.exhausted);
+    }
+}
+
+TEST(ParallelSearch, TargetGapSkipsSearchLikeSerial)
+{
+    Model m = twoDeviceModel();
+    ScheduleVec warm;
+    warm.tasks = {{0, 0}, {1, 0}, {0, 2}, {1, 2}};
+    SearchLimits limits;
+    limits.threads = 4;
+    limits.targetGap = 0.5;
+    limits.lowerBound = 3; // gap (4-3)/4 = 0.25 <= 0.5.
+    SearchResult r = branchAndBound(m, &warm, limits);
+    ASSERT_TRUE(r.foundSolution);
+    EXPECT_FALSE(r.exhausted);
+    EXPECT_EQ(r.nodes, 0);
+    EXPECT_EQ(r.bestMakespan, 4);
+}
+
+TEST(ParallelSearch, DeterministicModeIsReproducible)
+{
+    Model m = randomModel(3);
+    SearchLimits limits = exhaustiveLimits();
+    limits.threads = 4;
+    limits.deterministic = true;
+    SearchResult first = branchAndBound(m, nullptr, limits);
+    for (int run = 0; run < 3; ++run) {
+        SearchResult again = branchAndBound(m, nullptr, limits);
+        EXPECT_EQ(again.foundSolution, first.foundSolution);
+        EXPECT_EQ(again.exhausted, first.exhausted);
+        EXPECT_EQ(again.bestMakespan, first.bestMakespan);
+        EXPECT_EQ(again.nodes, first.nodes);
+        EXPECT_EQ(again.solutions, first.solutions);
+        EXPECT_EQ(again.subproblems, first.subproblems);
+        if (first.foundSolution) {
+            ASSERT_EQ(again.best.tasks.size(),
+                      first.best.tasks.size());
+            for (size_t t = 0; t < first.best.tasks.size(); ++t) {
+                EXPECT_EQ(again.best.tasks[t].mode,
+                          first.best.tasks[t].mode);
+                EXPECT_EQ(again.best.tasks[t].start,
+                          first.best.tasks[t].start);
+            }
+        }
+    }
+}
+
+TEST(ParallelSearch, ExplicitSplitDepthIsHonored)
+{
+    Model m = randomModel(5);
+    SearchResult serial = branchAndBound(m, nullptr,
+                                         exhaustiveLimits());
+    for (int depth : {1, 2, 6}) {
+        SearchLimits limits = exhaustiveLimits();
+        limits.threads = 4;
+        limits.splitDepth = depth;
+        SearchResult r = branchAndBound(m, nullptr, limits);
+        SCOPED_TRACE(depth);
+        EXPECT_EQ(r.foundSolution, serial.foundSolution);
+        EXPECT_EQ(r.exhausted, serial.exhausted);
+        if (serial.foundSolution) {
+            EXPECT_EQ(r.bestMakespan, serial.bestMakespan);
+        }
+    }
+}
+
+TEST(ParallelSearch, ReportsWorkDistributionTelemetry)
+{
+    Model m = randomModel(2);
+    SearchLimits limits = exhaustiveLimits();
+    limits.threads = 4;
+    SearchResult r = branchAndBound(m, nullptr, limits);
+    EXPECT_EQ(r.threadsUsed, 4);
+    // The root split alone publishes subproblems on any instance
+    // with more than one feasible first decision.
+    EXPECT_GT(r.subproblems, 0);
+    EXPECT_GT(r.nodes, 0);
+    // Propagator stats aggregate across workers: the engine rules
+    // are registered once per name, with summed counters.
+    ASSERT_FALSE(r.propagators.empty());
+    for (size_t i = 0; i < r.propagators.size(); ++i)
+        for (size_t j = i + 1; j < r.propagators.size(); ++j)
+            EXPECT_NE(r.propagators[i].name, r.propagators[j].name);
+}
+
+TEST(ParallelSearch, SerialPathIgnoresParallelKnobs)
+{
+    // threads == 1 must route to the serial searcher no matter what
+    // the parallel-only knobs say.
+    Model m = twoDeviceModel();
+    SearchLimits limits;
+    limits.threads = 1;
+    limits.deterministic = true;
+    limits.splitDepth = 3;
+    SearchResult r = branchAndBound(m, nullptr, limits);
+    ASSERT_TRUE(r.foundSolution);
+    EXPECT_TRUE(r.exhausted);
+    EXPECT_EQ(r.bestMakespan, 4);
+    EXPECT_EQ(r.threadsUsed, 1);
+    EXPECT_EQ(r.steals, 0);
+    EXPECT_EQ(r.subproblems, 0);
+}
+
+} // anonymous namespace
+} // namespace cp
+} // namespace hilp

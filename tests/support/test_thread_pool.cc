@@ -1,10 +1,12 @@
-/** @file Unit tests for the thread pool. */
+/** @file Unit tests for the thread pool and the thread budget. */
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "support/thread_pool.hh"
@@ -144,6 +146,113 @@ TEST(ThreadPool, FirstOfManyExceptionsWins)
     // a subsequent wait() has nothing left to report.
     EXPECT_EQ(thrown.load(), 20);
     pool.wait();
+}
+
+TEST(ThreadBudget, DefaultsToHardwareConcurrency)
+{
+    ThreadBudget budget;
+    EXPECT_GE(budget.total(), 1);
+    EXPECT_EQ(budget.available(), budget.total());
+    EXPECT_GE(ThreadBudget::global().total(), 1);
+}
+
+TEST(ThreadBudget, TryAcquireGrantsUpToAvailable)
+{
+    ThreadBudget budget(3);
+    EXPECT_EQ(budget.tryAcquire(2), 2);
+    EXPECT_EQ(budget.available(), 1);
+    // Non-blocking: asking for more than remains grants the rest.
+    EXPECT_EQ(budget.tryAcquire(5), 1);
+    EXPECT_EQ(budget.available(), 0);
+    EXPECT_EQ(budget.tryAcquire(1), 0);
+    budget.release(3);
+    EXPECT_EQ(budget.available(), 3);
+}
+
+TEST(ThreadBudget, TryAcquireOfNothingIsFree)
+{
+    ThreadBudget budget(2);
+    EXPECT_EQ(budget.tryAcquire(0), 0);
+    EXPECT_EQ(budget.tryAcquire(-3), 0);
+    EXPECT_EQ(budget.available(), 2);
+}
+
+TEST(ThreadBudget, LeaseReleasesOnDestruction)
+{
+    ThreadBudget budget(4);
+    {
+        ThreadBudget::Lease lease = budget.lease(3);
+        EXPECT_EQ(lease.count(), 3);
+        EXPECT_EQ(budget.available(), 1);
+        // Moving transfers ownership without double-release.
+        ThreadBudget::Lease moved = std::move(lease);
+        EXPECT_EQ(moved.count(), 3);
+        EXPECT_EQ(budget.available(), 1);
+    }
+    EXPECT_EQ(budget.available(), 4);
+}
+
+TEST(ThreadBudget, AcquireBlocksUntilReleased)
+{
+    ThreadBudget budget(1);
+    budget.acquire(1);
+    std::atomic<bool> acquired{false};
+    std::thread waiter([&] {
+        budget.acquire(1); // Blocks until the main thread releases.
+        acquired.store(true);
+        budget.release(1);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(acquired.load());
+    budget.release(1);
+    waiter.join();
+    EXPECT_TRUE(acquired.load());
+    EXPECT_EQ(budget.available(), 1);
+}
+
+TEST(ThreadBudget, PoolWorkersRespectTheBudget)
+{
+    // Four workers sharing two slots: at most two tasks ever run
+    // concurrently, but all of them complete.
+    ThreadBudget budget(2);
+    ThreadPool pool(4, &budget);
+    std::atomic<int> running{0};
+    std::atomic<int> peak{0};
+    std::atomic<int> done{0};
+    for (int i = 0; i < 64; ++i) {
+        pool.submit([&] {
+            int now = ++running;
+            int seen = peak.load();
+            while (now > seen && !peak.compare_exchange_weak(seen, now))
+                ;
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+            --running;
+            ++done;
+        });
+    }
+    pool.wait();
+    EXPECT_EQ(done.load(), 64);
+    EXPECT_LE(peak.load(), 2);
+    // Idle workers returned their slots.
+    EXPECT_EQ(budget.available(), 2);
+}
+
+TEST(ThreadBudget, IdlePoolLendsSlotsToBorrowers)
+{
+    // A budget-aware pool with no queued work holds no slots, so an
+    // inner layer can borrow the full budget; once it releases, pool
+    // tasks run again.
+    ThreadBudget budget(2);
+    ThreadPool pool(2, &budget);
+    ThreadBudget::Lease lease = budget.lease(2);
+    EXPECT_EQ(lease.count(), 2);
+    std::atomic<int> ran{0};
+    pool.submit([&] { ++ran; }); // Parked until a slot frees up.
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    EXPECT_EQ(ran.load(), 0);
+    lease.reset();
+    pool.wait();
+    EXPECT_EQ(ran.load(), 1);
 }
 
 } // anonymous namespace
