@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <deque>
 #include <limits>
 #include <memory>
@@ -43,6 +44,13 @@ constexpr int64_t kBudgetBatch = 64;
 
 /** One trace instant per this many local nodes (power of two). */
 constexpr int64_t kNodeTraceSample = 8192;
+
+/** Starved-worker polls before parking on the condition variable. */
+constexpr int kIdleSpinIters = 64;
+
+/** Parked-wait backoff bounds (exponential doubling between). */
+constexpr int64_t kIdleSleepMinUs = 64;
+constexpr int64_t kIdleSleepMaxUs = 1024;
 
 /** One branching decision on the path from the root. */
 struct Decision
@@ -237,12 +245,28 @@ struct Shared
     Clock::time_point startTime;
     int threads;
     int splitDepth;
-    /** Spill children once fewer than this many subproblems queue. */
+    /**
+     * Spill children once `pending` (queued + in-flight) drops below
+     * this. With some worker idle, in-flight == threads - idle, so
+     * the condition fires when fewer subproblems queue than workers
+     * starve.
+     */
     int64_t lowWater;
 
-    /** Queued subproblems across all deques (approximate). */
+    /**
+     * Subproblems queued on any deque *or* claimed and still being
+     * processed. A claimed subproblem stays counted until process()
+     * returns, so once this counter reads 0 no unexplored work can
+     * exist anywhere: new subproblems are only published from inside
+     * process() (whose own subproblem is still counted), which makes
+     * 0 an absorbing state and a single acquire load of it a sound
+     * termination test — no multi-variable snapshot needed.
+     */
     std::atomic<int64_t> pending{0};
-    /** Workers currently looking for work. */
+    /**
+     * Workers currently looking for work. Drives the spill
+     * heuristic only; termination rests on `pending` alone.
+     */
     std::atomic<int> idle{0};
     /** The target gap was reached; everyone unwinds. */
     std::atomic<bool> gapStop{false};
@@ -252,6 +276,24 @@ struct Shared
     std::atomic<bool> allDone{false};
     /** Batched global node count for budget checks. */
     std::atomic<int64_t> nodesApprox{0};
+
+    /** Parking lot for starving workers (see Worker::waitForWork). */
+    std::mutex waitMutex;
+    std::condition_variable waitCv;
+
+    /**
+     * Wake parked workers: new work was published or a stop flag was
+     * set. The empty critical section serializes with a waiter
+     * between its predicate check and its wait, so a notification
+     * cannot fall into that gap; the timed wait bounds the cost of
+     * any race this cheap handshake still leaves.
+     */
+    void
+    wake()
+    {
+        { std::lock_guard<std::mutex> lock(waitMutex); }
+        waitCv.notify_all();
+    }
 
     Shared(const Model &model_in, const SearchLimits &limits_in,
            Time initial_ub, const ScheduleVec *warm, int threads_in)
@@ -376,8 +418,6 @@ class Worker
         while (!abortRequested()) {
             Subproblem sub;
             if (shared_.deques[id_].pop(&sub)) {
-                shared_.pending.fetch_sub(
-                    1, std::memory_order_relaxed);
                 process(sub);
                 continue;
             }
@@ -512,15 +552,19 @@ class Worker
                 int64_t global = shared_.nodesApprox.fetch_add(
                     kBudgetBatch, std::memory_order_relaxed) +
                     kBudgetBatch;
-                if (global >= limits_.maxNodes)
+                if (global >= limits_.maxNodes) {
                     shared_.limitHit.store(
                         true, std::memory_order_relaxed);
+                    shared_.wake();
+                }
             }
             if (shared_.elapsedS() >= limits_.maxSeconds) {
                 shared_.limitHit.store(true,
                                        std::memory_order_relaxed);
                 if (deterministic_ || collect_)
                     localLimit_ = true;
+                else
+                    shared_.wake();
             }
         }
         return abortRequested();
@@ -598,6 +642,7 @@ class Worker
         Time ub = shared_.incumbent.ub();
         if (ub <= 0) {
             shared_.gapStop.store(true, std::memory_order_relaxed);
+            shared_.wake();
             return;
         }
         Time remaining = shared_.aggregator.min();
@@ -607,8 +652,10 @@ class Worker
                            std::min(ub, remaining));
         double gap = static_cast<double>(ub - lb) /
                      static_cast<double>(ub);
-        if (gap <= limits_.targetGap)
+        if (gap <= limits_.targetGap) {
             shared_.gapStop.store(true, std::memory_order_relaxed);
+            shared_.wake();
+        }
     }
 
     /**
@@ -640,6 +687,8 @@ class Worker
         shared_.pending.fetch_add(1, std::memory_order_relaxed);
         shared_.deques[id_].push(std::move(sub));
         ++published_;
+        if (shared_.idle.load(std::memory_order_relaxed) > 0)
+            shared_.wake();
     }
 
     /**
@@ -744,22 +793,22 @@ class Worker
     void
     process(const Subproblem &sub)
     {
-        if (sub.bound >= currentUb()) {
-            // Already pruned by a better incumbent.
-            if (!deterministic_) {
-                shared_.aggregator.remove(sub.bound);
-                sharedGapCheck();
-            }
-            return;
+        // `sub.bound >= currentUb()` means the subtree is already
+        // pruned by a better incumbent; otherwise search it.
+        if (sub.bound < currentUb()) {
+            Time makespan = 0;
+            for (const Decision &d : sub.prefix)
+                makespan = std::max(makespan, apply(d));
+            dfs(makespan, sub.bound);
+            for (size_t i = 0; i < sub.prefix.size(); ++i)
+                undo();
         }
-        Time makespan = 0;
-        for (const Decision &d : sub.prefix)
-            makespan = std::max(makespan, apply(d));
-        dfs(makespan, sub.bound);
-        for (size_t i = 0; i < sub.prefix.size(); ++i)
-            undo();
         if (!deterministic_) {
             shared_.aggregator.remove(sub.bound);
+            // Only now does the subproblem leave the in-flight set:
+            // any children it spilled are already counted, so
+            // `pending` can never read 0 while work is unexplored.
+            shared_.pending.fetch_sub(1, std::memory_order_acq_rel);
             sharedGapCheck();
         }
     }
@@ -782,47 +831,52 @@ class Worker
             for (size_t k = stolen.size(); k > 1; --k)
                 shared_.deques[id_].push(
                     std::move(stolen[k - 1]));
-            shared_.pending.fetch_sub(1,
-                                      std::memory_order_relaxed);
             return true;
         }
         return false;
     }
 
     /**
-     * Nothing to do right now: advertise idleness and poll until
-     * work appears or the crew agrees the tree is exhausted. Workers
-     * in dfs are never idle, so pending == 0 with every worker idle
-     * proves global completion.
+     * Nothing to do right now: advertise idleness (spill heuristic)
+     * and wait until work appears or the tree is exhausted.
+     * `pending` counts claimed subproblems until their process()
+     * returns, so a single load of 0 proves completion — there is no
+     * idle-count handshake for a claim to race against. Waiting
+     * spins briefly, then parks on the shared condition variable
+     * with an exponentially growing timed wait (work can be
+     * in-flight on other workers with nothing stealable for long
+     * stretches, and burning a core on yield() would hold a
+     * ThreadBudget slot the sweep pool could use).
      */
     bool
     waitForWork(Subproblem *out)
     {
         shared_.idle.fetch_add(1, std::memory_order_acq_rel);
         bool got = false;
+        int spins = 0;
+        int64_t sleep_us = kIdleSleepMinUs;
         while (!abortRequested()) {
-            if (shared_.pending.load(std::memory_order_relaxed) >
+            if (shared_.pending.load(std::memory_order_acquire) ==
                 0) {
-                if (shared_.deques[id_].pop(out)) {
-                    shared_.pending.fetch_sub(
-                        1, std::memory_order_relaxed);
-                    got = true;
-                    break;
-                }
-                if (trySteal(out)) {
-                    got = true;
-                    break;
-                }
-            }
-            if (shared_.idle.load(std::memory_order_acquire) ==
-                    shared_.threads &&
-                shared_.pending.load(std::memory_order_acquire) ==
-                    0) {
                 shared_.allDone.store(true,
                                       std::memory_order_release);
+                shared_.wake();
                 break;
             }
-            std::this_thread::yield();
+            if (shared_.deques[id_].pop(out) || trySteal(out)) {
+                got = true;
+                break;
+            }
+            if (++spins <= kIdleSpinIters) {
+                std::this_thread::yield();
+                continue;
+            }
+            std::unique_lock<std::mutex> lock(shared_.waitMutex);
+            if (!abortRequested() &&
+                shared_.pending.load(std::memory_order_acquire) > 0)
+                shared_.waitCv.wait_for(
+                    lock, std::chrono::microseconds(sleep_us));
+            sleep_us = std::min(sleep_us * 2, kIdleSleepMaxUs);
         }
         shared_.idle.fetch_sub(1, std::memory_order_acq_rel);
         return got;

@@ -292,6 +292,43 @@ TEST(ParallelSearch, ReportsWorkDistributionTelemetry)
             EXPECT_NE(r.propagators[i].name, r.propagators[j].name);
 }
 
+/**
+ * Termination-protocol stress: on tiny trees with many workers,
+ * almost all of a run is spent at the claim/exhaustion boundary —
+ * the last few subproblems are claimed while the rest of the crew
+ * races the pending == 0 check. Any protocol that can declare
+ * exhaustion while a claimed subtree is still unexplored shows up
+ * here as a wrong makespan or a missed solution with
+ * exhausted == true. Repetition widens the interleaving coverage.
+ */
+TEST(ParallelSearch, TerminationStressOnTinyTrees)
+{
+    Model feasible = twoDeviceModel();
+    Model infeasible;
+    int g = infeasible.addGroup("G");
+    for (int i = 0; i < 3; ++i) {
+        Task t;
+        t.modes.push_back({g, 3, {}});
+        infeasible.addTask(t);
+    }
+    infeasible.setHorizon(8);
+
+    for (int rep = 0; rep < 200; ++rep) {
+        SearchLimits limits;
+        limits.threads = 8;
+        SearchResult r = branchAndBound(feasible, nullptr, limits);
+        SCOPED_TRACE(rep);
+        ASSERT_TRUE(r.foundSolution);
+        ASSERT_TRUE(r.exhausted);
+        ASSERT_EQ(r.bestMakespan, 4);
+
+        SearchResult inf =
+            branchAndBound(infeasible, nullptr, limits);
+        ASSERT_FALSE(inf.foundSolution);
+        ASSERT_TRUE(inf.exhausted);
+    }
+}
+
 TEST(ParallelSearch, SerialPathIgnoresParallelKnobs)
 {
     // threads == 1 must route to the serial searcher no matter what
