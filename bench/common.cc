@@ -5,6 +5,7 @@
 #include <cstring>
 #include <string>
 
+#include "dse/checkpoint.hh"
 #include "dse/pareto.hh"
 #include "support/logging.hh"
 #include "support/metrics.hh"
@@ -21,6 +22,10 @@ std::string g_trace_path;
 std::string g_metrics_path;
 int g_solver_threads = 1;
 bool g_deterministic_search = false;
+std::string g_checkpoint_path;
+bool g_resume = false;
+double g_point_timeout_s = 0.0;
+bool g_fail_fast = false;
 
 void
 dumpTelemetry()
@@ -64,6 +69,14 @@ initHarness(int *argc, char **argv)
             g_solver_threads = std::atoi(arg + 17);
         else if (std::strcmp(arg, "--deterministic-search") == 0)
             g_deterministic_search = true;
+        else if (std::strncmp(arg, "--checkpoint=", 13) == 0)
+            g_checkpoint_path = arg + 13;
+        else if (std::strcmp(arg, "--resume") == 0)
+            g_resume = true;
+        else if (std::strncmp(arg, "--point-timeout=", 16) == 0)
+            g_point_timeout_s = std::atof(arg + 16);
+        else if (std::strcmp(arg, "--fail-fast") == 0)
+            g_fail_fast = true;
         else
             argv[kept++] = argv[i];
     }
@@ -86,6 +99,40 @@ bool
 deterministicSearch()
 {
     return g_deterministic_search;
+}
+
+double
+pointTimeoutS()
+{
+    return g_point_timeout_s;
+}
+
+bool
+failFast()
+{
+    return g_fail_fast;
+}
+
+dse::SweepCheckpoint *
+sweepCheckpoint()
+{
+    if (g_checkpoint_path.empty())
+        return nullptr;
+    // One checkpoint per process, shared by every sweep the binary
+    // runs - the key's model kind keeps their records apart.
+    static dse::SweepCheckpoint checkpoint;
+    static bool opened = false;
+    if (!opened) {
+        std::string error;
+        if (!checkpoint.open(g_checkpoint_path, g_resume, &error))
+            fatal("%s", error.c_str());
+        if (g_resume && checkpoint.loaded() > 0)
+            inform("checkpoint %s: resuming past %zu completed "
+                   "point(s)", g_checkpoint_path.c_str(),
+                   checkpoint.loaded());
+        opened = true;
+    }
+    return &checkpoint;
 }
 
 void
@@ -113,6 +160,7 @@ validationEngine(double solver_seconds)
     // Rerun near-optimality misses with 4x the budget, as the paper
     // does for its validation experiments.
     options.escalations = 1;
+    options.pointTimeoutS = g_point_timeout_s;
     return options;
 }
 
@@ -125,6 +173,8 @@ explorationOptions(double solver_seconds)
     options.engine.solver.maxNodes = 120000;
     options.engine.solver.threads = g_solver_threads;
     options.engine.solver.deterministicSearch = g_deterministic_search;
+    options.engine.pointTimeoutS = g_point_timeout_s;
+    options.failFast = g_fail_fast;
     return options;
 }
 

@@ -36,6 +36,17 @@ namespace bench {
  *   --deterministic-search
  *                       use the reproducible parallel search mode
  *                       instead of opportunistic work stealing.
+ *   --checkpoint=FILE   append completed sweep points to FILE (JSONL)
+ *                       as they finish, so an interrupted sweep can
+ *                       be resumed.
+ *   --resume            with --checkpoint: load FILE first and skip
+ *                       points a previous run already completed.
+ *   --point-timeout=S   whole-evaluation deadline per design point in
+ *                       seconds; on expiry the point degrades to its
+ *                       best incumbent (still with a certified gap)
+ *                       instead of failing.
+ *   --fail-fast         abort the sweep on the first point that
+ *                       throws (the pre-fault-isolation behavior).
  *
  * Both dumps run through atexit so they capture everything, including
  * the google-benchmark timing loops at the end of main.
@@ -47,6 +58,19 @@ int solverThreads();
 
 /** True when --deterministic-search was passed. */
 bool deterministicSearch();
+
+/** The --point-timeout value in seconds (0 = no per-point deadline). */
+double pointTimeoutS();
+
+/** True when --fail-fast was passed. */
+bool failFast();
+
+/**
+ * The process-wide sweep checkpoint, opened lazily from --checkpoint
+ * / --resume on first call (fatal if the file cannot be opened).
+ * Null when no --checkpoint was given.
+ */
+dse::SweepCheckpoint *sweepCheckpoint();
 
 /** Print a figure/table banner. */
 void banner(const std::string &title, const std::string &description);

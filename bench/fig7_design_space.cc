@@ -12,6 +12,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 
@@ -26,6 +27,14 @@ using namespace hilp;
 /** Set by --no-reuse: run every solve cold, as before the reuse layer. */
 bool g_no_reuse = false;
 
+/**
+ * Set by --max-configs=N: truncate the design space to its first N
+ * configurations. For quick smoke runs and the checkpoint/resume CI
+ * stage; the paper-fidelity sections that need the full space are
+ * skipped when the space is truncated.
+ */
+size_t g_max_configs = 0;
+
 void
 emitModel(dse::ModelKind kind,
           const std::vector<arch::SocConfig> &configs,
@@ -34,6 +43,7 @@ emitModel(dse::ModelKind kind,
     arch::Constraints constraints; // 600 W, 800 GB/s.
     dse::DseOptions options = bench::explorationOptions(1.0);
     options.reuse = !g_no_reuse;
+    options.checkpoint = bench::sweepCheckpoint();
     auto points =
         dse::exploreSpace(configs, wl, constraints, kind, options);
 
@@ -86,12 +96,19 @@ emitFigure()
 
     auto wl = workload::makeWorkload(workload::Variant::Default);
     auto configs = bench::paperDesignSpace();
+    if (g_max_configs > 0 && configs.size() > g_max_configs)
+        configs.resize(g_max_configs);
     std::printf("design space: %zu configurations\n",
                 configs.size());
 
     emitModel(dse::ModelKind::MultiAmdahl, configs, wl);
     emitModel(dse::ModelKind::Gables, configs, wl);
     emitModel(dse::ModelKind::Hilp, configs, wl);
+
+    // A truncated space is a smoke run; the paper comparison below
+    // only means something on the full design space.
+    if (g_max_configs > 0)
+        return;
 
     // The paper's key qualitative check: the mixed HILP SoC matches
     // the big-GPU SoC at lower area.
@@ -147,6 +164,9 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--no-reuse") == 0)
             g_no_reuse = true;
+        else if (std::strncmp(argv[i], "--max-configs=", 14) == 0)
+            g_max_configs = static_cast<size_t>(
+                std::atoll(argv[i] + 14));
         else
             argv[kept++] = argv[i];
     }

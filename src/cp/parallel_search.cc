@@ -558,7 +558,8 @@ class Worker
                     shared_.wake();
                 }
             }
-            if (shared_.elapsedS() >= limits_.maxSeconds) {
+            if (shared_.elapsedS() >= limits_.maxSeconds ||
+                Clock::now() >= limits_.deadline) {
                 shared_.limitHit.store(true,
                                        std::memory_order_relaxed);
                 if (deterministic_ || collect_)

@@ -138,9 +138,11 @@ class Searcher
             return true;
         }
         if ((result_.nodes & 1023) == 0) {
+            Clock::time_point now = Clock::now();
             double elapsed = std::chrono::duration<double>(
-                Clock::now() - startTime_).count();
-            if (elapsed >= limits_.maxSeconds) {
+                now - startTime_).count();
+            if (elapsed >= limits_.maxSeconds ||
+                now >= limits_.deadline) {
                 limitHit_ = true;
                 return true;
             }

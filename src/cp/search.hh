@@ -14,6 +14,7 @@
 #ifndef HILP_CP_SEARCH_HH
 #define HILP_CP_SEARCH_HH
 
+#include <chrono>
 #include <cstdint>
 #include <vector>
 
@@ -30,6 +31,16 @@ struct SearchLimits
     int64_t maxNodes = 500000;
     /** Wall-clock budget in seconds. */
     double maxSeconds = 5.0;
+    /**
+     * Absolute monotonic cut-off for the search, on top of (and
+     * independent of) maxSeconds. Unlike maxSeconds, which is
+     * per-solve, the deadline is shared by every solve of one outer
+     * evaluation (all resolution refinements and escalations), so a
+     * single slow point cannot overrun its wall-clock budget by
+     * re-solving. time_point::max() (the default) disables it.
+     */
+    std::chrono::steady_clock::time_point deadline =
+        std::chrono::steady_clock::time_point::max();
     /**
      * Stop as soon as (UB - lowerBound) / UB <= targetGap. The
      * paper's near-optimality threshold is 0.1; use 0 to search for

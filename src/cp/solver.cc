@@ -88,7 +88,10 @@ Solver::solve(const Model &model, const ScheduleVec *hint) const
                 ? static_cast<double>(incumbent - result.lowerBound) /
                   static_cast<double>(incumbent)
                 : 0.0;
-            if (greedy_gap > options_.targetGap)
+            // Past the deadline the cheap greedy incumbent is all we
+            // spend: hill climbing and the tree search are skipped.
+            if (greedy_gap > options_.targetGap &&
+                std::chrono::steady_clock::now() < options_.deadline)
                 greedy = improveGreedy(model, greedy,
                                        options_.lnsIterations,
                                        options_.seed + 1);
@@ -107,6 +110,7 @@ Solver::solve(const Model &model, const ScheduleVec *hint) const
     SearchLimits limits;
     limits.maxNodes = options_.maxNodes;
     limits.maxSeconds = options_.maxSeconds;
+    limits.deadline = options_.deadline;
     limits.targetGap = options_.targetGap;
     limits.lowerBound = result.lowerBound;
     limits.energeticReasoning = options_.energeticReasoning;
@@ -126,6 +130,11 @@ Solver::solve(const Model &model, const ScheduleVec *hint) const
     } else {
         limits.threads = std::max(1, options_.threads);
     }
+
+    // An already-expired deadline still returns the incumbent (and
+    // its certified bound): one node records the warm start and stops.
+    if (std::chrono::steady_clock::now() >= options_.deadline)
+        limits.maxNodes = 1;
 
     SearchResult search = branchAndBound(model, warm, limits);
     extra_lease.reset();

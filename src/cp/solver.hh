@@ -8,6 +8,7 @@
 #ifndef HILP_CP_SOLVER_HH
 #define HILP_CP_SOLVER_HH
 
+#include <chrono>
 #include <cstdint>
 #include <vector>
 
@@ -42,6 +43,15 @@ struct SolverOptions
     int64_t maxNodes = 500000;
     /** Wall-clock budget for the search phase, in seconds. */
     double maxSeconds = 5.0;
+    /**
+     * Absolute monotonic cut-off for the whole solve, shared by
+     * every solve of one outer evaluation (see EngineOptions::
+     * pointTimeoutS). On expiry the solve returns its incumbent and
+     * certified bound instead of running to its per-solve budgets.
+     * time_point::max() (the default) disables it.
+     */
+    std::chrono::steady_clock::time_point deadline =
+        std::chrono::steady_clock::time_point::max();
     /**
      * Stop once (makespan - lower bound) / makespan falls to this
      * value. 0.10 is the paper's near-optimality definition; set 0

@@ -1,0 +1,288 @@
+#include "checkpoint.hh"
+
+#include <cmath>
+
+#include "support/hash.hh"
+#include "support/json.hh"
+#include "support/logging.hh"
+#include "support/str.hh"
+
+namespace hilp {
+namespace dse {
+
+namespace {
+
+/** Inverse of cp::toString(SolveStatus). */
+bool
+statusFromString(const std::string &text, cp::SolveStatus *out)
+{
+    static const cp::SolveStatus kAll[] = {
+        cp::SolveStatus::Optimal,     cp::SolveStatus::NearOptimal,
+        cp::SolveStatus::Feasible,    cp::SolveStatus::Infeasible,
+        cp::SolveStatus::NoSolution,
+    };
+    for (cp::SolveStatus status : kAll) {
+        if (text == cp::toString(status)) {
+            *out = status;
+            return true;
+        }
+    }
+    return false;
+}
+
+/** 64-bit key rendered as a fixed-width hex string. JSON numbers are
+ * doubles and cannot carry a uint64_t exactly, so keys travel as
+ * strings. */
+std::string
+keyText(uint64_t key)
+{
+    return format("%016llx", static_cast<unsigned long long>(key));
+}
+
+bool
+parseKeyText(const std::string &text, uint64_t *out)
+{
+    if (text.empty() || text.size() > 16)
+        return false;
+    uint64_t value = 0;
+    for (char c : text) {
+        int digit;
+        if (c >= '0' && c <= '9')
+            digit = c - '0';
+        else if (c >= 'a' && c <= 'f')
+            digit = c - 'a' + 10;
+        else
+            return false;
+        value = (value << 4) | static_cast<uint64_t>(digit);
+    }
+    *out = value;
+    return true;
+}
+
+/** The double for `name`, or fallback when absent/null (a non-finite
+ * value is serialized as JSON null). */
+double
+numberOr(const Json &entry, const char *name, double fallback)
+{
+    const Json *value = entry.find(name);
+    if (!value || !value->isNumber())
+        return fallback;
+    return value->numberValue();
+}
+
+int64_t
+intOr(const Json &entry, const char *name, int64_t fallback)
+{
+    const Json *value = entry.find(name);
+    if (!value || !value->isNumber())
+        return fallback;
+    return value->intValue();
+}
+
+bool
+boolOr(const Json &entry, const char *name, bool fallback)
+{
+    const Json *value = entry.find(name);
+    if (!value || !value->isBool())
+        return fallback;
+    return value->boolValue();
+}
+
+std::string
+stringOr(const Json &entry, const char *name)
+{
+    const Json *value = entry.find(name);
+    if (!value || !value->isString())
+        return std::string();
+    return value->stringValue();
+}
+
+/**
+ * Decode one JSONL record into (key, point). Returns false on any
+ * structural problem - most importantly the torn final line a SIGKILL
+ * can leave behind.
+ */
+bool
+parseRecord(const std::string &line, uint64_t *key, DsePoint *point)
+{
+    Json entry;
+    if (!Json::parse(line, &entry) || !entry.isObject())
+        return false;
+    if (!parseKeyText(stringOr(entry, "key"), key))
+        return false;
+
+    *point = DsePoint{};
+    if (!parseKeyText(stringOr(entry, "fingerprint"),
+                      &point->fingerprint))
+        point->fingerprint = 0;
+    point->ok = boolOr(entry, "ok", false);
+    if (!statusFromString(stringOr(entry, "status"), &point->status))
+        point->status = cp::SolveStatus::NoSolution;
+    point->makespanS = numberOr(entry, "makespan_s", 0.0);
+    point->speedup = numberOr(entry, "speedup", 0.0);
+    point->gap = numberOr(entry, "gap", 0.0);
+    point->averageWlp = numberOr(entry, "avg_wlp", 0.0);
+    point->note = stringOr(entry, "note");
+    point->degraded = boolOr(entry, "degraded", false);
+    point->nodes = intOr(entry, "nodes", 0);
+    point->backtracks = intOr(entry, "backtracks", 0);
+    point->solves = static_cast<int>(intOr(entry, "solves", 0));
+    point->solveSeconds = numberOr(entry, "solve_s", 0.0);
+    point->cacheHit = boolOr(entry, "cache_hit", false);
+    point->warmStarted = boolOr(entry, "warm_start", false);
+    point->pruned = boolOr(entry, "pruned", false);
+    return true;
+}
+
+} // anonymous namespace
+
+uint64_t
+checkpointKey(uint64_t fingerprint, const std::string &config_name,
+              ModelKind kind)
+{
+    Hasher hasher;
+    hasher.u64(fingerprint);
+    hasher.str(config_name);
+    hasher.str(toString(kind));
+    return hasher.digest();
+}
+
+SweepCheckpoint::~SweepCheckpoint()
+{
+    close();
+}
+
+void
+SweepCheckpoint::close()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (file_) {
+        std::fclose(file_);
+        file_ = nullptr;
+    }
+}
+
+bool
+SweepCheckpoint::open(const std::string &path, bool resume,
+                      std::string *error)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    hilp_assert(!file_);
+    entries_.clear();
+    bool torn_tail = false;
+
+    if (resume) {
+        // Load whatever a previous run managed to flush. A missing
+        // file is a cold start, not an error; a torn final line (the
+        // record a SIGKILL interrupted) is dropped with a warning.
+        if (std::FILE *in = std::fopen(path.c_str(), "r")) {
+            std::string line;
+            int dropped = 0;
+            char buffer[4096];
+            bool at_eof = false;
+            while (!at_eof) {
+                size_t got = std::fread(buffer, 1, sizeof(buffer), in);
+                at_eof = got < sizeof(buffer);
+                for (size_t i = 0; i < got; ++i) {
+                    if (buffer[i] != '\n') {
+                        line += buffer[i];
+                        continue;
+                    }
+                    uint64_t key;
+                    DsePoint point;
+                    if (!line.empty()) {
+                        if (parseRecord(line, &key, &point))
+                            entries_[key] = std::move(point);
+                        else
+                            ++dropped;
+                    }
+                    line.clear();
+                }
+            }
+            // A record is only durable once its newline landed; any
+            // trailing partial line is from an interrupted write.
+            if (!line.empty()) {
+                ++dropped;
+                torn_tail = true;
+            }
+            std::fclose(in);
+            if (dropped > 0)
+                warn("checkpoint %s: dropped %d malformed record(s)",
+                     path.c_str(), dropped);
+        }
+    }
+
+    file_ = std::fopen(path.c_str(), resume ? "a" : "w");
+    if (!file_) {
+        if (error)
+            *error = format("cannot open checkpoint '%s' for writing",
+                            path.c_str());
+        entries_.clear();
+        return false;
+    }
+    // Seal a torn final line before appending, or the next record
+    // would fuse with the partial one into a single corrupt line.
+    if (torn_tail)
+        std::fputc('\n', file_);
+    return true;
+}
+
+size_t
+SweepCheckpoint::loaded() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+bool
+SweepCheckpoint::lookup(uint64_t key, DsePoint *out) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it == entries_.end())
+        return false;
+    *out = it->second;
+    out->resumed = true;
+    return true;
+}
+
+void
+SweepCheckpoint::record(uint64_t key, ModelKind kind,
+                        const DsePoint &point)
+{
+    Json entry = Json::object();
+    entry.set("key", Json::string(keyText(key)));
+    entry.set("model", Json::string(toString(kind)));
+    entry.set("config", Json::string(point.config.name()));
+    entry.set("fingerprint",
+              Json::string(keyText(point.fingerprint)));
+    entry.set("ok", Json::boolean(point.ok));
+    entry.set("status", Json::string(cp::toString(point.status)));
+    entry.set("makespan_s", Json::number(point.makespanS));
+    entry.set("speedup", Json::number(point.speedup));
+    entry.set("gap", Json::number(point.gap));
+    entry.set("avg_wlp", Json::number(point.averageWlp));
+    entry.set("note", Json::string(point.note));
+    entry.set("degraded", Json::boolean(point.degraded));
+    entry.set("nodes", Json::number(point.nodes));
+    entry.set("backtracks", Json::number(point.backtracks));
+    entry.set("solves",
+              Json::number(static_cast<int64_t>(point.solves)));
+    entry.set("solve_s", Json::number(point.solveSeconds));
+    entry.set("cache_hit", Json::boolean(point.cacheHit));
+    entry.set("warm_start", Json::boolean(point.warmStarted));
+    entry.set("pruned", Json::boolean(point.pruned));
+    std::string line = entry.dump();
+    line += '\n';
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!file_)
+        return;
+    std::fwrite(line.data(), 1, line.size(), file_);
+    // One flush per completed point: a kill loses only in-flight
+    // work, and a solve dwarfs the cost of the write.
+    std::fflush(file_);
+}
+
+} // namespace dse
+} // namespace hilp

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Crash-safe checkpointing for DSE sweeps.
+ *
+ * A sweep over hundreds of configurations can take hours; an
+ * interrupted run (crash, OOM kill, preemption) must not discard the
+ * points it already solved. The SweepCheckpoint appends one JSONL
+ * record per completed design point - keyed by the lowered instance's
+ * ProblemSpec::fingerprint(), the configuration name, and the model
+ * kind - and, when reopened with resume, serves those points back so
+ * exploreSpace skips the work. A record is flushed as soon as its
+ * point completes, so a SIGKILL loses at most the in-flight points;
+ * the loader tolerates (and drops) a torn final line.
+ *
+ * Resumed points restore the certified result and telemetry totals
+ * but not the schedule itself (DsePoint does not carry one), so a
+ * resumed point cannot seed warm-start chains - effort, never
+ * correctness.
+ */
+
+#ifndef HILP_DSE_CHECKPOINT_HH
+#define HILP_DSE_CHECKPOINT_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "explore.hh"
+
+namespace hilp {
+namespace dse {
+
+/**
+ * The stable identity of one evaluated point across runs: the
+ * lowered instance's fingerprint, the configuration name, and the
+ * evaluating model. The model kind matters because MA/Gables/HILP
+ * share lowered specs but produce different results.
+ */
+uint64_t checkpointKey(uint64_t fingerprint,
+                       const std::string &config_name, ModelKind kind);
+
+/**
+ * A JSONL checkpoint of completed design points. Thread-safe: sweep
+ * workers record points concurrently. One instance may span several
+ * exploreSpace calls (e.g. the MA, Gables, and HILP sweeps of one
+ * figure) - keys keep the models apart.
+ */
+class SweepCheckpoint
+{
+  public:
+    SweepCheckpoint() = default;
+    ~SweepCheckpoint();
+
+    SweepCheckpoint(const SweepCheckpoint &) = delete;
+    SweepCheckpoint &operator=(const SweepCheckpoint &) = delete;
+
+    /**
+     * Open the checkpoint for appending. With resume, existing
+     * records are loaded first (a missing file is an empty resume,
+     * not an error); without it the file is truncated. Returns false
+     * and fills *error when the file cannot be opened or created.
+     */
+    bool open(const std::string &path, bool resume,
+              std::string *error = nullptr);
+
+    /** Points loaded from a previous run at open() time. */
+    size_t loaded() const;
+
+    /**
+     * Serve a previously completed point. On a hit *out is the
+     * restored point with resumed set; structural fields (config,
+     * area, mix) are the caller's to fill, since they derive from the
+     * config being evaluated anyway.
+     */
+    bool lookup(uint64_t key, DsePoint *out) const;
+
+    /**
+     * Append a completed point and flush it to disk. Safe to call
+     * concurrently; each record lands as one complete line.
+     */
+    void record(uint64_t key, ModelKind kind, const DsePoint &point);
+
+    /** Close the underlying file early (the destructor also does). */
+    void close();
+
+  private:
+    mutable std::mutex mutex_;
+    std::unordered_map<uint64_t, DsePoint> entries_;
+    std::FILE *file_ = nullptr;
+};
+
+} // namespace dse
+} // namespace hilp
+
+#endif // HILP_DSE_CHECKPOINT_HH

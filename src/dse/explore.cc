@@ -11,6 +11,7 @@
 
 #include "baselines/gables.hh"
 #include "baselines/multiamdahl.hh"
+#include "checkpoint.hh"
 #include "support/logging.hh"
 #include "support/metrics.hh"
 #include "support/str.hh"
@@ -98,6 +99,7 @@ fillSolverTelemetry(DsePoint &point, const EvalResult &result)
     point.cacheHit = result.cacheHit;
     point.warmStarted = result.warmStarted;
     point.pruned = result.prunedEarly;
+    point.degraded = result.degraded;
     point.propagators = result.propagators;
 }
 
@@ -121,6 +123,27 @@ evaluatePointBody(const arch::SocConfig &config,
 
     ProblemSpec spec =
         buildProblem(workload, config, constraints, options.build);
+    point.fingerprint = spec.fingerprint();
+
+    // A point a previous (interrupted) run already completed is
+    // served from the checkpoint: the certified result comes back,
+    // only the schedule (which DsePoint does not carry) is gone.
+    if (options.checkpoint &&
+        options.checkpoint->lookup(
+            checkpointKey(point.fingerprint, config.name(), kind),
+            &point)) {
+        point.config = config;
+        point.areaMm2 = config.areaMm2();
+        point.mix = classifyAccelMix(config);
+        return point;
+    }
+
+    // After the checkpoint shortcut: the injected fault stands in
+    // for a crash inside the evaluation, which a resumed point never
+    // reaches.
+    if (options.injectFault)
+        options.injectFault(config);
+
     std::string invalid = spec.validate();
     if (!invalid.empty()) {
         // Unschedulable under these budgets; keep the reason so the
@@ -203,10 +226,75 @@ evaluatePointImpl(const arch::SocConfig &config,
                                        schedule_out);
     span.arg(trace::Arg::intArg("ok", point.ok ? 1 : 0));
     span.arg(trace::Arg::intArg("cache_hit", point.cacheHit ? 1 : 0));
+    span.arg(trace::Arg::intArg("degraded", point.degraded ? 1 : 0));
+    span.arg(trace::Arg::intArg("resumed", point.resumed ? 1 : 0));
     metrics::counter("dse.points").add(1);
     if (point.ok)
         metrics::counter("dse.points.ok").add(1);
+    if (point.degraded)
+        metrics::counter("dse.points.degraded").add(1);
+    if (point.resumed)
+        metrics::counter("dse.points.resumed").add(1);
     return point;
+}
+
+/**
+ * Fault-isolating wrapper around evaluatePointImpl for sweep
+ * workers. A throwing evaluation no longer costs the sweep: the
+ * point is retried once with a quarter of the node budget (the
+ * common transient failures - allocation pressure, budget-dependent
+ * pathologies - often clear under a smaller footprint), and a second
+ * failure is recorded as an errored point carrying the exception
+ * text while every other point proceeds. DseOptions::failFast
+ * restores the historical rethrow.
+ */
+DsePoint
+evaluateGuarded(const arch::SocConfig &config,
+                const workload::Workload &workload,
+                const arch::Constraints &constraints, ModelKind kind,
+                const DseOptions &options, const EvalReuse *reuse,
+                Schedule *schedule_out)
+{
+    if (options.failFast)
+        return evaluatePointImpl(config, workload, constraints, kind,
+                                 options, reuse, schedule_out);
+
+    std::string error;
+    try {
+        return evaluatePointImpl(config, workload, constraints, kind,
+                                 options, reuse, schedule_out);
+    } catch (const std::exception &e) {
+        error = e.what();
+    } catch (...) {
+        error = "unknown exception";
+    }
+
+    warn("dse: point %s threw (%s); retrying with a reduced node "
+         "budget", config.name().c_str(), error.c_str());
+    DseOptions retry = options;
+    retry.engine.solver.maxNodes = std::max<int64_t>(
+        1000, options.engine.solver.maxNodes / 4);
+    try {
+        return evaluatePointImpl(config, workload, constraints, kind,
+                                 retry, reuse, schedule_out);
+    } catch (const std::exception &e) {
+        error = e.what();
+    } catch (...) {
+        error = "unknown exception";
+    }
+
+    warn("dse: point %s failed twice (%s); recording it as errored "
+         "and continuing the sweep", config.name().c_str(),
+         error.c_str());
+    DsePoint failed;
+    failed.config = config;
+    failed.areaMm2 = config.areaMm2();
+    failed.mix = classifyAccelMix(config);
+    failed.errored = true;
+    failed.note = format("exception: %s", error.c_str());
+    metrics::counter("dse.points").add(1);
+    metrics::counter("dse.points.errored").add(1);
+    return failed;
 }
 
 /**
@@ -215,9 +303,14 @@ evaluatePointImpl(const arch::SocConfig &config,
  * (and at most once per kMinIntervalS seconds, since cache-hit bursts
  * can finish hundreds of points at once) one inform() line reports
  * done/total, elapsed time, a simple linear ETA, and the cache-hit
- * rate. Sweeps below kMinPoints stay silent - they finish before a
- * heartbeat would help - and setLogLevel(Warn)/HILP_LOG_LEVEL=warn
- * silences the heartbeat like any other status output.
+ * rate. The ETA rates on points that cost real solver work: cache
+ * hits and checkpoint-resumed points complete in microseconds, so
+ * averaging them in (the old formula) made the ETA collapse toward
+ * zero right after a resumed burst even though every remaining point
+ * is a cold solve. Sweeps below kMinPoints stay silent - they finish
+ * before a heartbeat would help - and
+ * setLogLevel(Warn)/HILP_LOG_LEVEL=warn silences the heartbeat like
+ * any other status output.
  */
 class Heartbeat
 {
@@ -229,10 +322,10 @@ class Heartbeat
     {}
 
     void
-    tick(bool cache_hit)
+    tick(bool free_of_charge)
     {
-        if (cache_hit)
-            cacheHits_.fetch_add(1, std::memory_order_relaxed);
+        if (free_of_charge)
+            freebies_.fetch_add(1, std::memory_order_relaxed);
         size_t done = done_.fetch_add(1, std::memory_order_relaxed) + 1;
         // The final point is the caller's summary to report.
         if (total_ < kMinPoints || done >= total_ ||
@@ -244,15 +337,21 @@ class Heartbeat
         if (elapsed - last < kMinIntervalS ||
             !lastReportS_.compare_exchange_strong(last, elapsed))
             return; // Too soon, or another worker just reported.
-        double eta = elapsed / static_cast<double>(done) *
-                     static_cast<double>(total_ - done);
-        double hit_rate = 100.0 *
-            static_cast<double>(
-                cacheHits_.load(std::memory_order_relaxed)) /
-            static_cast<double>(done);
+        size_t freebies = freebies_.load(std::memory_order_relaxed);
+        size_t cold = done > freebies ? done - freebies : 0;
+        // Per-point rate over cold completions only; when everything
+        // so far was free there is no cost signal yet, so fall back
+        // to the naive all-points average rather than claim zero.
+        double eta = cold > 0
+            ? elapsed / static_cast<double>(cold) *
+                  static_cast<double>(total_ - done)
+            : elapsed / static_cast<double>(done) *
+                  static_cast<double>(total_ - done);
+        double free_rate = 100.0 * static_cast<double>(freebies) /
+                           static_cast<double>(done);
         inform("dse: %zu/%zu points | %.1fs elapsed, ~%.1fs left | "
-               "%.0f%% cache hits",
-               done, total_, elapsed, eta, hit_rate);
+               "%.0f%% cached/resumed",
+               done, total_, elapsed, eta, free_rate);
     }
 
   private:
@@ -263,7 +362,8 @@ class Heartbeat
     const size_t stride_;
     const std::chrono::steady_clock::time_point start_;
     std::atomic<size_t> done_{0};
-    std::atomic<size_t> cacheHits_{0};
+    //! Points that cost no solver work: cache hits + resumed.
+    std::atomic<size_t> freebies_{0};
     std::atomic<double> lastReportS_{0.0};
 };
 
@@ -331,14 +431,29 @@ exploreSpace(const std::vector<arch::SocConfig> &configs,
     ThreadPool pool(options.threads, &ThreadBudget::global());
     Heartbeat heartbeat(configs.size());
 
+    // Common completion path for both sweep modes: persist the point
+    // to the checkpoint (skipping points that came FROM it, and
+    // errored points, which deserve a fresh attempt on resume) and
+    // advance the progress heartbeat.
+    auto finishPoint = [&](size_t i) {
+        const DsePoint &point = points[i];
+        if (options.checkpoint && !point.resumed && !point.errored)
+            options.checkpoint->record(
+                checkpointKey(point.fingerprint, configs[i].name(),
+                              kind),
+                kind, point);
+        heartbeat.tick(point.cacheHit || point.resumed);
+    };
+
     // Cold-start path: every point is independent. MA is analytic
     // and Gables rewrites the spec internally, so the cross-config
     // reuse layer applies to HILP sweeps only.
     if (!options.reuse || kind != ModelKind::Hilp) {
         pool.parallelFor(configs.size(), [&](size_t i) {
-            points[i] = evaluatePoint(configs[i], workload,
-                                      constraints, kind, options);
-            heartbeat.tick(points[i].cacheHit);
+            points[i] = evaluateGuarded(configs[i], workload,
+                                        constraints, kind, options,
+                                        nullptr, nullptr);
+            finishPoint(i);
         });
         return points;
     }
@@ -363,15 +478,19 @@ exploreSpace(const std::vector<arch::SocConfig> &configs,
                 return bound.dominates(area, lower_bound_s);
             };
             Schedule schedule;
-            points[idx] = evaluatePointImpl(configs[idx], workload,
-                                            constraints, kind,
-                                            options, &reuse,
-                                            &schedule);
-            heartbeat.tick(points[idx].cacheHit);
+            points[idx] = evaluateGuarded(configs[idx], workload,
+                                          constraints, kind, options,
+                                          &reuse, &schedule);
+            finishPoint(idx);
             if (points[idx].ok) {
                 bound.add(area, points[idx].makespanS);
-                hint = std::move(schedule);
-                have_hint = true;
+                // A checkpoint-resumed point restores the result but
+                // not the schedule, so it cannot seed the chain's
+                // warm start; the previous hint stays live.
+                if (!points[idx].resumed) {
+                    hint = std::move(schedule);
+                    have_hint = true;
+                }
             }
         }
     });

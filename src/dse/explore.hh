@@ -19,6 +19,7 @@
 #define HILP_DSE_EXPLORE_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -30,6 +31,8 @@
 
 namespace hilp {
 namespace dse {
+
+class SweepCheckpoint;
 
 /** Which performance model evaluates the design points. */
 enum class ModelKind { MultiAmdahl, Hilp, Gables };
@@ -57,6 +60,28 @@ struct DsePoint
     std::string note;
     /** Final solver status (Optimal for the analytic MA model). */
     cp::SolveStatus status = cp::SolveStatus::NoSolution;
+    /**
+     * Instance identity across runs: ProblemSpec::fingerprint() of
+     * the lowered problem (0 when lowering never happened, e.g. a
+     * fault before the build). Keys the sweep checkpoint.
+     */
+    uint64_t fingerprint = 0;
+
+    // Robustness outcome flags (see DESIGN.md section 10).
+    /**
+     * The per-point deadline expired mid-evaluation: the makespan and
+     * gap come from the best incumbent (or the list-scheduler
+     * fallback), still certified but possibly wider than an
+     * unconstrained evaluation's.
+     */
+    bool degraded = false;
+    /**
+     * The evaluation threw (and the retry failed too); note carries
+     * the exception text. The rest of the sweep was unaffected.
+     */
+    bool errored = false;
+    /** Served from a --resume checkpoint instead of re-evaluated. */
+    bool resumed = false;
 
     // Solver-effort telemetry (zero for MA and for cache hits).
     int64_t nodes = 0;        //!< B&B nodes across all solves.
@@ -92,6 +117,31 @@ struct DseOptions
      * same memo. Null means one private cache per exploreSpace call.
      */
     SolveMemo *memo = nullptr;
+    /**
+     * Restore the pre-fault-isolation behavior: a point evaluation
+     * that throws aborts the whole sweep (the exception propagates
+     * out of exploreSpace). Off (the default), the sweep catches the
+     * exception, retries the point once with a reduced node budget,
+     * and on a second failure records it as an errored point while
+     * the rest of the sweep completes.
+     */
+    bool failFast = false;
+    /**
+     * Optional sweep checkpoint (see checkpoint.hh). Completed points
+     * are appended to it as they finish; points already present (from
+     * a previous interrupted run loaded with --resume) are served
+     * from it, marked resumed, instead of re-evaluated. Null disables
+     * checkpointing.
+     */
+    SweepCheckpoint *checkpoint = nullptr;
+    /**
+     * Test hook for fault-isolation coverage: called at the start of
+     * every point evaluation (after the checkpoint shortcut, which a
+     * fault could never reach); an exception it throws behaves
+     * exactly like a fault inside the evaluation (isolated, retried
+     * once, rethrown under failFast). Null in production.
+     */
+    std::function<void(const arch::SocConfig &)> injectFault;
 };
 
 /**

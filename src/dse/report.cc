@@ -1,6 +1,7 @@
 #include "report.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "hilp/problem.hh"
 #include "support/metrics.hh"
@@ -18,6 +19,20 @@ csvSafe(std::string text)
     std::replace(text.begin(), text.end(), ',', ';');
     std::replace(text.begin(), text.end(), '\n', ' ');
     return text;
+}
+
+/**
+ * A numeric CSV cell. Result-derived fields can be non-finite (an
+ * infeasible point's gap is inf; a degraded fallback can report nan
+ * WLP); printf would render those as "inf"/"nan", which most CSV
+ * consumers choke on. An empty cell is the CSV idiom for "no value".
+ */
+std::string
+csvNum(double value, int precision)
+{
+    if (!std::isfinite(value))
+        return std::string();
+    return format("%.*f", precision, value);
 }
 
 /** A point's propagation-engine counters summed over propagators. */
@@ -48,26 +63,32 @@ pointsToCsv(const std::vector<DsePoint> &points)
     std::string out =
         "config,cpus,gpu_sms,dsas,pes,area_mm2,ok,makespan_s,"
         "speedup,avg_wlp,gap,mix,status,nodes,backtracks,solves,"
-        "solve_s,cache_hit,warm_start,pruned,propagations,prunings,"
-        "prop_s,note\n";
+        "solve_s,cache_hit,warm_start,pruned,degraded,errored,"
+        "resumed,propagations,prunings,prop_s,note\n";
     for (const DsePoint &point : points) {
         int pes = point.config.dsas.empty()
             ? 0 : point.config.dsas.front().pes;
         PropTotals props = propTotals(point);
-        out += format("%s,%d,%d,%zu,%d,%.3f,%d,%.6f,%.6f,%.6f,%.6f,"
-                      "%s,%s,%lld,%lld,%d,%.3f,%d,%d,%d,%lld,%lld,"
-                      "%.3f,%s\n",
+        out += format("%s,%d,%d,%zu,%d,%.3f,%d,%s,%s,%s,%s,"
+                      "%s,%s,%lld,%lld,%d,%s,%d,%d,%d,%d,%d,%d,"
+                      "%lld,%lld,%.3f,%s\n",
                       point.config.name().c_str(),
                       point.config.cpuCores, point.config.gpuSms,
                       point.config.dsas.size(), pes, point.areaMm2,
-                      point.ok ? 1 : 0, point.makespanS,
-                      point.speedup, point.averageWlp, point.gap,
+                      point.ok ? 1 : 0,
+                      csvNum(point.makespanS, 6).c_str(),
+                      csvNum(point.speedup, 6).c_str(),
+                      csvNum(point.averageWlp, 6).c_str(),
+                      csvNum(point.gap, 6).c_str(),
                       toString(point.mix), cp::toString(point.status),
                       static_cast<long long>(point.nodes),
                       static_cast<long long>(point.backtracks),
-                      point.solves, point.solveSeconds,
+                      point.solves,
+                      csvNum(point.solveSeconds, 3).c_str(),
                       point.cacheHit ? 1 : 0,
                       point.warmStarted ? 1 : 0, point.pruned ? 1 : 0,
+                      point.degraded ? 1 : 0, point.errored ? 1 : 0,
+                      point.resumed ? 1 : 0,
                       static_cast<long long>(props.invocations),
                       static_cast<long long>(props.prunings),
                       props.seconds,
@@ -105,6 +126,9 @@ pointsToJson(const std::vector<DsePoint> &points)
         entry.set("cache_hit", Json::boolean(point.cacheHit));
         entry.set("warm_start", Json::boolean(point.warmStarted));
         entry.set("pruned", Json::boolean(point.pruned));
+        entry.set("degraded", Json::boolean(point.degraded));
+        entry.set("errored", Json::boolean(point.errored));
+        entry.set("resumed", Json::boolean(point.resumed));
         Json propagators = Json::array();
         for (const cp::PropagatorStats &stats : point.propagators) {
             Json prop = Json::object();
@@ -129,6 +153,8 @@ summarizeSweep(const std::vector<DsePoint> &points)
     for (const DsePoint &point : points) {
         if (point.ok)
             ++summary.ok;
+        else if (point.errored)
+            ++summary.errored; // A fault, not a verdict on the spec.
         else if (point.status == cp::SolveStatus::NoSolution &&
                  point.solves == 0 && !point.cacheHit)
             ++summary.infeasible;
@@ -140,6 +166,10 @@ summarizeSweep(const std::vector<DsePoint> &points)
             ++summary.warmStarted;
         if (point.pruned)
             ++summary.pruned;
+        if (point.degraded)
+            ++summary.degraded;
+        if (point.resumed)
+            ++summary.resumed;
         summary.solves += point.solves;
         summary.nodes += point.nodes;
         summary.backtracks += point.backtracks;
@@ -163,6 +193,12 @@ toString(const SweepSummary &summary)
                static_cast<long long>(summary.backtracks),
                summary.solveSeconds, summary.cacheHits,
                summary.warmStarted, summary.pruned);
+    // Robustness outcomes only appear when something actually
+    // happened - the common all-clean sweep keeps the short line.
+    if (summary.degraded || summary.errored || summary.resumed)
+        out += format(" | %d degraded, %d errored, %d resumed",
+                      summary.degraded, summary.errored,
+                      summary.resumed);
     if (!summary.propagators.empty()) {
         out += " | propagation:";
         for (const cp::PropagatorStats &stats : summary.propagators) {
@@ -191,6 +227,12 @@ toJson(const SweepSummary &summary)
         static_cast<int64_t>(summary.warmStarted)));
     out.set("pruned", Json::number(
         static_cast<int64_t>(summary.pruned)));
+    out.set("degraded", Json::number(
+        static_cast<int64_t>(summary.degraded)));
+    out.set("errored", Json::number(
+        static_cast<int64_t>(summary.errored)));
+    out.set("resumed", Json::number(
+        static_cast<int64_t>(summary.resumed)));
     out.set("solves", Json::number(
         static_cast<int64_t>(summary.solves)));
     out.set("nodes", Json::number(summary.nodes));

@@ -40,6 +40,9 @@ struct SweepSummary
     int cacheHits = 0;       //!< Served from the solve cache.
     int warmStarted = 0;     //!< Solves seeded by a neighbor schedule.
     int pruned = 0;          //!< Refinement skipped as dominated.
+    int degraded = 0;        //!< Deadline expired; incumbent returned.
+    int errored = 0;         //!< Evaluation threw (fault-isolated).
+    int resumed = 0;         //!< Served from a sweep checkpoint.
     int solves = 0;          //!< Total CP solves.
     int64_t nodes = 0;       //!< Total B&B nodes.
     int64_t backtracks = 0;  //!< Total B&B backtracks.

@@ -1,8 +1,11 @@
 #include "engine.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
+
+#include "cp/list_scheduler.hh"
 
 #include "cp/profile.hh"
 #include "support/logging.hh"
@@ -38,11 +41,33 @@ SolveMemo::lookup(uint64_t key, EvalResult *out) const
     return true;
 }
 
+namespace {
+
+/**
+ * Strict quality order for memo entries: a feasible result beats an
+ * infeasible one, then a smaller certified gap wins, then a
+ * non-degraded result beats a degraded one. Everything else (effort,
+ * resolution) is not quality and never justifies replacement.
+ */
+bool
+betterResult(const EvalResult &candidate, const EvalResult &incumbent)
+{
+    if (candidate.ok != incumbent.ok)
+        return candidate.ok;
+    if (candidate.gap != incumbent.gap)
+        return candidate.gap < incumbent.gap;
+    return !candidate.degraded && incumbent.degraded;
+}
+
+} // anonymous namespace
+
 void
 SolveMemo::insert(uint64_t key, const EvalResult &result)
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    entries_.emplace(key, result);
+    auto [it, inserted] = entries_.emplace(key, result);
+    if (!inserted && betterResult(result, it->second))
+        it->second = result;
 }
 
 EngineOptions
@@ -233,10 +258,17 @@ transferSchedule(const ProblemSpec &spec,
 
 namespace {
 
-/** Solve once at a fixed resolution and fill an EvalResult. */
+using EngineClock = std::chrono::steady_clock;
+
+/**
+ * Solve once at a fixed resolution and fill an EvalResult. The
+ * deadline caps the solve (and its escalations) on top of the
+ * per-solve budgets; a result cut short by it is marked degraded.
+ */
 EvalResult
 solveAtResolution(const ProblemSpec &spec, double step_s,
-                  const EngineOptions &options, const Schedule *hint)
+                  const EngineOptions &options, const Schedule *hint,
+                  EngineClock::time_point deadline)
 {
     TRACE_SPAN("hilp.resolution",
                trace::Arg::numArg("step_s", step_s));
@@ -251,6 +283,7 @@ solveAtResolution(const ProblemSpec &spec, double step_s,
 
     EvalResult eval;
     cp::SolverOptions solver_options = options.solver;
+    solver_options.deadline = deadline;
     cp::Result result;
     for (int attempt = 0; ; ++attempt) {
         cp::Solver solver(solver_options);
@@ -280,6 +313,12 @@ solveAtResolution(const ProblemSpec &spec, double step_s,
             result.gap() > options.solver.targetGap;
         if (!needs_more || attempt >= options.escalations)
             break;
+        if (EngineClock::now() >= deadline) {
+            // The deadline cut planned escalations: keep the
+            // incumbent and its certified gap, flagged as degraded.
+            eval.degraded = true;
+            break;
+        }
         // The paper reruns experiments that miss the bound with
         // more resources; do the same with multiplied budgets.
         solver_options.maxSeconds *= options.escalationFactor;
@@ -289,6 +328,14 @@ solveAtResolution(const ProblemSpec &spec, double step_s,
             solver_options.lnsIterations * options.escalationFactor);
         solver_options.seed += 7919; // Diversify the heuristics.
     }
+
+    // However the loop ended: a result still short of the target gap
+    // with the deadline gone is degraded - given time, the engine
+    // would have kept working the instance (here or in refinement).
+    if (result.hasSchedule() &&
+        result.gap() > options.solver.targetGap &&
+        EngineClock::now() >= deadline)
+        eval.degraded = true;
 
     eval.status = result.status;
     eval.stepS = step_s;
@@ -301,6 +348,51 @@ solveAtResolution(const ProblemSpec &spec, double step_s,
     eval.gap = result.gap();
     eval.schedule = liftSchedule(spec, problem, result.schedule);
     eval.averageWlp = eval.schedule.averageWlp();
+    return eval;
+}
+
+/**
+ * Last-resort degradation when the point deadline expires before any
+ * CP solve produced a schedule: run the (millisecond-cheap) greedy
+ * list scheduler over the remaining coarsening ladder and certify its
+ * makespan against the combinatorial lower bounds. The result keeps
+ * the engine's contract - a schedule with a certified gap - just a
+ * wider gap than a full solve would earn.
+ */
+EvalResult
+listSchedulerFallback(const ProblemSpec &spec, double step_s,
+                      int coarsenings_left,
+                      const EngineOptions &options)
+{
+    TRACE_SPAN("hilp.fallback");
+    EvalResult eval;
+    eval.degraded = true;
+    double step = step_s;
+    for (int i = 0; i <= coarsenings_left;
+         ++i, step *= options.refineFactor) {
+        DiscretizedProblem problem =
+            discretize(spec, step, options.horizonSteps);
+        cp::ListResult greedy =
+            cp::bestGreedy(problem.model, 2, options.solver.seed);
+        if (!greedy.feasible)
+            continue; // Horizon too tight; coarsen and retry.
+        cp::LowerBounds bounds =
+            cp::computeLowerBounds(problem.model, false);
+        eval.ok = true;
+        eval.status = cp::SolveStatus::Feasible;
+        eval.stepS = step;
+        eval.makespanS = greedy.makespan * step;
+        eval.lowerBoundS = bounds.best() * step;
+        eval.gap = greedy.makespan > 0
+            ? static_cast<double>(greedy.makespan - bounds.best()) /
+              static_cast<double>(greedy.makespan)
+            : 0.0;
+        eval.schedule = liftSchedule(spec, problem, greedy.schedule);
+        eval.averageWlp = eval.schedule.averageWlp();
+        metrics::counter("hilp.fallback.schedules").add(1);
+        return eval;
+    }
+    eval.status = cp::SolveStatus::NoSolution;
     return eval;
 }
 
@@ -330,6 +422,18 @@ evaluate(const ProblemSpec &spec, const EngineOptions &options,
             return cached;
     }
 
+    // One monotonic deadline governs the *whole* evaluation: every
+    // coarsening, refinement, and escalation solves against it, so a
+    // point can never cost more than pointTimeoutS wall-clock.
+    EngineClock::time_point deadline = EngineClock::time_point::max();
+    if (options.pointTimeoutS > 0.0)
+        deadline = EngineClock::now() +
+            std::chrono::duration_cast<EngineClock::duration>(
+                std::chrono::duration<double>(options.pointTimeoutS));
+    auto expired = [&deadline] {
+        return EngineClock::now() >= deadline;
+    };
+
     // Effort accumulates across every resolution attempted; the
     // returned result reports the sweep-relevant totals, not just
     // the final solve's.
@@ -338,15 +442,17 @@ evaluate(const ProblemSpec &spec, const EngineOptions &options,
     int64_t backtracks = 0;
     double seconds = 0.0;
     bool warm_started = false;
+    bool degraded = false;
     std::vector<cp::PropagatorStats> propagators;
     auto solve_at = [&](double step_s) {
-        EvalResult r =
-            solveAtResolution(spec, step_s, options, reuse.hint);
+        EvalResult r = solveAtResolution(spec, step_s, options,
+                                         reuse.hint, deadline);
         solves += r.solves;
         nodes += r.totalNodes;
         backtracks += r.totalBacktracks;
         seconds += r.totalSeconds;
         warm_started = warm_started || r.warmStarted;
+        degraded = degraded || r.degraded;
         cp::mergePropagatorStats(propagators, r.propagators);
         return r;
     };
@@ -356,7 +462,10 @@ evaluate(const ProblemSpec &spec, const EngineOptions &options,
         r.totalBacktracks = backtracks;
         r.totalSeconds = seconds;
         r.warmStarted = warm_started;
+        r.degraded = r.degraded || degraded;
         r.propagators = propagators;
+        if (r.degraded)
+            metrics::counter("hilp.evals.degraded").add(1);
         if (reuse.memo)
             reuse.memo->insert(key, r);
         return std::move(r);
@@ -367,14 +476,26 @@ evaluate(const ProblemSpec &spec, const EngineOptions &options,
     double step = options.initialStepS;
     EvalResult best = solve_at(step);
     int coarsenings = 0;
-    while (!best.ok && coarsenings < options.maxCoarsenings) {
+    while (!best.ok && coarsenings < options.maxCoarsenings &&
+           !expired()) {
         step *= options.refineFactor;
         ++coarsenings;
         best = solve_at(step);
         best.refinements = -coarsenings;
     }
-    if (!best.ok)
+    if (!best.ok) {
+        // Out of deadline with no schedule: degrade to the greedy
+        // list scheduler over the remaining coarsening ladder rather
+        // than reporting a hard failure.
+        if (expired()) {
+            EvalResult fallback = listSchedulerFallback(
+                spec, step, options.maxCoarsenings - coarsenings,
+                options);
+            fallback.refinements = -coarsenings;
+            return finish(std::move(fallback));
+        }
         return finish(std::move(best));
+    }
 
     // When the sweep already holds a point that dominates anything
     // this instance can achieve at *any* resolution (the continuous
@@ -395,15 +516,22 @@ evaluate(const ProblemSpec &spec, const EngineOptions &options,
             std::llround(best.makespanS / step));
         if (makespan_steps >= options.refineThreshold)
             break;
+        if (expired()) {
+            // Planned refinements were cut: the incumbent keeps the
+            // certified gap of its own resolution, flagged degraded.
+            best.degraded = true;
+            break;
+        }
         double finer = step / options.refineFactor;
         // The coarse solution seeds the finer solve; warmStarted
         // still reports only *cross-instance* hint acceptance.
-        EvalResult candidate =
-            solveAtResolution(spec, finer, options, &best.schedule);
+        EvalResult candidate = solveAtResolution(
+            spec, finer, options, &best.schedule, deadline);
         solves += candidate.solves;
         nodes += candidate.totalNodes;
         backtracks += candidate.totalBacktracks;
         seconds += candidate.totalSeconds;
+        degraded = degraded || candidate.degraded;
         cp::mergePropagatorStats(propagators, candidate.propagators);
         if (!candidate.ok)
             break; // Finer resolution no longer fits the horizon.

@@ -47,6 +47,17 @@ struct EngineOptions
     int escalations = 0;
     /** Budget multiplier applied per escalation. */
     double escalationFactor = 4.0;
+    /**
+     * Wall-clock ceiling for one *whole* evaluation, in seconds: all
+     * resolution refinements, coarsenings, and escalations share one
+     * monotonic deadline threaded through SolverOptions into the
+     * search. On expiry the engine degrades gracefully instead of
+     * failing: it returns the best incumbent found so far with its
+     * certified gap (falling back to a cheap list-scheduler schedule
+     * when no solve produced one) and sets EvalResult::degraded.
+     * 0 (the default) means no ceiling.
+     */
+    double pointTimeoutS = 0.0;
 
     /**
      * The paper's validation-mode parameters (Section III-D): 2 s
@@ -86,6 +97,14 @@ struct EvalResult
     /** Refinement stopped early: the sweep proved the point dominated. */
     bool prunedEarly = false;
     /**
+     * The evaluation's deadline (EngineOptions::pointTimeoutS)
+     * expired before the engine finished its planned work. The
+     * result is still sound - the makespan carries the certified gap
+     * of its final solve - but the gap may be wider than an
+     * unconstrained evaluation would have achieved.
+     */
+    bool degraded = false;
+    /**
      * Per-propagator telemetry merged (by name) across every solve
      * of the evaluation; zeroed on cache hits like the rest of the
      * effort counters.
@@ -113,7 +132,14 @@ class SolveMemo
      */
     bool lookup(uint64_t key, EvalResult *out) const;
 
-    /** Insert a result; the first insertion for a key wins. */
+    /**
+     * Insert a result. A key's entry is replaced when the new result
+     * is strictly better: ok beats !ok, a smaller certified gap beats
+     * a larger one, and a non-degraded result beats a degraded one of
+     * equal gap - so an early timed-out or high-gap result cannot
+     * shadow a later solve of the same spec that proves (near-)
+     * optimality. Equal-quality results keep the first insertion.
+     */
     void insert(uint64_t key, const EvalResult &result);
 
     int64_t hits() const { return hits_.load(); }

@@ -1,0 +1,214 @@
+/** @file Tests for sweep checkpointing and resume. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+#include "dse/checkpoint.hh"
+#include "dse/explore.hh"
+#include "workload/rodinia.hh"
+
+namespace hilp {
+namespace dse {
+namespace {
+
+/** A unique path under gtest's temp dir, removed by the fixture. */
+class Checkpoint : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        const ::testing::TestInfo *info =
+            ::testing::UnitTest::GetInstance()->current_test_info();
+        path_ = ::testing::TempDir() + "hilp_checkpoint_" +
+                info->name() + ".jsonl";
+        std::remove(path_.c_str());
+    }
+
+    void
+    TearDown() override
+    {
+        std::remove(path_.c_str());
+    }
+
+    std::string path_;
+};
+
+DsePoint
+samplePoint(double makespan_s)
+{
+    DsePoint point;
+    point.ok = true;
+    point.fingerprint = 0xdeadbeefcafef00dull;
+    point.makespanS = makespan_s;
+    point.speedup = 10.0 / makespan_s;
+    point.gap = 0.07;
+    point.averageWlp = 2.5;
+    point.status = cp::SolveStatus::NearOptimal;
+    point.nodes = 4242;
+    point.backtracks = 99;
+    point.solves = 3;
+    point.solveSeconds = 1.25;
+    point.warmStarted = true;
+    point.degraded = true;
+    return point;
+}
+
+TEST_F(Checkpoint, KeySeparatesModelsConfigsAndInstances)
+{
+    uint64_t base = checkpointKey(1, "(c1,g0,d0^0)", ModelKind::Hilp);
+    EXPECT_NE(base, checkpointKey(2, "(c1,g0,d0^0)", ModelKind::Hilp));
+    EXPECT_NE(base, checkpointKey(1, "(c2,g0,d0^0)", ModelKind::Hilp));
+    // MA/Gables/HILP share lowered specs, so the kind must be part
+    // of the identity or a resumed MA sweep would serve HILP points.
+    EXPECT_NE(base,
+              checkpointKey(1, "(c1,g0,d0^0)", ModelKind::MultiAmdahl));
+    EXPECT_NE(base, checkpointKey(1, "(c1,g0,d0^0)", ModelKind::Gables));
+}
+
+TEST_F(Checkpoint, RecordsRoundTripThroughResume)
+{
+    DsePoint written = samplePoint(2.0);
+    DsePoint failed;
+    failed.ok = false;
+    failed.status = cp::SolveStatus::NoSolution;
+    failed.note = "unschedulable under budget";
+
+    {
+        SweepCheckpoint checkpoint;
+        ASSERT_TRUE(checkpoint.open(path_, false));
+        checkpoint.record(11, ModelKind::Hilp, written);
+        checkpoint.record(22, ModelKind::Hilp, failed);
+    }
+
+    SweepCheckpoint resumed;
+    std::string error;
+    ASSERT_TRUE(resumed.open(path_, true, &error)) << error;
+    EXPECT_EQ(resumed.loaded(), 2u);
+
+    DsePoint restored;
+    ASSERT_TRUE(resumed.lookup(11, &restored));
+    EXPECT_TRUE(restored.resumed);
+    EXPECT_TRUE(restored.ok);
+    EXPECT_EQ(restored.fingerprint, written.fingerprint);
+    EXPECT_DOUBLE_EQ(restored.makespanS, written.makespanS);
+    EXPECT_DOUBLE_EQ(restored.speedup, written.speedup);
+    EXPECT_DOUBLE_EQ(restored.gap, written.gap);
+    EXPECT_DOUBLE_EQ(restored.averageWlp, written.averageWlp);
+    EXPECT_EQ(restored.status, written.status);
+    EXPECT_EQ(restored.nodes, written.nodes);
+    EXPECT_EQ(restored.backtracks, written.backtracks);
+    EXPECT_EQ(restored.solves, written.solves);
+    EXPECT_DOUBLE_EQ(restored.solveSeconds, written.solveSeconds);
+    EXPECT_TRUE(restored.warmStarted);
+    EXPECT_TRUE(restored.degraded);
+
+    ASSERT_TRUE(resumed.lookup(22, &restored));
+    EXPECT_FALSE(restored.ok);
+    EXPECT_TRUE(restored.resumed);
+    EXPECT_EQ(restored.note, "unschedulable under budget");
+    EXPECT_FALSE(resumed.lookup(33, &restored));
+}
+
+TEST_F(Checkpoint, TornFinalLineIsDroppedNotFatal)
+{
+    {
+        SweepCheckpoint checkpoint;
+        ASSERT_TRUE(checkpoint.open(path_, false));
+        checkpoint.record(1, ModelKind::Hilp, samplePoint(1.0));
+        checkpoint.record(2, ModelKind::Hilp, samplePoint(2.0));
+    }
+    // Simulate a SIGKILL mid-write: a record with no trailing
+    // newline, cut in the middle of its JSON.
+    std::FILE *file = std::fopen(path_.c_str(), "a");
+    ASSERT_NE(file, nullptr);
+    std::fputs("{\"key\":\"0000000000000003\",\"ok\":tr", file);
+    std::fclose(file);
+
+    SweepCheckpoint resumed;
+    ASSERT_TRUE(resumed.open(path_, true));
+    EXPECT_EQ(resumed.loaded(), 2u);
+    DsePoint point;
+    EXPECT_TRUE(resumed.lookup(1, &point));
+    EXPECT_TRUE(resumed.lookup(2, &point));
+    EXPECT_FALSE(resumed.lookup(3, &point));
+
+    // The torn record's point can be re-recorded and survives the
+    // next resume: append stays usable after a dirty load.
+    resumed.record(3, ModelKind::Hilp, samplePoint(3.0));
+    resumed.close();
+    SweepCheckpoint again;
+    ASSERT_TRUE(again.open(path_, true));
+    EXPECT_EQ(again.loaded(), 3u);
+    EXPECT_TRUE(again.lookup(3, &point));
+}
+
+TEST_F(Checkpoint, OpenWithoutResumeTruncates)
+{
+    {
+        SweepCheckpoint checkpoint;
+        ASSERT_TRUE(checkpoint.open(path_, false));
+        checkpoint.record(7, ModelKind::Hilp, samplePoint(1.0));
+    }
+    SweepCheckpoint fresh;
+    ASSERT_TRUE(fresh.open(path_, false));
+    EXPECT_EQ(fresh.loaded(), 0u);
+    DsePoint point;
+    EXPECT_FALSE(fresh.lookup(7, &point));
+}
+
+TEST_F(Checkpoint, SweepResumesCompletedPointsWithoutReevaluation)
+{
+    auto wl = workload::makeWorkload(workload::Variant::Default);
+    std::vector<arch::SocConfig> configs;
+    for (int cpus : {1, 2, 4}) {
+        arch::SocConfig c;
+        c.cpuCores = cpus;
+        c.gpuSms = 16;
+        configs.push_back(c);
+    }
+
+    SweepCheckpoint first;
+    ASSERT_TRUE(first.open(path_, false));
+    DseOptions options;
+    options.checkpoint = &first;
+    auto original = exploreSpace(configs, wl, arch::Constraints{},
+                                 ModelKind::MultiAmdahl, options);
+    first.close();
+
+    SweepCheckpoint second;
+    ASSERT_TRUE(second.open(path_, true));
+    EXPECT_EQ(second.loaded(), configs.size());
+    DseOptions resume_options;
+    resume_options.checkpoint = &second;
+    // Any evaluation would be a checkpoint miss: the fault injector
+    // proves the resumed points never reach the evaluator.
+    resume_options.injectFault = [](const arch::SocConfig &) {
+        throw std::runtime_error("resume should not re-evaluate");
+    };
+    resume_options.failFast = true;
+    auto resumed = exploreSpace(configs, wl, arch::Constraints{},
+                                ModelKind::MultiAmdahl,
+                                resume_options);
+
+    ASSERT_EQ(resumed.size(), original.size());
+    for (size_t i = 0; i < resumed.size(); ++i) {
+        EXPECT_TRUE(resumed[i].resumed) << i;
+        EXPECT_EQ(resumed[i].ok, original[i].ok) << i;
+        EXPECT_DOUBLE_EQ(resumed[i].makespanS, original[i].makespanS)
+            << i;
+        EXPECT_DOUBLE_EQ(resumed[i].speedup, original[i].speedup)
+            << i;
+        EXPECT_EQ(resumed[i].config.name(), original[i].config.name())
+            << i;
+        EXPECT_DOUBLE_EQ(resumed[i].areaMm2, original[i].areaMm2)
+            << i;
+    }
+}
+
+} // anonymous namespace
+} // namespace dse
+} // namespace hilp

@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <stdexcept>
+
 #include "dse/explore.hh"
 #include "dse/pareto.hh"
 #include "workload/rodinia.hh"
@@ -294,6 +297,95 @@ TEST(Explore, SolverTelemetryIsPopulated)
     EXPECT_GT(point.nodes, 0);
     EXPECT_GE(point.solveSeconds, 0.0);
     EXPECT_TRUE(point.note.empty());
+}
+
+TEST(Explore, FaultIsolationKeepsSweepAlive)
+{
+    // One poisoned config throws on every attempt (including the
+    // reduced-budget retry); the sweep must record it as errored and
+    // still complete every other point. MA keeps the test fast.
+    auto wl = workload::makeWorkload(workload::Variant::Default);
+    std::vector<arch::SocConfig> configs;
+    for (int cpus : {1, 2, 4}) {
+        arch::SocConfig c;
+        c.cpuCores = cpus;
+        configs.push_back(c);
+    }
+    DseOptions options;
+    options.threads = 2;
+    options.injectFault = [](const arch::SocConfig &config) {
+        if (config.cpuCores == 2)
+            throw std::runtime_error("injected solver crash");
+    };
+    auto points = exploreSpace(configs, wl, arch::Constraints{},
+                               ModelKind::MultiAmdahl, options);
+    ASSERT_EQ(points.size(), 3u);
+    EXPECT_TRUE(points[0].ok);
+    EXPECT_TRUE(points[2].ok);
+    EXPECT_FALSE(points[1].ok);
+    EXPECT_TRUE(points[1].errored);
+    EXPECT_NE(points[1].note.find("injected solver crash"),
+              std::string::npos);
+    // The failed slot keeps its structural identity for the report.
+    EXPECT_EQ(points[1].config.cpuCores, 2);
+    EXPECT_GT(points[1].areaMm2, 0.0);
+}
+
+TEST(Explore, TransientFaultIsRetriedOnce)
+{
+    auto wl = workload::makeWorkload(workload::Variant::Default);
+    std::vector<arch::SocConfig> configs(1);
+    configs[0].cpuCores = 1;
+    std::atomic<int> attempts{0};
+    DseOptions options;
+    options.injectFault = [&attempts](const arch::SocConfig &) {
+        if (attempts.fetch_add(1) == 0)
+            throw std::runtime_error("transient failure");
+    };
+    auto points = exploreSpace(configs, wl, arch::Constraints{},
+                               ModelKind::MultiAmdahl, options);
+    ASSERT_EQ(points.size(), 1u);
+    EXPECT_TRUE(points[0].ok);
+    EXPECT_FALSE(points[0].errored);
+    EXPECT_EQ(attempts.load(), 2);
+}
+
+TEST(Explore, FailFastRethrowsThePointException)
+{
+    auto wl = workload::makeWorkload(workload::Variant::Default);
+    std::vector<arch::SocConfig> configs(1);
+    configs[0].cpuCores = 1;
+    DseOptions options;
+    options.failFast = true;
+    options.injectFault = [](const arch::SocConfig &) {
+        throw std::runtime_error("fail fast");
+    };
+    EXPECT_THROW(exploreSpace(configs, wl, arch::Constraints{},
+                              ModelKind::MultiAmdahl, options),
+                 std::runtime_error);
+}
+
+TEST(Explore, HilpChainsIsolateFaultsToo)
+{
+    // The reuse/similarity-chain path has its own worker loop; a
+    // fault inside one chain must not poison the others.
+    auto wl = workload::makeWorkload(workload::Variant::Default);
+    auto configs = smallHilpSpace();
+    DseOptions options = fastHilpOptions();
+    options.injectFault = [](const arch::SocConfig &config) {
+        if (config.cpuCores == 4 && config.gpuSms == 16)
+            throw std::runtime_error("chain fault");
+    };
+    auto points = exploreSpace(configs, wl, arch::Constraints{},
+                               ModelKind::Hilp, options);
+    ASSERT_EQ(points.size(), configs.size());
+    int ok = 0, errored = 0;
+    for (const DsePoint &point : points) {
+        ok += point.ok ? 1 : 0;
+        errored += point.errored ? 1 : 0;
+    }
+    EXPECT_EQ(errored, 1);
+    EXPECT_EQ(ok, static_cast<int>(points.size()) - 1);
 }
 
 } // anonymous namespace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "dse/report.hh"
 #include "hilp/builder.hh"
 #include "hilp/engine.hh"
@@ -59,8 +61,8 @@ TEST(Report, CsvCarriesSolverTelemetryAndNotes)
 
     std::string csv = pointsToCsv({solved, failed});
     EXPECT_NE(csv.find("status,nodes,backtracks,solves,solve_s,"
-                       "cache_hit,warm_start,pruned,propagations,"
-                       "prunings,prop_s,note"),
+                       "cache_hit,warm_start,pruned,degraded,errored,"
+                       "resumed,propagations,prunings,prop_s,note"),
               std::string::npos);
     EXPECT_NE(csv.find("near-optimal,1234,56,3"), std::string::npos);
     // Propagator counters are aggregated per row: 70 invocations
@@ -69,6 +71,79 @@ TEST(Report, CsvCarriesSolverTelemetryAndNotes)
     // Notes must not smuggle in field or record separators.
     EXPECT_NE(csv.find("phase x; unschedulable under budget"),
               std::string::npos);
+}
+
+TEST(Report, NonFiniteValuesExportAsEmptyCellsAndJsonNull)
+{
+    // An infeasible point can legitimately carry non-finite numbers
+    // (gap is inf when no lower bound exists, WLP can be nan); the
+    // exports must not leak "inf"/"nan" tokens into CSV or JSON.
+    DsePoint infeasible;
+    infeasible.note = "unschedulable under budget";
+    infeasible.gap = std::numeric_limits<double>::infinity();
+    infeasible.makespanS = std::numeric_limits<double>::quiet_NaN();
+    infeasible.speedup = std::numeric_limits<double>::quiet_NaN();
+    infeasible.averageWlp = -std::numeric_limits<double>::infinity();
+    DsePoint healthy;
+    healthy.ok = true;
+    healthy.makespanS = 2.0;
+    healthy.speedup = 4.0;
+    healthy.gap = 0.05;
+
+    std::string csv = pointsToCsv({infeasible, healthy});
+    EXPECT_EQ(csv.find("inf"), std::string::npos);
+    EXPECT_EQ(csv.find("nan"), std::string::npos);
+    // The empty cells keep their separators: ok(0) followed by the
+    // four blank makespan_s/speedup/avg_wlp/gap cells.
+    EXPECT_NE(csv.find(",0,,,,,"), std::string::npos);
+    EXPECT_NE(csv.find("0.050000"), std::string::npos);
+
+    std::string text = pointsToJson({infeasible, healthy}).dump();
+    EXPECT_EQ(text.find("inf"), std::string::npos);
+    EXPECT_EQ(text.find("nan"), std::string::npos);
+    EXPECT_NE(text.find("\"gap\":null"), std::string::npos);
+
+    // The dump must stay machine-readable: it round-trips through
+    // the parser with the non-finite fields as nulls.
+    Json parsed;
+    ASSERT_TRUE(Json::parse(text, &parsed));
+    ASSERT_EQ(parsed.size(), 2u);
+    EXPECT_TRUE(parsed.at(0).find("gap")->isNull());
+    EXPECT_TRUE(parsed.at(0).find("makespan_s")->isNull());
+    EXPECT_TRUE(parsed.at(1).find("gap")->isNumber());
+}
+
+TEST(Report, SummaryCountsRobustnessOutcomes)
+{
+    DsePoint degraded;
+    degraded.ok = true;
+    degraded.degraded = true;
+    DsePoint errored;
+    errored.errored = true;
+    errored.note = "exception: boom";
+    DsePoint resumed;
+    resumed.ok = true;
+    resumed.resumed = true;
+
+    SweepSummary summary =
+        summarizeSweep({degraded, errored, resumed});
+    EXPECT_EQ(summary.points, 3);
+    EXPECT_EQ(summary.ok, 2);
+    EXPECT_EQ(summary.degraded, 1);
+    EXPECT_EQ(summary.errored, 1);
+    EXPECT_EQ(summary.resumed, 1);
+    // An errored point is a fault, not a spec verdict.
+    EXPECT_EQ(summary.infeasible, 0);
+    EXPECT_EQ(summary.noSolution, 0);
+
+    std::string line = toString(summary);
+    EXPECT_NE(line.find("1 degraded, 1 errored, 1 resumed"),
+              std::string::npos);
+
+    std::string json = toJson(summary).dump();
+    EXPECT_NE(json.find("\"degraded\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"errored\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"resumed\":1"), std::string::npos);
 }
 
 TEST(Report, JsonCarriesSolverTelemetryAndNotes)

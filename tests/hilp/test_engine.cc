@@ -124,6 +124,41 @@ TEST(Engine, UnschedulableProblemReportsFailure)
     EXPECT_FALSE(result.nearOptimal());
 }
 
+TEST(Engine, ExpiredPointDeadlineDegradesGracefully)
+{
+    // A deadline that is already over when the evaluation starts:
+    // the engine must still hand back a certified schedule (the
+    // greedy fallback or a budget-capped incumbent), flagged
+    // degraded, never a hard failure. The power-constrained Figure 3
+    // instance guarantees a positive certified gap (the lower bounds
+    // are power-blind), so the cut is always observable.
+    ProblemSpec spec = makeTwoAppExample();
+    spec.powerBudgetW = 3.0;
+    EngineOptions options = exampleOptions();
+    options.pointTimeoutS = 1e-9;
+    EvalResult result = evaluate(spec, options);
+    ASSERT_TRUE(result.ok);
+    EXPECT_TRUE(result.degraded);
+    // The degraded result keeps the contract: a real schedule with
+    // a certified optimality gap against a true lower bound.
+    EXPECT_GT(result.makespanS, 0.0);
+    EXPECT_GE(result.gap, 0.0);
+    EXPECT_LT(result.gap, 1.0);
+    EXPECT_LE(result.lowerBoundS, result.makespanS + 1e-9);
+    EXPECT_FALSE(result.schedule.phases.empty());
+}
+
+TEST(Engine, GenerousDeadlineDoesNotDegrade)
+{
+    EngineOptions options = exampleOptions();
+    options.pointTimeoutS = 3600.0;
+    EvalResult result = evaluate(makeTwoAppExample(), options);
+    ASSERT_TRUE(result.ok);
+    EXPECT_FALSE(result.degraded);
+    EXPECT_EQ(result.status, cp::SolveStatus::Optimal);
+    EXPECT_DOUBLE_EQ(result.makespanS, 7.0);
+}
+
 TEST(Engine, ValidationAndExplorationPresets)
 {
     EngineOptions validation = EngineOptions::validationMode();

@@ -109,7 +109,7 @@ TEST(SolveMemo, MissThenHit)
     EXPECT_FALSE(out.warmStarted);
 }
 
-TEST(SolveMemo, FirstInsertionWins)
+TEST(SolveMemo, EqualQualityKeepsTheFirstInsertion)
 {
     SolveMemo memo;
     EvalResult first;
@@ -121,6 +121,83 @@ TEST(SolveMemo, FirstInsertionWins)
     EvalResult out;
     ASSERT_TRUE(memo.lookup(7, &out));
     EXPECT_DOUBLE_EQ(out.makespanS, 1.0);
+}
+
+TEST(SolveMemo, BetterResultReplacesAWorseEntry)
+{
+    // The old emplace-only insert pinned whatever landed first: a
+    // timed-out wide-gap result would be served forever even after a
+    // later evaluation solved the same instance to optimality.
+    SolveMemo memo;
+    EvalResult wide;
+    wide.ok = true;
+    wide.makespanS = 3.0;
+    wide.gap = 0.4;
+    memo.insert(7, wide);
+
+    EvalResult tight;
+    tight.ok = true;
+    tight.makespanS = 2.5;
+    tight.gap = 0.01;
+    memo.insert(7, tight);
+
+    EvalResult out;
+    ASSERT_TRUE(memo.lookup(7, &out));
+    EXPECT_DOUBLE_EQ(out.makespanS, 2.5);
+    EXPECT_DOUBLE_EQ(out.gap, 0.01);
+
+    // And the replacement is one-way: a worse result never evicts a
+    // better one.
+    memo.insert(7, wide);
+    ASSERT_TRUE(memo.lookup(7, &out));
+    EXPECT_DOUBLE_EQ(out.gap, 0.01);
+}
+
+TEST(SolveMemo, SolvedResultReplacesAFailedEntry)
+{
+    SolveMemo memo;
+    EvalResult failed;
+    failed.ok = false;
+    failed.status = cp::SolveStatus::NoSolution;
+    memo.insert(9, failed);
+
+    EvalResult solved;
+    solved.ok = true;
+    solved.makespanS = 4.0;
+    solved.gap = 0.5; // Even a wide-gap solve beats no solution.
+    memo.insert(9, solved);
+
+    EvalResult out;
+    ASSERT_TRUE(memo.lookup(9, &out));
+    EXPECT_TRUE(out.ok);
+    EXPECT_DOUBLE_EQ(out.makespanS, 4.0);
+
+    memo.insert(9, failed);
+    ASSERT_TRUE(memo.lookup(9, &out));
+    EXPECT_TRUE(out.ok);
+}
+
+TEST(SolveMemo, NonDegradedResultReplacesADegradedTwin)
+{
+    SolveMemo memo;
+    EvalResult degraded;
+    degraded.ok = true;
+    degraded.makespanS = 2.0;
+    degraded.gap = 0.05;
+    degraded.degraded = true;
+    memo.insert(11, degraded);
+
+    EvalResult clean = degraded;
+    clean.degraded = false;
+    memo.insert(11, clean);
+
+    EvalResult out;
+    ASSERT_TRUE(memo.lookup(11, &out));
+    EXPECT_FALSE(out.degraded);
+
+    memo.insert(11, degraded);
+    ASSERT_TRUE(memo.lookup(11, &out));
+    EXPECT_FALSE(out.degraded);
 }
 
 TEST(TransferSchedule, RoundTripsOntoTheSameProblem)
