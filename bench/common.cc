@@ -26,6 +26,8 @@ std::string g_checkpoint_path;
 bool g_resume = false;
 double g_point_timeout_s = 0.0;
 bool g_fail_fast = false;
+bool g_nogoods = false;
+bool g_lns = false;
 
 void
 dumpTelemetry()
@@ -77,6 +79,10 @@ initHarness(int *argc, char **argv)
             g_point_timeout_s = std::atof(arg + 16);
         else if (std::strcmp(arg, "--fail-fast") == 0)
             g_fail_fast = true;
+        else if (std::strcmp(arg, "--nogoods") == 0)
+            g_nogoods = true;
+        else if (std::strcmp(arg, "--lns") == 0)
+            g_lns = true;
         else
             argv[kept++] = argv[i];
     }
@@ -111,6 +117,18 @@ bool
 failFast()
 {
     return g_fail_fast;
+}
+
+bool
+useNogoods()
+{
+    return g_nogoods;
+}
+
+bool
+useLns()
+{
+    return g_lns;
 }
 
 dse::SweepCheckpoint *
@@ -157,6 +175,8 @@ validationEngine(double solver_seconds)
     options.solver.maxNodes = 400000;
     options.solver.threads = g_solver_threads;
     options.solver.deterministicSearch = g_deterministic_search;
+    options.solver.useNogoods = g_nogoods;
+    options.solver.lns = g_lns;
     // Rerun near-optimality misses with 4x the budget, as the paper
     // does for its validation experiments.
     options.escalations = 1;
@@ -173,6 +193,8 @@ explorationOptions(double solver_seconds)
     options.engine.solver.maxNodes = 120000;
     options.engine.solver.threads = g_solver_threads;
     options.engine.solver.deterministicSearch = g_deterministic_search;
+    options.engine.solver.useNogoods = g_nogoods;
+    options.engine.solver.lns = g_lns;
     options.engine.pointTimeoutS = g_point_timeout_s;
     options.failFast = g_fail_fast;
     return options;

@@ -47,6 +47,14 @@ namespace bench {
  *                       instead of failing.
  *   --fail-fast         abort the sweep on the first point that
  *                       throws (the pre-fault-isolation behavior).
+ *   --nogoods           record no-goods in the branch-and-bound
+ *                       search (see cp/nogood.hh): revisited
+ *                       placement sets prune against their learned
+ *                       bound instead of re-expanding.
+ *   --lns               replace the solver's priority hill climbing
+ *                       with destroy/repair large-neighborhood
+ *                       search (see cp/lns.hh) when tightening the
+ *                       greedy incumbent.
  *
  * Both dumps run through atexit so they capture everything, including
  * the google-benchmark timing loops at the end of main.
@@ -64,6 +72,12 @@ double pointTimeoutS();
 
 /** True when --fail-fast was passed. */
 bool failFast();
+
+/** True when --nogoods was passed. */
+bool useNogoods();
+
+/** True when --lns was passed. */
+bool useLns();
 
 /**
  * The process-wide sweep checkpoint, opened lazily from --checkpoint

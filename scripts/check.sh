@@ -26,6 +26,15 @@ run_suite() {
 run_suite build
 run_suite build-asan -DHILP_SANITIZE=ON
 
+# No-good + LNS soundness under ASan: the differential tests (no-good
+# pruning preserves the certified optimum, LNS never regresses its
+# incumbent) run again on their own so a heap bug in the solver hot
+# path fails this stage by name even when the tier1 sweep above is
+# trimmed or filtered.
+echo "==> no-good/LNS soundness (ASan)"
+./build-asan/tests/hilp_test_cp \
+    --gtest_filter='*Nogood*:*Lns*:*NogoodDiff*:*LnsMonotone*'
+
 # Thread-sanitizer stage: build only the concurrency test binary
 # (thread pool + budget + parallel branch-and-bound) under TSan and
 # run it. TSan is incompatible with ASan, so this is a third build
@@ -44,7 +53,8 @@ echo "==> test build-tsan (concurrency under TSan)"
 echo "==> trace smoke test"
 trace_file="build/check_trace.json"
 ./build/bench/solver_micro "--trace-out=${trace_file}" \
-    --no-thread-sweep --benchmark_filter=none > /dev/null
+    --no-thread-sweep --no-feature-sweep \
+    --benchmark_filter=none > /dev/null
 ./build/bench/trace_check "${trace_file}"
 
 # Checkpoint/resume round trip: an uninterrupted truncated fig7 sweep
@@ -94,6 +104,44 @@ if ! diff build/check_ckpt_a.set build/check_ckpt_b.set; then
 fi
 if ! [ -s build/check_ckpt_a.set ]; then
     echo "checkpoint round trip produced no points" >&2
+    exit 1
+fi
+
+# Warm-start rehydration after resume: drop the last few records from
+# the completed checkpoint (its tail is the HILP sweep, which runs
+# last) and resume. The re-solved tail points must warm-start from
+# schedules persisted by the *previous* run - the resumed chain
+# predecessors rehydrate their hints - so the resume's metrics must
+# show both resumed points and rehydrated chain hints, and the final
+# point set must again match the uninterrupted run.
+echo "==> checkpoint resume rehydrates warm starts"
+ckpt_c="build/check_ckpt_c.jsonl"
+metrics_c="build/check_ckpt_c.metrics.json"
+total=$(wc -l < "${ckpt_a}")
+if [ "${total}" -le 3 ]; then
+    echo "checkpoint too small to truncate (${total} lines)" >&2
+    exit 1
+fi
+head -n "$((total - 3))" "${ckpt_a}" > "${ckpt_c}"
+"${fig7}" --max-configs=16 "--checkpoint=${ckpt_c}" --resume \
+    "--metrics-out=${metrics_c}" --benchmark_filter=none > /dev/null
+counter() {
+    sed -n "s/.*\"$1\": \([0-9][0-9]*\).*/\1/p" "${metrics_c}" \
+        | head -n 1
+}
+resumed=$(counter "dse.points.resumed")
+rehydrated=$(counter "dse.chain.rehydrated")
+if [ -z "${resumed}" ] || [ "${resumed}" -lt 1 ]; then
+    echo "resume reported no resumed points (${resumed:-missing})" >&2
+    exit 1
+fi
+if [ -z "${rehydrated}" ] || [ "${rehydrated}" -lt 1 ]; then
+    echo "resume rehydrated no chain hints (${rehydrated:-missing})" >&2
+    exit 1
+fi
+point_set "${ckpt_c}" > build/check_ckpt_c.set
+if ! diff build/check_ckpt_a.set build/check_ckpt_c.set; then
+    echo "truncated-resume point set differs" >&2
     exit 1
 fi
 

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "bounds.hh"
+#include "nogood.hh"
 #include "profile.hh"
 #include "propagate.hh"
 #include "support/logging.hh"
@@ -277,6 +278,16 @@ struct Shared
     /** Batched global node count for budget checks. */
     std::atomic<int64_t> nodesApprox{0};
 
+    /**
+     * No-good store shared by the opportunistic workers (a recorded
+     * bound is valid for every worker: it is certified either by
+     * propagation or against the shared incumbent, which only
+     * decreases — see nogood.hh). Null when disabled and in
+     * deterministic mode, where workers keep private stores so their
+     * node counts stay reproducible.
+     */
+    std::unique_ptr<NogoodStore> nogoods;
+
     /** Parking lot for starving workers (see Worker::waitForWork). */
     std::mutex waitMutex;
     std::condition_variable waitCv;
@@ -307,7 +318,10 @@ struct Shared
           splitDepth(limits_in.splitDepth > 0 ? limits_in.splitDepth
                                               : kAutoSplitDepth),
           lowWater(threads_in)
-    {}
+    {
+        if (limits_in.useNogoods && !limits_in.deterministic)
+            nogoods.reset(new NogoodStore(limits_in.nogoodCapacity));
+    }
 
     double
     elapsedS() const
@@ -363,6 +377,16 @@ class Worker
         privUb_ = shared.incumbent.ub();
         privFound_ = shared.incumbent.found();
         nodeBudget_ = limits_.maxNodes;
+
+        if (shared.nogoods) {
+            nogoods_ = shared.nogoods.get();
+        } else if (limits_.useNogoods && deterministic) {
+            // Deterministic mode: a private store keeps this
+            // worker's pruning a function of its own slice only.
+            privateNogoods_.reset(
+                new NogoodStore(limits_.nogoodCapacity));
+            nogoods_ = privateNogoods_.get();
+        }
     }
 
     // -- Telemetry, read by the driver after the join. ------------
@@ -371,6 +395,8 @@ class Worker
     int64_t solutions() const { return solutions_; }
     int64_t steals() const { return steals_; }
     int64_t published() const { return published_; }
+    int64_t nogoodHits() const { return nogoodHits_; }
+    int64_t nogoodsRecorded() const { return nogoodsRecorded_; }
     std::vector<PropagatorStats> propagators() const
     { return engine_.stats(); }
 
@@ -449,6 +475,17 @@ class Worker
              i += static_cast<size_t>(shared_.threads)) {
             if (localStop_ || localLimit_)
                 break;
+            // Poll the wall-clock budgets between subproblems too:
+            // nodeAdmission only checks every kBudgetBatch nodes
+            // *inside* a subtree, so a frontier of cheap subproblems
+            // could otherwise coast past the deadline.
+            if (Clock::now() >= limits_.deadline ||
+                shared_.elapsedS() >= limits_.maxSeconds) {
+                localLimit_ = true;
+                shared_.limitHit.store(true,
+                                       std::memory_order_relaxed);
+                break;
+            }
             curSub_ = static_cast<ptrdiff_t>(i);
             process(frontier[i]);
         }
@@ -484,6 +521,7 @@ class Worker
         engine_.place(d.task, mode, d.start);
         assign_[d.task] = {d.mode, d.start};
         end_[d.task] = d.start + mode.duration;
+        hash_ ^= nogoodCode(d.task, d.mode, d.start);
         ++scheduled_;
         removeEligible(d.task);
         for (int s : model_.successors(d.task))
@@ -497,7 +535,9 @@ class Worker
     undo()
     {
         hilp_assert(!path_.empty());
-        int t = path_.back().task;
+        const Decision &d = path_.back();
+        int t = d.task;
+        hash_ ^= nogoodCode(d.task, d.mode, d.start);
         path_.pop_back();
         for (int s : model_.successors(t))
             if (remainingPreds_[s]++ == 0)
@@ -712,13 +752,32 @@ class Worker
             offer(makespan);
             return;
         }
+        // A recorded no-good proves every completion of this
+        // placement set is >= its bound; prune when that cannot beat
+        // the incumbent this worker sees right now.
+        if (nogoods_ && scheduled_ > 0) {
+            Time known = nogoods_->lookup(hash_);
+            if (known != NogoodStore::kNoBound &&
+                known >= currentUb()) {
+                ++nogoodHits_;
+                return;
+            }
+        }
         Time ub = currentUb();
         PropagationContext ctx{model_, shared_.cp, assign_, end_,
                                makespan, limits_.lowerBound, ub,
                                est_};
         Time node_bound = engine_.fixpoint(ctx);
-        if (node_bound >= ub)
+        if (node_bound >= ub) {
+            // Certified by propagation alone. Skipped during
+            // frontier capture only to keep generation free of
+            // store-order effects.
+            if (nogoods_ && scheduled_ > 0 && !collect_) {
+                nogoods_->record(hash_, node_bound, scheduled_);
+                ++nogoodsRecorded_;
+            }
             return;
+        }
 
         std::vector<int> branch_tasks = eligible_;
         std::sort(branch_tasks.begin(), branch_tasks.end(),
@@ -786,6 +845,16 @@ class Worker
                 if (opt.complete + tail_after >= currentUb())
                     break; // Options are completion-sorted.
             }
+        }
+        // Record only when this node's subtree was really explored:
+        // not when children were spilled for stealing or captured
+        // into a frontier, and not on a budget/gap unwind (those
+        // return early above). The bound is the incumbent at *this*
+        // moment; it only decreases afterwards, so the no-good stays
+        // valid for every other worker too.
+        if (nogoods_ && scheduled_ > 0 && !spill && !collect_) {
+            nogoods_->record(hash_, currentUb(), scheduled_);
+            ++nogoodsRecorded_;
         }
         ++backtracks_;
     }
@@ -864,6 +933,18 @@ class Worker
                 shared_.wake();
                 break;
             }
+            // Poll the wall-clock budgets while starving: a parked
+            // worker otherwise only learns of the deadline from a
+            // busy worker's nodeAdmission, and when every busy
+            // worker is deep inside a slow propagation fixpoint the
+            // cut can arrive arbitrarily late.
+            if (Clock::now() >= limits_.deadline ||
+                shared_.elapsedS() >= limits_.maxSeconds) {
+                shared_.limitHit.store(true,
+                                       std::memory_order_relaxed);
+                shared_.wake();
+                break;
+            }
             if (shared_.deques[id_].pop(out) || trySteal(out)) {
                 got = true;
                 break;
@@ -904,6 +985,14 @@ class Worker
     std::vector<Subproblem> *collect_ = nullptr;
     int collectDepth_ = 0;
 
+    /** Zobrist key of the current placement set (see nogood.hh). */
+    uint64_t hash_ = 0;
+    /** Shared or private store; null when no-goods are disabled. */
+    NogoodStore *nogoods_ = nullptr;
+    std::unique_ptr<NogoodStore> privateNogoods_;
+    int64_t nogoodHits_ = 0;
+    int64_t nogoodsRecorded_ = 0;
+
     // Private incumbent (deterministic mode and generation).
     Time privUb_ = 0;
     bool privFound_ = false;
@@ -930,12 +1019,14 @@ mergeWorker(SearchResult &result, const Worker &worker)
     result.solutions += worker.solutions();
     result.steals += worker.steals();
     result.subproblems += worker.published();
+    result.nogoodHits += worker.nogoodHits();
+    result.nogoodsRecorded += worker.nogoodsRecorded();
     mergePropagatorStats(result.propagators, worker.propagators());
 }
 
 /** Per-search metrics flush (mirrors the serial searcher's). */
 void
-flushMetrics(const SearchResult &result)
+flushMetrics(const SearchResult &result, bool use_nogoods)
 {
     metrics::counter("cp.search.nodes").add(result.nodes);
     metrics::counter("cp.search.backtracks").add(result.backtracks);
@@ -943,6 +1034,11 @@ flushMetrics(const SearchResult &result)
     metrics::counter("cp.par.searches").add(1);
     metrics::counter("cp.par.steals").add(result.steals);
     metrics::counter("cp.par.subproblems").add(result.subproblems);
+    if (use_nogoods) {
+        metrics::counter("cp.nogood.hits").add(result.nogoodHits);
+        metrics::counter("cp.nogood.recorded")
+            .add(result.nogoodsRecorded);
+    }
     int64_t invocations = 0;
     int64_t prunings = 0;
     for (const PropagatorStats &stats : result.propagators) {
@@ -1179,6 +1275,18 @@ parallelBranchAndBound(const Model &model,
         return result;
     }
 
+    // A deadline that has already passed (or a zero wall-clock
+    // budget) cuts the search before it starts. Returning here keeps
+    // the flags consistent: without this check a tiny warm-started
+    // tree can exhaust within the first budget batch — before any
+    // worker polls the clock — and a run the caller cut would then
+    // claim `exhausted`, which the solver treats as an optimality
+    // proof.
+    if (Clock::now() >= limits.deadline || limits.maxSeconds <= 0.0) {
+        result.exhausted = false;
+        return result;
+    }
+
     result = limits.deterministic
         ? runDeterministic(model, limits, shared,
                            std::move(result))
@@ -1186,7 +1294,7 @@ parallelBranchAndBound(const Model &model,
 
     span.arg(trace::Arg::intArg("nodes", result.nodes));
     span.arg(trace::Arg::intArg("steals", result.steals));
-    flushMetrics(result);
+    flushMetrics(result, limits.useNogoods);
     return result;
 }
 

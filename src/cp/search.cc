@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <memory>
 
 #include "bounds.hh"
+#include "nogood.hh"
 #include "parallel_search.hh"
 #include "profile.hh"
 #include "propagate.hh"
@@ -63,6 +65,9 @@ class Searcher
         for (int t = 0; t < n; ++t)
             if (remainingPreds_[t] == 0)
                 addEligible(t);
+
+        if (limits.useNogoods)
+            nogoods_.reset(new NogoodStore(limits.nogoodCapacity));
 
         ub_ = model.horizon() + 1;
         if (warm_start) {
@@ -169,6 +174,11 @@ class Searcher
         }
         metrics::counter("cp.propagations").add(invocations);
         metrics::counter("cp.prunings").add(prunings);
+        if (nogoods_) {
+            metrics::counter("cp.nogood.hits").add(result_.nogoodHits);
+            metrics::counter("cp.nogood.recorded")
+                .add(result_.nogoodsRecorded);
+        }
     }
 
     void
@@ -206,11 +216,29 @@ class Searcher
             recordIncumbent(makespan);
             return;
         }
+        // A recorded no-good proves every completion of this
+        // placement set is >= its bound; prune when that cannot beat
+        // the incumbent.
+        if (nogoods_ && scheduled_ > 0) {
+            Time known = nogoods_->lookup(hash_);
+            if (known != NogoodStore::kNoBound && known >= ub_) {
+                ++result_.nogoodHits;
+                return;
+            }
+        }
         PropagationContext ctx{model_, cp_, assign_, end_,
                                makespan, limits_.lowerBound, ub_,
                                est_};
-        if (engine_.fixpoint(ctx) >= ub_)
+        Time node_bound = engine_.fixpoint(ctx);
+        if (node_bound >= ub_) {
+            // The propagators certified this bound against any
+            // completion of the placements, so it can be recorded.
+            if (nogoods_ && scheduled_ > 0) {
+                nogoods_->record(hash_, node_bound, scheduled_);
+                ++result_.nogoodsRecorded;
+            }
             return;
+        }
 
         // Branch over all eligible tasks, longest tail first.
         std::vector<int> branch_tasks = eligible_;
@@ -264,6 +292,7 @@ class Searcher
                 engine_.place(t, mode, opt.start);
                 assign_[t] = {opt.mode, opt.start};
                 end_[t] = opt.complete;
+                hash_ ^= nogoodCode(t, opt.mode, opt.start);
                 ++scheduled_;
                 size_t eligible_size = eligible_.size();
                 removeEligible(t);
@@ -280,6 +309,7 @@ class Searcher
                 addEligible(t);
                 hilp_assert(eligible_.size() == eligible_size);
                 --scheduled_;
+                hash_ ^= nogoodCode(t, opt.mode, opt.start);
                 assign_[t] = Assignment{};
                 end_[t] = 0;
                 engine_.undo();
@@ -290,6 +320,14 @@ class Searcher
                 if (opt.complete + tail_after >= ub_)
                     break; // Options are completion-sorted.
             }
+        }
+        // Fully explored (budget stops return early above): every
+        // completion of this placement set was enumerated or pruned
+        // against an incumbent >= the current one, and the incumbent
+        // only decreases, so "completions >= ub_" holds forever.
+        if (nogoods_ && scheduled_ > 0) {
+            nogoods_->record(hash_, ub_, scheduled_);
+            ++result_.nogoodsRecorded;
         }
         ++result_.backtracks;
     }
@@ -309,6 +347,10 @@ class Searcher
     /** Position of each task inside eligible_, or -1 when absent. */
     std::vector<int> eligiblePos_;
     int scheduled_ = 0;
+
+    /** Zobrist key of the current placement set (see nogood.hh). */
+    uint64_t hash_ = 0;
+    std::unique_ptr<NogoodStore> nogoods_;
 
     Time ub_ = 0;
     bool stop_ = false;

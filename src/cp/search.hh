@@ -83,6 +83,17 @@ struct SearchLimits
      * ignored by the serial path.
      */
     int splitDepth = 0;
+    /**
+     * No-good recording (see nogood.hh): cache proven makespan
+     * bounds for visited placement sets and prune transpositions.
+     * Preserves optimality and exhaustion statuses but changes node
+     * counts, so it is opt-in. The opportunistic parallel search
+     * shares one store across workers; the serial and deterministic
+     * searches use private stores and stay exactly reproducible.
+     */
+    bool useNogoods = false;
+    /** Entry budget for the no-good store (rounded up to 2^k). */
+    size_t nogoodCapacity = 1 << 16;
 };
 
 /** Outcome of the branch-and-bound search. */
@@ -106,6 +117,10 @@ struct SearchResult
     int64_t steals = 0;
     /** Parallel search: subproblems published for stealing. */
     int64_t subproblems = 0;
+    /** Nodes pruned by a recorded no-good (0 when disabled). */
+    int64_t nogoodHits = 0;
+    /** No-goods recorded into the store (0 when disabled). */
+    int64_t nogoodsRecorded = 0;
     /**
      * Per-propagator telemetry, aggregated (by rule name) across
      * every worker's propagation engine.

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "list_scheduler.hh"
+#include "lns.hh"
 #include "search.hh"
 #include "support/logging.hh"
 #include "support/thread_pool.hh"
@@ -89,12 +90,45 @@ Solver::solve(const Model &model, const ScheduleVec *hint) const
                   static_cast<double>(incumbent)
                 : 0.0;
             // Past the deadline the cheap greedy incumbent is all we
-            // spend: hill climbing and the tree search are skipped.
+            // spend: incumbent refinement and the tree search are
+            // skipped.
             if (greedy_gap > options_.targetGap &&
-                std::chrono::steady_clock::now() < options_.deadline)
-                greedy = improveGreedy(model, greedy,
-                                       options_.lnsIterations,
-                                       options_.seed + 1);
+                std::chrono::steady_clock::now() < options_.deadline) {
+                if (options_.lns) {
+                    // Destroy/repair LNS around the best incumbent
+                    // available (greedy or hint); monotone, so the
+                    // result replaces the greedy unconditionally.
+                    LnsOptions lns;
+                    lns.iterations = options_.lnsIterations;
+                    lns.maxSeconds = options_.maxSeconds * 0.25;
+                    lns.deadline = options_.deadline;
+                    lns.seed = options_.seed + 1;
+                    lns.polishNodes = options_.lnsPolishNodes;
+                    lns.targetGap = options_.targetGap;
+                    lns.lowerBound = result.lowerBound;
+                    lns.useNogoods = options_.useNogoods;
+                    const ScheduleVec &seed_schedule =
+                        hint_ok && hint_makespan < greedy.makespan
+                            ? *hint
+                            : greedy.schedule;
+                    LnsResult improved =
+                        lnsImprove(model, seed_schedule, lns);
+                    greedy.schedule = improved.schedule;
+                    greedy.makespan = improved.makespan;
+                    result.stats.lnsIterationsRun =
+                        improved.iterations;
+                    result.stats.lnsImprovements =
+                        improved.improvements;
+                    metrics::counter("cp.lns.iterations")
+                        .add(improved.iterations);
+                    metrics::counter("cp.lns.improvements")
+                        .add(improved.improvements);
+                } else {
+                    greedy = improveGreedy(model, greedy,
+                                           options_.lnsIterations,
+                                           options_.seed + 1);
+                }
+            }
             result.stats.greedyMakespan = greedy.makespan;
         }
     }
@@ -116,6 +150,8 @@ Solver::solve(const Model &model, const ScheduleVec *hint) const
     limits.energeticReasoning = options_.energeticReasoning;
     limits.deterministic = options_.deterministicSearch;
     limits.splitDepth = options_.splitDepth;
+    limits.useNogoods = options_.useNogoods;
+    limits.nogoodCapacity = options_.nogoodCapacity;
 
     // threads == 0 means "borrow what the machine has to spare":
     // the caller's own thread is implicitly budgeted, extra workers
@@ -147,6 +183,8 @@ Solver::solve(const Model &model, const ScheduleVec *hint) const
     result.stats.searchThreads = search.threadsUsed;
     result.stats.steals = search.steals;
     result.stats.subproblems = search.subproblems;
+    result.stats.nogoodHits = search.nogoodHits;
+    result.stats.nogoodsRecorded = search.nogoodsRecorded;
 
     if (search.foundSolution) {
         result.schedule = search.best;

@@ -62,7 +62,11 @@ struct SolverOptions
     bool useLpBound = true;
     /** Random restarts for the greedy warm start. */
     int greedyRestarts = 8;
-    /** Hill-climbing iterations refining the greedy incumbent. */
+    /**
+     * Incumbent-improvement iterations before the search: priority
+     * hill-climbing by default, destroy/repair LNS when `lns` is
+     * set (see lns.hh).
+     */
     int lnsIterations = 400;
     /** Seed for the greedy restarts. */
     uint64_t seed = 1;
@@ -93,6 +97,23 @@ struct SolverOptions
      * default (see SearchLimits::splitDepth).
      */
     int splitDepth = 0;
+    /**
+     * No-good recording in the branch-and-bound (see nogood.hh).
+     * Preserves every status and optimality guarantee but changes
+     * node counts, so it is opt-in.
+     */
+    bool useNogoods = false;
+    /** Entry budget for the no-good store (rounded up to 2^k). */
+    size_t nogoodCapacity = 1 << 16;
+    /**
+     * Replace the pre-search hill climb with destroy/repair LNS
+     * around the greedy incumbent (see lns.hh): stronger incumbents
+     * on instances the exact search cannot close, at the same
+     * monotone never-worse guarantee.
+     */
+    bool lns = false;
+    /** Node budget for each bounded B&B polish inside the LNS. */
+    int64_t lnsPolishNodes = 2000;
 };
 
 /** Effort accounting for a solve. */
@@ -115,6 +136,14 @@ struct SolveStats
     int64_t steals = 0;
     /** Parallel search: subproblems published for stealing. */
     int64_t subproblems = 0;
+    /** Nodes pruned by a recorded no-good (0 when disabled). */
+    int64_t nogoodHits = 0;
+    /** No-goods recorded into the store (0 when disabled). */
+    int64_t nogoodsRecorded = 0;
+    /** LNS destroy/repair iterations run (0 unless `lns` is on). */
+    int64_t lnsIterationsRun = 0;
+    /** LNS iterations that strictly improved the incumbent. */
+    int64_t lnsImprovements = 0;
     /** Per-propagator telemetry from the propagation engine. */
     std::vector<PropagatorStats> propagators;
 };

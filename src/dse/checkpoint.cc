@@ -98,18 +98,113 @@ stringOr(const Json &entry, const char *name)
 }
 
 /**
+ * Serialize a schedule compactly: scalars plus one fixed-layout
+ * array per phase (field order matters; see parseSchedule).
+ */
+Json
+scheduleJson(const Schedule &schedule)
+{
+    Json out = Json::object();
+    out.set("step_s", Json::number(schedule.stepS));
+    out.set("cpu_cores", Json::number(schedule.cpuCores));
+    Json devices = Json::array();
+    for (const std::string &name : schedule.deviceNames)
+        devices.append(Json::string(name));
+    out.set("devices", std::move(devices));
+    Json phases = Json::array();
+    for (const ScheduledPhase &phase : schedule.phases) {
+        Json row = Json::array();
+        row.append(Json::number(static_cast<int64_t>(phase.app)));
+        row.append(Json::number(static_cast<int64_t>(phase.phase)));
+        row.append(Json::string(phase.name));
+        row.append(Json::number(static_cast<int64_t>(phase.option)));
+        row.append(Json::string(phase.unitLabel));
+        row.append(Json::number(static_cast<int64_t>(phase.device)));
+        row.append(
+            Json::number(static_cast<int64_t>(phase.startStep)));
+        row.append(
+            Json::number(static_cast<int64_t>(phase.durationSteps)));
+        row.append(Json::number(phase.startS));
+        row.append(Json::number(phase.durationS));
+        row.append(Json::number(phase.powerW));
+        row.append(Json::number(phase.bwGBs));
+        row.append(Json::number(phase.cpuCores));
+        phases.append(std::move(row));
+    }
+    out.set("phases", std::move(phases));
+    return out;
+}
+
+/** Inverse of scheduleJson; false on any structural mismatch. */
+bool
+parseSchedule(const Json &entry, Schedule *out)
+{
+    if (!entry.isObject())
+        return false;
+    *out = Schedule{};
+    out->stepS = numberOr(entry, "step_s", 0.0);
+    out->cpuCores = numberOr(entry, "cpu_cores", 0.0);
+    const Json *devices = entry.find("devices");
+    if (devices && devices->isArray()) {
+        for (size_t i = 0; i < devices->size(); ++i) {
+            if (!devices->at(i).isString())
+                return false;
+            out->deviceNames.push_back(devices->at(i).stringValue());
+        }
+    }
+    const Json *phases = entry.find("phases");
+    if (!phases || !phases->isArray())
+        return false;
+    for (size_t i = 0; i < phases->size(); ++i) {
+        const Json &row = phases->at(i);
+        if (!row.isArray() || row.size() != 13)
+            return false;
+        for (size_t f = 0; f < row.size(); ++f)
+            if (f != 2 && f != 4 && !row.at(f).isNumber())
+                return false;
+        if (!row.at(2).isString() || !row.at(4).isString())
+            return false;
+        ScheduledPhase phase;
+        phase.app = static_cast<int>(row.at(0).intValue());
+        phase.phase = static_cast<int>(row.at(1).intValue());
+        phase.name = row.at(2).stringValue();
+        phase.option = static_cast<int>(row.at(3).intValue());
+        phase.unitLabel = row.at(4).stringValue();
+        phase.device = static_cast<int>(row.at(5).intValue());
+        phase.startStep = static_cast<cp::Time>(row.at(6).intValue());
+        phase.durationSteps =
+            static_cast<cp::Time>(row.at(7).intValue());
+        phase.startS = row.at(8).numberValue();
+        phase.durationS = row.at(9).numberValue();
+        phase.powerW = row.at(10).numberValue();
+        phase.bwGBs = row.at(11).numberValue();
+        phase.cpuCores = row.at(12).numberValue();
+        out->phases.push_back(std::move(phase));
+    }
+    return true;
+}
+
+/**
  * Decode one JSONL record into (key, point). Returns false on any
  * structural problem - most importantly the torn final line a SIGKILL
  * can leave behind.
  */
 bool
-parseRecord(const std::string &line, uint64_t *key, DsePoint *point)
+parseRecord(const std::string &line, uint64_t *key, DsePoint *point,
+            Schedule *schedule, bool *has_schedule)
 {
     Json entry;
     if (!Json::parse(line, &entry) || !entry.isObject())
         return false;
     if (!parseKeyText(stringOr(entry, "key"), key))
         return false;
+
+    // The schedule is optional (older records and the analytic
+    // models have none); a malformed one degrades to "no schedule"
+    // rather than dropping the whole record.
+    *has_schedule = false;
+    if (const Json *sched = entry.find("schedule"))
+        *has_schedule = parseSchedule(*sched, schedule);
 
     *point = DsePoint{};
     if (!parseKeyText(stringOr(entry, "fingerprint"),
@@ -169,6 +264,7 @@ SweepCheckpoint::open(const std::string &path, bool resume,
     std::lock_guard<std::mutex> lock(mutex_);
     hilp_assert(!file_);
     entries_.clear();
+    schedules_.clear();
     bool torn_tail = false;
 
     if (resume) {
@@ -190,11 +286,18 @@ SweepCheckpoint::open(const std::string &path, bool resume,
                     }
                     uint64_t key;
                     DsePoint point;
+                    Schedule schedule;
+                    bool has_schedule = false;
                     if (!line.empty()) {
-                        if (parseRecord(line, &key, &point))
+                        if (parseRecord(line, &key, &point, &schedule,
+                                        &has_schedule)) {
                             entries_[key] = std::move(point);
-                        else
+                            if (has_schedule)
+                                schedules_[key] =
+                                    std::move(schedule);
+                        } else {
                             ++dropped;
+                        }
                     }
                     line.clear();
                 }
@@ -218,6 +321,7 @@ SweepCheckpoint::open(const std::string &path, bool resume,
             *error = format("cannot open checkpoint '%s' for writing",
                             path.c_str());
         entries_.clear();
+        schedules_.clear();
         return false;
     }
     // Seal a torn final line before appending, or the next record
@@ -246,9 +350,21 @@ SweepCheckpoint::lookup(uint64_t key, DsePoint *out) const
     return true;
 }
 
+bool
+SweepCheckpoint::lookupSchedule(uint64_t key, Schedule *out) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = schedules_.find(key);
+    if (it == schedules_.end())
+        return false;
+    *out = it->second;
+    return true;
+}
+
 void
 SweepCheckpoint::record(uint64_t key, ModelKind kind,
-                        const DsePoint &point)
+                        const DsePoint &point,
+                        const Schedule *schedule)
 {
     Json entry = Json::object();
     entry.set("key", Json::string(keyText(key)));
@@ -272,6 +388,8 @@ SweepCheckpoint::record(uint64_t key, ModelKind kind,
     entry.set("cache_hit", Json::boolean(point.cacheHit));
     entry.set("warm_start", Json::boolean(point.warmStarted));
     entry.set("pruned", Json::boolean(point.pruned));
+    if (schedule)
+        entry.set("schedule", scheduleJson(*schedule));
     std::string line = entry.dump();
     line += '\n';
 

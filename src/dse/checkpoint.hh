@@ -12,10 +12,11 @@
  * point completes, so a SIGKILL loses at most the in-flight points;
  * the loader tolerates (and drops) a torn final line.
  *
- * Resumed points restore the certified result and telemetry totals
- * but not the schedule itself (DsePoint does not carry one), so a
- * resumed point cannot seed warm-start chains - effort, never
- * correctness.
+ * Resumed points restore the certified result and telemetry totals;
+ * HILP records additionally persist their schedule, so a resumed
+ * point can still seed the sweep's warm-start chains (see
+ * lookupSchedule). A record without a schedule resumes fine - the
+ * chain just stays cold, costing effort, never correctness.
  */
 
 #ifndef HILP_DSE_CHECKPOINT_HH
@@ -28,6 +29,7 @@
 #include <unordered_map>
 
 #include "explore.hh"
+#include "hilp/schedule.hh"
 
 namespace hilp {
 namespace dse {
@@ -78,9 +80,19 @@ class SweepCheckpoint
 
     /**
      * Append a completed point and flush it to disk. Safe to call
-     * concurrently; each record lands as one complete line.
+     * concurrently; each record lands as one complete line. A
+     * non-null schedule is persisted with the record so a resumed
+     * sweep can rehydrate its warm-start chains (exploreSpace passes
+     * the HILP schedule; the analytic models pass null).
      */
-    void record(uint64_t key, ModelKind kind, const DsePoint &point);
+    void record(uint64_t key, ModelKind kind, const DsePoint &point,
+                const Schedule *schedule = nullptr);
+
+    /**
+     * The schedule persisted with a resumed point, if its record
+     * carried one. Returns false (leaving *out untouched) otherwise.
+     */
+    bool lookupSchedule(uint64_t key, Schedule *out) const;
 
     /** Close the underlying file early (the destructor also does). */
     void close();
@@ -88,6 +100,8 @@ class SweepCheckpoint
   private:
     mutable std::mutex mutex_;
     std::unordered_map<uint64_t, DsePoint> entries_;
+    /** Schedules restored from records that carried one. */
+    std::unordered_map<uint64_t, Schedule> schedules_;
     std::FILE *file_ = nullptr;
 };
 

@@ -127,7 +127,8 @@ evaluatePointBody(const arch::SocConfig &config,
 
     // A point a previous (interrupted) run already completed is
     // served from the checkpoint: the certified result comes back,
-    // only the schedule (which DsePoint does not carry) is gone.
+    // and a HILP record's persisted schedule stays available via
+    // lookupSchedule for the sweep's warm-start chains.
     if (options.checkpoint &&
         options.checkpoint->lookup(
             checkpointKey(point.fingerprint, config.name(), kind),
@@ -434,14 +435,16 @@ exploreSpace(const std::vector<arch::SocConfig> &configs,
     // Common completion path for both sweep modes: persist the point
     // to the checkpoint (skipping points that came FROM it, and
     // errored points, which deserve a fresh attempt on resume) and
-    // advance the progress heartbeat.
-    auto finishPoint = [&](size_t i) {
+    // advance the progress heartbeat. HILP chain workers pass the
+    // solved schedule so the record can rehydrate warm starts after
+    // a resume; everyone else passes null.
+    auto finishPoint = [&](size_t i, const Schedule *schedule) {
         const DsePoint &point = points[i];
         if (options.checkpoint && !point.resumed && !point.errored)
             options.checkpoint->record(
                 checkpointKey(point.fingerprint, configs[i].name(),
                               kind),
-                kind, point);
+                kind, point, schedule);
         heartbeat.tick(point.cacheHit || point.resumed);
     };
 
@@ -453,7 +456,7 @@ exploreSpace(const std::vector<arch::SocConfig> &configs,
             points[i] = evaluateGuarded(configs[i], workload,
                                         constraints, kind, options,
                                         nullptr, nullptr);
-            finishPoint(i);
+            finishPoint(i, nullptr);
         });
         return points;
     }
@@ -481,15 +484,28 @@ exploreSpace(const std::vector<arch::SocConfig> &configs,
             points[idx] = evaluateGuarded(configs[idx], workload,
                                           constraints, kind, options,
                                           &reuse, &schedule);
-            finishPoint(idx);
+            finishPoint(idx,
+                        points[idx].ok && !points[idx].resumed &&
+                                !schedule.phases.empty()
+                            ? &schedule
+                            : nullptr);
             if (points[idx].ok) {
                 bound.add(area, points[idx].makespanS);
-                // A checkpoint-resumed point restores the result but
-                // not the schedule, so it cannot seed the chain's
-                // warm start; the previous hint stays live.
                 if (!points[idx].resumed) {
                     hint = std::move(schedule);
                     have_hint = true;
+                } else if (options.checkpoint &&
+                           options.checkpoint->lookupSchedule(
+                               checkpointKey(points[idx].fingerprint,
+                                             configs[idx].name(),
+                                             kind),
+                               &hint)) {
+                    // A resumed point whose record carried its
+                    // schedule still seeds the chain: the rehydrated
+                    // schedule warm-starts the next configuration as
+                    // if this run had solved the point itself.
+                    have_hint = true;
+                    metrics::counter("dse.chain.rehydrated").add(1);
                 }
             }
         }

@@ -6,8 +6,9 @@
 #include <limits>
 
 #include "cp/list_scheduler.hh"
-
+#include "cp/lns.hh"
 #include "cp/profile.hh"
+#include "support/hash.hh"
 #include "support/logging.hh"
 #include "support/metrics.hh"
 #include "support/trace.hh"
@@ -44,10 +45,41 @@ SolveMemo::lookup(uint64_t key, EvalResult *out) const
 namespace {
 
 /**
+ * Structural digest of a result's content, for the final memo
+ * tiebreak: two results that differ anywhere a caller can observe
+ * digest differently (up to 64-bit collisions, which merely keep the
+ * incumbent).
+ */
+uint64_t
+resultDigest(const EvalResult &result)
+{
+    Hasher hasher;
+    hasher.boolean(result.ok);
+    hasher.i64(static_cast<int64_t>(result.status));
+    hasher.f64(result.stepS);
+    hasher.f64(result.makespanS);
+    hasher.f64(result.lowerBoundS);
+    for (const ScheduledPhase &phase : result.schedule.phases) {
+        hasher.i64(phase.app);
+        hasher.i64(phase.phase);
+        hasher.i64(phase.option);
+        hasher.i64(phase.startStep);
+        hasher.i64(phase.durationSteps);
+    }
+    return hasher.digest();
+}
+
+/**
  * Strict quality order for memo entries: a feasible result beats an
  * infeasible one, then a smaller certified gap wins, then a
- * non-degraded result beats a degraded one. Everything else (effort,
- * resolution) is not quality and never justifies replacement.
+ * non-degraded result beats a degraded one. Effort and resolution
+ * are not quality — but equal-rank entries must still resolve
+ * deterministically (a parallel sweep races equal-rank inserts, and
+ * "first insertion wins" would make the surviving entry depend on
+ * the thread interleaving), so ranking falls through to a total
+ * order on content: smaller makespan, then tighter bound, then
+ * finer step, then the structural digest. Exact content ties keep
+ * the incumbent, which is then the same entry either way.
  */
 bool
 betterResult(const EvalResult &candidate, const EvalResult &incumbent)
@@ -56,7 +88,15 @@ betterResult(const EvalResult &candidate, const EvalResult &incumbent)
         return candidate.ok;
     if (candidate.gap != incumbent.gap)
         return candidate.gap < incumbent.gap;
-    return !candidate.degraded && incumbent.degraded;
+    if (candidate.degraded != incumbent.degraded)
+        return !candidate.degraded;
+    if (candidate.makespanS != incumbent.makespanS)
+        return candidate.makespanS < incumbent.makespanS;
+    if (candidate.lowerBoundS != incumbent.lowerBoundS)
+        return candidate.lowerBoundS > incumbent.lowerBoundS;
+    if (candidate.stepS != incumbent.stepS)
+        return candidate.stepS < incumbent.stepS;
+    return resultDigest(candidate) < resultDigest(incumbent);
 }
 
 } // anonymous namespace
@@ -378,6 +418,29 @@ listSchedulerFallback(const ProblemSpec &spec, double step_s,
             continue; // Horizon too tight; coarsen and retry.
         cp::LowerBounds bounds =
             cp::computeLowerBounds(problem.model, false);
+        if (options.fallbackLnsIterations > 0) {
+            // The degradation tier between "return the incumbent"
+            // and raw greedy: a short, strictly-bounded LNS pass
+            // tightens the greedy schedule. Monotone, so the result
+            // replaces it unconditionally.
+            cp::LnsOptions lns;
+            lns.iterations = options.fallbackLnsIterations;
+            lns.maxSeconds = 0.25;
+            lns.seed = options.solver.seed + 3;
+            lns.polishNodes = 512;
+            lns.targetGap = options.solver.targetGap;
+            lns.lowerBound = bounds.best();
+            lns.useNogoods = options.solver.useNogoods;
+            cp::LnsResult polished =
+                cp::lnsImprove(problem.model, greedy.schedule, lns);
+            greedy.schedule = polished.schedule;
+            greedy.makespan = polished.makespan;
+            metrics::counter("hilp.fallback.lns").add(1);
+            metrics::counter("cp.lns.iterations")
+                .add(polished.iterations);
+            metrics::counter("cp.lns.improvements")
+                .add(polished.improvements);
+        }
         eval.ok = true;
         eval.status = cp::SolveStatus::Feasible;
         eval.stepS = step;

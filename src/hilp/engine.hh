@@ -58,6 +58,16 @@ struct EngineOptions
      * 0 (the default) means no ceiling.
      */
     double pointTimeoutS = 0.0;
+    /**
+     * Destroy/repair LNS iterations (see cp/lns.hh) polishing the
+     * list-scheduler fallback's greedy schedule - the degradation
+     * tier between "return the incumbent" and "raw greedy": when a
+     * deadline expires with no solver incumbent, a short LNS pass
+     * tightens the greedy schedule before it is certified and
+     * returned. Monotone (never returns a worse schedule), so it is
+     * on by default; 0 disables it.
+     */
+    int fallbackLnsIterations = 64;
 
     /**
      * The paper's validation-mode parameters (Section III-D): 2 s
@@ -138,7 +148,11 @@ class SolveMemo
      * a larger one, and a non-degraded result beats a degraded one of
      * equal gap - so an early timed-out or high-gap result cannot
      * shadow a later solve of the same spec that proves (near-)
-     * optimality. Equal-quality results keep the first insertion.
+     * optimality. Results of equal rank fall through to a total
+     * order on content (makespan, then bound, then step, then a
+     * structural digest), so the surviving entry is independent of
+     * the thread interleaving that inserted them - a parallel sweep
+     * memoizes reproducibly.
      */
     void insert(uint64_t key, const EvalResult &result);
 

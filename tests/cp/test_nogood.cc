@@ -1,0 +1,194 @@
+/**
+ * @file
+ * No-good store unit tests plus randomized differential soundness
+ * checks: the search with no-good pruning enabled must reach exactly
+ * the same certified optima as the plain exhaustive search, on the
+ * same instances, across many random models.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cp/model.hh"
+#include "cp/nogood.hh"
+#include "cp/search.hh"
+#include "cp/solver.hh"
+#include "support/random.hh"
+
+namespace hilp {
+namespace cp {
+namespace {
+
+TEST(Nogood, LookupOnEmptyStoreMisses)
+{
+    NogoodStore store(1024);
+    EXPECT_EQ(store.lookup(nogoodCode(0, 0, 0)), NogoodStore::kNoBound);
+    EXPECT_EQ(store.size(), 0);
+}
+
+TEST(Nogood, RecordThenLookupReturnsBound)
+{
+    NogoodStore store(1024);
+    uint64_t key = nogoodCode(3, 1, 7);
+    store.record(key, 42, 5);
+    EXPECT_EQ(store.lookup(key), 42);
+    EXPECT_EQ(store.size(), 1);
+}
+
+TEST(Nogood, RecordStrengthensExistingBound)
+{
+    NogoodStore store(1024);
+    uint64_t key = nogoodCode(1, 0, 2);
+    store.record(key, 10, 3);
+    store.record(key, 15, 3); // Stronger (higher) bound wins.
+    EXPECT_EQ(store.lookup(key), 15);
+    store.record(key, 5, 3); // Weaker bound must not regress it.
+    EXPECT_EQ(store.lookup(key), 15);
+    EXPECT_EQ(store.size(), 1);
+}
+
+TEST(Nogood, CodesDifferAcrossPlacements)
+{
+    std::set<uint64_t> codes;
+    for (int task = 0; task < 8; ++task)
+        for (int mode = 0; mode < 3; ++mode)
+            for (Time start = 0; start < 16; ++start)
+                codes.insert(nogoodCode(task, mode, start));
+    EXPECT_EQ(codes.size(), 8u * 3u * 16u);
+}
+
+TEST(Nogood, EvictionDropsDeepestEntryInFullBucket)
+{
+    // The store is 4-way set-associative on the low key bits; five
+    // crafted keys sharing a bucket overflow it, and the victim is
+    // the deepest (largest placed count) entry - shallow no-goods
+    // prune bigger subtrees and are worth keeping.
+    NogoodStore store(1024); // 256 buckets, mask 0xff.
+    auto key = [](uint64_t i) { return (i << 8) | 0x3f; };
+    store.record(key(1), 10, 1);
+    store.record(key(2), 11, 2);
+    store.record(key(3), 12, 9); // Deepest: the eviction victim.
+    store.record(key(4), 13, 4);
+    EXPECT_EQ(store.size(), 4);
+    store.record(key(5), 14, 5);
+    EXPECT_EQ(store.size(), 4);
+    EXPECT_EQ(store.lookup(key(3)), NogoodStore::kNoBound);
+    EXPECT_EQ(store.lookup(key(1)), 10);
+    EXPECT_EQ(store.lookup(key(2)), 11);
+    EXPECT_EQ(store.lookup(key(4)), 13);
+    EXPECT_EQ(store.lookup(key(5)), 14);
+}
+
+/** A contended multi-mode instance (same shape as the solver tests). */
+Model
+contendedModel(int tasks, uint64_t seed)
+{
+    Model m;
+    m.addResource(4.0, "power");
+    int g0 = m.addGroup("G0");
+    int g1 = m.addGroup("G1");
+    Rng rng(seed);
+    for (int i = 0; i < tasks; ++i) {
+        Task t;
+        t.name = "t" + std::to_string(i);
+        t.modes.push_back({kNoGroup,
+                           static_cast<Time>(rng.uniformInt(3, 6)),
+                           {1.0}});
+        t.modes.push_back({rng.chance(0.5) ? g0 : g1,
+                           static_cast<Time>(rng.uniformInt(1, 3)),
+                           {2.0}});
+        m.addTask(t);
+        if (i > 0 && rng.chance(0.4))
+            m.addPrecedence(static_cast<int>(rng.uniformInt(0, i - 1)),
+                            i);
+    }
+    m.setHorizon(200);
+    return m;
+}
+
+SolverOptions
+exactOptions(bool nogoods)
+{
+    SolverOptions options;
+    options.targetGap = 0.0;
+    options.maxSeconds = 20.0;
+    options.useNogoods = nogoods;
+    return options;
+}
+
+/**
+ * The soundness differential: on instances the plain search proves
+ * optimal, the no-good search must prove the same optimum - a
+ * learned bound that pruned the optimal branch would surface here as
+ * a worse makespan or a lost Optimal status.
+ */
+class NogoodDiff : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(NogoodDiff, NeverPrunesTheCertifiedOptimum)
+{
+    Model m = contendedModel(8, GetParam() * 977 + 11);
+    Result plain = Solver(exactOptions(false)).solve(m);
+    Result learned = Solver(exactOptions(true)).solve(m);
+    ASSERT_EQ(plain.status, SolveStatus::Optimal);
+    EXPECT_EQ(learned.status, SolveStatus::Optimal);
+    EXPECT_EQ(learned.makespan, plain.makespan);
+    EXPECT_TRUE(checkSchedule(m, learned.schedule).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, NogoodDiff,
+                         ::testing::Range<uint64_t>(1, 21));
+
+TEST(Nogood, SerialSearchWithNogoodsIsDeterministic)
+{
+    Model m = contendedModel(10, 12345);
+    SolverOptions options = exactOptions(true);
+    Result a = Solver(options).solve(m);
+    Result b = Solver(options).solve(m);
+    ASSERT_TRUE(a.hasSchedule());
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.stats.nodes, b.stats.nodes);
+    EXPECT_EQ(a.stats.backtracks, b.stats.backtracks);
+    EXPECT_EQ(a.stats.nogoodHits, b.stats.nogoodHits);
+    EXPECT_EQ(a.stats.nogoodsRecorded, b.stats.nogoodsRecorded);
+}
+
+TEST(Nogood, TranspositionRichSearchRecordsAndHits)
+{
+    // Many interchangeable tasks contending for two devices: the
+    // tree revisits placement sets in different orders, which is
+    // exactly what the store prunes.
+    Model m = contendedModel(12, 999);
+    SearchLimits limits;
+    limits.maxNodes = 200000;
+    limits.maxSeconds = 20.0;
+    limits.useNogoods = true;
+    SearchResult learned = branchAndBound(m, nullptr, limits);
+    ASSERT_TRUE(learned.foundSolution);
+    EXPECT_GT(learned.nogoodsRecorded, 0);
+    EXPECT_GT(learned.nogoodHits, 0);
+
+    // Same limits without the store: identical conclusion.
+    limits.useNogoods = false;
+    SearchResult plain = branchAndBound(m, nullptr, limits);
+    ASSERT_TRUE(plain.foundSolution);
+    EXPECT_EQ(plain.nogoodHits, 0);
+    EXPECT_EQ(plain.nogoodsRecorded, 0);
+    if (plain.exhausted && learned.exhausted)
+        EXPECT_EQ(learned.bestMakespan, plain.bestMakespan);
+}
+
+TEST(Nogood, DisabledByDefault)
+{
+    Model m = contendedModel(6, 7);
+    Result r = Solver(exactOptions(false)).solve(m);
+    EXPECT_EQ(r.stats.nogoodHits, 0);
+    EXPECT_EQ(r.stats.nogoodsRecorded, 0);
+}
+
+} // anonymous namespace
+} // namespace cp
+} // namespace hilp

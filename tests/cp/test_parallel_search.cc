@@ -10,8 +10,11 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <string>
 #include <vector>
 
+#include "cp/list_scheduler.hh"
 #include "cp/model.hh"
 #include "cp/search.hh"
 #include "support/random.hh"
@@ -326,6 +329,159 @@ TEST(ParallelSearch, TerminationStressOnTinyTrees)
             branchAndBound(infeasible, nullptr, limits);
         ASSERT_FALSE(inf.foundSolution);
         ASSERT_TRUE(inf.exhausted);
+    }
+}
+
+/**
+ * No-good differential under concurrency: the shared store (and the
+ * private per-worker stores of deterministic mode) must not change
+ * any proven optimum or exhaustion verdict at any thread count. A
+ * racy publication or an unsound shared bound shows up here - and
+ * under TSan, which runs this binary - as a wrong makespan.
+ */
+class NogoodParallelDiff : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(NogoodParallelDiff, MatchesSerialOptimumWithSharedStore)
+{
+    Model m = randomModel(GetParam() * 37 + 7);
+    SearchResult serial = branchAndBound(m, nullptr,
+                                         exhaustiveLimits());
+    ASSERT_TRUE(serial.exhausted);
+
+    for (int threads : {2, 8}) {
+        for (bool deterministic : {false, true}) {
+            SearchLimits limits = exhaustiveLimits();
+            limits.threads = threads;
+            limits.deterministic = deterministic;
+            limits.useNogoods = true;
+            SearchResult par = branchAndBound(m, nullptr, limits);
+            SCOPED_TRACE(::testing::Message()
+                         << "threads=" << threads
+                         << " deterministic=" << deterministic);
+            EXPECT_EQ(par.foundSolution, serial.foundSolution);
+            EXPECT_EQ(par.exhausted, serial.exhausted);
+            if (serial.foundSolution) {
+                EXPECT_EQ(par.bestMakespan, serial.bestMakespan);
+                EXPECT_EQ(checkSchedule(m, par.best), "");
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NogoodParallelDiff,
+                         ::testing::Range<uint64_t>(1, 9));
+
+TEST(ParallelSearch, DeterministicModeWithNogoodsIsReproducible)
+{
+    // Deterministic mode keeps its reproducibility promise with
+    // learning on: stores are private per worker, so node counts and
+    // no-good telemetry must repeat exactly.
+    Model m = randomModel(3);
+    SearchLimits limits = exhaustiveLimits();
+    limits.threads = 4;
+    limits.deterministic = true;
+    limits.useNogoods = true;
+    SearchResult first = branchAndBound(m, nullptr, limits);
+    for (int run = 0; run < 3; ++run) {
+        SearchResult again = branchAndBound(m, nullptr, limits);
+        EXPECT_EQ(again.foundSolution, first.foundSolution);
+        EXPECT_EQ(again.exhausted, first.exhausted);
+        EXPECT_EQ(again.bestMakespan, first.bestMakespan);
+        EXPECT_EQ(again.nodes, first.nodes);
+        EXPECT_EQ(again.nogoodHits, first.nogoodHits);
+        EXPECT_EQ(again.nogoodsRecorded, first.nogoodsRecorded);
+    }
+}
+
+/** A big contended instance no 8-worker run finishes in 100 ms. */
+Model
+hardModel(int tasks, uint64_t seed)
+{
+    Model m;
+    m.addResource(4.0, "power");
+    int g0 = m.addGroup("G0");
+    int g1 = m.addGroup("G1");
+    Rng rng(seed);
+    for (int i = 0; i < tasks; ++i) {
+        Task t;
+        t.name = "t" + std::to_string(i);
+        t.modes.push_back({kNoGroup,
+                           static_cast<Time>(rng.uniformInt(3, 6)),
+                           {1.0}});
+        t.modes.push_back({rng.chance(0.5) ? g0 : g1,
+                           static_cast<Time>(rng.uniformInt(1, 3)),
+                           {2.0}});
+        m.addTask(t);
+        if (i > 0 && rng.chance(0.4))
+            m.addPrecedence(static_cast<int>(rng.uniformInt(0, i - 1)),
+                            i);
+    }
+    m.setHorizon(200);
+    return m;
+}
+
+/**
+ * Mid-flight deadline-cut stress (the satellite bugfix): with eight
+ * workers deep in a large tree, an expiring deadline must cut every
+ * loop - subtree walks, the steal/backoff wait, and deterministic
+ * mode's between-subproblem boundary - promptly, and the run must
+ * still publish the best cross-worker incumbent. Before the fix,
+ * workers parked in waitForWork spun past the deadline and runs
+ * could hang until maxSeconds.
+ */
+TEST(ParallelSearch, DeadlineCutsEightWorkerSearchMidFlight)
+{
+    using Clock = std::chrono::steady_clock;
+    Model m = hardModel(18, 4242);
+    ListResult greedy = bestGreedy(m, 4, 1);
+    ASSERT_TRUE(greedy.feasible);
+
+    for (bool deterministic : {false, true}) {
+        SCOPED_TRACE(deterministic);
+        SearchLimits limits;
+        limits.threads = 8;
+        limits.maxNodes = 1'000'000'000;
+        limits.maxSeconds = 120.0;
+        limits.deadline = Clock::now() +
+                          std::chrono::milliseconds(100);
+        limits.deterministic = deterministic;
+        Clock::time_point t0 = Clock::now();
+        SearchResult r = branchAndBound(m, &greedy.schedule, limits);
+        double elapsed = std::chrono::duration<double>(
+            Clock::now() - t0).count();
+        // Generous margin over the 100 ms budget: the cut only has
+        // to beat the 120 s fallback, not be instant, but anything
+        // past a few seconds means some loop ignored the deadline.
+        EXPECT_LT(elapsed, 10.0);
+        ASSERT_TRUE(r.foundSolution);
+        EXPECT_LE(r.bestMakespan, greedy.makespan);
+        EXPECT_EQ(checkSchedule(m, r.best), "");
+    }
+}
+
+TEST(ParallelSearch, AlreadyExpiredDeadlineStillReturnsIncumbent)
+{
+    using Clock = std::chrono::steady_clock;
+    Model m = hardModel(14, 99);
+    ListResult greedy = bestGreedy(m, 4, 1);
+    ASSERT_TRUE(greedy.feasible);
+
+    for (bool deterministic : {false, true}) {
+        SCOPED_TRACE(deterministic);
+        SearchLimits limits;
+        limits.threads = 8;
+        limits.deadline = Clock::now();
+        limits.deterministic = deterministic;
+        Clock::time_point t0 = Clock::now();
+        SearchResult r = branchAndBound(m, &greedy.schedule, limits);
+        double elapsed = std::chrono::duration<double>(
+            Clock::now() - t0).count();
+        EXPECT_LT(elapsed, 10.0);
+        ASSERT_TRUE(r.foundSolution);
+        EXPECT_FALSE(r.exhausted);
+        EXPECT_LE(r.bestMakespan, greedy.makespan);
+        EXPECT_EQ(checkSchedule(m, r.best), "");
     }
 }
 

@@ -113,6 +113,124 @@ TEST_F(Checkpoint, RecordsRoundTripThroughResume)
     EXPECT_FALSE(resumed.lookup(33, &restored));
 }
 
+Schedule
+sampleSchedule()
+{
+    Schedule schedule;
+    schedule.stepS = 2.0;
+    schedule.cpuCores = 4.0;
+    schedule.deviceNames = {"GPU", "DSA.KM"};
+    ScheduledPhase a;
+    a.app = 0;
+    a.phase = 1;
+    a.name = "HS.compute";
+    a.option = 2;
+    a.unitLabel = "GPU@765";
+    a.device = 0;
+    a.startStep = 3;
+    a.durationSteps = 5;
+    a.startS = 6.0;
+    a.durationS = 10.0;
+    a.powerW = 12.5;
+    a.bwGBs = 3.25;
+    a.cpuCores = 0.5;
+    schedule.phases.push_back(a);
+    ScheduledPhase b;
+    b.app = 1;
+    b.phase = 0;
+    b.name = "KM.assign";
+    b.option = 0;
+    b.unitLabel = "DSA.KM";
+    b.device = 1;
+    b.startStep = 0;
+    b.durationSteps = 2;
+    b.startS = 0.0;
+    b.durationS = 4.0;
+    b.powerW = 2.0;
+    b.bwGBs = 1.0;
+    b.cpuCores = 0.0;
+    schedule.phases.push_back(b);
+    return schedule;
+}
+
+TEST_F(Checkpoint, ScheduleRoundTripsThroughResume)
+{
+    Schedule schedule = sampleSchedule();
+    {
+        SweepCheckpoint checkpoint;
+        ASSERT_TRUE(checkpoint.open(path_, false));
+        checkpoint.record(11, ModelKind::Hilp, samplePoint(2.0),
+                          &schedule);
+        // The analytic models record without a schedule.
+        checkpoint.record(22, ModelKind::MultiAmdahl,
+                          samplePoint(3.0));
+    }
+
+    SweepCheckpoint resumed;
+    ASSERT_TRUE(resumed.open(path_, true));
+    EXPECT_EQ(resumed.loaded(), 2u);
+
+    Schedule restored;
+    ASSERT_TRUE(resumed.lookupSchedule(11, &restored));
+    EXPECT_DOUBLE_EQ(restored.stepS, schedule.stepS);
+    EXPECT_DOUBLE_EQ(restored.cpuCores, schedule.cpuCores);
+    ASSERT_EQ(restored.deviceNames, schedule.deviceNames);
+    ASSERT_EQ(restored.phases.size(), schedule.phases.size());
+    for (size_t i = 0; i < schedule.phases.size(); ++i) {
+        const ScheduledPhase &want = schedule.phases[i];
+        const ScheduledPhase &got = restored.phases[i];
+        EXPECT_EQ(got.app, want.app) << i;
+        EXPECT_EQ(got.phase, want.phase) << i;
+        EXPECT_EQ(got.name, want.name) << i;
+        EXPECT_EQ(got.option, want.option) << i;
+        EXPECT_EQ(got.unitLabel, want.unitLabel) << i;
+        EXPECT_EQ(got.device, want.device) << i;
+        EXPECT_EQ(got.startStep, want.startStep) << i;
+        EXPECT_EQ(got.durationSteps, want.durationSteps) << i;
+        EXPECT_DOUBLE_EQ(got.startS, want.startS) << i;
+        EXPECT_DOUBLE_EQ(got.durationS, want.durationS) << i;
+        EXPECT_DOUBLE_EQ(got.powerW, want.powerW) << i;
+        EXPECT_DOUBLE_EQ(got.bwGBs, want.bwGBs) << i;
+        EXPECT_DOUBLE_EQ(got.cpuCores, want.cpuCores) << i;
+    }
+
+    // The schedule-less record resumes fine but serves no schedule,
+    // and the restored point itself is unaffected either way.
+    EXPECT_FALSE(resumed.lookupSchedule(22, &restored));
+    DsePoint point;
+    ASSERT_TRUE(resumed.lookup(11, &point));
+    EXPECT_DOUBLE_EQ(point.makespanS, 2.0);
+    ASSERT_TRUE(resumed.lookup(22, &point));
+    EXPECT_DOUBLE_EQ(point.makespanS, 3.0);
+}
+
+TEST_F(Checkpoint, MalformedScheduleDegradesToNoSchedule)
+{
+    {
+        SweepCheckpoint checkpoint;
+        ASSERT_TRUE(checkpoint.open(path_, false));
+        checkpoint.record(1, ModelKind::Hilp, samplePoint(1.0));
+    }
+    // A hand-damaged record whose schedule member is garbage: the
+    // point must still resume (losing the warm start costs effort,
+    // not correctness), the schedule lookup must miss.
+    std::FILE *file = std::fopen(path_.c_str(), "a");
+    ASSERT_NE(file, nullptr);
+    std::fputs("{\"key\":\"0000000000000002\",\"kind\":\"HILP\","
+               "\"ok\":true,\"makespan_s\":4.0,"
+               "\"schedule\":{\"phases\":[[1,2]]}}\n", file);
+    std::fclose(file);
+
+    SweepCheckpoint resumed;
+    ASSERT_TRUE(resumed.open(path_, true));
+    EXPECT_EQ(resumed.loaded(), 2u);
+    DsePoint point;
+    ASSERT_TRUE(resumed.lookup(2, &point));
+    EXPECT_TRUE(point.ok);
+    Schedule restored;
+    EXPECT_FALSE(resumed.lookupSchedule(2, &restored));
+}
+
 TEST_F(Checkpoint, TornFinalLineIsDroppedNotFatal)
 {
     {

@@ -177,6 +177,69 @@ TEST(SolveMemo, SolvedResultReplacesAFailedEntry)
     EXPECT_TRUE(out.ok);
 }
 
+TEST(SolveMemo, EqualRankTiebreakIsInsertOrderIndependent)
+{
+    // Two ok results of identical rank (gap, degraded) but different
+    // makespans: the same entry must survive whichever insert order
+    // the sweep's threads happen to race into. Before the content
+    // tiebreak, equal-rank inserts kept whoever landed first, so a
+    // parallel sweep's memo depended on thread interleaving.
+    EvalResult a;
+    a.ok = true;
+    a.makespanS = 2.0;
+    a.gap = 0.05;
+    EvalResult b = a;
+    b.makespanS = 2.5;
+
+    EvalResult out;
+    SolveMemo ab;
+    ab.insert(3, a);
+    ab.insert(3, b);
+    ASSERT_TRUE(ab.lookup(3, &out));
+    EXPECT_DOUBLE_EQ(out.makespanS, 2.0);
+
+    SolveMemo ba;
+    ba.insert(3, b);
+    ba.insert(3, a);
+    ASSERT_TRUE(ba.lookup(3, &out));
+    EXPECT_DOUBLE_EQ(out.makespanS, 2.0);
+}
+
+TEST(SolveMemo, StructuralDigestBreaksExactScalarTies)
+{
+    // Same scalars, different schedules: the structural digest picks
+    // one winner, the same one in both orders.
+    EvalResult a;
+    a.ok = true;
+    a.makespanS = 2.0;
+    a.gap = 0.05;
+    EvalResult b = a;
+    ScheduledPhase phase;
+    phase.app = 0;
+    phase.phase = 0;
+    phase.option = 1;
+    a.schedule.phases.push_back(phase);
+    phase.option = 2;
+    b.schedule.phases.push_back(phase);
+
+    EvalResult ab_out;
+    SolveMemo ab;
+    ab.insert(5, a);
+    ab.insert(5, b);
+    ASSERT_TRUE(ab.lookup(5, &ab_out));
+
+    EvalResult ba_out;
+    SolveMemo ba;
+    ba.insert(5, b);
+    ba.insert(5, a);
+    ASSERT_TRUE(ba.lookup(5, &ba_out));
+
+    ASSERT_EQ(ab_out.schedule.phases.size(), 1u);
+    ASSERT_EQ(ba_out.schedule.phases.size(), 1u);
+    EXPECT_EQ(ab_out.schedule.phases[0].option,
+              ba_out.schedule.phases[0].option);
+}
+
 TEST(SolveMemo, NonDegradedResultReplacesADegradedTwin)
 {
     SolveMemo memo;
