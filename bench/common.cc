@@ -7,11 +7,14 @@
 
 #include "dse/checkpoint.hh"
 #include "dse/pareto.hh"
+#include "service/client.hh"
+#include "service/eval_service.hh"
 #include "support/logging.hh"
 #include "support/metrics.hh"
 #include "support/str.hh"
 #include "support/table.hh"
 #include "support/trace.hh"
+#include "support/version.hh"
 
 namespace hilp {
 namespace bench {
@@ -28,6 +31,10 @@ double g_point_timeout_s = 0.0;
 bool g_fail_fast = false;
 bool g_nogoods = false;
 bool g_lns = false;
+std::string g_connect;
+bool g_no_reuse = false;
+size_t g_max_configs = 0;
+size_t g_memo_bytes = 0;
 
 void
 dumpTelemetry()
@@ -83,7 +90,26 @@ initHarness(int *argc, char **argv)
             g_nogoods = true;
         else if (std::strcmp(arg, "--lns") == 0)
             g_lns = true;
-        else
+        else if (std::strncmp(arg, "--connect=", 10) == 0)
+            g_connect = arg + 10;
+        else if (std::strcmp(arg, "--no-reuse") == 0)
+            g_no_reuse = true;
+        else if (std::strncmp(arg, "--max-configs=", 14) == 0)
+            g_max_configs =
+                static_cast<size_t>(std::atoll(arg + 14));
+        else if (std::strncmp(arg, "--memo-bytes=", 13) == 0) {
+            char *end = nullptr;
+            g_memo_bytes = std::strtoull(arg + 13, &end, 10);
+            if (*end == 'K' || *end == 'k')
+                g_memo_bytes <<= 10;
+            else if (*end == 'M' || *end == 'm')
+                g_memo_bytes <<= 20;
+            else if (*end == 'G' || *end == 'g')
+                g_memo_bytes <<= 30;
+        } else if (std::strcmp(arg, "--version") == 0) {
+            std::printf("%s\n", versionString().c_str());
+            std::exit(0);
+        } else
             argv[kept++] = argv[i];
     }
     *argc = kept;
@@ -129,6 +155,24 @@ bool
 useLns()
 {
     return g_lns;
+}
+
+const std::string &
+connectAddress()
+{
+    return g_connect;
+}
+
+bool
+noReuse()
+{
+    return g_no_reuse;
+}
+
+size_t
+maxConfigs()
+{
+    return g_max_configs;
 }
 
 dse::SweepCheckpoint *
@@ -206,6 +250,81 @@ paperDesignSpace(double advantage)
     arch::DesignSpace space;
     space.dsaAdvantage = advantage;
     return enumerateDesignSpace(space, workload::dsaPriorityOrder());
+}
+
+std::vector<dse::DsePoint>
+runSweep(const std::vector<arch::SocConfig> &configs,
+         const workload::Workload &wl,
+         const arch::Constraints &constraints, dse::ModelKind kind,
+         dse::DseOptions options, workload::Variant variant,
+         int copies, double advantage)
+{
+    options.reuse = !g_no_reuse;
+    options.engine.memoMaxBytes = g_memo_bytes;
+
+    if (g_connect.empty()) {
+        // In-process: route through the process-wide EvalService so
+        // consecutive sweeps of one binary share its memo and
+        // warm-start store, exactly like a warm daemon would.
+        static service::EvalService evalService(
+            [] {
+                service::ServiceOptions service_options;
+                if (g_memo_bytes > 0)
+                    service_options.memoMaxBytes = g_memo_bytes;
+                return service_options;
+            }());
+        service::SweepRequest request;
+        request.configs = configs;
+        request.workload = wl;
+        request.constraints = constraints;
+        request.kind = kind;
+        request.options = options;
+        request.options.checkpoint = sweepCheckpoint();
+        return evalService.sweep(request);
+    }
+
+    // Daemon mode: the sweep runs inside hilpd; results stream back
+    // per point in the checkpoint record format. A --checkpoint file
+    // captures the raw record stream, so it doubles as a --resume
+    // file for a later in-process run.
+    static service::ServiceClient client;
+    std::string error;
+    if (!client.connected() &&
+        !client.connect(g_connect, &error))
+        fatal("--connect %s: %s", g_connect.c_str(), error.c_str());
+
+    service::protocol::Request request;
+    request.op = configs.size() == 1 ? service::protocol::Op::Eval
+                                     : service::protocol::Op::Sweep;
+    request.variant = variant;
+    request.copies = copies;
+    request.dsaAdvantage = advantage;
+    request.constraints = constraints;
+    request.kind = kind;
+    request.options = options;
+
+    std::FILE *capture = nullptr;
+    if (!g_checkpoint_path.empty()) {
+        capture = std::fopen(g_checkpoint_path.c_str(), "a");
+        if (!capture)
+            warn("cannot open checkpoint capture '%s'",
+                 g_checkpoint_path.c_str());
+    }
+    std::vector<dse::DsePoint> points;
+    bool ok = client.sweep(
+        request, configs, &points, &error,
+        [&](const std::string &line) {
+            if (!capture)
+                return;
+            std::fwrite(line.data(), 1, line.size(), capture);
+            std::fputc('\n', capture);
+            std::fflush(capture);
+        });
+    if (capture)
+        std::fclose(capture);
+    if (!ok)
+        fatal("daemon sweep failed: %s", error.c_str());
+    return points;
 }
 
 std::vector<dse::DsePoint>

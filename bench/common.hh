@@ -55,6 +55,19 @@ namespace bench {
  *                       with destroy/repair large-neighborhood
  *                       search (see cp/lns.hh) when tightening the
  *                       greedy incumbent.
+ *   --connect=ADDR      route sweeps to a running hilpd daemon at
+ *                       ADDR (unix:/path or tcp:host:port) instead
+ *                       of evaluating in-process; see runSweep().
+ *   --no-reuse          run every solve cold (disable warm-start
+ *                       chains, the solve cache, and dominance
+ *                       pruning) in runSweep sweeps.
+ *   --max-configs=N     truncate runSweep design spaces to their
+ *                       first N configurations (smoke runs / CI).
+ *   --memo-bytes=N      byte cap (K/M/G suffixes accepted) for the
+ *                       solve memo of in-process sweeps; 0 = the
+ *                       historical unbounded cache.
+ *   --version           print the build version (git describe +
+ *                       build type) and exit.
  *
  * Both dumps run through atexit so they capture everything, including
  * the google-benchmark timing loops at the end of main.
@@ -78,6 +91,15 @@ bool useNogoods();
 
 /** True when --lns was passed. */
 bool useLns();
+
+/** The --connect address ("" = evaluate in-process). */
+const std::string &connectAddress();
+
+/** True when --no-reuse was passed. */
+bool noReuse();
+
+/** The --max-configs value (0 = the full design space). */
+size_t maxConfigs();
 
 /**
  * The process-wide sweep checkpoint, opened lazily from --checkpoint
@@ -107,6 +129,24 @@ dse::DseOptions explorationOptions(double solver_seconds = 1.0);
 
 /** The Section VI design space (372 configs) for a DSA advantage. */
 std::vector<arch::SocConfig> paperDesignSpace(double advantage = 4.0);
+
+/**
+ * Run one sweep through the evaluation service: against the
+ * process-wide in-process EvalService by default, or a hilpd daemon
+ * when --connect was given. Applies the harness's --no-reuse and
+ * --checkpoint settings to `options` itself. `variant`, `copies`,
+ * and `advantage` describe the workload and design space on the wire
+ * (the daemon rebuilds both from names); `wl` and `configs` must
+ * match them. Daemon failures are fatal - a sweep silently falling
+ * back in-process would defeat the point of --connect runs.
+ */
+std::vector<dse::DsePoint> runSweep(
+    const std::vector<arch::SocConfig> &configs,
+    const workload::Workload &wl,
+    const arch::Constraints &constraints, dse::ModelKind kind,
+    dse::DseOptions options,
+    workload::Variant variant = workload::Variant::Default,
+    int copies = 1, double advantage = 4.0);
 
 /**
  * Print a Pareto front as a table: config, area, speedup, WLP, gap,

@@ -24,17 +24,6 @@ namespace {
 
 using namespace hilp;
 
-/** Set by --no-reuse: run every solve cold, as before the reuse layer. */
-bool g_no_reuse = false;
-
-/**
- * Set by --max-configs=N: truncate the design space to its first N
- * configurations. For quick smoke runs and the checkpoint/resume CI
- * stage; the paper-fidelity sections that need the full space are
- * skipped when the space is truncated.
- */
-size_t g_max_configs = 0;
-
 void
 emitModel(dse::ModelKind kind,
           const std::vector<arch::SocConfig> &configs,
@@ -42,10 +31,10 @@ emitModel(dse::ModelKind kind,
 {
     arch::Constraints constraints; // 600 W, 800 GB/s.
     dse::DseOptions options = bench::explorationOptions(1.0);
-    options.reuse = !g_no_reuse;
-    options.checkpoint = bench::sweepCheckpoint();
-    auto points =
-        dse::exploreSpace(configs, wl, constraints, kind, options);
+    // Through the evaluation service: in-process by default, against
+    // a hilpd daemon under --connect (same results either way).
+    auto points = bench::runSweep(configs, wl, constraints, kind,
+                                  options);
 
     if (kind == dse::ModelKind::Hilp) {
         std::printf("%s solver effort: %s\n", dse::toString(kind),
@@ -96,8 +85,8 @@ emitFigure()
 
     auto wl = workload::makeWorkload(workload::Variant::Default);
     auto configs = bench::paperDesignSpace();
-    if (g_max_configs > 0 && configs.size() > g_max_configs)
-        configs.resize(g_max_configs);
+    if (bench::maxConfigs() > 0 && configs.size() > bench::maxConfigs())
+        configs.resize(bench::maxConfigs());
     std::printf("design space: %zu configurations\n",
                 configs.size());
 
@@ -107,7 +96,7 @@ emitFigure()
 
     // A truncated space is a smoke run; the paper comparison below
     // only means something on the full design space.
-    if (g_max_configs > 0)
+    if (bench::maxConfigs() > 0)
         return;
 
     // The paper's key qualitative check: the mixed HILP SoC matches
@@ -158,20 +147,7 @@ int
 main(int argc, char **argv)
 {
     hilp::bench::initHarness(&argc, argv);
-    // Filter out our own flag before the benchmark library parses
-    // (and rejects) the remaining arguments.
-    int kept = 1;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--no-reuse") == 0)
-            g_no_reuse = true;
-        else if (std::strncmp(argv[i], "--max-configs=", 14) == 0)
-            g_max_configs = static_cast<size_t>(
-                std::atoll(argv[i] + 14));
-        else
-            argv[kept++] = argv[i];
-    }
-    argc = kept;
-    if (g_no_reuse)
+    if (hilp::bench::noReuse())
         std::printf("cross-config solver reuse disabled\n");
 
     emitFigure();

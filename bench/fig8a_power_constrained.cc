@@ -37,8 +37,8 @@ emitFigure()
         arch::Constraints constraints;
         constraints.powerBudgetW = watts;
         dse::DseOptions options = bench::explorationOptions(1.0);
-        auto points = dse::exploreSpace(
-            configs, wl, constraints, dse::ModelKind::Hilp, options);
+        auto points = bench::runSweep(configs, wl, constraints,
+                                      dse::ModelKind::Hilp, options);
         auto front = bench::paretoOf(points);
         bench::printPareto(
             "HILP Pareto front at " + std::to_string(

@@ -35,8 +35,9 @@ emitFigure()
 
     for (double advantage : {2.0, 4.0, 8.0}) {
         auto configs = bench::paperDesignSpace(advantage);
-        auto points = dse::exploreSpace(
-            configs, wl, constraints, dse::ModelKind::Hilp, options);
+        auto points = bench::runSweep(
+            configs, wl, constraints, dse::ModelKind::Hilp, options,
+            workload::Variant::Default, 1, advantage);
         auto front = bench::paretoOf(points);
         bench::printPareto(
             "HILP Pareto front at " +

@@ -145,4 +145,95 @@ if ! diff build/check_ckpt_a.set build/check_ckpt_c.set; then
     exit 1
 fi
 
+# Daemon round trip: boot hilpd on a Unix socket, run a truncated
+# fig7 sweep through it via --connect, and require the figure output
+# (Pareto fronts included) to match the in-process run. The one
+# tolerated difference is the per-propagator telemetry line: the wire
+# shares the checkpoint record format, which does not carry
+# propagator stats (resumed points behave identically). A warm
+# re-run must then hit the daemon's cross-request memo, stats must
+# report it, shutdown must unlink the socket, and a SIGKILLed daemon
+# must leave a stale socket that the next boot reclaims.
+echo "==> hilpd daemon round trip"
+hilpd="./build/src/service/hilpd"
+daemon_sock="build/check_hilpd.sock"
+rm -f "${daemon_sock}"
+"${hilpd}" "--listen=unix:${daemon_sock}" \
+    > build/check_hilpd.log 2>&1 &
+daemon_pid=$!
+for _ in $(seq 1 100); do
+    [ -S "${daemon_sock}" ] && break
+    kill -0 "${daemon_pid}" 2>/dev/null || {
+        echo "hilpd died on startup" >&2
+        cat build/check_hilpd.log >&2
+        exit 1
+    }
+    sleep 0.05
+done
+"${fig7}" --max-configs=16 "--connect=unix:${daemon_sock}" \
+    --benchmark_filter=none > build/check_fig7_daemon.out
+"${fig7}" --max-configs=16 \
+    --benchmark_filter=none > build/check_fig7_local.out
+grep -v "solver effort" build/check_fig7_daemon.out \
+    > build/check_fig7_daemon.cmp
+grep -v "solver effort" build/check_fig7_local.out \
+    > build/check_fig7_local.cmp
+if ! diff build/check_fig7_daemon.cmp build/check_fig7_local.cmp; then
+    echo "daemon sweep output differs from in-process run" >&2
+    exit 1
+fi
+
+# Warm re-run: the daemon's memo outlives the first request, so the
+# second identical sweep must record hits.
+"${fig7}" --max-configs=16 "--connect=unix:${daemon_sock}" \
+    --benchmark_filter=none > /dev/null
+"${hilpd}" "--connect=unix:${daemon_sock}" stats \
+    > build/check_hilpd_stats.json
+memo_hits=$(sed -n '/"memo"/,/}/s/.*"hits": \([0-9][0-9]*\).*/\1/p' \
+    build/check_hilpd_stats.json | head -n 1)
+if [ -z "${memo_hits}" ] || [ "${memo_hits}" -lt 1 ]; then
+    echo "daemon memo recorded no hits (${memo_hits:-missing})" >&2
+    exit 1
+fi
+
+# Clean shutdown unlinks the socket.
+"${hilpd}" "--connect=unix:${daemon_sock}" shutdown > /dev/null
+wait "${daemon_pid}" || {
+    echo "hilpd exited non-zero after shutdown" >&2
+    exit 1
+}
+if [ -e "${daemon_sock}" ]; then
+    echo "shutdown left the socket behind" >&2
+    exit 1
+fi
+
+# A SIGKILLed daemon leaves a stale socket; the next boot on the same
+# path must reclaim it (a live daemon would be address-in-use).
+"${hilpd}" "--listen=unix:${daemon_sock}" > /dev/null 2>&1 &
+daemon_pid=$!
+for _ in $(seq 1 100); do
+    [ -S "${daemon_sock}" ] && break
+    sleep 0.05
+done
+kill -9 "${daemon_pid}" 2>/dev/null
+wait "${daemon_pid}" 2>/dev/null || true
+if ! [ -S "${daemon_sock}" ]; then
+    echo "SIGKILL test expected a stale socket" >&2
+    exit 1
+fi
+"${hilpd}" "--listen=unix:${daemon_sock}" > /dev/null 2>&1 &
+daemon_pid=$!
+for _ in $(seq 1 100); do
+    if "${hilpd}" "--connect=unix:${daemon_sock}" stats \
+        > /dev/null 2>&1; then
+        break
+    fi
+    sleep 0.05
+done
+"${hilpd}" "--connect=unix:${daemon_sock}" shutdown > /dev/null
+wait "${daemon_pid}" || {
+    echo "hilpd restarted on a stale socket but exited non-zero" >&2
+    exit 1
+}
+
 echo "==> all checks passed"

@@ -184,14 +184,12 @@ parseSchedule(const Json &entry, Schedule *out)
     return true;
 }
 
-/**
- * Decode one JSONL record into (key, point). Returns false on any
- * structural problem - most importantly the torn final line a SIGKILL
- * can leave behind.
- */
+} // anonymous namespace
+
 bool
-parseRecord(const std::string &line, uint64_t *key, DsePoint *point,
-            Schedule *schedule, bool *has_schedule)
+parsePointRecord(const std::string &line, uint64_t *key,
+                 DsePoint *point, Schedule *schedule,
+                 bool *has_schedule)
 {
     Json entry;
     if (!Json::parse(line, &entry) || !entry.isObject())
@@ -203,8 +201,11 @@ parseRecord(const std::string &line, uint64_t *key, DsePoint *point,
     // models have none); a malformed one degrades to "no schedule"
     // rather than dropping the whole record.
     *has_schedule = false;
-    if (const Json *sched = entry.find("schedule"))
-        *has_schedule = parseSchedule(*sched, schedule);
+    if (const Json *sched = entry.find("schedule")) {
+        Schedule discard;
+        *has_schedule =
+            parseSchedule(*sched, schedule ? schedule : &discard);
+    }
 
     *point = DsePoint{};
     if (!parseKeyText(stringOr(entry, "fingerprint"),
@@ -229,7 +230,36 @@ parseRecord(const std::string &line, uint64_t *key, DsePoint *point,
     return true;
 }
 
-} // anonymous namespace
+Json
+pointRecordJson(uint64_t key, ModelKind kind, const DsePoint &point,
+                const Schedule *schedule)
+{
+    Json entry = Json::object();
+    entry.set("key", Json::string(keyText(key)));
+    entry.set("model", Json::string(toString(kind)));
+    entry.set("config", Json::string(point.config.name()));
+    entry.set("fingerprint",
+              Json::string(keyText(point.fingerprint)));
+    entry.set("ok", Json::boolean(point.ok));
+    entry.set("status", Json::string(cp::toString(point.status)));
+    entry.set("makespan_s", Json::number(point.makespanS));
+    entry.set("speedup", Json::number(point.speedup));
+    entry.set("gap", Json::number(point.gap));
+    entry.set("avg_wlp", Json::number(point.averageWlp));
+    entry.set("note", Json::string(point.note));
+    entry.set("degraded", Json::boolean(point.degraded));
+    entry.set("nodes", Json::number(point.nodes));
+    entry.set("backtracks", Json::number(point.backtracks));
+    entry.set("solves",
+              Json::number(static_cast<int64_t>(point.solves)));
+    entry.set("solve_s", Json::number(point.solveSeconds));
+    entry.set("cache_hit", Json::boolean(point.cacheHit));
+    entry.set("warm_start", Json::boolean(point.warmStarted));
+    entry.set("pruned", Json::boolean(point.pruned));
+    if (schedule)
+        entry.set("schedule", scheduleJson(*schedule));
+    return entry;
+}
 
 uint64_t
 checkpointKey(uint64_t fingerprint, const std::string &config_name,
@@ -289,8 +319,9 @@ SweepCheckpoint::open(const std::string &path, bool resume,
                     Schedule schedule;
                     bool has_schedule = false;
                     if (!line.empty()) {
-                        if (parseRecord(line, &key, &point, &schedule,
-                                        &has_schedule)) {
+                        if (parsePointRecord(line, &key, &point,
+                                             &schedule,
+                                             &has_schedule)) {
                             entries_[key] = std::move(point);
                             if (has_schedule)
                                 schedules_[key] =
@@ -366,31 +397,8 @@ SweepCheckpoint::record(uint64_t key, ModelKind kind,
                         const DsePoint &point,
                         const Schedule *schedule)
 {
-    Json entry = Json::object();
-    entry.set("key", Json::string(keyText(key)));
-    entry.set("model", Json::string(toString(kind)));
-    entry.set("config", Json::string(point.config.name()));
-    entry.set("fingerprint",
-              Json::string(keyText(point.fingerprint)));
-    entry.set("ok", Json::boolean(point.ok));
-    entry.set("status", Json::string(cp::toString(point.status)));
-    entry.set("makespan_s", Json::number(point.makespanS));
-    entry.set("speedup", Json::number(point.speedup));
-    entry.set("gap", Json::number(point.gap));
-    entry.set("avg_wlp", Json::number(point.averageWlp));
-    entry.set("note", Json::string(point.note));
-    entry.set("degraded", Json::boolean(point.degraded));
-    entry.set("nodes", Json::number(point.nodes));
-    entry.set("backtracks", Json::number(point.backtracks));
-    entry.set("solves",
-              Json::number(static_cast<int64_t>(point.solves)));
-    entry.set("solve_s", Json::number(point.solveSeconds));
-    entry.set("cache_hit", Json::boolean(point.cacheHit));
-    entry.set("warm_start", Json::boolean(point.warmStarted));
-    entry.set("pruned", Json::boolean(point.pruned));
-    if (schedule)
-        entry.set("schedule", scheduleJson(*schedule));
-    std::string line = entry.dump();
+    std::string line =
+        pointRecordJson(key, kind, point, schedule).dump();
     line += '\n';
 
     std::lock_guard<std::mutex> lock(mutex_);

@@ -30,6 +30,7 @@
 
 #include "explore.hh"
 #include "hilp/schedule.hh"
+#include "support/json.hh"
 
 namespace hilp {
 namespace dse {
@@ -42,6 +43,30 @@ namespace dse {
  */
 uint64_t checkpointKey(uint64_t fingerprint,
                        const std::string &config_name, ModelKind kind);
+
+/**
+ * Encode one completed point as a record object: the JSONL
+ * checkpoint format, doubling as the hilpd wire format for streamed
+ * sweep results (so a stream capture is a valid --resume file). A
+ * non-null schedule is embedded so warm-start chains survive a
+ * resume.
+ */
+Json pointRecordJson(uint64_t key, ModelKind kind,
+                     const DsePoint &point,
+                     const Schedule *schedule = nullptr);
+
+/**
+ * Decode one record line into (key, point[, schedule]). Returns
+ * false on any structural problem - most importantly the torn final
+ * line a SIGKILL can leave in a checkpoint. A malformed embedded
+ * schedule degrades to *has_schedule == false rather than dropping
+ * the record. Structural fields derived from the config being
+ * evaluated (config, area, mix) and the resumed flag are the
+ * caller's to fill.
+ */
+bool parsePointRecord(const std::string &line, uint64_t *key,
+                      DsePoint *point, Schedule *schedule,
+                      bool *has_schedule);
 
 /**
  * A JSONL checkpoint of completed design points. Thread-safe: sweep

@@ -6,6 +6,7 @@
 #include "hilp/problem.hh"
 #include "support/metrics.hh"
 #include "support/str.hh"
+#include "support/version.hh"
 
 namespace hilp {
 namespace dse {
@@ -255,6 +256,7 @@ Json
 sweepReportJson(const std::vector<DsePoint> &points)
 {
     Json report = Json::object();
+    report.set("version", versionJson());
     report.set("points", pointsToJson(points));
     report.set("summary", toJson(summarizeSweep(points)));
     report.set("metrics", metrics::snapshotJson());

@@ -15,8 +15,10 @@
 
 namespace hilp {
 
+SolveMemo::SolveMemo(size_t max_bytes) : maxBytes_(max_bytes) {}
+
 bool
-SolveMemo::lookup(uint64_t key, EvalResult *out) const
+SolveMemo::lookup(uint64_t key, EvalResult *out)
 {
     {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -26,7 +28,10 @@ SolveMemo::lookup(uint64_t key, EvalResult *out) const
             metrics::counter("hilp.cache.misses").add(1);
             return false;
         }
-        *out = it->second;
+        // Refresh recency: a hit entry moves to the front of the
+        // LRU order so hot specs survive eviction pressure.
+        lru_.splice(lru_.begin(), lru_, it->second.lruIt);
+        *out = it->second.result;
     }
     ++hits_;
     metrics::counter("hilp.cache.hits").add(1);
@@ -101,13 +106,157 @@ betterResult(const EvalResult &candidate, const EvalResult &incumbent)
 
 } // anonymous namespace
 
+size_t
+SolveMemo::resultFootprintBytes(const EvalResult &result)
+{
+    // Per-entry bookkeeping: the hash-map node, the LRU list node,
+    // and the Entry struct around the result.
+    size_t bytes = sizeof(EvalResult) + 96;
+    const Schedule &schedule = result.schedule;
+    bytes += schedule.phases.capacity() * sizeof(ScheduledPhase);
+    for (const ScheduledPhase &phase : schedule.phases) {
+        bytes += phase.name.capacity();
+        bytes += phase.unitLabel.capacity();
+    }
+    bytes += schedule.deviceNames.capacity() * sizeof(std::string);
+    for (const std::string &name : schedule.deviceNames)
+        bytes += name.capacity();
+    bytes +=
+        result.propagators.capacity() * sizeof(cp::PropagatorStats);
+    for (const cp::PropagatorStats &stats : result.propagators)
+        bytes += stats.name.capacity();
+    return bytes;
+}
+
+void
+SolveMemo::publishBytesLocked()
+{
+    metrics::gauge("hilp.memo.bytes")
+        .set(static_cast<double>(bytes_));
+}
+
+void
+SolveMemo::evictToCapLocked()
+{
+    if (maxBytes_ == 0)
+        return;
+    while (bytes_ > maxBytes_ && !lru_.empty()) {
+        uint64_t victim = lru_.back();
+        lru_.pop_back();
+        auto it = entries_.find(victim);
+        hilp_assert(it != entries_.end());
+        bytes_ -= it->second.bytes;
+        entries_.erase(it);
+        ++evictions_;
+        metrics::counter("hilp.memo.evictions").add(1);
+    }
+}
+
 void
 SolveMemo::insert(uint64_t key, const EvalResult &result)
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    auto [it, inserted] = entries_.emplace(key, result);
-    if (!inserted && betterResult(result, it->second))
-        it->second = result;
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+        lru_.push_front(key);
+        Entry entry;
+        entry.result = result;
+        entry.bytes = resultFootprintBytes(result);
+        entry.lruIt = lru_.begin();
+        bytes_ += entry.bytes;
+        entries_.emplace(key, std::move(entry));
+    } else if (betterResult(result, it->second.result)) {
+        bytes_ -= it->second.bytes;
+        it->second.result = result;
+        it->second.bytes = resultFootprintBytes(result);
+        bytes_ += it->second.bytes;
+        lru_.splice(lru_.begin(), lru_, it->second.lruIt);
+    } else {
+        // The incumbent survives; the attempt still counts as use.
+        lru_.splice(lru_.begin(), lru_, it->second.lruIt);
+    }
+    evictToCapLocked();
+    publishBytesLocked();
+}
+
+void
+SolveMemo::setMaxBytes(size_t max_bytes)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    maxBytes_ = max_bytes;
+    evictToCapLocked();
+    publishBytesLocked();
+}
+
+size_t
+SolveMemo::maxBytes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return maxBytes_;
+}
+
+size_t
+SolveMemo::bytes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return bytes_;
+}
+
+size_t
+SolveMemo::entries() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+int64_t
+SolveMemo::evictions() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return evictions_;
+}
+
+void
+SolveMemo::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+    lru_.clear();
+    bytes_ = 0;
+    publishBytesLocked();
+}
+
+uint64_t
+engineOptionsDigest(const EngineOptions &options)
+{
+    Hasher hasher;
+    hasher.f64(options.initialStepS);
+    hasher.i64(options.horizonSteps);
+    hasher.i64(options.refineThreshold);
+    hasher.f64(options.refineFactor);
+    hasher.i64(options.maxRefinements);
+    hasher.i64(options.maxCoarsenings);
+    hasher.i64(options.escalations);
+    hasher.f64(options.escalationFactor);
+    hasher.f64(options.pointTimeoutS);
+    hasher.i64(options.fallbackLnsIterations);
+    const cp::SolverOptions &solver = options.solver;
+    hasher.i64(solver.maxNodes);
+    hasher.f64(solver.maxSeconds);
+    hasher.f64(solver.targetGap);
+    hasher.boolean(solver.useLpBound);
+    hasher.i64(solver.greedyRestarts);
+    hasher.i64(solver.lnsIterations);
+    hasher.u64(solver.seed);
+    hasher.boolean(solver.energeticReasoning);
+    hasher.i64(solver.threads);
+    hasher.boolean(solver.deterministicSearch);
+    hasher.i64(solver.splitDepth);
+    hasher.boolean(solver.useNogoods);
+    hasher.u64(solver.nogoodCapacity);
+    hasher.boolean(solver.lns);
+    hasher.i64(solver.lnsPolishNodes);
+    return hasher.digest();
 }
 
 EngineOptions
@@ -476,10 +625,18 @@ evaluate(const ProblemSpec &spec, const EngineOptions &options,
     hilp_assert(options.initialStepS > 0.0);
     hilp_assert(options.refineFactor > 1.0);
 
-    // Identical lowered instances solve once per memo.
+    // Identical lowered instances solve once per memo. A non-zero
+    // salt segments the key space of a memo shared across requests
+    // with differing engine options (see EvalReuse::memoSalt).
     uint64_t key = 0;
     if (reuse.memo) {
         key = spec.fingerprint();
+        if (reuse.memoSalt != 0) {
+            Hasher hasher;
+            hasher.u64(key);
+            hasher.u64(reuse.memoSalt);
+            key = hasher.digest();
+        }
         EvalResult cached;
         if (reuse.memo->lookup(key, &cached))
             return cached;

@@ -18,6 +18,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <list>
 #include <mutex>
 #include <unordered_map>
 
@@ -68,6 +69,15 @@ struct EngineOptions
      * on by default; 0 disables it.
      */
     int fallbackLnsIterations = 64;
+    /**
+     * Byte cap for the SolveMemo a sweep creates for this engine
+     * configuration (see SolveMemo): 0 (the default) keeps the
+     * historical unbounded per-sweep cache, a positive value bounds
+     * it with byte-accounted LRU eviction. Long-lived callers - the
+     * hilpd evaluation service foremost - must set a real cap, since
+     * their memo outlives any single sweep.
+     */
+    size_t memoMaxBytes = 0;
 
     /**
      * The paper's validation-mode parameters (Section III-D): 2 s
@@ -128,19 +138,31 @@ struct EvalResult
 /**
  * Thread-safe memo of completed evaluations keyed by
  * ProblemSpec::fingerprint(). Identical lowered instances then solve
- * once per sweep. The cache is only sound across evaluations that
- * share the same EngineOptions, so each caller (e.g. one exploreSpace
- * sweep) owns its memo rather than sharing a global one.
+ * once per memo lifetime. The cache is only sound across evaluations
+ * that share the same EngineOptions, so each caller either owns its
+ * memo (one exploreSpace sweep) or segments keys by an
+ * engine-options digest (the long-lived service::EvalService).
+ *
+ * The memo is optionally bounded: with a positive byte cap, entries
+ * are byte-accounted (resultFootprintBytes) and evicted in
+ * least-recently-used order - lookup() refreshes recency - so a
+ * long-running daemon's cache cannot grow without limit. Eviction
+ * only ever costs a recompute, never correctness: an evicted key
+ * simply misses and is solved again.
  */
 class SolveMemo
 {
   public:
+    /** A memo capped at max_bytes; 0 (the default) is unbounded. */
+    explicit SolveMemo(size_t max_bytes = 0);
+
     /**
      * Look up a cached result. On a hit, *out is the cached result
      * with cacheHit set and its effort counters zeroed (the work was
-     * paid for by the original solve).
+     * paid for by the original solve), and the entry becomes the
+     * most recently used.
      */
-    bool lookup(uint64_t key, EvalResult *out) const;
+    bool lookup(uint64_t key, EvalResult *out);
 
     /**
      * Insert a result. A key's entry is replaced when the new result
@@ -152,16 +174,59 @@ class SolveMemo
      * order on content (makespan, then bound, then step, then a
      * structural digest), so the surviving entry is independent of
      * the thread interleaving that inserted them - a parallel sweep
-     * memoizes reproducibly.
+     * memoizes reproducibly. With a byte cap, least-recently-used
+     * entries are evicted until the memo fits again (a result larger
+     * than the whole cap is not retained at all).
      */
     void insert(uint64_t key, const EvalResult &result);
+
+    /**
+     * Change the byte cap (0 = unbounded), evicting immediately if
+     * the current contents exceed the new cap.
+     */
+    void setMaxBytes(size_t max_bytes);
+
+    size_t maxBytes() const;
+    /** Current byte footprint of all retained entries. */
+    size_t bytes() const;
+    /** Number of retained entries. */
+    size_t entries() const;
+    /** Entries evicted by the byte cap since construction. */
+    int64_t evictions() const;
+    /** Drop every entry (the accounting survives). */
+    void clear();
 
     int64_t hits() const { return hits_.load(); }
     int64_t misses() const { return misses_.load(); }
 
+    /**
+     * The bytes one cached result is accounted as: the struct plus
+     * its owned heap (schedule phases and their strings, device
+     * names, propagator stats) plus per-entry bookkeeping. An
+     * estimate - container slack is approximated - but a faithful
+     * one: it scales with the schedule, which dominates.
+     */
+    static size_t resultFootprintBytes(const EvalResult &result);
+
   private:
+    struct Entry
+    {
+        EvalResult result;
+        size_t bytes = 0;
+        std::list<uint64_t>::iterator lruIt;
+    };
+
+    /** Evict LRU entries until bytes_ <= maxBytes_. Lock held. */
+    void evictToCapLocked();
+    void publishBytesLocked();
+
     mutable std::mutex mutex_;
-    std::unordered_map<uint64_t, EvalResult> entries_;
+    std::unordered_map<uint64_t, Entry> entries_;
+    /** Keys, most recently used first. */
+    std::list<uint64_t> lru_;
+    size_t maxBytes_ = 0;
+    size_t bytes_ = 0;
+    int64_t evictions_ = 0;
     mutable std::atomic<int64_t> hits_{0};
     mutable std::atomic<int64_t> misses_{0};
 };
@@ -190,7 +255,25 @@ struct EvalReuse
     std::function<bool(double lowerBoundS)> dominated;
     /** Fingerprint-keyed result cache shared across the sweep. */
     SolveMemo *memo = nullptr;
+    /**
+     * Key-space segmentation for memos shared beyond one sweep: a
+     * non-zero salt (e.g. engineOptionsDigest of the evaluation's
+     * options) is hash-combined into the memo key, so one long-lived
+     * memo can serve requests with differing engine options without
+     * ever returning a result computed under different options. 0
+     * (the default) keys by the bare fingerprint, as a single-sweep
+     * private memo always has.
+     */
+    uint64_t memoSalt = 0;
 };
+
+/**
+ * Digest of every result-affecting engine option (resolution ladder,
+ * budgets, solver knobs - not the memo cap, which only affects
+ * retention). Evaluations with equal digests may soundly share memo
+ * entries; see EvalReuse::memoSalt.
+ */
+uint64_t engineOptionsDigest(const EngineOptions &options);
 
 /**
  * Evaluate the problem with the adaptive engine. The spec must

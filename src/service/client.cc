@@ -1,0 +1,217 @@
+#include "client.hh"
+
+#include <unordered_map>
+
+#include "dse/checkpoint.hh"
+#include "dse/pareto.hh"
+#include "support/str.hh"
+
+namespace hilp {
+namespace service {
+
+namespace {
+
+std::string
+typeOf(const Json &json)
+{
+    if (!json.isObject())
+        return "";
+    const Json *type = json.find("type");
+    return type && type->isString() ? type->stringValue() : "";
+}
+
+/** The error of a done line ("" when it reports success). */
+std::string
+doneError(const Json &done)
+{
+    const Json *ok = done.find("ok");
+    if (ok && ok->isBool() && ok->boolValue())
+        return "";
+    const Json *error = done.find("error");
+    return error && error->isString() ? error->stringValue()
+                                      : "request failed";
+}
+
+} // anonymous namespace
+
+bool
+ServiceClient::connect(const std::string &address, std::string *error)
+{
+    net::Socket socket = net::connectTo(address, error);
+    if (!socket.valid())
+        return false;
+    channel_ = net::LineChannel(std::move(socket));
+    return true;
+}
+
+bool
+ServiceClient::sweep(const protocol::Request &request,
+                     const std::vector<arch::SocConfig> &configs,
+                     std::vector<dse::DsePoint> *points,
+                     std::string *error,
+                     const std::function<void(const std::string &)>
+                         &on_record)
+{
+    if (!connected()) {
+        if (error)
+            *error = "not connected";
+        return false;
+    }
+
+    protocol::Request wire = request;
+    wire.configNames.clear();
+    wire.configNames.reserve(configs.size());
+    std::unordered_map<std::string, std::vector<size_t>> byName;
+    for (size_t i = 0; i < configs.size(); ++i) {
+        wire.configNames.push_back(configs[i].name());
+        byName[configs[i].name()].push_back(i);
+    }
+
+    if (!channel_.writeLine(protocol::encodeRequest(wire))) {
+        if (error)
+            *error = "write failed (daemon gone?)";
+        return false;
+    }
+
+    points->assign(configs.size(), dse::DsePoint());
+    std::string line;
+    while (channel_.readLine(&line)) {
+        if (line.empty())
+            continue;
+        Json json;
+        if (!Json::parse(line, &json)) {
+            if (error)
+                *error = format("bad response line: %s", line.c_str());
+            return false;
+        }
+        std::string type = typeOf(json);
+        if (type == "done") {
+            std::string failure = doneError(json);
+            if (!failure.empty()) {
+                if (error)
+                    *error = failure;
+                return false;
+            }
+            return true;
+        }
+        if (type != "point")
+            continue; // Future response kinds: skip, don't choke.
+
+        if (on_record)
+            on_record(line);
+
+        uint64_t key = 0;
+        dse::DsePoint point;
+        bool has_schedule = false;
+        if (!dse::parsePointRecord(line, &key, &point, nullptr,
+                                   &has_schedule)) {
+            if (error)
+                *error = format("bad point record: %s", line.c_str());
+            return false;
+        }
+        const Json *name = json.find("config");
+        if (!name || !name->isString())
+            continue;
+        auto it = byName.find(name->stringValue());
+        if (it == byName.end() || it->second.empty())
+            continue; // A point we did not ask for; ignore.
+        size_t index = it->second.front();
+        it->second.erase(it->second.begin());
+        // Structural fields derive from the local config (the record
+        // only carries the label), exactly like a checkpoint resume.
+        point.config = configs[index];
+        point.areaMm2 = configs[index].areaMm2();
+        point.mix = dse::classifyAccelMix(configs[index]);
+        (*points)[index] = std::move(point);
+    }
+    if (error)
+        *error = "connection closed before the done line";
+    return false;
+}
+
+bool
+ServiceClient::stats(Json *out, std::string *error)
+{
+    if (!connected()) {
+        if (error)
+            *error = "not connected";
+        return false;
+    }
+    protocol::Request request;
+    request.op = protocol::Op::Stats;
+    if (!channel_.writeLine(protocol::encodeRequest(request))) {
+        if (error)
+            *error = "write failed (daemon gone?)";
+        return false;
+    }
+    bool have_stats = false;
+    std::string line;
+    while (channel_.readLine(&line)) {
+        if (line.empty())
+            continue;
+        Json json;
+        if (!Json::parse(line, &json))
+            continue;
+        std::string type = typeOf(json);
+        if (type == "stats") {
+            const Json *stats = json.find("stats");
+            if (stats) {
+                *out = *stats;
+                have_stats = true;
+            }
+        } else if (type == "done") {
+            std::string failure = doneError(json);
+            if (!failure.empty()) {
+                if (error)
+                    *error = failure;
+                return false;
+            }
+            if (!have_stats && error)
+                *error = "done without a stats payload";
+            return have_stats;
+        }
+    }
+    if (error)
+        *error = "connection closed before the done line";
+    return false;
+}
+
+bool
+ServiceClient::requestShutdown(std::string *error)
+{
+    if (!connected()) {
+        if (error)
+            *error = "not connected";
+        return false;
+    }
+    protocol::Request request;
+    request.op = protocol::Op::Shutdown;
+    if (!channel_.writeLine(protocol::encodeRequest(request))) {
+        if (error)
+            *error = "write failed (daemon gone?)";
+        return false;
+    }
+    std::string line;
+    while (channel_.readLine(&line)) {
+        if (line.empty())
+            continue;
+        Json json;
+        if (!Json::parse(line, &json))
+            continue;
+        if (typeOf(json) == "done") {
+            std::string failure = doneError(json);
+            if (!failure.empty()) {
+                if (error)
+                    *error = failure;
+                return false;
+            }
+            return true;
+        }
+    }
+    if (error)
+        *error = "connection closed before the done line";
+    return false;
+}
+
+} // namespace service
+} // namespace hilp

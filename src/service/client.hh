@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The hilpd client: a thin synchronous wrapper over the NDJSON
+ * protocol for bench binaries and scripts. A connected client routes
+ * the same requests exploreSpace answers in-process to a daemon,
+ * streaming per-point results back in completion order and matching
+ * them to the caller's configuration list by label.
+ */
+
+#ifndef HILP_SERVICE_CLIENT_HH
+#define HILP_SERVICE_CLIENT_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "protocol.hh"
+#include "support/net.hh"
+
+namespace hilp {
+namespace service {
+
+class ServiceClient
+{
+  public:
+    ServiceClient() = default;
+
+    /** Connect to a daemon (address syntax: see support/net.hh). */
+    bool connect(const std::string &address, std::string *error);
+
+    bool connected() const { return channel_.valid(); }
+
+    /**
+     * Run a sweep (or single eval) remotely. The request's
+     * configNames are filled from `configs`; the returned points are
+     * in `configs` order with their structural fields (config, area,
+     * mix) restored locally from the matching configuration.
+     * `on_record` (nullable) sees each raw streamed record line -
+     * appending them to a file yields a valid --resume checkpoint.
+     * Returns false and fills *error on transport errors, a rejected
+     * request, or a failed sweep.
+     */
+    bool sweep(const protocol::Request &request,
+               const std::vector<arch::SocConfig> &configs,
+               std::vector<dse::DsePoint> *points, std::string *error,
+               const std::function<void(const std::string &)>
+                   &on_record = nullptr);
+
+    /** Fetch the daemon's stats snapshot. */
+    bool stats(Json *out, std::string *error);
+
+    /** Ask the daemon to shut down (acknowledged before it exits). */
+    bool requestShutdown(std::string *error);
+
+  private:
+    net::LineChannel channel_{net::Socket()};
+};
+
+} // namespace service
+} // namespace hilp
+
+#endif // HILP_SERVICE_CLIENT_HH

@@ -1,0 +1,196 @@
+#include "daemon.hh"
+
+#include <sys/socket.h>
+
+#include <future>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "dse/checkpoint.hh"
+#include "protocol.hh"
+#include "support/logging.hh"
+#include "support/str.hh"
+
+namespace hilp {
+namespace service {
+
+namespace {
+
+/**
+ * Serialized line writer shared by a request's streaming callbacks:
+ * sweep workers complete points concurrently, and each record must
+ * land as one whole line. A failed write (peer hung up mid-stream)
+ * latches: the sweep keeps running - its results still warm the
+ * service caches - but no further writes are attempted.
+ */
+class LineWriter
+{
+  public:
+    explicit LineWriter(net::LineChannel &channel)
+        : channel_(channel) {}
+
+    bool
+    write(const std::string &line)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (failed_)
+            return false;
+        if (!channel_.writeLine(line)) {
+            failed_ = true;
+            return false;
+        }
+        return true;
+    }
+
+    bool failed() const { return failed_; }
+
+  private:
+    net::LineChannel &channel_;
+    std::mutex mutex_;
+    bool failed_ = false;
+};
+
+} // anonymous namespace
+
+bool
+Daemon::serveConnection(net::Socket socket)
+{
+    net::LineChannel channel(std::move(socket));
+    std::string line;
+    while (channel.readLine(&line)) {
+        if (line.empty())
+            continue;
+
+        protocol::Request request;
+        std::string error;
+        if (!protocol::parseRequest(line, &request, &error)) {
+            channel.writeLine(protocol::encodeDone(false, error));
+            continue; // Malformed input; the connection stays usable.
+        }
+
+        if (stop_.load() && request.op != protocol::Op::Stats) {
+            channel.writeLine(protocol::encodeDone(
+                false, "daemon is shutting down"));
+            continue;
+        }
+
+        switch (request.op) {
+          case protocol::Op::Stats:
+            channel.writeLine(
+                protocol::encodeStats(service_.statsJson()));
+            channel.writeLine(protocol::encodeDone(true, ""));
+            continue;
+          case protocol::Op::Shutdown:
+            inform("hilpd: shutdown requested");
+            stop();
+            channel.writeLine(protocol::encodeDone(true, ""));
+            return true;
+          case protocol::Op::Eval:
+          case protocol::Op::Sweep:
+            break;
+        }
+
+        std::vector<arch::SocConfig> configs;
+        if (!protocol::resolveConfigs(request, &configs, &error)) {
+            channel.writeLine(protocol::encodeDone(false, error));
+            continue;
+        }
+
+        // The actual evaluation runs on the service's executor crew
+        // behind admission control; this handler thread only streams
+        // results and waits. A rejected request costs the client one
+        // round trip and an explanation, never an unbounded queue.
+        LineWriter writer(channel);
+        SweepRequest sweep;
+        sweep.configs = std::move(configs);
+        sweep.workload =
+            workload::makeWorkload(request.variant, request.copies);
+        sweep.constraints = request.constraints;
+        sweep.kind = request.kind;
+        sweep.options = request.options;
+        dse::ModelKind kind = request.kind;
+        std::atomic<size_t> streamed{0};
+        sweep.onPoint = [&](const dse::DsePoint &point,
+                            const Schedule *schedule) {
+            Json record = dse::pointRecordJson(
+                dse::checkpointKey(point.fingerprint,
+                                   point.config.name(), kind),
+                kind, point, schedule);
+            record.set("type", Json::string("point"));
+            writer.write(record.dump());
+            streamed.fetch_add(1, std::memory_order_relaxed);
+        };
+
+        std::promise<void> finished;
+        std::future<void> done = finished.get_future();
+        std::string failure;
+        Admission admission = service_.submit(
+            [&] {
+                // The promise must be fulfilled on every path or the
+                // handler thread below waits forever.
+                try {
+                    service_.sweep(sweep);
+                } catch (const std::exception &e) {
+                    failure = format("sweep failed: %s", e.what());
+                } catch (...) {
+                    failure = "sweep failed: unknown exception";
+                }
+                finished.set_value();
+            },
+            request.priority);
+        if (!admission.accepted) {
+            channel.writeLine(protocol::encodeDone(
+                false, format("rejected: %s",
+                              admission.reason.c_str())));
+            continue;
+        }
+        done.wait();
+        bool ok = failure.empty() && !writer.failed();
+        channel.writeLine(protocol::encodeDone(
+            ok,
+            !failure.empty()
+                ? failure
+                : (writer.failed() ? "client write failed" : ""),
+            streamed.load()));
+    }
+    return false;
+}
+
+void
+Daemon::run(net::Listener &listener)
+{
+    listenerFd_.store(listener.fd());
+    std::vector<std::thread> handlers;
+    while (!stop_.load()) {
+        net::Socket connection = listener.accept();
+        if (!connection.valid()) {
+            if (stop_.load())
+                break;
+            continue; // Transient accept failure (e.g. EINTR).
+        }
+        handlers.emplace_back(
+            [this, socket = std::move(connection)]() mutable {
+                serveConnection(std::move(socket));
+            });
+    }
+    listenerFd_.store(-1);
+    listener.close();
+    for (std::thread &handler : handlers)
+        handler.join();
+}
+
+void
+Daemon::stop()
+{
+    stop_.store(true);
+    int fd = listenerFd_.load();
+    if (fd >= 0) {
+        // Unblock the accept loop. shutdown() (not close) so the fd
+        // stays valid for the Listener's own close/unlink.
+        ::shutdown(fd, SHUT_RDWR);
+    }
+}
+
+} // namespace service
+} // namespace hilp

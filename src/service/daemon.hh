@@ -1,0 +1,69 @@
+/**
+ * @file
+ * hilpd's connection handling: the daemon loop that accepts stream
+ * connections and speaks the NDJSON protocol (protocol.hh) against a
+ * shared EvalService.
+ *
+ * Every connection gets its own handler thread; eval and sweep
+ * requests go through the service's admission-controlled job queue
+ * (so a flooded daemon rejects with a reason instead of queueing
+ * unboundedly), while stats and shutdown are answered inline. The
+ * per-connection handler is exposed directly (serveConnection) so
+ * tests can drive the full protocol over a socketpair without
+ * binding anything.
+ */
+
+#ifndef HILP_SERVICE_DAEMON_HH
+#define HILP_SERVICE_DAEMON_HH
+
+#include <atomic>
+
+#include "eval_service.hh"
+#include "support/net.hh"
+
+namespace hilp {
+namespace service {
+
+class Daemon
+{
+  public:
+    explicit Daemon(EvalService &service) : service_(service) {}
+
+    Daemon(const Daemon &) = delete;
+    Daemon &operator=(const Daemon &) = delete;
+
+    /**
+     * Serve one established connection until the peer disconnects or
+     * sends a shutdown request. Returns true when the connection
+     * requested daemon shutdown (the stop flag is then already set).
+     * Thread-safe: the daemon runs one handler per connection.
+     */
+    bool serveConnection(net::Socket socket);
+
+    /**
+     * Accept-and-serve loop: one handler thread per connection,
+     * until stop() is called or a connection requests shutdown. The
+     * listener is closed (and its unix socket path unlinked) before
+     * returning; in-flight requests finish first.
+     */
+    void run(net::Listener &listener);
+
+    /**
+     * Request the accept loop to exit. Callable from any thread and
+     * from signal handlers' deferred context (it only flips an atomic
+     * and shuts down the listening socket).
+     */
+    void stop();
+
+    bool stopping() const { return stop_.load(); }
+
+  private:
+    EvalService &service_;
+    std::atomic<bool> stop_{false};
+    std::atomic<int> listenerFd_{-1};
+};
+
+} // namespace service
+} // namespace hilp
+
+#endif // HILP_SERVICE_DAEMON_HH

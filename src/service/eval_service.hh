@@ -1,0 +1,252 @@
+/**
+ * @file
+ * The evaluation service: the long-lived core behind both in-process
+ * DSE sweeps (dse::exploreSpace is a thin client) and the hilpd
+ * daemon.
+ *
+ * Historically each sweep was a batch process: it created a private
+ * SolveMemo, ran, and threw the cache and every warm-start schedule
+ * away on exit. The EvalService inverts that ownership: it owns
+ *
+ *  - a byte-bounded, concurrent SolveMemo shared across requests,
+ *    with keys segmented by an engine-options digest so differing
+ *    requests can never observe each other's entries unsoundly;
+ *  - a warm-start ScheduleStore keyed by spec fingerprint, so a
+ *    re-evaluation of a known instance under *different* engine
+ *    options (a memo miss by construction) still seeds its solve;
+ *  - an async job queue with admission control: bounded depth,
+ *    priority ordering, reject-with-reason when full; and
+ *  - the sweep orchestration itself (similarity chains, dominance
+ *    bound, fault isolation, heartbeat, checkpointing), extracted
+ *    from dse/explore.cc.
+ *
+ * Threading: jobs run on a small executor crew; each sweep spins its
+ * ThreadPool against the process-wide ThreadBudget exactly as the
+ * batch path always has, so daemon sweeps and inner parallel solves
+ * arbitrate cores instead of oversubscribing. Per-request deadlines
+ * ride the existing EngineOptions::pointTimeoutS degradation path.
+ */
+
+#ifndef HILP_SERVICE_EVAL_SERVICE_HH
+#define HILP_SERVICE_EVAL_SERVICE_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "dse/explore.hh"
+#include "hilp/engine.hh"
+#include "hilp/schedule.hh"
+#include "support/json.hh"
+
+namespace hilp {
+namespace service {
+
+/**
+ * Byte-bounded LRU store of solved schedules keyed by
+ * ProblemSpec::fingerprint(). Unlike the SolveMemo this is *not*
+ * segmented by engine options: a schedule is a warm-start hint, not
+ * a result, so feeding one solved under different options (or a
+ * coarser deadline) to a fresh solve affects effort only - the solve
+ * still certifies its own bound. Thread-safe.
+ */
+class ScheduleStore
+{
+  public:
+    /** A store capped at max_bytes; 0 is unbounded. */
+    explicit ScheduleStore(size_t max_bytes = 0);
+
+    /** Copy the stored schedule out; refreshes LRU recency. */
+    bool lookup(uint64_t fingerprint, Schedule *out);
+
+    /**
+     * Insert or replace the schedule for a fingerprint, evicting
+     * least-recently-used entries beyond the byte cap.
+     */
+    void insert(uint64_t fingerprint, const Schedule &schedule);
+
+    size_t bytes() const;
+    size_t entries() const;
+    int64_t evictions() const;
+    int64_t hits() const { return hits_.load(); }
+    int64_t misses() const { return misses_.load(); }
+
+    /** Approximate heap footprint of one stored schedule. */
+    static size_t scheduleFootprintBytes(const Schedule &schedule);
+
+  private:
+    struct Entry
+    {
+        Schedule schedule;
+        size_t bytes = 0;
+        std::list<uint64_t>::iterator lruIt;
+    };
+
+    void evictToCapLocked();
+
+    mutable std::mutex mutex_;
+    std::unordered_map<uint64_t, Entry> entries_;
+    std::list<uint64_t> lru_;
+    size_t maxBytes_ = 0;
+    size_t bytes_ = 0;
+    int64_t evictions_ = 0;
+    std::atomic<int64_t> hits_{0};
+    std::atomic<int64_t> misses_{0};
+};
+
+/** Sizing and admission-control knobs for a service instance. */
+struct ServiceOptions
+{
+    /**
+     * Executor threads draining the async job queue. Each job is one
+     * request (an eval or a whole sweep); the parallelism *inside* a
+     * sweep comes from its own budget-arbitrated pool, so a small
+     * crew suffices.
+     */
+    int executors = 2;
+    /** Byte cap for the shared SolveMemo (0 = unbounded). */
+    size_t memoMaxBytes = 256ull << 20;
+    /** Byte cap for the warm-start schedule store. */
+    size_t storeMaxBytes = 64ull << 20;
+    /**
+     * Admission control: jobs queued (accepted but not yet running)
+     * beyond this depth are rejected with a reason.
+     */
+    size_t maxQueueDepth = 64;
+};
+
+/**
+ * One sweep request: the full input of dse::exploreSpace plus an
+ * optional per-point stream sink.
+ */
+struct SweepRequest
+{
+    std::vector<arch::SocConfig> configs;
+    workload::Workload workload;
+    arch::Constraints constraints;
+    dse::ModelKind kind = dse::ModelKind::Hilp;
+    dse::DseOptions options;
+    /**
+     * Called once per completed point, from sweep worker threads
+     * (callers serialize internally; completion order is arbitrary
+     * across similarity chains). The schedule is non-null for
+     * successful HILP points. This is how the daemon streams sweep
+     * results back per-point as they finish.
+     */
+    std::function<void(const dse::DsePoint &point,
+                       const Schedule *schedule)> onPoint;
+};
+
+/** Outcome of submitting an async job. */
+struct Admission
+{
+    bool accepted = false;
+    std::string reason;  //!< Why the job was rejected (when not).
+    uint64_t jobId = 0;  //!< Assigned id (when accepted).
+};
+
+class EvalService
+{
+  public:
+    explicit EvalService(const ServiceOptions &options = {});
+    ~EvalService();
+
+    EvalService(const EvalService &) = delete;
+    EvalService &operator=(const EvalService &) = delete;
+
+    /**
+     * Run a sweep synchronously on the calling thread, through the
+     * service-owned memo (keys salted with the request's engine
+     * digest) and warm-start store. Semantically dse::exploreSpace
+     * with cross-request reuse.
+     */
+    std::vector<dse::DsePoint> sweep(const SweepRequest &request);
+
+    /** Evaluate one configuration synchronously (same reuse). */
+    dse::DsePoint eval(const arch::SocConfig &config,
+                       const workload::Workload &workload,
+                       const arch::Constraints &constraints,
+                       dse::ModelKind kind,
+                       const dse::DseOptions &options);
+
+    /**
+     * Queue a job for the executor crew. Admission control: rejects
+     * (with a reason) when the queue is at maxQueueDepth or the
+     * service is shutting down. Higher priority runs first; ties in
+     * submission order. The job runs exactly once.
+     */
+    Admission submit(std::function<void()> job, int priority = 0);
+
+    /** Block until every accepted job has finished. */
+    void drain();
+
+    /**
+     * Stop accepting jobs, drain the queue, and join the executors.
+     * Idempotent; the destructor also calls it.
+     */
+    void shutdown();
+
+    /** Jobs accepted and not yet finished (queued + running). */
+    size_t pendingJobs() const;
+
+    SolveMemo &memo() { return memo_; }
+    ScheduleStore &scheduleStore() { return store_; }
+
+    /**
+     * Service observability snapshot: uptime, build version, memo
+     * and store occupancy/hit rates, queue accounting, and the
+     * thread-budget state. The daemon's `stats` response.
+     */
+    Json statsJson() const;
+
+  private:
+    struct Job
+    {
+        int priority = 0;
+        uint64_t seq = 0;
+        std::function<void()> fn;
+
+        bool
+        operator<(const Job &other) const
+        {
+            // priority_queue surfaces the *largest*; higher priority
+            // first, then earlier submission.
+            if (priority != other.priority)
+                return priority < other.priority;
+            return seq > other.seq;
+        }
+    };
+
+    void executorLoop();
+
+    const ServiceOptions options_;
+    const std::chrono::steady_clock::time_point started_;
+    SolveMemo memo_;
+    ScheduleStore store_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable workAvailable_;
+    std::condition_variable idle_;
+    std::priority_queue<Job> queue_;
+    std::vector<std::thread> executors_;
+    size_t running_ = 0;
+    uint64_t nextSeq_ = 0;
+    bool shutdown_ = false;
+    std::atomic<int64_t> accepted_{0};
+    std::atomic<int64_t> rejected_{0};
+    std::atomic<int64_t> completed_{0};
+};
+
+} // namespace service
+} // namespace hilp
+
+#endif // HILP_SERVICE_EVAL_SERVICE_HH

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * hilpd: the HILP evaluation daemon.
+ *
+ * Serves eval/sweep/stats/shutdown requests over a Unix or TCP
+ * stream socket (NDJSON, see protocol.hh) against one long-lived
+ * EvalService, so repeated sweeps share a bounded solve memo and
+ * warm-start schedule store across client processes:
+ *
+ *   hilpd --listen=unix:/tmp/hilpd.sock
+ *   hilpd --listen=tcp:127.0.0.1:7351 --memo-bytes=512M
+ *
+ * The same binary doubles as a minimal control client:
+ *
+ *   hilpd --connect=unix:/tmp/hilpd.sock stats
+ *   hilpd --connect=unix:/tmp/hilpd.sock shutdown
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "client.hh"
+#include "daemon.hh"
+#include "eval_service.hh"
+#include "support/logging.hh"
+#include "support/net.hh"
+#include "support/version.hh"
+
+namespace {
+
+using namespace hilp;
+
+service::Daemon *gDaemon = nullptr;
+
+void
+onSignal(int)
+{
+    // stop() only flips an atomic and shutdown(2)s the listener:
+    // async-signal-safe, and it unblocks the accept loop so the
+    // daemon exits cleanly (unlinking its unix socket on the way).
+    if (gDaemon)
+        gDaemon->stop();
+}
+
+/** Parse a byte count with an optional K/M/G suffix. */
+bool
+parseBytes(const std::string &text, size_t *out)
+{
+    if (text.empty())
+        return false;
+    char *end = nullptr;
+    unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+    size_t scale = 1;
+    if (*end == 'K' || *end == 'k')
+        scale = 1ull << 10, ++end;
+    else if (*end == 'M' || *end == 'm')
+        scale = 1ull << 20, ++end;
+    else if (*end == 'G' || *end == 'g')
+        scale = 1ull << 30, ++end;
+    if (*end != '\0')
+        return false;
+    *out = static_cast<size_t>(value) * scale;
+    return true;
+}
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s --listen=ADDR [--memo-bytes=N] "
+                 "[--store-bytes=N]\n"
+                 "          [--queue-depth=N] [--executors=N]\n"
+                 "       %s --connect=ADDR stats|shutdown\n"
+                 "       %s --version\n"
+                 "ADDR is unix:/path or tcp:host:port.\n",
+                 argv0, argv0, argv0);
+    return 2;
+}
+
+int
+runClient(const std::string &address, const std::string &command)
+{
+    service::ServiceClient client;
+    std::string error;
+    if (!client.connect(address, &error)) {
+        std::fprintf(stderr, "hilpd: connect %s: %s\n",
+                     address.c_str(), error.c_str());
+        return 1;
+    }
+    if (command == "stats") {
+        Json stats;
+        if (!client.stats(&stats, &error)) {
+            std::fprintf(stderr, "hilpd: stats: %s\n", error.c_str());
+            return 1;
+        }
+        std::printf("%s\n", stats.dump(2).c_str());
+        return 0;
+    }
+    if (command == "shutdown") {
+        if (!client.requestShutdown(&error)) {
+            std::fprintf(stderr, "hilpd: shutdown: %s\n",
+                         error.c_str());
+            return 1;
+        }
+        return 0;
+    }
+    std::fprintf(stderr, "hilpd: unknown command \"%s\"\n",
+                 command.c_str());
+    return 2;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string listen, connect, command;
+    service::ServiceOptions options;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&](const char *flag) -> const char * {
+            size_t len = std::strlen(flag);
+            if (arg.compare(0, len, flag) == 0 && arg[len] == '=')
+                return arg.c_str() + len + 1;
+            return nullptr;
+        };
+        if (arg == "--version") {
+            std::printf("%s\n", versionString().c_str());
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (const char *v = value("--listen")) {
+            listen = v;
+        } else if (const char *v = value("--connect")) {
+            connect = v;
+        } else if (const char *v = value("--memo-bytes")) {
+            if (!parseBytes(v, &options.memoMaxBytes))
+                return usage(argv[0]);
+        } else if (const char *v = value("--store-bytes")) {
+            if (!parseBytes(v, &options.storeMaxBytes))
+                return usage(argv[0]);
+        } else if (const char *v = value("--queue-depth")) {
+            options.maxQueueDepth =
+                static_cast<size_t>(std::strtoull(v, nullptr, 10));
+        } else if (const char *v = value("--executors")) {
+            options.executors = std::atoi(v);
+        } else if (!arg.empty() && arg[0] != '-') {
+            command = arg;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+
+    if (!connect.empty())
+        return runClient(connect, command.empty() ? "stats"
+                                                  : command);
+    if (listen.empty())
+        return usage(argv[0]);
+
+    net::Listener listener;
+    std::string error;
+    if (!listener.open(listen, &error)) {
+        std::fprintf(stderr, "hilpd: listen %s: %s\n", listen.c_str(),
+                     error.c_str());
+        return 1;
+    }
+
+    service::EvalService evalService(options);
+    service::Daemon daemon(evalService);
+    gDaemon = &daemon;
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGPIPE, SIG_IGN);
+
+    inform("hilpd %s listening on %s (memo cap %zu MiB, store cap "
+           "%zu MiB, queue depth %zu)",
+           buildGitDescribe(), listen.c_str(),
+           options.memoMaxBytes >> 20, options.storeMaxBytes >> 20,
+           options.maxQueueDepth);
+    daemon.run(listener);
+    evalService.drain();
+    inform("hilpd: exiting");
+    gDaemon = nullptr;
+    return 0;
+}

@@ -1,0 +1,515 @@
+#include "protocol.hh"
+
+#include <cstring>
+
+#include "arch/parse.hh"
+#include "support/str.hh"
+
+namespace hilp {
+namespace service {
+namespace protocol {
+
+namespace {
+
+double
+numberOr(const Json &object, const char *key, double fallback)
+{
+    const Json *value = object.find(key);
+    return value && value->isNumber() ? value->numberValue()
+                                      : fallback;
+}
+
+int64_t
+intOr(const Json &object, const char *key, int64_t fallback)
+{
+    const Json *value = object.find(key);
+    return value && value->isNumber() ? value->intValue() : fallback;
+}
+
+bool
+boolOr(const Json &object, const char *key, bool fallback)
+{
+    const Json *value = object.find(key);
+    return value && value->isBool() ? value->boolValue() : fallback;
+}
+
+std::string
+stringOr(const Json &object, const char *key,
+         const std::string &fallback)
+{
+    const Json *value = object.find(key);
+    return value && value->isString() ? value->stringValue()
+                                      : fallback;
+}
+
+} // anonymous namespace
+
+const char *
+toString(Op op)
+{
+    switch (op) {
+      case Op::Eval:
+        return "eval";
+      case Op::Sweep:
+        return "sweep";
+      case Op::Stats:
+        return "stats";
+      case Op::Shutdown:
+        return "shutdown";
+    }
+    return "unknown";
+}
+
+bool
+parseModelKind(const std::string &name, dse::ModelKind *out)
+{
+    if (name == "MA")
+        *out = dse::ModelKind::MultiAmdahl;
+    else if (name == "HILP")
+        *out = dse::ModelKind::Hilp;
+    else if (name == "Gables")
+        *out = dse::ModelKind::Gables;
+    else
+        return false;
+    return true;
+}
+
+bool
+parseVariant(const std::string &name, workload::Variant *out)
+{
+    if (name == "Rodinia")
+        *out = workload::Variant::Rodinia;
+    else if (name == "Default")
+        *out = workload::Variant::Default;
+    else if (name == "Optimized")
+        *out = workload::Variant::Optimized;
+    else
+        return false;
+    return true;
+}
+
+Json
+engineOptionsJson(const EngineOptions &options)
+{
+    Json json = Json::object();
+    json.set("initial_step_s", Json::number(options.initialStepS));
+    json.set("horizon_steps",
+             Json::number(static_cast<int64_t>(options.horizonSteps)));
+    json.set("refine_threshold",
+             Json::number(
+                 static_cast<int64_t>(options.refineThreshold)));
+    json.set("refine_factor", Json::number(options.refineFactor));
+    json.set("max_refinements",
+             Json::number(static_cast<int64_t>(options.maxRefinements)));
+    json.set("max_coarsenings",
+             Json::number(
+                 static_cast<int64_t>(options.maxCoarsenings)));
+    json.set("escalations",
+             Json::number(static_cast<int64_t>(options.escalations)));
+    json.set("escalation_factor",
+             Json::number(options.escalationFactor));
+    json.set("point_timeout_s", Json::number(options.pointTimeoutS));
+    json.set("fallback_lns_iterations",
+             Json::number(static_cast<int64_t>(
+                 options.fallbackLnsIterations)));
+
+    const cp::SolverOptions &solver = options.solver;
+    Json sjson = Json::object();
+    sjson.set("max_nodes", Json::number(solver.maxNodes));
+    sjson.set("max_seconds", Json::number(solver.maxSeconds));
+    sjson.set("target_gap", Json::number(solver.targetGap));
+    sjson.set("use_lp_bound", Json::boolean(solver.useLpBound));
+    sjson.set("greedy_restarts",
+              Json::number(
+                  static_cast<int64_t>(solver.greedyRestarts)));
+    sjson.set("lns_iterations",
+              Json::number(static_cast<int64_t>(solver.lnsIterations)));
+    sjson.set("seed",
+              Json::number(static_cast<int64_t>(solver.seed)));
+    sjson.set("energetic_reasoning",
+              Json::boolean(solver.energeticReasoning));
+    sjson.set("threads",
+              Json::number(static_cast<int64_t>(solver.threads)));
+    sjson.set("deterministic_search",
+              Json::boolean(solver.deterministicSearch));
+    sjson.set("split_depth",
+              Json::number(static_cast<int64_t>(solver.splitDepth)));
+    sjson.set("use_nogoods", Json::boolean(solver.useNogoods));
+    sjson.set("nogood_capacity",
+              Json::number(
+                  static_cast<int64_t>(solver.nogoodCapacity)));
+    sjson.set("lns", Json::boolean(solver.lns));
+    sjson.set("lns_polish_nodes",
+              Json::number(solver.lnsPolishNodes));
+    json.set("solver", sjson);
+    return json;
+}
+
+bool
+parseEngineOptions(const Json &json, EngineOptions *out,
+                   std::string *error)
+{
+    if (!json.isObject()) {
+        if (error)
+            *error = "engine options must be an object";
+        return false;
+    }
+    out->initialStepS =
+        numberOr(json, "initial_step_s", out->initialStepS);
+    out->horizonSteps = static_cast<cp::Time>(
+        intOr(json, "horizon_steps", out->horizonSteps));
+    out->refineThreshold = static_cast<cp::Time>(
+        intOr(json, "refine_threshold", out->refineThreshold));
+    out->refineFactor =
+        numberOr(json, "refine_factor", out->refineFactor);
+    out->maxRefinements = static_cast<int>(
+        intOr(json, "max_refinements", out->maxRefinements));
+    out->maxCoarsenings = static_cast<int>(
+        intOr(json, "max_coarsenings", out->maxCoarsenings));
+    out->escalations = static_cast<int>(
+        intOr(json, "escalations", out->escalations));
+    out->escalationFactor =
+        numberOr(json, "escalation_factor", out->escalationFactor);
+    out->pointTimeoutS =
+        numberOr(json, "point_timeout_s", out->pointTimeoutS);
+    out->fallbackLnsIterations = static_cast<int>(
+        intOr(json, "fallback_lns_iterations",
+              out->fallbackLnsIterations));
+    if (out->initialStepS <= 0.0 || out->horizonSteps <= 0 ||
+        out->refineFactor <= 1.0) {
+        if (error)
+            *error = "engine options out of range";
+        return false;
+    }
+
+    const Json *sjson = json.find("solver");
+    if (sjson) {
+        if (!sjson->isObject()) {
+            if (error)
+                *error = "solver options must be an object";
+            return false;
+        }
+        cp::SolverOptions &solver = out->solver;
+        solver.maxNodes = intOr(*sjson, "max_nodes", solver.maxNodes);
+        solver.maxSeconds =
+            numberOr(*sjson, "max_seconds", solver.maxSeconds);
+        solver.targetGap =
+            numberOr(*sjson, "target_gap", solver.targetGap);
+        solver.useLpBound =
+            boolOr(*sjson, "use_lp_bound", solver.useLpBound);
+        solver.greedyRestarts = static_cast<int>(
+            intOr(*sjson, "greedy_restarts", solver.greedyRestarts));
+        solver.lnsIterations = static_cast<int>(
+            intOr(*sjson, "lns_iterations", solver.lnsIterations));
+        solver.seed = static_cast<uint64_t>(
+            intOr(*sjson, "seed",
+                  static_cast<int64_t>(solver.seed)));
+        solver.energeticReasoning =
+            boolOr(*sjson, "energetic_reasoning",
+                   solver.energeticReasoning);
+        solver.threads = static_cast<int>(
+            intOr(*sjson, "threads", solver.threads));
+        solver.deterministicSearch =
+            boolOr(*sjson, "deterministic_search",
+                   solver.deterministicSearch);
+        solver.splitDepth = static_cast<int>(
+            intOr(*sjson, "split_depth", solver.splitDepth));
+        solver.useNogoods =
+            boolOr(*sjson, "use_nogoods", solver.useNogoods);
+        solver.nogoodCapacity = static_cast<size_t>(
+            intOr(*sjson, "nogood_capacity",
+                  static_cast<int64_t>(solver.nogoodCapacity)));
+        solver.lns = boolOr(*sjson, "lns", solver.lns);
+        solver.lnsPolishNodes =
+            intOr(*sjson, "lns_polish_nodes", solver.lnsPolishNodes);
+        if (solver.maxNodes <= 0 || solver.maxSeconds <= 0.0) {
+            if (error)
+                *error = "solver options out of range";
+            return false;
+        }
+    }
+    return true;
+}
+
+Json
+constraintsJson(const arch::Constraints &constraints)
+{
+    Json json = Json::object();
+    json.set("power_budget_w",
+             Json::number(constraints.powerBudgetW));
+    Json memory = Json::object();
+    memory.set("bandwidth_gbs",
+               Json::number(constraints.memory.bandwidthGBs));
+    memory.set("pj_per_bit", Json::number(constraints.memory.pjPerBit));
+    json.set("memory", memory);
+    if (!constraints.cacheLevels.empty()) {
+        Json levels = Json::array();
+        for (const arch::CacheLevel &level : constraints.cacheLevels) {
+            Json entry = Json::object();
+            entry.set("name", Json::string(level.name));
+            entry.set("bandwidth_gbs",
+                      Json::number(level.bandwidthGBs));
+            entry.set("traffic_amplification",
+                      Json::number(level.trafficAmplification));
+            levels.append(entry);
+        }
+        json.set("cache_levels", levels);
+    }
+    return json;
+}
+
+bool
+parseConstraints(const Json &json, arch::Constraints *out,
+                 std::string *error)
+{
+    if (!json.isObject()) {
+        if (error)
+            *error = "constraints must be an object";
+        return false;
+    }
+    out->powerBudgetW =
+        numberOr(json, "power_budget_w", out->powerBudgetW);
+    const Json *memory = json.find("memory");
+    if (memory && memory->isObject()) {
+        out->memory.bandwidthGBs =
+            numberOr(*memory, "bandwidth_gbs",
+                     out->memory.bandwidthGBs);
+        out->memory.pjPerBit =
+            numberOr(*memory, "pj_per_bit", out->memory.pjPerBit);
+    }
+    const Json *levels = json.find("cache_levels");
+    if (levels) {
+        if (!levels->isArray()) {
+            if (error)
+                *error = "cache_levels must be an array";
+            return false;
+        }
+        out->cacheLevels.clear();
+        for (size_t i = 0; i < levels->size(); ++i) {
+            const Json &entry = levels->at(i);
+            if (!entry.isObject()) {
+                if (error)
+                    *error = "cache_levels entries must be objects";
+                return false;
+            }
+            arch::CacheLevel level;
+            level.name = stringOr(entry, "name", level.name);
+            level.bandwidthGBs =
+                numberOr(entry, "bandwidth_gbs", level.bandwidthGBs);
+            level.trafficAmplification =
+                numberOr(entry, "traffic_amplification",
+                         level.trafficAmplification);
+            out->cacheLevels.push_back(std::move(level));
+        }
+    }
+    if (out->powerBudgetW <= 0.0 ||
+        out->memory.bandwidthGBs <= 0.0) {
+        if (error)
+            *error = "constraints out of range";
+        return false;
+    }
+    return true;
+}
+
+std::string
+encodeRequest(const Request &request)
+{
+    Json json = Json::object();
+    json.set("op", Json::string(toString(request.op)));
+    if (request.op == Op::Stats || request.op == Op::Shutdown)
+        return json.dump();
+
+    Json configs = Json::array();
+    for (const std::string &name : request.configNames)
+        configs.append(Json::string(name));
+    json.set("configs", configs);
+
+    Json wl = Json::object();
+    wl.set("variant",
+           Json::string(workload::toString(request.variant)));
+    wl.set("copies",
+           Json::number(static_cast<int64_t>(request.copies)));
+    json.set("workload", wl);
+
+    json.set("dsa_advantage", Json::number(request.dsaAdvantage));
+    json.set("model", Json::string(dse::toString(request.kind)));
+    json.set("constraints", constraintsJson(request.constraints));
+
+    Json options = Json::object();
+    options.set("engine", engineOptionsJson(request.options.engine));
+    options.set("threads",
+                Json::number(
+                    static_cast<int64_t>(request.options.threads)));
+    options.set("reuse", Json::boolean(request.options.reuse));
+    options.set("fail_fast",
+                Json::boolean(request.options.failFast));
+    json.set("options", options);
+
+    json.set("priority",
+             Json::number(static_cast<int64_t>(request.priority)));
+    return json.dump();
+}
+
+bool
+parseRequest(const std::string &line, Request *out, std::string *error)
+{
+    Json json;
+    std::string parse_error;
+    if (!Json::parse(line, &json, &parse_error)) {
+        if (error)
+            *error = format("bad request JSON: %s",
+                            parse_error.c_str());
+        return false;
+    }
+    if (!json.isObject()) {
+        if (error)
+            *error = "request must be a JSON object";
+        return false;
+    }
+    std::string op = stringOr(json, "op", "");
+    if (op == "eval")
+        out->op = Op::Eval;
+    else if (op == "sweep")
+        out->op = Op::Sweep;
+    else if (op == "stats")
+        out->op = Op::Stats;
+    else if (op == "shutdown")
+        out->op = Op::Shutdown;
+    else {
+        if (error)
+            *error = format("unknown op \"%s\"", op.c_str());
+        return false;
+    }
+    if (out->op == Op::Stats || out->op == Op::Shutdown)
+        return true;
+
+    const Json *configs = json.find("configs");
+    if (!configs || !configs->isArray() || configs->size() == 0) {
+        if (error)
+            *error = "request needs a non-empty \"configs\" array";
+        return false;
+    }
+    out->configNames.clear();
+    for (size_t i = 0; i < configs->size(); ++i) {
+        if (!configs->at(i).isString()) {
+            if (error)
+                *error = "config labels must be strings";
+            return false;
+        }
+        out->configNames.push_back(configs->at(i).stringValue());
+    }
+    if (out->op == Op::Eval && out->configNames.size() != 1) {
+        if (error)
+            *error = "eval takes exactly one config";
+        return false;
+    }
+
+    const Json *wl = json.find("workload");
+    if (wl && wl->isObject()) {
+        std::string variant = stringOr(*wl, "variant", "Default");
+        if (!parseVariant(variant, &out->variant)) {
+            if (error)
+                *error = format("unknown workload variant \"%s\"",
+                                variant.c_str());
+            return false;
+        }
+        out->copies =
+            static_cast<int>(intOr(*wl, "copies", out->copies));
+        if (out->copies < 1) {
+            if (error)
+                *error = "workload copies must be >= 1";
+            return false;
+        }
+    }
+
+    out->dsaAdvantage =
+        numberOr(json, "dsa_advantage", out->dsaAdvantage);
+    if (out->dsaAdvantage <= 0.0) {
+        if (error)
+            *error = "dsa_advantage must be positive";
+        return false;
+    }
+
+    std::string model = stringOr(json, "model", "HILP");
+    if (!parseModelKind(model, &out->kind)) {
+        if (error)
+            *error = format("unknown model \"%s\"", model.c_str());
+        return false;
+    }
+
+    const Json *constraints = json.find("constraints");
+    if (constraints &&
+        !parseConstraints(*constraints, &out->constraints, error))
+        return false;
+
+    const Json *options = json.find("options");
+    if (options) {
+        if (!options->isObject()) {
+            if (error)
+                *error = "\"options\" must be an object";
+            return false;
+        }
+        const Json *engine = options->find("engine");
+        if (engine &&
+            !parseEngineOptions(*engine, &out->options.engine, error))
+            return false;
+        out->options.threads = static_cast<int>(
+            intOr(*options, "threads", out->options.threads));
+        out->options.reuse =
+            boolOr(*options, "reuse", out->options.reuse);
+        out->options.failFast =
+            boolOr(*options, "fail_fast", out->options.failFast);
+    }
+
+    out->priority =
+        static_cast<int>(intOr(json, "priority", out->priority));
+    return true;
+}
+
+bool
+resolveConfigs(const Request &request,
+               std::vector<arch::SocConfig> *out, std::string *error)
+{
+    std::vector<int> priority = workload::dsaPriorityOrder();
+    out->clear();
+    out->reserve(request.configNames.size());
+    for (const std::string &name : request.configNames) {
+        arch::SocParseResult parsed =
+            arch::parseSocName(name, priority, request.dsaAdvantage);
+        if (!parsed.ok) {
+            if (error)
+                *error = format("bad config \"%s\": %s", name.c_str(),
+                                parsed.error.c_str());
+            return false;
+        }
+        out->push_back(std::move(parsed.config));
+    }
+    return true;
+}
+
+std::string
+encodeDone(bool ok, const std::string &error, size_t points)
+{
+    Json json = Json::object();
+    json.set("type", Json::string("done"));
+    json.set("ok", Json::boolean(ok));
+    if (!error.empty())
+        json.set("error", Json::string(error));
+    if (points > 0)
+        json.set("points",
+                 Json::number(static_cast<int64_t>(points)));
+    return json.dump();
+}
+
+std::string
+encodeStats(Json stats)
+{
+    Json json = Json::object();
+    json.set("type", Json::string("stats"));
+    json.set("stats", std::move(stats));
+    return json.dump();
+}
+
+} // namespace protocol
+} // namespace service
+} // namespace hilp

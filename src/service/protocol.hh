@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The hilpd wire protocol: newline-delimited JSON over a stream
+ * socket (see support/net.hh).
+ *
+ * Requests are one JSON object per line:
+ *
+ *   {"op": "eval",  "configs": ["(c4,g16,d2^16)"], "workload":
+ *    {"variant": "Default", "copies": 1}, "model": "HILP",
+ *    "constraints": {...}, "options": {...}, "priority": 0}
+ *   {"op": "sweep", "configs": [...], ...}          same shape
+ *   {"op": "stats"}
+ *   {"op": "shutdown"}
+ *
+ * Configurations travel as the paper's labels ("(c4,g16,d2^16)") and
+ * are reconstructed server-side with arch::parseSocName against the
+ * request's DSA advantage and the paper's DSA priority order - the
+ * label is the complete identity of a design-space point.
+ *
+ * Responses stream back per line:
+ *
+ *   {"type": "point", ...}   one per completed point, in completion
+ *                            order: the sweep-checkpoint record
+ *                            format (dse::pointRecordJson) plus the
+ *                            "type" tag, which parsePointRecord
+ *                            ignores - so a captured stream is a
+ *                            valid --resume checkpoint file.
+ *   {"type": "stats", "stats": {...}}  the stats response payload.
+ *   {"type": "done", "ok": true|false, "error": "...", "points": N}
+ *                            exactly one per request, last.
+ *
+ * A malformed request gets a done/ok=false line and the connection
+ * stays usable; a rejected request (admission control) reports the
+ * rejection reason the same way.
+ */
+
+#ifndef HILP_SERVICE_PROTOCOL_HH
+#define HILP_SERVICE_PROTOCOL_HH
+
+#include <string>
+#include <vector>
+
+#include "arch/soc.hh"
+#include "dse/explore.hh"
+#include "support/json.hh"
+#include "workload/rodinia.hh"
+
+namespace hilp {
+namespace service {
+namespace protocol {
+
+/** Request operations. */
+enum class Op { Eval, Sweep, Stats, Shutdown };
+
+const char *toString(Op op);
+
+/** A decoded request line. */
+struct Request
+{
+    Op op = Op::Stats;
+    /** Configuration labels; exactly one for Eval. */
+    std::vector<std::string> configNames;
+    workload::Variant variant = workload::Variant::Default;
+    int copies = 1;
+    double dsaAdvantage = 4.0;
+    arch::Constraints constraints;
+    dse::ModelKind kind = dse::ModelKind::Hilp;
+    /**
+     * Exploration options. Only value fields travel (engine, solver,
+     * build, threads, reuse, failFast); the pointer members (memo,
+     * checkpoint, injectFault) are the server's.
+     */
+    dse::DseOptions options;
+    int priority = 0;
+};
+
+/** Encode a request as one wire line (no trailing newline). */
+std::string encodeRequest(const Request &request);
+
+/**
+ * Decode one request line. Returns false and fills *error on
+ * malformed input (bad JSON, unknown op/model/variant, invalid
+ * config label, out-of-range field).
+ */
+bool parseRequest(const std::string &line, Request *out,
+                  std::string *error);
+
+/**
+ * Reconstruct the request's SocConfigs from its labels, in request
+ * order. Returns false and fills *error on the first bad label.
+ */
+bool resolveConfigs(const Request &request,
+                    std::vector<arch::SocConfig> *out,
+                    std::string *error);
+
+// JSON round trips for the option payloads. Parsers accept partial
+// objects - absent fields keep their defaults - so old clients can
+// talk to new servers and vice versa.
+
+Json engineOptionsJson(const EngineOptions &options);
+bool parseEngineOptions(const Json &json, EngineOptions *out,
+                        std::string *error);
+
+Json constraintsJson(const arch::Constraints &constraints);
+bool parseConstraints(const Json &json, arch::Constraints *out,
+                      std::string *error);
+
+/** Model kind by wire name ("MA", "HILP", "Gables"). */
+bool parseModelKind(const std::string &name, dse::ModelKind *out);
+
+/** Workload variant by wire name ("Rodinia", "Default", "Optimized"). */
+bool parseVariant(const std::string &name, workload::Variant *out);
+
+// Response lines.
+
+/** The terminal line of every request. */
+std::string encodeDone(bool ok, const std::string &error,
+                       size_t points = 0);
+
+/** The stats response payload line. */
+std::string encodeStats(Json stats);
+
+} // namespace protocol
+} // namespace service
+} // namespace hilp
+
+#endif // HILP_SERVICE_PROTOCOL_HH

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Build provenance: the git revision and build type this binary was
+ * compiled from, stamped at configure time.
+ *
+ * Benchmark artifacts (sweep reports, checkpoints, daemon stats)
+ * outlive the working tree that produced them; stamping them with
+ * `git describe` plus the build type makes every number attributable
+ * to a commit and an optimization level.
+ */
+
+#ifndef HILP_SUPPORT_VERSION_HH
+#define HILP_SUPPORT_VERSION_HH
+
+#include <string>
+
+#include "json.hh"
+
+namespace hilp {
+
+/**
+ * `git describe --always --dirty` at configure time; "unknown" when
+ * the source tree was not a git checkout.
+ */
+const char *buildGitDescribe();
+
+/** CMAKE_BUILD_TYPE at configure time (e.g. "Release"). */
+const char *buildType();
+
+/** One-line stamp: "hilp <describe> (<build type>)". */
+std::string versionString();
+
+/** {"git": <describe>, "build_type": <type>} for JSON artifacts. */
+Json versionJson();
+
+} // namespace hilp
+
+#endif // HILP_SUPPORT_VERSION_HH

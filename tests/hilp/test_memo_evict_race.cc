@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Races concurrent SolveMemo traffic against byte-cap eviction. The
+ * memo is the one shared mutable structure of the evaluation service
+ * (hilpd keeps one alive across requests), so this test runs in the
+ * TSan-covered concurrency binary: many threads insert and look up
+ * overlapping keys against a cap small enough that eviction fires
+ * constantly, and every hit must still return a self-consistent
+ * result.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "hilp/engine.hh"
+
+namespace hilp {
+namespace {
+
+/**
+ * A result whose payload encodes its key, so a racing lookup can
+ * check that whatever entry it got back is internally consistent
+ * (no torn or cross-keyed reads).
+ */
+EvalResult
+resultForKey(uint64_t key)
+{
+    EvalResult result;
+    result.ok = true;
+    result.makespanS = 1.0 + static_cast<double>(key);
+    result.lowerBoundS = result.makespanS; // gap 0: never replaced
+    result.gap = 0.0;
+    return result;
+}
+
+TEST(SolveMemoEvictRace, ConcurrentTrafficUnderTinyCap)
+{
+    size_t one = SolveMemo::resultFootprintBytes(resultForKey(0));
+    // Room for ~8 of 64 keys: every thread keeps evicting the others'
+    // entries while they are being looked up.
+    SolveMemo memo(8 * one);
+
+    constexpr int kThreads = 8;
+    constexpr int kKeys = 64;
+    constexpr int kIterations = 400;
+    std::atomic<int64_t> hits{0};
+    std::atomic<int64_t> misses{0};
+
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (int i = 0; i < kIterations; ++i) {
+                uint64_t key =
+                    static_cast<uint64_t>((i * 7 + t * 13) % kKeys);
+                EvalResult out;
+                if (memo.lookup(key, &out)) {
+                    // A hit must be the value inserted for this key,
+                    // with the cache-hit bookkeeping applied.
+                    EXPECT_DOUBLE_EQ(
+                        out.makespanS,
+                        1.0 + static_cast<double>(key));
+                    EXPECT_TRUE(out.cacheHit);
+                    EXPECT_EQ(out.solves, 0);
+                    hits.fetch_add(1, std::memory_order_relaxed);
+                } else {
+                    // "Recompute" the evicted/missing entry.
+                    memo.insert(key, resultForKey(key));
+                    misses.fetch_add(1, std::memory_order_relaxed);
+                }
+            }
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+
+    // The cap held the whole time and eviction really fired: far more
+    // keys passed through than fit. (Whether any racing lookup *hit*
+    // is interleaving-dependent - under TSan eviction can win every
+    // race - so hits are only consistency-checked above, and the
+    // still-cached-entry hit is verified deterministically below.)
+    EXPECT_LE(memo.bytes(), memo.maxBytes());
+    EXPECT_LE(memo.entries(), 8u);
+    EXPECT_GT(memo.evictions(), 0);
+    EXPECT_GT(misses.load(), 0);
+    EXPECT_EQ(hits.load() + misses.load(),
+              static_cast<int64_t>(kThreads) * kIterations);
+
+    // With the traffic stopped, a fresh insert must be servable.
+    memo.insert(kKeys + 1, resultForKey(kKeys + 1));
+    EvalResult out;
+    ASSERT_TRUE(memo.lookup(kKeys + 1, &out));
+    EXPECT_TRUE(out.cacheHit);
+    EXPECT_DOUBLE_EQ(out.makespanS,
+                     1.0 + static_cast<double>(kKeys + 1));
+}
+
+TEST(SolveMemoEvictRace, RacingSetMaxBytesStaysBounded)
+{
+    size_t one = SolveMemo::resultFootprintBytes(resultForKey(0));
+    SolveMemo memo(16 * one);
+
+    std::atomic<bool> stop{false};
+    std::thread resizer([&] {
+        // Flip between a tiny and a roomy cap while traffic runs.
+        for (int i = 0; i < 200; ++i)
+            memo.setMaxBytes(((i % 2) ? 2 : 16) * one);
+        stop.store(true);
+    });
+
+    std::vector<std::thread> writers;
+    for (int t = 0; t < 4; ++t) {
+        writers.emplace_back([&, t] {
+            uint64_t key = static_cast<uint64_t>(t);
+            while (!stop.load()) {
+                memo.insert(key, resultForKey(key));
+                EvalResult out;
+                memo.lookup(key, &out);
+                key = (key + 4) % 32;
+            }
+        });
+    }
+    resizer.join();
+    for (std::thread &thread : writers)
+        thread.join();
+
+    EXPECT_LE(memo.bytes(), memo.maxBytes());
+}
+
+} // anonymous namespace
+} // namespace hilp

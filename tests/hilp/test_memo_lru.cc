@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Unit tests for the SolveMemo's byte-accounted LRU bound: the cap
+ * is respected, eviction is least-recently-used (lookups refresh
+ * recency), evicted keys recompute (miss, then re-insert fine), and
+ * the unbounded default retains everything as before.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hilp/engine.hh"
+
+namespace hilp {
+namespace {
+
+EvalResult
+resultWithMakespan(double makespan_s)
+{
+    EvalResult result;
+    result.ok = true;
+    result.makespanS = makespan_s;
+    result.gap = 0.05;
+    return result;
+}
+
+TEST(SolveMemoLru, UnboundedByDefaultRetainsEverything)
+{
+    SolveMemo memo;
+    EXPECT_EQ(memo.maxBytes(), 0u);
+    for (uint64_t key = 0; key < 512; ++key)
+        memo.insert(key, resultWithMakespan(1.0 + key));
+    EXPECT_EQ(memo.entries(), 512u);
+    EXPECT_EQ(memo.evictions(), 0);
+}
+
+TEST(SolveMemoLru, ByteCapIsNeverExceeded)
+{
+    size_t one = SolveMemo::resultFootprintBytes(
+        resultWithMakespan(1.0));
+    SolveMemo memo(4 * one);
+    for (uint64_t key = 0; key < 64; ++key) {
+        memo.insert(key, resultWithMakespan(1.0 + key));
+        EXPECT_LE(memo.bytes(), memo.maxBytes())
+            << "after insert " << key;
+    }
+    EXPECT_EQ(memo.entries(), 4u);
+    EXPECT_EQ(memo.evictions(), 60);
+}
+
+TEST(SolveMemoLru, EvictionIsLeastRecentlyUsed)
+{
+    size_t one = SolveMemo::resultFootprintBytes(
+        resultWithMakespan(1.0));
+    SolveMemo memo(3 * one);
+    memo.insert(1, resultWithMakespan(1.0));
+    memo.insert(2, resultWithMakespan(2.0));
+    memo.insert(3, resultWithMakespan(3.0));
+
+    // Touch key 1: key 2 becomes the least recently used.
+    EvalResult out;
+    ASSERT_TRUE(memo.lookup(1, &out));
+
+    memo.insert(4, resultWithMakespan(4.0));
+    EXPECT_TRUE(memo.lookup(1, &out));
+    EXPECT_FALSE(memo.lookup(2, &out)) << "LRU key should be evicted";
+    EXPECT_TRUE(memo.lookup(3, &out));
+    EXPECT_TRUE(memo.lookup(4, &out));
+}
+
+TEST(SolveMemoLru, EvictedKeysRecomputeAndReinsert)
+{
+    size_t one = SolveMemo::resultFootprintBytes(
+        resultWithMakespan(1.0));
+    SolveMemo memo(2 * one);
+    memo.insert(1, resultWithMakespan(1.0));
+    memo.insert(2, resultWithMakespan(2.0));
+    memo.insert(3, resultWithMakespan(3.0)); // Evicts key 1.
+
+    EvalResult out;
+    EXPECT_FALSE(memo.lookup(1, &out));
+    // The "recompute" result lands like any fresh insert.
+    memo.insert(1, resultWithMakespan(1.5));
+    ASSERT_TRUE(memo.lookup(1, &out));
+    EXPECT_DOUBLE_EQ(out.makespanS, 1.5);
+    EXPECT_LE(memo.bytes(), memo.maxBytes());
+}
+
+TEST(SolveMemoLru, CacheHitStillZeroesEffortCounters)
+{
+    SolveMemo memo(1 << 20);
+    EvalResult result = resultWithMakespan(2.0);
+    result.totalNodes = 1234;
+    result.solves = 3;
+    memo.insert(7, result);
+
+    EvalResult out;
+    ASSERT_TRUE(memo.lookup(7, &out));
+    EXPECT_TRUE(out.cacheHit);
+    EXPECT_EQ(out.totalNodes, 0);
+    EXPECT_EQ(out.solves, 0);
+}
+
+TEST(SolveMemoLru, SetMaxBytesEvictsImmediately)
+{
+    size_t one = SolveMemo::resultFootprintBytes(
+        resultWithMakespan(1.0));
+    SolveMemo memo;
+    for (uint64_t key = 0; key < 10; ++key)
+        memo.insert(key, resultWithMakespan(1.0 + key));
+    EXPECT_EQ(memo.entries(), 10u);
+
+    memo.setMaxBytes(2 * one);
+    EXPECT_LE(memo.bytes(), memo.maxBytes());
+    EXPECT_EQ(memo.entries(), 2u);
+}
+
+TEST(SolveMemoLru, OversizedResultIsNotRetained)
+{
+    EvalResult result = resultWithMakespan(2.0);
+    size_t one = SolveMemo::resultFootprintBytes(result);
+    SolveMemo memo(one / 2);
+    memo.insert(1, result);
+    EXPECT_EQ(memo.entries(), 0u);
+    EXPECT_EQ(memo.bytes(), 0u);
+
+    EvalResult out;
+    EXPECT_FALSE(memo.lookup(1, &out));
+}
+
+TEST(SolveMemoLru, ClearDropsEntriesButKeepsAccounting)
+{
+    SolveMemo memo(1 << 20);
+    memo.insert(1, resultWithMakespan(1.0));
+    EvalResult out;
+    ASSERT_TRUE(memo.lookup(1, &out));
+    int64_t hits = memo.hits();
+
+    memo.clear();
+    EXPECT_EQ(memo.entries(), 0u);
+    EXPECT_EQ(memo.bytes(), 0u);
+    EXPECT_FALSE(memo.lookup(1, &out));
+    EXPECT_EQ(memo.hits(), hits);
+}
+
+} // anonymous namespace
+} // namespace hilp

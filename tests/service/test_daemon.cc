@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Integration tests for the hilpd connection handler, driven over a
+ * socketpair: the full NDJSON protocol without binding any address.
+ * Covers the malformed-request path (the connection must survive),
+ * admission-control rejection, point streaming in the checkpoint
+ * record format, stats, and shutdown - including the rule that a
+ * stopping daemon still answers stats but refuses new work.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "dse/checkpoint.hh"
+#include "service/daemon.hh"
+#include "service/protocol.hh"
+#include "support/json.hh"
+
+namespace hilp {
+namespace service {
+namespace {
+
+/**
+ * One in-memory daemon connection: serveConnection runs on its own
+ * thread against one end of a socketpair, the test speaks NDJSON on
+ * the other.
+ */
+class DaemonHarness
+{
+  public:
+    explicit DaemonHarness(const ServiceOptions &options = {})
+        : service_(options), daemon_(service_)
+    {
+        int fds[2] = {-1, -1};
+        EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+        server_ = std::thread([this, fd = fds[0]] {
+            shutdownRequested_ =
+                daemon_.serveConnection(net::Socket(fd));
+        });
+        client_.reset(new net::LineChannel(net::Socket(fds[1])));
+    }
+
+    ~DaemonHarness()
+    {
+        hangUp();
+        if (server_.joinable())
+            server_.join();
+    }
+
+    net::LineChannel &client() { return *client_; }
+    Daemon &daemon() { return daemon_; }
+
+    /** Close the client end (the daemon handler sees EOF). */
+    void
+    hangUp()
+    {
+        if (client_)
+            client_->socket().close();
+    }
+
+    /** Join the handler and report whether it requested shutdown. */
+    bool
+    shutdownRequested()
+    {
+        if (server_.joinable())
+            server_.join();
+        return shutdownRequested_;
+    }
+
+    /** Read one line and parse it as JSON (fails the test if not). */
+    Json
+    readJson()
+    {
+        std::string line;
+        EXPECT_TRUE(client_->readLine(&line));
+        Json json;
+        std::string error;
+        EXPECT_TRUE(Json::parse(line, &json, &error))
+            << error << ": " << line;
+        lastLine_ = line;
+        return json;
+    }
+
+    /** The raw text of the last readJson() line. */
+    const std::string &lastLine() const { return lastLine_; }
+
+  private:
+    EvalService service_;
+    Daemon daemon_;
+    std::unique_ptr<net::LineChannel> client_;
+    std::thread server_;
+    bool shutdownRequested_ = false;
+    std::string lastLine_;
+};
+
+std::string
+typeOf(const Json &json)
+{
+    const Json *type = json.find("type");
+    return type && type->isString() ? type->stringValue()
+                                    : std::string();
+}
+
+protocol::Request
+maEvalRequest(const std::string &label)
+{
+    protocol::Request request;
+    request.op = protocol::Op::Eval;
+    request.configNames = {label};
+    request.kind = dse::ModelKind::MultiAmdahl;
+    return request;
+}
+
+TEST(DaemonProtocol, MalformedRequestKeepsConnectionUsable)
+{
+    DaemonHarness harness;
+
+    // Not JSON at all.
+    ASSERT_TRUE(harness.client().writeLine("this is not json"));
+    Json done = harness.readJson();
+    EXPECT_EQ(typeOf(done), "done");
+    EXPECT_FALSE(done.find("ok")->boolValue());
+    EXPECT_FALSE(done.find("error")->stringValue().empty());
+
+    // Valid JSON, unknown op.
+    ASSERT_TRUE(harness.client().writeLine("{\"op\":\"frobnicate\"}"));
+    done = harness.readJson();
+    EXPECT_EQ(typeOf(done), "done");
+    EXPECT_FALSE(done.find("ok")->boolValue());
+
+    // Valid JSON, bad config label.
+    protocol::Request bad = maEvalRequest("(cX,gY,dZ)");
+    ASSERT_TRUE(harness.client().writeLine(
+        protocol::encodeRequest(bad)));
+    done = harness.readJson();
+    EXPECT_EQ(typeOf(done), "done");
+    EXPECT_FALSE(done.find("ok")->boolValue());
+
+    // The connection survived all three: stats still round-trips.
+    protocol::Request stats;
+    stats.op = protocol::Op::Stats;
+    ASSERT_TRUE(harness.client().writeLine(
+        protocol::encodeRequest(stats)));
+    Json reply = harness.readJson();
+    EXPECT_EQ(typeOf(reply), "stats");
+    ASSERT_NE(reply.find("stats"), nullptr);
+    EXPECT_NE(reply.find("stats")->find("memo"), nullptr);
+    done = harness.readJson();
+    EXPECT_EQ(typeOf(done), "done");
+    EXPECT_TRUE(done.find("ok")->boolValue());
+
+    harness.hangUp();
+    EXPECT_FALSE(harness.shutdownRequested());
+}
+
+TEST(DaemonProtocol, EvalStreamsCheckpointCompatiblePoint)
+{
+    DaemonHarness harness;
+
+    ASSERT_TRUE(harness.client().writeLine(
+        protocol::encodeRequest(maEvalRequest("(c2,g4,d0^0)"))));
+
+    Json point_line = harness.readJson();
+    ASSERT_EQ(typeOf(point_line), "point") << harness.lastLine();
+    // The streamed line is a valid --resume checkpoint record.
+    uint64_t key = 0;
+    dse::DsePoint point;
+    bool has_schedule = false;
+    ASSERT_TRUE(dse::parsePointRecord(harness.lastLine(), &key,
+                                      &point, nullptr,
+                                      &has_schedule));
+    EXPECT_TRUE(point.ok);
+    EXPECT_GT(point.makespanS, 0.0);
+
+    Json done = harness.readJson();
+    EXPECT_EQ(typeOf(done), "done");
+    EXPECT_TRUE(done.find("ok")->boolValue())
+        << done.find("error")->stringValue();
+    EXPECT_EQ(done.find("points")->intValue(), 1);
+}
+
+TEST(DaemonProtocol, QueueFullRejectsWithReason)
+{
+    ServiceOptions options;
+    options.maxQueueDepth = 0; // Admission control rejects everything.
+    DaemonHarness harness(options);
+
+    ASSERT_TRUE(harness.client().writeLine(
+        protocol::encodeRequest(maEvalRequest("(c1,g0,d0^0)"))));
+    Json done = harness.readJson();
+    EXPECT_EQ(typeOf(done), "done");
+    EXPECT_FALSE(done.find("ok")->boolValue());
+    const std::string &error = done.find("error")->stringValue();
+    EXPECT_NE(error.find("rejected"), std::string::npos) << error;
+    EXPECT_NE(error.find("queue full"), std::string::npos) << error;
+
+    // Rejection is per request, not per connection.
+    protocol::Request stats;
+    stats.op = protocol::Op::Stats;
+    ASSERT_TRUE(harness.client().writeLine(
+        protocol::encodeRequest(stats)));
+    EXPECT_EQ(typeOf(harness.readJson()), "stats");
+    EXPECT_TRUE(harness.readJson().find("ok")->boolValue());
+}
+
+TEST(DaemonProtocol, ShutdownRequestStopsDaemon)
+{
+    DaemonHarness harness;
+
+    protocol::Request shutdown;
+    shutdown.op = protocol::Op::Shutdown;
+    ASSERT_TRUE(harness.client().writeLine(
+        protocol::encodeRequest(shutdown)));
+    Json done = harness.readJson();
+    EXPECT_EQ(typeOf(done), "done");
+    EXPECT_TRUE(done.find("ok")->boolValue());
+
+    EXPECT_TRUE(harness.shutdownRequested());
+    EXPECT_TRUE(harness.daemon().stopping());
+
+    // The handler closed the connection after shutdown.
+    std::string line;
+    EXPECT_FALSE(harness.client().readLine(&line));
+}
+
+TEST(DaemonProtocol, StoppingDaemonRefusesWorkButAnswersStats)
+{
+    DaemonHarness harness;
+    harness.daemon().stop();
+
+    // New work is refused with a reason...
+    ASSERT_TRUE(harness.client().writeLine(
+        protocol::encodeRequest(maEvalRequest("(c1,g0,d0^0)"))));
+    Json done = harness.readJson();
+    EXPECT_EQ(typeOf(done), "done");
+    EXPECT_FALSE(done.find("ok")->boolValue());
+    EXPECT_NE(done.find("error")->stringValue().find("shutting down"),
+              std::string::npos);
+
+    // ...but observability survives the stop: stats still answers,
+    // so an operator can inspect a draining daemon.
+    protocol::Request stats;
+    stats.op = protocol::Op::Stats;
+    ASSERT_TRUE(harness.client().writeLine(
+        protocol::encodeRequest(stats)));
+    EXPECT_EQ(typeOf(harness.readJson()), "stats");
+    EXPECT_TRUE(harness.readJson().find("ok")->boolValue());
+}
+
+TEST(DaemonProtocol, RequestRoundTrip)
+{
+    // encodeRequest -> parseRequest is lossless for the fields that
+    // travel; guards the client and daemon against drifting apart.
+    protocol::Request request;
+    request.op = protocol::Op::Sweep;
+    request.configNames = {"(c2,g4,d0^0)", "(c4,g16,d2^16)"};
+    request.variant = workload::Variant::Optimized;
+    request.copies = 3;
+    request.dsaAdvantage = 8.0;
+    request.constraints.powerBudgetW = 50.0;
+    request.kind = dse::ModelKind::Hilp;
+    request.options.threads = 4;
+    request.options.engine.solver.maxSeconds = 1.5;
+    request.options.engine.pointTimeoutS = 9.0;
+    request.priority = 2;
+
+    protocol::Request decoded;
+    std::string error;
+    ASSERT_TRUE(protocol::parseRequest(
+        protocol::encodeRequest(request), &decoded, &error)) << error;
+    EXPECT_EQ(decoded.op, protocol::Op::Sweep);
+    EXPECT_EQ(decoded.configNames, request.configNames);
+    EXPECT_EQ(decoded.variant, workload::Variant::Optimized);
+    EXPECT_EQ(decoded.copies, 3);
+    EXPECT_DOUBLE_EQ(decoded.dsaAdvantage, 8.0);
+    EXPECT_DOUBLE_EQ(decoded.constraints.powerBudgetW, 50.0);
+    EXPECT_EQ(decoded.kind, dse::ModelKind::Hilp);
+    EXPECT_EQ(decoded.options.threads, 4);
+    EXPECT_DOUBLE_EQ(decoded.options.engine.solver.maxSeconds, 1.5);
+    EXPECT_DOUBLE_EQ(decoded.options.engine.pointTimeoutS, 9.0);
+    EXPECT_EQ(decoded.priority, 2);
+
+    std::vector<arch::SocConfig> configs;
+    ASSERT_TRUE(protocol::resolveConfigs(decoded, &configs, &error))
+        << error;
+    ASSERT_EQ(configs.size(), 2u);
+    EXPECT_EQ(configs[0].cpuCores, 2);
+    EXPECT_EQ(configs[0].gpuSms, 4);
+    EXPECT_EQ(configs[1].cpuCores, 4);
+    ASSERT_EQ(configs[1].dsas.size(), 2u);
+    EXPECT_EQ(configs[1].dsas[0].pes, 16);
+    EXPECT_DOUBLE_EQ(configs[1].dsaAdvantage, 8.0);
+}
+
+} // anonymous namespace
+} // namespace service
+} // namespace hilp
