@@ -1,5 +1,7 @@
 #include "common.hh"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -9,6 +11,7 @@
 #include "dse/pareto.hh"
 #include "service/client.hh"
 #include "service/eval_service.hh"
+#include "service/telemetry_http.hh"
 #include "support/logging.hh"
 #include "support/metrics.hh"
 #include "support/str.hh"
@@ -35,6 +38,7 @@ std::string g_connect;
 bool g_no_reuse = false;
 size_t g_max_configs = 0;
 size_t g_memo_bytes = 0;
+std::string g_metrics_addr;
 
 void
 dumpTelemetry()
@@ -92,6 +96,8 @@ initHarness(int *argc, char **argv)
             g_lns = true;
         else if (std::strncmp(arg, "--connect=", 10) == 0)
             g_connect = arg + 10;
+        else if (std::strncmp(arg, "--metrics-addr=", 15) == 0)
+            g_metrics_addr = arg + 15;
         else if (std::strcmp(arg, "--no-reuse") == 0)
             g_no_reuse = true;
         else if (std::strncmp(arg, "--max-configs=", 14) == 0)
@@ -113,8 +119,26 @@ initHarness(int *argc, char **argv)
             argv[kept++] = argv[i];
     }
     *argc = kept;
-    if (!g_trace_path.empty())
+    if (!g_trace_path.empty()) {
+        // Stamp the pid into the filename so concurrent harness
+        // processes pointed at the same --trace-out (scripted
+        // sweeps, check.sh stages) never interleave writes into one
+        // file: out/trace.json becomes out/trace.<pid>.json.
+        g_trace_path = trace::taggedPath(
+            g_trace_path, std::to_string(::getpid()));
         trace::setEnabled(true);
+    }
+    if (!g_metrics_addr.empty()) {
+        // The same exposition endpoint hilpd serves, in-process: a
+        // long sweep can be watched live with curl while it runs.
+        static service::TelemetryServer telemetry;
+        std::string error;
+        if (!telemetry.start(g_metrics_addr, nullptr, &error))
+            fatal("--metrics-addr %s: %s", g_metrics_addr.c_str(),
+                  error.c_str());
+        inform("telemetry on %s (GET /metrics, /metrics.json, "
+               "/healthz)", g_metrics_addr.c_str());
+    }
     // Dump at exit so the trace also covers the google-benchmark
     // loops that run after each binary's figure emission.
     if (!g_trace_path.empty() || !g_metrics_path.empty())

@@ -27,7 +27,9 @@ namespace bench {
  *
  *   --trace-out=FILE    enable tracing; at exit, write the Chrome
  *                       trace-event JSON to FILE (open in Perfetto
- *                       at https://ui.perfetto.dev).
+ *                       at https://ui.perfetto.dev). The pid is
+ *                       stamped into the name (x.json -> x.<pid>.json)
+ *                       so concurrent processes never share a file.
  *   --metrics-out=FILE  at exit, write the metrics-registry snapshot
  *                       (counters/gauges/histograms) to FILE as JSON.
  *   --solver-threads=N  branch-and-bound worker threads for every
@@ -58,6 +60,11 @@ namespace bench {
  *   --connect=ADDR      route sweeps to a running hilpd daemon at
  *                       ADDR (unix:/path or tcp:host:port) instead
  *                       of evaluating in-process; see runSweep().
+ *   --metrics-addr=ADDR serve this process's metrics registry live
+ *                       over HTTP (GET /metrics Prometheus text,
+ *                       /metrics.json, /healthz) while it runs -
+ *                       the same endpoint hilpd --metrics-addr
+ *                       exposes.
  *   --no-reuse          run every solve cold (disable warm-start
  *                       chains, the solve cache, and dominance
  *                       pruning) in runSweep sweeps.

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Standalone scrape client for the telemetry endpoint. Connects to a
+ * hilpd --metrics-addr (or a bench --metrics-addr) listener, issues
+ * one HTTP/1.0 GET, and checks the response: status 200, and for
+ * /metrics that the body parses as Prometheus text exposition
+ * (support/expo validator), for the JSON paths that the body parses
+ * as JSON. The body is echoed to stdout so scripts can grep it for
+ * expected samples. Exits 0 on a valid response; check.sh uses it as
+ * the proof that what a real scraper sees is well-formed.
+ *
+ *   expo_check unix:/tmp/hilpd-metrics.sock /metrics
+ *   expo_check tcp:127.0.0.1:9137 /healthz
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "support/expo.hh"
+#include "support/json.hh"
+#include "support/net.hh"
+#include "support/str.hh"
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 3) {
+        std::fprintf(stderr,
+                     "usage: %s <unix:PATH|tcp:HOST:PORT> </path>\n",
+                     argv[0]);
+        return 2;
+    }
+    std::string address = argv[1];
+    std::string path = argv[2];
+
+    std::string error;
+    hilp::net::Socket socket = hilp::net::connectTo(address, &error);
+    if (!socket.valid()) {
+        std::fprintf(stderr, "expo_check: connect %s: %s\n",
+                     address.c_str(), error.c_str());
+        return 1;
+    }
+
+    std::string request = hilp::format(
+        "GET %s HTTP/1.0\r\n\r\n", path.c_str());
+    if (!socket.writeAll(request.data(), request.size())) {
+        std::fprintf(stderr, "expo_check: write failed\n");
+        return 1;
+    }
+
+    // Read to EOF (the server answers Connection: close).
+    std::string response;
+    char buffer[4096];
+    for (;;) {
+        ssize_t got = socket.read(buffer, sizeof(buffer));
+        if (got <= 0)
+            break;
+        response.append(buffer, static_cast<size_t>(got));
+    }
+
+    // "HTTP/1.0 200 OK\r\n...headers...\r\n\r\nbody"
+    if (response.compare(0, 5, "HTTP/") != 0) {
+        std::fprintf(stderr, "expo_check: not an HTTP response\n");
+        return 1;
+    }
+    size_t space = response.find(' ');
+    if (space == std::string::npos ||
+        response.compare(space + 1, 3, "200") != 0) {
+        size_t eol = response.find('\n');
+        std::fprintf(stderr, "expo_check: non-200 status line: %s\n",
+                     response.substr(0, eol).c_str());
+        return 1;
+    }
+    size_t blank = response.find("\r\n\r\n");
+    if (blank == std::string::npos) {
+        std::fprintf(stderr, "expo_check: no header terminator\n");
+        return 1;
+    }
+    std::string body = response.substr(blank + 4);
+
+    if (path == "/metrics") {
+        error = hilp::expo::validateExposition(body);
+        if (!error.empty()) {
+            std::fprintf(stderr,
+                         "expo_check: invalid exposition: %s\n",
+                         error.c_str());
+            return 1;
+        }
+    } else {
+        hilp::Json json;
+        if (!hilp::Json::parse(body, &json, &error)) {
+            std::fprintf(stderr, "expo_check: body is not JSON: %s\n",
+                         error.c_str());
+            return 1;
+        }
+    }
+
+    std::fwrite(body.data(), 1, body.size(), stdout);
+    std::fprintf(stderr, "expo_check: %s %s ok (%zu bytes)\n",
+                 address.c_str(), path.c_str(), body.size());
+    return 0;
+}

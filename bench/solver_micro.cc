@@ -23,6 +23,7 @@
 #include "hilp/builder.hh"
 #include "hilp/discretize.hh"
 #include "support/json.hh"
+#include "support/metrics.hh"
 #include "support/table.hh"
 #include "support/trace.hh"
 
@@ -397,9 +398,76 @@ measureTraceOverhead(const Instance &instance)
     return overhead;
 }
 
+struct TelemetryOverhead
+{
+    double disabledS = 0.0;
+    double enabledS = 0.0;
+
+    double
+    ratio() const
+    {
+        return disabledS > 0.0 ? enabledS / disabledS : 1.0;
+    }
+};
+
+/**
+ * Median wall time of one instance with the full daemon telemetry
+ * stack off vs on: ring-buffered tracing, a request trace context
+ * and span, and the per-request metric updates hilpd publishes for
+ * every served request. hilpd runs every solve in exactly this
+ * configuration (daemon mode records into the trace ring
+ * unconditionally, for the flight recorder's slow-request capture),
+ * so this is the number the observability layer's overhead budget is
+ * about. The probe is the power-constrained exact instance - long
+ * enough (~0.5 s) that the ratio is not timer noise.
+ */
+TelemetryOverhead
+measureTelemetryOverhead(const Instance &instance)
+{
+    bool was_enabled = trace::enabled();
+    auto median = [&](bool enable) {
+        std::vector<double> times;
+        for (int rep = 0; rep < kRepeats; ++rep) {
+            cp::Solver solver(instance.options);
+            Clock::time_point t0 = Clock::now();
+            {
+                trace::ContextScope request(
+                    enable ? trace::newTraceId() : 0);
+                trace::Span span("telemetry_probe.request");
+                cp::Result result = solver.solve(instance.model);
+                benchmark::DoNotOptimize(result.makespan);
+            }
+            double elapsed = std::chrono::duration<double>(
+                Clock::now() - t0).count();
+            if (enable) {
+                // The same per-request registry updates
+                // Daemon::finishRequest makes.
+                metrics::counter("telemetry_probe.requests").add(1);
+                metrics::histogram("telemetry_probe.total_us")
+                    .record(static_cast<int64_t>(elapsed * 1e6));
+            }
+            times.push_back(elapsed);
+        }
+        std::sort(times.begin(), times.end());
+        return times[times.size() / 2];
+    };
+    TelemetryOverhead overhead;
+    trace::setEnabled(false);
+    overhead.disabledS = median(false);
+    trace::setRingBuffered(true);
+    trace::setEnabled(true);
+    overhead.enabledS = median(true);
+    trace::setRingBuffered(false);
+    trace::setEnabled(was_enabled);
+    if (!was_enabled)
+        trace::clearAll();
+    return overhead;
+}
+
 void
 emitReport(const std::vector<Measurement> &measurements,
            const TraceOverhead &overhead,
+           const TelemetryOverhead &telemetry,
            const std::vector<ThreadSweep> &sweeps,
            const std::vector<FeatureSweep> &features)
 {
@@ -624,6 +692,18 @@ emitReport(const std::vector<Measurement> &measurements,
                 "%.2fms on (%.2fx)\n", overhead.disabledS * 1e3,
                 overhead.enabledS * 1e3, ratio);
 
+    Json telemetry_overhead = Json::object();
+    telemetry_overhead.set("disabled_s",
+                           Json::number(telemetry.disabledS));
+    telemetry_overhead.set("enabled_s",
+                           Json::number(telemetry.enabledS));
+    telemetry_overhead.set("ratio", Json::number(telemetry.ratio()));
+    report.set("telemetry_overhead", std::move(telemetry_overhead));
+    std::printf("daemon telemetry overhead (50 W instance): %.2fms "
+                "off, %.2fms on (%.2fx)\n",
+                telemetry.disabledS * 1e3, telemetry.enabledS * 1e3,
+                telemetry.ratio());
+
     std::ofstream file("BENCH_solver.json");
     file << report.dump(2) << "\n";
     std::printf("wrote BENCH_solver.json (total median %.3fs, "
@@ -683,15 +763,34 @@ main(int argc, char **argv)
     // The explore-budget instance is the overhead probe: it is the
     // regime the DSE sweep runs in, where trace cost matters most.
     TraceOverhead overhead = measureTraceOverhead(instances[1]);
+    // The power-constrained exact instance probes the full daemon
+    // telemetry stack (ring tracing + context + request metrics).
+    TelemetryOverhead telemetry =
+        measureTelemetryOverhead(instances[2]);
     std::vector<ThreadSweep> sweeps;
     if (thread_sweep)
         sweeps = measureThreadSweep(instances);
     std::vector<FeatureSweep> features;
     if (feature_sweep)
         features = measureFeatureSweep(instances);
-    emitReport(measurements, overhead, sweeps, features);
+    emitReport(measurements, overhead, telemetry, sweeps, features);
     if (!verifyFeatureSweep(features))
         return 1;
+    // Telemetry overhead gate: the budget is 3% (warn), and past 10%
+    // the always-on daemon instrumentation has genuinely regressed
+    // (hard fail; the margin over the budget absorbs machine noise).
+    if (telemetry.ratio() > 1.10) {
+        std::fprintf(stderr,
+                     "TELEMETRY OVERHEAD REGRESSION: %.2fx with the "
+                     "daemon stack enabled exceeds the 1.10x cap\n",
+                     telemetry.ratio());
+        return 1;
+    }
+    if (telemetry.ratio() > 1.03)
+        std::fprintf(stderr,
+                     "telemetry overhead warning: %.2fx is past the "
+                     "1.03x budget (cap 1.10x)\n",
+                     telemetry.ratio());
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

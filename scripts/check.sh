@@ -49,12 +49,15 @@ echo "==> test build-tsan (concurrency under TSan)"
 
 # Tracing smoke test: run the solver microbenchmark with a trace
 # export (benchmark timing loops filtered out for speed) and validate
-# that the file is a well-formed, balanced Chrome trace.
+# that the file is a well-formed, balanced Chrome trace. --trace-out
+# stamps the writing pid into the name (check_trace.<pid>.json), so
+# clear old stamps first and glob for the one this run produced.
 echo "==> trace smoke test"
-trace_file="build/check_trace.json"
-./build/bench/solver_micro "--trace-out=${trace_file}" \
+rm -f build/check_trace.*.json
+./build/bench/solver_micro "--trace-out=build/check_trace.json" \
     --no-thread-sweep --no-feature-sweep \
     --benchmark_filter=none > /dev/null
+trace_file=$(ls build/check_trace.*.json)
 ./build/bench/trace_check "${trace_file}"
 
 # Checkpoint/resume round trip: an uninterrupted truncated fig7 sweep
@@ -233,6 +236,79 @@ done
 "${hilpd}" "--connect=unix:${daemon_sock}" shutdown > /dev/null
 wait "${daemon_pid}" || {
     echo "hilpd restarted on a stale socket but exited non-zero" >&2
+    exit 1
+}
+
+# Telemetry endpoint: boot hilpd with a metrics listener and a
+# deliberately tiny SLO, drive one sweep through it, and check what
+# an operator sees. /metrics must parse as Prometheus text (the
+# expo_check validator) and count the served request, /healthz must
+# answer ok, the stats op must report latency percentiles and flight
+# recorder occupancy, and the slow request (everything beats a 1 ms
+# SLO) must have left a request-id-stamped span-tree dump that the
+# Chrome-trace validator accepts.
+echo "==> hilpd telemetry endpoint"
+expo="./build/bench/expo_check"
+metrics_sock="build/check_hilpd_metrics.sock"
+dump_dir="build/check_slow_dumps"
+rm -f "${daemon_sock}" "${metrics_sock}"
+rm -rf "${dump_dir}"
+mkdir -p "${dump_dir}"
+"${hilpd}" "--listen=unix:${daemon_sock}" \
+    "--metrics-addr=unix:${metrics_sock}" \
+    --slo-ms=1 "--slow-dump-dir=${dump_dir}" \
+    > build/check_hilpd_telemetry.log 2>&1 &
+daemon_pid=$!
+for _ in $(seq 1 100); do
+    [ -S "${daemon_sock}" ] && [ -S "${metrics_sock}" ] && break
+    kill -0 "${daemon_pid}" 2>/dev/null || {
+        echo "hilpd (telemetry) died on startup" >&2
+        cat build/check_hilpd_telemetry.log >&2
+        exit 1
+    }
+    sleep 0.05
+done
+"${fig7}" --max-configs=16 "--connect=unix:${daemon_sock}" \
+    --benchmark_filter=none > /dev/null
+
+"${expo}" "unix:${metrics_sock}" /metrics > build/check_metrics.prom
+grep -q "^hilpd_requests_total [1-9]" build/check_metrics.prom || {
+    echo "/metrics did not count the served requests" >&2
+    exit 1
+}
+grep -q "^hilpd_request_total_us_count [1-9]" \
+    build/check_metrics.prom || {
+    echo "/metrics has no request latency histogram" >&2
+    exit 1
+}
+"${expo}" "unix:${metrics_sock}" /healthz > build/check_healthz.json
+grep -q '"ok":true' build/check_healthz.json || {
+    echo "/healthz did not report ok" >&2
+    exit 1
+}
+
+"${hilpd}" "--connect=unix:${daemon_sock}" stats \
+    > build/check_hilpd_telemetry_stats.json
+grep -q '"p50"' build/check_hilpd_telemetry_stats.json || {
+    echo "stats has no latency percentiles" >&2
+    exit 1
+}
+grep -q '"flight_recorder"' build/check_hilpd_telemetry_stats.json || {
+    echo "stats has no flight recorder section" >&2
+    exit 1
+}
+
+dump=$(ls "${dump_dir}"/hilpd_slow_req*.trace.json 2>/dev/null \
+    | head -n 1)
+if [ -z "${dump}" ]; then
+    echo "no slow-request trace dump in ${dump_dir}" >&2
+    exit 1
+fi
+./build/bench/trace_check "${dump}"
+
+"${hilpd}" "--connect=unix:${daemon_sock}" shutdown > /dev/null
+wait "${daemon_pid}" || {
+    echo "hilpd (telemetry) exited non-zero" >&2
     exit 1
 }
 

@@ -227,6 +227,8 @@ parsePointRecord(const std::string &line, uint64_t *key,
     point->cacheHit = boolOr(entry, "cache_hit", false);
     point->warmStarted = boolOr(entry, "warm_start", false);
     point->pruned = boolOr(entry, "pruned", false);
+    point->traceId =
+        static_cast<uint64_t>(intOr(entry, "trace_id", 0));
     return true;
 }
 
@@ -256,6 +258,9 @@ pointRecordJson(uint64_t key, ModelKind kind, const DsePoint &point,
     entry.set("cache_hit", Json::boolean(point.cacheHit));
     entry.set("warm_start", Json::boolean(point.warmStarted));
     entry.set("pruned", Json::boolean(point.pruned));
+    if (point.traceId != 0)
+        entry.set("trace_id",
+                  Json::number(static_cast<int64_t>(point.traceId)));
     if (schedule)
         entry.set("schedule", scheduleJson(*schedule));
     return entry;

@@ -83,6 +83,15 @@ struct DsePoint
     /** Served from a --resume checkpoint instead of re-evaluated. */
     bool resumed = false;
 
+    /**
+     * Trace context of the request that evaluated this point (0 in
+     * batch mode). Stamped by the service sweep core, carried into
+     * checkpoint records and streamed daemon responses so a point
+     * can be joined against its request's spans and flight-recorder
+     * entry.
+     */
+    uint64_t traceId = 0;
+
     // Solver-effort telemetry (zero for MA and for cache hits).
     int64_t nodes = 0;        //!< B&B nodes across all solves.
     int64_t backtracks = 0;   //!< B&B backtracks across all solves.

@@ -86,6 +86,10 @@ ServiceClient::sweep(const protocol::Request &request,
         }
         std::string type = typeOf(json);
         if (type == "done") {
+            const Json *traceId = json.find("trace_id");
+            if (traceId && traceId->isNumber())
+                lastTraceId_ = static_cast<uint64_t>(
+                    traceId->numberValue());
             std::string failure = doneError(json);
             if (!failure.empty()) {
                 if (error)

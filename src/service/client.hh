@@ -46,14 +46,26 @@ class ServiceClient
                const std::function<void(const std::string &)>
                    &on_record = nullptr);
 
-    /** Fetch the daemon's stats snapshot. */
+    /**
+     * Fetch the daemon's stats snapshot (caches, queue, latency
+     * histogram percentiles, flight-recorder occupancy).
+     */
     bool stats(Json *out, std::string *error);
 
     /** Ask the daemon to shut down (acknowledged before it exits). */
     bool requestShutdown(std::string *error);
 
+    /**
+     * The daemon-assigned request/trace id from the last sweep()'s
+     * done line (0 before any sweep, or against an older daemon).
+     * Log it next to sweep artifacts: it names this request in the
+     * daemon's spans, flight recorder, and slow-request dumps.
+     */
+    uint64_t lastTraceId() const { return lastTraceId_; }
+
   private:
     net::LineChannel channel_{net::Socket()};
+    uint64_t lastTraceId_ = 0;
 };
 
 } // namespace service

@@ -2,6 +2,8 @@
 
 #include <sys/socket.h>
 
+#include <chrono>
+#include <fstream>
 #include <future>
 #include <thread>
 #include <utility>
@@ -10,7 +12,9 @@
 #include "dse/checkpoint.hh"
 #include "protocol.hh"
 #include "support/logging.hh"
+#include "support/metrics.hh"
 #include "support/str.hh"
+#include "support/trace.hh"
 
 namespace hilp {
 namespace service {
@@ -50,6 +54,14 @@ class LineWriter
     std::mutex mutex_;
     bool failed_ = false;
 };
+
+int64_t
+elapsedUs(std::chrono::steady_clock::time_point since)
+{
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - since)
+        .count();
+}
 
 } // anonymous namespace
 
@@ -91,9 +103,32 @@ Daemon::serveConnection(net::Socket socket)
             break;
         }
 
+        // Admission: every eval/sweep request gets a trace context
+        // here, before any work happens. The id rides the handler's
+        // spans, the job queue into the sweep workers, each streamed
+        // point, the done line, and the flight-recorder entry.
+        uint64_t traceId = trace::newTraceId();
+        auto admitted = std::chrono::steady_clock::now();
+        trace::ContextScope requestScope(traceId);
+        trace::Span requestSpan(request.op == protocol::Op::Eval
+                                    ? "hilpd.request.eval"
+                                    : "hilpd.request.sweep");
+
+        RequestSummary summary;
+        summary.traceId = traceId;
+        summary.op =
+            request.op == protocol::Op::Eval ? "eval" : "sweep";
+        summary.configs = request.configNames.size();
+        if (!request.configNames.empty())
+            summary.detail = request.configNames.front();
+
         std::vector<arch::SocConfig> configs;
         if (!protocol::resolveConfigs(request, &configs, &error)) {
-            channel.writeLine(protocol::encodeDone(false, error));
+            summary.error = error;
+            summary.totalUs = elapsedUs(admitted);
+            service_.flightRecorder().record(summary);
+            channel.writeLine(
+                protocol::encodeDone(false, error, 0, traceId));
             continue;
         }
 
@@ -109,10 +144,13 @@ Daemon::serveConnection(net::Socket socket)
         sweep.constraints = request.constraints;
         sweep.kind = request.kind;
         sweep.options = request.options;
+        sweep.traceId = traceId;
         dse::ModelKind kind = request.kind;
         std::atomic<size_t> streamed{0};
+        std::atomic<int64_t> serializeUs{0};
         sweep.onPoint = [&](const dse::DsePoint &point,
                             const Schedule *schedule) {
+            auto start = std::chrono::steady_clock::now();
             Json record = dse::pointRecordJson(
                 dse::checkpointKey(point.fingerprint,
                                    point.config.name(), kind),
@@ -120,13 +158,27 @@ Daemon::serveConnection(net::Socket socket)
             record.set("type", Json::string("point"));
             writer.write(record.dump());
             streamed.fetch_add(1, std::memory_order_relaxed);
+            serializeUs.fetch_add(elapsedUs(start),
+                                  std::memory_order_relaxed);
         };
 
         std::promise<void> finished;
         std::future<void> done = finished.get_future();
         std::string failure;
+        int64_t queueWaitUs = 0;
+        int64_t solveUs = 0;
         Admission admission = service_.submit(
             [&] {
+                // Executor thread: re-establish the request's trace
+                // context (thread-local state does not follow the
+                // job across the queue).
+                trace::ContextScope jobScope(traceId);
+                trace::Span solveSpan("hilpd.solve");
+                auto start = std::chrono::steady_clock::now();
+                queueWaitUs = std::chrono::duration_cast<
+                                  std::chrono::microseconds>(
+                                  start - admitted)
+                                  .count();
                 // The promise must be fulfilled on every path or the
                 // handler thread below waits forever.
                 try {
@@ -136,25 +188,89 @@ Daemon::serveConnection(net::Socket socket)
                 } catch (...) {
                     failure = "sweep failed: unknown exception";
                 }
+                solveUs = elapsedUs(start);
                 finished.set_value();
             },
             request.priority);
         if (!admission.accepted) {
+            summary.error =
+                format("rejected: %s", admission.reason.c_str());
+            summary.totalUs = elapsedUs(admitted);
+            service_.flightRecorder().record(summary);
+            metrics::counter("hilpd.requests.rejected").add(1);
             channel.writeLine(protocol::encodeDone(
-                false, format("rejected: %s",
-                              admission.reason.c_str())));
+                false, summary.error, 0, traceId));
             continue;
         }
         done.wait();
         bool ok = failure.empty() && !writer.failed();
+        finishRequest(summary, ok,
+                      !failure.empty()
+                          ? failure
+                          : (writer.failed() ? "client write failed"
+                                             : ""),
+                      streamed.load(), queueWaitUs, solveUs,
+                      serializeUs.load(), elapsedUs(admitted));
         channel.writeLine(protocol::encodeDone(
-            ok,
-            !failure.empty()
-                ? failure
-                : (writer.failed() ? "client write failed" : ""),
-            streamed.load()));
+            ok, summary.error, streamed.load(), traceId));
     }
     return false;
+}
+
+/**
+ * Request epilogue: publish the per-request latency breakdown to the
+ * metrics registry, remember the request in the flight recorder, and
+ * - when the request blew the SLO while tracing was recording - dump
+ * its span tree as a request-id-stamped Chrome trace plus one
+ * structured log line.
+ */
+void
+Daemon::finishRequest(RequestSummary &summary, bool ok,
+                      const std::string &error, size_t points,
+                      int64_t queue_wait_us, int64_t solve_us,
+                      int64_t serialize_us, int64_t total_us)
+{
+    summary.ok = ok;
+    summary.error = error;
+    summary.points = points;
+    summary.queueWaitUs = queue_wait_us;
+    summary.solveUs = solve_us;
+    summary.serializeUs = serialize_us;
+    summary.totalUs = total_us;
+    summary.slow = options_.sloMs > 0.0 &&
+        static_cast<double>(total_us) > options_.sloMs * 1000.0;
+
+    metrics::counter("hilpd.requests").add(1);
+    if (!ok)
+        metrics::counter("hilpd.requests.failed").add(1);
+    if (summary.slow)
+        metrics::counter("hilpd.requests.slow").add(1);
+    metrics::histogram("hilpd.request.queue_wait_us")
+        .record(queue_wait_us);
+    metrics::histogram("hilpd.request.solve_us").record(solve_us);
+    metrics::histogram("hilpd.request.serialize_us")
+        .record(serialize_us);
+    metrics::histogram("hilpd.request.total_us").record(total_us);
+
+    service_.flightRecorder().record(summary);
+
+    if (!summary.slow || !trace::enabled())
+        return;
+    std::string path = format("%s/hilpd_slow_req%llu.trace.json",
+                              options_.dumpDir.c_str(),
+                              static_cast<unsigned long long>(
+                                  summary.traceId));
+    Json tree = trace::toJsonForContext(summary.traceId);
+    std::ofstream file(path);
+    if (file) {
+        file << tree.dump() << "\n";
+        file.close();
+    }
+    Json line = summary.toJson();
+    line.set("event", Json::string("slow_request"));
+    line.set("slo_ms", Json::number(options_.sloMs));
+    line.set("trace_dump", Json::string(file ? path : ""));
+    warn("hilpd: %s", line.dump().c_str());
 }
 
 void

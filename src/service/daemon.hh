@@ -24,10 +24,27 @@
 namespace hilp {
 namespace service {
 
+/** Telemetry knobs for the daemon's request handling. */
+struct DaemonOptions
+{
+    /**
+     * Slow-request SLO in milliseconds; a request whose total
+     * (admission to done) exceeds it is marked slow in the flight
+     * recorder and, when tracing is recording, gets its span tree
+     * dumped as a Chrome-trace file. 0 disables the capture.
+     */
+    double sloMs = 0.0;
+    /** Directory the slow-request trace dumps land in. */
+    std::string dumpDir = ".";
+};
+
 class Daemon
 {
   public:
-    explicit Daemon(EvalService &service) : service_(service) {}
+    explicit Daemon(EvalService &service,
+                    const DaemonOptions &options = {})
+        : service_(service), options_(options)
+    {}
 
     Daemon(const Daemon &) = delete;
     Daemon &operator=(const Daemon &) = delete;
@@ -58,7 +75,13 @@ class Daemon
     bool stopping() const { return stop_.load(); }
 
   private:
+    void finishRequest(RequestSummary &summary, bool ok,
+                       const std::string &error, size_t points,
+                       int64_t queue_wait_us, int64_t solve_us,
+                       int64_t serialize_us, int64_t total_us);
+
     EvalService &service_;
+    const DaemonOptions options_;
     std::atomic<bool> stop_{false};
     std::atomic<int> listenerFd_{-1};
 };

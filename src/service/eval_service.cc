@@ -45,6 +45,11 @@ struct SweepContext
     /** Per-completed-point stream sink (nullable). */
     const std::function<void(const DsePoint &,
                              const Schedule *)> *onPoint = nullptr;
+    /**
+     * Owning request's trace context (0 = batch mode). Sweep worker
+     * threads re-establish it so their spans carry the request id.
+     */
+    uint64_t traceId = 0;
 };
 
 /**
@@ -473,9 +478,11 @@ runSweep(const std::vector<arch::SocConfig> &configs,
     // reuse layer applies to HILP sweeps only.
     if (!options.reuse || kind != ModelKind::Hilp) {
         pool.parallelFor(configs.size(), [&](size_t i) {
+            trace::ContextScope requestScope(ctx.traceId);
             points[i] = evaluateGuarded(configs[i], workload,
                                         constraints, kind, options,
                                         nullptr, nullptr, ctx.store);
+            points[i].traceId = ctx.traceId;
             finishPoint(i, nullptr);
         });
         return points;
@@ -492,6 +499,7 @@ runSweep(const std::vector<arch::SocConfig> &configs,
     // from its predecessor's schedule and every completed point
     // tightens the shared dominance bound.
     pool.parallelFor(chains.size(), [&](size_t c) {
+        trace::ContextScope requestScope(ctx.traceId);
         Schedule hint;
         bool have_hint = false;
         for (size_t idx : chains[c]) {
@@ -508,6 +516,7 @@ runSweep(const std::vector<arch::SocConfig> &configs,
                                           constraints, kind, options,
                                           &reuse, &schedule,
                                           ctx.store);
+            points[idx].traceId = ctx.traceId;
             finishPoint(idx,
                         points[idx].ok && !points[idx].resumed &&
                                 !schedule.phases.empty()
@@ -663,6 +672,7 @@ EvalService::sweep(const SweepRequest &request)
     ctx.memo = &memo_;
     ctx.memoSalt = engineOptionsDigest(request.options.engine);
     ctx.store = &store_;
+    ctx.traceId = request.traceId;
     if (request.onPoint)
         ctx.onPoint = &request.onPoint;
     return runSweep(request.configs, request.workload,
@@ -704,11 +714,14 @@ EvalService::submit(std::function<void()> job, int priority)
         Job entry;
         entry.priority = priority;
         entry.seq = nextSeq_++;
+        entry.enqueued = std::chrono::steady_clock::now();
         entry.fn = std::move(job);
         admission.accepted = true;
         admission.jobId = entry.seq;
         queue_.push(std::move(entry));
         accepted_.fetch_add(1, std::memory_order_relaxed);
+        metrics::gauge("hilpd.queue.depth")
+            .set(static_cast<double>(queue_.size()));
     }
     workAvailable_.notify_one();
     return admission;
@@ -735,7 +748,15 @@ EvalService::executorLoop()
             job = std::move(const_cast<Job &>(queue_.top()));
             queue_.pop();
             ++running_;
+            metrics::gauge("hilpd.queue.depth")
+                .set(static_cast<double>(queue_.size()));
         }
+        metrics::histogram("hilpd.queue.wait_us")
+            .record(std::chrono::duration_cast<
+                        std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() -
+                        job.enqueued)
+                        .count());
         try {
             job.fn();
         } catch (const std::exception &e) {
@@ -846,6 +867,26 @@ EvalService::statsJson() const
     queue.set("rejected", Json::number(rejected_.load()));
     queue.set("completed", Json::number(completed_.load()));
     stats.set("queue", queue);
+
+    // Latency percentiles for every registered histogram (the
+    // request breakdowns hilpd.request.* plus solver-side timings):
+    // what an operator without a scraper sees via the stats op.
+    Json latency = Json::object();
+    for (const auto &[name, snap] : metrics::snapshotAll().histograms) {
+        if (snap.count == 0)
+            continue;
+        Json entry = Json::object();
+        entry.set("count", Json::number(snap.count));
+        entry.set("mean", Json::number(snap.mean()));
+        entry.set("p50", Json::number(snap.quantile(0.50)));
+        entry.set("p95", Json::number(snap.quantile(0.95)));
+        entry.set("p99", Json::number(snap.quantile(0.99)));
+        entry.set("max", Json::number(snap.max));
+        latency.set(name, std::move(entry));
+    }
+    stats.set("latency", std::move(latency));
+    stats.set("flight_recorder", recorder_.statsJson());
+
     Json budget = Json::object();
     budget.set("total_slots",
                Json::number(static_cast<int64_t>(
@@ -855,6 +896,30 @@ EvalService::statsJson() const
                    ThreadBudget::global().available())));
     stats.set("thread_budget", budget);
     return stats;
+}
+
+Json
+EvalService::healthJson() const
+{
+    Json health = Json::object();
+    health.set("ok", Json::boolean(true));
+    health.set("version", versionJson());
+    health.set("uptime_s",
+               Json::number(std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - started_)
+                                .count()));
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        health.set("queue_depth",
+                   Json::number(static_cast<int64_t>(queue_.size())));
+        health.set("running",
+                   Json::number(static_cast<int64_t>(running_)));
+    }
+    health.set("memo_bytes",
+               Json::number(static_cast<int64_t>(memo_.bytes())));
+    health.set("store_bytes",
+               Json::number(static_cast<int64_t>(store_.bytes())));
+    return health;
 }
 
 } // namespace service

@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "dse/explore.hh"
+#include "flight_recorder.hh"
 #include "hilp/engine.hh"
 #include "hilp/schedule.hh"
 #include "support/json.hh"
@@ -144,6 +145,15 @@ struct SweepRequest
      */
     std::function<void(const dse::DsePoint &point,
                        const Schedule *schedule)> onPoint;
+    /**
+     * Trace context the sweep's spans and points are stamped with
+     * (trace::newTraceId(); 0 = no request scope). Worker threads
+     * re-establish the scope themselves, so spans recorded inside
+     * the pool nest under the owning request, and every completed
+     * DsePoint carries the id into checkpoint records and streamed
+     * responses.
+     */
+    uint64_t traceId = 0;
 };
 
 /** Outcome of submitting an async job. */
@@ -200,19 +210,29 @@ class EvalService
 
     SolveMemo &memo() { return memo_; }
     ScheduleStore &scheduleStore() { return store_; }
+    FlightRecorder &flightRecorder() { return recorder_; }
 
     /**
      * Service observability snapshot: uptime, build version, memo
-     * and store occupancy/hit rates, queue accounting, and the
+     * and store occupancy/hit rates, queue accounting, latency
+     * histogram percentiles, flight-recorder occupancy, and the
      * thread-budget state. The daemon's `stats` response.
      */
     Json statsJson() const;
+
+    /**
+     * The /healthz body: a small liveness snapshot (queue depth,
+     * memo bytes, version, uptime) cheap enough to poll every
+     * second.
+     */
+    Json healthJson() const;
 
   private:
     struct Job
     {
         int priority = 0;
         uint64_t seq = 0;
+        std::chrono::steady_clock::time_point enqueued;
         std::function<void()> fn;
 
         bool
@@ -232,6 +252,7 @@ class EvalService
     const std::chrono::steady_clock::time_point started_;
     SolveMemo memo_;
     ScheduleStore store_;
+    FlightRecorder recorder_;
 
     mutable std::mutex mutex_;
     std::condition_variable workAvailable_;

@@ -1,0 +1,121 @@
+#include "flight_recorder.hh"
+
+#include <algorithm>
+
+namespace hilp {
+namespace service {
+
+Json
+RequestSummary::toJson() const
+{
+    Json out = Json::object();
+    out.set("trace_id",
+            Json::number(static_cast<int64_t>(traceId)));
+    out.set("op", Json::string(op));
+    if (!detail.empty())
+        out.set("detail", Json::string(detail));
+    out.set("configs",
+            Json::number(static_cast<int64_t>(configs)));
+    out.set("points", Json::number(static_cast<int64_t>(points)));
+    out.set("ok", Json::boolean(ok));
+    out.set("slow", Json::boolean(slow));
+    if (!error.empty())
+        out.set("error", Json::string(error));
+    out.set("queue_wait_us", Json::number(queueWaitUs));
+    out.set("solve_us", Json::number(solveUs));
+    out.set("serialize_us", Json::number(serializeUs));
+    out.set("total_us", Json::number(totalUs));
+    return out;
+}
+
+FlightRecorder::FlightRecorder(size_t capacity, size_t shards)
+{
+    shards = std::max<size_t>(1, shards);
+    size_t perShard =
+        std::max<size_t>(1, (capacity + shards - 1) / shards);
+    capacity_ = perShard * shards;
+    shards_ = std::vector<Shard>(shards);
+    for (Shard &shard : shards_)
+        shard.ring.resize(perShard);
+}
+
+void
+FlightRecorder::record(const RequestSummary &summary)
+{
+    Shard &shard = shards_[summary.traceId % shards_.size()];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.ring[shard.head] = summary;
+    shard.head = (shard.head + 1) % shard.ring.size();
+    shard.count = std::min(shard.count + 1, shard.ring.size());
+    ++shard.recorded;
+}
+
+std::vector<RequestSummary>
+FlightRecorder::recent() const
+{
+    std::vector<RequestSummary> out;
+    for (const Shard &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        size_t n = shard.ring.size();
+        // Oldest retained entry first: once full, that is the slot
+        // `head` is about to overwrite.
+        size_t start = shard.count < n ? 0 : shard.head;
+        for (size_t k = 0; k < shard.count; ++k)
+            out.push_back(shard.ring[(start + k) % n]);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const RequestSummary &a, const RequestSummary &b) {
+                  return a.traceId < b.traceId;
+              });
+    return out;
+}
+
+size_t
+FlightRecorder::size() const
+{
+    size_t total = 0;
+    for (const Shard &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        total += shard.count;
+    }
+    return total;
+}
+
+int64_t
+FlightRecorder::recorded() const
+{
+    int64_t total = 0;
+    for (const Shard &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        total += shard.recorded;
+    }
+    return total;
+}
+
+int64_t
+FlightRecorder::slowCount() const
+{
+    int64_t slow = 0;
+    for (const Shard &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        for (size_t k = 0; k < shard.count; ++k)
+            if (shard.ring[k].slow)
+                ++slow;
+    }
+    return slow;
+}
+
+Json
+FlightRecorder::statsJson() const
+{
+    Json out = Json::object();
+    out.set("capacity",
+            Json::number(static_cast<int64_t>(capacity_)));
+    out.set("occupancy", Json::number(static_cast<int64_t>(size())));
+    out.set("recorded", Json::number(recorded()));
+    out.set("slow", Json::number(slowCount()));
+    return out;
+}
+
+} // namespace service
+} // namespace hilp

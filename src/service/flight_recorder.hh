@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The daemon's flight recorder: a fixed-size, lock-sharded ring of
+ * recent request summaries.
+ *
+ * Always on and cheap enough to stay that way: record() touches one
+ * shard mutex (sharded by trace id, so concurrent handler threads
+ * rarely collide) and copies a small POD-plus-strings summary into a
+ * preallocated slot. When a request goes wrong - or an operator asks
+ * "what was the daemon doing just now?" - recent() reconstructs the
+ * admission-ordered tail without stopping the world, and the stats
+ * op reports occupancy. The slow-request *trace* capture lives in
+ * the daemon (it needs the tracer's context filter); the recorder is
+ * the index that says which requests existed and how their time was
+ * spent.
+ */
+
+#ifndef HILP_SERVICE_FLIGHT_RECORDER_HH
+#define HILP_SERVICE_FLIGHT_RECORDER_HH
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/json.hh"
+
+namespace hilp {
+namespace service {
+
+/** One served request, as the flight recorder remembers it. */
+struct RequestSummary
+{
+    uint64_t traceId = 0;
+    std::string op;      //!< "eval", "sweep", ...
+    std::string detail;  //!< First config label or similar.
+    size_t configs = 0;  //!< Design points requested.
+    size_t points = 0;   //!< Points streamed back.
+    bool ok = false;
+    bool slow = false;   //!< Exceeded the SLO threshold.
+    std::string error;   //!< Failure reason when !ok.
+    int64_t queueWaitUs = 0;
+    int64_t solveUs = 0;
+    int64_t serializeUs = 0;
+    int64_t totalUs = 0;
+
+    Json toJson() const;
+};
+
+class FlightRecorder
+{
+  public:
+    /**
+     * A recorder holding the last ~capacity requests, sharded across
+     * `shards` independent rings (capacity is rounded up to a
+     * multiple of the shard count).
+     */
+    explicit FlightRecorder(size_t capacity = 256, size_t shards = 8);
+
+    FlightRecorder(const FlightRecorder &) = delete;
+    FlightRecorder &operator=(const FlightRecorder &) = delete;
+
+    /** Remember one request, evicting the shard's oldest if full. */
+    void record(const RequestSummary &summary);
+
+    /**
+     * The retained summaries, oldest first (ordered by trace id,
+     * which admission assigns monotonically).
+     */
+    std::vector<RequestSummary> recent() const;
+
+    size_t capacity() const { return capacity_; }
+    /** Summaries currently retained. */
+    size_t size() const;
+    /** Total requests ever recorded (retained or evicted). */
+    int64_t recorded() const;
+    /** Retained requests marked slow. */
+    int64_t slowCount() const;
+
+    /** {capacity, occupancy, recorded, slow} for the stats op. */
+    Json statsJson() const;
+
+  private:
+    struct Shard
+    {
+        mutable std::mutex mutex;
+        std::vector<RequestSummary> ring;
+        size_t head = 0;   //!< Next slot to overwrite once full.
+        size_t count = 0;  //!< Filled slots (<= ring.size()).
+        int64_t recorded = 0;
+    };
+
+    size_t capacity_ = 0;
+    std::vector<Shard> shards_;
+};
+
+} // namespace service
+} // namespace hilp
+
+#endif // HILP_SERVICE_FLIGHT_RECORDER_HH

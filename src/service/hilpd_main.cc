@@ -25,8 +25,10 @@
 #include "client.hh"
 #include "daemon.hh"
 #include "eval_service.hh"
+#include "telemetry_http.hh"
 #include "support/logging.hh"
 #include "support/net.hh"
+#include "support/trace.hh"
 #include "support/version.hh"
 
 namespace {
@@ -73,9 +75,17 @@ usage(const char *argv0)
                  "usage: %s --listen=ADDR [--memo-bytes=N] "
                  "[--store-bytes=N]\n"
                  "          [--queue-depth=N] [--executors=N]\n"
+                 "          [--metrics-addr=ADDR] [--slo-ms=N]\n"
+                 "          [--slow-dump-dir=PATH]\n"
                  "       %s --connect=ADDR stats|shutdown\n"
                  "       %s --version\n"
-                 "ADDR is unix:/path or tcp:host:port.\n",
+                 "ADDR is unix:/path or tcp:host:port.\n"
+                 "--metrics-addr serves GET /metrics (Prometheus "
+                 "text), /metrics.json,\n"
+                 "and /healthz over HTTP/1.0. --slo-ms marks slower "
+                 "requests in the\n"
+                 "flight recorder and dumps their span trees into "
+                 "--slow-dump-dir.\n",
                  argv0, argv0, argv0);
     return 2;
 }
@@ -117,8 +127,9 @@ runClient(const std::string &address, const std::string &command)
 int
 main(int argc, char **argv)
 {
-    std::string listen, connect, command;
+    std::string listen, connect, command, metricsAddr;
     service::ServiceOptions options;
+    service::DaemonOptions daemonOptions;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -149,6 +160,12 @@ main(int argc, char **argv)
                 static_cast<size_t>(std::strtoull(v, nullptr, 10));
         } else if (const char *v = value("--executors")) {
             options.executors = std::atoi(v);
+        } else if (const char *v = value("--metrics-addr")) {
+            metricsAddr = v;
+        } else if (const char *v = value("--slo-ms")) {
+            daemonOptions.sloMs = std::atof(v);
+        } else if (const char *v = value("--slow-dump-dir")) {
+            daemonOptions.dumpDir = v;
         } else if (!arg.empty() && arg[0] != '-') {
             command = arg;
         } else {
@@ -170,8 +187,34 @@ main(int argc, char **argv)
         return 1;
     }
 
+    // The flight recorder is always on, and its slow-request capture
+    // needs span data: daemon mode records into the tracer's ring
+    // buffers unconditionally. The ring keeps the footprint fixed
+    // (old events are overwritten, never accumulated), and the
+    // solver_micro telemetry gate holds the recording overhead
+    // under its budget.
+    trace::setRingBuffered(true);
+    trace::setEnabled(true);
+    trace::setThreadName("hilpd-main");
+
     service::EvalService evalService(options);
-    service::Daemon daemon(evalService);
+    service::Daemon daemon(evalService, daemonOptions);
+
+    service::TelemetryServer telemetry;
+    if (!metricsAddr.empty()) {
+        if (!telemetry.start(
+                metricsAddr,
+                [&evalService] { return evalService.healthJson(); },
+                &error)) {
+            std::fprintf(stderr, "hilpd: metrics %s: %s\n",
+                         metricsAddr.c_str(), error.c_str());
+            return 1;
+        }
+        inform("hilpd: telemetry on %s (GET /metrics, "
+               "/metrics.json, /healthz)",
+               metricsAddr.c_str());
+    }
+
     gDaemon = &daemon;
     std::signal(SIGINT, onSignal);
     std::signal(SIGTERM, onSignal);
@@ -184,6 +227,7 @@ main(int argc, char **argv)
            options.maxQueueDepth);
     daemon.run(listener);
     evalService.drain();
+    telemetry.stop();
     inform("hilpd: exiting");
     gDaemon = nullptr;
     return 0;

@@ -488,7 +488,8 @@ resolveConfigs(const Request &request,
 }
 
 std::string
-encodeDone(bool ok, const std::string &error, size_t points)
+encodeDone(bool ok, const std::string &error, size_t points,
+           uint64_t trace_id)
 {
     Json json = Json::object();
     json.set("type", Json::string("done"));
@@ -498,6 +499,9 @@ encodeDone(bool ok, const std::string &error, size_t points)
     if (points > 0)
         json.set("points",
                  Json::number(static_cast<int64_t>(points)));
+    if (trace_id != 0)
+        json.set("trace_id",
+                 Json::number(static_cast<int64_t>(trace_id)));
     return json.dump();
 }
 

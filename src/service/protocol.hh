@@ -26,8 +26,12 @@
  *                            ignores - so a captured stream is a
  *                            valid --resume checkpoint file.
  *   {"type": "stats", "stats": {...}}  the stats response payload.
- *   {"type": "done", "ok": true|false, "error": "...", "points": N}
- *                            exactly one per request, last.
+ *   {"type": "done", "ok": true|false, "error": "...", "points": N,
+ *    "trace_id": T}          exactly one per request, last. T is the
+ *                            request id assigned at admission; the
+ *                            same id rides every streamed point's
+ *                            "trace_id" field and the daemon's spans
+ *                            and flight-recorder entries.
  *
  * A malformed request gets a done/ok=false line and the connection
  * stays usable; a rejected request (admission control) reports the
@@ -113,9 +117,14 @@ bool parseVariant(const std::string &name, workload::Variant *out);
 
 // Response lines.
 
-/** The terminal line of every request. */
+/**
+ * The terminal line of every request. A nonzero trace_id is the
+ * request id the daemon assigned at admission; clients log it to
+ * join their request against the daemon's spans, flight-recorder
+ * entries, and slow-request dumps.
+ */
 std::string encodeDone(bool ok, const std::string &error,
-                       size_t points = 0);
+                       size_t points = 0, uint64_t trace_id = 0);
 
 /** The stats response payload line. */
 std::string encodeStats(Json stats);

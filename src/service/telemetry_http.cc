@@ -1,0 +1,157 @@
+#include "telemetry_http.hh"
+
+#include <sys/socket.h>
+#include <sys/time.h>
+
+#include <utility>
+
+#include "support/expo.hh"
+#include "support/logging.hh"
+#include "support/metrics.hh"
+#include "support/str.hh"
+
+namespace hilp {
+namespace service {
+
+namespace {
+
+std::string
+httpResponse(const char *status, const char *content_type,
+             const std::string &body)
+{
+    std::string out = format("HTTP/1.0 %s\r\n", status);
+    out += format("Content-Type: %s\r\n", content_type);
+    out += format("Content-Length: %zu\r\n", body.size());
+    out += "Connection: close\r\n\r\n";
+    out += body;
+    return out;
+}
+
+} // anonymous namespace
+
+bool
+TelemetryServer::start(const std::string &address, HealthFn health,
+                       std::string *error)
+{
+    if (running_.load()) {
+        if (error)
+            *error = "telemetry server already running";
+        return false;
+    }
+    if (!listener_.open(address, error))
+        return false;
+    health_ = std::move(health);
+    running_.store(true);
+    acceptor_ = std::thread([this] { acceptLoop(); });
+    return true;
+}
+
+void
+TelemetryServer::stop()
+{
+    if (!running_.exchange(false)) {
+        if (acceptor_.joinable())
+            acceptor_.join();
+        return;
+    }
+    // Unblock the accept loop; close-and-unlink happens after the
+    // join so the acceptor never races the Listener's teardown.
+    int fd = listener_.fd();
+    if (fd >= 0)
+        ::shutdown(fd, SHUT_RDWR);
+    if (acceptor_.joinable())
+        acceptor_.join();
+    listener_.close();
+}
+
+TelemetryServer::~TelemetryServer()
+{
+    stop();
+}
+
+void
+TelemetryServer::acceptLoop()
+{
+    while (running_.load()) {
+        net::Socket connection = listener_.accept();
+        if (!connection.valid()) {
+            if (!running_.load())
+                break;
+            continue; // Transient accept failure (e.g. EINTR).
+        }
+        // Served inline: scrapes are one short read and one write.
+        // The receive timeout keeps a silent client from wedging the
+        // endpoint for later scrapers.
+        struct timeval timeout = {2, 0};
+        ::setsockopt(connection.fd(), SOL_SOCKET, SO_RCVTIMEO,
+                     &timeout, sizeof(timeout));
+        serve(std::move(connection));
+    }
+}
+
+void
+TelemetryServer::serve(net::Socket socket)
+{
+    net::LineChannel channel(std::move(socket));
+    std::string line;
+    if (!channel.readLine(&line))
+        return;
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' '))
+        line.pop_back();
+
+    // "GET /path HTTP/1.x" (the version token is optional: a bare
+    // "GET /metrics" from netcat works too).
+    std::string method, path;
+    size_t space = line.find(' ');
+    if (space == std::string::npos) {
+        method = line;
+    } else {
+        method = line.substr(0, space);
+        size_t pathEnd = line.find(' ', space + 1);
+        path = pathEnd == std::string::npos
+            ? line.substr(space + 1)
+            : line.substr(space + 1, pathEnd - space - 1);
+    }
+
+    // Drain request headers (terminated by an empty line) so the
+    // peer never sees the connection reset mid-send. EOF is fine.
+    std::string header;
+    while (channel.readLine(&header)) {
+        while (!header.empty() && header.back() == '\r')
+            header.pop_back();
+        if (header.empty())
+            break;
+    }
+
+    std::string response;
+    if (method != "GET") {
+        response = httpResponse("405 Method Not Allowed",
+                                "text/plain; charset=utf-8",
+                                "only GET is served\n");
+    } else if (path == "/metrics") {
+        response = httpResponse(
+            "200 OK", "text/plain; version=0.0.4; charset=utf-8",
+            expo::prometheusText());
+    } else if (path == "/metrics.json") {
+        response = httpResponse("200 OK",
+                                "application/json; charset=utf-8",
+                                metrics::snapshotJson().dump() + "\n");
+    } else if (path == "/healthz") {
+        Json body =
+            health_ ? health_() : Json::object();
+        if (!health_)
+            body.set("ok", Json::boolean(true));
+        response = httpResponse("200 OK",
+                                "application/json; charset=utf-8",
+                                body.dump() + "\n");
+    } else {
+        response = httpResponse("404 Not Found",
+                                "text/plain; charset=utf-8",
+                                format("no such path: %s\n",
+                                       path.c_str()));
+    }
+    channel.socket().writeAll(response.data(), response.size());
+}
+
+} // namespace service
+} // namespace hilp

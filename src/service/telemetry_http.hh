@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The telemetry endpoint: a minimal HTTP/1.0 GET server over the
+ * support/net Listener, serving the metrics registry to scrapers.
+ *
+ *   GET /metrics       Prometheus text exposition (expo.hh)
+ *   GET /metrics.json  the same registry as metrics::snapshotJson()
+ *   GET /healthz       liveness JSON from the owning service
+ *                      (queue depth, memo bytes, version, uptime)
+ *
+ * Deliberately not a web server: one short-lived thread per
+ * connection, Connection: close, no keep-alive, no request bodies,
+ * anything but a GET of a known path is answered 404/405. That is
+ * exactly what prometheus-style scrapers and `curl` speak, and it
+ * keeps the attack/maintenance surface near zero. The server shares
+ * nothing with the NDJSON protocol port except the socket plumbing.
+ */
+
+#ifndef HILP_SERVICE_TELEMETRY_HTTP_HH
+#define HILP_SERVICE_TELEMETRY_HTTP_HH
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "support/json.hh"
+#include "support/net.hh"
+
+namespace hilp {
+namespace service {
+
+class TelemetryServer
+{
+  public:
+    /** Produces the /healthz body; called per request. */
+    using HealthFn = std::function<Json()>;
+
+    TelemetryServer() = default;
+    ~TelemetryServer();
+
+    TelemetryServer(const TelemetryServer &) = delete;
+    TelemetryServer &operator=(const TelemetryServer &) = delete;
+
+    /**
+     * Bind the unix:/tcp: address and start the accept thread.
+     * Returns false and fills *error on bind failure. A null health
+     * callback serves a minimal {"ok": true} body.
+     */
+    bool start(const std::string &address, HealthFn health,
+               std::string *error);
+
+    /** Stop accepting, join the accept thread, close the listener. */
+    void stop();
+
+    bool running() const { return running_.load(); }
+
+    /** The bound TCP port (for tcp:host:0 in tests); 0 for unix. */
+    int port() const { return listener_.port(); }
+
+  private:
+    void acceptLoop();
+    void serve(net::Socket socket);
+
+    net::Listener listener_;
+    std::thread acceptor_;
+    HealthFn health_;
+    std::atomic<bool> running_{false};
+};
+
+} // namespace service
+} // namespace hilp
+
+#endif // HILP_SERVICE_TELEMETRY_HTTP_HH

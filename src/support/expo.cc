@@ -1,0 +1,295 @@
+#include "expo.hh"
+
+#include <cctype>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+
+#include "metrics.hh"
+#include "str.hh"
+#include "version.hh"
+
+namespace hilp {
+namespace expo {
+
+namespace {
+
+bool
+nameStartChar(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+        c == ':';
+}
+
+bool
+nameChar(char c)
+{
+    return nameStartChar(c) ||
+        std::isdigit(static_cast<unsigned char>(c));
+}
+
+bool
+labelNameStartChar(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+labelNameChar(char c)
+{
+    return labelNameStartChar(c) ||
+        std::isdigit(static_cast<unsigned char>(c));
+}
+
+/** Upper bound of log-scale bucket b, rendered for an le label. */
+std::string
+bucketBound(int b)
+{
+    if (b <= 0)
+        return "0";
+    if (b >= 64)
+        return format("%llu", ~0ULL);
+    return format("%llu", (1ULL << b) - 1);
+}
+
+void
+appendQuantile(std::string &out, const std::string &name,
+               const char *q, double value)
+{
+    out += format("%s_quantile{q=\"%s\"} %.17g\n", name.c_str(), q,
+                  value);
+}
+
+} // anonymous namespace
+
+std::string
+promSanitizeName(const std::string &name)
+{
+    std::string out;
+    out.reserve(name.size() + 1);
+    for (char c : name)
+        out += nameChar(c) ? c : '_';
+    if (out.empty() || !nameStartChar(out[0]))
+        out.insert(out.begin(), '_');
+    return out;
+}
+
+std::string
+promEscapeLabel(const std::string &value)
+{
+    std::string out;
+    out.reserve(value.size());
+    for (char c : value) {
+        switch (c) {
+          case '\\':
+            out += "\\\\";
+            break;
+          case '"':
+            out += "\\\"";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+prometheusText()
+{
+    metrics::RegistrySnapshot all = metrics::snapshotAll();
+    std::string out;
+
+    out += "# TYPE hilp_build_info gauge\n";
+    out += format("hilp_build_info{version=\"%s\",build_type=\"%s\"}"
+                  " 1\n",
+                  promEscapeLabel(buildGitDescribe()).c_str(),
+                  promEscapeLabel(buildType()).c_str());
+
+    for (const auto &[name, value] : all.counters) {
+        std::string prom = promSanitizeName(name) + "_total";
+        out += format("# TYPE %s counter\n", prom.c_str());
+        out += format("%s %lld\n", prom.c_str(),
+                      static_cast<long long>(value));
+    }
+
+    for (const auto &[name, value] : all.gauges) {
+        std::string prom = promSanitizeName(name);
+        out += format("# TYPE %s gauge\n", prom.c_str());
+        out += format("%s %.17g\n", prom.c_str(), value);
+    }
+
+    for (const auto &[name, snap] : all.histograms) {
+        std::string prom = promSanitizeName(name);
+        out += format("# TYPE %s histogram\n", prom.c_str());
+        int64_t cumulative = 0;
+        for (int b = 0; b < metrics::kHistogramBuckets; ++b) {
+            if (snap.buckets[b] == 0)
+                continue; // Cumulative count is unchanged: elide.
+            cumulative += snap.buckets[b];
+            out += format("%s_bucket{le=\"%s\"} %lld\n",
+                          prom.c_str(), bucketBound(b).c_str(),
+                          static_cast<long long>(cumulative));
+        }
+        out += format("%s_bucket{le=\"+Inf\"} %lld\n", prom.c_str(),
+                      static_cast<long long>(snap.count));
+        out += format("%s_sum %lld\n", prom.c_str(),
+                      static_cast<long long>(snap.sum));
+        out += format("%s_count %lld\n", prom.c_str(),
+                      static_cast<long long>(snap.count));
+        out += format("# TYPE %s_quantile gauge\n", prom.c_str());
+        appendQuantile(out, prom, "0.5", snap.quantile(0.50));
+        appendQuantile(out, prom, "0.95", snap.quantile(0.95));
+        appendQuantile(out, prom, "0.99", snap.quantile(0.99));
+    }
+    return out;
+}
+
+namespace {
+
+/** Validate one `{label="value",...}` block; cursor is past '{'. */
+std::string
+validateLabels(const std::string &line, size_t &i, size_t lineNo)
+{
+    for (;;) {
+        if (i >= line.size())
+            return format("line %zu: unterminated label set",
+                          lineNo);
+        if (line[i] == '}') {
+            ++i;
+            return "";
+        }
+        size_t nameStart = i;
+        if (!labelNameStartChar(line[i]))
+            return format("line %zu: bad label name start '%c'",
+                          lineNo, line[i]);
+        while (i < line.size() && labelNameChar(line[i]))
+            ++i;
+        if (i == nameStart || i >= line.size() || line[i] != '=')
+            return format("line %zu: label missing '='", lineNo);
+        ++i;
+        if (i >= line.size() || line[i] != '"')
+            return format("line %zu: label value not quoted",
+                          lineNo);
+        ++i;
+        while (i < line.size() && line[i] != '"') {
+            if (line[i] == '\\') {
+                if (i + 1 >= line.size() ||
+                    (line[i + 1] != '\\' && line[i + 1] != '"' &&
+                     line[i + 1] != 'n'))
+                    return format("line %zu: bad escape in label "
+                                  "value",
+                                  lineNo);
+                ++i;
+            } else if (line[i] == '\n') {
+                return format("line %zu: raw newline in label value",
+                              lineNo);
+            }
+            ++i;
+        }
+        if (i >= line.size())
+            return format("line %zu: unterminated label value",
+                          lineNo);
+        ++i; // Closing quote.
+        if (i < line.size() && line[i] == ',')
+            ++i;
+        else if (i >= line.size() || line[i] != '}')
+            return format("line %zu: expected ',' or '}' after "
+                          "label",
+                          lineNo);
+    }
+}
+
+} // anonymous namespace
+
+std::string
+validateExposition(const std::string &text)
+{
+    size_t pos = 0;
+    size_t lineNo = 0;
+    bool sawSample = false;
+    while (pos < text.size()) {
+        size_t eol = text.find('\n', pos);
+        if (eol == std::string::npos)
+            return format("line %zu: document does not end in a "
+                          "newline",
+                          lineNo + 1);
+        std::string line = text.substr(pos, eol - pos);
+        pos = eol + 1;
+        ++lineNo;
+        if (line.empty())
+            continue;
+        if (line[0] == '#') {
+            // Only HELP/TYPE have structure; other comments pass.
+            if (line.rfind("# TYPE ", 0) == 0) {
+                size_t i = 7;
+                size_t nameStart = i;
+                while (i < line.size() && nameChar(line[i]))
+                    ++i;
+                if (i == nameStart || i >= line.size() ||
+                    line[i] != ' ')
+                    return format("line %zu: malformed TYPE comment",
+                                  lineNo);
+                std::string kind = line.substr(i + 1);
+                if (kind != "counter" && kind != "gauge" &&
+                    kind != "histogram" && kind != "summary" &&
+                    kind != "untyped")
+                    return format("line %zu: unknown metric type "
+                                  "'%s'",
+                                  lineNo, kind.c_str());
+            }
+            continue;
+        }
+        size_t i = 0;
+        if (!nameStartChar(line[i]))
+            return format("line %zu: bad metric name start '%c'",
+                          lineNo, line[i]);
+        while (i < line.size() && nameChar(line[i]))
+            ++i;
+        if (i < line.size() && line[i] == '{') {
+            ++i;
+            std::string err = validateLabels(line, i, lineNo);
+            if (!err.empty())
+                return err;
+        }
+        if (i >= line.size() || line[i] != ' ')
+            return format("line %zu: expected ' ' before value",
+                          lineNo);
+        ++i;
+        std::string rest = line.substr(i);
+        size_t space = rest.find(' ');
+        std::string valueText =
+            space == std::string::npos ? rest : rest.substr(0, space);
+        if (valueText.empty())
+            return format("line %zu: missing sample value", lineNo);
+        if (valueText != "+Inf" && valueText != "-Inf" &&
+            valueText != "NaN") {
+            const char *begin = valueText.c_str();
+            char *end = nullptr;
+            std::strtod(begin, &end);
+            if (end != begin + valueText.size())
+                return format("line %zu: unparseable value '%s'",
+                              lineNo, valueText.c_str());
+        }
+        if (space != std::string::npos) {
+            // Optional timestamp: must be an integer.
+            std::string tsText = rest.substr(space + 1);
+            const char *begin = tsText.c_str();
+            char *end = nullptr;
+            std::strtoll(begin, &end, 10);
+            if (tsText.empty() || end != begin + tsText.size())
+                return format("line %zu: unparseable timestamp '%s'",
+                              lineNo, tsText.c_str());
+        }
+        sawSample = true;
+    }
+    if (!sawSample)
+        return "document contains no samples";
+    return "";
+}
+
+} // namespace expo
+} // namespace hilp

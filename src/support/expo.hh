@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Prometheus text exposition (format 0.0.4) over the metrics
+ * registry.
+ *
+ * prometheusText() renders one coherent RegistrySnapshot: counters
+ * as `<name>_total`, gauges plain, histograms as the conventional
+ * cumulative `_bucket{le="..."}` series (+ `_sum`/`_count`) with the
+ * log-scale bucket bounds from metrics.hh, plus a derived
+ * `<name>_quantile{q="..."}` gauge family for p50/p95/p99 so an
+ * unaggregated scrape still shows tail latency. Registry names are
+ * dotted (`cp.solve_us`) and may embed config labels like
+ * `(c4,g16,d2^16)`; promSanitizeName() maps them into the legal
+ * metric-name alphabet and promEscapeLabel() escapes label values,
+ * so no registered name can produce output a scraper rejects.
+ * validateExposition() is the matching structural checker used by
+ * tests and scripts/check.sh.
+ */
+
+#ifndef HILP_SUPPORT_EXPO_HH
+#define HILP_SUPPORT_EXPO_HH
+
+#include <string>
+
+namespace hilp {
+namespace expo {
+
+/**
+ * Map an arbitrary registry name into the Prometheus metric-name
+ * alphabet [a-zA-Z0-9_:]: every illegal character becomes '_', and a
+ * leading digit (or empty name) gains a '_' prefix.
+ */
+std::string promSanitizeName(const std::string &name);
+
+/**
+ * Escape a label value for the text format: backslash, double
+ * quote, and newline must be written as \\, \", and \n.
+ */
+std::string promEscapeLabel(const std::string &value);
+
+/**
+ * The whole metrics registry (plus a hilp_build_info gauge carrying
+ * version provenance) as Prometheus text exposition 0.0.4.
+ */
+std::string prometheusText();
+
+/**
+ * Structural validation of a text exposition document: legal metric
+ * and label names, properly quoted and escaped label values, a
+ * parseable float value per sample, and well-formed HELP/TYPE
+ * comments. Returns "" when valid, else a description of the first
+ * problem (with its line number).
+ */
+std::string validateExposition(const std::string &text);
+
+} // namespace expo
+} // namespace hilp
+
+#endif // HILP_SUPPORT_EXPO_HH

@@ -193,21 +193,34 @@ HistogramSnapshot::quantile(double q) const
 {
     if (count == 0)
         return 0.0;
-    q = std::clamp(q, 0.0, 1.0);
+    if (q <= 0.0)
+        return static_cast<double>(min);
+    if (q >= 1.0)
+        return static_cast<double>(max);
     int64_t target = static_cast<int64_t>(
         std::ceil(q * static_cast<double>(count)));
     target = std::max<int64_t>(target, 1);
     int64_t seen = 0;
     for (int b = 0; b < kHistogramBuckets; ++b) {
-        seen += buckets[b];
-        if (seen >= target) {
-            // Upper bound of the bucket, clamped to what was seen.
-            double upper = b == 0
-                ? 0.0
-                : std::ldexp(1.0, b) - 1.0; // 2^b - 1
-            return std::clamp(upper, static_cast<double>(min),
+        int64_t inBucket = buckets[b];
+        if (seen + inBucket >= target && inBucket > 0) {
+            // Interpolate linearly across the bucket's value range
+            // by the sample's rank within the bucket, then clamp to
+            // the observed extremes (so q=0 is exactly min and q=1
+            // exactly max whenever they fall in end buckets).
+            double value = 0.0;
+            if (b > 0) {
+                double lower = std::ldexp(1.0, b - 1); // 2^(b-1)
+                double upper = std::ldexp(1.0, b) - 1.0; // 2^b - 1
+                double pos = static_cast<double>(target - seen);
+                value = lower +
+                    (upper - lower) *
+                        (pos / static_cast<double>(inBucket));
+            }
+            return std::clamp(value, static_cast<double>(min),
                               static_cast<double>(max));
         }
+        seen += inBucket;
     }
     return static_cast<double>(max);
 }
@@ -270,23 +283,39 @@ histogram(const std::string &name)
     return *slot;
 }
 
-Json
-snapshotJson()
+RegistrySnapshot
+snapshotAll()
 {
     Registry &reg = registry();
     std::lock_guard<std::mutex> lock(reg.mutex);
+    RegistrySnapshot snap;
+    snap.counters.reserve(reg.counters.size());
+    for (const auto &[name, metric] : reg.counters)
+        snap.counters.emplace_back(name, metric->value());
+    snap.gauges.reserve(reg.gauges.size());
+    for (const auto &[name, metric] : reg.gauges)
+        snap.gauges.emplace_back(name, metric->value());
+    snap.histograms.reserve(reg.histograms.size());
+    for (const auto &[name, metric] : reg.histograms)
+        snap.histograms.emplace_back(name, metric->snapshot());
+    return snap;
+}
+
+Json
+snapshotJson()
+{
+    RegistrySnapshot all = snapshotAll();
 
     Json counters = Json::object();
-    for (const auto &[name, metric] : reg.counters)
-        counters.set(name, Json::number(metric->value()));
+    for (const auto &[name, value] : all.counters)
+        counters.set(name, Json::number(value));
 
     Json gauges = Json::object();
-    for (const auto &[name, metric] : reg.gauges)
-        gauges.set(name, Json::number(metric->value()));
+    for (const auto &[name, value] : all.gauges)
+        gauges.set(name, Json::number(value));
 
     Json histograms = Json::object();
-    for (const auto &[name, metric] : reg.histograms) {
-        HistogramSnapshot snap = metric->snapshot();
+    for (const auto &[name, snap] : all.histograms) {
         Json entry = Json::object();
         entry.set("count", Json::number(snap.count));
         entry.set("sum", Json::number(snap.sum));
@@ -306,31 +335,60 @@ snapshotJson()
     return out;
 }
 
+namespace {
+
+/**
+ * RFC-4180 field quoting, applied only when the name needs it, so
+ * the common dotted names stay byte-identical to what older tooling
+ * parsed. A name like "dse.config((c4,g16,d2^16))" would otherwise
+ * shift every later column.
+ */
+std::string
+csvField(const std::string &name)
+{
+    if (name.find_first_of(",\"\n\r") == std::string::npos)
+        return name;
+    std::string quoted = "\"";
+    for (char c : name) {
+        if (c == '"')
+            quoted += '"';
+        quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+} // anonymous namespace
+
 std::string
 snapshotCsv()
 {
-    Registry &reg = registry();
-    std::lock_guard<std::mutex> lock(reg.mutex);
+    RegistrySnapshot all = snapshotAll();
     std::string out = "metric,kind,value\n";
-    for (const auto &[name, metric] : reg.counters)
-        out += format("%s,counter,%lld\n", name.c_str(),
-                      static_cast<long long>(metric->value()));
-    for (const auto &[name, metric] : reg.gauges)
-        out += format("%s,gauge,%.9g\n", name.c_str(),
-                      metric->value());
-    for (const auto &[name, metric] : reg.histograms) {
-        HistogramSnapshot snap = metric->snapshot();
-        out += format("%s.count,histogram,%lld\n", name.c_str(),
+    for (const auto &[name, value] : all.counters)
+        out += format("%s,counter,%lld\n", csvField(name).c_str(),
+                      static_cast<long long>(value));
+    for (const auto &[name, value] : all.gauges)
+        out += format("%s,gauge,%.9g\n", csvField(name).c_str(),
+                      value);
+    for (const auto &[name, snap] : all.histograms) {
+        std::string field = csvField(name + ".count");
+        out += format("%s,histogram,%lld\n", field.c_str(),
                       static_cast<long long>(snap.count));
-        out += format("%s.sum,histogram,%lld\n", name.c_str(),
+        field = csvField(name + ".sum");
+        out += format("%s,histogram,%lld\n", field.c_str(),
                       static_cast<long long>(snap.sum));
-        out += format("%s.min,histogram,%lld\n", name.c_str(),
+        field = csvField(name + ".min");
+        out += format("%s,histogram,%lld\n", field.c_str(),
                       static_cast<long long>(snap.min));
-        out += format("%s.max,histogram,%lld\n", name.c_str(),
+        field = csvField(name + ".max");
+        out += format("%s,histogram,%lld\n", field.c_str(),
                       static_cast<long long>(snap.max));
-        out += format("%s.mean,histogram,%.9g\n", name.c_str(),
+        field = csvField(name + ".mean");
+        out += format("%s,histogram,%.9g\n", field.c_str(),
                       snap.mean());
-        out += format("%s.p95,histogram,%.9g\n", name.c_str(),
+        field = csvField(name + ".p95");
+        out += format("%s,histogram,%.9g\n", field.c_str(),
                       snap.quantile(0.95));
     }
     return out;

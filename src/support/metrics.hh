@@ -118,9 +118,10 @@ struct HistogramSnapshot
 
     /**
      * Approximate quantile (q in [0, 1]) from the log-scale buckets:
-     * the upper bound of the bucket holding the q-th sample, clamped
-     * to the observed [min, max]. Exact for min/max, within one
-     * power of two elsewhere.
+     * linear interpolation across the bucket holding the q-th
+     * sample, clamped to the observed [min, max]. q=0 returns min,
+     * q=1 returns max exactly; elsewhere the error is bounded by the
+     * bucket width (one power of two).
      */
     double quantile(double q) const;
 };
@@ -168,6 +169,21 @@ class Histogram
 Counter &counter(const std::string &name);
 Gauge &gauge(const std::string &name);
 Histogram &histogram(const std::string &name);
+
+/**
+ * A coherent value snapshot of every registered metric, in sorted
+ * name order. This is the one structure every exporter (JSON, CSV,
+ * Prometheus text, the daemon's stats op) renders from, so they can
+ * never disagree about what the registry held.
+ */
+struct RegistrySnapshot
+{
+    std::vector<std::pair<std::string, int64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+};
+
+RegistrySnapshot snapshotAll();
 
 /**
  * Snapshot of the whole registry as JSON:

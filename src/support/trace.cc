@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstring>
 #include <fstream>
 #include <memory>
 #include <mutex>
@@ -28,12 +29,17 @@ constexpr size_t kMaxEventsPerThread = 1 << 16;
 constexpr int64_t kPid = 1;
 
 std::atomic<bool> g_enabled{false};
+std::atomic<bool> g_ring{false};
+
+/** The calling thread's current trace context (0 = none). */
+thread_local uint64_t tl_context = 0;
 
 struct Event
 {
     const char *name = nullptr;
     char phase = 'i'; // 'B', 'E', or 'i'.
     int64_t tsUs = 0;
+    uint64_t ctx = 0; // Owning trace context (0 = none).
     int numArgs = 0;
     Arg args[4];
 };
@@ -41,7 +47,8 @@ struct Event
 /**
  * One thread's event stream. Appends come only from the owning
  * thread; the mutex makes the occasional cross-thread read (export,
- * clear) race-free.
+ * clear) race-free. In ring mode `head` is the index of the oldest
+ * event once the buffer has filled; in append mode it stays 0.
  */
 struct ThreadBuffer
 {
@@ -49,6 +56,7 @@ struct ThreadBuffer
     int64_t tid = 0;
     std::string name;
     std::vector<Event> events;
+    size_t head = 0;
     int64_t dropped = 0;
 };
 
@@ -107,17 +115,26 @@ record(const char *name, char phase, int numArgs, const Arg *args)
     int64_t ts = nowUs();
     ThreadBuffer &buffer = localBuffer();
     std::lock_guard<std::mutex> lock(buffer.mutex);
-    if (buffer.events.size() >= kMaxEventsPerThread) {
-        ++buffer.dropped;
-        return;
-    }
     Event event;
     event.name = name;
     event.phase = phase;
     event.tsUs = ts;
+    event.ctx = tl_context;
     event.numArgs = std::min(numArgs, 4);
     for (int i = 0; i < event.numArgs; ++i)
         event.args[i] = args[i];
+    if (buffer.events.size() >= kMaxEventsPerThread) {
+        // At capacity: ring mode overwrites the oldest event (the
+        // daemon wants the most recent window); append mode drops
+        // the newcomer (batch runs want the beginning). Either way
+        // the loss is counted.
+        ++buffer.dropped;
+        if (!g_ring.load(std::memory_order_relaxed))
+            return;
+        buffer.events[buffer.head] = std::move(event);
+        buffer.head = (buffer.head + 1) % buffer.events.size();
+        return;
+    }
     buffer.events.push_back(std::move(event));
 }
 
@@ -156,8 +173,13 @@ eventJson(const Event &event, int64_t tid)
     out.set("cat", Json::string("hilp"));
     if (event.phase == 'i')
         out.set("s", Json::string("t")); // Thread-scoped instant.
-    if (event.numArgs > 0)
-        out.set("args", argsJson(event));
+    if (event.numArgs > 0 || event.ctx != 0) {
+        Json args = argsJson(event);
+        if (event.ctx != 0)
+            args.set("trace_id",
+                     Json::number(static_cast<int64_t>(event.ctx)));
+        out.set("args", std::move(args));
+    }
     return out;
 }
 
@@ -197,6 +219,46 @@ setThreadName(const std::string &name)
     ThreadBuffer &buffer = localBuffer();
     std::lock_guard<std::mutex> lock(buffer.mutex);
     buffer.name = name;
+}
+
+void
+setRingBuffered(bool on)
+{
+    g_ring.store(on, std::memory_order_relaxed);
+}
+
+bool
+ringBuffered()
+{
+    return g_ring.load(std::memory_order_relaxed);
+}
+
+uint64_t
+newTraceId()
+{
+    static std::atomic<uint64_t> next{1};
+    return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t
+currentContext()
+{
+    return tl_context;
+}
+
+ContextScope::ContextScope(uint64_t ctx)
+{
+    if (ctx == 0)
+        return;
+    saved_ = tl_context;
+    tl_context = ctx;
+    active_ = true;
+}
+
+ContextScope::~ContextScope()
+{
+    if (active_)
+        tl_context = saved_;
 }
 
 void
@@ -271,11 +333,23 @@ Span::~Span()
     record(name_, 'E', numEndArgs_, endArgs_);
 }
 
+namespace {
+
+/**
+ * Shared export core. Snapshot the buffer list, then drain each
+ * buffer under its own lock (appends from live threads keep
+ * working). When `filterByContext` is set, only events stamped with
+ * `ctx` are exported.
+ *
+ * Two balance rules keep every exported per-thread stream strictly
+ * B/E balanced: an end whose begin is absent (overwritten by the
+ * ring, or filtered out by context) is skipped, and a begin whose
+ * end is absent (dropped, filtered, or simply still open) gets a
+ * synthesized end at export time.
+ */
 Json
-toJson()
+exportJson(bool filterByContext, uint64_t ctx)
 {
-    // Snapshot the buffer list, then drain each buffer under its own
-    // lock (appends from live threads keep working).
     std::vector<std::shared_ptr<ThreadBuffer>> buffers;
     {
         BufferRegistry &reg = bufferRegistry();
@@ -301,15 +375,23 @@ toJson()
             events.append(threadNameMeta(buffer->tid, buffer->name));
         dropped += buffer->dropped;
 
-        // Balance pass: spans whose end was dropped (or is still
-        // open right now) get a synthesized end event, so every
-        // exported per-thread stream is strictly B/E balanced.
+        // Ring order: oldest event first. In append mode head is 0
+        // and this is plain front-to-back iteration.
+        size_t n = buffer->events.size();
         std::vector<const Event *> open;
-        for (const Event &event : buffer->events) {
-            if (event.phase == 'B')
+        for (size_t k = 0; k < n; ++k) {
+            const Event &event =
+                buffer->events[(buffer->head + k) % n];
+            if (filterByContext && event.ctx != ctx)
+                continue;
+            if (event.phase == 'B') {
                 open.push_back(&event);
-            else if (event.phase == 'E' && !open.empty())
+            } else if (event.phase == 'E') {
+                if (open.empty() ||
+                    std::strcmp(open.back()->name, event.name) != 0)
+                    continue; // Begin not exported: skip the end.
                 open.pop_back();
+            }
             events.append(eventJson(event, buffer->tid));
         }
         for (auto it = open.rbegin(); it != open.rend(); ++it) {
@@ -317,6 +399,7 @@ toJson()
             end.name = (*it)->name;
             end.phase = 'E';
             end.tsUs = std::max(close_ts, (*it)->tsUs);
+            end.ctx = (*it)->ctx;
             events.append(eventJson(end, buffer->tid));
         }
     }
@@ -326,6 +409,20 @@ toJson()
     out.set("displayTimeUnit", Json::string("ms"));
     out.set("droppedEvents", Json::number(dropped));
     return out;
+}
+
+} // anonymous namespace
+
+Json
+toJson()
+{
+    return exportJson(false, 0);
+}
+
+Json
+toJsonForContext(uint64_t ctx)
+{
+    return exportJson(true, ctx);
 }
 
 std::string
@@ -371,8 +468,20 @@ clearAll()
     for (const std::shared_ptr<ThreadBuffer> &buffer : buffers) {
         std::lock_guard<std::mutex> lock(buffer->mutex);
         buffer->events.clear();
+        buffer->head = 0;
         buffer->dropped = 0;
     }
+}
+
+std::string
+taggedPath(const std::string &path, const std::string &tag)
+{
+    size_t slash = path.find_last_of('/');
+    size_t dot = path.find_last_of('.');
+    if (dot == std::string::npos ||
+        (slash != std::string::npos && dot < slash))
+        return path + "." + tag;
+    return path.substr(0, dot) + "." + tag + path.substr(dot);
 }
 
 std::string

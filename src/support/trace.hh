@@ -43,6 +43,54 @@ void setEnabled(bool on);
 void setThreadName(const std::string &name);
 
 /**
+ * Ring-buffered recording: when a per-thread buffer is full, the
+ * oldest event is overwritten instead of the newest dropped, so a
+ * long-lived process (the daemon) always holds the most *recent*
+ * window of activity. Overwritten events count as dropped. Exports
+ * skip end events whose begin was overwritten and synthesize ends
+ * for begins whose end has not happened yet, so the exported stream
+ * stays balanced either way.
+ */
+void setRingBuffered(bool on);
+bool ringBuffered();
+
+// --- Trace context (request-scoped tracing) ---------------------------
+//
+// A trace context is a process-unique id stamped on every event a
+// thread records while a ContextScope is alive. The daemon assigns
+// one id per request at admission and re-establishes the scope on
+// every thread that works for that request (the connection handler,
+// the executor running the job, each sweep worker), so the spans of
+// one request can be told apart from concurrent requests sharing the
+// same threads - and exported alone with toJsonForContext().
+
+/** Allocate a fresh nonzero trace id. Thread-safe. */
+uint64_t newTraceId();
+
+/** The calling thread's current trace context (0 = none). */
+uint64_t currentContext();
+
+/**
+ * RAII: events recorded by the calling thread while the scope is
+ * alive carry the given context id (exported as args.trace_id).
+ * Scopes nest; destruction restores the previous context. A zero id
+ * keeps whatever context is already current.
+ */
+class ContextScope
+{
+  public:
+    explicit ContextScope(uint64_t ctx);
+    ~ContextScope();
+
+    ContextScope(const ContextScope &) = delete;
+    ContextScope &operator=(const ContextScope &) = delete;
+
+  private:
+    uint64_t saved_ = 0;
+    bool active_ = false;
+};
+
+/**
  * One key/value annotation on an event. Keys must be string
  * literals (the tracer stores the pointer, not a copy).
  */
@@ -131,10 +179,27 @@ class Span
 Json toJson();
 
 /**
+ * Export only the events stamped with the given trace context (plus
+ * process/thread metadata), balanced the same way as toJson(). This
+ * is the slow-request dump: one request's span tree extracted from
+ * buffers shared with concurrent requests.
+ */
+Json toJsonForContext(uint64_t ctx);
+
+/**
  * Dump toJson() to a file. Returns "" on success, else an error
  * message.
  */
 std::string writeFile(const std::string &path);
+
+/**
+ * Insert ".tag" before the path's extension ("out/trace.json", "7"
+ * -> "out/trace.7.json"; no extension appends ".7"). Used to stamp
+ * per-process trace files with the pid and per-request dumps with
+ * the request id so concurrent writers never overwrite each other.
+ */
+std::string taggedPath(const std::string &path,
+                       const std::string &tag);
 
 /** Total events dropped to per-thread buffer caps so far. */
 int64_t droppedEvents();

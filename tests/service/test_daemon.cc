@@ -12,7 +12,10 @@
 
 #include <sys/socket.h>
 
+#include <cstdio>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 
@@ -20,6 +23,8 @@
 #include "service/daemon.hh"
 #include "service/protocol.hh"
 #include "support/json.hh"
+#include "support/str.hh"
+#include "support/trace.hh"
 
 namespace hilp {
 namespace service {
@@ -33,8 +38,9 @@ namespace {
 class DaemonHarness
 {
   public:
-    explicit DaemonHarness(const ServiceOptions &options = {})
-        : service_(options), daemon_(service_)
+    explicit DaemonHarness(const ServiceOptions &options = {},
+                           const DaemonOptions &daemon_options = {})
+        : service_(options), daemon_(service_, daemon_options)
     {
         int fds[2] = {-1, -1};
         EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
@@ -54,6 +60,7 @@ class DaemonHarness
 
     net::LineChannel &client() { return *client_; }
     Daemon &daemon() { return daemon_; }
+    EvalService &service() { return service_; }
 
     /** Close the client end (the daemon handler sees EOF). */
     void
@@ -250,6 +257,135 @@ TEST(DaemonProtocol, StoppingDaemonRefusesWorkButAnswersStats)
         protocol::encodeRequest(stats)));
     EXPECT_EQ(typeOf(harness.readJson()), "stats");
     EXPECT_TRUE(harness.readJson().find("ok")->boolValue());
+}
+
+TEST(DaemonProtocol, TraceIdRidesPointsAndDoneLine)
+{
+    DaemonHarness harness;
+
+    ASSERT_TRUE(harness.client().writeLine(
+        protocol::encodeRequest(maEvalRequest("(c2,g4,d0^0)"))));
+
+    Json point_line = harness.readJson();
+    ASSERT_EQ(typeOf(point_line), "point") << harness.lastLine();
+    const Json *point_id = point_line.find("trace_id");
+    ASSERT_NE(point_id, nullptr);
+    EXPECT_GT(point_id->intValue(), 0);
+    // The id survives a checkpoint-record round trip too.
+    uint64_t key = 0;
+    dse::DsePoint point;
+    bool has_schedule = false;
+    ASSERT_TRUE(dse::parsePointRecord(harness.lastLine(), &key,
+                                      &point, nullptr,
+                                      &has_schedule));
+    EXPECT_EQ(static_cast<int64_t>(point.traceId),
+              point_id->intValue());
+
+    Json done = harness.readJson();
+    ASSERT_EQ(typeOf(done), "done");
+    const Json *done_id = done.find("trace_id");
+    ASSERT_NE(done_id, nullptr);
+    // One request, one id: the streamed point and the done line name
+    // the same request.
+    EXPECT_EQ(done_id->intValue(), point_id->intValue());
+
+    // A second request gets a fresh id.
+    ASSERT_TRUE(harness.client().writeLine(
+        protocol::encodeRequest(maEvalRequest("(c2,g4,d0^0)"))));
+    EXPECT_EQ(typeOf(harness.readJson()), "point");
+    Json done2 = harness.readJson();
+    ASSERT_EQ(typeOf(done2), "done");
+    EXPECT_NE(done2.find("trace_id")->intValue(),
+              done_id->intValue());
+}
+
+TEST(DaemonProtocol, StatsCarriesLatencyAndFlightRecorder)
+{
+    DaemonHarness harness;
+
+    // Serve one request so the latency histograms and the flight
+    // recorder have something to report.
+    ASSERT_TRUE(harness.client().writeLine(
+        protocol::encodeRequest(maEvalRequest("(c2,g4,d0^0)"))));
+    EXPECT_EQ(typeOf(harness.readJson()), "point");
+    EXPECT_EQ(typeOf(harness.readJson()), "done");
+
+    protocol::Request stats;
+    stats.op = protocol::Op::Stats;
+    ASSERT_TRUE(harness.client().writeLine(
+        protocol::encodeRequest(stats)));
+    Json reply = harness.readJson();
+    ASSERT_EQ(typeOf(reply), "stats");
+    const Json *payload = reply.find("stats");
+    ASSERT_NE(payload, nullptr);
+
+    const Json *latency = payload->find("latency");
+    ASSERT_NE(latency, nullptr);
+    const Json *total = latency->find("hilpd.request.total_us");
+    ASSERT_NE(total, nullptr);
+    EXPECT_GE(total->find("count")->intValue(), 1);
+    ASSERT_NE(total->find("p50"), nullptr);
+    ASSERT_NE(total->find("p95"), nullptr);
+    ASSERT_NE(total->find("p99"), nullptr);
+    EXPECT_LE(total->find("p50")->numberValue(),
+              total->find("p99")->numberValue());
+
+    const Json *recorder = payload->find("flight_recorder");
+    ASSERT_NE(recorder, nullptr);
+    EXPECT_GT(recorder->find("capacity")->intValue(), 0);
+    EXPECT_GE(recorder->find("occupancy")->intValue(), 1);
+    EXPECT_EQ(typeOf(harness.readJson()), "done");
+
+    // The in-process view agrees with the wire view.
+    EXPECT_GE(harness.service().flightRecorder().recorded(), 1);
+}
+
+TEST(DaemonProtocol, SlowRequestDumpsContextFilteredTrace)
+{
+    bool was_enabled = trace::enabled();
+    bool was_ring = trace::ringBuffered();
+    trace::clearAll();
+    trace::setRingBuffered(true);
+    trace::setEnabled(true);
+
+    DaemonOptions daemon_options;
+    daemon_options.sloMs = 0.001; // Everything is slow.
+    daemon_options.dumpDir = ::testing::TempDir();
+    {
+        DaemonHarness harness({}, daemon_options);
+        ASSERT_TRUE(harness.client().writeLine(
+            protocol::encodeRequest(maEvalRequest("(c2,g4,d0^0)"))));
+        EXPECT_EQ(typeOf(harness.readJson()), "point");
+        Json done = harness.readJson();
+        ASSERT_EQ(typeOf(done), "done");
+        uint64_t trace_id = static_cast<uint64_t>(
+            done.find("trace_id")->intValue());
+
+        // The dump landed, request-id-stamped, and is a valid Chrome
+        // trace containing the request's span.
+        std::string path = format(
+            "%s/hilpd_slow_req%llu.trace.json",
+            daemon_options.dumpDir.c_str(),
+            static_cast<unsigned long long>(trace_id));
+        std::ifstream file(path);
+        ASSERT_TRUE(file.good()) << path;
+        std::ostringstream buffer;
+        buffer << file.rdbuf();
+        Json dump;
+        std::string error;
+        ASSERT_TRUE(Json::parse(buffer.str(), &dump, &error))
+            << error;
+        EXPECT_EQ(trace::validateChromeTrace(dump), "");
+        EXPECT_NE(buffer.str().find("hilpd.request.eval"),
+                  std::string::npos);
+        // Flight recorder marked it slow.
+        EXPECT_GE(harness.service().flightRecorder().slowCount(), 1);
+        std::remove(path.c_str());
+    }
+
+    trace::setEnabled(was_enabled);
+    trace::setRingBuffered(was_ring);
+    trace::clearAll();
 }
 
 TEST(DaemonProtocol, RequestRoundTrip)

@@ -1,0 +1,129 @@
+/** @file Unit tests for the daemon's flight recorder. */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "service/flight_recorder.hh"
+
+namespace hilp {
+namespace {
+
+using service::FlightRecorder;
+using service::RequestSummary;
+
+RequestSummary
+summaryWithId(uint64_t id)
+{
+    RequestSummary summary;
+    summary.traceId = id;
+    summary.op = "sweep";
+    summary.detail = "(c4,g16,d2^16)";
+    summary.ok = true;
+    summary.totalUs = static_cast<int64_t>(id) * 10;
+    return summary;
+}
+
+TEST(FlightRecorderTest, StartsEmpty)
+{
+    FlightRecorder recorder(16, 4);
+    EXPECT_EQ(recorder.size(), 0u);
+    EXPECT_EQ(recorder.recorded(), 0);
+    EXPECT_EQ(recorder.slowCount(), 0);
+    EXPECT_TRUE(recorder.recent().empty());
+}
+
+TEST(FlightRecorderTest, CapacityRoundsUpToShardMultiple)
+{
+    FlightRecorder recorder(10, 4);
+    EXPECT_EQ(recorder.capacity(), 12u);
+    FlightRecorder tiny(1, 8);
+    EXPECT_EQ(tiny.capacity(), 8u);
+}
+
+TEST(FlightRecorderTest, RetainsAndOrdersByTraceId)
+{
+    FlightRecorder recorder(16, 4);
+    // Record out of shard order: ids spread across all four shards.
+    for (uint64_t id : {5, 2, 7, 1, 4, 3, 6, 8})
+        recorder.record(summaryWithId(id));
+    EXPECT_EQ(recorder.size(), 8u);
+    EXPECT_EQ(recorder.recorded(), 8);
+    std::vector<RequestSummary> recent = recorder.recent();
+    ASSERT_EQ(recent.size(), 8u);
+    for (size_t i = 0; i < recent.size(); ++i) {
+        EXPECT_EQ(recent[i].traceId, i + 1);
+        EXPECT_EQ(recent[i].op, "sweep");
+    }
+}
+
+TEST(FlightRecorderTest, EvictsOldestPerShardWhenFull)
+{
+    FlightRecorder recorder(8, 4); // 2 slots per shard.
+    // 24 sequential ids: each shard sees 6 and keeps its last 2.
+    for (uint64_t id = 1; id <= 24; ++id)
+        recorder.record(summaryWithId(id));
+    EXPECT_EQ(recorder.size(), 8u);
+    EXPECT_EQ(recorder.recorded(), 24);
+    std::vector<RequestSummary> recent = recorder.recent();
+    ASSERT_EQ(recent.size(), 8u);
+    // Sequential admission ids round-robin the shards, so the
+    // retained set is exactly the newest 8, oldest first.
+    for (size_t i = 0; i < recent.size(); ++i)
+        EXPECT_EQ(recent[i].traceId, 17 + i);
+}
+
+TEST(FlightRecorderTest, CountsSlowRequests)
+{
+    FlightRecorder recorder(8, 2);
+    RequestSummary slow = summaryWithId(1);
+    slow.slow = true;
+    recorder.record(slow);
+    recorder.record(summaryWithId(2));
+    EXPECT_EQ(recorder.slowCount(), 1);
+}
+
+TEST(FlightRecorderTest, StatsJsonReportsOccupancy)
+{
+    FlightRecorder recorder(8, 2);
+    RequestSummary slow = summaryWithId(3);
+    slow.slow = true;
+    recorder.record(slow);
+    recorder.record(summaryWithId(4));
+    Json stats = recorder.statsJson();
+    ASSERT_NE(stats.find("capacity"), nullptr);
+    EXPECT_EQ(stats.find("capacity")->intValue(), 8);
+    EXPECT_EQ(stats.find("occupancy")->intValue(), 2);
+    EXPECT_EQ(stats.find("recorded")->intValue(), 2);
+    EXPECT_EQ(stats.find("slow")->intValue(), 1);
+}
+
+TEST(FlightRecorderTest, SummaryJsonRoundTripsFields)
+{
+    RequestSummary summary = summaryWithId(42);
+    summary.configs = 372;
+    summary.points = 370;
+    summary.ok = false;
+    summary.slow = true;
+    summary.error = "client write failed";
+    summary.queueWaitUs = 11;
+    summary.solveUs = 22;
+    summary.serializeUs = 33;
+    Json json = summary.toJson();
+    EXPECT_EQ(json.find("trace_id")->intValue(), 42);
+    EXPECT_EQ(json.find("op")->stringValue(), "sweep");
+    EXPECT_EQ(json.find("detail")->stringValue(), "(c4,g16,d2^16)");
+    EXPECT_EQ(json.find("configs")->intValue(), 372);
+    EXPECT_EQ(json.find("points")->intValue(), 370);
+    EXPECT_FALSE(json.find("ok")->boolValue());
+    EXPECT_TRUE(json.find("slow")->boolValue());
+    EXPECT_EQ(json.find("error")->stringValue(),
+              "client write failed");
+    EXPECT_EQ(json.find("queue_wait_us")->intValue(), 11);
+    EXPECT_EQ(json.find("solve_us")->intValue(), 22);
+    EXPECT_EQ(json.find("serialize_us")->intValue(), 33);
+    EXPECT_EQ(json.find("total_us")->intValue(), 420);
+}
+
+} // anonymous namespace
+} // namespace hilp

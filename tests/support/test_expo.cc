@@ -1,0 +1,139 @@
+/** @file Unit tests for the Prometheus text exposition layer. */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "support/expo.hh"
+#include "support/metrics.hh"
+
+namespace hilp {
+namespace {
+
+TEST(ExpoTest, SanitizeNameMapsIllegalCharacters)
+{
+    EXPECT_EQ(expo::promSanitizeName("hilpd.requests"),
+              "hilpd_requests");
+    EXPECT_EQ(expo::promSanitizeName("cp.solve_us"), "cp_solve_us");
+    // A config label as it appears in registry names: parentheses,
+    // commas, and '^' all leave the legal alphabet.
+    EXPECT_EQ(expo::promSanitizeName("solve.(c4,g16,d2^16)"),
+              "solve__c4_g16_d2_16_");
+    // Colons are legal in metric names and survive.
+    EXPECT_EQ(expo::promSanitizeName("a:b"), "a:b");
+}
+
+TEST(ExpoTest, SanitizeNameHandlesBadStarts)
+{
+    EXPECT_EQ(expo::promSanitizeName(""), "_");
+    EXPECT_EQ(expo::promSanitizeName("9lives"), "_9lives");
+    // '-' maps to '_', which is already a legal start: no prefix.
+    EXPECT_EQ(expo::promSanitizeName("-x"), "_x");
+}
+
+TEST(ExpoTest, EscapeLabelQuotesAndBackslashes)
+{
+    EXPECT_EQ(expo::promEscapeLabel("plain"), "plain");
+    EXPECT_EQ(expo::promEscapeLabel("a\"b"), "a\\\"b");
+    EXPECT_EQ(expo::promEscapeLabel("a\\b"), "a\\\\b");
+    EXPECT_EQ(expo::promEscapeLabel("a\nb"), "a\\nb");
+    // The config-name alphabet needs no escaping but must round-trip.
+    EXPECT_EQ(expo::promEscapeLabel("(c4,g16,d2^16)"),
+              "(c4,g16,d2^16)");
+}
+
+TEST(ExpoTest, PrometheusTextMatchesRegistry)
+{
+    metrics::counter("test.expo.counter").reset();
+    metrics::counter("test.expo.counter").add(12);
+    metrics::gauge("test.expo.gauge").set(3.5);
+    metrics::histogram("test.expo.histogram").reset();
+    metrics::histogram("test.expo.histogram").record(5);
+    metrics::histogram("test.expo.histogram").record(900);
+
+    std::string text = expo::prometheusText();
+    EXPECT_NE(text.find("# TYPE test_expo_counter_total counter\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("test_expo_counter_total 12\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("test_expo_gauge 3.5\n"), std::string::npos);
+    // Histogram: cumulative buckets, +Inf bucket == count, sum.
+    EXPECT_NE(text.find("# TYPE test_expo_histogram histogram\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("test_expo_histogram_bucket{le=\"7\"} 1\n"),
+              std::string::npos);
+    EXPECT_NE(
+        text.find("test_expo_histogram_bucket{le=\"1023\"} 2\n"),
+        std::string::npos);
+    EXPECT_NE(
+        text.find("test_expo_histogram_bucket{le=\"+Inf\"} 2\n"),
+        std::string::npos);
+    EXPECT_NE(text.find("test_expo_histogram_sum 905\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("test_expo_histogram_count 2\n"),
+              std::string::npos);
+    // Derived quantile gauges for the tail.
+    EXPECT_NE(text.find("test_expo_histogram_quantile{q=\"0.5\"}"),
+              std::string::npos);
+    EXPECT_NE(text.find("test_expo_histogram_quantile{q=\"0.99\"}"),
+              std::string::npos);
+    // Build provenance rides every scrape.
+    EXPECT_NE(text.find("hilp_build_info{version="),
+              std::string::npos);
+
+    metrics::counter("test.expo.counter").reset();
+    metrics::histogram("test.expo.histogram").reset();
+}
+
+TEST(ExpoTest, ValidatorAcceptsOwnOutput)
+{
+    // Poison the registry with the worst names we produce and make
+    // sure the rendered document still validates: this is the whole
+    // point of the sanitize/escape layer.
+    metrics::counter("test.expo.(c4,g16,d2^16)").add(1);
+    metrics::histogram("test.expo.valid.histogram").record(77);
+    std::string text = expo::prometheusText();
+    EXPECT_EQ(expo::validateExposition(text), "");
+    metrics::counter("test.expo.(c4,g16,d2^16)").reset();
+    metrics::histogram("test.expo.valid.histogram").reset();
+}
+
+TEST(ExpoTest, ValidatorAcceptsHandWrittenDocument)
+{
+    std::string text =
+        "# HELP up whether the target is up\n"
+        "# TYPE up gauge\n"
+        "up 1\n"
+        "requests_total{method=\"get\",code=\"200\"} 1027 "
+        "1395066363000\n"
+        "pi 3.14\n"
+        "inf_edge +Inf\n";
+    EXPECT_EQ(expo::validateExposition(text), "");
+}
+
+TEST(ExpoTest, ValidatorRejectsMalformedDocuments)
+{
+    // No trailing newline.
+    EXPECT_NE(expo::validateExposition("up 1"), "");
+    // No samples at all.
+    EXPECT_NE(expo::validateExposition("# TYPE up gauge\n"), "");
+    // Illegal metric name.
+    EXPECT_NE(expo::validateExposition("9up 1\n"), "");
+    EXPECT_NE(expo::validateExposition("bad(name) 1\n"), "");
+    // Unquoted or unterminated label values.
+    EXPECT_NE(expo::validateExposition("up{job=x} 1\n"), "");
+    EXPECT_NE(expo::validateExposition("up{job=\"x} 1\n"), "");
+    // Bad escape inside a label value.
+    EXPECT_NE(expo::validateExposition("up{job=\"a\\t\"} 1\n"), "");
+    // Missing or unparseable value.
+    EXPECT_NE(expo::validateExposition("up \n"), "");
+    EXPECT_NE(expo::validateExposition("up one\n"), "");
+    // Bad TYPE comment.
+    EXPECT_NE(expo::validateExposition("# TYPE up banana\nup 1\n"),
+              "");
+    // Non-integer timestamp.
+    EXPECT_NE(expo::validateExposition("up 1 12.5\n"), "");
+}
+
+} // anonymous namespace
+} // namespace hilp

@@ -83,6 +83,126 @@ TEST(MetricsTest, HistogramSnapshotStatistics)
     EXPECT_EQ(snap.mean(), 0.0);
 }
 
+TEST(MetricsTest, QuantileOfEmptySnapshotIsZero)
+{
+    metrics::HistogramSnapshot snap;
+    EXPECT_DOUBLE_EQ(snap.quantile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(snap.quantile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(snap.quantile(1.0), 0.0);
+}
+
+TEST(MetricsTest, QuantileOfAllZeroSamples)
+{
+    metrics::Histogram histogram("test.histogram.zeros");
+    for (int i = 0; i < 5; ++i)
+        histogram.record(0);
+    metrics::HistogramSnapshot snap = histogram.snapshot();
+    EXPECT_EQ(snap.count, 5);
+    // Every sample lands in the <= 0 bucket; every quantile is 0.
+    EXPECT_DOUBLE_EQ(snap.quantile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(snap.quantile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(snap.quantile(0.99), 0.0);
+    EXPECT_DOUBLE_EQ(snap.quantile(1.0), 0.0);
+}
+
+TEST(MetricsTest, QuantileOfSingleSampleIsThatSample)
+{
+    metrics::Histogram histogram("test.histogram.single");
+    histogram.record(7);
+    metrics::HistogramSnapshot snap = histogram.snapshot();
+    for (double q : {0.0, 0.25, 0.5, 0.95, 1.0})
+        EXPECT_DOUBLE_EQ(snap.quantile(q), 7.0) << "q=" << q;
+}
+
+TEST(MetricsTest, QuantileExtremesAreExactAndClamped)
+{
+    metrics::Histogram histogram("test.histogram.extremes");
+    // 2 and 3 share the [2,3] bucket: interpolation alone would give
+    // q=0 a value of 2.5, but the extremes must return the recorded
+    // min/max exactly (out-of-range q clamps to them too).
+    histogram.record(2);
+    histogram.record(3);
+    metrics::HistogramSnapshot snap = histogram.snapshot();
+    EXPECT_DOUBLE_EQ(snap.quantile(0.0), 2.0);
+    EXPECT_DOUBLE_EQ(snap.quantile(-1.0), 2.0);
+    EXPECT_DOUBLE_EQ(snap.quantile(1.0), 3.0);
+    EXPECT_DOUBLE_EQ(snap.quantile(2.0), 3.0);
+}
+
+TEST(MetricsTest, QuantileInterpolatesWithinBucket)
+{
+    metrics::Histogram histogram("test.histogram.interp");
+    // 4 and 7 both land in the [4,7] bucket. The p50 rank is the
+    // first of the two samples: linear interpolation puts it halfway
+    // into the bucket's span, between the recorded values.
+    histogram.record(4);
+    histogram.record(7);
+    metrics::HistogramSnapshot snap = histogram.snapshot();
+    double p50 = snap.quantile(0.5);
+    EXPECT_GE(p50, 4.0);
+    EXPECT_LE(p50, 7.0);
+    // Monotone in q, and never outside [min, max].
+    double p25 = snap.quantile(0.25);
+    double p95 = snap.quantile(0.95);
+    EXPECT_LE(p25, p50);
+    EXPECT_LE(p50, p95);
+    EXPECT_GE(p25, 4.0);
+    EXPECT_LE(p95, 7.0);
+}
+
+TEST(MetricsTest, QuantileAcrossBucketsRespectsOrdering)
+{
+    metrics::Histogram histogram("test.histogram.spread");
+    for (int64_t value : {1, 10, 100, 1000, 10000})
+        histogram.record(value);
+    metrics::HistogramSnapshot snap = histogram.snapshot();
+    EXPECT_DOUBLE_EQ(snap.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(snap.quantile(1.0), 10000.0);
+    // p99 with five samples targets the last one: its bucket is
+    // [8192, 16383], so the estimate lands at 10000 after clamping
+    // or just below it inside the bucket.
+    EXPECT_GE(snap.quantile(0.99), 8192.0);
+    EXPECT_LE(snap.quantile(0.99), 10000.0);
+    double last = 0.0;
+    for (double q : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+        double value = snap.quantile(q);
+        EXPECT_GE(value, last) << "q=" << q;
+        last = value;
+    }
+}
+
+TEST(MetricsTest, SnapshotAllCarriesEveryKind)
+{
+    metrics::counter("test.snapall.counter").reset();
+    metrics::counter("test.snapall.counter").add(9);
+    metrics::gauge("test.snapall.gauge").set(0.5);
+    metrics::histogram("test.snapall.histogram").reset();
+    metrics::histogram("test.snapall.histogram").record(3);
+
+    metrics::RegistrySnapshot all = metrics::snapshotAll();
+    bool counter_seen = false, gauge_seen = false, histo_seen = false;
+    for (const auto &entry : all.counters)
+        if (entry.first == "test.snapall.counter") {
+            counter_seen = true;
+            EXPECT_EQ(entry.second, 9);
+        }
+    for (const auto &entry : all.gauges)
+        if (entry.first == "test.snapall.gauge") {
+            gauge_seen = true;
+            EXPECT_DOUBLE_EQ(entry.second, 0.5);
+        }
+    for (const auto &entry : all.histograms)
+        if (entry.first == "test.snapall.histogram") {
+            histo_seen = true;
+            EXPECT_EQ(entry.second.count, 1);
+        }
+    EXPECT_TRUE(counter_seen);
+    EXPECT_TRUE(gauge_seen);
+    EXPECT_TRUE(histo_seen);
+    metrics::counter("test.snapall.counter").reset();
+    metrics::histogram("test.snapall.histogram").reset();
+}
+
 TEST(MetricsTest, ConcurrentCounterIncrementsMergeExactly)
 {
     metrics::Counter &counter =

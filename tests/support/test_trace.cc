@@ -204,5 +204,151 @@ TEST_F(TraceTest, ClearAllDiscardsEvents)
     EXPECT_EQ(trace::droppedEvents(), 0);
 }
 
+TEST_F(TraceTest, NewTraceIdsAreUniqueAndNonZero)
+{
+    uint64_t a = trace::newTraceId();
+    uint64_t b = trace::newTraceId();
+    EXPECT_NE(a, 0u);
+    EXPECT_NE(b, 0u);
+    EXPECT_NE(a, b);
+}
+
+TEST_F(TraceTest, ContextScopeStampsEventsAndRestores)
+{
+    EXPECT_EQ(trace::currentContext(), 0u);
+    uint64_t id = trace::newTraceId();
+    {
+        trace::ContextScope scope(id);
+        EXPECT_EQ(trace::currentContext(), id);
+        TRACE_SPAN("ctx.work");
+    }
+    EXPECT_EQ(trace::currentContext(), 0u);
+    TRACE_INSTANT("ctx.outside");
+
+    bool tagged_seen = false;
+    bool outside_seen = false;
+    for (const Json &event : realEvents()) {
+        const std::string &name = event.find("name")->stringValue();
+        const Json *args = event.find("args");
+        if (name == "ctx.work") {
+            tagged_seen = true;
+            ASSERT_NE(args, nullptr);
+            const Json *trace_id = args->find("trace_id");
+            ASSERT_NE(trace_id, nullptr);
+            EXPECT_EQ(static_cast<uint64_t>(trace_id->intValue()),
+                      id);
+        } else if (name == "ctx.outside") {
+            outside_seen = true;
+            // No context: no trace_id arg.
+            EXPECT_TRUE(!args || !args->find("trace_id"));
+        }
+    }
+    EXPECT_TRUE(tagged_seen);
+    EXPECT_TRUE(outside_seen);
+}
+
+TEST_F(TraceTest, ZeroContextScopeIsANoop)
+{
+    uint64_t id = trace::newTraceId();
+    trace::ContextScope outer(id);
+    {
+        // A zero id must not clobber the enclosing context (this is
+        // what lets helpers take "0 = keep current" ids).
+        trace::ContextScope inner(0);
+        EXPECT_EQ(trace::currentContext(), id);
+    }
+    EXPECT_EQ(trace::currentContext(), id);
+}
+
+TEST_F(TraceTest, ContextScopesNestAndRestoreInOrder)
+{
+    uint64_t first = trace::newTraceId();
+    uint64_t second = trace::newTraceId();
+    trace::ContextScope a(first);
+    {
+        trace::ContextScope b(second);
+        EXPECT_EQ(trace::currentContext(), second);
+    }
+    EXPECT_EQ(trace::currentContext(), first);
+}
+
+TEST_F(TraceTest, ToJsonForContextFiltersAndValidates)
+{
+    uint64_t mine = trace::newTraceId();
+    uint64_t other = trace::newTraceId();
+    {
+        trace::ContextScope scope(other);
+        trace::Span span("other.request");
+    }
+    {
+        trace::ContextScope scope(mine);
+        trace::Span span("my.request");
+        trace::instant("my.tick");
+    }
+    Json exported = trace::toJsonForContext(mine);
+    EXPECT_EQ(trace::validateChromeTrace(exported), "");
+    const Json *events = exported.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    bool mine_seen = false;
+    for (size_t i = 0; i < events->size(); ++i) {
+        const Json &event = events->at(i);
+        if (event.find("ph")->stringValue() == "M")
+            continue;
+        const std::string &name = event.find("name")->stringValue();
+        EXPECT_NE(name, "other.request");
+        if (name == "my.request")
+            mine_seen = true;
+    }
+    EXPECT_TRUE(mine_seen);
+}
+
+TEST_F(TraceTest, RingBufferKeepsNewestEventsAndStaysValid)
+{
+    bool was_ring = trace::ringBuffered();
+    trace::setRingBuffered(true);
+    // Overflow the fixed-size per-thread buffer: the ring must
+    // overwrite the oldest events, count the displacement, and still
+    // export a validator-clean trace (no orphaned B/E pairs).
+    constexpr int kEvents = (1 << 16) + 512;
+    for (int i = 0; i < kEvents; ++i) {
+        trace::Span span("ring.work");
+    }
+    EXPECT_GT(trace::droppedEvents(), 0);
+    Json exported = trace::toJson();
+    EXPECT_EQ(trace::validateChromeTrace(exported), "");
+    const Json *events = exported.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    // The ring retained up to one buffer's worth of the newest.
+    EXPECT_GT(events->size(), 0u);
+    trace::setRingBuffered(was_ring);
+}
+
+TEST_F(TraceTest, AppendModeStillDropsAtCapacity)
+{
+    bool was_ring = trace::ringBuffered();
+    trace::setRingBuffered(false);
+    constexpr int kEvents = (1 << 16) + 512;
+    for (int i = 0; i < kEvents; ++i)
+        trace::instant("flood");
+    EXPECT_GT(trace::droppedEvents(), 0);
+    EXPECT_EQ(trace::validateChromeTrace(trace::toJson()), "");
+    trace::setRingBuffered(was_ring);
+}
+
+TEST(TraceTaggedPathTest, InsertsTagBeforeExtension)
+{
+    EXPECT_EQ(trace::taggedPath("out/trace.json", "7"),
+              "out/trace.7.json");
+    EXPECT_EQ(trace::taggedPath("trace.json", "1234"),
+              "trace.1234.json");
+}
+
+TEST(TraceTaggedPathTest, AppendsTagWithoutExtension)
+{
+    EXPECT_EQ(trace::taggedPath("out/trace", "7"), "out/trace.7");
+    // A dot in a directory name is not an extension.
+    EXPECT_EQ(trace::taggedPath("out.d/trace", "7"), "out.d/trace.7");
+}
+
 } // anonymous namespace
 } // namespace hilp
