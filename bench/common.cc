@@ -34,6 +34,7 @@ double g_point_timeout_s = 0.0;
 bool g_fail_fast = false;
 bool g_nogoods = false;
 bool g_lns = false;
+bool g_packed_layout = true;
 std::string g_connect;
 bool g_no_reuse = false;
 size_t g_max_configs = 0;
@@ -94,6 +95,16 @@ initHarness(int *argc, char **argv)
             g_nogoods = true;
         else if (std::strcmp(arg, "--lns") == 0)
             g_lns = true;
+        else if (std::strncmp(arg, "--layout=", 9) == 0) {
+            const char *layout = arg + 9;
+            if (std::strcmp(layout, "legacy") == 0)
+                g_packed_layout = false;
+            else if (std::strcmp(layout, "packed") == 0)
+                g_packed_layout = true;
+            else
+                fatal("--layout must be 'packed' or 'legacy', "
+                      "got '%s'", layout);
+        }
         else if (std::strncmp(arg, "--connect=", 10) == 0)
             g_connect = arg + 10;
         else if (std::strncmp(arg, "--metrics-addr=", 15) == 0)
@@ -181,6 +192,12 @@ useLns()
     return g_lns;
 }
 
+bool
+packedLayout()
+{
+    return g_packed_layout;
+}
+
 const std::string &
 connectAddress()
 {
@@ -245,6 +262,7 @@ validationEngine(double solver_seconds)
     options.solver.deterministicSearch = g_deterministic_search;
     options.solver.useNogoods = g_nogoods;
     options.solver.lns = g_lns;
+    options.solver.packedLayout = g_packed_layout;
     // Rerun near-optimality misses with 4x the budget, as the paper
     // does for its validation experiments.
     options.escalations = 1;
@@ -263,6 +281,7 @@ explorationOptions(double solver_seconds)
     options.engine.solver.deterministicSearch = g_deterministic_search;
     options.engine.solver.useNogoods = g_nogoods;
     options.engine.solver.lns = g_lns;
+    options.engine.solver.packedLayout = g_packed_layout;
     options.engine.pointTimeoutS = g_point_timeout_s;
     options.failFast = g_fail_fast;
     return options;

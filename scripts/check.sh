@@ -55,10 +55,34 @@ echo "==> test build-tsan (concurrency under TSan)"
 echo "==> trace smoke test"
 rm -f build/check_trace.*.json
 ./build/bench/solver_micro "--trace-out=build/check_trace.json" \
-    --no-thread-sweep --no-feature-sweep \
+    --no-thread-sweep --no-feature-sweep --no-layout-sweep \
     --benchmark_filter=none > /dev/null
 trace_file=$(ls build/check_trace.*.json)
 ./build/bench/trace_check "${trace_file}"
+
+# Memory-layout perf gate: rerun the packed-vs-legacy layout sweep
+# (which also enforces bit-identical makespans/trees between the two
+# layouts) and require the packed layout's explore-class speedup to
+# hold. The sweep's own measurement reports >=1.3x; the gate runs at
+# 1.2x so machine noise does not flake CI while a real regression
+# still fails. Run from build/ so the sweep's BENCH_solver.json does
+# not clobber the committed measurement at the repo root.
+echo "==> memory layout perf gate"
+(cd build && ./bench/solver_micro --no-thread-sweep \
+    --no-feature-sweep --benchmark_filter=none > /dev/null)
+layout_speedup=$(sed -n \
+    's/.*"speedup_layout_explore": \([0-9.]*\).*/\1/p' \
+    build/BENCH_solver.json | head -n 1)
+if [ -z "${layout_speedup}" ]; then
+    echo "layout sweep reported no explore-class speedup" >&2
+    exit 1
+fi
+awk -v s="${layout_speedup}" 'BEGIN { exit !(s >= 1.2) }' || {
+    echo "layout perf gate: speedup_layout_explore ${layout_speedup}" \
+        "is below the 1.2x floor" >&2
+    exit 1
+}
+echo "    speedup_layout_explore ${layout_speedup} (floor 1.2x)"
 
 # Checkpoint/resume round trip: an uninterrupted truncated fig7 sweep
 # vs the same sweep SIGKILLed mid-run and resumed. The resumed

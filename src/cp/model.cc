@@ -29,6 +29,16 @@ Model::addGroup(std::string name)
 int
 Model::addTask(Task task)
 {
+    Time minDur = -1;
+    Time maxDur = -1;
+    for (Mode &mode : task.modes) {
+        mode.id = numModes_++;
+        minDur = minDur < 0 ? mode.duration
+                            : std::min(minDur, mode.duration);
+        maxDur = std::max(maxDur, mode.duration);
+    }
+    minDur_.push_back(minDur);
+    maxDur_.push_back(maxDur);
     tasks_.push_back(std::move(task));
     preds_.emplace_back();
     succs_.emplace_back();
@@ -64,28 +74,6 @@ Model::setHorizon(Time horizon)
 {
     hilp_assert(horizon > 0);
     horizon_ = horizon;
-}
-
-Time
-Model::minDuration(int t) const
-{
-    const Task &task = tasks_[t];
-    hilp_assert(!task.modes.empty());
-    Time best = task.modes[0].duration;
-    for (const Mode &mode : task.modes)
-        best = std::min(best, mode.duration);
-    return best;
-}
-
-Time
-Model::maxDuration(int t) const
-{
-    const Task &task = tasks_[t];
-    hilp_assert(!task.modes.empty());
-    Time best = task.modes[0].duration;
-    for (const Mode &mode : task.modes)
-        best = std::max(best, mode.duration);
-    return best;
 }
 
 std::vector<int>

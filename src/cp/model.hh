@@ -28,6 +28,8 @@
 #include <string>
 #include <vector>
 
+#include "support/logging.hh"
+
 namespace hilp {
 namespace cp {
 
@@ -49,6 +51,13 @@ struct Mode
     Time duration = 0;
     /** Consumption of each cumulative resource while active. */
     std::vector<double> usage;
+    /**
+     * Model-wide dense mode index, assigned by Model::addTask in
+     * task/mode order. The packed Profile keys its precomputed
+     * per-mode resource-unit rows on it; -1 on modes never added to
+     * a model (those fall back to per-query conversion).
+     */
+    int id = -1;
 };
 
 /**
@@ -107,6 +116,9 @@ class Model
     int numResources() const { return static_cast<int>(caps_.size()); }
     int numGroups() const { return static_cast<int>(groupNames_.size()); }
 
+    /** Modes added across all tasks (the range of Mode::id). */
+    int numModes() const { return numModes_; }
+
     const Task &task(int t) const { return tasks_[t]; }
     double capacity(int r) const { return caps_[r]; }
     const std::string &resourceName(int r) const { return resNames_[r]; }
@@ -136,11 +148,23 @@ class Model
     /** True when any start-lag edges exist. */
     bool hasStartLags() const { return numLagEdges_ > 0; }
 
-    /** Shortest duration across the modes of task t. */
-    Time minDuration(int t) const;
+    /**
+     * Shortest duration across the modes of task t. Precomputed at
+     * addTask time: the search's bound computation calls this tens
+     * of millions of times per solve.
+     */
+    Time minDuration(int t) const
+    {
+        hilp_assert(minDur_[t] >= 0);
+        return minDur_[t];
+    }
 
-    /** Longest duration across the modes of task t. */
-    Time maxDuration(int t) const;
+    /** Longest duration across the modes of task t (precomputed). */
+    Time maxDuration(int t) const
+    {
+        hilp_assert(maxDur_[t] >= 0);
+        return maxDur_[t];
+    }
 
     /**
      * A topological order of the tasks. Panics if the precedence
@@ -159,6 +183,9 @@ class Model
 
   private:
     std::vector<Task> tasks_;
+    /** Cached min/max mode duration per task (-1 for no modes). */
+    std::vector<Time> minDur_;
+    std::vector<Time> maxDur_;
     std::vector<double> caps_;
     std::vector<std::string> resNames_;
     std::vector<std::string> groupNames_;
@@ -167,6 +194,7 @@ class Model
     std::vector<std::vector<LagEdge>> lagPreds_;
     std::vector<std::vector<LagEdge>> lagSuccs_;
     int numLagEdges_ = 0;
+    int numModes_ = 0;
     Time horizon_ = 0;
 };
 

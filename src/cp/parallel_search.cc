@@ -17,6 +17,7 @@
 #include "nogood.hh"
 #include "profile.hh"
 #include "propagate.hh"
+#include "support/arena.hh"
 #include "support/logging.hh"
 #include "support/metrics.hh"
 #include "support/str.hh"
@@ -351,8 +352,9 @@ class Worker
           limits_(shared.limits),
           id_(id),
           deterministic_(deterministic),
+          packed_(shared.limits.packedLayout),
           n_(shared.model.numTasks()),
-          engine_(shared.model)
+          engine_(shared.model, shared.limits.packedLayout)
     {
         engine_.add(makeTimetablePropagator(model_));
         engine_.add(makeDisjunctivePropagator(model_));
@@ -387,6 +389,21 @@ class Worker
                 new NogoodStore(limits_.nogoodCapacity));
             nogoods_ = privateNogoods_.get();
         }
+
+        // Per-worker scratch pools, sized once here (when the crew
+        // is built at the frontier split) so no node allocates.
+        if (!packed_) {
+            size_t max_modes = 1;
+            for (int t = 0; t < n_; ++t)
+                max_modes = std::max(max_modes,
+                                     model_.task(t).modes.size());
+            frames_.resize(static_cast<size_t>(n_) + 1);
+            for (Frame &frame : frames_) {
+                frame.tasks.reserve(static_cast<size_t>(n_));
+                frame.options.reserve(max_modes);
+            }
+        }
+        scratchBaseline_ = scratchHeapBytes();
     }
 
     // -- Telemetry, read by the driver after the join. ------------
@@ -399,6 +416,30 @@ class Worker
     int64_t nogoodsRecorded() const { return nogoodsRecorded_; }
     std::vector<PropagatorStats> propagators() const
     { return engine_.stats(); }
+
+    /** Scratch heap growth since construction (steady state: 0). */
+    int64_t scratchBytes() const
+    { return scratchHeapBytes() - scratchBaseline_; }
+
+    int64_t arenaHighWater() const
+    {
+        return static_cast<int64_t>(
+            nodeArena_.highWater() +
+            engine_.stateArena().highWater());
+    }
+
+    int64_t arenaRewinds() const
+    {
+        return nodeArena_.rewinds() +
+               engine_.stateArena().rewinds();
+    }
+
+    int64_t arenaHeapBytes() const
+    {
+        return static_cast<int64_t>(
+            nodeArena_.heapBytes() +
+            engine_.stateArena().heapBytes());
+    }
 
     // -- Deterministic-mode private incumbent. --------------------
     bool privateFound() const { return privFound_; }
@@ -779,8 +820,21 @@ class Worker
             return;
         }
 
-        std::vector<int> branch_tasks = eligible_;
-        std::sort(branch_tasks.begin(), branch_tasks.end(),
+        // Branch scratch mirrors the serial searcher: arena scratch
+        // released wholesale on unwind (packed) or this depth's
+        // preallocated frame (legacy) — no per-node allocations.
+        const size_t num_branch = eligible_.size();
+        support::Arena::Scope scope(packed_ ? &nodeArena_ : nullptr);
+        Frame *frame = packed_ ? nullptr : &frames_[scheduled_];
+        int *branch_tasks;
+        if (packed_) {
+            branch_tasks = nodeArena_.allocArray<int>(num_branch);
+        } else {
+            frame->tasks.resize(num_branch);
+            branch_tasks = frame->tasks.data();
+        }
+        std::copy(eligible_.begin(), eligible_.end(), branch_tasks);
+        std::sort(branch_tasks, branch_tasks + num_branch,
                   [this](int a, int b) {
                       if (shared_.cp.tail[a] != shared_.cp.tail[b])
                           return shared_.cp.tail[a] >
@@ -790,7 +844,8 @@ class Worker
 
         bool spill = shouldSpill();
         const Profile &profile = engine_.profile();
-        for (int t : branch_tasks) {
+        for (size_t bi = 0; bi < num_branch; ++bi) {
+            int t = branch_tasks[bi];
             Time est = 0;
             for (int p : model_.predecessors(t))
                 est = std::max(est, end_[p]);
@@ -800,13 +855,15 @@ class Worker
                                     edge.lag);
 
             const Task &task = model_.task(t);
-            struct Option
-            {
-                int mode;
-                Time start;
-                Time complete;
-            };
-            std::vector<Option> options;
+            Option *options;
+            if (packed_) {
+                options = nodeArena_.allocArray<Option>(
+                    task.modes.size());
+            } else {
+                frame->options.resize(task.modes.size());
+                options = frame->options.data();
+            }
+            size_t num_options = 0;
             Time tail_after =
                 shared_.cp.tail[t] - model_.minDuration(t);
             ub = currentUb();
@@ -818,15 +875,16 @@ class Worker
                 Time complete = start + mode.duration;
                 if (complete + tail_after >= ub)
                     continue; // Cannot beat the incumbent.
-                options.push_back(
-                    {static_cast<int>(m), start, complete});
+                options[num_options++] =
+                    {static_cast<int>(m), start, complete};
             }
-            std::sort(options.begin(), options.end(),
+            std::sort(options, options + num_options,
                       [](const Option &a, const Option &b) {
                           return a.complete < b.complete;
                       });
 
-            for (const Option &opt : options) {
+            for (size_t oi = 0; oi < num_options; ++oi) {
+                const Option &opt = options[oi];
                 Decision d{t, opt.mode, opt.start};
                 Time child_bound = std::max(
                     node_bound,
@@ -964,14 +1022,48 @@ class Worker
         return got;
     }
 
+    /** One feasible (mode, start) branch choice for a task. */
+    struct Option
+    {
+        int mode;
+        Time start;
+        Time complete;
+    };
+
+    /** Legacy-layout per-depth scratch (preallocated in the ctor). */
+    struct Frame
+    {
+        std::vector<int> tasks;
+        std::vector<Option> options;
+    };
+
+    /** Heap bytes currently committed to this worker's scratch. */
+    int64_t
+    scratchHeapBytes() const
+    {
+        size_t bytes = nodeArena_.heapBytes() +
+                       engine_.stateArena().heapBytes() +
+                       engine_.profile().heapBytes();
+        for (const Frame &frame : frames_) {
+            bytes += frame.tasks.capacity() * sizeof(int);
+            bytes += frame.options.capacity() * sizeof(Option);
+        }
+        return static_cast<int64_t>(bytes);
+    }
+
     Shared &shared_;
     const Model &model_;
     const SearchLimits &limits_;
     const int id_;
     const bool deterministic_;
+    const bool packed_;
     const int n_;
 
     PropagationEngine engine_;
+    /** Packed-layout per-node scratch (one Scope per dfs call). */
+    support::Arena nodeArena_;
+    std::vector<Frame> frames_;
+    int64_t scratchBaseline_ = 0;
     std::vector<Assignment> assign_;
     std::vector<Time> end_;
     std::vector<Time> est_;
@@ -1012,7 +1104,8 @@ class Worker
 
 /** Fold one worker's counters into the result. */
 void
-mergeWorker(SearchResult &result, const Worker &worker)
+mergeWorker(SearchResult &result, const Worker &worker,
+            int64_t *arena_heap)
 {
     result.nodes += worker.nodes();
     result.backtracks += worker.backtracks();
@@ -1021,12 +1114,17 @@ mergeWorker(SearchResult &result, const Worker &worker)
     result.subproblems += worker.published();
     result.nogoodHits += worker.nogoodHits();
     result.nogoodsRecorded += worker.nogoodsRecorded();
+    result.scratchBytes += worker.scratchBytes();
+    result.arenaHighWater += worker.arenaHighWater();
+    result.arenaRewinds += worker.arenaRewinds();
+    *arena_heap += worker.arenaHeapBytes();
     mergePropagatorStats(result.propagators, worker.propagators());
 }
 
 /** Per-search metrics flush (mirrors the serial searcher's). */
 void
-flushMetrics(const SearchResult &result, bool use_nogoods)
+flushMetrics(const SearchResult &result, bool use_nogoods,
+             int64_t arena_heap)
 {
     metrics::counter("cp.search.nodes").add(result.nodes);
     metrics::counter("cp.search.backtracks").add(result.backtracks);
@@ -1047,6 +1145,11 @@ flushMetrics(const SearchResult &result, bool use_nogoods)
     }
     metrics::counter("cp.propagations").add(invocations);
     metrics::counter("cp.prunings").add(prunings);
+    metrics::gauge("hilp.arena.bytes")
+        .set(static_cast<double>(arena_heap));
+    metrics::gauge("hilp.arena.highwater")
+        .set(static_cast<double>(result.arenaHighWater));
+    metrics::counter("hilp.arena.rewinds").add(result.arenaRewinds);
 }
 
 /** True when the warm start already satisfies the target gap. */
@@ -1095,7 +1198,8 @@ buildFrontier(Worker &generator, const SearchLimits &limits,
 
 SearchResult
 runDeterministic(const Model &model, const SearchLimits &limits,
-                 Shared &shared, SearchResult result)
+                 Shared &shared, SearchResult result,
+                 int64_t *arena_heap)
 {
     int threads = shared.threads;
     Worker generator(shared, 0, /*deterministic=*/true);
@@ -1161,7 +1265,7 @@ runDeterministic(const Model &model, const SearchLimits &limits,
         for (const auto &worker : workers) {
             limit = limit || worker->stoppedOnLimit();
             gap_stop = gap_stop || worker->stoppedOnGap();
-            mergeWorker(result, *worker);
+            mergeWorker(result, *worker, arena_heap);
         }
         // The winner's view already includes the warm start; only
         // a strict improvement over it carries a schedule.
@@ -1172,13 +1276,13 @@ runDeterministic(const Model &model, const SearchLimits &limits,
             result.bestMakespan = winner->privateUb();
             result.best = winner->privateBest();
         }
-        mergeWorker(result, generator);
+        mergeWorker(result, generator, arena_heap);
         result.exhausted = !limit && !gap_stop;
         return result;
     }
 
     // Generation alone finished the search.
-    mergeWorker(result, generator);
+    mergeWorker(result, generator, arena_heap);
     if (generator.privateFound() &&
         (!result.foundSolution ||
          generator.privateUb() < result.bestMakespan)) {
@@ -1193,7 +1297,7 @@ runDeterministic(const Model &model, const SearchLimits &limits,
 
 SearchResult
 runOpportunistic(const SearchLimits &limits, Shared &shared,
-                 SearchResult result)
+                 SearchResult result, int64_t *arena_heap)
 {
     int threads = shared.threads;
     Subproblem root;
@@ -1222,7 +1326,7 @@ runOpportunistic(const SearchLimits &limits, Shared &shared,
         thread.join();
 
     for (const auto &worker : workers)
-        mergeWorker(result, *worker);
+        mergeWorker(result, *worker, arena_heap);
     if (shared.incumbent.found()) {
         result.foundSolution = true;
         result.bestMakespan = shared.incumbent.ub();
@@ -1265,7 +1369,7 @@ parallelBranchAndBound(const Model &model,
     if (result.foundSolution &&
         initialGapReached(initial_ub, limits)) {
         result.exhausted = false;
-        PropagationEngine idle_engine(model);
+        PropagationEngine idle_engine(model, limits.packedLayout);
         idle_engine.add(makeTimetablePropagator(model));
         idle_engine.add(makeDisjunctivePropagator(model));
         idle_engine.add(makePrecedencePropagator(model));
@@ -1287,14 +1391,16 @@ parallelBranchAndBound(const Model &model,
         return result;
     }
 
+    int64_t arena_heap = 0;
     result = limits.deterministic
         ? runDeterministic(model, limits, shared,
-                           std::move(result))
-        : runOpportunistic(limits, shared, std::move(result));
+                           std::move(result), &arena_heap)
+        : runOpportunistic(limits, shared, std::move(result),
+                           &arena_heap);
 
     span.arg(trace::Arg::intArg("nodes", result.nodes));
     span.arg(trace::Arg::intArg("steals", result.steals));
-    flushMetrics(result, limits.useNogoods);
+    flushMetrics(result, limits.useNogoods, arena_heap);
     return result;
 }
 

@@ -4,12 +4,28 @@
  * replacement for the dense step-indexed Timetable.
  *
  * A Profile stores, per cumulative resource, a piecewise-constant
- * usage function as a sorted vector of breakpoints (time, level), and
- * per disjunctive group a sorted vector of disjoint busy intervals.
+ * usage function as sorted breakpoints (time, level), and per
+ * disjunctive group a sorted list of disjoint busy intervals.
  * Memory is O(placed intervals) instead of O(resources x horizon),
  * and the earliest-feasible-start query jumps over entire busy
  * intervals/segments instead of advancing one step past each
  * conflicting step.
+ *
+ * Two memory layouts implement the same contract bit-for-bit:
+ *
+ *  - packed (the default): one structure-of-arrays slab — flat
+ *    contiguous start[]/level[] arrays with per-resource offset
+ *    ranges (groups likewise), searched with branch-light galloping,
+ *    plus per-mode resource-unit rows precomputed once (keyed on
+ *    Mode::id) so the hot earliestStart path never converts doubles.
+ *  - legacy: the historical vector-of-vectors AoS layout, retained
+ *    as the measured baseline for the solver_micro layout sweep and
+ *    as a second differential oracle.
+ *
+ * Every query answers identically in both layouts (the blocker-jump
+ * scan's result is independent of which blocker bumps it), so search
+ * trees built on either are bit-identical — the layout choice is
+ * purely a performance knob.
  *
  * Resource levels are held in scaled integer units (see toUnits),
  * so place()/remove() round-trips are *exact*: no floating-point
@@ -57,8 +73,12 @@ double fromUnits(Units units);
 class Profile
 {
   public:
-    /** Build an empty profile for the model's resources/groups. */
-    explicit Profile(const Model &model);
+    /**
+     * Build an empty profile for the model's resources/groups.
+     * `packed` selects the SoA slab layout (default) over the legacy
+     * AoS one; results are identical either way.
+     */
+    explicit Profile(const Model &model, bool packed = true);
 
     /**
      * Earliest start >= est at which the given mode fits: the whole
@@ -89,11 +109,30 @@ class Profile
     /** The model's horizon. */
     Time horizon() const { return horizon_; }
 
+    /** True when this profile uses the packed SoA slab layout. */
+    bool packedLayout() const { return packed_; }
+
     /** Breakpoints currently stored for resource r (diagnostics). */
-    size_t breakpoints(int r) const { return resources_[r].size(); }
+    size_t breakpoints(int r) const
+    {
+        return packed_ ? static_cast<size_t>(resLen_[r])
+                       : resources_[r].size();
+    }
 
     /** Busy intervals currently stored for group g (diagnostics). */
-    size_t intervals(int g) const { return groups_[g].size(); }
+    size_t intervals(int g) const
+    {
+        return packed_ ? static_cast<size_t>(grpLen_[g])
+                       : groups_[g].size();
+    }
+
+    /**
+     * Heap bytes currently committed to occupancy storage (slab or
+     * vector capacities). Sampled around a search, the growth is the
+     * profile's contribution to scratch allocation — near zero in
+     * steady state for both layouts.
+     */
+    size_t heapBytes() const;
 
   private:
     /**
@@ -117,6 +156,8 @@ class Profile
         Time end;
     };
 
+    // -- Legacy (AoS) helpers. ------------------------------------
+
     /** Index of the segment of resource r containing step. */
     size_t segmentAt(int r, Time step) const;
 
@@ -137,16 +178,91 @@ class Profile
      */
     Time resourceBlock(int r, Units need, Time start, Time end) const;
 
+    Time earliestStartLegacy(const Mode &mode, Time est) const;
+    bool fitsLegacy(const Mode &mode, Time start) const;
+    void placeLegacy(const Mode &mode, Time start);
+    void removeLegacy(const Mode &mode, Time start);
+
+    // -- Packed (SoA slab) helpers. -------------------------------
+
+    /** Same contracts as the legacy helpers, on the flat slab. */
+    Time groupBlockPacked(int g, Time start, Time end) const;
+    Time resourceBlockPacked(int r, Units need, Time start,
+                             Time end) const;
+    void addUsagePacked(int r, Time start, Time end, Units delta);
+
+    /** Grow resource r's slab region (rebuilds the slab). */
+    void growResource(int r);
+
+    /** Grow group g's slab region (rebuilds the slab). */
+    void growGroup(int g);
+
+    /**
+     * Resolve the mode's per-resource units and the list of
+     * resources it actually consumes: the precomputed row for modes
+     * with an id, a scratch conversion for hand-built ones.
+     */
+    void modeRow(const Mode &mode, const Units **units,
+                 const int32_t **nz, int32_t *nnz) const;
+
+    /**
+     * Resolve the mode's non-zero resources and the precomputed
+     * per-resource level limits (capacity + slack - need) that
+     * earliestStart sweeps against.
+     */
+    void modeSweepRow(const Mode &mode, const int32_t **nz,
+                      const Units **limits, int32_t *nnz) const;
+
     const Model &model_;
     Time horizon_;
+    bool packed_;
+
+    /** Per-resource capacity in units (both layouts). */
+    std::vector<Units> capUnits_;
+    /** Scratch: per-resource units for id-less modes. */
+    mutable std::vector<Units> unitsScratch_;
+    /** Scratch: non-zero resource list for id-less modes. */
+    mutable std::vector<int32_t> nzScratch_;
+    /** Scratch: per-resource sweep limits for id-less modes. */
+    mutable std::vector<Units> limScratch_;
+    /**
+     * Per-resource sweep state for earliestStart: segment base
+     * pointers, length, current containing-segment cursor, and the
+     * precomputed level limit, gathered contiguously so the window
+     * scan touches a single small array.
+     */
+    struct SweepCursor
+    {
+        const Time *starts;
+        const Units *levels;
+        int32_t len;
+        int32_t cur;
+        Units limit;
+    };
+    /** Scratch: earliestStart's active sweep cursors. */
+    mutable std::vector<SweepCursor> sweepScratch_;
+
+    // Legacy layout.
     /** resources_[r]: canonical sorted segments covering [0, horizon). */
     std::vector<std::vector<Segment>> resources_;
     /** groups_[g]: sorted, disjoint busy intervals. */
     std::vector<std::vector<Interval>> groups_;
-    /** Per-resource capacity in units. */
-    std::vector<Units> capUnits_;
-    /** Scratch: per-resource usage in units for the current mode. */
-    mutable std::vector<Units> unitsScratch_;
+
+    // Packed layout: one slab per array family, with per-resource
+    // (per-group) offset/length/capacity ranges. Regions grow by
+    // doubling, which rebuilds the slab — rare after warm-up.
+    std::vector<int32_t> resOff_, resLen_, resCap_;
+    std::vector<Time> segStart_;
+    std::vector<Units> segLevel_;
+    std::vector<int32_t> grpOff_, grpLen_, grpCap_;
+    std::vector<Time> ivStart_, ivEnd_;
+    /** Mode id -> row of numResources() precomputed units. */
+    std::vector<Units> modeUnits_;
+    /** Mode id -> its non-zero resource indices (ascending). */
+    std::vector<int32_t> modeNzOff_, modeNzLen_;
+    std::vector<int32_t> nzRes_;
+    /** Parallel to nzRes_: the mode's level limit on that resource. */
+    std::vector<Units> nzLimit_;
 };
 
 } // namespace cp

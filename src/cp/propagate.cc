@@ -197,7 +197,28 @@ class PrecedencePropagator final : public Propagator
   public:
     explicit PrecedencePropagator(const Model &model)
         : topo_(model.topologicalOrder())
-    {}
+    {
+        // Flatten the per-task predecessor and lag-edge lists into
+        // CSR arrays and bake each predecessor's min duration next
+        // to its index: this pass runs at every search node, and
+        // chasing a vector-of-vectors there costs a cache miss per
+        // task.
+        const int n = model.numTasks();
+        predOff_.reserve(static_cast<size_t>(n) + 1);
+        lagOff_.reserve(static_cast<size_t>(n) + 1);
+        predOff_.push_back(0);
+        lagOff_.push_back(0);
+        for (int t = 0; t < n; ++t) {
+            for (int p : model.predecessors(t))
+                preds_.push_back({p, model.minDuration(p)});
+            predOff_.push_back(
+                static_cast<int32_t>(preds_.size()));
+            for (const Model::LagEdge &edge :
+                 model.lagPredecessors(t))
+                lags_.push_back({edge.other, edge.lag});
+            lagOff_.push_back(static_cast<int32_t>(lags_.size()));
+        }
+    }
 
     const char *name() const override { return "precedence"; }
 
@@ -208,23 +229,23 @@ class PrecedencePropagator final : public Propagator
     propagate(const PropagationContext &ctx) override
     {
         Outcome out;
-        const Model &model = ctx.model;
         for (int t : topo_) {
             if (ctx.assign[t].scheduled())
                 continue;
             Time est = ctx.cp.head[t];
-            for (int p : model.predecessors(t)) {
-                Time ready = ctx.assign[p].scheduled()
-                    ? ctx.end[p]
-                    : ctx.est[p] + model.minDuration(p);
+            for (int32_t k = predOff_[t]; k < predOff_[t + 1]; ++k) {
+                const Pred &pred = preds_[k];
+                Time ready = ctx.assign[pred.task].scheduled()
+                    ? ctx.end[pred.task]
+                    : ctx.est[pred.task] + pred.minDur;
                 est = std::max(est, ready);
             }
-            for (const Model::LagEdge &edge :
-                 model.lagPredecessors(t)) {
-                int p = edge.other;
-                Time p_start = ctx.assign[p].scheduled()
-                    ? ctx.assign[p].start : ctx.est[p];
-                est = std::max(est, p_start + edge.lag);
+            for (int32_t k = lagOff_[t]; k < lagOff_[t + 1]; ++k) {
+                const Pred &edge = lags_[k];
+                Time p_start = ctx.assign[edge.task].scheduled()
+                    ? ctx.assign[edge.task].start
+                    : ctx.est[edge.task];
+                est = std::max(est, p_start + edge.minDur);
             }
             if (ctx.est[t] != est) {
                 ctx.est[t] = est;
@@ -236,7 +257,18 @@ class PrecedencePropagator final : public Propagator
     }
 
   private:
+    /** A predecessor and its cached min duration (or lag). */
+    struct Pred
+    {
+        int32_t task;
+        Time minDur;
+    };
+
     std::vector<int> topo_;
+    std::vector<int32_t> predOff_;
+    std::vector<Pred> preds_;
+    std::vector<int32_t> lagOff_;
+    std::vector<Pred> lags_;
 };
 
 /**
@@ -373,8 +405,10 @@ makeEnergeticPropagator(const Model &model)
     return std::make_unique<EnergeticPropagator>(model);
 }
 
-PropagationEngine::PropagationEngine(const Model &model)
-    : profile_(model)
+PropagationEngine::PropagationEngine(const Model &model, bool packed)
+    : profile_(model, packed),
+      trail_(&stateArena_),
+      queue_(&stateArena_)
 {}
 
 void

@@ -47,6 +47,7 @@
 #include "bounds.hh"
 #include "model.hh"
 #include "profile.hh"
+#include "support/arena.hh"
 
 namespace hilp {
 namespace cp {
@@ -138,7 +139,8 @@ std::unique_ptr<Propagator> makeEnergeticPropagator(const Model &model);
 class PropagationEngine
 {
   public:
-    explicit PropagationEngine(const Model &model);
+    /** `packed` selects the Profile layout (see Profile). */
+    explicit PropagationEngine(const Model &model, bool packed = true);
 
     /** Register a propagator (fixpoint runs them in add order). */
     void add(std::unique_ptr<Propagator> propagator);
@@ -170,6 +172,13 @@ class PropagationEngine
     /** Per-propagator telemetry accumulated so far. */
     std::vector<PropagatorStats> stats() const;
 
+    /**
+     * Arena backing the trail and fixpoint queue once they outgrow
+     * their inline storage. Never rewound while the engine lives, so
+     * spilled storage stays valid; exposed for scratch accounting.
+     */
+    const support::Arena &stateArena() const { return stateArena_; }
+
   private:
     struct TrailEntry
     {
@@ -181,10 +190,16 @@ class PropagationEngine
     Profile profile_;
     std::vector<std::unique_ptr<Propagator>> propagators_;
     std::vector<PropagatorStats> stats_;
-    std::vector<TrailEntry> trail_;
+    /**
+     * Spill arena for trail_/queue_ (declared first so it outlives
+     * them). Depth is bounded by the task count, so after one spill
+     * past the inline storage the steady state allocates nothing.
+     */
+    support::Arena stateArena_;
+    support::SmallVector<TrailEntry, 64> trail_;
     /** Fixpoint scratch: queued flag per propagator. */
     std::vector<uint8_t> queued_;
-    std::vector<int> queue_;
+    support::SmallVector<int, 8> queue_;
 };
 
 } // namespace cp

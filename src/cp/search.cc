@@ -9,6 +9,7 @@
 #include "parallel_search.hh"
 #include "profile.hh"
 #include "propagate.hh"
+#include "support/arena.hh"
 #include "support/logging.hh"
 #include "support/metrics.hh"
 #include "support/trace.hh"
@@ -41,7 +42,8 @@ class Searcher
              const SearchLimits &limits)
         : model_(model),
           limits_(limits),
-          engine_(model),
+          engine_(model, limits.packedLayout),
+          packed_(limits.packedLayout),
           cp_(criticalPathData(model)),
           startTime_(Clock::now())
     {
@@ -52,6 +54,20 @@ class Searcher
             engine_.add(makeEnergeticPropagator(model));
 
         const int n = model.numTasks();
+        if (!packed_) {
+            // Legacy path: per-depth preallocated scratch frames, so
+            // a node never allocates either. Depth never exceeds the
+            // task count.
+            size_t max_modes = 1;
+            for (int t = 0; t < n; ++t)
+                max_modes = std::max(max_modes,
+                                     model.task(t).modes.size());
+            frames_.resize(static_cast<size_t>(n) + 1);
+            for (Frame &frame : frames_) {
+                frame.tasks.reserve(static_cast<size_t>(n));
+                frame.options.reserve(max_modes);
+            }
+        }
         assign_.assign(n, Assignment{});
         end_.assign(n, 0);
         est_.assign(n, 0);
@@ -83,12 +99,23 @@ class Searcher
     {
         trace::Span span("cp.search",
                          trace::Arg::intArg("tasks", model_.numTasks()));
+        // Heap growth across the tree walk is the search's true
+        // scratch-allocation cost: everything committed up front
+        // (frames, slabs, arena warm-up) is excluded, so a steady
+        // state of zero reports as zero.
+        int64_t scratch_before = scratchHeapBytes();
         if (gapReached())
             stop_ = true;
         else
             dfs(0);
         result_.exhausted = !stop_ && !limitHit_;
         result_.propagators = engine_.stats();
+        result_.scratchBytes = scratchHeapBytes() - scratch_before;
+        result_.arenaHighWater = static_cast<int64_t>(
+            nodeArena_.highWater() +
+            engine_.stateArena().highWater());
+        result_.arenaRewinds = nodeArena_.rewinds() +
+                               engine_.stateArena().rewinds();
         span.arg(trace::Arg::intArg("nodes", result_.nodes));
         span.arg(trace::Arg::intArg("backtracks", result_.backtracks));
         flushMetrics();
@@ -179,6 +206,31 @@ class Searcher
             metrics::counter("cp.nogood.recorded")
                 .add(result_.nogoodsRecorded);
         }
+        metrics::gauge("hilp.arena.bytes").set(static_cast<double>(
+            nodeArena_.heapBytes() +
+            engine_.stateArena().heapBytes()));
+        metrics::gauge("hilp.arena.highwater").set(
+            static_cast<double>(result_.arenaHighWater));
+        metrics::counter("hilp.arena.rewinds")
+            .add(result_.arenaRewinds);
+    }
+
+    /**
+     * Heap bytes currently committed to search scratch: the node and
+     * engine-state arenas, the profile's occupancy storage, and (on
+     * the legacy path) the per-depth frames.
+     */
+    int64_t
+    scratchHeapBytes() const
+    {
+        size_t bytes = nodeArena_.heapBytes() +
+                       engine_.stateArena().heapBytes() +
+                       engine_.profile().heapBytes();
+        for (const Frame &frame : frames_) {
+            bytes += frame.tasks.capacity() * sizeof(int);
+            bytes += frame.options.capacity() * sizeof(Option);
+        }
+        return static_cast<int64_t>(bytes);
     }
 
     void
@@ -240,9 +292,23 @@ class Searcher
             return;
         }
 
-        // Branch over all eligible tasks, longest tail first.
-        std::vector<int> branch_tasks = eligible_;
-        std::sort(branch_tasks.begin(), branch_tasks.end(),
+        // Branch over all eligible tasks, longest tail first. The
+        // branch order and per-task option lists live in arena
+        // scratch released wholesale when the node unwinds (packed
+        // layout) or in this depth's preallocated frame (legacy
+        // layout) — either way no node allocates in steady state.
+        const size_t num_branch = eligible_.size();
+        support::Arena::Scope scope(packed_ ? &nodeArena_ : nullptr);
+        Frame *frame = packed_ ? nullptr : &frames_[scheduled_];
+        int *branch_tasks;
+        if (packed_) {
+            branch_tasks = nodeArena_.allocArray<int>(num_branch);
+        } else {
+            frame->tasks.resize(num_branch);
+            branch_tasks = frame->tasks.data();
+        }
+        std::copy(eligible_.begin(), eligible_.end(), branch_tasks);
+        std::sort(branch_tasks, branch_tasks + num_branch,
                   [this](int a, int b) {
                       if (cp_.tail[a] != cp_.tail[b])
                           return cp_.tail[a] > cp_.tail[b];
@@ -250,7 +316,8 @@ class Searcher
                   });
 
         const Profile &profile = engine_.profile();
-        for (int t : branch_tasks) {
+        for (size_t bi = 0; bi < num_branch; ++bi) {
+            int t = branch_tasks[bi];
             Time est = 0;
             for (int p : model_.predecessors(t))
                 est = std::max(est, end_[p]);
@@ -262,13 +329,15 @@ class Searcher
             const Task &task = model_.task(t);
             // Enumerate feasible (mode, start) options; sort by
             // completion time so promising branches go first.
-            struct Option
-            {
-                int mode;
-                Time start;
-                Time complete;
-            };
-            std::vector<Option> options;
+            Option *options;
+            if (packed_) {
+                options = nodeArena_.allocArray<Option>(
+                    task.modes.size());
+            } else {
+                frame->options.resize(task.modes.size());
+                options = frame->options.data();
+            }
+            size_t num_options = 0;
             Time tail_after = cp_.tail[t] - model_.minDuration(t);
             for (size_t m = 0; m < task.modes.size(); ++m) {
                 const Mode &mode = task.modes[m];
@@ -278,14 +347,16 @@ class Searcher
                 Time complete = start + mode.duration;
                 if (complete + tail_after >= ub_)
                     continue; // Cannot beat the incumbent.
-                options.push_back({static_cast<int>(m), start, complete});
+                options[num_options++] =
+                    {static_cast<int>(m), start, complete};
             }
-            std::sort(options.begin(), options.end(),
+            std::sort(options, options + num_options,
                       [](const Option &a, const Option &b) {
                           return a.complete < b.complete;
                       });
 
-            for (const Option &opt : options) {
+            for (size_t oi = 0; oi < num_options; ++oi) {
+                const Option &opt = options[oi];
                 const Mode &mode = task.modes[opt.mode];
                 // Apply: the engine updates the profile, every
                 // propagator's incremental state, and the trail.
@@ -332,11 +403,35 @@ class Searcher
         ++result_.backtracks;
     }
 
+    /** One feasible (mode, start) branch choice for a task. */
+    struct Option
+    {
+        int mode;
+        Time start;
+        Time complete;
+    };
+
+    /** Legacy-layout per-depth scratch (preallocated in the ctor). */
+    struct Frame
+    {
+        std::vector<int> tasks;
+        std::vector<Option> options;
+    };
+
     const Model &model_;
     const SearchLimits &limits_;
     PropagationEngine engine_;
+    const bool packed_;
     CriticalPathData cp_;
     Clock::time_point startTime_;
+
+    /**
+     * Packed-layout per-node scratch: every dfs() call opens a Scope
+     * and the whole node's scratch releases as one pointer rewind,
+     * including on the early-exit paths.
+     */
+    support::Arena nodeArena_;
+    std::vector<Frame> frames_;
 
     std::vector<Assignment> assign_;
     std::vector<Time> end_;

@@ -94,6 +94,15 @@ struct SearchLimits
     bool useNogoods = false;
     /** Entry budget for the no-good store (rounded up to 2^k). */
     size_t nogoodCapacity = 1 << 16;
+    /**
+     * Memory layout of the solver core. true (the default) uses the
+     * packed SoA profile slab plus arena-backed per-node scratch;
+     * false keeps the legacy AoS profile and per-depth preallocated
+     * scratch frames. Both explore bit-identical search trees — the
+     * flag exists so the solver_micro layout sweep can measure one
+     * against the other.
+     */
+    bool packedLayout = true;
 };
 
 /** Outcome of the branch-and-bound search. */
@@ -121,6 +130,17 @@ struct SearchResult
     int64_t nogoodHits = 0;
     /** No-goods recorded into the store (0 when disabled). */
     int64_t nogoodsRecorded = 0;
+    /**
+     * Heap bytes the search scratch grew by *during* the tree walk
+     * (arenas, profile slabs, preallocated frames). Near zero in
+     * steady state: all scratch is committed up front or during the
+     * first few nodes of warm-up.
+     */
+    int64_t scratchBytes = 0;
+    /** Peak live bytes across the search's arenas (all workers). */
+    int64_t arenaHighWater = 0;
+    /** Arena rewinds performed (≈ node count on the packed layout). */
+    int64_t arenaRewinds = 0;
     /**
      * Per-propagator telemetry, aggregated (by rule name) across
      * every worker's propagation engine.

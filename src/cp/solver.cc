@@ -107,6 +107,7 @@ Solver::solve(const Model &model, const ScheduleVec *hint) const
                     lns.targetGap = options_.targetGap;
                     lns.lowerBound = result.lowerBound;
                     lns.useNogoods = options_.useNogoods;
+                    lns.packedLayout = options_.packedLayout;
                     const ScheduleVec &seed_schedule =
                         hint_ok && hint_makespan < greedy.makespan
                             ? *hint
@@ -152,6 +153,7 @@ Solver::solve(const Model &model, const ScheduleVec *hint) const
     limits.splitDepth = options_.splitDepth;
     limits.useNogoods = options_.useNogoods;
     limits.nogoodCapacity = options_.nogoodCapacity;
+    limits.packedLayout = options_.packedLayout;
 
     // threads == 0 means "borrow what the machine has to spare":
     // the caller's own thread is implicitly budgeted, extra workers
@@ -185,6 +187,9 @@ Solver::solve(const Model &model, const ScheduleVec *hint) const
     result.stats.subproblems = search.subproblems;
     result.stats.nogoodHits = search.nogoodHits;
     result.stats.nogoodsRecorded = search.nogoodsRecorded;
+    result.stats.scratchBytes = search.scratchBytes;
+    result.stats.arenaHighWater = search.arenaHighWater;
+    result.stats.arenaRewinds = search.arenaRewinds;
 
     if (search.foundSolution) {
         result.schedule = search.best;

@@ -106,6 +106,12 @@ struct SolverOptions
     /** Entry budget for the no-good store (rounded up to 2^k). */
     size_t nogoodCapacity = 1 << 16;
     /**
+     * Solver-core memory layout (see SearchLimits::packedLayout).
+     * Both settings explore bit-identical trees; false selects the
+     * legacy layout, kept as the measured baseline.
+     */
+    bool packedLayout = true;
+    /**
      * Replace the pre-search hill climb with destroy/repair LNS
      * around the greedy incumbent (see lns.hh): stronger incumbents
      * on instances the exact search cannot close, at the same
@@ -140,6 +146,12 @@ struct SolveStats
     int64_t nogoodHits = 0;
     /** No-goods recorded into the store (0 when disabled). */
     int64_t nogoodsRecorded = 0;
+    /** Scratch heap growth during the tree walk, in bytes. */
+    int64_t scratchBytes = 0;
+    /** Peak live bytes across the search arenas. */
+    int64_t arenaHighWater = 0;
+    /** Arena rewinds performed by the search. */
+    int64_t arenaRewinds = 0;
     /** LNS destroy/repair iterations run (0 unless `lns` is on). */
     int64_t lnsIterationsRun = 0;
     /** LNS iterations that strictly improved the incumbent. */

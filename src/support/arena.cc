@@ -1,0 +1,62 @@
+#include "arena.hh"
+
+namespace hilp {
+namespace support {
+
+Arena::Arena(size_t initial_block_bytes)
+    : nextBlockSize_(roundUp(
+          initial_block_bytes < kGranule ? kGranule
+                                         : initial_block_bytes))
+{}
+
+void
+Arena::ensure(size_t bytes)
+{
+    // Advance through cached blocks first (they are empty past
+    // cur_ after a rewind); only grow the chain when none fits.
+    while (cur_ < blocks_.size() &&
+           blocks_[cur_].used + bytes > blocks_[cur_].size) {
+        ++cur_;
+    }
+    if (cur_ < blocks_.size())
+        return;
+    Block block;
+    block.size = nextBlockSize_ < bytes ? roundUp(bytes)
+                                        : nextBlockSize_;
+    nextBlockSize_ = block.size * 2;
+    block.data.reset(new char[block.size]);
+    heapBytes_ += block.size;
+    HILP_ARENA_POISON(block.data.get(), block.size);
+    blocks_.push_back(std::move(block));
+    cur_ = blocks_.size() - 1;
+}
+
+void
+Arena::rewindBlocks(Checkpoint mark)
+{
+    // Blocks past the mark empty out entirely; the mark's own block
+    // rolls back to the recorded offset. Everything released gets
+    // re-poisoned so stale pointers fault under ASan.
+    for (size_t b = mark.block + 1; b <= cur_; ++b) {
+        Block &block = blocks_[b];
+        inUse_ -= block.used;
+        HILP_ARENA_POISON(block.data.get(), block.used);
+        block.used = 0;
+    }
+    Block &block = blocks_[mark.block];
+    hilp_assert(mark.used <= block.used);
+    inUse_ -= block.used - mark.used;
+    HILP_ARENA_POISON(block.data.get() + mark.used,
+                      block.used - mark.used);
+    block.used = mark.used;
+    cur_ = mark.block;
+}
+
+void
+Arena::reset()
+{
+    rewind(Checkpoint{});
+}
+
+} // namespace support
+} // namespace hilp

@@ -41,21 +41,24 @@ smallModel()
     return m;
 }
 
-/** Engine with the three always-on propagators. */
-PropagationEngine
-defaultEngine(const Model &m)
+/**
+ * Install the three always-on propagators. (The engine is pinned in
+ * place - its trail spills into an internal arena - so it cannot be
+ * returned by value.)
+ */
+void
+addDefaultPropagators(PropagationEngine &engine, const Model &m)
 {
-    PropagationEngine engine(m);
     engine.add(makeTimetablePropagator(m));
     engine.add(makeDisjunctivePropagator(m));
     engine.add(makePrecedencePropagator(m));
-    return engine;
 }
 
 TEST(Propagate, FixpointReportsStrongestRule)
 {
     Model m = smallModel();
-    PropagationEngine engine = defaultEngine(m);
+    PropagationEngine engine(m);
+    addDefaultPropagators(engine, m);
     CriticalPathData cp = criticalPathData(m);
     std::vector<Assignment> assign(3);
     std::vector<Time> end(3, 0);
@@ -73,7 +76,8 @@ TEST(Propagate, FixpointReportsStrongestRule)
 TEST(Propagate, PlacementTightensBoundsAndUndoRestoresThem)
 {
     Model m = smallModel();
-    PropagationEngine engine = defaultEngine(m);
+    PropagationEngine engine(m);
+    addDefaultPropagators(engine, m);
     CriticalPathData cp = criticalPathData(m);
     std::vector<Assignment> assign(3);
     std::vector<Time> end(3, 0);
@@ -109,7 +113,8 @@ TEST(Propagate, PlacementTightensBoundsAndUndoRestoresThem)
 TEST(Propagate, TelemetryCountsInvocationsAndPrunings)
 {
     Model m = smallModel();
-    PropagationEngine engine = defaultEngine(m);
+    PropagationEngine engine(m);
+    addDefaultPropagators(engine, m);
     CriticalPathData cp = criticalPathData(m);
     std::vector<Assignment> assign(3);
     std::vector<Time> end(3, 0);

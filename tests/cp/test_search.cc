@@ -5,6 +5,8 @@
 #include "cp/list_scheduler.hh"
 #include "cp/model.hh"
 #include "cp/search.hh"
+#include "support/random.hh"
+#include "support/str.hh"
 
 namespace hilp {
 namespace cp {
@@ -151,6 +153,86 @@ TEST(Search, CumulativeResourcePacking)
     EXPECT_EQ(r.bestMakespan, 6);
     EXPECT_EQ(checkSchedule(m, r.best), "");
 }
+
+/**
+ * Random multi-mode model with groups, a cumulative resource, and a
+ * sparse precedence DAG - enough structure to force nontrivial
+ * branching, mode ties, and backtracking.
+ */
+Model
+randomModel(uint64_t seed)
+{
+    Rng rng(seed * 2654435761u + 11);
+    Model m;
+    m.addResource(rng.uniformDouble(1.0, 2.5), "power");
+    int g1 = m.addGroup("A");
+    int g2 = m.addGroup("B");
+    int n = static_cast<int>(rng.uniformInt(5, 8));
+    for (int i = 0; i < n; ++i) {
+        Task t;
+        t.name = format("t%d", i);
+        int nm = static_cast<int>(rng.uniformInt(1, 3));
+        for (int k = 0; k < nm; ++k) {
+            double which = rng.uniformDouble();
+            int g = which < 0.4 ? g1 : which < 0.8 ? g2 : kNoGroup;
+            t.modes.push_back(
+                {g, static_cast<Time>(rng.uniformInt(1, 4)),
+                 {rng.uniformDouble(0.0, 1.2)}});
+        }
+        m.addTask(t);
+    }
+    for (int i = 0; i < n; ++i)
+        for (int j = i + 1; j < n; ++j)
+            if (rng.chance(0.2))
+                m.addPrecedence(i, j);
+    m.setHorizon(6 * n);
+    return m;
+}
+
+class SearchLayout : public ::testing::TestWithParam<uint64_t>
+{};
+
+/**
+ * The packed (arena + SoA slab) and legacy layouts are pure memory-
+ * layout changes: both must explore the *bit-identical* search tree.
+ * Compare every observable of the two runs on random models.
+ */
+TEST_P(SearchLayout, PackedAndLegacyExploreIdenticalTrees)
+{
+    Model m = randomModel(GetParam());
+    SearchLimits packed;
+    packed.packedLayout = true;
+    SearchLimits legacy;
+    legacy.packedLayout = false;
+    SearchResult p = branchAndBound(m, nullptr, packed);
+    SearchResult l = branchAndBound(m, nullptr, legacy);
+
+    EXPECT_EQ(p.foundSolution, l.foundSolution);
+    EXPECT_EQ(p.exhausted, l.exhausted);
+    EXPECT_EQ(p.bestMakespan, l.bestMakespan);
+    EXPECT_EQ(p.nodes, l.nodes);
+    EXPECT_EQ(p.backtracks, l.backtracks);
+    EXPECT_EQ(p.solutions, l.solutions);
+    if (p.foundSolution) {
+        ASSERT_EQ(p.best.tasks.size(), l.best.tasks.size());
+        for (size_t i = 0; i < p.best.tasks.size(); ++i) {
+            EXPECT_EQ(p.best.tasks[i].mode, l.best.tasks[i].mode);
+            EXPECT_EQ(p.best.tasks[i].start, l.best.tasks[i].start);
+        }
+    }
+    // The packed run rewinds its node arena as it backtracks, and
+    // the scratch growth during the walk is bounded by the one-time
+    // pool warm-up (steady state allocates nothing per node).
+    if (p.nodes > 0) {
+        EXPECT_GT(p.arenaRewinds, 0);
+        EXPECT_GT(p.arenaHighWater, 0);
+    }
+    EXPECT_GE(p.scratchBytes, 0);
+    EXPECT_GE(l.scratchBytes, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SearchLayout,
+                         ::testing::Range<uint64_t>(1, 13));
 
 } // anonymous namespace
 } // namespace cp
