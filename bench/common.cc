@@ -1,17 +1,27 @@
 #include "common.hh"
 
+#include <sys/wait.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "dse/checkpoint.hh"
+#include "dse/distribute.hh"
 #include "dse/pareto.hh"
 #include "service/client.hh"
+#include "service/daemon.hh"
 #include "service/eval_service.hh"
+#include "service/protocol.hh"
 #include "service/telemetry_http.hh"
+#include "service/worker.hh"
+#include "support/net.hh"
 #include "support/logging.hh"
 #include "support/metrics.hh"
 #include "support/str.hh"
@@ -40,6 +50,11 @@ bool g_no_reuse = false;
 size_t g_max_configs = 0;
 size_t g_memo_bytes = 0;
 std::string g_metrics_addr;
+std::string g_coordinator;
+bool g_worker = false;
+size_t g_spawn_workers = 0;
+double g_lease_timeout_s = 30.0;
+bool g_fsync_checkpoint = false;
 
 void
 dumpTelemetry()
@@ -107,6 +122,17 @@ initHarness(int *argc, char **argv)
         }
         else if (std::strncmp(arg, "--connect=", 10) == 0)
             g_connect = arg + 10;
+        else if (std::strncmp(arg, "--coordinator=", 14) == 0)
+            g_coordinator = arg + 14;
+        else if (std::strcmp(arg, "--worker") == 0)
+            g_worker = true;
+        else if (std::strncmp(arg, "--spawn-workers=", 16) == 0)
+            g_spawn_workers =
+                static_cast<size_t>(std::atoll(arg + 16));
+        else if (std::strncmp(arg, "--lease-timeout=", 16) == 0)
+            g_lease_timeout_s = std::atof(arg + 16);
+        else if (std::strcmp(arg, "--fsync-checkpoint") == 0)
+            g_fsync_checkpoint = true;
         else if (std::strncmp(arg, "--metrics-addr=", 15) == 0)
             g_metrics_addr = arg + 15;
         else if (std::strcmp(arg, "--no-reuse") == 0)
@@ -154,6 +180,22 @@ initHarness(int *argc, char **argv)
     // loops that run after each binary's figure emission.
     if (!g_trace_path.empty() || !g_metrics_path.empty())
         std::atexit(dumpTelemetry);
+
+    if (g_worker) {
+        // Worker mode replaces the whole harness: lease, evaluate,
+        // stream, exit. None of the figure code runs.
+        if (g_coordinator.empty())
+            fatal("--worker needs --coordinator=ADDR");
+        service::WorkerOptions worker_options;
+        worker_options.id = format("w%d", static_cast<int>(getpid()));
+        std::string error;
+        const bool ok =
+            service::runWorker(g_coordinator, worker_options, &error);
+        if (!ok)
+            warn("worker %s: %s", worker_options.id.c_str(),
+                 error.c_str());
+        std::exit(ok ? 0 : 1);
+    }
 }
 
 int
@@ -233,6 +275,11 @@ sweepCheckpoint()
             inform("checkpoint %s: resuming past %zu completed "
                    "point(s)", g_checkpoint_path.c_str(),
                    checkpoint.loaded());
+        if (g_resume && checkpoint.dropped() > 0)
+            inform("checkpoint %s: skipped %zu malformed record(s); "
+                   "their points will be re-evaluated",
+                   g_checkpoint_path.c_str(), checkpoint.dropped());
+        checkpoint.setFsync(g_fsync_checkpoint);
         opened = true;
     }
     return &checkpoint;
@@ -295,6 +342,157 @@ paperDesignSpace(double advantage)
     return enumerateDesignSpace(space, workload::dsaPriorityOrder());
 }
 
+namespace {
+
+/**
+ * The process-wide coordinator host behind --coordinator=ADDR: a
+ * daemon thread serving the lease protocol at the address, reused by
+ * every runSweep call (fig7 runs three sweeps back to back against
+ * the same worker fleet). Each sweep registers a fresh Coordinator;
+ * between sweeps workers poll "wait", and the destructor retires the
+ * run so they exit, then reaps spawned worker processes.
+ */
+class CoordinatorHost
+{
+  public:
+    static CoordinatorHost &
+    instance()
+    {
+        static CoordinatorHost host;
+        return host;
+    }
+
+    std::vector<dse::DsePoint>
+    sweep(const std::vector<arch::SocConfig> &configs,
+          const service::protocol::Request &params)
+    {
+        start();
+        dse::CoordinatorOptions coordinator_options;
+        coordinator_options.leaseTimeoutS = g_lease_timeout_s;
+        coordinator_options.ledger = sweepCheckpoint();
+        dse::Coordinator coordinator(configs, params.kind,
+                                     coordinator_options);
+        daemon_->setCoordinator(
+            &coordinator, service::protocol::sweepParamsJson(params));
+        const dse::CoordinatorProgress initial =
+            coordinator.progress();
+        inform("coordinator sweep (%s): %zu configs in %zu units, "
+               "lease timeout %.1fs",
+               dse::toString(params.kind), configs.size(),
+               initial.units, g_lease_timeout_s);
+        spawnWorkers();
+
+        // Wait for the merge; reap expired leases ourselves so a
+        // dead worker's unit is re-queued even while every live
+        // worker is deep in a long solve (none would be polling).
+        auto last_advance = std::chrono::steady_clock::now();
+        size_t last_done = 0;
+        while (!coordinator.finished()) {
+            coordinator.reapExpired();
+            const dse::CoordinatorProgress progress =
+                coordinator.progress();
+            const auto now = std::chrono::steady_clock::now();
+            if (progress.unitsDone != last_done) {
+                last_done = progress.unitsDone;
+                last_advance = now;
+            } else if (now - last_advance >
+                       std::chrono::seconds(600)) {
+                fatal("coordinator: no unit completed in 600s "
+                      "(%zu/%zu done, %zu leases active) - did "
+                      "every worker die?",
+                      progress.unitsDone, progress.units,
+                      progress.leasesActive);
+            }
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(20));
+        }
+        daemon_->clearCoordinator();
+        const dse::CoordinatorProgress final_progress =
+            coordinator.progress();
+        inform("coordinator sweep (%s) merged: %zu points, "
+               "%zu duplicates dropped, %zu lease(s) re-issued",
+               dse::toString(params.kind),
+               final_progress.pointsMerged,
+               final_progress.duplicates, final_progress.reissued);
+        return coordinator.takePoints();
+    }
+
+  private:
+    CoordinatorHost() = default;
+
+    ~CoordinatorHost()
+    {
+        if (!daemon_)
+            return;
+        // Tell the fleet the run is over; workers see "complete" on
+        // their next poll and exit, so the waitpids below are short.
+        daemon_->retireCoordinator();
+        for (pid_t pid : workers_) {
+            int status = 0;
+            waitpid(pid, &status, 0);
+        }
+        daemon_->stop();
+        if (serveThread_.joinable())
+            serveThread_.join();
+    }
+
+    void
+    start()
+    {
+        if (daemon_)
+            return;
+        listener_.reset(new net::Listener());
+        std::string error;
+        if (!listener_->open(g_coordinator, &error))
+            fatal("--coordinator %s: %s", g_coordinator.c_str(),
+                  error.c_str());
+        service::ServiceOptions service_options;
+        service_options.executors = 1; // Coordinator ops only.
+        service_.reset(new service::EvalService(service_options));
+        daemon_.reset(new service::Daemon(*service_));
+        serveThread_ = std::thread(
+            [this] { daemon_->run(*listener_); });
+        inform("coordinator listening on %s", g_coordinator.c_str());
+    }
+
+    void
+    spawnWorkers()
+    {
+        if (spawned_ || g_spawn_workers == 0)
+            return;
+        spawned_ = true;
+        const std::string flag = "--coordinator=" + g_coordinator;
+        for (size_t i = 0; i < g_spawn_workers; ++i) {
+            pid_t pid = fork();
+            if (pid < 0)
+                fatal("--spawn-workers: fork failed");
+            if (pid == 0) {
+                // The parent is multithreaded by now (daemon
+                // thread), so only exec is safe in the child.
+                const char *args[] = {"bench-worker", "--worker",
+                                      flag.c_str(), nullptr};
+                execv("/proc/self/exe",
+                      const_cast<char *const *>(args));
+                _exit(127);
+            }
+            // Announced on stderr so scripts (check.sh's chaos
+            // stage) can target a worker to kill.
+            std::fprintf(stderr, "spawned worker %d\n",
+                         static_cast<int>(pid));
+            workers_.push_back(pid);
+        }
+    }
+
+    std::unique_ptr<net::Listener> listener_;
+    std::unique_ptr<service::EvalService> service_;
+    std::unique_ptr<service::Daemon> daemon_;
+    std::thread serveThread_;
+    std::vector<pid_t> workers_;
+    bool spawned_ = false;
+};
+
+} // anonymous namespace
+
 std::vector<dse::DsePoint>
 runSweep(const std::vector<arch::SocConfig> &configs,
          const workload::Workload &wl,
@@ -304,6 +502,21 @@ runSweep(const std::vector<arch::SocConfig> &configs,
 {
     options.reuse = !g_no_reuse;
     options.engine.memoMaxBytes = g_memo_bytes;
+
+    if (!g_coordinator.empty()) {
+        // Distributed: shard the sweep over the worker fleet. The
+        // params object is everything a worker needs besides its
+        // unit's config labels.
+        service::protocol::Request params;
+        params.op = service::protocol::Op::Sweep;
+        params.variant = variant;
+        params.copies = copies;
+        params.dsaAdvantage = advantage;
+        params.constraints = constraints;
+        params.kind = kind;
+        params.options = options;
+        return CoordinatorHost::instance().sweep(configs, params);
+    }
 
     if (g_connect.empty()) {
         // In-process: route through the process-wide EvalService so

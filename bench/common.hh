@@ -65,6 +65,27 @@ namespace bench {
  *   --connect=ADDR      route sweeps to a running hilpd daemon at
  *                       ADDR (unix:/path or tcp:host:port) instead
  *                       of evaluating in-process; see runSweep().
+ *   --coordinator=ADDR  host a distributed-sweep coordinator at ADDR
+ *                       (see dse/distribute.hh): every runSweep
+ *                       sweep is sharded into similarity-chain work
+ *                       units leased to workers, whose streamed
+ *                       records merge into the same points the
+ *                       in-process sweep computes. Takes precedence
+ *                       over --connect.
+ *   --worker            run as a distributed-sweep worker against
+ *                       the daemon at --coordinator=ADDR: lease
+ *                       units, evaluate, stream results, exit when
+ *                       the coordinator retires. The harness exits
+ *                       inside initHarness; no figure code runs.
+ *   --spawn-workers=N   with --coordinator: fork+exec N workers of
+ *                       this same binary ("--worker"); their pids
+ *                       are announced on stderr ("spawned worker P")
+ *                       and reaped at exit.
+ *   --lease-timeout=S   with --coordinator: a lease not refreshed
+ *                       within S seconds is re-issued (default 30).
+ *   --fsync-checkpoint  fsync the --checkpoint file after every
+ *                       record (the coordinator's merged ledger, or
+ *                       an in-process sweep's checkpoint).
  *   --metrics-addr=ADDR serve this process's metrics registry live
  *                       over HTTP (GET /metrics Prometheus text,
  *                       /metrics.json, /healthz) while it runs -

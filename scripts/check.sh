@@ -336,4 +336,68 @@ wait "${daemon_pid}" || {
     exit 1
 }
 
+# Distributed-sweep chaos: run the same fig7 slice through a
+# coordinator with three forked workers, SIGKILL one worker in the
+# middle of the HILP sweep, and require (a) the merged figure output
+# to match the in-process run byte for byte and (b) at least one
+# lease to have been re-issued - proof the kill exercised the
+# failure path rather than landing in an idle window. The kill is
+# inherently racy (the victim may finish its unit first), so the
+# stage retries; the output equality must hold on every attempt.
+echo "==> distributed sweep chaos (worker SIGKILL)"
+dist_sock="build/check_dist.sock"
+chaos_ok=0
+for attempt in 1 2 3 4 5; do
+    rm -f "${dist_sock}"
+    "${fig7}" --max-configs=16 "--coordinator=unix:${dist_sock}" \
+        --spawn-workers=3 --lease-timeout=2 \
+        --benchmark_filter=none \
+        > build/check_fig7_chaos.out 2> build/check_fig7_chaos.log &
+    chaos_pid=$!
+    # Wait for the HILP sweep (the long, solver-bound one), then for
+    # the first unit leased inside it, and SIGKILL that worker while
+    # it is still solving.
+    victim=""
+    for _ in $(seq 1 1200); do
+        kill -0 "${chaos_pid}" 2>/dev/null || break
+        # The most recently leased unit is the one most likely to
+        # still be in flight when the signal lands.
+        victim=$(awk '/coordinator sweep \(HILP\)/ { hilp = 1 }
+                      hilp && /worker w[0-9]+: leased unit/ {
+                          pid = $0
+                          sub(/.*worker w/, "", pid)
+                          sub(/:.*/, "", pid) }
+                      END { if (pid != "") print pid }' \
+            build/check_fig7_chaos.log)
+        [ -n "${victim}" ] && break
+        sleep 0.05
+    done
+    if [ -n "${victim}" ]; then
+        kill -9 "${victim}" 2>/dev/null || true
+    fi
+    wait "${chaos_pid}" || {
+        echo "coordinator run exited non-zero (attempt ${attempt})" >&2
+        cat build/check_fig7_chaos.log >&2
+        exit 1
+    }
+    grep -v "solver effort" build/check_fig7_chaos.out \
+        > build/check_fig7_chaos.cmp
+    if ! diff build/check_fig7_chaos.cmp build/check_fig7_local.cmp
+    then
+        echo "chaos sweep output differs from in-process run" >&2
+        exit 1
+    fi
+    if grep -Eq "[1-9][0-9]* lease\(s\) re-issued" \
+        build/check_fig7_chaos.log; then
+        chaos_ok=1
+        break
+    fi
+    echo "    attempt ${attempt}: no lease re-issued (victim" \
+        "${victim:-none} finished first?); retrying"
+done
+if [ "${chaos_ok}" != 1 ]; then
+    echo "no attempt re-issued a lease after the worker SIGKILL" >&2
+    exit 1
+fi
+
 echo "==> all checks passed"

@@ -7,6 +7,7 @@
 
 #include "list_scheduler.hh"
 #include "search.hh"
+#include "support/hash.hh"
 #include "support/random.hh"
 
 namespace hilp {
@@ -115,6 +116,7 @@ lnsImprove(const Model &model, const ScheduleVec &incumbent,
     };
 
     Rng rng(options.seed);
+    Hasher trajectory;
     std::vector<int> base = incumbentOrder(model, result.schedule,
                                            topo_pos);
     std::vector<int> forced(n);
@@ -166,6 +168,11 @@ lnsImprove(const Model &model, const ScheduleVec &incumbent,
             for (int i = 0; i < k; ++i)
                 freed[rng.uniformInt(0, n - 1)] = 1;
         }
+        trajectory.u64(static_cast<uint64_t>(op));
+        for (int t = 0; t < n; ++t)
+            if (freed[t])
+                trajectory.u64(static_cast<uint64_t>(t));
+        trajectory.u64(~0ull); // Iteration separator.
 
         // Repair: fixed tasks keep their incumbent mode, freed tasks
         // re-choose; freed tasks are permuted among their own slots
@@ -198,6 +205,7 @@ lnsImprove(const Model &model, const ScheduleVec &incumbent,
     }
 
     polish();
+    result.trajectoryDigest = trajectory.digest();
     return result;
 }
 

@@ -79,6 +79,13 @@ struct LnsResult
     int polishes = 0;
     /** Nodes spent across the polish calls. */
     int64_t polishNodes = 0;
+    /**
+     * Order-sensitive digest of the destroy decisions (operator and
+     * freed task set, per iteration). Two passes replayed the same
+     * destroy trajectory iff their digests are equal - the handle the
+     * retry-seeding regression test grips.
+     */
+    uint64_t trajectoryDigest = 0;
 };
 
 /**

@@ -6,6 +6,7 @@
 #include "list_scheduler.hh"
 #include "lns.hh"
 #include "search.hh"
+#include "support/hash.hh"
 #include "support/logging.hh"
 #include "support/thread_pool.hh"
 #include "support/metrics.hh"
@@ -31,6 +32,27 @@ toString(SolveStatus status)
     }
     return "unknown";
 }
+
+namespace {
+
+/**
+ * The heuristic seed every stochastic component derives from: the
+ * plain option seed when no salt is set (the historical behavior),
+ * otherwise the seed mixed with the salt so distinct instances and
+ * retry attempts sharing a seed take distinct trajectories.
+ */
+uint64_t
+saltedSeed(const SolverOptions &options)
+{
+    if (options.seedSalt == 0)
+        return options.seed;
+    Hasher hasher;
+    hasher.u64(options.seed);
+    hasher.u64(options.seedSalt);
+    return hasher.digest();
+}
+
+} // anonymous namespace
 
 double
 Result::gap() const
@@ -74,11 +96,12 @@ Solver::solve(const Model &model, const ScheduleVec *hint) const
     }
 
     // Greedy warm start, refined by priority-order hill climbing.
+    const uint64_t heuristic_seed = saltedSeed(options_);
     ListResult greedy;
     {
         TRACE_SPAN("cp.greedy");
         greedy = bestGreedy(model, options_.greedyRestarts,
-                            options_.seed);
+                            heuristic_seed);
         if (greedy.feasible) {
             // Skip the refinement when the greedy (or the hint) is
             // already provably within the target gap.
@@ -102,7 +125,7 @@ Solver::solve(const Model &model, const ScheduleVec *hint) const
                     lns.iterations = options_.lnsIterations;
                     lns.maxSeconds = options_.maxSeconds * 0.25;
                     lns.deadline = options_.deadline;
-                    lns.seed = options_.seed + 1;
+                    lns.seed = heuristic_seed + 1;
                     lns.polishNodes = options_.lnsPolishNodes;
                     lns.targetGap = options_.targetGap;
                     lns.lowerBound = result.lowerBound;
@@ -120,6 +143,8 @@ Solver::solve(const Model &model, const ScheduleVec *hint) const
                         improved.iterations;
                     result.stats.lnsImprovements =
                         improved.improvements;
+                    result.stats.lnsTrajectoryDigest =
+                        improved.trajectoryDigest;
                     metrics::counter("cp.lns.iterations")
                         .add(improved.iterations);
                     metrics::counter("cp.lns.improvements")
@@ -127,7 +152,7 @@ Solver::solve(const Model &model, const ScheduleVec *hint) const
                 } else {
                     greedy = improveGreedy(model, greedy,
                                            options_.lnsIterations,
-                                           options_.seed + 1);
+                                           heuristic_seed + 1);
                 }
             }
             result.stats.greedyMakespan = greedy.makespan;

@@ -71,6 +71,19 @@ struct SolverOptions
     /** Seed for the greedy restarts. */
     uint64_t seed = 1;
     /**
+     * Diversification salt mixed into `seed` for every stochastic
+     * heuristic (greedy restarts, hill climbing, LNS destroy moves).
+     * 0 (the default) reproduces the historical unsalted seeding bit
+     * for bit. The engine salts it with the problem fingerprint so
+     * different instances sharing a seed explore different heuristic
+     * trajectories, and the sweep's fault-isolation retry salts it
+     * with the attempt index so a retried point never replays the
+     * exact destroy sequence that preceded the failure. The salt
+     * only diversifies heuristics: bounds, statuses, and gap
+     * certificates are unaffected.
+     */
+    uint64_t seedSalt = 0;
+    /**
      * Plug the optional energetic-reasoning propagator into the
      * search's propagation engine. Off by default (it changes the
      * explored tree, so results stay reproducible across versions).
@@ -156,6 +169,13 @@ struct SolveStats
     int64_t lnsIterationsRun = 0;
     /** LNS iterations that strictly improved the incumbent. */
     int64_t lnsImprovements = 0;
+    /**
+     * Order-sensitive digest of the LNS destroy decisions (operator
+     * and freed set per iteration); 0 unless `lns` ran. Two solves
+     * replay the same destroy trajectory iff their digests match,
+     * which is what the retry-seeding regression test asserts.
+     */
+    uint64_t lnsTrajectoryDigest = 0;
     /** Per-propagator telemetry from the propagation engine. */
     std::vector<PropagatorStats> propagators;
 };

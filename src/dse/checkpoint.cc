@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include <unistd.h>
+
 #include "support/hash.hh"
 #include "support/json.hh"
 #include "support/logging.hh"
@@ -189,13 +191,15 @@ parseSchedule(const Json &entry, Schedule *out)
 bool
 parsePointRecord(const std::string &line, uint64_t *key,
                  DsePoint *point, Schedule *schedule,
-                 bool *has_schedule)
+                 bool *has_schedule, std::string *config_name)
 {
     Json entry;
     if (!Json::parse(line, &entry) || !entry.isObject())
         return false;
     if (!parseKeyText(stringOr(entry, "key"), key))
         return false;
+    if (config_name)
+        *config_name = stringOr(entry, "config");
 
     // The schedule is optional (older records and the analytic
     // models have none); a malformed one degrades to "no schedule"
@@ -300,15 +304,18 @@ SweepCheckpoint::open(const std::string &path, bool resume,
     hilp_assert(!file_);
     entries_.clear();
     schedules_.clear();
+    dropped_ = 0;
     bool torn_tail = false;
 
     if (resume) {
         // Load whatever a previous run managed to flush. A missing
-        // file is a cold start, not an error; a torn final line (the
-        // record a SIGKILL interrupted) is dropped with a warning.
+        // file is a cold start, not an error; malformed records -
+        // the torn final line a SIGKILL leaves, or damaged interior
+        // lines in a merged ledger - are skipped and counted, never
+        // fatal.
         if (std::FILE *in = std::fopen(path.c_str(), "r")) {
             std::string line;
-            int dropped = 0;
+            size_t dropped = 0;
             char buffer[4096];
             bool at_eof = false;
             while (!at_eof) {
@@ -345,8 +352,9 @@ SweepCheckpoint::open(const std::string &path, bool resume,
                 torn_tail = true;
             }
             std::fclose(in);
+            dropped_ = dropped;
             if (dropped > 0)
-                warn("checkpoint %s: dropped %d malformed record(s)",
+                warn("checkpoint %s: dropped %zu malformed record(s)",
                      path.c_str(), dropped);
         }
     }
@@ -372,6 +380,20 @@ SweepCheckpoint::loaded() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return entries_.size();
+}
+
+size_t
+SweepCheckpoint::dropped() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return dropped_;
+}
+
+void
+SweepCheckpoint::setFsync(bool on)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    fsync_ = on;
 }
 
 bool
@@ -413,6 +435,10 @@ SweepCheckpoint::record(uint64_t key, ModelKind kind,
     // One flush per completed point: a kill loses only in-flight
     // work, and a solve dwarfs the cost of the write.
     std::fflush(file_);
+    // With fsync on, the record also survives a host crash - the
+    // durability an acknowledged coordinator submit promises.
+    if (fsync_)
+        ::fsync(fileno(file_));
 }
 
 } // namespace dse

@@ -10,7 +10,10 @@
  * kind - and, when reopened with resume, serves those points back so
  * exploreSpace skips the work. A record is flushed as soon as its
  * point completes, so a SIGKILL loses at most the in-flight points;
- * the loader tolerates (and drops) a torn final line.
+ * the loader skips and counts malformed records - a torn final line
+ * from an interrupted write, but also damaged interior lines, which
+ * matter once a coordinator merges many workers' streams into one
+ * ledger - and reports the total via dropped().
  *
  * Resumed points restore the certified result and telemetry totals;
  * HILP records additionally persist their schedule, so a resumed
@@ -62,11 +65,14 @@ Json pointRecordJson(uint64_t key, ModelKind kind,
  * schedule degrades to *has_schedule == false rather than dropping
  * the record. Structural fields derived from the config being
  * evaluated (config, area, mix) and the resumed flag are the
- * caller's to fill.
+ * caller's to fill. A non-null config_name receives the record's
+ * "config" label - the handle a coordinator merges worker-submitted
+ * records by.
  */
 bool parsePointRecord(const std::string &line, uint64_t *key,
                       DsePoint *point, Schedule *schedule,
-                      bool *has_schedule);
+                      bool *has_schedule,
+                      std::string *config_name = nullptr);
 
 /**
  * A JSONL checkpoint of completed design points. Thread-safe: sweep
@@ -94,6 +100,21 @@ class SweepCheckpoint
 
     /** Points loaded from a previous run at open() time. */
     size_t loaded() const;
+
+    /**
+     * Malformed records skipped at open() time: the torn final line
+     * of an interrupted run, or damaged interior lines in a merged
+     * ledger. Callers surface this in their resume summary.
+     */
+    size_t dropped() const;
+
+    /**
+     * fsync the file after every record() flush. Off by default (the
+     * historical durability: flush-per-point). A coordinator's merged
+     * ledger turns it on so an acknowledged submit survives a host
+     * crash, not just a process crash.
+     */
+    void setFsync(bool on);
 
     /**
      * Serve a previously completed point. On a hit *out is the
@@ -128,6 +149,8 @@ class SweepCheckpoint
     /** Schedules restored from records that carried one. */
     std::unordered_map<uint64_t, Schedule> schedules_;
     std::FILE *file_ = nullptr;
+    size_t dropped_ = 0;
+    bool fsync_ = false;
 };
 
 } // namespace dse

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * The distributed-sweep coordinator: lease-based sharding of one
+ * design-space sweep over many worker processes, merging their
+ * streamed results over the checkpoint ledger.
+ *
+ * The unit of work is a similarity chain (see similarityChains): the
+ * same neighborhoods the in-process sweep warm-starts along, handed
+ * out whole so the warm-start chains survive the split - a worker
+ * evaluates its chain exactly as the single-process sweep would,
+ * which is what makes the merged result equal to the single-process
+ * one. Each grant carries a lease with an expiry; workers keep a
+ * lease alive by heartbeating (or just by submitting points) and a
+ * lease that expires - a SIGKILLed or wedged worker - sends its unit
+ * back to the queue for re-issue to the next worker that asks.
+ *
+ * Merging is idempotent: records are keyed by checkpointKey
+ * (fingerprint x config x model), a key seen twice is dropped as a
+ * duplicate, and the first-seen record wins. That makes every fault
+ * path safe: a zombie worker finishing a re-issued unit, a worker
+ * resubmitting after a lost ack, and the replacement worker
+ * re-evaluating a dead worker's chain all collapse into no-ops -
+ * deterministic evaluation means the colliding records agree anyway.
+ *
+ * The class is transport-agnostic (plain method calls); the daemon
+ * layer (service/daemon.cc) exposes it over the NDJSON protocol's
+ * lease/submit/heartbeat/drain ops, and bench --coordinator hosts it.
+ */
+
+#ifndef HILP_DSE_DISTRIBUTE_HH
+#define HILP_DSE_DISTRIBUTE_HH
+
+#include <cstdint>
+#include <chrono>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "arch/soc.hh"
+#include "explore.hh"
+
+namespace hilp {
+namespace dse {
+
+class SweepCheckpoint;
+
+/** Coordinator policy knobs. */
+struct CoordinatorOptions
+{
+    /**
+     * A lease not refreshed (heartbeat or submit) within this window
+     * is considered dead at the next reap and its unit re-issued.
+     */
+    double leaseTimeoutS = 30.0;
+    /**
+     * Optional merged ledger: every first-seen, non-errored record a
+     * worker submits is appended (checkpoint format, so the ledger
+     * doubles as a --resume file). Not owned. The caller decides its
+     * durability (see SweepCheckpoint::setFsync).
+     */
+    SweepCheckpoint *ledger = nullptr;
+};
+
+/** One granted work unit. */
+struct LeaseGrant
+{
+    uint64_t leaseId = 0;
+    size_t unit = 0;
+    /** Expiry window the worker should heartbeat within. */
+    double expiresS = 0.0;
+    /** Names of the unit's configs, in evaluation (chain) order. */
+    std::vector<std::string> configNames;
+};
+
+/** Outcome of a lease request. */
+enum class LeaseOutcome {
+    Granted, //!< *grant carries a unit.
+    Wait,    //!< Nothing to hand out right now; poll again.
+};
+
+/** A progress snapshot (see Coordinator::progress). */
+struct CoordinatorProgress
+{
+    size_t units = 0;
+    size_t unitsDone = 0;
+    size_t leasesActive = 0;
+    size_t pointsMerged = 0;
+    size_t duplicates = 0;
+    size_t reissued = 0;
+    bool finished = false;
+};
+
+/**
+ * The lease table and merge state of one distributed sweep. All
+ * methods are thread-safe: daemon connection handlers call them
+ * concurrently.
+ */
+class Coordinator
+{
+  public:
+    Coordinator(std::vector<arch::SocConfig> configs, ModelKind kind,
+                CoordinatorOptions options = {});
+
+    /**
+     * Hand out the next pending unit (reaping expired leases first).
+     * Wait means every unit is leased or done - the worker should
+     * poll again; re-issue after a worker death surfaces this way.
+     */
+    LeaseOutcome lease(const std::string &worker, LeaseGrant *grant);
+
+    /**
+     * Refresh a lease's expiry. False when the lease is unknown -
+     * already expired and re-issued, or completed; the worker may
+     * keep evaluating (its submits still merge idempotently) but
+     * should expect a peer to be redoing the unit.
+     */
+    bool heartbeat(const std::string &worker, uint64_t lease_id);
+
+    /**
+     * Merge one checkpoint-format record line streamed by a worker.
+     * Returns false only when the line does not parse (counted and
+     * reported via *error); a duplicate key is success - dropped,
+     * first record wins, *duplicate set. A valid lease_id also
+     * refreshes the lease (a streaming worker proves liveness by its
+     * results).
+     */
+    bool submitRecord(const std::string &worker, uint64_t lease_id,
+                      const std::string &record_line,
+                      std::string *error, bool *duplicate = nullptr);
+
+    /**
+     * Mark a lease's unit done and release the lease (plus any
+     * re-issued sibling lease on the same unit). False when the
+     * lease is unknown; the unit then stays with its current holder.
+     */
+    bool completeLease(const std::string &worker, uint64_t lease_id);
+
+    /**
+     * Return expired leases' units to the pending queue. Called
+     * internally by lease(); hosts may also call it periodically so
+     * a death is noticed even while no worker is asking for work.
+     * Returns the number of leases reaped.
+     */
+    size_t reapExpired();
+
+    /** All units completed. */
+    bool finished() const;
+
+    CoordinatorProgress progress() const;
+
+    /**
+     * The merged points, in configuration order, with structural
+     * fields (config, area, mix) restored from the local configs.
+     * Configs whose records never arrived (only possible before
+     * finished()) come back as default ok == false points.
+     */
+    std::vector<DsePoint> takePoints();
+
+    const std::vector<arch::SocConfig> &configs() const
+    {
+        return configs_;
+    }
+    ModelKind kind() const { return kind_; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    struct Lease
+    {
+        size_t unit = 0;
+        std::string worker;
+        Clock::time_point expiry;
+    };
+
+    enum class UnitState { Pending, Leased, Done };
+
+    size_t reapLocked();
+    Clock::time_point expiryFromNow() const;
+
+    const std::vector<arch::SocConfig> configs_;
+    const ModelKind kind_;
+    const CoordinatorOptions options_;
+
+    mutable std::mutex mutex_;
+    std::vector<std::vector<size_t>> units_;
+    std::vector<UnitState> unitState_;
+    /** True once a unit has been reaped at least once. */
+    std::vector<char> unitReissued_;
+    std::deque<size_t> pending_;
+    size_t unitsDone_ = 0;
+    std::unordered_map<uint64_t, Lease> leases_;
+    uint64_t nextLeaseId_ = 1;
+
+    /** Merge state: first-seen record per checkpoint key wins. */
+    std::unordered_set<uint64_t> seen_;
+    std::unordered_map<std::string, std::deque<size_t>> byName_;
+    std::vector<DsePoint> merged_;
+    std::vector<char> have_;
+    size_t pointsMerged_ = 0;
+    size_t duplicates_ = 0;
+    size_t reissued_ = 0;
+};
+
+} // namespace dse
+} // namespace hilp
+
+#endif // HILP_DSE_DISTRIBUTE_HH

@@ -1,5 +1,9 @@
 #include "explore.hh"
 
+#include <algorithm>
+#include <map>
+#include <tuple>
+
 namespace hilp {
 namespace dse {
 
@@ -21,6 +25,36 @@ toString(ModelKind kind)
         return "Gables";
     }
     return "unknown";
+}
+
+std::vector<std::vector<size_t>>
+similarityChains(const std::vector<arch::SocConfig> &configs)
+{
+    using Key = std::tuple<int, size_t, int, double, std::vector<int>>;
+    std::map<Key, std::vector<size_t>> chains;
+    for (size_t i = 0; i < configs.size(); ++i) {
+        const arch::SocConfig &config = configs[i];
+        int pes = config.dsas.empty() ? 0 : config.dsas.front().pes;
+        std::vector<int> targets;
+        targets.reserve(config.dsas.size());
+        for (const arch::DsaSpec &dsa : config.dsas)
+            targets.push_back(dsa.target);
+        chains[{config.cpuCores, config.dsas.size(), pes,
+                config.dsaAdvantage, std::move(targets)}]
+            .push_back(i);
+    }
+    std::vector<std::vector<size_t>> result;
+    result.reserve(chains.size());
+    for (auto &[key, indices] : chains) {
+        std::sort(indices.begin(), indices.end(),
+                  [&](size_t a, size_t b) {
+                      if (configs[a].gpuSms != configs[b].gpuSms)
+                          return configs[a].gpuSms < configs[b].gpuSms;
+                      return a < b;
+                  });
+        result.push_back(std::move(indices));
+    }
+    return result;
 }
 
 } // namespace dse

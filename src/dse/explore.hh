@@ -170,6 +170,18 @@ DsePoint evaluatePoint(const arch::SocConfig &config,
                        const arch::Constraints &constraints,
                        ModelKind kind, const DseOptions &options);
 
+/**
+ * Group configuration indices into similarity chains: same CPU core
+ * count and same DSA allocation (count, PE size, targets,
+ * advantage), ordered by ascending GPU SM count within a chain.
+ * Neighbors differ only in GPU capacity, so their optimal schedules
+ * transfer well as warm starts. The in-process sweep warm-starts
+ * along these chains; the distributed coordinator hands them out
+ * whole as work units, so the chains survive the split.
+ */
+std::vector<std::vector<size_t>> similarityChains(
+    const std::vector<arch::SocConfig> &configs);
+
 } // namespace dse
 } // namespace hilp
 

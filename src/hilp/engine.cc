@@ -248,6 +248,7 @@ engineOptionsDigest(const EngineOptions &options)
     hasher.i64(solver.greedyRestarts);
     hasher.i64(solver.lnsIterations);
     hasher.u64(solver.seed);
+    hasher.u64(solver.seedSalt);
     hasher.boolean(solver.energeticReasoning);
     hasher.i64(solver.threads);
     hasher.boolean(solver.deterministicSearch);
@@ -556,13 +557,23 @@ listSchedulerFallback(const ProblemSpec &spec, double step_s,
     TRACE_SPAN("hilp.fallback");
     EvalResult eval;
     eval.degraded = true;
+    // Same salted seeding as the solver facade: the fallback's
+    // greedy and LNS passes must diversify across instances and
+    // retry attempts too.
+    uint64_t heuristic_seed = options.solver.seed;
+    if (options.solver.seedSalt != 0) {
+        Hasher hasher;
+        hasher.u64(heuristic_seed);
+        hasher.u64(options.solver.seedSalt);
+        heuristic_seed = hasher.digest();
+    }
     double step = step_s;
     for (int i = 0; i <= coarsenings_left;
          ++i, step *= options.refineFactor) {
         DiscretizedProblem problem =
             discretize(spec, step, options.horizonSteps);
         cp::ListResult greedy =
-            cp::bestGreedy(problem.model, 2, options.solver.seed);
+            cp::bestGreedy(problem.model, 2, heuristic_seed);
         if (!greedy.feasible)
             continue; // Horizon too tight; coarsen and retry.
         cp::LowerBounds bounds =
@@ -575,7 +586,7 @@ listSchedulerFallback(const ProblemSpec &spec, double step_s,
             cp::LnsOptions lns;
             lns.iterations = options.fallbackLnsIterations;
             lns.maxSeconds = 0.25;
-            lns.seed = options.solver.seed + 3;
+            lns.seed = heuristic_seed + 3;
             lns.polishNodes = 512;
             lns.targetGap = options.solver.targetGap;
             lns.lowerBound = bounds.best();
@@ -611,7 +622,7 @@ listSchedulerFallback(const ProblemSpec &spec, double step_s,
 } // anonymous namespace
 
 EvalResult
-evaluate(const ProblemSpec &spec, const EngineOptions &options,
+evaluate(const ProblemSpec &spec, const EngineOptions &request_options,
          const EvalReuse &reuse)
 {
     trace::Span eval_span("hilp.evaluate");
@@ -622,8 +633,24 @@ evaluate(const ProblemSpec &spec, const EngineOptions &options,
     if (!issue.empty())
         fatal("invalid problem spec '%s': %s", spec.name.c_str(),
               issue.c_str());
-    hilp_assert(options.initialStepS > 0.0);
-    hilp_assert(options.refineFactor > 1.0);
+    hilp_assert(request_options.initialStepS > 0.0);
+    hilp_assert(request_options.refineFactor > 1.0);
+
+    // Salt the heuristic seed with the instance identity before any
+    // solve: distinct problems sharing SolverOptions::seed must not
+    // share greedy/LNS trajectories, and a sweep retry that bumps
+    // seedSalt by the attempt index gets a genuinely different
+    // destroy sequence instead of replaying the failing one. The
+    // salt is applied below the memo (the key above hashes the
+    // *request* options) and is a pure function of the fingerprint,
+    // so cached and fresh evaluations of an instance still agree.
+    EngineOptions options = request_options;
+    {
+        Hasher salt;
+        salt.u64(request_options.solver.seedSalt);
+        salt.u64(spec.fingerprint());
+        options.solver.seedSalt = salt.digest();
+    }
 
     // Identical lowered instances solve once per memo. A non-zero
     // salt segments the key space of a memo shared across requests

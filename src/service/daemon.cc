@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "dse/checkpoint.hh"
+#include "dse/distribute.hh"
 #include "protocol.hh"
 #include "support/logging.hh"
 #include "support/metrics.hh"
@@ -68,9 +69,22 @@ elapsedUs(std::chrono::steady_clock::time_point since)
 bool
 Daemon::serveConnection(net::Socket socket)
 {
+    if (options_.readTimeoutS > 0.0)
+        socket.setReadTimeout(options_.readTimeoutS);
     net::LineChannel channel(std::move(socket));
     std::string line;
-    while (channel.readLine(&line)) {
+    for (;;) {
+        if (!channel.readLine(&line)) {
+            if (channel.timedOut()) {
+                // A stalled or idle peer must not pin this handler
+                // thread forever; drop it. (The peer may reconnect.)
+                metrics::counter("hilpd.peers.timed_out").add(1);
+                warn("hilpd: dropping peer: no complete request "
+                     "line within %gs",
+                     options_.readTimeoutS);
+            }
+            break;
+        }
         if (line.empty())
             continue;
 
@@ -98,6 +112,12 @@ Daemon::serveConnection(net::Socket socket)
             stop();
             channel.writeLine(protocol::encodeDone(true, ""));
             return true;
+          case protocol::Op::Lease:
+          case protocol::Op::Submit:
+          case protocol::Op::Heartbeat:
+          case protocol::Op::Drain:
+            handleCoordinatorOp(request, channel);
+            continue;
           case protocol::Op::Eval:
           case protocol::Op::Sweep:
             break;
@@ -215,6 +235,142 @@ Daemon::serveConnection(net::Socket socket)
             ok, summary.error, streamed.load(), traceId));
     }
     return false;
+}
+
+/**
+ * Serve one distributed-sweep op against the registered coordinator.
+ * The registration mutex is held for the whole op, so the host can
+ * never destroy a coordinator under a handler mid-call - and
+ * conversely registration changes wait out in-flight ops.
+ */
+void
+Daemon::handleCoordinatorOp(const protocol::Request &request,
+                            net::LineChannel &channel)
+{
+    std::lock_guard<std::mutex> lock(coordMutex_);
+    switch (request.op) {
+      case protocol::Op::Lease: {
+        if (!coordinator_) {
+            // No sweep right now: retired means the whole run is
+            // over (exit); otherwise the host is between sweeps.
+            channel.writeLine(coordRetired_
+                                  ? protocol::encodeLeaseComplete()
+                                  : protocol::encodeLeaseWait());
+            channel.writeLine(protocol::encodeDone(true, ""));
+            return;
+        }
+        dse::LeaseGrant grant;
+        if (coordinator_->lease(request.worker, &grant) ==
+            dse::LeaseOutcome::Granted) {
+            channel.writeLine(protocol::encodeLeaseGrant(
+                grant.leaseId, grant.unit, grant.expiresS,
+                grant.configNames, coordParams_));
+        } else {
+            channel.writeLine(protocol::encodeLeaseWait());
+        }
+        channel.writeLine(protocol::encodeDone(true, ""));
+        return;
+      }
+      case protocol::Op::Submit: {
+        if (!coordinator_) {
+            // A zombie worker streaming results after its sweep
+            // ended: nothing to merge into.
+            channel.writeLine(protocol::encodeAck(false, 0, 0));
+            channel.writeLine(protocol::encodeDone(
+                false, "no active coordinator"));
+            return;
+        }
+        size_t accepted = 0;
+        size_t duplicates = 0;
+        size_t rejected = 0;
+        std::string error;
+        for (const Json &record : request.records) {
+            bool duplicate = false;
+            std::string record_error;
+            if (!coordinator_->submitRecord(
+                    request.worker, request.leaseId, record.dump(),
+                    &record_error, &duplicate)) {
+                ++rejected;
+                if (error.empty())
+                    error = record_error;
+            } else if (duplicate) {
+                ++duplicates;
+            } else {
+                ++accepted;
+            }
+        }
+        if (request.complete)
+            coordinator_->completeLease(request.worker,
+                                        request.leaseId);
+        channel.writeLine(
+            protocol::encodeAck(rejected == 0, accepted, duplicates));
+        channel.writeLine(protocol::encodeDone(rejected == 0, error));
+        return;
+      }
+      case protocol::Op::Heartbeat: {
+        const bool alive = coordinator_ &&
+            coordinator_->heartbeat(request.worker, request.leaseId);
+        channel.writeLine(protocol::encodeAck(alive, 0, 0));
+        channel.writeLine(protocol::encodeDone(true, ""));
+        return;
+      }
+      case protocol::Op::Drain: {
+        Json json = Json::object();
+        if (coordinator_) {
+            dse::CoordinatorProgress progress =
+                coordinator_->progress();
+            json.set("units",
+                     Json::number(
+                         static_cast<int64_t>(progress.units)));
+            json.set("units_done",
+                     Json::number(
+                         static_cast<int64_t>(progress.unitsDone)));
+            json.set("leases_active",
+                     Json::number(static_cast<int64_t>(
+                         progress.leasesActive)));
+            json.set("points_merged",
+                     Json::number(static_cast<int64_t>(
+                         progress.pointsMerged)));
+            json.set("duplicates",
+                     Json::number(
+                         static_cast<int64_t>(progress.duplicates)));
+            json.set("reissued",
+                     Json::number(
+                         static_cast<int64_t>(progress.reissued)));
+            json.set("finished", Json::boolean(progress.finished));
+        }
+        json.set("retired", Json::boolean(coordRetired_));
+        channel.writeLine(protocol::encodeProgress(std::move(json)));
+        channel.writeLine(protocol::encodeDone(true, ""));
+        return;
+      }
+      default:
+        return;
+    }
+}
+
+void
+Daemon::setCoordinator(dse::Coordinator *coordinator, Json params)
+{
+    std::lock_guard<std::mutex> lock(coordMutex_);
+    coordinator_ = coordinator;
+    coordParams_ = std::move(params);
+    coordRetired_ = false;
+}
+
+void
+Daemon::clearCoordinator()
+{
+    std::lock_guard<std::mutex> lock(coordMutex_);
+    coordinator_ = nullptr;
+}
+
+void
+Daemon::retireCoordinator()
+{
+    std::lock_guard<std::mutex> lock(coordMutex_);
+    coordinator_ = nullptr;
+    coordRetired_ = true;
 }
 
 /**

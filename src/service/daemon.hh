@@ -17,12 +17,22 @@
 #define HILP_SERVICE_DAEMON_HH
 
 #include <atomic>
+#include <mutex>
 
 #include "eval_service.hh"
+#include "support/json.hh"
 #include "support/net.hh"
 
 namespace hilp {
+namespace dse {
+class Coordinator;
+} // namespace dse
+
 namespace service {
+
+namespace protocol {
+struct Request;
+} // namespace protocol
 
 /** Telemetry knobs for the daemon's request handling. */
 struct DaemonOptions
@@ -36,6 +46,14 @@ struct DaemonOptions
     double sloMs = 0.0;
     /** Directory the slow-request trace dumps land in. */
     std::string dumpDir = ".";
+    /**
+     * Per-connection read timeout in seconds; a peer that fails to
+     * deliver a complete request line within the window is dropped
+     * (counted as hilpd.peers.timed_out) instead of pinning its
+     * handler thread forever. 0 waits forever (library default; the
+     * hilpd binary defaults to 300s).
+     */
+    double readTimeoutS = 0.0;
 };
 
 class Daemon
@@ -74,16 +92,50 @@ class Daemon
 
     bool stopping() const { return stop_.load(); }
 
+    // Distributed-sweep hosting (see dse/distribute.hh). The daemon
+    // does not own the coordinator; the host registers one per sweep
+    // and the lease/submit/heartbeat/drain ops are served against it.
+    // Registration changes block until no coordinator op is in
+    // flight, so the host may destroy a coordinator as soon as the
+    // clearing call returns.
+
+    /**
+     * Serve lease/submit/heartbeat/drain against this coordinator;
+     * params is the shared sweep body each lease grant embeds (see
+     * protocol::sweepParamsJson).
+     */
+    void setCoordinator(dse::Coordinator *coordinator, Json params);
+
+    /**
+     * Unregister the coordinator; workers asking for work are told
+     * to wait (the host is between sweeps).
+     */
+    void clearCoordinator();
+
+    /**
+     * Unregister permanently: workers asking for work are told the
+     * run is complete and exit.
+     */
+    void retireCoordinator();
+
   private:
     void finishRequest(RequestSummary &summary, bool ok,
                        const std::string &error, size_t points,
                        int64_t queue_wait_us, int64_t solve_us,
                        int64_t serialize_us, int64_t total_us);
+    void handleCoordinatorOp(const protocol::Request &request,
+                             net::LineChannel &channel);
 
     EvalService &service_;
     const DaemonOptions options_;
     std::atomic<bool> stop_{false};
     std::atomic<int> listenerFd_{-1};
+
+    /** Held across every coordinator op; see setCoordinator. */
+    std::mutex coordMutex_;
+    dse::Coordinator *coordinator_ = nullptr;
+    Json coordParams_;
+    bool coordRetired_ = false;
 };
 
 } // namespace service

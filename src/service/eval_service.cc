@@ -9,6 +9,7 @@
 #include "baselines/gables.hh"
 #include "baselines/multiamdahl.hh"
 #include "dse/checkpoint.hh"
+#include "support/hash.hh"
 #include "support/logging.hh"
 #include "support/metrics.hh"
 #include "support/str.hh"
@@ -303,6 +304,16 @@ evaluateGuarded(const arch::SocConfig &config,
     DseOptions retry = options;
     retry.engine.solver.maxNodes = std::max<int64_t>(
         1000, options.engine.solver.maxNodes / 4);
+    // Salt the heuristic seed with the attempt index: an unsalted
+    // retry replays the exact greedy/LNS destroy trajectory that
+    // preceded the failure (the engine adds the per-instance
+    // fingerprint on top; see SolverOptions::seedSalt).
+    {
+        Hasher salt;
+        salt.u64(options.engine.solver.seedSalt);
+        salt.u64(1); // Attempt index of the retry.
+        retry.engine.solver.seedSalt = salt.digest();
+    }
     try {
         return evaluatePointImpl(config, workload, constraints, kind,
                                  retry, reuse, schedule_out, store);
@@ -396,42 +407,9 @@ class Heartbeat
     std::atomic<double> lastReportS_{0.0};
 };
 
-/**
- * Group configuration indices into similarity chains: same CPU core
- * count and same DSA allocation (count, PE size, targets,
- * advantage), ordered by ascending GPU SM count within a chain.
- * Neighbors differ only in GPU capacity, so their optimal schedules
- * transfer well as warm starts.
- */
-std::vector<std::vector<size_t>>
-similarityChains(const std::vector<arch::SocConfig> &configs)
-{
-    using Key = std::tuple<int, size_t, int, double, std::vector<int>>;
-    std::map<Key, std::vector<size_t>> chains;
-    for (size_t i = 0; i < configs.size(); ++i) {
-        const arch::SocConfig &config = configs[i];
-        int pes = config.dsas.empty() ? 0 : config.dsas.front().pes;
-        std::vector<int> targets;
-        targets.reserve(config.dsas.size());
-        for (const arch::DsaSpec &dsa : config.dsas)
-            targets.push_back(dsa.target);
-        chains[{config.cpuCores, config.dsas.size(), pes,
-                config.dsaAdvantage, std::move(targets)}]
-            .push_back(i);
-    }
-    std::vector<std::vector<size_t>> result;
-    result.reserve(chains.size());
-    for (auto &[key, indices] : chains) {
-        std::sort(indices.begin(), indices.end(),
-                  [&](size_t a, size_t b) {
-                      if (configs[a].gpuSms != configs[b].gpuSms)
-                          return configs[a].gpuSms < configs[b].gpuSms;
-                      return a < b;
-                  });
-        result.push_back(std::move(indices));
-    }
-    return result;
-}
+// Similarity chains moved to dse::similarityChains (explore.cc): the
+// distributed-sweep coordinator shards work by the same neighborhoods
+// the in-process sweep warm-starts along.
 
 /**
  * The shared sweep core behind dse::exploreSpace (empty context) and
@@ -493,7 +471,7 @@ runSweep(const std::vector<arch::SocConfig> &configs,
                       : options.memo ? options.memo
                                      : &local_memo;
     SweepBound bound;
-    auto chains = similarityChains(configs);
+    auto chains = dse::similarityChains(configs);
 
     // Chains are independent; within a chain each config warm-starts
     // from its predecessor's schedule and every completed point

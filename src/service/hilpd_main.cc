@@ -76,7 +76,8 @@ usage(const char *argv0)
                  "[--store-bytes=N]\n"
                  "          [--queue-depth=N] [--executors=N]\n"
                  "          [--metrics-addr=ADDR] [--slo-ms=N]\n"
-                 "          [--slow-dump-dir=PATH]\n"
+                 "          [--slow-dump-dir=PATH] "
+                 "[--read-timeout=S]\n"
                  "       %s --connect=ADDR stats|shutdown\n"
                  "       %s --version\n"
                  "ADDR is unix:/path or tcp:host:port.\n"
@@ -85,7 +86,10 @@ usage(const char *argv0)
                  "and /healthz over HTTP/1.0. --slo-ms marks slower "
                  "requests in the\n"
                  "flight recorder and dumps their span trees into "
-                 "--slow-dump-dir.\n",
+                 "--slow-dump-dir.\n"
+                 "--read-timeout drops a peer that sends no complete "
+                 "request line\n"
+                 "within S seconds (default 300; 0 waits forever).\n",
                  argv0, argv0, argv0);
     return 2;
 }
@@ -130,6 +134,9 @@ main(int argc, char **argv)
     std::string listen, connect, command, metricsAddr;
     service::ServiceOptions options;
     service::DaemonOptions daemonOptions;
+    // The binary default; the library default (DaemonOptions) stays
+    // 0 so embedded daemons keep the historical wait-forever reads.
+    daemonOptions.readTimeoutS = 300.0;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -166,6 +173,8 @@ main(int argc, char **argv)
             daemonOptions.sloMs = std::atof(v);
         } else if (const char *v = value("--slow-dump-dir")) {
             daemonOptions.dumpDir = v;
+        } else if (const char *v = value("--read-timeout")) {
+            daemonOptions.readTimeoutS = std::atof(v);
         } else if (!arg.empty() && arg[0] != '-') {
             command = arg;
         } else {

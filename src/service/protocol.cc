@@ -56,6 +56,14 @@ toString(Op op)
         return "stats";
       case Op::Shutdown:
         return "shutdown";
+      case Op::Lease:
+        return "lease";
+      case Op::Submit:
+        return "submit";
+      case Op::Heartbeat:
+        return "heartbeat";
+      case Op::Drain:
+        return "drain";
     }
     return "unknown";
 }
@@ -126,6 +134,8 @@ engineOptionsJson(const EngineOptions &options)
               Json::number(static_cast<int64_t>(solver.lnsIterations)));
     sjson.set("seed",
               Json::number(static_cast<int64_t>(solver.seed)));
+    sjson.set("seed_salt",
+              Json::number(static_cast<int64_t>(solver.seedSalt)));
     sjson.set("energetic_reasoning",
               Json::boolean(solver.energeticReasoning));
     sjson.set("threads",
@@ -204,6 +214,9 @@ parseEngineOptions(const Json &json, EngineOptions *out,
         solver.seed = static_cast<uint64_t>(
             intOr(*sjson, "seed",
                   static_cast<int64_t>(solver.seed)));
+        solver.seedSalt = static_cast<uint64_t>(
+            intOr(*sjson, "seed_salt",
+                  static_cast<int64_t>(solver.seedSalt)));
         solver.energeticReasoning =
             boolOr(*sjson, "energetic_reasoning",
                    solver.energeticReasoning);
@@ -311,18 +324,10 @@ parseConstraints(const Json &json, arch::Constraints *out,
     return true;
 }
 
-std::string
-encodeRequest(const Request &request)
+Json
+sweepParamsJson(const Request &request)
 {
     Json json = Json::object();
-    json.set("op", Json::string(toString(request.op)));
-    if (request.op == Op::Stats || request.op == Op::Shutdown)
-        return json.dump();
-
-    Json configs = Json::array();
-    for (const std::string &name : request.configNames)
-        configs.append(Json::string(name));
-    json.set("configs", configs);
 
     Json wl = Json::object();
     wl.set("variant",
@@ -344,63 +349,15 @@ encodeRequest(const Request &request)
     options.set("fail_fast",
                 Json::boolean(request.options.failFast));
     json.set("options", options);
-
-    json.set("priority",
-             Json::number(static_cast<int64_t>(request.priority)));
-    return json.dump();
+    return json;
 }
 
 bool
-parseRequest(const std::string &line, Request *out, std::string *error)
+parseSweepParams(const Json &json, Request *out, std::string *error)
 {
-    Json json;
-    std::string parse_error;
-    if (!Json::parse(line, &json, &parse_error)) {
-        if (error)
-            *error = format("bad request JSON: %s",
-                            parse_error.c_str());
-        return false;
-    }
     if (!json.isObject()) {
         if (error)
-            *error = "request must be a JSON object";
-        return false;
-    }
-    std::string op = stringOr(json, "op", "");
-    if (op == "eval")
-        out->op = Op::Eval;
-    else if (op == "sweep")
-        out->op = Op::Sweep;
-    else if (op == "stats")
-        out->op = Op::Stats;
-    else if (op == "shutdown")
-        out->op = Op::Shutdown;
-    else {
-        if (error)
-            *error = format("unknown op \"%s\"", op.c_str());
-        return false;
-    }
-    if (out->op == Op::Stats || out->op == Op::Shutdown)
-        return true;
-
-    const Json *configs = json.find("configs");
-    if (!configs || !configs->isArray() || configs->size() == 0) {
-        if (error)
-            *error = "request needs a non-empty \"configs\" array";
-        return false;
-    }
-    out->configNames.clear();
-    for (size_t i = 0; i < configs->size(); ++i) {
-        if (!configs->at(i).isString()) {
-            if (error)
-                *error = "config labels must be strings";
-            return false;
-        }
-        out->configNames.push_back(configs->at(i).stringValue());
-    }
-    if (out->op == Op::Eval && out->configNames.size() != 1) {
-        if (error)
-            *error = "eval takes exactly one config";
+            *error = "sweep params must be a JSON object";
         return false;
     }
 
@@ -460,6 +417,157 @@ parseRequest(const std::string &line, Request *out, std::string *error)
         out->options.failFast =
             boolOr(*options, "fail_fast", out->options.failFast);
     }
+    return true;
+}
+
+std::string
+encodeRequest(const Request &request)
+{
+    Json json = Json::object();
+    json.set("op", Json::string(toString(request.op)));
+    if (request.op == Op::Stats || request.op == Op::Shutdown ||
+        request.op == Op::Drain)
+        return json.dump();
+
+    if (request.op == Op::Lease || request.op == Op::Submit ||
+        request.op == Op::Heartbeat) {
+        json.set("worker", Json::string(request.worker));
+        if (request.op != Op::Lease)
+            json.set("lease",
+                     Json::number(
+                         static_cast<int64_t>(request.leaseId)));
+        if (request.op == Op::Submit) {
+            Json records = Json::array();
+            for (const Json &record : request.records)
+                records.append(record);
+            json.set("records", records);
+            json.set("complete", Json::boolean(request.complete));
+        }
+        return json.dump();
+    }
+
+    Json configs = Json::array();
+    for (const std::string &name : request.configNames)
+        configs.append(Json::string(name));
+    json.set("configs", configs);
+
+    Json params = sweepParamsJson(request);
+    json.set("workload", *params.find("workload"));
+    json.set("dsa_advantage", *params.find("dsa_advantage"));
+    json.set("model", *params.find("model"));
+    json.set("constraints", *params.find("constraints"));
+    json.set("options", *params.find("options"));
+
+    json.set("priority",
+             Json::number(static_cast<int64_t>(request.priority)));
+    return json.dump();
+}
+
+bool
+parseRequest(const std::string &line, Request *out, std::string *error)
+{
+    Json json;
+    std::string parse_error;
+    if (!Json::parse(line, &json, &parse_error)) {
+        if (error)
+            *error = format("bad request JSON: %s",
+                            parse_error.c_str());
+        return false;
+    }
+    if (!json.isObject()) {
+        if (error)
+            *error = "request must be a JSON object";
+        return false;
+    }
+    std::string op = stringOr(json, "op", "");
+    if (op == "eval")
+        out->op = Op::Eval;
+    else if (op == "sweep")
+        out->op = Op::Sweep;
+    else if (op == "stats")
+        out->op = Op::Stats;
+    else if (op == "shutdown")
+        out->op = Op::Shutdown;
+    else if (op == "lease")
+        out->op = Op::Lease;
+    else if (op == "submit")
+        out->op = Op::Submit;
+    else if (op == "heartbeat")
+        out->op = Op::Heartbeat;
+    else if (op == "drain")
+        out->op = Op::Drain;
+    else {
+        if (error)
+            *error = format("unknown op \"%s\"", op.c_str());
+        return false;
+    }
+    if (out->op == Op::Stats || out->op == Op::Shutdown ||
+        out->op == Op::Drain)
+        return true;
+
+    if (out->op == Op::Lease || out->op == Op::Submit ||
+        out->op == Op::Heartbeat) {
+        out->worker = stringOr(json, "worker", "");
+        if (out->worker.empty()) {
+            if (error)
+                *error = "request needs a \"worker\" identity";
+            return false;
+        }
+        if (out->op == Op::Lease)
+            return true;
+        out->leaseId =
+            static_cast<uint64_t>(intOr(json, "lease", 0));
+        if (out->leaseId == 0) {
+            if (error)
+                *error = "request needs a nonzero \"lease\" id";
+            return false;
+        }
+        if (out->op == Op::Heartbeat)
+            return true;
+        out->records.clear();
+        const Json *records = json.find("records");
+        if (!records || !records->isArray()) {
+            if (error)
+                *error = "submit needs a \"records\" array";
+            return false;
+        }
+        for (size_t i = 0; i < records->size(); ++i) {
+            if (!records->at(i).isObject()) {
+                if (error)
+                    *error = "submit records must be objects";
+                return false;
+            }
+            out->records.push_back(records->at(i));
+        }
+        out->complete = boolOr(json, "complete", false);
+        return true;
+    }
+
+    const Json *configs = json.find("configs");
+    if (!configs || !configs->isArray() || configs->size() == 0) {
+        if (error)
+            *error = "request needs a non-empty \"configs\" array";
+        return false;
+    }
+    out->configNames.clear();
+    for (size_t i = 0; i < configs->size(); ++i) {
+        if (!configs->at(i).isString()) {
+            if (error)
+                *error = "config labels must be strings";
+            return false;
+        }
+        out->configNames.push_back(configs->at(i).stringValue());
+    }
+    if (out->op == Op::Eval && out->configNames.size() != 1) {
+        if (error)
+            *error = "eval takes exactly one config";
+        return false;
+    }
+
+    // The shared sweep body is exactly the lease-grant "params"
+    // payload: one parser serves both.
+    if (!parseSweepParams(json, out, error))
+        return false;
 
     out->priority =
         static_cast<int>(intOr(json, "priority", out->priority));
@@ -511,6 +619,63 @@ encodeStats(Json stats)
     Json json = Json::object();
     json.set("type", Json::string("stats"));
     json.set("stats", std::move(stats));
+    return json.dump();
+}
+
+std::string
+encodeLeaseGrant(uint64_t lease_id, size_t unit, double expires_s,
+                 const std::vector<std::string> &configs,
+                 const Json &params)
+{
+    Json json = Json::object();
+    json.set("type", Json::string("lease"));
+    json.set("lease",
+             Json::number(static_cast<int64_t>(lease_id)));
+    json.set("unit", Json::number(static_cast<int64_t>(unit)));
+    json.set("expires_s", Json::number(expires_s));
+    Json names = Json::array();
+    for (const std::string &name : configs)
+        names.append(Json::string(name));
+    json.set("configs", names);
+    json.set("params", params);
+    return json.dump();
+}
+
+std::string
+encodeLeaseWait()
+{
+    Json json = Json::object();
+    json.set("type", Json::string("wait"));
+    return json.dump();
+}
+
+std::string
+encodeLeaseComplete()
+{
+    Json json = Json::object();
+    json.set("type", Json::string("complete"));
+    return json.dump();
+}
+
+std::string
+encodeAck(bool ok, size_t accepted, size_t duplicates)
+{
+    Json json = Json::object();
+    json.set("type", Json::string("ack"));
+    json.set("ok", Json::boolean(ok));
+    json.set("accepted",
+             Json::number(static_cast<int64_t>(accepted)));
+    json.set("duplicates",
+             Json::number(static_cast<int64_t>(duplicates)));
+    return json.dump();
+}
+
+std::string
+encodeProgress(Json progress)
+{
+    Json json = Json::object();
+    json.set("type", Json::string("progress"));
+    json.set("progress", std::move(progress));
     return json.dump();
 }
 

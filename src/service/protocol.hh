@@ -12,6 +12,15 @@
  *   {"op": "stats"}
  *   {"op": "shutdown"}
  *
+ * Distributed-sweep operations (served only when a coordinator is
+ * registered with the daemon; see dse/distribute.hh):
+ *
+ *   {"op": "lease", "worker": "w1"}
+ *   {"op": "submit", "worker": "w1", "lease": 7,
+ *    "records": [{...point record...}], "complete": false}
+ *   {"op": "heartbeat", "worker": "w1", "lease": 7}
+ *   {"op": "drain"}
+ *
  * Configurations travel as the paper's labels ("(c4,g16,d2^16)") and
  * are reconstructed server-side with arch::parseSocName against the
  * request's DSA advantage and the paper's DSA priority order - the
@@ -26,6 +35,16 @@
  *                            ignores - so a captured stream is a
  *                            valid --resume checkpoint file.
  *   {"type": "stats", "stats": {...}}  the stats response payload.
+ *   {"type": "lease", "lease": 7, "unit": 3, "expires_s": 30.0,
+ *    "configs": [...], "params": {...}}  a granted work unit; params
+ *                            is the sweep-request body (workload,
+ *                            model, constraints, options) shared by
+ *                            every unit of the sweep.
+ *   {"type": "wait"}         no unit available right now; poll again.
+ *   {"type": "complete"}     the coordinator is retired: exit.
+ *   {"type": "ack", "ok": true, "accepted": N, "duplicates": N}
+ *                            submit/heartbeat acknowledgment.
+ *   {"type": "progress", "progress": {...}}  the drain payload.
  *   {"type": "done", "ok": true|false, "error": "...", "points": N,
  *    "trace_id": T}          exactly one per request, last. T is the
  *                            request id assigned at admission; the
@@ -54,7 +73,8 @@ namespace service {
 namespace protocol {
 
 /** Request operations. */
-enum class Op { Eval, Sweep, Stats, Shutdown };
+enum class Op { Eval, Sweep, Stats, Shutdown, Lease, Submit,
+                Heartbeat, Drain };
 
 const char *toString(Op op);
 
@@ -76,6 +96,16 @@ struct Request
      */
     dse::DseOptions options;
     int priority = 0;
+
+    // Distributed-sweep fields (Lease/Submit/Heartbeat only).
+    /** Worker identity, for lease bookkeeping and logs. */
+    std::string worker;
+    /** The lease the submit/heartbeat refers to. */
+    uint64_t leaseId = 0;
+    /** Submit: checkpoint-format record objects to merge. */
+    std::vector<Json> records;
+    /** Submit: the unit is fully evaluated; complete the lease. */
+    bool complete = false;
 };
 
 /** Encode a request as one wire line (no trailing newline). */
@@ -128,6 +158,43 @@ std::string encodeDone(bool ok, const std::string &error,
 
 /** The stats response payload line. */
 std::string encodeStats(Json stats);
+
+// Distributed-sweep payloads.
+
+/**
+ * The shared sweep-request body of a distributed sweep (workload,
+ * model, constraints, options, advantage - everything but the
+ * configs): what a lease grant embeds as "params" so a worker can
+ * rebuild a full sweep request from the grant alone.
+ */
+Json sweepParamsJson(const Request &request);
+
+/**
+ * Inverse of sweepParamsJson: fill *out's shared fields from a
+ * grant's params object (configNames stays empty - the grant's
+ * "configs" array carries the unit).
+ */
+bool parseSweepParams(const Json &json, Request *out,
+                      std::string *error);
+
+/** A granted lease line: the unit plus the shared params object. */
+std::string encodeLeaseGrant(uint64_t lease_id, size_t unit,
+                             double expires_s,
+                             const std::vector<std::string> &configs,
+                             const Json &params);
+
+/** The "poll again" lease response. */
+std::string encodeLeaseWait();
+
+/** The "coordinator retired, exit" lease response. */
+std::string encodeLeaseComplete();
+
+/** Submit/heartbeat acknowledgment. */
+std::string encodeAck(bool ok, size_t accepted, size_t duplicates);
+
+/** The drain response payload line. */
+std::string encodeProgress(Json progress);
+
 
 } // namespace protocol
 } // namespace service

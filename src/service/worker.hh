@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The distributed-sweep worker loop: lease work units from a
+ * coordinator daemon, evaluate them through a local EvalService, and
+ * stream the results back as checkpoint-format records.
+ *
+ * A worker is deliberately stateless between leases: everything it
+ * needs to evaluate a unit - the config labels, workload, model,
+ * constraints, engine options - arrives in the lease grant, so any
+ * worker can pick up any unit, including one re-issued after a peer
+ * died. Results are submitted per point as they complete (each
+ * submit doubles as a liveness proof, refreshing the lease); a
+ * heartbeat thread on its own connection covers long solves that
+ * outlast the lease window without producing a point.
+ *
+ * The worker exits when the coordinator reports the run complete, or
+ * with an error when the control connection dies mid-unit.
+ */
+
+#ifndef HILP_SERVICE_WORKER_HH
+#define HILP_SERVICE_WORKER_HH
+
+#include <string>
+
+#include "eval_service.hh"
+
+namespace hilp {
+namespace service {
+
+/** Worker policy knobs. */
+struct WorkerOptions
+{
+    /** Worker identity, for coordinator bookkeeping and logs. */
+    std::string id = "worker";
+    /** Delay between lease polls when the coordinator says wait. */
+    double pollIntervalS = 0.2;
+    /** Total time to keep retrying the initial connect. */
+    double connectRetryS = 10.0;
+    /**
+     * The service evaluating the units. Optional: when null the
+     * worker runs a private one with default sizing. Not owned.
+     */
+    EvalService *service = nullptr;
+};
+
+/**
+ * Run the lease/evaluate/submit loop against the coordinator daemon
+ * at address until it reports the run complete. Returns false and
+ * fills *error when the connection cannot be established or dies.
+ */
+bool runWorker(const std::string &address,
+               const WorkerOptions &options, std::string *error);
+
+} // namespace service
+} // namespace hilp
+
+#endif // HILP_SERVICE_WORKER_HH

@@ -8,6 +8,7 @@
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <sys/stat.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -128,6 +129,34 @@ Socket::writeAll(const void *data, size_t size)
         left -= static_cast<size_t>(sent);
     }
     return true;
+}
+
+namespace {
+
+bool
+setSocketTimeout(int fd, int option, double seconds)
+{
+    if (fd < 0 || seconds < 0.0)
+        return false;
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(seconds);
+    tv.tv_usec = static_cast<suseconds_t>(
+        (seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+    return ::setsockopt(fd, SOL_SOCKET, option, &tv, sizeof(tv)) == 0;
+}
+
+} // anonymous namespace
+
+bool
+Socket::setReadTimeout(double seconds)
+{
+    return setSocketTimeout(fd_, SO_RCVTIMEO, seconds);
+}
+
+bool
+Socket::setWriteTimeout(double seconds)
+{
+    return setSocketTimeout(fd_, SO_SNDTIMEO, seconds);
 }
 
 bool
@@ -334,6 +363,7 @@ connectTo(const std::string &address, std::string *error)
 bool
 LineChannel::readLine(std::string *line)
 {
+    timedOut_ = false;
     for (;;) {
         size_t newline = buffer_.find('\n', scanned_);
         if (newline != std::string::npos) {
@@ -345,6 +375,13 @@ LineChannel::readLine(std::string *line)
         scanned_ = buffer_.size();
         char chunk[4096];
         long got = socket_.read(chunk, sizeof(chunk));
+        if (got < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            // A read timeout (Socket::setReadTimeout) expired: the
+            // peer stalled mid-line. Keep the partial line buffered
+            // and let the caller decide - this is not end of stream.
+            timedOut_ = true;
+            return false;
+        }
         if (got <= 0) {
             // EOF/error: surface a final unterminated fragment once.
             if (!buffer_.empty()) {

@@ -75,6 +75,16 @@ class Socket
      */
     bool writeAll(const void *data, size_t size);
 
+    /**
+     * Bound every subsequent read to `seconds` of blocking
+     * (SO_RCVTIMEO); an expired read fails with errno EAGAIN /
+     * EWOULDBLOCK. 0 restores the historical wait-forever behavior.
+     */
+    bool setReadTimeout(double seconds);
+
+    /** SO_SNDTIMEO counterpart: bound blocking writes. */
+    bool setWriteTimeout(double seconds);
+
   private:
     int fd_ = -1;
 };
@@ -142,12 +152,18 @@ class LineChannel
     /**
      * Read one line into *line (terminator stripped). False on EOF
      * or error; a final unterminated fragment at EOF is delivered as
-     * a line first.
+     * a line first. When the socket carries a read timeout (see
+     * Socket::setReadTimeout) and it expires mid-line, readLine
+     * returns false with timedOut() set and the partial line stays
+     * buffered - a timeout is a stalled peer, not end of stream.
      */
     bool readLine(std::string *line);
 
     /** Write line plus the terminating newline. */
     bool writeLine(const std::string &line);
+
+    /** True when the last readLine failure was a read timeout. */
+    bool timedOut() const { return timedOut_; }
 
     Socket &socket() { return socket_; }
     bool valid() const { return socket_.valid(); }
@@ -156,6 +172,7 @@ class LineChannel
     Socket socket_;
     std::string buffer_;
     size_t scanned_ = 0;
+    bool timedOut_ = false;
 };
 
 } // namespace net

@@ -161,6 +161,60 @@ TEST(Lns, SolverReportsLnsTelemetry)
     EXPECT_TRUE(checkSchedule(m, r.schedule).empty());
 }
 
+TEST(LnsTrajectory, DigestIsDeterministicForIdenticalOptions)
+{
+    Model m = contendedModel(10, 9);
+    ListResult greedy = bestGreedy(m, 4, 1);
+    ASSERT_TRUE(greedy.feasible);
+
+    LnsOptions options;
+    options.iterations = 32;
+    options.maxSeconds = 5.0;
+    options.seed = 7;
+    LnsResult a = lnsImprove(m, greedy.schedule, options);
+    LnsResult b = lnsImprove(m, greedy.schedule, options);
+    ASSERT_GT(a.iterations, 0);
+    EXPECT_NE(a.trajectoryDigest, 0u);
+    EXPECT_EQ(a.trajectoryDigest, b.trajectoryDigest);
+
+    // A different seed explores a different destroy sequence.
+    options.seed = 8;
+    LnsResult c = lnsImprove(m, greedy.schedule, options);
+    EXPECT_NE(c.trajectoryDigest, a.trajectoryDigest);
+}
+
+TEST(LnsTrajectory, SeedSaltGivesTheRetryAFreshTrajectory)
+{
+    // The fault-isolation retry bug: a retried evaluation used to
+    // replay the exact destroy sequence that just failed. With the
+    // retry salting SolverOptions::seedSalt, the second attempt must
+    // walk a different trajectory - while a zero salt stays
+    // bit-identical with history.
+    Model m = contendedModel(12, 4242);
+    SolverOptions options;
+    options.targetGap = 0.0;
+    options.maxSeconds = 2.0;
+    options.maxNodes = 2000;
+    options.lns = true;
+    options.lnsIterations = 32;
+
+    Result first = Solver(options).solve(m);
+    Result replay = Solver(options).solve(m);
+    ASSERT_GT(first.stats.lnsIterationsRun, 0);
+    ASSERT_NE(first.stats.lnsTrajectoryDigest, 0u);
+    EXPECT_EQ(replay.stats.lnsTrajectoryDigest,
+              first.stats.lnsTrajectoryDigest);
+    EXPECT_EQ(replay.makespan, first.makespan);
+
+    SolverOptions retry = options;
+    retry.seedSalt = 0x9e3779b97f4a7c15ull; // Attempt-index salt.
+    Result salted = Solver(retry).solve(m);
+    EXPECT_NE(salted.stats.lnsTrajectoryDigest,
+              first.stats.lnsTrajectoryDigest);
+    ASSERT_TRUE(salted.hasSchedule());
+    EXPECT_TRUE(checkSchedule(m, salted.schedule).empty());
+}
+
 } // anonymous namespace
 } // namespace cp
 } // namespace hilp

@@ -264,6 +264,72 @@ TEST_F(Checkpoint, TornFinalLineIsDroppedNotFatal)
     EXPECT_TRUE(again.lookup(3, &point));
 }
 
+TEST_F(Checkpoint, InteriorCorruptionIsSkippedAndCounted)
+{
+    {
+        SweepCheckpoint checkpoint;
+        ASSERT_TRUE(checkpoint.open(path_, false));
+        checkpoint.record(1, ModelKind::Hilp, samplePoint(1.0));
+    }
+    // Corruption in the *middle* of the ledger - a torn write that
+    // later appends sealed over, or flipped bits - followed by good
+    // records: the loader must skip and count, never abort, and the
+    // records after the damage must survive.
+    std::FILE *file = std::fopen(path_.c_str(), "a");
+    ASSERT_NE(file, nullptr);
+    std::fputs("{\"key\":\"000000000000?? garbage\n", file);
+    std::fputs("not json at all\n", file);
+    std::fclose(file);
+    {
+        SweepCheckpoint append;
+        ASSERT_TRUE(append.open(path_, true));
+        append.record(2, ModelKind::Hilp, samplePoint(2.0));
+    }
+
+    SweepCheckpoint resumed;
+    std::string error;
+    ASSERT_TRUE(resumed.open(path_, true, &error)) << error;
+    EXPECT_EQ(resumed.loaded(), 2u);
+    EXPECT_EQ(resumed.dropped(), 2u);
+    DsePoint point;
+    EXPECT_TRUE(resumed.lookup(1, &point));
+    EXPECT_TRUE(resumed.lookup(2, &point));
+}
+
+TEST_F(Checkpoint, DroppedResetsAcrossOpens)
+{
+    std::FILE *file = std::fopen(path_.c_str(), "w");
+    ASSERT_NE(file, nullptr);
+    std::fputs("garbage line\n", file);
+    std::fclose(file);
+
+    SweepCheckpoint checkpoint;
+    ASSERT_TRUE(checkpoint.open(path_, true));
+    EXPECT_EQ(checkpoint.dropped(), 1u);
+    checkpoint.close();
+    // A truncating reopen starts a clean ledger: nothing dropped.
+    ASSERT_TRUE(checkpoint.open(path_, false));
+    EXPECT_EQ(checkpoint.dropped(), 0u);
+    EXPECT_EQ(checkpoint.loaded(), 0u);
+}
+
+TEST_F(Checkpoint, FsyncedRecordsRoundTrip)
+{
+    // Behavioral coverage for the durability knob: records written
+    // with fsync-on-flush must read back exactly like buffered ones.
+    {
+        SweepCheckpoint checkpoint;
+        ASSERT_TRUE(checkpoint.open(path_, false));
+        checkpoint.setFsync(true);
+        checkpoint.record(1, ModelKind::Hilp, samplePoint(1.0));
+        checkpoint.record(2, ModelKind::Hilp, samplePoint(2.0));
+    }
+    SweepCheckpoint resumed;
+    ASSERT_TRUE(resumed.open(path_, true));
+    EXPECT_EQ(resumed.loaded(), 2u);
+    EXPECT_EQ(resumed.dropped(), 0u);
+}
+
 TEST_F(Checkpoint, OpenWithoutResumeTruncates)
 {
     {

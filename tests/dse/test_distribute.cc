@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Unit tests for the distributed-sweep coordinator (dse/distribute.hh):
+ * lease grant/expiry/re-issue, heartbeat keep-alive, idempotent
+ * merging of duplicate submits, and the zombie-worker paths (stale
+ * submits after a lease was re-issued).
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dse/checkpoint.hh"
+#include "dse/distribute.hh"
+#include "support/metrics.hh"
+
+namespace hilp {
+namespace dse {
+namespace {
+
+/**
+ * n configs with distinct cpuCores: n similarity chains, so each
+ * config is its own work unit.
+ */
+std::vector<arch::SocConfig>
+unitPerConfig(int n)
+{
+    std::vector<arch::SocConfig> configs;
+    for (int i = 0; i < n; ++i) {
+        arch::SocConfig config;
+        config.cpuCores = 1 + i;
+        config.gpuSms = 4;
+        configs.push_back(config);
+    }
+    return configs;
+}
+
+/** A checkpoint-format record line for one evaluated config. */
+std::string
+recordFor(const arch::SocConfig &config, uint64_t fingerprint,
+          ModelKind kind = ModelKind::Hilp)
+{
+    DsePoint point;
+    point.config = config;
+    point.ok = true;
+    point.makespanS = 1.5;
+    point.speedup = 7.0;
+    point.gap = 0.01;
+    point.averageWlp = 2.0;
+    point.fingerprint = fingerprint;
+    return pointRecordJson(
+               checkpointKey(fingerprint, config.name(), kind), kind,
+               point)
+        .dump();
+}
+
+void
+sleepS(double seconds)
+{
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(seconds));
+}
+
+TEST(Coordinator, GrantsEachUnitOnceThenWaits)
+{
+    Coordinator coordinator(unitPerConfig(2), ModelKind::Hilp);
+    LeaseGrant first;
+    LeaseGrant second;
+    EXPECT_EQ(coordinator.lease("w1", &first),
+              LeaseOutcome::Granted);
+    EXPECT_EQ(coordinator.lease("w2", &second),
+              LeaseOutcome::Granted);
+    EXPECT_NE(first.leaseId, second.leaseId);
+    EXPECT_NE(first.unit, second.unit);
+    ASSERT_EQ(first.configNames.size(), 1u);
+
+    // Everything is leased: the next asker polls.
+    LeaseGrant third;
+    EXPECT_EQ(coordinator.lease("w3", &third), LeaseOutcome::Wait);
+    EXPECT_FALSE(coordinator.finished());
+}
+
+TEST(Coordinator, ExpiredLeaseIsReissued)
+{
+    const int64_t reissued_before =
+        metrics::counter("dse.lease.reissued").value();
+
+    CoordinatorOptions options;
+    options.leaseTimeoutS = 0.05;
+    Coordinator coordinator(unitPerConfig(1), ModelKind::Hilp,
+                            options);
+    LeaseGrant grant;
+    ASSERT_EQ(coordinator.lease("w1", &grant),
+              LeaseOutcome::Granted);
+
+    // Unrefreshed past the timeout: the unit goes back to the queue
+    // and the next asker gets it under a fresh lease.
+    sleepS(0.12);
+    LeaseGrant regrant;
+    ASSERT_EQ(coordinator.lease("w2", &regrant),
+              LeaseOutcome::Granted);
+    EXPECT_EQ(regrant.unit, grant.unit);
+    EXPECT_NE(regrant.leaseId, grant.leaseId);
+    EXPECT_EQ(coordinator.progress().reissued, 1u);
+    EXPECT_EQ(metrics::counter("dse.lease.reissued").value(),
+              reissued_before + 1);
+
+    // The original lease is gone: its heartbeat fails.
+    EXPECT_FALSE(coordinator.heartbeat("w1", grant.leaseId));
+    EXPECT_TRUE(coordinator.heartbeat("w2", regrant.leaseId));
+}
+
+TEST(Coordinator, HeartbeatKeepsALeaseAlive)
+{
+    CoordinatorOptions options;
+    options.leaseTimeoutS = 0.1;
+    Coordinator coordinator(unitPerConfig(1), ModelKind::Hilp,
+                            options);
+    LeaseGrant grant;
+    ASSERT_EQ(coordinator.lease("w1", &grant),
+              LeaseOutcome::Granted);
+
+    // Heartbeat at half the window for several windows' worth of
+    // wall clock: the lease must survive every reap.
+    for (int i = 0; i < 6; ++i) {
+        sleepS(0.05);
+        EXPECT_TRUE(coordinator.heartbeat("w1", grant.leaseId));
+        EXPECT_EQ(coordinator.reapExpired(), 0u);
+    }
+
+    // Stop heartbeating: the next reap past the window collects it.
+    sleepS(0.25);
+    EXPECT_EQ(coordinator.reapExpired(), 1u);
+    EXPECT_FALSE(coordinator.heartbeat("w1", grant.leaseId));
+}
+
+TEST(Coordinator, DuplicateSubmitsMergeOnce)
+{
+    auto configs = unitPerConfig(1);
+    Coordinator coordinator(configs, ModelKind::Hilp);
+    LeaseGrant grant;
+    ASSERT_EQ(coordinator.lease("w1", &grant),
+              LeaseOutcome::Granted);
+
+    const std::string record = recordFor(configs[0], 0x1234);
+    std::string error;
+    bool duplicate = false;
+    EXPECT_TRUE(coordinator.submitRecord("w1", grant.leaseId, record,
+                                         &error, &duplicate));
+    EXPECT_FALSE(duplicate);
+    // The same record again (a resubmit after a lost ack).
+    EXPECT_TRUE(coordinator.submitRecord("w1", grant.leaseId, record,
+                                         &error, &duplicate));
+    EXPECT_TRUE(duplicate);
+
+    CoordinatorProgress progress = coordinator.progress();
+    EXPECT_EQ(progress.pointsMerged, 1u);
+    EXPECT_EQ(progress.duplicates, 1u);
+
+    EXPECT_TRUE(coordinator.completeLease("w1", grant.leaseId));
+    EXPECT_TRUE(coordinator.finished());
+
+    auto points = coordinator.takePoints();
+    ASSERT_EQ(points.size(), 1u);
+    EXPECT_TRUE(points[0].ok);
+    EXPECT_DOUBLE_EQ(points[0].speedup, 7.0);
+    // Structural fields are restored from the local config.
+    EXPECT_EQ(points[0].config.name(), configs[0].name());
+    EXPECT_DOUBLE_EQ(points[0].areaMm2, configs[0].areaMm2());
+}
+
+TEST(Coordinator, MalformedSubmitIsRejectedNotMerged)
+{
+    Coordinator coordinator(unitPerConfig(1), ModelKind::Hilp);
+    LeaseGrant grant;
+    ASSERT_EQ(coordinator.lease("w1", &grant),
+              LeaseOutcome::Granted);
+    std::string error;
+    EXPECT_FALSE(coordinator.submitRecord(
+        "w1", grant.leaseId, "{not json", &error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_EQ(coordinator.progress().pointsMerged, 0u);
+}
+
+TEST(Coordinator, ZombieWorkerSubmitsStillMergeIdempotently)
+{
+    CoordinatorOptions options;
+    options.leaseTimeoutS = 0.05;
+    auto configs = unitPerConfig(1);
+    Coordinator coordinator(configs, ModelKind::Hilp, options);
+
+    LeaseGrant zombie;
+    ASSERT_EQ(coordinator.lease("w1", &zombie),
+              LeaseOutcome::Granted);
+    sleepS(0.12);
+    LeaseGrant replacement;
+    ASSERT_EQ(coordinator.lease("w2", &replacement),
+              LeaseOutcome::Granted);
+
+    // The zombie finishes first and streams under its stale lease:
+    // the record merges (first seen wins); the replacement's copy of
+    // the same point is then the duplicate.
+    const std::string record = recordFor(configs[0], 0x77);
+    std::string error;
+    bool duplicate = false;
+    EXPECT_TRUE(coordinator.submitRecord("w1", zombie.leaseId, record,
+                                         &error, &duplicate));
+    EXPECT_FALSE(duplicate);
+    EXPECT_TRUE(coordinator.submitRecord(
+        "w2", replacement.leaseId, record, &error, &duplicate));
+    EXPECT_TRUE(duplicate);
+
+    // The zombie cannot complete the unit (its lease is gone); the
+    // replacement can.
+    EXPECT_FALSE(coordinator.completeLease("w1", zombie.leaseId));
+    EXPECT_FALSE(coordinator.finished());
+    EXPECT_TRUE(
+        coordinator.completeLease("w2", replacement.leaseId));
+    EXPECT_TRUE(coordinator.finished());
+    EXPECT_EQ(coordinator.progress().pointsMerged, 1u);
+}
+
+TEST(Coordinator, LedgerRecordsFirstSeenSubmits)
+{
+    // The merged ledger doubles as a --resume checkpoint: only
+    // first-seen records land in it.
+    std::string path = ::testing::TempDir() + "/coordinator_ledger";
+    {
+        SweepCheckpoint ledger;
+        std::string error;
+        ASSERT_TRUE(ledger.open(path, false, &error)) << error;
+        CoordinatorOptions options;
+        options.ledger = &ledger;
+        auto configs = unitPerConfig(1);
+        Coordinator coordinator(configs, ModelKind::Hilp, options);
+        LeaseGrant grant;
+        ASSERT_EQ(coordinator.lease("w1", &grant),
+                  LeaseOutcome::Granted);
+        const std::string record = recordFor(configs[0], 0x99);
+        EXPECT_TRUE(coordinator.submitRecord("w1", grant.leaseId,
+                                             record, nullptr));
+        EXPECT_TRUE(coordinator.submitRecord("w1", grant.leaseId,
+                                             record, nullptr));
+    }
+    SweepCheckpoint resumed;
+    std::string error;
+    ASSERT_TRUE(resumed.open(path, true, &error)) << error;
+    EXPECT_EQ(resumed.loaded(), 1u);
+    std::remove(path.c_str());
+}
+
+} // anonymous namespace
+} // namespace dse
+} // namespace hilp

@@ -23,6 +23,7 @@
 #include "service/daemon.hh"
 #include "service/protocol.hh"
 #include "support/json.hh"
+#include "support/metrics.hh"
 #include "support/str.hh"
 #include "support/trace.hh"
 
@@ -257,6 +258,25 @@ TEST(DaemonProtocol, StoppingDaemonRefusesWorkButAnswersStats)
         protocol::encodeRequest(stats)));
     EXPECT_EQ(typeOf(harness.readJson()), "stats");
     EXPECT_TRUE(harness.readJson().find("ok")->boolValue());
+}
+
+TEST(DaemonProtocol, StalledPeerIsDroppedAndCounted)
+{
+    const int64_t timed_out_before =
+        metrics::counter("hilpd.peers.timed_out").value();
+
+    DaemonOptions daemon_options;
+    daemon_options.readTimeoutS = 0.1;
+    DaemonHarness harness({}, daemon_options);
+
+    // Half a request line, then silence: the peer is stalled, not
+    // gone, so only the read timeout can free the handler.
+    ASSERT_TRUE(harness.client().socket().writeAll("{\"op\":", 6));
+    std::string line;
+    EXPECT_FALSE(harness.client().readLine(&line));
+    EXPECT_FALSE(harness.shutdownRequested());
+    EXPECT_EQ(metrics::counter("hilpd.peers.timed_out").value(),
+              timed_out_before + 1);
 }
 
 TEST(DaemonProtocol, TraceIdRidesPointsAndDoneLine)

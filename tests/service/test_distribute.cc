@@ -1,0 +1,216 @@
+/**
+ * @file
+ * End-to-end distributed-sweep tests: a coordinator daemon on a Unix
+ * socket, a fleet of in-process workers running the real runWorker
+ * loop, and the serial-equivalence property - the merged distributed
+ * Pareto front must be bit-identical to the single-process sweep's,
+ * because work units are whole similarity chains evaluated exactly
+ * as the in-process sweep would evaluate them.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dse/distribute.hh"
+#include "dse/explore.hh"
+#include "dse/pareto.hh"
+#include "service/daemon.hh"
+#include "service/protocol.hh"
+#include "service/worker.hh"
+#include "support/net.hh"
+#include "workload/rodinia.hh"
+
+namespace hilp {
+namespace service {
+namespace {
+
+/**
+ * A small fig7 slice: two cpuCore groups x two GPU sizes = four
+ * configs in two similarity chains.
+ */
+std::vector<arch::SocConfig>
+sliceConfigs()
+{
+    std::vector<arch::SocConfig> configs;
+    for (int cpus : {2, 4})
+        for (int sms : {4, 8}) {
+            arch::SocConfig config;
+            config.cpuCores = cpus;
+            config.gpuSms = sms;
+            configs.push_back(config);
+        }
+    return configs;
+}
+
+dse::DseOptions
+sliceOptions()
+{
+    dse::DseOptions options;
+    options.engine = EngineOptions::explorationMode();
+    options.engine.solver.maxSeconds = 5.0;
+    options.engine.solver.maxNodes = 20000;
+    return options;
+}
+
+TEST(DistributedSweep, FourWorkersMergeToTheSerialResult)
+{
+    const std::string address = "unix:" + ::testing::TempDir() +
+        "hilp_test_distribute.sock";
+    auto configs = sliceConfigs();
+    auto wl = workload::makeWorkload(workload::Variant::Default);
+    const arch::Constraints constraints;
+    const dse::ModelKind kind = dse::ModelKind::Hilp;
+    dse::DseOptions options = sliceOptions();
+
+    // The single-process reference.
+    auto serial = dse::exploreSpace(configs, wl, constraints, kind,
+                                    options);
+    ASSERT_EQ(serial.size(), configs.size());
+
+    // Coordinator daemon on a real socket.
+    net::Listener listener;
+    std::string error;
+    ASSERT_TRUE(listener.open(address, &error)) << error;
+    ServiceOptions service_options;
+    service_options.executors = 1;
+    EvalService daemon_service(service_options);
+    Daemon daemon(daemon_service);
+    std::thread serve([&] { daemon.run(listener); });
+
+    dse::Coordinator coordinator(configs, kind);
+    protocol::Request params;
+    params.op = protocol::Op::Sweep;
+    params.kind = kind;
+    params.options = options;
+    daemon.setCoordinator(&coordinator,
+                          protocol::sweepParamsJson(params));
+
+    // Four workers sharing one local evaluation service, all running
+    // the real lease/evaluate/submit loop.
+    EvalService worker_service;
+    std::vector<std::thread> workers;
+    std::vector<char> worker_ok(4, 0);
+    std::vector<std::string> worker_error(4);
+    for (int i = 0; i < 4; ++i)
+        workers.emplace_back([&, i] {
+            WorkerOptions worker_options;
+            worker_options.id = "w" + std::to_string(i);
+            worker_options.pollIntervalS = 0.02;
+            worker_options.service = &worker_service;
+            worker_ok[i] = runWorker(address, worker_options,
+                                     &worker_error[i]);
+        });
+
+    const auto deadline = std::chrono::steady_clock::now() +
+        std::chrono::seconds(120);
+    while (!coordinator.finished() &&
+           std::chrono::steady_clock::now() < deadline) {
+        coordinator.reapExpired();
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    ASSERT_TRUE(coordinator.finished())
+        << "distributed sweep did not converge";
+
+    // Retire: every worker's next poll says complete and it exits.
+    daemon.retireCoordinator();
+    for (auto &worker : workers)
+        worker.join();
+    for (int i = 0; i < 4; ++i)
+        EXPECT_TRUE(worker_ok[i]) << worker_error[i];
+
+    auto merged = coordinator.takePoints();
+    ASSERT_EQ(merged.size(), serial.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(merged[i].config.name(), serial[i].config.name())
+            << i;
+        EXPECT_EQ(merged[i].ok, serial[i].ok) << i;
+        EXPECT_EQ(merged[i].areaMm2, serial[i].areaMm2) << i;
+    }
+
+    // The Pareto front is bit-identical, not approximately equal:
+    // front points are never dominance-pruned, and whole similarity
+    // chains shard, so every warm-start chain replays exactly. (Off
+    // the front, a dominated point may legitimately stop refining at
+    // a different certified bound depending on which points had
+    // completed elsewhere, so only name/ok/area are compared above.)
+    auto frontOf = [](const std::vector<dse::DsePoint> &points) {
+        std::vector<double> cost, value;
+        for (const auto &point : points) {
+            cost.push_back(point.areaMm2);
+            value.push_back(point.ok ? point.speedup : 0.0);
+        }
+        return dse::paretoFront(cost, value, 5e-3);
+    };
+    auto serial_front = frontOf(serial);
+    auto merged_front = frontOf(merged);
+    ASSERT_EQ(merged_front, serial_front);
+    ASSERT_FALSE(serial_front.empty());
+    for (size_t i : serial_front) {
+        EXPECT_EQ(merged[i].makespanS, serial[i].makespanS) << i;
+        EXPECT_EQ(merged[i].speedup, serial[i].speedup) << i;
+        EXPECT_EQ(merged[i].gap, serial[i].gap) << i;
+        EXPECT_EQ(merged[i].mix, serial[i].mix) << i;
+    }
+    EXPECT_EQ(coordinator.progress().pointsMerged, configs.size());
+
+    daemon.stop();
+    serve.join();
+}
+
+TEST(DistributedSweep, LeaseOpsOverTheWireWithoutACoordinator)
+{
+    const std::string address = "unix:" + ::testing::TempDir() +
+        "hilp_test_distribute_idle.sock";
+    net::Listener listener;
+    std::string error;
+    ASSERT_TRUE(listener.open(address, &error)) << error;
+    ServiceOptions service_options;
+    service_options.executors = 1;
+    EvalService service(service_options);
+    Daemon daemon(service);
+    std::thread serve([&] { daemon.run(listener); });
+
+    net::Socket socket = net::connectTo(address, &error);
+    ASSERT_TRUE(socket.valid()) << error;
+    net::LineChannel channel(std::move(socket));
+
+    auto leaseResponse = [&]() -> std::string {
+        protocol::Request request;
+        request.op = protocol::Op::Lease;
+        request.worker = "w1";
+        EXPECT_TRUE(
+            channel.writeLine(protocol::encodeRequest(request)));
+        std::string type;
+        std::string line;
+        while (channel.readLine(&line)) {
+            Json json;
+            std::string parse_error;
+            EXPECT_TRUE(Json::parse(line, &json, &parse_error));
+            const Json *t = json.find("type");
+            if (t && t->stringValue() == "done")
+                break;
+            if (t)
+                type = t->stringValue();
+        }
+        return type;
+    };
+
+    // No coordinator registered: poll again later.
+    EXPECT_EQ(leaseResponse(), "wait");
+    // Retired for good: exit.
+    daemon.retireCoordinator();
+    EXPECT_EQ(leaseResponse(), "complete");
+
+    daemon.stop();
+    channel.socket().close();
+    serve.join();
+}
+
+} // anonymous namespace
+} // namespace service
+} // namespace hilp
